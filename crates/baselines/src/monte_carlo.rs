@@ -1,0 +1,187 @@
+//! The flat Monte-Carlo baseline: one full noisy circuit execution per shot.
+//!
+//! This is an *independent* implementation of the semantics that
+//! `tqsim`'s degenerate tree `(N)` also provides — the two are
+//! cross-validated in the integration tests, which is exactly why the
+//! duplication exists.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+use tqsim::Counts;
+use tqsim_circuit::Circuit;
+use tqsim_noise::NoiseModel;
+use tqsim_statevec::{OpCounts, StateVector};
+
+/// Result of a baseline run.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// Measurement histogram (`shots` entries).
+    pub counts: Counts,
+    /// Operation tallies.
+    pub ops: OpCounts,
+    /// Measured wall-clock time.
+    pub wall_time: Duration,
+    /// Peak amplitude memory in bytes (one state per concurrent shot).
+    pub peak_memory_bytes: usize,
+}
+
+/// Run `shots` independent noisy trajectories sequentially.
+///
+/// # Panics
+///
+/// Panics if `shots == 0` or the circuit is empty.
+pub fn run_baseline(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    shots: u64,
+    seed: u64,
+) -> BaselineResult {
+    assert!(shots > 0, "need at least one shot");
+    assert!(!circuit.is_empty(), "empty circuit");
+    let t0 = Instant::now();
+    let n = circuit.n_qubits();
+    let mut counts = Counts::new(n);
+    let mut ops = OpCounts::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sv = StateVector::zero(n);
+    for _shot in 0..shots {
+        sv.reset_zero();
+        ops.state_resets += 1;
+        for gate in circuit {
+            sv.apply_gate(gate);
+            ops.add_gates(gate.arity(), 1);
+            ops.noise_ops += noise.apply_after_gate(&mut sv, gate, &mut rng);
+        }
+        let outcome = noise.apply_readout(sv.sample(&mut rng), n, &mut rng);
+        counts.increment(outcome);
+        ops.samples += 1;
+    }
+    BaselineResult {
+        counts,
+        ops,
+        wall_time: t0.elapsed(),
+        peak_memory_bytes: 16usize << n,
+    }
+}
+
+/// Run `shots` trajectories with `parallel` shots in flight at once —
+/// the Fig. 8 study. Each worker owns one state vector, so peak memory is
+/// `parallel · 16 · 2^n` bytes, and per-shot RNGs are derived from
+/// `(seed, shot index)` so results are schedule-independent.
+///
+/// # Panics
+///
+/// Panics if `shots == 0`, `parallel == 0`, or the circuit is empty.
+pub fn run_baseline_parallel(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    shots: u64,
+    seed: u64,
+    parallel: usize,
+) -> BaselineResult {
+    assert!(shots > 0 && parallel > 0, "shots and parallelism must be positive");
+    assert!(!circuit.is_empty(), "empty circuit");
+    let t0 = Instant::now();
+    let n = circuit.n_qubits();
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(parallel)
+        .build()
+        .expect("thread pool construction");
+    let per_shot: Vec<(u64, OpCounts)> = pool.install(|| {
+        (0..shots)
+            .into_par_iter()
+            .map(|shot| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (shot.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+                let mut ops = OpCounts::new();
+                let mut sv = StateVector::zero(n);
+                ops.state_resets += 1;
+                for gate in circuit {
+                    sv.apply_gate(gate);
+                    ops.add_gates(gate.arity(), 1);
+                    ops.noise_ops += noise.apply_after_gate(&mut sv, gate, &mut rng);
+                }
+                let outcome = noise.apply_readout(sv.sample(&mut rng), n, &mut rng);
+                ops.samples += 1;
+                (outcome, ops)
+            })
+            .collect()
+    });
+
+    let mut counts = Counts::new(n);
+    let mut ops = OpCounts::new();
+    for (outcome, o) in per_shot {
+        counts.increment(outcome);
+        ops += o;
+    }
+    BaselineResult {
+        counts,
+        ops,
+        wall_time: t0.elapsed(),
+        peak_memory_bytes: parallel * (16usize << n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqsim_circuit::generators;
+
+    #[test]
+    fn baseline_counts_and_ops() {
+        let c = generators::bv(6);
+        let noise = NoiseModel::sycamore();
+        let r = run_baseline(&c, &noise, 50, 3);
+        assert_eq!(r.counts.total(), 50);
+        assert_eq!(r.ops.state_resets, 50);
+        assert_eq!(r.ops.samples, 50);
+        assert_eq!(r.ops.total_gates(), 50 * c.len() as u64);
+    }
+
+    #[test]
+    fn baseline_is_deterministic() {
+        let c = generators::qft(6);
+        let noise = NoiseModel::sycamore();
+        let a = run_baseline(&c, &noise, 40, 9);
+        let b = run_baseline(&c, &noise, 40, 9);
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn parallel_matches_serial_distribution() {
+        // Different RNG streams, same physics: the dominant-outcome
+        // frequency must agree within sampling noise.
+        let c = generators::bv(8);
+        let noise = NoiseModel::sycamore();
+        let serial = run_baseline(&c, &noise, 1500, 1);
+        let par = run_baseline_parallel(&c, &noise, 1500, 2, 4);
+        assert_eq!(par.counts.total(), 1500);
+        let secret = 0b111_1110u64;
+        let f = |r: &BaselineResult| {
+            (0..2u64).map(|a| r.counts.get(secret | (a << 7))).sum::<u64>() as f64 / 1500.0
+        };
+        assert!((f(&serial) - f(&par)).abs() < 0.06);
+    }
+
+    #[test]
+    fn parallel_is_schedule_independent() {
+        let c = generators::qft(6);
+        let noise = NoiseModel::sycamore();
+        let a = run_baseline_parallel(&c, &noise, 64, 5, 2);
+        let b = run_baseline_parallel(&c, &noise, 64, 5, 8);
+        assert_eq!(a.counts, b.counts, "per-shot seeding must decouple from scheduling");
+        assert!(b.peak_memory_bytes > a.peak_memory_bytes);
+    }
+
+    #[test]
+    fn ideal_noise_reproduces_exact_distribution() {
+        let c = generators::bv(6);
+        let r = run_baseline(&c, &NoiseModel::ideal(), 200, 7);
+        let secret = 0b1_1110u64;
+        for (outcome, _) in r.counts.iter() {
+            assert_eq!(outcome & 0x1f, secret);
+        }
+    }
+}

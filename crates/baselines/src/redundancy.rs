@@ -1,0 +1,180 @@
+//! The inter-shot redundancy-elimination baseline of Li, Ding & Xie
+//! (DAC 2020), reproduced for the Fig. 19 comparison.
+//!
+//! The method samples every shot's noise realisation up front, encodes each
+//! shot as a sequence of per-gate *error tags*, and shares computation
+//! across shots with identical tag prefixes (a trie). Its effectiveness
+//! collapses once circuits grow: the probability that two shots share a
+//! long identical error prefix decays geometrically in the gate count —
+//! exactly the paper's argument for why TQSim's *structural* reuse wins
+//! beyond ~150 gates.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tqsim::Partition;
+use tqsim_circuit::Circuit;
+use tqsim_noise::NoiseModel;
+
+/// Per-gate error tag of one sampled noise realisation.
+///
+/// `0` = no error; single-qubit errors use `1..=3` (X/Y/Z); two-qubit
+/// errors use `1..=15` (non-identity Pauli pairs). Tags only need to be
+/// *comparable*, not physical.
+pub type ErrorTag = u8;
+
+/// Outcome of a redundancy-elimination analysis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RedundancyReport {
+    /// Shots analysed.
+    pub shots: u64,
+    /// Gates per shot.
+    pub gates: usize,
+    /// Gate executions still required after prefix sharing.
+    pub unique_gate_executions: u64,
+    /// `unique / (shots · gates)` — Fig. 19's y-axis (lower is better).
+    pub normalized_computation: f64,
+}
+
+/// Sample `shots` error-tag sequences for `circuit` under a *purely
+/// depolarizing* noise model and compute the prefix-sharing statistics.
+///
+/// # Errors
+///
+/// Returns an error when the model is not purely depolarizing — the
+/// published method requires discrete, comparable error events, which
+/// continuous Kraus channels do not provide.
+pub fn analyze_redundancy(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    shots: u64,
+    seed: u64,
+) -> Result<RedundancyReport, String> {
+    let (p1, p2) = noise
+        .depolarizing_rates()
+        .ok_or_else(|| "redundancy elimination requires a purely depolarizing model".to_string())?;
+    if circuit.is_empty() || shots == 0 {
+        return Err("need a non-empty circuit and at least one shot".to_string());
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gates = circuit.len();
+    let mut sequences: Vec<Vec<ErrorTag>> = Vec::with_capacity(shots as usize);
+    for _ in 0..shots {
+        let mut seq = Vec::with_capacity(gates);
+        for gate in circuit {
+            let tag: ErrorTag = if gate.arity() == 1 {
+                if rng.random::<f64>() < p1 {
+                    rng.random_range(1..=3)
+                } else {
+                    0
+                }
+            } else if rng.random::<f64>() < p2 {
+                rng.random_range(1..=15)
+            } else {
+                0
+            };
+            seq.push(tag);
+        }
+        sequences.push(seq);
+    }
+
+    // Distinct prefixes across all sequences = trie node count = surviving
+    // gate executions. Computed by sorting and summing (L − lcp(prev, cur)).
+    sequences.sort_unstable();
+    let mut unique: u64 = gates as u64; // first sequence contributes fully
+    for pair in sequences.windows(2) {
+        let lcp = pair[0].iter().zip(pair[1].iter()).take_while(|(a, b)| a == b).count();
+        unique += (gates - lcp) as u64;
+    }
+
+    Ok(RedundancyReport {
+        shots,
+        gates,
+        unique_gate_executions: unique,
+        normalized_computation: unique as f64 / (shots as f64 * gates as f64),
+    })
+}
+
+/// TQSim's normalized computation for the same axis: instances-weighted
+/// subcircuit gate counts over the baseline's `shots · gates`.
+pub fn tqsim_normalized_computation(partition: &Partition, shots: u64) -> f64 {
+    let lengths = partition.lengths();
+    let total: usize = lengths.iter().sum();
+    let tree_gates: f64 = lengths
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| partition.tree.instances(i) as f64 * len as f64)
+        .sum();
+    tree_gates / (shots as f64 * total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqsim::Strategy;
+    use tqsim_circuit::generators;
+
+    #[test]
+    fn zero_noise_collapses_to_one_execution() {
+        let c = generators::bv(8);
+        let noise = NoiseModel::depolarizing(0.0, 0.0);
+        let r = analyze_redundancy(&c, &noise, 100, 1).unwrap();
+        // All sequences identical → one full execution total.
+        assert_eq!(r.unique_gate_executions, c.len() as u64);
+        assert!(r.normalized_computation < 0.02);
+    }
+
+    #[test]
+    fn saturating_noise_eliminates_nothing() {
+        let c = generators::bv(8);
+        let noise = NoiseModel::depolarizing(0.9, 0.9);
+        let r = analyze_redundancy(&c, &noise, 200, 1).unwrap();
+        // Shots diverge almost immediately (only the tiny 4-symbol tag
+        // alphabet keeps a sliver of prefix sharing alive).
+        assert!(r.normalized_computation > 0.8, "{}", r.normalized_computation);
+    }
+
+    #[test]
+    fn effectiveness_decays_with_gate_count() {
+        // The crossover driver of Fig. 19.
+        let noise = NoiseModel::sycamore();
+        let small = analyze_redundancy(&generators::bv(10), &noise, 500, 2).unwrap();
+        let large = analyze_redundancy(&generators::qft(12), &noise, 500, 2).unwrap();
+        assert!(
+            small.normalized_computation < large.normalized_computation,
+            "small {} vs large {}",
+            small.normalized_computation,
+            large.normalized_computation
+        );
+    }
+
+    #[test]
+    fn non_depolarizing_model_rejected() {
+        let c = generators::bv(6);
+        let noise = NoiseModel::amplitude_damping(0.01);
+        assert!(analyze_redundancy(&c, &noise, 10, 0).is_err());
+    }
+
+    #[test]
+    fn tqsim_normalized_computation_matches_tree_math() {
+        let c = generators::qft(10); // 237 gates
+        let noise = NoiseModel::sycamore();
+        let p = Strategy::Custom { arities: vec![10, 10, 10] }.plan(&c, &noise, 1000).unwrap();
+        let nc = tqsim_normalized_computation(&p, 1000);
+        // lengths are len/3 each; instances 10,100,1000 → (10+100+1000)/3000.
+        let lens = p.lengths();
+        let expect = (10.0 * lens[0] as f64 + 100.0 * lens[1] as f64 + 1000.0 * lens[2] as f64)
+            / (1000.0 * c.len() as f64);
+        assert!((nc - expect).abs() < 1e-12);
+        assert!(nc < 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = generators::qsc(8, 38, 1);
+        let noise = NoiseModel::sycamore();
+        let a = analyze_redundancy(&c, &noise, 300, 5).unwrap();
+        let b = analyze_redundancy(&c, &noise, 300, 5).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 4: memory overhead of density-matrix vs statevector simulators,
+//! with the 16 GB-laptop and El Capitan capacity lines.
+
+use tqsim_bench::{banner, fmt_bytes, Scale, Table};
+use tqsim_densmat::memory;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 4", "statevector vs density-matrix memory scaling", &scale);
+
+    let mut table = Table::new(&["qubits", "statevector", "density matrix"]);
+    for n in (10..=40u32).step_by(5) {
+        table.row(&[
+            n.to_string(),
+            fmt_bytes(memory::statevector_bytes(n)),
+            fmt_bytes(memory::density_matrix_bytes(n)),
+        ]);
+    }
+    table.print();
+
+    let sv_laptop = memory::max_qubits_within(memory::LAPTOP_BYTES, memory::statevector_bytes);
+    let dm_laptop = memory::max_qubits_within(memory::LAPTOP_BYTES, memory::density_matrix_bytes);
+    let sv_elcap = memory::max_qubits_within(memory::EL_CAPITAN_BYTES, memory::statevector_bytes);
+    let dm_elcap =
+        memory::max_qubits_within(memory::EL_CAPITAN_BYTES, memory::density_matrix_bytes);
+
+    println!("\ncapacity lines:");
+    println!(
+        "  16 GB laptop : statevector ≤ {sv_laptop} qubits, density matrix ≤ {dm_laptop} qubits"
+    );
+    println!("  El Capitan   : statevector ≤ {sv_elcap} qubits, density matrix ≤ {dm_elcap} qubits");
+    println!("\npaper reference: DM < 25 qubits on El Capitan; SV > 30 qubits on a laptop (Fig. 4).");
+    assert!(dm_elcap < 25 && sv_laptop >= 30, "Fig. 4 headline claims must reproduce");
+}

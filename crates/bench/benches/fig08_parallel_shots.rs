@@ -1,0 +1,38 @@
+//! Figure 8: parallel-shot execution — speedup saturates while memory keeps
+//! climbing, so naive shot parallelism cannot hide noisy-simulation overhead.
+
+use tqsim_baselines::run_baseline_parallel;
+use tqsim_bench::{banner, fmt_bytes, fmt_secs, timed, Scale, Table};
+use tqsim_circuit::generators;
+use tqsim_noise::NoiseModel;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 8", "parallel shots: speedup & memory", &scale);
+
+    let widths: Vec<u16> = if scale.full { vec![16, 18, 20] } else { vec![10, 12] };
+    let shots: u64 = if scale.full { 1_024 } else { 256 };
+    let parallel_degrees = [1usize, 2, 4, 8, 16];
+    let noise = NoiseModel::sycamore();
+
+    let mut table = Table::new(&["qubits", "parallel", "time", "speedup vs 1", "memory"]);
+    for n in widths {
+        let circuit = generators::qft(n);
+        let mut t1 = None;
+        for par in parallel_degrees {
+            let (r, t) = timed(|| run_baseline_parallel(&circuit, &noise, shots, 3, par));
+            let base = *t1.get_or_insert(t.as_secs_f64());
+            table.row(&[
+                n.to_string(),
+                par.to_string(),
+                fmt_secs(t.as_secs_f64()),
+                format!("{:.2}×", base / t.as_secs_f64().max(1e-12)),
+                fmt_bytes(r.peak_memory_bytes as f64),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\npaper reference: 20–21-qubit circuits gain up to 3× from parallel shots;\nbeyond 24 qubits extra parallel shots stop helping although each state uses\nonly 0.625 % of GPU memory (Fig. 8)."
+    );
+}

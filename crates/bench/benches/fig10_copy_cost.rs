@@ -1,0 +1,45 @@
+//! Figure 10: state-copy cost normalised to one gate across six systems.
+//!
+//! The host row is *measured* (that measurement also feeds DCP's minimum
+//! subcircuit length); the six paper systems are the recorded profiles the
+//! cost models use (no such hardware exists in this environment; see
+//! DESIGN.md §2).
+
+use tqsim_bench::{banner, Scale, Table};
+use tqsim_statevec::profile::measure_copy_cost;
+use tqsim_statevec::CostProfile;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 10", "state-copy cost in gate-equivalents", &scale);
+
+    let widths: Vec<u16> = if scale.full { vec![10, 14, 18, 22] } else { vec![8, 10, 12, 14] };
+    let trials = if scale.full { 21 } else { 9 };
+
+    let mut measured = Table::new(&["width", "copy (ns)", "gate (ns)", "copy cost (gates)"]);
+    let mut ratios = Vec::new();
+    for n in &widths {
+        let m = measure_copy_cost(*n, trials);
+        ratios.push(m.ratio());
+        measured.row(&[
+            n.to_string(),
+            format!("{:.0}", m.copy_ns),
+            format!("{:.0}", m.gate_ns),
+            format!("{:.1}", m.ratio()),
+        ]);
+    }
+    println!("measured on this host:");
+    measured.print();
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!("averaged copy cost used by DCP: {avg:.1} gates\n");
+
+    let mut systems = Table::new(&["system", "copy cost (gates)"]);
+    for p in CostProfile::fig10_systems() {
+        systems.row(&[p.name.to_string(), format!("{:.0}", p.copy_cost_in_gates())]);
+    }
+    println!("recorded paper-system profiles:");
+    systems.print();
+    println!(
+        "\npaper reference: ~10 gates on a desktop GPU, 40–50 on server CPUs, lowest\non HBM2 V100; ratio roughly width-independent (Fig. 10)."
+    );
+}

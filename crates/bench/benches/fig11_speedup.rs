@@ -1,0 +1,79 @@
+//! Figure 11 (a)–(i): TQSim speedup over the flat baseline for the Table-2
+//! benchmark suite — the paper's headline result (up to 3.89×, average
+//! 2.51× at 32 000 shots on a 32-core server).
+
+use tqsim_bench::{banner, fmt_secs, head_to_head, wall_speedup, Scale, Table};
+use tqsim_circuit::generators::{table2_suite_capped, BenchClass};
+use tqsim::speedup::predicted_speedup;
+use tqsim_noise::NoiseModel;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 11", "TQSim speedup across the benchmark suite", &scale);
+
+    let suite = table2_suite_capped(scale.max_qubits());
+    let shots = scale.shots();
+    let noise = NoiseModel::sycamore();
+
+    let mut table = Table::new(&[
+        "circuit",
+        "(q,g)",
+        "tree",
+        "baseline",
+        "tqsim",
+        "speedup",
+        "predicted",
+    ]);
+    let mut per_class: Vec<(BenchClass, Vec<f64>)> =
+        BenchClass::ALL.iter().map(|c| (*c, Vec::new())).collect();
+
+    for bench in &suite {
+        let (base, tree) =
+            head_to_head(&bench.circuit, &noise, scale.dcp_strategy(), shots, 0xF16);
+        let s = wall_speedup(&base, &tree);
+        let plan = tqsim::Tqsim::new(&bench.circuit)
+            .noise(noise.clone())
+            .shots(shots)
+            .strategy(scale.dcp_strategy())
+            .plan()
+            .expect("plan");
+        let pred = predicted_speedup(&plan, shots, scale.copy_cost);
+        table.row(&[
+            bench.name.clone(),
+            format!("({},{})", bench.circuit.n_qubits(), bench.circuit.len()),
+            tree.tree.to_string(),
+            fmt_secs(base.wall_time.as_secs_f64()),
+            fmt_secs(tree.wall_time.as_secs_f64()),
+            format!("{s:.2}×"),
+            format!("{pred:.2}×"),
+        ]);
+        if let Some((_, v)) = per_class.iter_mut().find(|(c, _)| *c == bench.class) {
+            v.push(s);
+        }
+    }
+    table.print();
+
+    println!("\nper-class average speedups (paper Fig. 11 captions in parentheses):");
+    let paper_avgs = [
+        (BenchClass::Adder, 2.20),
+        (BenchClass::Bv, 1.77),
+        (BenchClass::Mul, 2.62),
+        (BenchClass::Qaoa, 2.39),
+        (BenchClass::Qft, 3.10),
+        (BenchClass::Qpe, 2.76),
+        (BenchClass::Qsc, 2.22),
+        (BenchClass::Qv, 2.98),
+    ];
+    let mut all = Vec::new();
+    for (class, vals) in &per_class {
+        if vals.is_empty() {
+            continue;
+        }
+        let avg = vals.iter().sum::<f64>() / vals.len() as f64;
+        all.extend_from_slice(vals);
+        let paper = paper_avgs.iter().find(|(c, _)| c == class).map(|(_, v)| *v).unwrap_or(0.0);
+        println!("  {class:<6} {avg:.2}×   (paper: {paper:.2}×)");
+    }
+    let overall = all.iter().sum::<f64>() / all.len().max(1) as f64;
+    println!("  overall {overall:.2}×  (paper: 2.51× average, 3.89× max at 32 000 shots)");
+}

@@ -1,0 +1,59 @@
+//! Figure 12: TQSim speedup on the GPU (cuStateVec) backend.
+//!
+//! No GPU exists here; per DESIGN.md §2 the same executions are priced with
+//! the A100 cost profile — legitimate because the speedup is a ratio of
+//! operation counts weighted by the platform's gate/copy cost ratio, which
+//! is exactly what the paper's backend-independence argument (§5.2) says.
+
+use tqsim_bench::{banner, head_to_head, Scale, Table};
+use tqsim_circuit::generators::{table2_suite_capped, BenchClass};
+use tqsim_noise::NoiseModel;
+use tqsim_statevec::CostProfile;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 12", "speedup under the A100/cuStateVec cost profile", &scale);
+
+    let cap = if scale.full { 16 } else { 10 };
+    let suite = table2_suite_capped(cap);
+    let shots = if scale.full { 8_192 } else { 1_000 };
+    let noise = NoiseModel::sycamore();
+    let gpu = CostProfile::gpu_a100();
+
+    let mut per_class: Vec<(BenchClass, Vec<f64>)> =
+        BenchClass::ALL.iter().map(|c| (*c, Vec::new())).collect();
+    for bench in &suite {
+        let (base, tree) =
+            head_to_head(&bench.circuit, &noise, scale.dcp_strategy(), shots, 0xF12);
+        let s = gpu.modeled_time(&base.ops) / gpu.modeled_time(&tree.ops);
+        if let Some((_, v)) = per_class.iter_mut().find(|(c, _)| *c == bench.class) {
+            v.push(s);
+        }
+    }
+
+    let mut table = Table::new(&["class", "modeled GPU speedup", "paper (Fig. 12)"]);
+    // Approximate bar heights read off Fig. 12.
+    let paper = [
+        (BenchClass::Adder, "≈2.1×"),
+        (BenchClass::Bv, "≈1.8×"),
+        (BenchClass::Mul, "≈2.4×"),
+        (BenchClass::Qaoa, "≈2.2×"),
+        (BenchClass::Qft, "≈3.0×"),
+        (BenchClass::Qpe, "≈2.6×"),
+        (BenchClass::Qv, "≈2.8×"),
+        (BenchClass::Qsc, "≈2.0×"),
+    ];
+    let mut all = Vec::new();
+    for (class, vals) in &per_class {
+        if vals.is_empty() {
+            continue;
+        }
+        let avg = vals.iter().sum::<f64>() / vals.len() as f64;
+        all.extend_from_slice(vals);
+        let p = paper.iter().find(|(c, _)| c == class).map(|(_, s)| *s).unwrap_or("-");
+        table.row(&[class.to_string(), format!("{avg:.2}×"), p.to_string()]);
+    }
+    table.print();
+    let overall = all.iter().sum::<f64>() / all.len().max(1) as f64;
+    println!("\noverall: {overall:.2}×  (paper: 2.3× average, up to 3.98× on cuStateVec)");
+}

@@ -1,0 +1,85 @@
+//! Figure 15: normalized-fidelity difference between TQSim and the
+//! density-matrix ground truth on the width-feasible circuits (paper:
+//! average 0.007, maximum 0.015).
+//!
+//! Both sides must carry the *same* sampling noise for the comparison to be
+//! meaningful, so the exact mixed-state distribution is itself sampled at
+//! the same shot budget before scoring (this mirrors how the paper compares
+//! shot histograms against its Qiskit density-matrix runs).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tqsim::metrics;
+use tqsim::Tqsim;
+use tqsim_bench::{banner, Scale, Table};
+use tqsim_circuit::generators::table2_suite_capped;
+use tqsim_densmat::DensityMatrix;
+use tqsim_noise::NoiseModel;
+
+/// Draw `shots` outcomes from an exact distribution and return the
+/// empirical distribution (inverse-CDF sampling).
+fn sampled_distribution(exact: &[f64], shots: u64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hist = vec![0u64; exact.len()];
+    for _ in 0..shots {
+        let u: f64 = rng.random();
+        let mut acc = 0.0;
+        let mut idx = exact.len() - 1;
+        for (i, p) in exact.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                idx = i;
+                break;
+            }
+        }
+        hist[idx] += 1;
+    }
+    hist.into_iter().map(|c| c as f64 / shots as f64).collect()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 15", "TQSim vs exact density matrix", &scale);
+
+    // Density matrices square the width: stay ≤ 10 qubits (2·10 = 20
+    // vectorised qubits ≈ 16 MiB each) by default.
+    let cap = if scale.full { 12 } else { 10 };
+    let suite = table2_suite_capped(cap);
+    let shots = scale.shots();
+    let noise = NoiseModel::sycamore();
+
+    let mut table = Table::new(&["circuit", "F_dm (sampled)", "F_tqsim", "|ΔF|"]);
+    let mut diffs = Vec::new();
+    for bench in &suite {
+        let ideal = metrics::ideal_distribution(&bench.circuit);
+        let dm = DensityMatrix::run_noisy(&bench.circuit, &noise);
+        let dm_hist = sampled_distribution(
+            &dm.probabilities_with_readout(&noise),
+            shots,
+            0xD0 + bench.circuit.len() as u64,
+        );
+        let f_dm = metrics::normalized_fidelity(&ideal, &dm_hist);
+        let tree = Tqsim::new(&bench.circuit)
+            .noise(noise.clone())
+            .shots(shots)
+            .strategy(scale.dcp_strategy())
+            .seed(0xF15)
+            .run()
+            .expect("run");
+        let f_t = metrics::normalized_fidelity(&ideal, &tree.counts.to_distribution());
+        let d = (f_dm - f_t).abs();
+        diffs.push(d);
+        table.row(&[
+            bench.name.clone(),
+            format!("{f_dm:.4}"),
+            format!("{f_t:.4}"),
+            format!("{d:.4}"),
+        ]);
+    }
+    table.print();
+    let avg = diffs.iter().sum::<f64>() / diffs.len().max(1) as f64;
+    let max = diffs.iter().cloned().fold(0.0f64, f64::max);
+    println!("\noverall: mean |ΔF| = {avg:.4}, max = {max:.4}");
+    println!("paper reference: mean 0.007, max 0.015 at 32 000 shots (Fig. 15).");
+    println!("(differences shrink as 1/√shots; run with TQSIM_FULL=1 for the paper's budget.)");
+}

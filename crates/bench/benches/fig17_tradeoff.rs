@@ -1,0 +1,56 @@
+//! Figure 17: accuracy–speedup trade-off on QPE_9 (1000 shots) across six
+//! tree structures: DCP's 250-2-2, XCP's 20-10-5, UCP's 10-10-10, two
+//! low-cost manual shapes, and the extreme 250-1-1 (only A0 outcomes).
+
+use tqsim::{metrics, Strategy, Tqsim, TreeStructure};
+use tqsim_bench::{banner, head_to_head, wall_speedup, Scale, Table};
+use tqsim_circuit::generators;
+use tqsim_noise::NoiseModel;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 17", "tree-structure trade-off on QPE_9", &scale);
+
+    let circuit = generators::qpe(8, 1.0 / 3.0);
+    let shots = 1_000u64;
+    let noise = NoiseModel::sycamore();
+    let ideal = metrics::ideal_distribution(&circuit);
+    let reps: u64 = if scale.full { 10 } else { 3 };
+
+    // Reference fidelity from the flat baseline.
+    let base = Tqsim::new(&circuit)
+        .noise(noise.clone())
+        .shots(shots)
+        .strategy(Strategy::Baseline)
+        .seed(0x17)
+        .run()
+        .expect("baseline");
+    let f_ref = metrics::normalized_fidelity(&ideal, &base.counts.to_distribution());
+    println!("baseline normalized fidelity: {f_ref:.3}\n");
+
+    let structures = ["250-2-2", "20-10-5", "10-10-10", "5-10-20", "2-2-250", "250-1-1"];
+    let mut table = Table::new(&["structure", "outcomes", "speedup", "|ΔF| vs baseline"]);
+    for spec in structures {
+        let tree: TreeStructure = spec.parse().expect("tree spec");
+        let strat = Strategy::Custom { arities: tree.arities().to_vec() };
+        let mut diff_acc = 0.0;
+        let mut speed_acc = 0.0;
+        for rep in 0..reps {
+            let (b, t) = head_to_head(&circuit, &noise, strat.clone(), shots, 0x1700 + rep);
+            // 250-1-1 produces only 250 outcomes — that *is* the point.
+            let f = metrics::normalized_fidelity(&ideal, &t.counts.to_distribution());
+            diff_acc += (f - f_ref).abs();
+            speed_acc += wall_speedup(&b, &t);
+        }
+        table.row(&[
+            spec.to_string(),
+            tree.outcomes().to_string(),
+            format!("{:.2}×", speed_acc / reps as f64),
+            format!("{:.3}", diff_acc / reps as f64),
+        ]);
+    }
+    table.print();
+    println!(
+        "\npaper reference: DCP's 250-2-2 keeps fidelity while gaining speed; deeper\nreuse (2-2-250) and the A0-only extreme (250-1-1, ~126× speedup) trade\naccuracy away sharply (Fig. 17)."
+    );
+}

@@ -1,0 +1,83 @@
+//! Figure 18: QAOA max-cut cost landscapes (β × γ grid search) under noise
+//! — baseline vs TQSim expected cut values, MSE and speedup per graph.
+
+use tqsim::{Strategy, Tqsim};
+use tqsim_bench::{banner, Scale, Table};
+use tqsim_circuit::generators::qaoa_maxcut;
+use tqsim_circuit::Graph;
+use tqsim_noise::NoiseModel;
+
+/// Expected cut value of a measured histogram.
+fn expected_cut(counts: &tqsim::Counts, graph: &Graph) -> f64 {
+    let total = counts.total() as f64;
+    counts.iter().map(|(bits, c)| graph.cut_value(bits) as f64 * c as f64).sum::<f64>() / total
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 18", "QAOA cost-function landscapes", &scale);
+
+    let grid: usize = if scale.full { 31 } else { 5 };
+    let shots: u64 = if scale.full { 2_000 } else { 200 };
+    let noise = NoiseModel::sycamore();
+
+    let graphs: Vec<(&str, Graph)> = vec![
+        ("Random(9)", Graph::random_gnm(9, 18, 0xF18)),
+        ("Star(9)", Graph::star(9)),
+        (
+            "3-Regular(16)",
+            if scale.full {
+                Graph::random_regular(16, 3, 0xF18)
+            } else {
+                Graph::random_regular(12, 3, 0xF18)
+            },
+        ),
+    ];
+
+    let mut table = Table::new(&["graph", "qubits", "grid", "speedup", "MSE"]);
+    for (name, graph) in &graphs {
+        let mut mse_acc = 0.0;
+        let mut base_time = 0.0;
+        let mut tree_time = 0.0;
+        for bi in 0..grid {
+            for gi in 0..grid {
+                let beta = std::f64::consts::PI * (bi as f64 + 0.5) / grid as f64;
+                let gamma = 2.0 * std::f64::consts::PI * (gi as f64 + 0.5) / grid as f64;
+                let circuit = qaoa_maxcut(graph, beta, gamma);
+                let seed = (bi * grid + gi) as u64;
+                let base = Tqsim::new(&circuit)
+                    .noise(noise.clone())
+                    .shots(shots)
+                    .strategy(Strategy::Baseline)
+                    .seed(seed)
+                    .run()
+                    .expect("baseline");
+                let tree = Tqsim::new(&circuit)
+                    .noise(noise.clone())
+                    .shots(shots)
+                    .strategy(scale.dcp_strategy())
+                    .seed(seed + 1)
+                    .run()
+                    .expect("tqsim");
+                base_time += base.wall_time.as_secs_f64();
+                tree_time += tree.wall_time.as_secs_f64();
+                // Normalise cut values to [0, 1] by edge count, as the
+                // paper's landscape plots do.
+                let cb = expected_cut(&base.counts, graph) / graph.n_edges() as f64;
+                let ct = expected_cut(&tree.counts, graph) / graph.n_edges() as f64;
+                mse_acc += (cb - ct) * (cb - ct);
+            }
+        }
+        table.row(&[
+            name.to_string(),
+            graph.n_vertices().to_string(),
+            format!("{grid}×{grid}"),
+            format!("{:.2}×", base_time / tree_time.max(1e-12)),
+            format!("{:.5}", mse_acc / (grid * grid) as f64),
+        ]);
+    }
+    table.print();
+    println!(
+        "\npaper reference: speedups 1.6×–3.7× per graph with landscape MSE ≈ 0.001–0.002\n(average 0.00161 on the 16-qubit 3-regular sweep) — Fig. 18."
+    );
+}

@@ -1,0 +1,65 @@
+//! Figure 19: normalized computation of the DAC'20 redundancy-elimination
+//! method vs TQSim across 18 circuits ordered by gate count — reproducing
+//! the ~150-gate crossover.
+
+use tqsim_baselines::{analyze_redundancy, tqsim_normalized_computation};
+use tqsim_bench::{banner, Scale, Table};
+use tqsim_circuit::generators::table2_suite;
+use tqsim_noise::NoiseModel;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 19", "redundancy elimination vs TQSim", &scale);
+
+    // The 18 x-axis circuits of Fig. 19, by suite name, ordered by gates.
+    let wanted = [
+        "bv_n10", "qsc_n8", "qpe_n4", "qaoa_n6", "qaoa_n8", "qpe_n6", "qaoa_n9", "mul_n13",
+        "qaoa_n11", "adder_n10_0", "qaoa_n15", "qft_n10", "qv_n10", "qft_n12", "qft_n14",
+        "mul_n15_0", "qv_n16", "qft_n16",
+    ];
+    let shots: u64 = if scale.full { 8_192 } else { 1_000 };
+    let noise = NoiseModel::sycamore();
+    let suite = table2_suite();
+
+    let mut rows: Vec<(usize, Vec<String>, f64, f64)> = Vec::new();
+    for name in wanted {
+        let bench = suite
+            .iter()
+            .find(|b| b.name == name)
+            .unwrap_or_else(|| panic!("suite circuit {name} missing"));
+        let redun = analyze_redundancy(&bench.circuit, &noise, shots, 0xF19)
+            .expect("depolarizing model");
+        let plan = scale
+            .dcp_strategy()
+            .plan(&bench.circuit, &noise, shots)
+            .expect("plan");
+        let tq = tqsim_normalized_computation(&plan, shots);
+        rows.push((
+            bench.circuit.len(),
+            vec![
+                format!("{name} ({},{})", bench.circuit.n_qubits(), bench.circuit.len()),
+                format!("{:.3}", redun.normalized_computation),
+                format!("{tq:.3}"),
+                if redun.normalized_computation < tq { "Redun-Elim" } else { "TQSim" }.into(),
+            ],
+            redun.normalized_computation,
+            tq,
+        ));
+    }
+    rows.sort_by_key(|(gates, ..)| *gates);
+
+    let mut table = Table::new(&["circuit (q,g)", "Redun-Elim", "TQSim", "winner"]);
+    let mut crossover: Option<usize> = None;
+    for (gates, cells, re, tq) in &rows {
+        if crossover.is_none() && tq < re {
+            crossover = Some(*gates);
+        }
+        table.row(cells);
+    }
+    table.print();
+    match crossover {
+        Some(g) => println!("\nfirst circuit where TQSim wins: ~{g} gates"),
+        None => println!("\nno crossover in this sweep"),
+    }
+    println!("paper reference: Redun-Elim wins below ~150 gates, TQSim above (Fig. 19).");
+}

@@ -1,0 +1,85 @@
+//! Criterion microbenchmarks of the state-vector substrate: gate kernels,
+//! state copies (the quantity behind Fig. 10), sampling, and noise ops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use tqsim_circuit::{Gate, GateKind};
+use tqsim_noise::NoiseModel;
+use tqsim_statevec::StateVector;
+
+fn scrambled_state(n: u16) -> StateVector {
+    let mut sv = StateVector::zero(n);
+    let mut c = tqsim_circuit::Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    sv.apply_circuit(&c);
+    sv
+}
+
+fn bench_gate_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_kernels");
+    group.sample_size(20);
+    for n in [14u16, 18] {
+        let mut sv = scrambled_state(n);
+        let mid = n / 2;
+        for (label, gate) in [
+            ("h", Gate::new(GateKind::H, &[mid])),
+            ("x", Gate::new(GateKind::X, &[mid])),
+            ("rz", Gate::new(GateKind::Rz(0.3), &[mid])),
+            ("cx", Gate::new(GateKind::Cx, &[0, mid])),
+            ("cz", Gate::new(GateKind::Cz, &[0, mid])),
+            ("u3", Gate::new(GateKind::U3(0.3, 0.7, 1.1), &[mid])),
+            ("fsim", Gate::new(GateKind::FSim(0.5, 0.2), &[1, mid])),
+            ("ccx", Gate::new(GateKind::Ccx, &[0, 1, mid])),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &gate, |b, g| {
+                b.iter(|| sv.apply_gate(black_box(g)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_copy_and_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("copy_and_sample");
+    group.sample_size(20);
+    for n in [14u16, 18] {
+        let sv = scrambled_state(n);
+        let mut dst = StateVector::zero(n);
+        group.bench_with_input(BenchmarkId::new("state_copy", n), &sv, |b, s| {
+            b.iter(|| dst.copy_from(black_box(s)));
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        group.bench_with_input(BenchmarkId::new("sample_one", n), &sv, |b, s| {
+            b.iter(|| black_box(s.sample(&mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_noise_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noise_ops");
+    group.sample_size(20);
+    let n = 14u16;
+    let gate = Gate::new(GateKind::Cx, &[0, n / 2]);
+    for model in [
+        NoiseModel::sycamore(),
+        NoiseModel::amplitude_damping(0.01),
+        NoiseModel::thermal_relaxation_sycamore(),
+    ] {
+        let mut sv = scrambled_state(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        group.bench_function(BenchmarkId::new("after_cx", model.name()), |b| {
+            b.iter(|| model.apply_after_gate(&mut sv, black_box(&gate), &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gate_kernels, bench_copy_and_sample, bench_noise_ops);
+criterion_main!(benches);

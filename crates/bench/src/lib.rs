@@ -1,0 +1,227 @@
+//! # tqsim-bench
+//!
+//! Shared plumbing for the per-figure/per-table harnesses in `benches/`.
+//! Every harness prints the rows/series of one paper artifact; by default
+//! parameters are scaled down to laptop size, and `TQSIM_FULL=1` switches to
+//! paper-scale (32 000 shots, all 48 circuits, tight DCP margin).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+use tqsim::{DcpConfig, RunResult, Strategy, Tqsim};
+use tqsim_circuit::Circuit;
+use tqsim_noise::NoiseModel;
+
+/// Scaling knobs shared by all harnesses.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Paper-scale mode (`TQSIM_FULL=1`).
+    pub full: bool,
+    /// Host state-copy cost in gate-equivalents (measured once).
+    pub copy_cost: f64,
+}
+
+impl Scale {
+    /// Read the environment and profile the host copy cost.
+    ///
+    /// `TQSIM_COPY_COST=<gates>` overrides the measured ratio — useful for
+    /// reproducing the paper's server regime (≈45 gates on Xeon 6130,
+    /// Fig. 10) on hosts with faster memory.
+    pub fn from_env() -> Self {
+        let full = std::env::var("TQSIM_FULL").is_ok_and(|v| v == "1");
+        let copy_cost = match std::env::var("TQSIM_COPY_COST").ok().and_then(|v| v.parse().ok()) {
+            Some(c) if c > 0.0 => c,
+            // One mid-size measurement; the ratio is width-insensitive (§3.6).
+            _ => tqsim_statevec::profile::measure_copy_cost(12, 5).ratio().max(4.0),
+        };
+        Scale { full, copy_cost }
+    }
+
+    /// Shot budget (paper: 32 000).
+    pub fn shots(&self) -> u64 {
+        if self.full {
+            32_000
+        } else {
+            1_000
+        }
+    }
+
+    /// Widest circuit to execute for real (13 keeps `mul_n13` — and with it
+    /// every benchmark class — in the scaled-down sweep).
+    pub fn max_qubits(&self) -> u16 {
+        if self.full {
+            25
+        } else {
+            13
+        }
+    }
+
+    /// DCP configuration: the paper's margin at full scale, a looser margin
+    /// at the scaled-down shot budget (so `A0` does not eat the whole
+    /// budget — see DESIGN.md §5).
+    pub fn dcp(&self) -> DcpConfig {
+        DcpConfig {
+            margin: if self.full { 0.03 } else { 0.1 },
+            copy_cost: self.copy_cost,
+            ..DcpConfig::default()
+        }
+    }
+
+    /// The DCP strategy at this scale.
+    pub fn dcp_strategy(&self) -> Strategy {
+        Strategy::Dynamic(self.dcp())
+    }
+}
+
+/// Print the standard harness banner.
+pub fn banner(artifact: &str, description: &str, scale: &Scale) {
+    println!("================================================================");
+    println!("{artifact} — {description}");
+    println!(
+        "mode: {} (copy cost ≈ {:.1} gates; set TQSIM_FULL=1 for paper scale)",
+        if scale.full { "FULL / paper scale" } else { "scaled-down" },
+        scale.copy_cost
+    );
+    println!("================================================================");
+}
+
+/// A minimal fixed-width table printer for harness output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (stringified cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column-count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render to stdout with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                out.push_str(&format!("{cell:>w$}  "));
+            }
+            println!("{}", out.trim_end());
+        };
+        line(&self.headers);
+        println!("{}", widths.iter().map(|w| "-".repeat(*w + 2)).collect::<String>());
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Time a closure.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Run a circuit under both the flat baseline and the given TQSim strategy
+/// with identical shot budgets, returning `(baseline, tqsim)`.
+pub fn head_to_head(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    strategy: Strategy,
+    shots: u64,
+    seed: u64,
+) -> (RunResult, RunResult) {
+    let base = Tqsim::new(circuit)
+        .noise(noise.clone())
+        .shots(shots)
+        .strategy(Strategy::Baseline)
+        .seed(seed)
+        .run()
+        .expect("baseline plan is always valid");
+    let tree = Tqsim::new(circuit)
+        .noise(noise.clone())
+        .shots(shots)
+        .strategy(strategy)
+        .seed(seed.wrapping_add(1))
+        .run()
+        .expect("strategy plan failed");
+    (base, tree)
+}
+
+/// Wall-clock speedup of the TQSim run over the baseline run.
+pub fn wall_speedup(baseline: &RunResult, tqsim: &RunResult) -> f64 {
+    baseline.wall_time.as_secs_f64() / tqsim.wall_time.as_secs_f64().max(1e-12)
+}
+
+/// Format seconds compactly.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 3600.0 {
+        format!("{:.1} h", s / 3600.0)
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Format bytes compactly.
+pub fn fmt_bytes(b: f64) -> String {
+    const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];
+    let mut v = b;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    format!("{v:.1} {}", UNITS[u])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqsim_circuit::generators;
+
+    #[test]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.row(&["only-one".into()]);
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn head_to_head_produces_equal_shot_budgets() {
+        let c = generators::bv(6);
+        let noise = NoiseModel::sycamore();
+        let (base, tree) =
+            head_to_head(&c, &noise, Strategy::Custom { arities: vec![10, 10] }, 100, 1);
+        assert_eq!(base.counts.total(), 100);
+        assert_eq!(tree.counts.total(), 100);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_bytes(2048.0), "2.0 KiB");
+        assert!(fmt_secs(0.5).ends_with("ms"));
+        assert!(fmt_secs(7200.0).ends_with("h"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Quantum adder circuits: a 4-qubit full adder and a Cuccaro ripple-carry
+//! adder.
+
+use crate::Circuit;
+
+/// 4-qubit full adder on registers `(a, b, cin, cout)` — computes
+/// `b ← a⊕b⊕cin` (sum) and `cout ← maj(a, b, cin)`.
+///
+/// Toffolis use the 7-gate Margolus form (valid here: the circuit starts
+/// from a computational-basis state), giving the 16-gate core of Table 2;
+/// `variant ∈ {0,1,2}` adds that many input-preparation X gates
+/// (16/17/18 total — the `adder_n4_*` entries of Fig. 11a).
+///
+/// # Panics
+///
+/// Panics if `variant > 2`.
+pub fn adder_full(variant: u8) -> Circuit {
+    assert!(variant <= 2, "adder_full has variants 0..=2");
+    let (a, b, cin, cout) = (0u16, 1, 2, 3);
+    let mut c = Circuit::new(4);
+    // Input preparation: variant selects which operands start at 1.
+    let preps: &[u16] = match variant {
+        0 => &[],
+        1 => &[a],
+        _ => &[a, cin],
+    };
+    for &q in preps {
+        c.x(q);
+    }
+    c.ccx_margolus(a, b, cout); // cout = a·b
+    c.cx(a, b); //                 b = a⊕b
+    c.ccx_margolus(b, cin, cout); // cout ^= (a⊕b)·cin  → majority
+    c.cx(cin, b); //               b = a⊕b⊕cin → sum
+    c
+}
+
+/// Cuccaro ripple-carry adder on `k`-bit registers: computes `b ← a + b`
+/// with carry-in qubit 0 and carry-out qubit `2k+1` (width `2k + 2`).
+///
+/// Toffolis use the full 15-gate `{H, T, CX}` decomposition, matching the
+/// gate density of the 10-qubit `adder_n10_*` entries of Table 2 (±5 %).
+/// `variant ∈ {0,1,2}` adds `2·variant` preparation X gates.
+///
+/// Qubit layout: `c=0`, then interleaved `a_i = 1+2i`, `b_i = 2+2i`,
+/// carry-out `z = 2k+1`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `variant > 2`.
+pub fn adder_ripple(k: u16, variant: u8) -> Circuit {
+    assert!(k >= 1, "adder needs at least 1 bit");
+    assert!(variant <= 2, "adder_ripple has variants 0..=2");
+    let n = 2 * k + 2;
+    let a = |i: u16| 1 + 2 * i;
+    let b = |i: u16| 2 + 2 * i;
+    let z = 2 * k + 1;
+    let mut c = Circuit::new(n);
+    // Preparation: set the low `variant` bits of both operands.
+    for i in 0..u16::from(variant) {
+        c.x(a(i));
+        c.x(b(i));
+    }
+    // MAJ(x, y, t): t becomes the next carry.
+    let maj = |c: &mut Circuit, x: u16, y: u16, t: u16| {
+        c.cx(t, y);
+        c.cx(t, x);
+        c.ccx_decomposed(x, y, t);
+    };
+    // UMA(x, y, t): undo MAJ and produce the sum on y.
+    let uma = |c: &mut Circuit, x: u16, y: u16, t: u16| {
+        c.ccx_decomposed(x, y, t);
+        c.cx(t, x);
+        c.cx(x, y);
+    };
+    maj(&mut c, 0, b(0), a(0));
+    for i in 1..k {
+        maj(&mut c, a(i - 1), b(i), a(i));
+    }
+    c.cx(a(k - 1), z);
+    for i in (1..k).rev() {
+        uma(&mut c, a(i - 1), b(i), a(i));
+    }
+    uma(&mut c, 0, b(0), a(0));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_adder_gate_counts() {
+        assert_eq!(adder_full(0).len(), 16);
+        assert_eq!(adder_full(1).len(), 17);
+        assert_eq!(adder_full(2).len(), 18);
+        assert_eq!(adder_full(0).n_qubits(), 4);
+    }
+
+    #[test]
+    fn ripple_adder_matches_table2_envelope() {
+        // Table 2 lists adder_n10 with 129–138 gates.
+        for v in 0..=2u8 {
+            let c = adder_ripple(4, v);
+            assert_eq!(c.n_qubits(), 10);
+            let len = c.len();
+            assert!((129..=145).contains(&len), "variant {v}: {len} gates");
+        }
+    }
+
+    #[test]
+    fn ripple_adder_width_formula() {
+        assert_eq!(adder_ripple(1, 0).n_qubits(), 4);
+        assert_eq!(adder_ripple(6, 0).n_qubits(), 14);
+    }
+
+    #[test]
+    fn invalid_variants_rejected() {
+        assert!(std::panic::catch_unwind(|| adder_full(3)).is_err());
+        assert!(std::panic::catch_unwind(|| adder_ripple(0, 0)).is_err());
+    }
+}

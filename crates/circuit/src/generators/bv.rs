@@ -1,0 +1,86 @@
+//! Bernstein–Vazirani circuits.
+//!
+//! The paper singles BV out as its *worst-case* workload: gate count grows
+//! only linearly with width, so the state-copy overhead of reuse is largest
+//! relative to the computation saved (§4.2 "Why BV as a benchmark?").
+
+use crate::Circuit;
+
+/// Bernstein–Vazirani with the default secret (all data bits set except
+/// bit 0), matching Table 2's gate counts of `3n − 2`.
+///
+/// Qubit `n−1` is the phase-kickback ancilla; the measured secret appears on
+/// qubits `0..n−1`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn bv(n: u16) -> Circuit {
+    assert!(n >= 2, "BV needs at least 2 qubits");
+    let data = n - 1;
+    let mut secret = 0u64;
+    for b in 1..data {
+        secret |= 1 << b;
+    }
+    bv_with_secret(n, secret)
+}
+
+/// Bernstein–Vazirani with an explicit secret string over the `n−1` data
+/// qubits.
+///
+/// Gate count: `1 + n + popcount(secret) + (n − 1)`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or if `secret` has bits at or above position `n−1`.
+pub fn bv_with_secret(n: u16, secret: u64) -> Circuit {
+    assert!(n >= 2, "BV needs at least 2 qubits");
+    let data = n - 1;
+    assert!(
+        secret >> data == 0,
+        "secret 0b{secret:b} wider than {data} data qubits"
+    );
+    let anc = data;
+    let mut c = Circuit::new(n);
+    // Ancilla to |1>, then H everywhere puts it in |−> for phase kickback.
+    c.x(anc);
+    for q in 0..n {
+        c.h(q);
+    }
+    for q in 0..data {
+        if (secret >> q) & 1 == 1 {
+            c.cx(q, anc);
+        }
+    }
+    for q in 0..data {
+        c.h(q);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_count_matches_table2() {
+        // Table 2: BV widths 6–16, gate counts 16–46 (= 3n − 2).
+        for n in [6u16, 8, 10, 12, 14, 16] {
+            let c = bv(n);
+            assert_eq!(c.len(), 3 * n as usize - 2, "n={n}");
+            assert_eq!(c.n_qubits(), n);
+        }
+    }
+
+    #[test]
+    fn secret_width_checked() {
+        assert!(std::panic::catch_unwind(|| bv_with_secret(4, 0b1000)).is_err());
+        let _ = bv_with_secret(4, 0b111);
+    }
+
+    #[test]
+    fn custom_secret_gate_count() {
+        let c = bv_with_secret(6, 0b10101);
+        assert_eq!(c.len(), 1 + 6 + 3 + 5);
+    }
+}

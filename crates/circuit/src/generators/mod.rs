@@ -1,0 +1,27 @@
+//! Benchmark-circuit generators reproducing the paper's Table 2 suite.
+//!
+//! Eight circuit classes, six instances each (48 circuits total):
+//! ADDER, BV, MUL, QAOA, QFT, QPE, QSC and QV. Generator parameters were
+//! chosen so that the (width, gate-count) pairs land on — or very close to —
+//! the tuples printed on the x-axes of Fig. 11; the `table02_benchmarks`
+//! harness prints the exact deltas.
+
+mod adder;
+mod bv;
+mod mul;
+mod qaoa;
+mod qft;
+mod qpe;
+mod qsc;
+mod qv;
+mod suite;
+
+pub use adder::{adder_full, adder_ripple};
+pub use bv::{bv, bv_with_secret};
+pub use mul::mul;
+pub use qaoa::{qaoa_maxcut, qaoa_random};
+pub use qft::{qft, qft_with_prep};
+pub use qpe::{qpe, qpe_approx, qpe_unrolled};
+pub use qsc::qsc;
+pub use qv::{qv, QV_BLOCK_GATES, QV_LAYERS};
+pub use suite::{table2_suite, table2_suite_capped, BenchCircuit, BenchClass};

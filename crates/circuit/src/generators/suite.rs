@@ -1,0 +1,216 @@
+//! The full 48-circuit Table-2 benchmark suite.
+
+use super::{adder_full, adder_ripple, bv, mul, qaoa_random, qft, qpe, qpe_approx, qpe_unrolled, qsc, qv};
+use crate::Circuit;
+use std::fmt;
+
+/// The eight benchmark classes of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BenchClass {
+    /// Quantum adders.
+    Adder,
+    /// Bernstein–Vazirani.
+    Bv,
+    /// Quantum multipliers.
+    Mul,
+    /// Quantum Approximate Optimization Algorithm (max-cut).
+    Qaoa,
+    /// Quantum Fourier Transform.
+    Qft,
+    /// Quantum Phase Estimation.
+    Qpe,
+    /// Quantum-supremacy random circuits.
+    Qsc,
+    /// Quantum-volume circuits.
+    Qv,
+}
+
+impl BenchClass {
+    /// All classes in Table-2 order.
+    pub const ALL: [BenchClass; 8] = [
+        BenchClass::Adder,
+        BenchClass::Bv,
+        BenchClass::Mul,
+        BenchClass::Qaoa,
+        BenchClass::Qft,
+        BenchClass::Qpe,
+        BenchClass::Qsc,
+        BenchClass::Qv,
+    ];
+
+    /// Upper-case display name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BenchClass::Adder => "ADDER",
+            BenchClass::Bv => "BV",
+            BenchClass::Mul => "MUL",
+            BenchClass::Qaoa => "QAOA",
+            BenchClass::Qft => "QFT",
+            BenchClass::Qpe => "QPE",
+            BenchClass::Qsc => "QSC",
+            BenchClass::Qv => "QV",
+        }
+    }
+}
+
+impl fmt::Display for BenchClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One generated benchmark instance, annotated with the paper's
+/// (width, gate-count) tuple for deviation reporting.
+#[derive(Clone, Debug)]
+pub struct BenchCircuit {
+    /// Class this instance belongs to.
+    pub class: BenchClass,
+    /// Instance name, e.g. `qft_n12`.
+    pub name: String,
+    /// Width the paper lists for this instance.
+    pub paper_qubits: u16,
+    /// Gate count the paper lists for this instance.
+    pub paper_gates: usize,
+    /// The generated circuit.
+    pub circuit: Circuit,
+}
+
+impl BenchCircuit {
+    fn new(
+        class: BenchClass,
+        name: impl Into<String>,
+        paper_qubits: u16,
+        paper_gates: usize,
+        circuit: Circuit,
+    ) -> Self {
+        BenchCircuit { class, name: name.into(), paper_qubits, paper_gates, circuit }
+    }
+}
+
+/// QAOA instance parameters used by the suite: seeded G(n, m) graphs with
+/// fixed canonical angles.
+const QAOA_INSTANCES: [(u16, usize, usize); 6] =
+    [(6, 15, 58), (8, 21, 79), (9, 24, 89), (11, 34, 123), (13, 38, 139), (15, 48, 175)];
+
+/// Build the full 48-circuit Table-2 suite.
+///
+/// Deterministic: random classes (QAOA, QSC, QV) use fixed per-instance
+/// seeds, so repeated calls return identical circuits.
+pub fn table2_suite() -> Vec<BenchCircuit> {
+    use BenchClass::*;
+    let mut out = Vec::with_capacity(48);
+
+    for v in 0..=2u8 {
+        let gates = 16 + v as usize;
+        out.push(BenchCircuit::new(Adder, format!("adder_n4_{v}"), 4, gates, adder_full(v)));
+    }
+    for (v, paper) in [(0u8, 129usize), (1, 133), (2, 138)] {
+        out.push(BenchCircuit::new(Adder, format!("adder_n10_{v}"), 10, paper, adder_ripple(4, v)));
+    }
+
+    for n in [6u16, 8, 10, 12, 14, 16] {
+        out.push(BenchCircuit::new(Bv, format!("bv_n{n}"), n, 3 * n as usize - 2, bv(n)));
+    }
+
+    out.push(BenchCircuit::new(Mul, "mul_n13", 13, 92, mul(3, 3, 2)));
+    for (v, paper) in [(0u8, 492usize), (1, 488), (2, 494), (3, 490)] {
+        out.push(BenchCircuit::new(Mul, format!("mul_n15_{v}"), 15, paper, mul(4, 3, v)));
+    }
+    out.push(BenchCircuit::new(Mul, "mul_n25", 25, 1477, mul(8, 4, 5)));
+
+    for (i, (n, m, paper)) in QAOA_INSTANCES.into_iter().enumerate() {
+        let (circuit, _graph) = qaoa_random(n, m, 0xA0A0 + i as u64, 0.4, 0.9);
+        out.push(BenchCircuit::new(Qaoa, format!("qaoa_n{n}"), n, paper, circuit));
+    }
+
+    for (n, paper) in [(8u16, 146usize), (10, 237), (12, 344), (14, 472), (16, 619), (18, 787)] {
+        out.push(BenchCircuit::new(Qft, format!("qft_n{n}"), n, paper, qft(n)));
+    }
+
+    let third = 1.0 / 3.0;
+    out.push(BenchCircuit::new(Qpe, "qpe_n4", 4, 53, qpe_unrolled(3, third)));
+    out.push(BenchCircuit::new(Qpe, "qpe_n6", 6, 79, qpe_approx(5, third, 2)));
+    out.push(BenchCircuit::new(Qpe, "qpe_n9_0", 9, 187, qpe(8, third)));
+    out.push(BenchCircuit::new(Qpe, "qpe_n9_1", 9, 120, qpe_approx(8, third, 2)));
+    out.push(BenchCircuit::new(Qpe, "qpe_n11", 11, 283, qpe(10, third)));
+    out.push(BenchCircuit::new(Qpe, "qpe_n16", 16, 609, qpe(15, third)));
+
+    for (i, (n, g)) in [(8u16, 38usize), (9, 45), (10, 61), (12, 90), (15, 132), (16, 160)]
+        .into_iter()
+        .enumerate()
+    {
+        out.push(BenchCircuit::new(Qsc, format!("qsc_n{n}"), n, g, qsc(n, g, 0x5C + i as u64)));
+    }
+
+    for (i, n) in [10u16, 12, 14, 16, 18, 20].into_iter().enumerate() {
+        out.push(BenchCircuit::new(Qv, format!("qv_n{n}"), n, 33 * n as usize, qv(n, 0x57 + i as u64)));
+    }
+
+    out
+}
+
+/// The suite restricted to instances of at most `max_qubits` qubits —
+/// the knob every harness uses to stay laptop-scale by default.
+pub fn table2_suite_capped(max_qubits: u16) -> Vec<BenchCircuit> {
+    table2_suite().into_iter().filter(|b| b.circuit.n_qubits() <= max_qubits).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_48_circuits_in_8_classes() {
+        let suite = table2_suite();
+        assert_eq!(suite.len(), 48);
+        for class in BenchClass::ALL {
+            let count = suite.iter().filter(|b| b.class == class).count();
+            assert_eq!(count, 6, "{class} should have 6 instances");
+        }
+    }
+
+    #[test]
+    fn widths_match_paper_exactly() {
+        for b in table2_suite() {
+            assert_eq!(b.circuit.n_qubits(), b.paper_qubits, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn gate_counts_within_envelope() {
+        // Most classes match the paper exactly or within ±5 %; MUL's
+        // construction differs (documented in DESIGN.md) so it gets a wider
+        // band but must stay inside the class envelope of Table 2.
+        for b in table2_suite() {
+            let got = b.circuit.len();
+            if b.class == BenchClass::Mul {
+                assert!((46..=1600).contains(&got), "{}: {got}", b.name);
+            } else {
+                let tol = b.paper_gates / 10 + 5;
+                assert!(
+                    got.abs_diff(b.paper_gates) <= tol,
+                    "{}: generated {got}, paper {}",
+                    b.name,
+                    b.paper_gates
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capped_suite_filters() {
+        let small = table2_suite_capped(10);
+        assert!(small.iter().all(|b| b.circuit.n_qubits() <= 10));
+        assert!(small.len() < 48);
+        assert!(!small.is_empty());
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = table2_suite();
+        let b = table2_suite();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.circuit.gates(), y.circuit.gates(), "{}", x.name);
+        }
+    }
+}

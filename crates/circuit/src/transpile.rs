@@ -1,0 +1,353 @@
+//! Circuit optimisation passes: cancellation, rotation merging, and
+//! single-qubit gate fusion.
+//!
+//! The paper's Fig. 1 discussion notes that noise operators "disrupt
+//! optimizations like gate fusion"; §6 points out TQSim composes with such
+//! single-shot optimisations. This module provides them, so the ablation
+//! harness can quantify exactly that interaction: fusion shortens the
+//! *ideal* circuit, TQSim still shortens the *multi-shot noisy* run.
+
+use crate::gate::{Gate, GateKind};
+use crate::math::Mat2;
+use crate::Circuit;
+
+/// Statistics of one optimisation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TranspileStats {
+    /// Gates removed by involution cancellation (X·X, H·H, CX·CX, …).
+    pub cancelled: usize,
+    /// Rotation pairs merged into one (RZ·RZ, RX·RX, …).
+    pub merged_rotations: usize,
+    /// Single-qubit runs fused into dense `Unitary1` gates.
+    pub fused: usize,
+}
+
+impl TranspileStats {
+    /// Total gate-count reduction achieved.
+    pub fn gates_saved(&self) -> usize {
+        self.cancelled + self.merged_rotations + self.fused
+    }
+}
+
+/// Whether two placed gates cancel to the identity when adjacent.
+fn cancels(a: &Gate, b: &Gate) -> bool {
+    if a.qubits() != b.qubits() {
+        return false;
+    }
+    use GateKind::*;
+    matches!(
+        (a.kind(), b.kind()),
+        (X, X) | (Y, Y) | (Z, Z) | (H, H) | (Cx, Cx) | (Cz, Cz) | (Swap, Swap) | (Ccx, Ccx)
+            | (S, Sdg)
+            | (Sdg, S)
+            | (T, Tdg)
+            | (Tdg, T)
+    )
+}
+
+/// Merge two adjacent rotations of the same axis on the same qubit.
+fn merge_rotation(a: &Gate, b: &Gate) -> Option<Gate> {
+    if a.qubits() != b.qubits() {
+        return None;
+    }
+    use GateKind::*;
+    let kind = match (a.kind(), b.kind()) {
+        (Rx(s), Rx(t)) => Rx(s + t),
+        (Ry(s), Ry(t)) => Ry(s + t),
+        (Rz(s), Rz(t)) => Rz(s + t),
+        (Phase(s), Phase(t)) => Phase(s + t),
+        (Rzz(s), Rzz(t)) => Rzz(s + t),
+        (CPhase(s), CPhase(t)) => CPhase(s + t),
+        _ => return None,
+    };
+    Some(Gate::new(kind, a.qubits()))
+}
+
+/// Remove adjacent inverse pairs and merge adjacent same-axis rotations,
+/// iterating to a fixed point. Preserves circuit semantics exactly.
+pub fn cancel_adjacent(circuit: &Circuit) -> (Circuit, TranspileStats) {
+    let mut gates: Vec<Gate> = circuit.gates().to_vec();
+    let mut stats = TranspileStats::default();
+    loop {
+        let mut changed = false;
+        let mut i = 0;
+        while i < gates.len() {
+            // Look for the next gate sharing a qubit with gates[i]; only a
+            // *directly adjacent on all qubits* neighbour may combine, but
+            // gates on disjoint qubits in between commute trivially.
+            if let Some(j) = next_touching(&gates, i) {
+                if cancels(&gates[i], &gates[j]) {
+                    gates.remove(j);
+                    gates.remove(i);
+                    stats.cancelled += 2;
+                    changed = true;
+                    // Removal may create a new adjacency just behind i.
+                    i = i.saturating_sub(1);
+                    continue;
+                }
+                if let Some(merged) = merge_rotation(&gates[i], &gates[j]) {
+                    gates[i] = merged;
+                    gates.remove(j);
+                    stats.merged_rotations += 1;
+                    changed = true;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut result = Circuit::new(circuit.n_qubits());
+    for g in gates {
+        result.push(*g.kind(), g.qubits());
+    }
+    (result, stats)
+}
+
+/// Index of the next gate after `i` that touches any of `gates[i]`'s
+/// qubits, provided every *intervening* gate is disjoint from them (so the
+/// pair is adjacent up to trivial commutation) and the overlap is total.
+fn next_touching(gates: &[Gate], i: usize) -> Option<usize> {
+    let qs = gates[i].qubits();
+    for (offset, g) in gates[i + 1..].iter().enumerate() {
+        let overlap = g.qubits().iter().filter(|q| qs.contains(q)).count();
+        if overlap == 0 {
+            continue;
+        }
+        if g.qubits() == qs {
+            return Some(i + 1 + offset);
+        }
+        return None; // partial overlap blocks commutation
+    }
+    None
+}
+
+/// Fuse maximal runs of single-qubit gates on the same qubit into one dense
+/// [`GateKind::Unitary1`]. Runs shorter than `min_run` are left alone
+/// (fusing a single gate would replace a fast specialised kernel with the
+/// generic one).
+pub fn fuse_single_qubit_runs(circuit: &Circuit, min_run: usize) -> (Circuit, TranspileStats) {
+    let mut stats = TranspileStats::default();
+    let mut result = Circuit::new(circuit.n_qubits());
+    let gates = circuit.gates();
+    let mut i = 0;
+    while i < gates.len() {
+        let g = &gates[i];
+        if g.arity() == 1 {
+            let q = g.qubits()[0];
+            // Collect the maximal run of 1q gates on this qubit with no
+            // intervening multi-qubit gate touching q.
+            let mut run = vec![*g];
+            let mut j = i + 1;
+            let mut skipped: Vec<Gate> = Vec::new();
+            while j < gates.len() {
+                let h = &gates[j];
+                if h.arity() == 1 && h.qubits()[0] == q {
+                    run.push(*h);
+                } else if h.qubits().contains(&q) {
+                    break;
+                } else {
+                    skipped.push(*h);
+                }
+                j += 1;
+            }
+            if run.len() >= min_run {
+                let mut m = Mat2::identity();
+                for r in &run {
+                    m = r.kind().matrix1().expect("1q gate").mul(&m);
+                }
+                result.push(GateKind::Unitary1(m), &[q]);
+                stats.fused += run.len() - 1;
+                // Re-emit the disjoint gates we hopped over, preserving
+                // their relative order.
+                for s in skipped {
+                    result.push(*s.kind(), s.qubits());
+                }
+                i = j;
+                continue;
+            }
+        }
+        result.push(*g.kind(), g.qubits());
+        i += 1;
+    }
+    (result, stats)
+}
+
+/// The full pipeline: cancellation/merging to a fixed point, then 1q fusion.
+pub fn optimize(circuit: &Circuit) -> (Circuit, TranspileStats) {
+    let (cancelled, mut stats) = cancel_adjacent(circuit);
+    let (fused, fstats) = fuse_single_qubit_runs(&cancelled, 3);
+    stats.fused = fstats.fused;
+    (fused, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn involutions_cancel() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(0).x(1).cx(0, 1).cx(0, 1).x(1);
+        let (opt, stats) = cancel_adjacent(&c);
+        assert!(opt.is_empty(), "{opt}");
+        assert_eq!(stats.cancelled, 6);
+    }
+
+    #[test]
+    fn cancellation_respects_intervening_gates() {
+        let mut c = Circuit::new(2);
+        // The CX between the two H's touches q0: no cancellation allowed.
+        c.h(0).cx(0, 1).h(0);
+        let (opt, stats) = cancel_adjacent(&c);
+        assert_eq!(opt.len(), 3);
+        assert_eq!(stats.cancelled, 0);
+    }
+
+    #[test]
+    fn disjoint_gates_commute_through() {
+        let mut c = Circuit::new(3);
+        // The X on q2 is disjoint: H·H on q0 still cancels.
+        c.h(0).x(2).h(0);
+        let (opt, stats) = cancel_adjacent(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(stats.cancelled, 2);
+        assert_eq!(opt.gates()[0].kind().name(), "x");
+    }
+
+    #[test]
+    fn rotations_merge() {
+        let mut c = Circuit::new(1);
+        c.rz(0.3, 0).rz(0.4, 0).rx(0.1, 0);
+        let (opt, stats) = cancel_adjacent(&c);
+        assert_eq!(opt.len(), 2);
+        assert_eq!(stats.merged_rotations, 1);
+        match opt.gates()[0].kind() {
+            GateKind::Rz(t) => assert!((t - 0.7).abs() < 1e-12),
+            k => panic!("unexpected {k:?}"),
+        }
+    }
+
+    #[test]
+    fn merged_rotations_can_then_cancel() {
+        // Rz(θ)·Rz(−θ) merges to Rz(0) — semantics preserved even if not
+        // removed (Rz(0) = identity up to global phase).
+        let mut c = Circuit::new(1);
+        c.rz(0.5, 0).rz(-0.5, 0);
+        let (opt, _) = cancel_adjacent(&c);
+        assert_eq!(opt.len(), 1);
+    }
+
+    #[test]
+    fn fusion_preserves_semantics() {
+        use tqsim_circuit_test_support::states_equal;
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).sx(0).rz(0.3, 0).cx(0, 1).h(1).s(1).tdg(1);
+        let (fused, stats) = fuse_single_qubit_runs(&c, 2);
+        assert!(stats.fused > 0);
+        assert!(fused.len() < c.len());
+        assert!(states_equal(&c, &fused), "fusion changed the unitary");
+    }
+
+    #[test]
+    fn full_pipeline_on_redundant_circuit() {
+        use tqsim_circuit_test_support::states_equal;
+        let mut c = Circuit::new(3);
+        c.h(0).h(0) // cancels
+            .rz(0.2, 1).rz(0.3, 1) // merges
+            .h(2).t(2).s(2).tdg(2) // fuses
+            .cx(0, 1)
+            .ccx(0, 1, 2)
+            .ccx(0, 1, 2); // cancels
+        let (opt, stats) = optimize(&c);
+        assert!(opt.len() < c.len());
+        assert!(stats.gates_saved() >= 5, "{stats:?}");
+        assert!(states_equal(&c, &opt));
+    }
+
+    #[test]
+    fn fusion_respects_min_run() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0);
+        let (fused, stats) = fuse_single_qubit_runs(&c, 3);
+        assert_eq!(fused.len(), 2, "run of 2 < min_run 3 untouched");
+        assert_eq!(stats.fused, 0);
+    }
+
+    /// Dense-matrix equivalence checker (small circuits only).
+    mod tqsim_circuit_test_support {
+        use crate::math::{c64, C64};
+        use crate::Circuit;
+
+        /// Apply a circuit to every basis state by explicit matrix action
+        /// of the gate list (independent of any simulator crate).
+        fn full_action(circuit: &Circuit, basis: usize) -> Vec<C64> {
+            let n = circuit.n_qubits();
+            let dim = 1usize << n;
+            let mut amps = vec![c64(0.0, 0.0); dim];
+            amps[basis] = c64(1.0, 0.0);
+            for gate in circuit {
+                let qs = gate.qubits();
+                match gate.arity() {
+                    1 => {
+                        let m = gate.kind().matrix1().unwrap();
+                        let q = qs[0] as usize;
+                        for i in 0..dim {
+                            if i & (1 << q) == 0 {
+                                let j = i | (1 << q);
+                                let (a, b) = (amps[i], amps[j]);
+                                amps[i] = m.0[0][0] * a + m.0[0][1] * b;
+                                amps[j] = m.0[1][0] * a + m.0[1][1] * b;
+                            }
+                        }
+                    }
+                    2 => {
+                        let m = gate.kind().matrix2().unwrap();
+                        let (hi, lo) = (qs[0] as usize, qs[1] as usize);
+                        for i in 0..dim {
+                            if i & (1 << hi) == 0 && i & (1 << lo) == 0 {
+                                let idx = [
+                                    i,
+                                    i | (1 << lo),
+                                    i | (1 << hi),
+                                    i | (1 << hi) | (1 << lo),
+                                ];
+                                let v = [amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]];
+                                for (r, &target) in idx.iter().enumerate() {
+                                    amps[target] = (0..4).map(|k| m.0[r][k] * v[k]).sum();
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        // CCX permutation.
+                        let (c1, c2, t) = (qs[0] as usize, qs[1] as usize, qs[2] as usize);
+                        for i in 0..dim {
+                            let controls = (1 << c1) | (1 << c2);
+                            if i & controls == controls && i & (1 << t) == 0 {
+                                amps.swap(i, i | (1 << t));
+                            }
+                        }
+                    }
+                }
+            }
+            amps
+        }
+
+        /// Whether two circuits implement the same unitary (up to 1e-9).
+        pub fn states_equal(a: &Circuit, b: &Circuit) -> bool {
+            assert!(a.n_qubits() <= 6, "checker is exponential");
+            let dim = 1usize << a.n_qubits();
+            for basis in 0..dim {
+                let va = full_action(a, basis);
+                let vb = full_action(b, basis);
+                if va.iter().zip(&vb).any(|(x, y)| (x - y).norm() > 1e-9) {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}

@@ -1,0 +1,577 @@
+//! The distributed state vector: qHiPSTER-style node slices.
+//!
+//! The full `2^n` amplitude array is split across `2^g` nodes; node `i`
+//! holds the contiguous slice of global indices `i·2^{n−g} .. (i+1)·2^{n−g}`,
+//! i.e. the **top `g` qubits select the node**. Gates on local (low) qubits
+//! run embarrassingly parallel, one thread per node; gates touching a global
+//! qubit are handled the way real distributed simulators do it — a
+//! *distributed swap* brings the global qubit down to a scratch local qubit
+//! (one pairwise half-slice exchange each way), the gate runs locally, and
+//! the swap is undone. Every exchange is counted and priced by the
+//! [`InterconnectModel`].
+
+use crate::model::{ClusterCounters, InterconnectModel};
+use std::fmt;
+
+/// Below this per-node slice length, node work runs on the calling thread —
+/// the semantics are identical and thread-spawn overhead would dominate.
+const THREAD_MIN_SLICE: usize = 1 << 12;
+use tqsim_circuit::math::{c64, C64};
+use tqsim_circuit::Gate;
+use tqsim_statevec::{kernels, QuantumState, StateVector};
+
+/// Error constructing a [`DistributedStateVector`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Node count must be a power of two ≥ 1.
+    BadNodeCount(usize),
+    /// Each node must keep at least 2^3 amplitudes so three-qubit gates can
+    /// be remapped locally.
+    TooFewLocalQubits {
+        /// Requested register width.
+        n_qubits: u16,
+        /// Requested node count.
+        n_nodes: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::BadNodeCount(n) => {
+                write!(f, "node count {n} is not a power of two >= 1")
+            }
+            ClusterError::TooFewLocalQubits { n_qubits, n_nodes } => write!(
+                f,
+                "{n_qubits} qubits over {n_nodes} nodes leaves fewer than 3 local qubits"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// A pure state distributed over `2^g` simulated nodes.
+pub struct DistributedStateVector {
+    n_qubits: u16,
+    g: u16,
+    local_n: u16,
+    slices: Vec<Vec<C64>>,
+    model: InterconnectModel,
+    /// Operation counters, including modeled cluster time.
+    pub counters: ClusterCounters,
+}
+
+impl DistributedStateVector {
+    /// `|0…0⟩` over `n_nodes` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError`] unless `n_nodes` is a power of two and at
+    /// least 3 qubits remain node-local.
+    pub fn zero(
+        n_qubits: u16,
+        n_nodes: usize,
+        model: InterconnectModel,
+    ) -> Result<Self, ClusterError> {
+        if n_nodes == 0 || !n_nodes.is_power_of_two() {
+            return Err(ClusterError::BadNodeCount(n_nodes));
+        }
+        let g = n_nodes.trailing_zeros() as u16;
+        if n_qubits < g + 3 {
+            return Err(ClusterError::TooFewLocalQubits { n_qubits, n_nodes });
+        }
+        let local_n = n_qubits - g;
+        let slice_len = 1usize << local_n;
+        let mut slices = vec![vec![c64(0.0, 0.0); slice_len]; n_nodes];
+        slices[0][0] = c64(1.0, 0.0);
+        Ok(DistributedStateVector {
+            n_qubits,
+            g,
+            local_n,
+            slices,
+            model,
+            counters: ClusterCounters::default(),
+        })
+    }
+
+    /// Scatter an existing single-node state across the cluster.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DistributedStateVector::zero`].
+    pub fn from_statevector(
+        sv: &StateVector,
+        n_nodes: usize,
+        model: InterconnectModel,
+    ) -> Result<Self, ClusterError> {
+        let mut dsv = Self::zero(sv.n_qubits(), n_nodes, model)?;
+        let slice_len = dsv.slice_len();
+        for (i, slice) in dsv.slices.iter_mut().enumerate() {
+            slice.copy_from_slice(&sv.amplitudes()[i * slice_len..(i + 1) * slice_len]);
+        }
+        Ok(dsv)
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Amplitudes held per node.
+    pub fn slice_len(&self) -> usize {
+        1usize << self.local_n
+    }
+
+    /// Qubits that are node-local (the low `n − g`).
+    pub fn local_qubits(&self) -> u16 {
+        self.local_n
+    }
+
+    /// Gather the full state onto "one node" (for verification / sampling
+    /// at small scale).
+    pub fn gather(&self) -> StateVector {
+        let mut amps = Vec::with_capacity(1usize << self.n_qubits);
+        for slice in &self.slices {
+            amps.extend_from_slice(slice);
+        }
+        StateVector::from_amplitudes(amps)
+    }
+
+    /// Squared 2-norm across all nodes.
+    pub fn norm_sqr(&self) -> f64 {
+        self.slices
+            .iter()
+            .map(|s| s.iter().map(|a| a.norm_sqr()).sum::<f64>())
+            .sum()
+    }
+
+    /// Reset to `|0…0⟩` (counted as one compute pass; counters otherwise
+    /// retained).
+    pub fn reset_zero(&mut self) {
+        for slice in &mut self.slices {
+            slice.fill(c64(0.0, 0.0));
+        }
+        self.slices[0][0] = c64(1.0, 0.0);
+        self.charge_compute_pass();
+    }
+
+    /// Overwrite with `src`'s amplitudes (node-local memcpy on every node;
+    /// this is TQSim's intermediate-state copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if layouts differ.
+    pub fn copy_from(&mut self, src: &DistributedStateVector) {
+        assert_eq!(self.n_qubits, src.n_qubits, "width mismatch");
+        assert_eq!(self.n_nodes(), src.n_nodes(), "node-count mismatch");
+        for (dst, s) in self.slices.iter_mut().zip(src.slices.iter()) {
+            dst.copy_from_slice(s);
+        }
+        self.counters.state_copies += 1;
+        self.charge_compute_pass();
+    }
+
+    /// Sample one outcome given a uniform draw (two-phase: pick the node by
+    /// cumulative slice weight, then walk within the node).
+    pub fn sample_with(&self, u: f64) -> u64 {
+        let mut acc = 0.0f64;
+        for (node, slice) in self.slices.iter().enumerate() {
+            let w: f64 = slice.iter().map(|a| a.norm_sqr()).sum();
+            if u < acc + w || node == self.slices.len() - 1 {
+                let mut local_acc = acc;
+                for (i, a) in slice.iter().enumerate() {
+                    local_acc += a.norm_sqr();
+                    if u < local_acc {
+                        return ((node as u64) << self.local_n) | i as u64;
+                    }
+                }
+                return ((node as u64) << self.local_n) | (slice.len() as u64 - 1);
+            }
+            acc += w;
+        }
+        unreachable!("cumulative walk covers all nodes")
+    }
+
+    /// Sample one outcome with an RNG.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rand::RngExt::random(rng);
+        self.sample_with(u)
+    }
+
+    fn charge_compute_pass(&mut self) {
+        let slice_len = self.slice_len() as u64;
+        self.counters.amp_ops += slice_len * self.n_nodes() as u64;
+        self.counters.simulated_seconds += self.model.compute_time(slice_len);
+    }
+
+    /// Apply `op` to every node slice concurrently (one thread per node).
+    fn each_node<F>(&mut self, op: F)
+    where
+        F: Fn(&mut [C64]) + Sync,
+    {
+        if self.slice_len() < THREAD_MIN_SLICE {
+            for slice in &mut self.slices {
+                op(slice);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for slice in &mut self.slices {
+                    let op = &op;
+                    scope.spawn(move || op(slice));
+                }
+            });
+        }
+        self.charge_compute_pass();
+    }
+
+    /// Distributed swap of global bit `gb` (0-based within the top `g`)
+    /// with local qubit `lq`: pairwise half-slice exchange.
+    fn dswap(&mut self, gb: u16, lq: u16) {
+        debug_assert!(gb < self.g && lq < self.local_n);
+        let step = 1usize << gb;
+        let sl = 1usize << lq;
+        if self.slice_len() < THREAD_MIN_SLICE {
+            for chunk in self.slices.chunks_mut(step * 2) {
+                let (lo, hi) = chunk.split_at_mut(step);
+                for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                    exchange_halves(a, b, sl);
+                }
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for chunk in self.slices.chunks_mut(step * 2) {
+                    let (lo, hi) = chunk.split_at_mut(step);
+                    for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                        scope.spawn(move || exchange_halves(a, b, sl));
+                    }
+                }
+            });
+        }
+        let half_bytes = (self.slice_len() / 2 * 16) as u64;
+        self.counters.exchanges += 1;
+        self.counters.bytes_exchanged += half_bytes * self.n_nodes() as u64;
+        self.counters.simulated_seconds += self.model.exchange_time(half_bytes);
+    }
+
+    /// Remap any global qubits of `gate` onto scratch local qubits, apply
+    /// locally, and restore. Returns the swap plan applied (for testing).
+    fn apply_gate_remapped(&mut self, gate: &Gate) -> usize {
+        let local_n = self.local_n;
+        let mut qubits: Vec<u16> = gate.qubits().to_vec();
+        // Scratch = highest local qubits not used by the gate itself.
+        let mut scratch: Vec<u16> = (0..local_n)
+            .rev()
+            .filter(|q| !qubits.contains(q))
+            .take(qubits.len())
+            .collect();
+        let mut swaps: Vec<(u16, u16)> = Vec::new();
+        for q in qubits.iter_mut() {
+            if *q >= local_n {
+                let dst = scratch.pop().expect("constructor guarantees >= 3 local qubits");
+                let gb = *q - local_n;
+                self.dswap(gb, dst);
+                swaps.push((gb, dst));
+                *q = dst;
+            }
+        }
+        let remapped = Gate::new(*gate.kind(), &qubits);
+        self.each_node(|slice| kernels::apply_gate_amps(slice, &remapped));
+        for &(gb, dst) in swaps.iter().rev() {
+            self.dswap(gb, dst);
+        }
+        swaps.len()
+    }
+}
+
+/// Exchange the `lq`-bit=1 half of `a` with the `lq`-bit=0 half of `b`
+/// (the distributed-swap wire protocol; `sl = 1 << lq`).
+fn exchange_halves(a: &mut [C64], b: &mut [C64], sl: usize) {
+    let len = a.len();
+    let mut base = 0;
+    while base < len {
+        for off in 0..sl {
+            let i = base + sl + off; // bit set in a
+            let j = base + off; //      bit clear in b
+            std::mem::swap(&mut a[i], &mut b[j]);
+        }
+        base += sl * 2;
+    }
+}
+
+impl QuantumState for DistributedStateVector {
+    fn n_qubits(&self) -> u16 {
+        self.n_qubits
+    }
+
+    fn apply_gate(&mut self, gate: &Gate) {
+        for &q in gate.qubits() {
+            assert!(q < self.n_qubits, "gate {gate} out of range");
+        }
+        let local_n = self.local_n;
+        if gate.qubits().iter().all(|&q| q < local_n) {
+            self.each_node(|slice| kernels::apply_gate_amps(slice, gate));
+            self.counters.local_gates += 1;
+        } else {
+            self.apply_gate_remapped(gate);
+            self.counters.global_gates += 1;
+        }
+    }
+
+    fn marginal_one(&self, q: u16) -> f64 {
+        assert!(q < self.n_qubits, "qubit out of range");
+        if q >= self.local_n {
+            let mask = 1usize << (q - self.local_n);
+            self.slices
+                .iter()
+                .enumerate()
+                .filter(|(node, _)| node & mask != 0)
+                .map(|(_, s)| s.iter().map(|a| a.norm_sqr()).sum::<f64>())
+                .sum()
+        } else {
+            let mask = 1usize << q;
+            self.slices
+                .iter()
+                .flat_map(|s| s.iter().enumerate())
+                .filter(|(i, _)| i & mask != 0)
+                .map(|(_, a)| a.norm_sqr())
+                .sum()
+        }
+    }
+
+    fn apply_diag1(&mut self, q: u16, d0: C64, d1: C64) {
+        assert!(q < self.n_qubits, "qubit out of range");
+        if q >= self.local_n {
+            // Node-selecting bit: scale whole slices, no communication.
+            let mask = 1usize << (q - self.local_n);
+            let scale = |slice: &mut Vec<C64>, d: C64| {
+                for a in slice.iter_mut() {
+                    *a *= d;
+                }
+            };
+            if self.slice_len() < THREAD_MIN_SLICE {
+                for (node, slice) in self.slices.iter_mut().enumerate() {
+                    scale(slice, if node & mask != 0 { d1 } else { d0 });
+                }
+            } else {
+                std::thread::scope(|scope| {
+                    for (node, slice) in self.slices.iter_mut().enumerate() {
+                        let d = if node & mask != 0 { d1 } else { d0 };
+                        let scale = &scale;
+                        scope.spawn(move || scale(slice, d));
+                    }
+                });
+            }
+            self.charge_compute_pass();
+        } else {
+            let q = q as usize;
+            self.each_node(|slice| kernels::apply_diag1(slice, q, d0, d1));
+        }
+    }
+
+    fn apply_antidiag1(&mut self, q: u16, a01: C64, a10: C64) {
+        assert!(q < self.n_qubits, "qubit out of range");
+        if q >= self.local_n {
+            // Pairwise cross-node combine: a' = a01·b, b' = a10·a.
+            let step = 1usize << (q - self.local_n);
+            let combine = |a: &mut Vec<C64>, b: &mut Vec<C64>| {
+                for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+                    let (vx, vy) = (*x, *y);
+                    *x = a01 * vy;
+                    *y = a10 * vx;
+                }
+            };
+            if self.slice_len() < THREAD_MIN_SLICE {
+                for chunk in self.slices.chunks_mut(step * 2) {
+                    let (lo, hi) = chunk.split_at_mut(step);
+                    for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                        combine(a, b);
+                    }
+                }
+            } else {
+                std::thread::scope(|scope| {
+                    for chunk in self.slices.chunks_mut(step * 2) {
+                        let (lo, hi) = chunk.split_at_mut(step);
+                        for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                            let combine = &combine;
+                            scope.spawn(move || combine(a, b));
+                        }
+                    }
+                });
+            }
+            let bytes = (self.slice_len() * 16) as u64;
+            self.counters.exchanges += 1;
+            self.counters.bytes_exchanged += bytes * self.n_nodes() as u64;
+            self.counters.simulated_seconds += self.model.exchange_time(bytes);
+        } else {
+            let q = q as usize;
+            self.each_node(|slice| kernels::apply_antidiag1(slice, q, a01, a10));
+        }
+    }
+
+    fn renormalize(&mut self) {
+        let n = self.norm_sqr();
+        assert!(n > 1e-300, "cannot normalise a zero state");
+        let s = 1.0 / n.sqrt();
+        self.each_node(|slice| {
+            for a in slice.iter_mut() {
+                *a *= s;
+            }
+        });
+        self.counters.simulated_seconds += self.model.allreduce_time(self.n_nodes());
+    }
+}
+
+impl fmt::Debug for DistributedStateVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DistributedStateVector[{} qubits over {} nodes; |ψ|²={:.6}]",
+            self.n_qubits,
+            self.n_nodes(),
+            self.norm_sqr()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqsim_circuit::generators;
+    use tqsim_circuit::{Circuit, GateKind};
+
+    fn assert_states_match(dsv: &DistributedStateVector, sv: &StateVector) {
+        let gathered = dsv.gather();
+        for (i, (a, b)) in gathered.amplitudes().iter().zip(sv.amplitudes()).enumerate() {
+            assert!((a - b).norm() < 1e-10, "amplitude {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn construction_validation() {
+        let m = InterconnectModel::commodity_cluster();
+        assert!(DistributedStateVector::zero(8, 3, m).is_err());
+        assert!(DistributedStateVector::zero(4, 4, m).is_err(), "only 2 local qubits");
+        assert!(DistributedStateVector::zero(8, 4, m).is_ok());
+    }
+
+    #[test]
+    fn local_gates_match_single_node() {
+        let m = InterconnectModel::commodity_cluster();
+        let mut c = Circuit::new(8);
+        c.h(0).cx(0, 1).t(2).cx(1, 2).ry(0.7, 3).ccx(0, 1, 2);
+        let mut sv = StateVector::zero(8);
+        sv.apply_circuit(&c);
+        let mut dsv = DistributedStateVector::zero(8, 4, m).unwrap();
+        for g in &c {
+            dsv.apply_gate(g);
+        }
+        assert_states_match(&dsv, &sv);
+        assert_eq!(dsv.counters.global_gates, 0);
+        assert_eq!(dsv.counters.exchanges, 0, "all-local circuit must not communicate");
+    }
+
+    #[test]
+    fn global_gates_match_single_node() {
+        let m = InterconnectModel::commodity_cluster();
+        // Gates deliberately touching the top (global) qubits.
+        let mut c = Circuit::new(8);
+        c.h(7).cx(7, 0).h(6).cx(6, 7).ccx(7, 6, 5).swap(5, 7).rz(0.3, 6);
+        let mut sv = StateVector::zero(8);
+        sv.apply_circuit(&c);
+        let mut dsv = DistributedStateVector::zero(8, 8, m).unwrap();
+        for g in &c {
+            dsv.apply_gate(g);
+        }
+        assert_states_match(&dsv, &sv);
+        assert!(dsv.counters.global_gates > 0);
+        assert!(dsv.counters.exchanges > 0);
+        assert!(dsv.counters.bytes_exchanged > 0);
+    }
+
+    #[test]
+    fn full_benchmarks_match_single_node() {
+        let m = InterconnectModel::commodity_cluster();
+        for circuit in [generators::qft(7), generators::bv(7), generators::qsc(7, 40, 3)] {
+            let mut sv = StateVector::zero(7);
+            sv.apply_circuit(&circuit);
+            for nodes in [1usize, 2, 4, 8] {
+                if let Ok(mut dsv) = DistributedStateVector::zero(7, nodes, m) {
+                    for g in &circuit {
+                        dsv.apply_gate(g);
+                    }
+                    assert_states_match(&dsv, &sv);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn marginal_and_diag_on_global_qubit() {
+        let m = InterconnectModel::commodity_cluster();
+        let mut dsv = DistributedStateVector::zero(6, 4, m).unwrap();
+        // Put qubit 5 (global) into |+>.
+        dsv.apply_gate(&Gate::new(GateKind::H, &[5]));
+        assert!((QuantumState::marginal_one(&dsv, 5) - 0.5).abs() < 1e-12);
+        // Project onto |1> via anti/diag Kraus mechanics.
+        dsv.apply_diag1(5, c64(0.0, 0.0), c64(1.0, 0.0));
+        dsv.renormalize();
+        assert!((QuantumState::marginal_one(&dsv, 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn antidiag_on_global_qubit_matches_single_node() {
+        let m = InterconnectModel::commodity_cluster();
+        let mut c = Circuit::new(6);
+        c.h(5).ry(0.9, 4).cx(5, 0);
+        let mut sv = StateVector::zero(6);
+        sv.apply_circuit(&c);
+        let mut dsv = DistributedStateVector::zero(6, 8, m).unwrap();
+        for g in &c {
+            dsv.apply_gate(g);
+        }
+        sv.apply_antidiag1(5, c64(0.5, 0.0), c64(0.25, 0.0));
+        dsv.apply_antidiag1(5, c64(0.5, 0.0), c64(0.25, 0.0));
+        assert_states_match(&dsv, &sv);
+    }
+
+    #[test]
+    fn sampling_matches_gathered_state() {
+        let m = InterconnectModel::commodity_cluster();
+        let c = generators::qft(6);
+        let mut dsv = DistributedStateVector::zero(6, 4, m).unwrap();
+        for g in &c {
+            dsv.apply_gate(g);
+        }
+        let gathered = dsv.gather();
+        for u in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            assert_eq!(dsv.sample_with(u), gathered.sample_with(u), "u={u}");
+        }
+    }
+
+    #[test]
+    fn copy_from_counts_copies() {
+        let m = InterconnectModel::commodity_cluster();
+        let mut a = DistributedStateVector::zero(6, 2, m).unwrap();
+        a.apply_gate(&Gate::new(GateKind::H, &[0]));
+        let mut b = DistributedStateVector::zero(6, 2, m).unwrap();
+        b.copy_from(&a);
+        assert_eq!(b.counters.state_copies, 1);
+        assert_states_match(&b, &a.gather());
+    }
+
+    #[test]
+    fn noise_channels_work_on_distributed_state() {
+        use rand::SeedableRng;
+        let m = InterconnectModel::commodity_cluster();
+        let noise = tqsim_noise::fig16_models().pop().unwrap(); // ALL
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut dsv = DistributedStateVector::zero(6, 4, m).unwrap();
+        let c = generators::qft(6);
+        for g in &c {
+            dsv.apply_gate(g);
+            noise.apply_after_gate(&mut dsv, g, &mut rng);
+        }
+        assert!((dsv.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,248 @@
+//! Distributed execution of baseline and TQSim tree simulations, plus the
+//! analytic scaling estimator behind Fig. 13.
+
+use crate::dsv::{ClusterError, DistributedStateVector};
+use crate::model::{ClusterCounters, InterconnectModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tqsim::{Counts, Partition};
+use tqsim_circuit::{Circuit, Gate};
+use tqsim_noise::NoiseModel;
+use tqsim_statevec::QuantumState;
+
+/// Result of a distributed run.
+#[derive(Clone, Debug)]
+pub struct DistRunResult {
+    /// Measurement histogram.
+    pub counts: Counts,
+    /// Merged cluster counters (including modeled cluster seconds).
+    pub counters: ClusterCounters,
+}
+
+/// Execute a TQSim partition on the distributed engine (the baseline is the
+/// degenerate partition `(N)`). Mirrors the single-node
+/// [`tqsim::TreeExecutor`] semantics exactly, so outcomes are comparable.
+///
+/// # Errors
+///
+/// Returns [`ClusterError`] for invalid node configurations.
+///
+/// # Panics
+///
+/// Panics if the partition does not cover the circuit.
+pub fn run_distributed(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    partition: &Partition,
+    n_nodes: usize,
+    model: InterconnectModel,
+    seed: u64,
+) -> Result<DistRunResult, ClusterError> {
+    let subcircuits = partition.subcircuits(circuit);
+    let k = subcircuits.len();
+    let n = circuit.n_qubits();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = Counts::new(n);
+
+    let mut states: Vec<DistributedStateVector> = (0..=k)
+        .map(|_| DistributedStateVector::zero(n, n_nodes, model))
+        .collect::<Result<_, _>>()?;
+
+    recurse(&subcircuits, partition, noise, 0, &mut states, &mut counts, &mut rng);
+
+    let mut counters = ClusterCounters::default();
+    for s in &states {
+        counters.merge(&s.counters);
+    }
+    Ok(DistRunResult { counts, counters })
+}
+
+fn recurse(
+    subcircuits: &[Circuit],
+    partition: &Partition,
+    noise: &NoiseModel,
+    level: usize,
+    states: &mut [DistributedStateVector],
+    counts: &mut Counts,
+    rng: &mut StdRng,
+) {
+    let k = subcircuits.len();
+    if level == k {
+        let n = states[k].n_qubits();
+        let outcome = states[k].sample(rng);
+        counts.increment(noise.apply_readout(outcome, n, rng));
+        return;
+    }
+    for _rep in 0..partition.tree.arities()[level] {
+        let (parents, children) = states.split_at_mut(level + 1);
+        let child = &mut children[0];
+        child.copy_from(&parents[level]);
+        for gate in &subcircuits[level] {
+            child.apply_gate(gate);
+            child.counters.noise_ops += noise.apply_after_gate(child, gate, rng);
+        }
+        recurse(subcircuits, partition, noise, level + 1, states, counts, rng);
+    }
+}
+
+// ---- analytic estimator (for widths too large to execute here) ------------
+
+/// Per-shot modeled cluster time of one full noisy pass over `circuit`
+/// (computed from the circuit's local/global gate mix without executing).
+///
+/// Noise is charged at 3 compute passes + 1 all-reduce per channel
+/// application — the marginal/branch/renormalise pattern of trajectory
+/// sampling.
+pub fn estimate_shot_seconds(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    n_nodes: usize,
+    model: &InterconnectModel,
+) -> f64 {
+    assert!(n_nodes.is_power_of_two() && n_nodes >= 1, "bad node count");
+    let g = n_nodes.trailing_zeros() as u16;
+    let local_n = circuit.n_qubits().saturating_sub(g);
+    let slice_len = 1u64 << local_n;
+    let half_bytes = slice_len / 2 * 16;
+    let mut t = 0.0;
+    for gate in circuit {
+        t += gate_seconds(gate, local_n, slice_len, half_bytes, model);
+        let n_channels = if gate.arity() == 1 {
+            noise.channels_1q().len()
+        } else {
+            noise.channels_2q().len() * gate.arity().min(2)
+        } as f64;
+        t += n_channels
+            * (3.0 * model.compute_time(slice_len) + model.allreduce_time(n_nodes));
+    }
+    t
+}
+
+fn gate_seconds(
+    gate: &Gate,
+    local_n: u16,
+    slice_len: u64,
+    half_bytes: u64,
+    model: &InterconnectModel,
+) -> f64 {
+    let globals = gate.qubits().iter().filter(|&&q| q >= local_n).count() as f64;
+    // Each global qubit costs a distributed swap there and back.
+    model.compute_time(slice_len) + 2.0 * globals * model.exchange_time(half_bytes)
+}
+
+/// Modeled cluster time of a full tree execution: instances-weighted
+/// subcircuit times plus one state-copy pass per node per subcircuit
+/// execution.
+pub fn estimate_tree_seconds(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    partition: &Partition,
+    n_nodes: usize,
+    model: &InterconnectModel,
+) -> f64 {
+    let g = n_nodes.trailing_zeros() as u16;
+    let slice_len = 1u64 << circuit.n_qubits().saturating_sub(g);
+    let subs = partition.subcircuits(circuit);
+    let mut total = 0.0;
+    for (i, sub) in subs.iter().enumerate() {
+        let per_exec =
+            estimate_shot_seconds(sub, noise, n_nodes, model) + model.compute_time(slice_len);
+        total += partition.tree.instances(i) as f64 * per_exec;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqsim::Strategy;
+    use tqsim_circuit::generators;
+
+    #[test]
+    fn distributed_baseline_matches_single_node_statistics() {
+        let circuit = generators::bv(8);
+        let noise = NoiseModel::sycamore();
+        let shots = 600u64;
+        let partition = Strategy::Baseline.plan(&circuit, &noise, shots).unwrap();
+        let model = InterconnectModel::commodity_cluster();
+        let dist =
+            run_distributed(&circuit, &noise, &partition, 4, model, 11).unwrap();
+        assert_eq!(dist.counts.total(), shots);
+        // Single-node reference.
+        let single = tqsim::TreeExecutor::new(&circuit, &noise, partition).unwrap().run(11);
+        let secret = 0b111_1110u64;
+        let hit = |c: &Counts| {
+            (0..2u64).map(|a| c.get(secret | (a << 7))).sum::<u64>() as f64 / c.total() as f64
+        };
+        assert!((hit(&dist.counts) - hit(&single.counts)).abs() < 0.07);
+    }
+
+    #[test]
+    fn distributed_tree_produces_expected_outcomes_and_comm() {
+        let circuit = generators::qft(8);
+        let noise = NoiseModel::sycamore();
+        let partition =
+            Strategy::Custom { arities: vec![10, 2, 2] }.plan(&circuit, &noise, 40).unwrap();
+        let model = InterconnectModel::commodity_cluster();
+        let r = run_distributed(&circuit, &noise, &partition, 4, model, 3).unwrap();
+        assert_eq!(r.counts.total(), 40);
+        // QFT's high-qubit controlled phases force communication.
+        assert!(r.counters.exchanges > 0);
+        assert!(r.counters.simulated_seconds > 0.0);
+        assert_eq!(r.counters.state_copies, 10 + 20 + 40);
+    }
+
+    #[test]
+    fn estimator_strong_scaling_shape() {
+        // Fixed problem: compute shrinks with nodes, comm grows — speedup
+        // must flatten (the Fig. 13a shape).
+        let circuit = generators::qft(14);
+        let noise = NoiseModel::sycamore();
+        let model = InterconnectModel::commodity_cluster();
+        let t1 = estimate_shot_seconds(&circuit, &noise, 1, &model);
+        let t8 = estimate_shot_seconds(&circuit, &noise, 8, &model);
+        let t32 = estimate_shot_seconds(&circuit, &noise, 32, &model);
+        assert!(t8 < t1, "8 nodes should beat 1");
+        let s8 = t1 / t8;
+        let s32 = t1 / t32;
+        assert!(s32 < 32.0 * 0.8, "communication must erode ideal scaling, got {s32}");
+        assert!(s32 > s8 * 0.5, "still roughly monotone");
+    }
+
+    #[test]
+    fn estimator_matches_counted_time_order_of_magnitude() {
+        let circuit = generators::qft(8);
+        let noise = NoiseModel::ideal();
+        let model = InterconnectModel::commodity_cluster();
+        let partition = Strategy::Baseline.plan(&circuit, &noise, 3).unwrap();
+        let run = run_distributed(&circuit, &noise, &partition, 4, model, 1).unwrap();
+        let est = 3.0 * estimate_shot_seconds(&circuit, &noise, 4, &model);
+        let ratio = run.counters.simulated_seconds / est;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "counted {} vs estimated {est} (ratio {ratio})",
+            run.counters.simulated_seconds
+        );
+    }
+
+    #[test]
+    fn tree_estimate_beats_baseline_estimate() {
+        let circuit = generators::qft(12);
+        let noise = NoiseModel::sycamore();
+        let model = InterconnectModel::commodity_cluster();
+        let base = Strategy::Baseline.plan(&circuit, &noise, 1000).unwrap();
+        let dcp = Strategy::default_dcp().plan(&circuit, &noise, 1000).unwrap();
+        let tb = estimate_tree_seconds(&circuit, &noise, &base, 8, &model);
+        let td = estimate_tree_seconds(&circuit, &noise, &dcp, 8, &model);
+        assert!(td < tb, "TQSim {td} should beat baseline {tb}");
+    }
+
+    #[test]
+    fn bad_node_count_is_an_error() {
+        let circuit = generators::bv(6);
+        let noise = NoiseModel::ideal();
+        let partition = Strategy::Baseline.plan(&circuit, &noise, 5).unwrap();
+        let model = InterconnectModel::commodity_cluster();
+        assert!(run_distributed(&circuit, &noise, &partition, 3, model, 0).is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! Dynamic Circuit Partition (DCP) — paper §3.2.
+//!
+//! DCP operates in two phases: (1) the first subcircuit is the shortest
+//! prefix whose length covers the state-copy cost, and its shot count `A0`
+//! comes from the statistical sample-size bound (Eq. 5) applied to the
+//! prefix's aggregate error rate (Eq. 4); (2) the remainder is split into
+//! `k` equal subcircuits of uniform arity `Ar = ⌊(N/A0)^{1/k}⌋ ≥ 2`
+//! (Eq. 6), with `k` capped by both the shot budget and the per-subcircuit
+//! minimum length, and `A0` raised until the tree yields at least `N`
+//! outcomes.
+
+use crate::partition::{Partition, PlanError};
+use crate::tree::TreeStructure;
+use tqsim_circuit::Circuit;
+use tqsim_noise::NoiseModel;
+
+/// Tunables of the DCP planner.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DcpConfig {
+    /// Confidence level `z` for Eq. 5 (1.96 ≙ 95 %).
+    pub confidence_z: f64,
+    /// Margin of error `ε` for Eq. 5.
+    pub margin: f64,
+    /// State-copy cost in gate-equivalents (Fig. 10; measure with
+    /// [`tqsim_statevec::profile`] or take a
+    /// [`tqsim_statevec::CostProfile`] ratio). Also the minimum subcircuit
+    /// length (§3.6).
+    pub copy_cost: f64,
+    /// Optional memory budget in bytes for the stored intermediate states
+    /// (the executor keeps `k + 1` live states of `16·2^n` bytes each).
+    pub memory_budget_bytes: Option<u64>,
+    /// Optional hard cap on the number of subcircuits.
+    pub max_subcircuits: Option<usize>,
+}
+
+impl Default for DcpConfig {
+    fn default() -> Self {
+        DcpConfig {
+            confidence_z: 1.96,
+            margin: 0.03,
+            copy_cost: 20.0,
+            memory_budget_bytes: None,
+            max_subcircuits: None,
+        }
+    }
+}
+
+impl DcpConfig {
+    /// Validate parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::BadConfig`] for non-positive `z`, `ε`, or copy
+    /// cost.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        if self.confidence_z <= 0.0 || self.margin <= 0.0 || self.copy_cost <= 0.0 {
+            return Err(PlanError::BadConfig(format!(
+                "z={}, margin={}, copy_cost={} must all be positive",
+                self.confidence_z, self.margin, self.copy_cost
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Eq. 5: minimum sample size for a finite population of `n_shots` with
+/// estimated proportion `p_hat`, confidence `z` and margin `margin`.
+///
+/// Clamped to `[1, n_shots]`.
+pub fn sample_size(z: f64, margin: f64, p_hat: f64, n_shots: u64) -> u64 {
+    let p = p_hat.clamp(1e-12, 1.0 - 1e-12);
+    let raw = z * z * p * (1.0 - p) / (margin * margin);
+    let corrected = raw / (1.0 + raw / n_shots as f64);
+    (corrected.ceil() as u64).clamp(1, n_shots)
+}
+
+/// Eq. 4: aggregate error rate `1 − ∏(1 − e_i)` of a gate slice.
+pub fn aggregate_error_rate(circuit: &Circuit, range: std::ops::Range<usize>, noise: &NoiseModel) -> f64 {
+    let survive: f64 =
+        circuit.gates()[range].iter().map(|g| 1.0 - noise.gate_error_rate(g)).product();
+    1.0 - survive
+}
+
+/// Run the DCP planner.
+///
+/// Falls back to the baseline partition `(N)` whenever reuse cannot pay for
+/// itself: the circuit is shorter than twice the copy cost, or `A0`
+/// already exhausts the shot budget.
+///
+/// # Errors
+///
+/// Returns [`PlanError`] for an empty circuit, zero shots, or invalid
+/// configuration.
+pub fn plan_dcp(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    shots: u64,
+    cfg: &DcpConfig,
+) -> Result<Partition, PlanError> {
+    cfg.validate()?;
+    if circuit.is_empty() {
+        return Err(PlanError::EmptyCircuit);
+    }
+    if shots == 0 {
+        return Err(PlanError::ZeroShots);
+    }
+    let len = circuit.len();
+    let min_len = (cfg.copy_cost.ceil() as usize).max(1);
+
+    // Phase 1: first subcircuit = shortest prefix covering the copy cost.
+    let l0 = min_len;
+    if l0 >= len {
+        // Too short to partition at all.
+        return Partition::baseline(len, shots);
+    }
+    let p_hat = aggregate_error_rate(circuit, 0..l0, noise);
+    let a0 = sample_size(cfg.confidence_z, cfg.margin, p_hat, shots);
+
+    // Phase 2: how many equal subcircuits can the remainder support?
+    let remaining = len - l0;
+    let k_gates = remaining / min_len;
+    let ratio = shots as f64 / a0 as f64;
+    let k_shots = if ratio >= 2.0 { ratio.log2().floor() as usize } else { 0 };
+    let mut k = k_gates.min(k_shots);
+    if let Some(max_k) = cfg.max_subcircuits {
+        k = k.min(max_k.saturating_sub(1));
+    }
+    if let Some(budget) = cfg.memory_budget_bytes {
+        let state_bytes = 16u64 << circuit.n_qubits();
+        let max_states = (budget / state_bytes.max(1)).max(2) as usize;
+        // The executor keeps k + 1 live states.
+        k = k.min(max_states.saturating_sub(1));
+    }
+    if k == 0 {
+        return Partition::baseline(len, shots);
+    }
+
+    // Eq. 6: uniform arity for the remaining subcircuits.
+    let ar = (ratio.powf(1.0 / k as f64).floor() as u64).max(2);
+    // Raise A0 until the tree yields at least `shots` outcomes (this is how
+    // the paper's QFT-14 example reaches A0 = 500 from Eq. 5's estimate).
+    let reuse: u64 = ar.pow(k as u32);
+    let a0 = a0.max(shots.div_ceil(reuse));
+
+    let mut arities = Vec::with_capacity(k + 1);
+    arities.push(a0);
+    arities.extend(std::iter::repeat_n(ar, k));
+    let tree = TreeStructure::new(arities).expect("arities are positive");
+
+    // Boundaries: prefix, then the remainder in k equal chunks.
+    let mut boundaries = Vec::with_capacity(k + 2);
+    boundaries.push(0);
+    boundaries.push(l0);
+    for i in 1..=k {
+        boundaries.push(l0 + remaining * i / k);
+    }
+    Partition::new(boundaries, tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqsim_circuit::generators;
+
+    #[test]
+    fn sample_size_matches_textbook_values() {
+        // Classic cochran example: p=0.5, z=1.96, e=0.05, infinite N ≈ 385.
+        let n = sample_size(1.96, 0.05, 0.5, 1_000_000_000);
+        assert!((380..=390).contains(&n), "{n}");
+        // Finite-population correction shrinks it.
+        let n_small = sample_size(1.96, 0.05, 0.5, 1000);
+        assert!(n_small < n);
+        assert!((270..=290).contains(&n_small), "{n_small}");
+    }
+
+    #[test]
+    fn sample_size_clamps() {
+        assert_eq!(sample_size(1.96, 0.03, 0.0, 100), 1);
+        assert!(sample_size(1.96, 0.001, 0.5, 100) <= 100);
+    }
+
+    #[test]
+    fn qft14_reproduces_paper_plan() {
+        // Paper §5.1: QFT_14 (472 gates), 0.1 %/1.5 % depolarizing, 32 000
+        // shots → 7 subcircuits, 500 shots on the first, theoretical max
+        // speedup 3.53×.
+        let c = generators::qft(14);
+        let noise = tqsim_noise::NoiseModel::sycamore();
+        let cfg = DcpConfig { copy_cost: 20.0, ..DcpConfig::default() };
+        let p = plan_dcp(&c, &noise, 32_000, &cfg).unwrap();
+        assert_eq!(p.k(), 7, "subcircuits: {}", p.k());
+        let arities = p.tree.arities();
+        assert_eq!(arities[0], 500, "A0 = {}", arities[0]);
+        assert!(arities[1..].iter().all(|&a| a == 2));
+        assert!(p.tree.outcomes() >= 32_000);
+    }
+
+    #[test]
+    fn short_circuit_falls_back_to_baseline() {
+        let c = generators::bv(6); // 16 gates
+        let noise = tqsim_noise::NoiseModel::sycamore();
+        let cfg = DcpConfig { copy_cost: 30.0, ..DcpConfig::default() };
+        let p = plan_dcp(&c, &noise, 1000, &cfg).unwrap();
+        assert_eq!(p.k(), 1);
+        assert_eq!(p.tree.outcomes(), 1000);
+    }
+
+    #[test]
+    fn bv_gets_two_subcircuits_with_moderate_copy_cost() {
+        // The paper's BV observation: only 2 subcircuits fit.
+        let c = generators::bv(16); // 46 gates
+        let noise = tqsim_noise::NoiseModel::sycamore();
+        let cfg = DcpConfig { copy_cost: 20.0, ..DcpConfig::default() };
+        let p = plan_dcp(&c, &noise, 32_000, &cfg).unwrap();
+        assert_eq!(p.k(), 2, "tree = {}", p.tree);
+    }
+
+    #[test]
+    fn memory_budget_caps_depth() {
+        let c = generators::qft(14);
+        let noise = tqsim_noise::NoiseModel::sycamore();
+        // Room for only 3 states of 2^14 amplitudes (16·2^14 = 256 KiB each).
+        let cfg = DcpConfig {
+            copy_cost: 20.0,
+            memory_budget_bytes: Some(3 * 16 * (1 << 14)),
+            ..DcpConfig::default()
+        };
+        let p = plan_dcp(&c, &noise, 32_000, &cfg).unwrap();
+        assert!(p.k() <= 3, "k = {}", p.k());
+    }
+
+    #[test]
+    fn max_subcircuits_respected() {
+        let c = generators::qft(14);
+        let noise = tqsim_noise::NoiseModel::sycamore();
+        let cfg =
+            DcpConfig { copy_cost: 20.0, max_subcircuits: Some(3), ..DcpConfig::default() };
+        let p = plan_dcp(&c, &noise, 32_000, &cfg).unwrap();
+        assert!(p.k() <= 3);
+    }
+
+    #[test]
+    fn outcomes_always_cover_shots() {
+        let noise = tqsim_noise::NoiseModel::sycamore();
+        for shots in [100u64, 777, 1000, 4096, 32_000] {
+            for gen in [generators::qft(10), generators::bv(12), generators::qv(10, 1)] {
+                let p = plan_dcp(&gen, &noise, shots, &DcpConfig::default()).unwrap();
+                assert!(p.tree.outcomes() >= shots, "{} < {shots} for {}", p.tree.outcomes(), p.tree);
+            }
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad = DcpConfig { margin: 0.0, ..DcpConfig::default() };
+        assert!(bad.validate().is_err());
+    }
+}

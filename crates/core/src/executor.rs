@@ -1,0 +1,366 @@
+//! DFS tree executor with intermediate-state reuse (paper §3.1/Fig. 7).
+
+use crate::partition::{Partition, PlanError};
+use crate::tree::TreeStructure;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use tqsim_circuit::Circuit;
+use tqsim_noise::NoiseModel;
+use tqsim_statevec::{OpCounts, StateVector};
+
+/// Measurement histogram of a simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counts {
+    n_qubits: u16,
+    map: HashMap<u64, u64>,
+}
+
+impl Counts {
+    /// An empty histogram for `n_qubits`-bit outcomes.
+    pub fn new(n_qubits: u16) -> Self {
+        Counts { n_qubits, map: HashMap::new() }
+    }
+
+    /// Register width of the outcomes.
+    pub fn n_qubits(&self) -> u16 {
+        self.n_qubits
+    }
+
+    /// Record one observation of `outcome`.
+    pub fn increment(&mut self, outcome: u64) {
+        *self.map.entry(outcome).or_insert(0) += 1;
+    }
+
+    /// Observations of a specific outcome.
+    pub fn get(&self, outcome: u64) -> u64 {
+        self.map.get(&outcome).copied().unwrap_or(0)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.map.values().sum()
+    }
+
+    /// Number of distinct outcomes observed.
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterate `(outcome, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The empirical distribution as a dense `2^n` vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty or wider than 26 qubits (dense
+    /// expansion would exceed memory).
+    pub fn to_distribution(&self) -> Vec<f64> {
+        assert!(self.n_qubits <= 26, "dense distribution limited to 26 qubits");
+        let total = self.total();
+        assert!(total > 0, "empty histogram");
+        let mut p = vec![0.0; 1 << self.n_qubits];
+        for (&outcome, &count) in &self.map {
+            p[outcome as usize] = count as f64 / total as f64;
+        }
+        p
+    }
+}
+
+impl FromIterator<u64> for Counts {
+    /// Collect outcomes into a histogram; the width is set to fit the
+    /// largest outcome seen (use [`Counts::new`] + [`Counts::increment`] to
+    /// fix the width explicitly).
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut c = Counts::new(0);
+        for o in iter {
+            c.increment(o);
+            let width = 64 - o.leading_zeros() as u16;
+            c.n_qubits = c.n_qubits.max(width.max(1));
+        }
+        c
+    }
+}
+
+/// Everything a run produces: the histogram plus cost accounting.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Measurement histogram (one entry per leaf of the tree).
+    pub counts: Counts,
+    /// Primitive-operation tallies (feed to a
+    /// [`tqsim_statevec::CostProfile`] for modeled time).
+    pub ops: OpCounts,
+    /// The tree that was executed.
+    pub tree: TreeStructure,
+    /// Maximum number of concurrently live state buffers (k + 1).
+    pub peak_states: usize,
+    /// Peak amplitude memory in bytes.
+    pub peak_memory_bytes: usize,
+    /// Measured wall-clock time.
+    pub wall_time: Duration,
+}
+
+/// Execution options beyond the partition itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Outcomes drawn per leaf (default 1, the paper's semantics). Values
+    /// above 1 oversample each leaf state: `∏A_j · leaf_samples` outcomes
+    /// for the same gate work — a cheap-throughput / correlated-samples
+    /// trade the `ablation_dcp` harness quantifies.
+    pub leaf_samples: u32,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { leaf_samples: 1 }
+    }
+}
+
+/// Executes a partitioned noisy simulation, reusing intermediate states.
+///
+/// The executor walks the simulation tree depth-first keeping one state
+/// buffer per level; a node at level `i` copies its parent's state
+/// (charging one state copy), runs subcircuit `i` with fresh stochastic
+/// noise, and hands the result to its `A_{i+1}` children. Leaves sample one
+/// outcome each, so the run yields `∏ A_j` outcomes.
+pub struct TreeExecutor<'a> {
+    circuit: &'a Circuit,
+    noise: &'a NoiseModel,
+    partition: Partition,
+    subcircuits: Vec<Circuit>,
+}
+
+impl<'a> TreeExecutor<'a> {
+    /// Bind a plan to a circuit and noise model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::BadBoundaries`] if the partition does not cover
+    /// exactly the circuit's gates.
+    pub fn new(
+        circuit: &'a Circuit,
+        noise: &'a NoiseModel,
+        partition: Partition,
+    ) -> Result<Self, PlanError> {
+        if partition.covered_gates() != circuit.len() {
+            return Err(PlanError::BadBoundaries(format!(
+                "partition covers {} gates, circuit has {}",
+                partition.covered_gates(),
+                circuit.len()
+            )));
+        }
+        let subcircuits = partition.subcircuits(circuit);
+        Ok(TreeExecutor { circuit, noise, partition, subcircuits })
+    }
+
+    /// The plan being executed.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Execute the full tree with a deterministic seed.
+    pub fn run(&self, seed: u64) -> RunResult {
+        self.run_with_options(seed, ExecOptions::default())
+    }
+
+    /// Execute with explicit [`ExecOptions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.leaf_samples == 0`.
+    pub fn run_with_options(&self, seed: u64, options: ExecOptions) -> RunResult {
+        assert!(options.leaf_samples >= 1, "need at least one sample per leaf");
+        let t0 = Instant::now();
+        let n = self.circuit.n_qubits();
+        let k = self.subcircuits.len();
+        let mut counts = Counts::new(n);
+        let mut ops = OpCounts::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // One live state per tree level (+ the root) — this is exactly the
+        // "intermediate states in otherwise-unused memory" trade of §3.4.
+        let mut states: Vec<StateVector> = (0..=k).map(|_| StateVector::zero(n)).collect();
+        ops.state_resets += 1;
+
+        self.recurse(0, &mut states, &mut counts, &mut ops, &mut rng, options);
+
+        let peak_states = k + 1;
+        let peak_memory_bytes = peak_states * (16usize << n);
+        RunResult {
+            counts,
+            ops,
+            tree: self.partition.tree.clone(),
+            peak_states,
+            peak_memory_bytes,
+            wall_time: t0.elapsed(),
+        }
+    }
+
+    fn recurse(
+        &self,
+        level: usize,
+        states: &mut [StateVector],
+        counts: &mut Counts,
+        ops: &mut OpCounts,
+        rng: &mut StdRng,
+        options: ExecOptions,
+    ) {
+        let k = self.subcircuits.len();
+        if level == k {
+            for _ in 0..options.leaf_samples {
+                let outcome = states[k].sample(rng);
+                let outcome = self.noise.apply_readout(outcome, self.circuit.n_qubits(), rng);
+                counts.increment(outcome);
+                ops.samples += 1;
+            }
+            return;
+        }
+        let arity = self.partition.tree.arities()[level];
+        for _rep in 0..arity {
+            let (parents, children) = states.split_at_mut(level + 1);
+            let parent = &parents[level];
+            let child = &mut children[0];
+            child.copy_from(parent);
+            ops.state_copies += 1;
+            for gate in &self.subcircuits[level] {
+                child.apply_gate(gate);
+                ops.add_gates(gate.arity(), 1);
+                ops.noise_ops += self.noise.apply_after_gate(child, gate, rng);
+            }
+            self.recurse(level + 1, states, counts, ops, rng, options);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Strategy;
+    use crate::dcp::DcpConfig;
+    use tqsim_circuit::generators;
+
+    fn run(circuit: &Circuit, noise: &NoiseModel, strat: &Strategy, shots: u64, seed: u64) -> RunResult {
+        let p = strat.plan(circuit, noise, shots).unwrap();
+        TreeExecutor::new(circuit, noise, p).unwrap().run(seed)
+    }
+
+    #[test]
+    fn outcome_count_equals_tree_product() {
+        let c = generators::qft(6);
+        let noise = NoiseModel::sycamore();
+        let r = run(&c, &noise, &Strategy::Custom { arities: vec![5, 3, 2] }, 30, 1);
+        assert_eq!(r.counts.total(), 30);
+        assert_eq!(r.tree.to_string(), "(5,3,2)");
+        assert_eq!(r.peak_states, 4);
+    }
+
+    #[test]
+    fn op_accounting_matches_tree_math() {
+        let c = generators::qft(6); // uniform-split friendly
+        let noise = NoiseModel::ideal();
+        let r = run(&c, &noise, &Strategy::Custom { arities: vec![4, 2] }, 8, 3);
+        // Copies = subcircuit executions = 4 + 8 = 12.
+        assert_eq!(r.ops.state_copies, 12);
+        assert_eq!(r.ops.samples, 8);
+        // Gates: instances-weighted subcircuit lengths.
+        let lens = [c.len() / 2, c.len() - c.len() / 2];
+        let expect = 4 * lens[0] as u64 + 8 * lens[1] as u64;
+        assert_eq!(r.ops.total_gates(), expect);
+        assert_eq!(r.ops.noise_ops, 0, "ideal model injects nothing");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = generators::qv(6, 2);
+        let noise = NoiseModel::sycamore();
+        let a = run(&c, &noise, &Strategy::Dynamic(DcpConfig::default()), 100, 42);
+        let b = run(&c, &noise, &Strategy::Dynamic(DcpConfig::default()), 100, 42);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.ops, b.ops);
+        let c2 = run(&c, &noise, &Strategy::Dynamic(DcpConfig::default()), 100, 43);
+        assert_ne!(a.counts, c2.counts, "different seed should differ");
+    }
+
+    #[test]
+    fn noiseless_baseline_reproduces_ideal_distribution() {
+        // With an ideal model every leaf samples the exact final state.
+        let c = generators::bv(8);
+        let noise = NoiseModel::ideal();
+        let r = run(&c, &noise, &Strategy::Baseline, 400, 9);
+        // BV secret (data bits 1..6 set) must appear in every outcome's
+        // data-bit projection.
+        let secret: u64 = 0b111_1110;
+        for (outcome, _) in r.counts.iter() {
+            assert_eq!(outcome & 0x7f, secret, "outcome {outcome:#b}");
+        }
+    }
+
+    #[test]
+    fn tree_and_baseline_agree_statistically() {
+        // Chebyshev-style check on the all-important first moment: the
+        // probability of the dominant BV outcome under light noise must
+        // agree between baseline and TQSim within sampling error.
+        let c = generators::bv(8);
+        let noise = NoiseModel::sycamore();
+        let shots = 2000u64;
+        let base = run(&c, &noise, &Strategy::Baseline, shots, 7);
+        let tqs = run(&c, &noise, &Strategy::Custom { arities: vec![100, 20] }, shots, 8);
+        let secret: u64 = 0b111_1110;
+        let pb = (0..2u64)
+            .map(|anc| base.counts.get(secret | (anc << 7)))
+            .sum::<u64>() as f64
+            / base.counts.total() as f64;
+        let pt = (0..2u64)
+            .map(|anc| tqs.counts.get(secret | (anc << 7)))
+            .sum::<u64>() as f64
+            / tqs.counts.total() as f64;
+        assert!((pb - pt).abs() < 0.05, "baseline {pb:.3} vs tqsim {pt:.3}");
+        assert!(pb > 0.8, "light noise should mostly preserve the secret, got {pb}");
+    }
+
+    #[test]
+    fn mismatched_partition_rejected() {
+        let c = generators::bv(6);
+        let noise = NoiseModel::ideal();
+        let p = Partition::baseline(c.len() + 5, 10).unwrap();
+        assert!(TreeExecutor::new(&c, &noise, p).is_err());
+    }
+
+    #[test]
+    fn counts_distribution_normalises() {
+        let mut counts = Counts::new(2);
+        counts.increment(0);
+        counts.increment(0);
+        counts.increment(3);
+        let d = counts.to_distribution();
+        assert!((d[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((d[3] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leaf_oversampling_multiplies_outcomes() {
+        let c = generators::qft(6);
+        let noise = NoiseModel::sycamore();
+        let p = Strategy::Custom { arities: vec![5, 2] }.plan(&c, &noise, 10).unwrap();
+        let exec = TreeExecutor::new(&c, &noise, p).unwrap();
+        let r = exec.run_with_options(1, ExecOptions { leaf_samples: 4 });
+        assert_eq!(r.counts.total(), 40);
+        assert_eq!(r.ops.samples, 40);
+        // Gate work unchanged vs leaf_samples = 1.
+        let r1 = exec.run(1);
+        assert_eq!(r.ops.total_gates(), r1.ops.total_gates());
+    }
+
+    #[test]
+    fn counts_from_iterator() {
+        let counts: Counts = [1u64, 1, 5, 7].into_iter().collect();
+        assert_eq!(counts.get(1), 2);
+        assert_eq!(counts.total(), 4);
+        assert!(counts.n_qubits() >= 3);
+    }
+}

@@ -1,0 +1,140 @@
+//! Figures of merit: state fidelity (Eq. 8), normalized fidelity (Eq. 9),
+//! and the MSE used by the Fig. 18 QAOA-landscape study.
+
+use tqsim_circuit::Circuit;
+use tqsim_statevec::StateVector;
+
+/// Eq. 8: classical (Bhattacharyya-squared) state fidelity between two
+/// outcome distributions, `F_s(P, Q) = (Σ_x √(P(x)·Q(x)))²`.
+///
+/// # Panics
+///
+/// Panics if the distributions have different lengths.
+pub fn state_fidelity(p_ideal: &[f64], p_output: &[f64]) -> f64 {
+    assert_eq!(p_ideal.len(), p_output.len(), "distribution length mismatch");
+    let s: f64 = p_ideal
+        .iter()
+        .zip(p_output.iter())
+        .map(|(&p, &q)| (p.max(0.0) * q.max(0.0)).sqrt())
+        .sum();
+    s * s
+}
+
+/// `F_s(P_ideal, U)` for the uniform distribution `U` — the floor that
+/// Eq. 9 subtracts so random output scores 0.
+pub fn uniform_fidelity(p_ideal: &[f64]) -> f64 {
+    let n = p_ideal.len() as f64;
+    let uniform = 1.0 / n;
+    let s: f64 = p_ideal.iter().map(|&p| (p.max(0.0) * uniform).sqrt()).sum();
+    s * s
+}
+
+/// Eq. 9: normalized fidelity
+/// `F = (F_s(P_ideal, P_out) − F_s(P_ideal, U)) / (1 − F_s(P_ideal, U))`.
+///
+/// Equals 1 when the output matches the ideal distribution, ~0 for uniform
+/// noise, and can go slightly negative for adversarially bad output.
+///
+/// **Singular case.** When `P_ideal` *is* (numerically) the uniform
+/// distribution — true for QFT applied to a computational-basis input —
+/// Eq. 9's denominator vanishes and the metric is undefined. We then fall
+/// back to the plain state fidelity `F_s` (Eq. 8). Both simulators being
+/// compared are scored by the same rule, so difference plots (Figs. 14–17)
+/// remain meaningful.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn normalized_fidelity(p_ideal: &[f64], p_output: &[f64]) -> f64 {
+    let f = state_fidelity(p_ideal, p_output);
+    let fu = uniform_fidelity(p_ideal);
+    if 1.0 - fu < 1e-9 {
+        return f;
+    }
+    (f - fu) / (1.0 - fu)
+}
+
+/// Mean squared error between two equal-length series (Fig. 18's landscape
+/// comparison metric).
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty input.
+pub fn mse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series length mismatch");
+    assert!(!a.is_empty(), "empty series");
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64
+}
+
+/// The exact (noiseless) outcome distribution of a circuit, from one
+/// state-vector pass — the `P_ideal` reference of Eq. 8/9.
+pub fn ideal_distribution(circuit: &Circuit) -> Vec<f64> {
+    let mut sv = StateVector::zero(circuit.n_qubits());
+    sv.apply_circuit(circuit);
+    sv.probabilities()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_unit_fidelity() {
+        let p = vec![0.5, 0.25, 0.25, 0.0];
+        assert!((state_fidelity(&p, &p) - 1.0).abs() < 1e-12);
+        assert!((normalized_fidelity(&p, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_distributions_have_zero_fidelity() {
+        let p = vec![1.0, 0.0];
+        let q = vec![0.0, 1.0];
+        assert_eq!(state_fidelity(&p, &q), 0.0);
+        assert!(normalized_fidelity(&p, &q) < 0.0, "worse than random scores negative");
+    }
+
+    #[test]
+    fn uniform_output_scores_zero_normalized() {
+        // The problem Eq. 9 fixes: plain fidelity of uniform output is not 0.
+        let p_ideal = vec![1.0, 0.0, 0.0, 0.0];
+        let uniform = vec![0.25; 4];
+        assert!(state_fidelity(&p_ideal, &uniform) > 0.2);
+        assert!(normalized_fidelity(&p_ideal, &uniform).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_fidelity_monotone_in_noise() {
+        let p_ideal = vec![0.9, 0.1, 0.0, 0.0];
+        let mix = |w: f64| -> Vec<f64> {
+            p_ideal.iter().map(|&p| (1.0 - w) * p + w * 0.25).collect()
+        };
+        let f_low = normalized_fidelity(&p_ideal, &mix(0.1));
+        let f_high = normalized_fidelity(&p_ideal, &mix(0.6));
+        assert!(f_low > f_high, "{f_low} should exceed {f_high}");
+    }
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((mse(&[0.0, 0.0], &[1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_distribution_of_ghz() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let p = ideal_distribution(&c);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_ideal_falls_back_to_state_fidelity() {
+        // QFT-on-basis-state territory: the Eq. 9 denominator vanishes.
+        let u = vec![0.25; 4];
+        assert!((normalized_fidelity(&u, &u) - 1.0).abs() < 1e-12);
+        let skewed = vec![0.7, 0.1, 0.1, 0.1];
+        let expect = state_fidelity(&u, &skewed);
+        assert!((normalized_fidelity(&u, &skewed) - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! Analytic memory models for Fig. 4 (statevector vs density matrix) and
+//! the capacity lines the paper draws.
+
+/// Bytes per complex amplitude (two `f64`s).
+pub const BYTES_PER_AMP: usize = 16;
+
+/// Memory footprint of an `n`-qubit state vector: `16 · 2^n` bytes.
+pub fn statevector_bytes(n_qubits: u32) -> f64 {
+    BYTES_PER_AMP as f64 * 2f64.powi(n_qubits as i32)
+}
+
+/// Memory footprint of an `n`-qubit density matrix: `16 · 4^n` bytes.
+pub fn density_matrix_bytes(n_qubits: u32) -> f64 {
+    BYTES_PER_AMP as f64 * 4f64.powi(n_qubits as i32)
+}
+
+/// Total memory of a 16 GB laptop (Fig. 4's lower reference line).
+pub const LAPTOP_BYTES: f64 = 16.0 * 1024.0 * 1024.0 * 1024.0;
+
+/// Approximate aggregate memory of El Capitan, the Top-1 system the paper
+/// cites (≈ 5.4 PB across CPU+GPU).
+pub const EL_CAPITAN_BYTES: f64 = 5.4375e15;
+
+/// Largest width whose footprint (per `bytes_fn`) fits under `capacity`.
+pub fn max_qubits_within(capacity: f64, bytes_fn: impl Fn(u32) -> f64) -> u32 {
+    (1..=128).take_while(|&n| bytes_fn(n) <= capacity).last().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_scaling() {
+        assert_eq!(statevector_bytes(10), 16.0 * 1024.0);
+        assert_eq!(density_matrix_bytes(10), 16.0 * 1024.0 * 1024.0);
+    }
+
+    #[test]
+    fn fig4_headline_claims() {
+        // "the density matrix simulator handles fewer than 25 qubits on El
+        // Capitan, while the statevector simulator manages over 30 qubits on
+        // a 16 GB laptop."
+        let dm_el_capitan = max_qubits_within(EL_CAPITAN_BYTES, density_matrix_bytes);
+        assert!(dm_el_capitan < 25, "DM on El Capitan: {dm_el_capitan}");
+        let sv_laptop = max_qubits_within(LAPTOP_BYTES, statevector_bytes);
+        assert!(sv_laptop >= 30, "SV on laptop: {sv_laptop}");
+    }
+}

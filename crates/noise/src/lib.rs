@@ -1,0 +1,36 @@
+//! # tqsim-noise
+//!
+//! Error channels and noise models for Monte-Carlo (quantum-trajectory)
+//! state-vector simulation — the noise substrate of the TQSim reproduction.
+//!
+//! Supported channels (paper §4.3): depolarizing (DC), thermal relaxation
+//! (TR), amplitude damping (AD), phase damping (PD) and classical readout
+//! error (R). Channels provide both stochastic trajectory branches (for the
+//! pure-state engines) and exact Kraus operators (for the density-matrix
+//! ground truth).
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use tqsim_circuit::Circuit;
+//! use tqsim_noise::NoiseModel;
+//! use tqsim_statevec::StateVector;
+//!
+//! let mut circuit = Circuit::new(2);
+//! circuit.h(0).cx(0, 1);
+//! let noise = NoiseModel::sycamore();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let mut sv = StateVector::zero(2);
+//! for gate in &circuit {
+//!     sv.apply_gate(gate);
+//!     noise.apply_after_gate(&mut sv, gate, &mut rng);
+//! }
+//! assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod model;
+
+pub use channel::Channel;
+pub use model::{fig16_models, NoiseModel, ReadoutError};

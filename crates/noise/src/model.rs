@@ -1,0 +1,398 @@
+//! [`NoiseModel`]: binding channels to gates, plus readout error.
+
+use crate::channel::Channel;
+use rand::{Rng, RngExt};
+use tqsim_circuit::Gate;
+use tqsim_statevec::QuantumState;
+
+/// Classical readout error: each measured bit flips with the given
+/// direction-dependent probability (the paper's "R" channel, §4.3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReadoutError {
+    /// P(read 1 | true 0).
+    pub p0to1: f64,
+    /// P(read 0 | true 1).
+    pub p1to0: f64,
+}
+
+impl ReadoutError {
+    /// Symmetric readout error with flip probability `p` in both directions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn symmetric(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "readout probability {p} outside [0,1]");
+        ReadoutError { p0to1: p, p1to0: p }
+    }
+
+    /// Apply the error to an `n_qubits`-bit outcome.
+    pub fn apply<R: Rng + ?Sized>(&self, outcome: u64, n_qubits: u16, rng: &mut R) -> u64 {
+        let mut out = outcome;
+        for q in 0..n_qubits {
+            let bit = (outcome >> q) & 1;
+            let p = if bit == 0 { self.p0to1 } else { self.p1to0 };
+            if p > 0.0 && rng.random::<f64>() < p {
+                out ^= 1 << q;
+            }
+        }
+        out
+    }
+}
+
+/// A noise model: channels applied after every gate (separately configured
+/// for single- and multi-qubit gates) plus optional readout error.
+///
+/// ```
+/// use tqsim_noise::NoiseModel;
+/// let nm = NoiseModel::sycamore();
+/// assert!(!nm.is_ideal());
+/// assert!((nm.error_rate_1q() - 0.001).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct NoiseModel {
+    name: String,
+    channels_1q: Vec<Channel>,
+    channels_2q: Vec<Channel>,
+    readout: Option<ReadoutError>,
+}
+
+impl NoiseModel {
+    /// The noiseless model.
+    pub fn ideal() -> Self {
+        NoiseModel { name: "ideal".into(), ..Default::default() }
+    }
+
+    /// Depolarizing noise with separate single-/two-qubit error rates
+    /// (the paper's default "DC" configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range probabilities.
+    pub fn depolarizing(p1: f64, p2: f64) -> Self {
+        NoiseModel::ideal()
+            .named("depolarizing")
+            .with_channel_1q(Channel::Depolarizing { p: p1 })
+            .with_channel_2q(Channel::Depolarizing { p: p2 })
+    }
+
+    /// The Google Sycamore-derived rates the paper evaluates with
+    /// (§4.3): 0.1 % single-qubit, 1.5 % two-qubit depolarizing.
+    pub fn sycamore() -> Self {
+        NoiseModel::depolarizing(0.001, 0.015).named("sycamore-dc")
+    }
+
+    /// Thermal relaxation ("TR") with Sycamore-flavoured constants:
+    /// T1 = 15 µs, T2 = 16 µs, 25 ns single-qubit / 32 ns two-qubit gates.
+    pub fn thermal_relaxation_sycamore() -> Self {
+        NoiseModel::ideal()
+            .named("thermal-relaxation")
+            .with_channel_1q(Channel::ThermalRelaxation {
+                t1: 15e-6,
+                t2: 16e-6,
+                gate_time: 25e-9,
+            })
+            .with_channel_2q(Channel::ThermalRelaxation {
+                t1: 15e-6,
+                t2: 16e-6,
+                gate_time: 32e-9,
+            })
+    }
+
+    /// Amplitude damping ("AD") with the paper's ratio 0.01 on every gate.
+    pub fn amplitude_damping(gamma: f64) -> Self {
+        NoiseModel::ideal()
+            .named("amplitude-damping")
+            .with_channel_1q(Channel::AmplitudeDamping { gamma })
+            .with_channel_2q(Channel::AmplitudeDamping { gamma })
+    }
+
+    /// Phase damping ("PD") with the paper's ratio 0.01 on every gate.
+    pub fn phase_damping(lambda: f64) -> Self {
+        NoiseModel::ideal()
+            .named("phase-damping")
+            .with_channel_1q(Channel::PhaseDamping { lambda })
+            .with_channel_2q(Channel::PhaseDamping { lambda })
+    }
+
+    /// Rename the model (used by harness tables).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Add a channel applied after every single-qubit gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel parameters are invalid.
+    pub fn with_channel_1q(mut self, ch: Channel) -> Self {
+        ch.validate().expect("invalid channel");
+        self.channels_1q.push(ch);
+        self
+    }
+
+    /// Add a channel applied after every multi-qubit gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel parameters are invalid.
+    pub fn with_channel_2q(mut self, ch: Channel) -> Self {
+        ch.validate().expect("invalid channel");
+        self.channels_2q.push(ch);
+        self
+    }
+
+    /// Attach readout error.
+    pub fn with_readout(mut self, ro: ReadoutError) -> Self {
+        self.readout = Some(ro);
+        self
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the model has no gate channels and no readout error.
+    pub fn is_ideal(&self) -> bool {
+        self.channels_1q.is_empty() && self.channels_2q.is_empty() && self.readout.is_none()
+    }
+
+    /// Channels bound to single-qubit gates.
+    pub fn channels_1q(&self) -> &[Channel] {
+        &self.channels_1q
+    }
+
+    /// Channels bound to multi-qubit gates.
+    pub fn channels_2q(&self) -> &[Channel] {
+        &self.channels_2q
+    }
+
+    /// The readout error, if any.
+    pub fn readout(&self) -> Option<ReadoutError> {
+        self.readout
+    }
+
+    /// Combined per-gate error probability for single-qubit gates
+    /// (`1 − ∏(1 − e_ch)`).
+    pub fn error_rate_1q(&self) -> f64 {
+        combine(self.channels_1q.iter().map(Channel::error_probability))
+    }
+
+    /// Combined per-gate error probability for multi-qubit gates.
+    pub fn error_rate_2q(&self) -> f64 {
+        combine(self.channels_2q.iter().map(Channel::error_probability))
+    }
+
+    /// The per-gate error rate `e_i` DCP's Eq. 4 consumes for `gate`.
+    pub fn gate_error_rate(&self, gate: &Gate) -> f64 {
+        if gate.arity() == 1 {
+            self.error_rate_1q()
+        } else {
+            self.error_rate_2q()
+        }
+    }
+
+    /// Stochastically apply the model's channels after `gate` was executed
+    /// on `sv`. Returns the number of noise-operator applications performed
+    /// (for [`tqsim_statevec::OpCounts`] accounting).
+    ///
+    /// Convention (paper Fig. 2): single-qubit gates draw from the 1q
+    /// channel set on their qubit; wider gates draw from the 2q channel set
+    /// — depolarizing jointly over the first two qubits, damping-style
+    /// channels independently per touched qubit.
+    pub fn apply_after_gate<S, R>(&self, sv: &mut S, gate: &Gate, rng: &mut R) -> u64
+    where
+        S: QuantumState + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let qs = gate.qubits();
+        let mut ops = 0u64;
+        if gate.arity() == 1 {
+            for ch in &self.channels_1q {
+                ch.apply_1q(sv, qs[0], rng);
+                ops += 1;
+            }
+        } else {
+            for ch in &self.channels_2q {
+                match ch {
+                    Channel::Depolarizing { .. } => {
+                        ch.apply_2q(sv, qs[0], qs[1], rng);
+                        ops += 1;
+                        // Toffoli's third qubit shares the two-qubit rate.
+                        if let Some(&q3) = qs.get(2) {
+                            ch.apply_2q(sv, qs[0], q3, rng);
+                            ops += 1;
+                        }
+                    }
+                    _ => {
+                        for &q in qs {
+                            ch.apply_1q(sv, q, rng);
+                            ops += 1;
+                        }
+                    }
+                }
+            }
+        }
+        ops
+    }
+
+    /// Apply readout error (if configured) to a sampled outcome.
+    pub fn apply_readout<R: Rng + ?Sized>(&self, outcome: u64, n_qubits: u16, rng: &mut R) -> u64 {
+        match self.readout {
+            Some(ro) => ro.apply(outcome, n_qubits, rng),
+            None => outcome,
+        }
+    }
+
+    /// If the model is purely depolarizing (one DC channel per arity, no
+    /// readout), return `(p1, p2)` — consumed by the redundancy-elimination
+    /// baseline, which needs discrete error tags.
+    pub fn depolarizing_rates(&self) -> Option<(f64, f64)> {
+        match (self.channels_1q.as_slice(), self.channels_2q.as_slice(), self.readout) {
+            (
+                [Channel::Depolarizing { p: p1 }],
+                [Channel::Depolarizing { p: p2 }],
+                None,
+            ) => Some((*p1, *p2)),
+            _ => None,
+        }
+    }
+}
+
+fn combine(rates: impl Iterator<Item = f64>) -> f64 {
+    1.0 - rates.fold(1.0, |acc, e| acc * (1.0 - e))
+}
+
+/// The nine noise-model combinations of the paper's Fig. 16, in x-axis
+/// order: DC, DCR, TR, TRR, AD, ADR, PD, PDR, ALL.
+pub fn fig16_models() -> Vec<NoiseModel> {
+    let ro = ReadoutError::symmetric(0.02);
+    let dc = NoiseModel::sycamore().named("DC");
+    let tr = NoiseModel::thermal_relaxation_sycamore().named("TR");
+    let ad = NoiseModel::amplitude_damping(0.01).named("AD");
+    let pd = NoiseModel::phase_damping(0.01).named("PD");
+    let all = NoiseModel::sycamore()
+        .named("ALL")
+        .with_channel_1q(Channel::ThermalRelaxation { t1: 15e-6, t2: 16e-6, gate_time: 25e-9 })
+        .with_channel_2q(Channel::ThermalRelaxation { t1: 15e-6, t2: 16e-6, gate_time: 32e-9 })
+        .with_channel_1q(Channel::AmplitudeDamping { gamma: 0.01 })
+        .with_channel_2q(Channel::AmplitudeDamping { gamma: 0.01 })
+        .with_channel_1q(Channel::PhaseDamping { lambda: 0.01 })
+        .with_channel_2q(Channel::PhaseDamping { lambda: 0.01 })
+        .with_readout(ro);
+    vec![
+        dc.clone(),
+        dc.with_readout(ro).named("DCR"),
+        tr.clone(),
+        tr.with_readout(ro).named("TRR"),
+        ad.clone(),
+        ad.with_readout(ro).named("ADR"),
+        pd.clone(),
+        pd.with_readout(ro).named("PDR"),
+        all,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tqsim_circuit::{Gate, GateKind};
+    use tqsim_statevec::StateVector;
+
+    #[test]
+    fn sycamore_rates() {
+        let nm = NoiseModel::sycamore();
+        assert!((nm.error_rate_1q() - 0.001).abs() < 1e-12);
+        assert!((nm.error_rate_2q() - 0.015).abs() < 1e-12);
+        assert_eq!(nm.depolarizing_rates(), Some((0.001, 0.015)));
+    }
+
+    #[test]
+    fn ideal_model_is_inert() {
+        let nm = NoiseModel::ideal();
+        assert!(nm.is_ideal());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut sv = StateVector::zero(2);
+        let before = sv.clone();
+        let ops = nm.apply_after_gate(&mut sv, &Gate::new(GateKind::H, &[0]), &mut rng);
+        assert_eq!(ops, 0);
+        assert_eq!(sv.amplitudes(), before.amplitudes());
+        assert_eq!(nm.apply_readout(0b11, 2, &mut rng), 0b11);
+    }
+
+    #[test]
+    fn combined_error_rate_stacks() {
+        let nm = NoiseModel::depolarizing(0.1, 0.2)
+            .with_channel_1q(Channel::AmplitudeDamping { gamma: 0.1 });
+        // 1 - 0.9*0.9 = 0.19
+        assert!((nm.error_rate_1q() - 0.19).abs() < 1e-12);
+        assert_eq!(nm.depolarizing_rates(), None, "extra channel disables DC fast path");
+    }
+
+    #[test]
+    fn gate_error_rate_by_arity() {
+        let nm = NoiseModel::sycamore();
+        assert!(
+            (nm.gate_error_rate(&Gate::new(GateKind::H, &[0])) - 0.001).abs() < 1e-12
+        );
+        assert!(
+            (nm.gate_error_rate(&Gate::new(GateKind::Cx, &[0, 1])) - 0.015).abs() < 1e-12
+        );
+        assert!(
+            (nm.gate_error_rate(&Gate::new(GateKind::Ccx, &[0, 1, 2])) - 0.015).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn readout_flip_rate() {
+        let ro = ReadoutError::symmetric(0.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut flips = 0u32;
+        for _ in 0..2000 {
+            if ro.apply(0b0, 1, &mut rng) == 1 {
+                flips += 1;
+            }
+        }
+        let rate = f64::from(flips) / 2000.0;
+        assert!((rate - 0.5).abs() < 0.05, "rate = {rate}");
+    }
+
+    #[test]
+    fn asymmetric_readout() {
+        let ro = ReadoutError { p0to1: 0.0, p1to0: 1.0 };
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(ro.apply(0b111, 3, &mut rng), 0b000);
+        assert_eq!(ro.apply(0b000, 3, &mut rng), 0b000);
+    }
+
+    #[test]
+    fn fig16_lineup() {
+        let models = fig16_models();
+        let names: Vec<&str> = models.iter().map(NoiseModel::name).collect();
+        assert_eq!(names, ["DC", "DCR", "TR", "TRR", "AD", "ADR", "PD", "PDR", "ALL"]);
+        for m in &models {
+            assert!(!m.is_ideal());
+        }
+        // Readout variants carry the R channel.
+        assert!(models[1].readout().is_some());
+        assert!(models[0].readout().is_none());
+    }
+
+    #[test]
+    fn noisy_gate_application_keeps_norm() {
+        let nm = fig16_models().pop().unwrap(); // ALL
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sv = StateVector::zero(3);
+        let mut prep = tqsim_circuit::Circuit::new(3);
+        prep.h(0).cx(0, 1).cx(1, 2);
+        for g in prep.gates().to_vec() {
+            sv.apply_gate(&g);
+            nm.apply_after_gate(&mut sv, &g, &mut rng);
+            assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Backend cost profiles (the paper's Fig. 10 and Table 1 systems).
+//!
+//! No GPU or HPC node is available in a reproduction environment, but the
+//! paper's own argument (§5.2) is that TQSim's speedup is a ratio of
+//! *operation counts* weighted by a platform's gate-vs-copy cost ratio. A
+//! [`CostProfile`] captures exactly those weights, so modeled time on a
+//! profile reproduces the backend-dependent figures (Fig. 10, Fig. 12)
+//! without the hardware.
+
+use crate::ops::OpCounts;
+
+/// Per-operation costs of a simulation platform, in arbitrary time units
+/// per full pass over the state. Ratios — not absolute values — are what
+/// the experiments consume.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostProfile {
+    /// Human-readable platform name.
+    pub name: &'static str,
+    /// Cost of one single-qubit gate pass.
+    pub gate_1q: f64,
+    /// Cost of one two-qubit gate pass.
+    pub gate_2q: f64,
+    /// Cost of one three-qubit gate pass.
+    pub gate_3q: f64,
+    /// Cost of one stochastic noise operator (marginal + Kraus + renorm).
+    pub noise_op: f64,
+    /// Cost of one full state copy.
+    pub copy: f64,
+    /// Cost of drawing one sample (≈ half a pass).
+    pub sample: f64,
+}
+
+impl CostProfile {
+    /// Build a profile from a single-qubit gate cost and the platform's
+    /// copy-to-gate ratio (the quantity Fig. 10 plots); other weights use
+    /// fixed multipliers measured on the reference CPU engine.
+    pub fn from_copy_ratio(name: &'static str, gate_1q: f64, copy_ratio: f64) -> Self {
+        CostProfile {
+            name,
+            gate_1q,
+            gate_2q: 1.8 * gate_1q,
+            gate_3q: 2.2 * gate_1q,
+            noise_op: 2.5 * gate_1q,
+            copy: copy_ratio * gate_1q,
+            sample: 0.5 * gate_1q,
+        }
+    }
+
+    /// Modeled execution time for an operation tally.
+    pub fn modeled_time(&self, ops: &OpCounts) -> f64 {
+        self.gate_1q * ops.gates_1q as f64
+            + self.gate_2q * ops.gates_2q as f64
+            + self.gate_3q * ops.gates_3q as f64
+            + self.noise_op * ops.noise_ops as f64
+            + self.copy * (ops.state_copies + ops.state_resets) as f64
+            + self.sample * ops.samples as f64
+    }
+
+    /// The state-copy cost normalised to one gate — the y-axis of Fig. 10.
+    pub fn copy_cost_in_gates(&self) -> f64 {
+        self.copy / self.gate_1q
+    }
+
+    // ---- the six Fig. 10 systems -------------------------------------------
+
+    /// Desktop GPU: 12 GB NVIDIA RTX 3060 (GDDR5). Copy ≈ 10 gates.
+    pub fn desktop_gpu_rtx3060() -> Self {
+        Self::from_copy_ratio("RTX 3060 (desktop GPU)", 1.0, 10.0)
+    }
+
+    /// Desktop CPU: 16 GB AMD Ryzen 3800X (DDR4). Copy ≈ 13 gates.
+    pub fn desktop_cpu_ryzen3800x() -> Self {
+        Self::from_copy_ratio("Ryzen 3800X (desktop CPU)", 4.0, 13.0)
+    }
+
+    /// Desktop CPU: 16 GB Intel Core i7 (DDR4). Copy ≈ 16 gates.
+    pub fn desktop_cpu_i7() -> Self {
+        Self::from_copy_ratio("Core i7 (desktop CPU)", 4.5, 16.0)
+    }
+
+    /// Server CPU: 128 GB Intel Xeon 6138 (DDR4). Copy ≈ 42 gates (server
+    /// memories are slower while gates finish faster on many cores — §3.6).
+    pub fn server_cpu_xeon6138() -> Self {
+        Self::from_copy_ratio("Xeon 6138 (server CPU)", 1.5, 42.0)
+    }
+
+    /// Server CPU: 192 GB Intel Xeon 6130 (DDR4) — the paper's main testbed.
+    /// Copy ≈ 46 gates.
+    pub fn server_cpu_xeon6130() -> Self {
+        Self::from_copy_ratio("Xeon 6130 (server CPU)", 1.5, 46.0)
+    }
+
+    /// Datacenter GPU: 16 GB NVIDIA V100 (HBM2) — lowest copy cost ≈ 5.
+    pub fn gpu_v100() -> Self {
+        Self::from_copy_ratio("Tesla V100 (HBM2 GPU)", 0.4, 5.0)
+    }
+
+    /// Datacenter GPU: 40 GB NVIDIA A100 — the paper's cuQuantum platform
+    /// (§5.2). Copy ≈ 6 gates.
+    pub fn gpu_a100() -> Self {
+        Self::from_copy_ratio("A100 (cuStateVec GPU)", 0.3, 6.0)
+    }
+
+    /// All Fig. 10 systems in the paper's left-to-right order.
+    pub fn fig10_systems() -> [CostProfile; 6] {
+        [
+            Self::desktop_gpu_rtx3060(),
+            Self::desktop_cpu_ryzen3800x(),
+            Self::desktop_cpu_i7(),
+            Self::server_cpu_xeon6138(),
+            Self::server_cpu_xeon6130(),
+            Self::gpu_v100(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_ratio_roundtrips() {
+        for p in CostProfile::fig10_systems() {
+            assert!(p.copy_cost_in_gates() > 0.0);
+        }
+        assert!((CostProfile::gpu_v100().copy_cost_in_gates() - 5.0).abs() < 1e-12);
+        assert!((CostProfile::server_cpu_xeon6130().copy_cost_in_gates() - 46.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn server_cpus_have_highest_copy_cost() {
+        // The paper's §3.6 observation.
+        let systems = CostProfile::fig10_systems();
+        let server_min = systems[3].copy_cost_in_gates().min(systems[4].copy_cost_in_gates());
+        for p in [systems[0], systems[1], systems[2], systems[5]] {
+            assert!(p.copy_cost_in_gates() < server_min, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn modeled_time_is_linear() {
+        let p = CostProfile::gpu_a100();
+        let a = OpCounts { gates_1q: 10, state_copies: 1, ..Default::default() };
+        let b = OpCounts { gates_1q: 20, state_copies: 2, ..Default::default() };
+        assert!((2.0 * p.modeled_time(&a) - p.modeled_time(&b)).abs() < 1e-9);
+    }
+}

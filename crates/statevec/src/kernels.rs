@@ -1,0 +1,412 @@
+//! Low-level amplitude-array kernels.
+//!
+//! All kernels are safe Rust: parallelism comes from `rayon` chunking plus
+//! `split_at_mut`, never from raw-pointer aliasing. Each kernel switches to
+//! a serial loop below [`PAR_MIN_LEN`] amplitudes, where rayon's scheduling
+//! overhead would dominate.
+
+use rayon::prelude::*;
+use tqsim_circuit::math::{C64, Mat2, Mat4};
+
+/// Below this many amplitudes, kernels run serially.
+pub const PAR_MIN_LEN: usize = 1 << 14;
+
+/// Inner pair loops longer than this are themselves parallelised.
+const INNER_PAR_MIN: usize = 1 << 15;
+
+/// Visit every amplitude pair `(lo, hi)` differing only in bit `q`.
+#[inline]
+pub fn for_each_pair<F>(amps: &mut [C64], q: usize, f: F)
+where
+    F: Fn(&mut C64, &mut C64) + Sync + Send,
+{
+    let step = 1usize << q;
+    let block = step << 1;
+    debug_assert!(block <= amps.len(), "qubit {q} out of range");
+    if amps.len() < PAR_MIN_LEN {
+        for chunk in amps.chunks_mut(block) {
+            let (lo, hi) = chunk.split_at_mut(step);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                f(a, b);
+            }
+        }
+    } else {
+        amps.par_chunks_mut(block).for_each(|chunk| {
+            let (lo, hi) = chunk.split_at_mut(step);
+            if step >= INNER_PAR_MIN {
+                lo.par_iter_mut().zip(hi.par_iter_mut()).for_each(|(a, b)| f(a, b));
+            } else {
+                for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                    f(a, b);
+                }
+            }
+        });
+    }
+}
+
+/// Visit every amplitude pair on bit `q` together with the *global index* of
+/// the `lo` element — used by controlled gates to test control bits (which
+/// are identical for both pair members since controls ≠ target).
+#[inline]
+pub fn for_each_pair_indexed<F>(amps: &mut [C64], q: usize, f: F)
+where
+    F: Fn(usize, &mut C64, &mut C64) + Sync + Send,
+{
+    let step = 1usize << q;
+    let block = step << 1;
+    debug_assert!(block <= amps.len(), "qubit {q} out of range");
+    if amps.len() < PAR_MIN_LEN {
+        for (ci, chunk) in amps.chunks_mut(block).enumerate() {
+            let base = ci * block;
+            let (lo, hi) = chunk.split_at_mut(step);
+            for (i, (a, b)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+                f(base + i, a, b);
+            }
+        }
+    } else {
+        amps.par_chunks_mut(block).enumerate().for_each(|(ci, chunk)| {
+            let base = ci * block;
+            let (lo, hi) = chunk.split_at_mut(step);
+            for (i, (a, b)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+                f(base + i, a, b);
+            }
+        });
+    }
+}
+
+/// Visit every amplitude quadruple on bits `q0 < q1`, ordered
+/// `(a00, a01, a10, a11)` where the first index bit is `q1` and the second
+/// is `q0`.
+#[inline]
+pub fn for_each_quad<F>(amps: &mut [C64], q0: usize, q1: usize, f: F)
+where
+    F: Fn(&mut C64, &mut C64, &mut C64, &mut C64) + Sync + Send,
+{
+    debug_assert!(q0 < q1, "for_each_quad requires q0 < q1");
+    let s0 = 1usize << q0;
+    let s1 = 1usize << q1;
+    let block = s1 << 1;
+    debug_assert!(block <= amps.len(), "qubit {q1} out of range");
+
+    let inner = |chunk: &mut [C64]| {
+        let (a, b) = chunk.split_at_mut(s1);
+        for (ca, cb) in a.chunks_mut(s0 << 1).zip(b.chunks_mut(s0 << 1)) {
+            let (a0, a1) = ca.split_at_mut(s0);
+            let (b0, b1) = cb.split_at_mut(s0);
+            for i in 0..s0 {
+                f(&mut a0[i], &mut a1[i], &mut b0[i], &mut b1[i]);
+            }
+        }
+    };
+
+    if amps.len() < PAR_MIN_LEN {
+        for chunk in amps.chunks_mut(block) {
+            inner(chunk);
+        }
+    } else {
+        amps.par_chunks_mut(block).for_each(|chunk| {
+            let (a, b) = chunk.split_at_mut(s1);
+            a.par_chunks_mut(s0 << 1)
+                .zip(b.par_chunks_mut(s0 << 1))
+                .for_each(|(ca, cb)| {
+                    let (a0, a1) = ca.split_at_mut(s0);
+                    let (b0, b1) = cb.split_at_mut(s0);
+                    for i in 0..s0 {
+                        f(&mut a0[i], &mut a1[i], &mut b0[i], &mut b1[i]);
+                    }
+                });
+        });
+    }
+}
+
+/// Visit every amplitude with its global index (for diagonal operators).
+#[inline]
+pub fn for_each_amp_indexed<F>(amps: &mut [C64], f: F)
+where
+    F: Fn(usize, &mut C64) + Sync + Send,
+{
+    if amps.len() < PAR_MIN_LEN {
+        for (i, a) in amps.iter_mut().enumerate() {
+            f(i, a);
+        }
+    } else {
+        amps.par_iter_mut().enumerate().for_each(|(i, a)| f(i, a));
+    }
+}
+
+// ---- gate kernels ---------------------------------------------------------
+
+/// Generic single-qubit unitary on qubit `q`.
+pub fn apply_mat2(amps: &mut [C64], q: usize, m: &Mat2) {
+    let [[m00, m01], [m10, m11]] = m.0;
+    for_each_pair(amps, q, move |a, b| {
+        let (x, y) = (*a, *b);
+        *a = m00 * x + m01 * y;
+        *b = m10 * x + m11 * y;
+    });
+}
+
+/// Pauli X on qubit `q` (pair swap).
+pub fn apply_x(amps: &mut [C64], q: usize) {
+    for_each_pair(amps, q, std::mem::swap);
+}
+
+/// Pauli Y on qubit `q`.
+pub fn apply_y(amps: &mut [C64], q: usize) {
+    let i = C64::new(0.0, 1.0);
+    let mi = C64::new(0.0, -1.0);
+    for_each_pair(amps, q, move |a, b| {
+        let (x, y) = (*a, *b);
+        *a = mi * y;
+        *b = i * x;
+    });
+}
+
+/// Hadamard on qubit `q`.
+pub fn apply_h(amps: &mut [C64], q: usize) {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    for_each_pair(amps, q, move |a, b| {
+        let (x, y) = (*a, *b);
+        *a = (x + y) * s;
+        *b = (x - y) * s;
+    });
+}
+
+/// Diagonal single-qubit operator `diag(d0, d1)` on qubit `q`
+/// (covers Z, S, T, RZ, phase and the diagonal Kraus branches).
+pub fn apply_diag1(amps: &mut [C64], q: usize, d0: C64, d1: C64) {
+    let mask = 1usize << q;
+    for_each_amp_indexed(amps, move |i, a| {
+        *a *= if i & mask == 0 { d0 } else { d1 };
+    });
+}
+
+/// Anti-diagonal single-qubit operator `[[0, a01], [a10, 0]]` on qubit `q`
+/// (covers the jump branches of amplitude-damping-style Kraus channels).
+pub fn apply_antidiag1(amps: &mut [C64], q: usize, a01: C64, a10: C64) {
+    for_each_pair(amps, q, move |a, b| {
+        let (x, y) = (*a, *b);
+        *a = a01 * y;
+        *b = a10 * x;
+    });
+}
+
+/// CNOT with control `c`, target `t`.
+pub fn apply_cx(amps: &mut [C64], c: usize, t: usize) {
+    let cmask = 1usize << c;
+    for_each_pair_indexed(amps, t, move |idx, a, b| {
+        if idx & cmask != 0 {
+            std::mem::swap(a, b);
+        }
+    });
+}
+
+/// Diagonal two-qubit operator `diag(d00, d01, d10, d11)` on `(q_hi, q_lo)`
+/// where the first index bit is `q_hi` (covers CZ, CPhase, RZZ).
+pub fn apply_diag2(amps: &mut [C64], q_hi: usize, q_lo: usize, d: [C64; 4]) {
+    let hi = 1usize << q_hi;
+    let lo = 1usize << q_lo;
+    for_each_amp_indexed(amps, move |i, a| {
+        let sel = (usize::from(i & hi != 0) << 1) | usize::from(i & lo != 0);
+        *a *= d[sel];
+    });
+}
+
+/// SWAP of qubits `p` and `q`.
+pub fn apply_swap(amps: &mut [C64], p: usize, q: usize) {
+    let (q0, q1) = (p.min(q), p.max(q));
+    // Exchange |01> and |10> amplitudes.
+    for_each_quad(amps, q0, q1, |_a00, a01, a10, _a11| std::mem::swap(a01, a10));
+}
+
+/// Generic two-qubit unitary. `q_hi` indexes the more significant matrix
+/// bit (the gate's first qubit), `q_lo` the less significant.
+pub fn apply_mat4(amps: &mut [C64], q_hi: usize, q_lo: usize, m: &Mat4) {
+    // for_each_quad orders by (bit q1, bit q0) with q0 < q1; permute the
+    // matrix when the gate's hi qubit is the numerically smaller one.
+    let (q0, q1, mm) = if q_hi > q_lo { (q_lo, q_hi, *m) } else { (q_hi, q_lo, m.swapped_qubits()) };
+    let m = mm.0;
+    for_each_quad(amps, q0, q1, move |a00, a01, a10, a11| {
+        let v = [*a00, *a01, *a10, *a11];
+        let mut out = [C64::new(0.0, 0.0); 4];
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = m[r][0] * v[0] + m[r][1] * v[1] + m[r][2] * v[2] + m[r][3] * v[3];
+        }
+        *a00 = out[0];
+        *a01 = out[1];
+        *a10 = out[2];
+        *a11 = out[3];
+    });
+}
+
+/// Toffoli with controls `c1`, `c2` and target `t`.
+pub fn apply_ccx(amps: &mut [C64], c1: usize, c2: usize, t: usize) {
+    let mask = (1usize << c1) | (1usize << c2);
+    for_each_pair_indexed(amps, t, move |idx, a, b| {
+        if idx & mask == mask {
+            std::mem::swap(a, b);
+        }
+    });
+}
+
+/// Apply any [`tqsim_circuit::Gate`] to a raw amplitude slice, dispatching
+/// to the specialised kernel when one exists. This is the single dispatch
+/// point shared by [`crate::StateVector`] and the distributed engine's
+/// per-node slices.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if a gate qubit does not fit the slice length;
+/// callers validate widths.
+pub fn apply_gate_amps(amps: &mut [C64], gate: &tqsim_circuit::Gate) {
+    use tqsim_circuit::math::c64;
+    use tqsim_circuit::GateKind;
+    let qs = gate.qubits();
+    match *gate.kind() {
+        GateKind::Id => {}
+        GateKind::X => apply_x(amps, qs[0] as usize),
+        GateKind::Y => apply_y(amps, qs[0] as usize),
+        GateKind::Z => apply_diag1(amps, qs[0] as usize, c64(1.0, 0.0), c64(-1.0, 0.0)),
+        GateKind::H => apply_h(amps, qs[0] as usize),
+        GateKind::S => apply_diag1(amps, qs[0] as usize, c64(1.0, 0.0), c64(0.0, 1.0)),
+        GateKind::Sdg => apply_diag1(amps, qs[0] as usize, c64(1.0, 0.0), c64(0.0, -1.0)),
+        GateKind::T => apply_diag1(
+            amps,
+            qs[0] as usize,
+            c64(1.0, 0.0),
+            C64::from_polar(1.0, std::f64::consts::FRAC_PI_4),
+        ),
+        GateKind::Tdg => apply_diag1(
+            amps,
+            qs[0] as usize,
+            c64(1.0, 0.0),
+            C64::from_polar(1.0, -std::f64::consts::FRAC_PI_4),
+        ),
+        GateKind::Rz(t) => apply_diag1(
+            amps,
+            qs[0] as usize,
+            C64::from_polar(1.0, -t / 2.0),
+            C64::from_polar(1.0, t / 2.0),
+        ),
+        GateKind::Phase(t) => {
+            apply_diag1(amps, qs[0] as usize, c64(1.0, 0.0), C64::from_polar(1.0, t))
+        }
+        GateKind::Cx => apply_cx(amps, qs[0] as usize, qs[1] as usize),
+        GateKind::Cz => apply_diag2(
+            amps,
+            qs[0] as usize,
+            qs[1] as usize,
+            [c64(1.0, 0.0), c64(1.0, 0.0), c64(1.0, 0.0), c64(-1.0, 0.0)],
+        ),
+        GateKind::CPhase(t) => apply_diag2(
+            amps,
+            qs[0] as usize,
+            qs[1] as usize,
+            [c64(1.0, 0.0), c64(1.0, 0.0), c64(1.0, 0.0), C64::from_polar(1.0, t)],
+        ),
+        GateKind::Rzz(t) => {
+            let e = C64::from_polar(1.0, -t / 2.0);
+            let ec = C64::from_polar(1.0, t / 2.0);
+            apply_diag2(amps, qs[0] as usize, qs[1] as usize, [e, ec, ec, e])
+        }
+        GateKind::Swap => apply_swap(amps, qs[0] as usize, qs[1] as usize),
+        GateKind::Ccx => apply_ccx(amps, qs[0] as usize, qs[1] as usize, qs[2] as usize),
+        ref k => match k.arity() {
+            1 => {
+                let m = k.matrix1().expect("single-qubit kind has a matrix");
+                apply_mat2(amps, qs[0] as usize, &m);
+            }
+            2 => {
+                let m = k.matrix2().expect("two-qubit kind has a matrix");
+                apply_mat4(amps, qs[0] as usize, qs[1] as usize, &m);
+            }
+            a => unreachable!("no generic kernel for arity {a}"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqsim_circuit::c64;
+
+    fn basis(n: usize, idx: usize) -> Vec<C64> {
+        let mut v = vec![c64(0.0, 0.0); 1 << n];
+        v[idx] = c64(1.0, 0.0);
+        v
+    }
+
+    #[test]
+    fn x_flips_bit() {
+        let mut v = basis(3, 0b000);
+        apply_x(&mut v, 1);
+        assert_eq!(v[0b010], c64(1.0, 0.0));
+    }
+
+    #[test]
+    fn cx_only_when_control_set() {
+        let mut v = basis(2, 0b01); // q0 = 1 (control)
+        apply_cx(&mut v, 0, 1);
+        assert_eq!(v[0b11], c64(1.0, 0.0));
+        let mut v = basis(2, 0b00);
+        apply_cx(&mut v, 0, 1);
+        assert_eq!(v[0b00], c64(1.0, 0.0));
+    }
+
+    #[test]
+    fn ccx_needs_both_controls() {
+        let mut v = basis(3, 0b011);
+        apply_ccx(&mut v, 0, 1, 2);
+        assert_eq!(v[0b111], c64(1.0, 0.0));
+        let mut v = basis(3, 0b001);
+        apply_ccx(&mut v, 0, 1, 2);
+        assert_eq!(v[0b001], c64(1.0, 0.0));
+    }
+
+    #[test]
+    fn swap_exchanges() {
+        let mut v = basis(2, 0b01);
+        apply_swap(&mut v, 0, 1);
+        assert_eq!(v[0b10], c64(1.0, 0.0));
+    }
+
+    #[test]
+    fn h_twice_is_identity() {
+        let mut v = basis(4, 0b1010);
+        apply_h(&mut v, 3);
+        apply_h(&mut v, 3);
+        assert!((v[0b1010] - c64(1.0, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn mat4_matches_specialised_cx() {
+        let m = tqsim_circuit::GateKind::Cx.matrix2().unwrap();
+        for (c, t) in [(0usize, 2usize), (2, 0)] {
+            for start in 0..8 {
+                let mut a = basis(3, start);
+                let mut b = basis(3, start);
+                apply_cx(&mut a, c, t);
+                apply_mat4(&mut b, c, t, &m);
+                for i in 0..8 {
+                    assert!((a[i] - b[i]).norm() < 1e-12, "c={c} t={t} start={start} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diag2_applies_by_bit_pattern() {
+        let mut v = vec![c64(1.0, 0.0); 4];
+        apply_diag2(&mut v, 1, 0, [c64(1.0, 0.0), c64(2.0, 0.0), c64(3.0, 0.0), c64(4.0, 0.0)]);
+        assert_eq!(v, vec![c64(1.0, 0.0), c64(2.0, 0.0), c64(3.0, 0.0), c64(4.0, 0.0)]);
+    }
+
+    #[test]
+    fn antidiag_jump() {
+        // K = [[0, 1], [0, 0]] maps |1> to |0>.
+        let mut v = basis(1, 1);
+        apply_antidiag1(&mut v, 0, c64(1.0, 0.0), c64(0.0, 0.0));
+        assert_eq!(v[0], c64(1.0, 0.0));
+        assert_eq!(v[1], c64(0.0, 0.0));
+    }
+}

@@ -1,0 +1,80 @@
+//! The [`QuantumState`] abstraction implemented by every state engine
+//! (single-node [`crate::StateVector`], the distributed engine in
+//! `tqsim-cluster`), so the noise machinery works on all of them.
+
+use tqsim_circuit::math::C64;
+use tqsim_circuit::Gate;
+
+/// Operations a pure-state engine must expose for gate application and
+/// Monte-Carlo trajectory noise.
+pub trait QuantumState {
+    /// Register width.
+    fn n_qubits(&self) -> u16;
+
+    /// Apply a unitary gate.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when the gate touches a qubit outside the
+    /// register.
+    fn apply_gate(&mut self, gate: &Gate);
+
+    /// Marginal probability that qubit `q` reads 1.
+    fn marginal_one(&self, q: u16) -> f64;
+
+    /// Apply a (possibly non-unitary) diagonal single-qubit operator
+    /// `diag(d0, d1)` on `q`.
+    fn apply_diag1(&mut self, q: u16, d0: C64, d1: C64);
+
+    /// Apply a (possibly non-unitary) anti-diagonal single-qubit operator
+    /// `[[0, a01], [a10, 0]]` on `q`.
+    fn apply_antidiag1(&mut self, q: u16, a01: C64, a10: C64);
+
+    /// Rescale to unit norm (after a non-unitary Kraus branch).
+    fn renormalize(&mut self);
+}
+
+impl QuantumState for crate::StateVector {
+    fn n_qubits(&self) -> u16 {
+        crate::StateVector::n_qubits(self)
+    }
+
+    fn apply_gate(&mut self, gate: &Gate) {
+        crate::StateVector::apply_gate(self, gate);
+    }
+
+    fn marginal_one(&self, q: u16) -> f64 {
+        crate::StateVector::marginal_one(self, q)
+    }
+
+    fn apply_diag1(&mut self, q: u16, d0: C64, d1: C64) {
+        crate::StateVector::apply_diag1(self, q, d0, d1);
+    }
+
+    fn apply_antidiag1(&mut self, q: u16, a01: C64, a10: C64) {
+        crate::StateVector::apply_antidiag1(self, q, a01, a10);
+    }
+
+    fn renormalize(&mut self) {
+        crate::StateVector::renormalize(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StateVector;
+    use tqsim_circuit::{Gate, GateKind};
+
+    fn exercise<S: QuantumState>(s: &mut S) -> f64 {
+        s.apply_gate(&Gate::new(GateKind::H, &[0]));
+        s.marginal_one(0)
+    }
+
+    #[test]
+    fn statevector_implements_quantum_state() {
+        let mut sv = StateVector::zero(2);
+        let m = exercise(&mut sv);
+        assert!((m - 0.5).abs() < 1e-12);
+    }
+}

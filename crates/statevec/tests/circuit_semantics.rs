@@ -1,0 +1,193 @@
+//! Semantic verification of the benchmark generators by exact simulation:
+//! the arithmetic circuits compute, BV reveals its secret, QPE estimates
+//! its phase.
+
+use tqsim_circuit::{generators, Circuit};
+use tqsim_statevec::StateVector;
+
+/// Run a circuit on |0…0⟩ and return the unique outcome if the final state
+/// is a computational basis state.
+fn classical_output(circuit: &Circuit) -> Option<u64> {
+    let mut sv = StateVector::zero(circuit.n_qubits());
+    sv.apply_circuit(circuit);
+    let probs = sv.probabilities();
+    let (idx, p) = probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    if *p > 1.0 - 1e-9 {
+        Some(idx as u64)
+    } else {
+        None
+    }
+}
+
+#[test]
+fn full_adder_truth_table() {
+    // adder_full's core on explicit inputs: b ← a⊕b⊕cin, cout ← maj.
+    for a_in in [0u64, 1] {
+        for b_in in [0u64, 1] {
+            for cin in [0u64, 1] {
+                let mut c = Circuit::new(4);
+                // layout (a, b, cin, cout) = qubits (0, 1, 2, 3)
+                if a_in == 1 {
+                    c.x(0);
+                }
+                if b_in == 1 {
+                    c.x(1);
+                }
+                if cin == 1 {
+                    c.x(2);
+                }
+                c.ccx_margolus(0, 1, 3);
+                c.cx(0, 1);
+                c.ccx_margolus(1, 2, 3);
+                c.cx(2, 1);
+                let out = classical_output(&c).expect("basis state");
+                let sum = (out >> 1) & 1;
+                let cout = (out >> 3) & 1;
+                let expect = a_in + b_in + cin;
+                assert_eq!(sum, expect & 1, "sum for {a_in}+{b_in}+{cin}");
+                assert_eq!(cout, expect >> 1, "carry for {a_in}+{b_in}+{cin}");
+                // Inputs a and cin are preserved.
+                assert_eq!(out & 1, a_in);
+                assert_eq!((out >> 2) & 1, cin);
+            }
+        }
+    }
+}
+
+#[test]
+fn ripple_adder_computes_sums() {
+    // Cuccaro adder: b ← a + b with carry-out. Exhaustive over 2-bit
+    // operands using hand-prepared inputs on the adder_ripple layout.
+    let k = 2u16;
+    let a_q = |i: u16| 1 + 2 * i;
+    let b_q = |i: u16| 2 + 2 * i;
+    let z = 2 * k + 1;
+    for a_val in 0u64..4 {
+        for b_val in 0u64..4 {
+            let mut c = Circuit::new(2 * k + 2);
+            for i in 0..k {
+                if (a_val >> i) & 1 == 1 {
+                    c.x(a_q(i));
+                }
+                if (b_val >> i) & 1 == 1 {
+                    c.x(b_q(i));
+                }
+            }
+            // Body of adder_ripple (variant prep skipped — we prepped above).
+            let body = generators::adder_ripple(k, 0);
+            c.append(&body);
+            let out = classical_output(&c).expect("basis state");
+            let b_out = (0..k).map(|i| ((out >> b_q(i)) & 1) << i).sum::<u64>();
+            let carry = (out >> z) & 1;
+            let expect = a_val + b_val;
+            assert_eq!(b_out, expect & 0b11, "{a_val}+{b_val}");
+            assert_eq!(carry, expect >> 2, "carry of {a_val}+{b_val}");
+            // a register restored by UMA.
+            let a_out = (0..k).map(|i| ((out >> a_q(i)) & 1) << i).sum::<u64>();
+            assert_eq!(a_out, a_val, "a preserved");
+        }
+    }
+}
+
+#[test]
+fn bv_recovers_every_secret() {
+    for secret in [0b0u64, 0b1, 0b10110, 0b11111] {
+        let n = 6u16;
+        let c = generators::bv_with_secret(n, secret);
+        let mut sv = StateVector::zero(n);
+        sv.apply_circuit(&c);
+        // Data bits must equal the secret with probability 1 (ancilla free).
+        let p: f64 = sv
+            .probabilities()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (*i as u64) & 0x1f == secret)
+            .map(|(_, p)| p)
+            .sum();
+        assert!((p - 1.0).abs() < 1e-9, "secret {secret:#b}: p = {p}");
+    }
+}
+
+/// Reverse the low `m` bits of `x` — the swap-free QFT readout convention
+/// (see `generators::qpe` docs).
+fn bit_reverse(x: usize, m: u16) -> usize {
+    (0..m).fold(0, |acc, b| acc | (((x >> b) & 1) << (m - 1 - b)))
+}
+
+#[test]
+fn qpe_peaks_at_the_encoded_phase() {
+    // φ = 3/8 is exactly representable with 3 counting bits: the estimate
+    // (bit-reversed counting register) must be |3⟩ with certainty.
+    let m = 3u16;
+    let phase = 3.0 / 8.0;
+    let c = generators::qpe(m, phase);
+    let mut sv = StateVector::zero(m + 1);
+    sv.apply_circuit(&c);
+    let probs = sv.probabilities();
+    let mut best = (0usize, 0.0f64);
+    for (i, p) in probs.iter().enumerate() {
+        let counting = bit_reverse(i & ((1 << m) - 1), m);
+        if *p > best.1 {
+            best = (counting, *p);
+        }
+    }
+    assert_eq!(best.0, 3, "estimated {} with p={:.3}", best.0, best.1);
+    assert!(best.1 > 0.9, "representable phase should be near-deterministic");
+}
+
+#[test]
+fn qpe_irrational_phase_gives_narrow_bell() {
+    // φ = 1/3 is not representable: the distribution concentrates around
+    // round(φ·2^m) without being a point mass (the Fig. 16 circuit).
+    let m = 5u16;
+    let c = generators::qpe(m, 1.0 / 3.0);
+    let mut sv = StateVector::zero(m + 1);
+    sv.apply_circuit(&c);
+    let probs = sv.probabilities();
+    let target = (1.0 / 3.0 * f64::from(1u32 << m)).round() as usize;
+    let near: f64 = probs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            let counting = bit_reverse(i & ((1 << m) - 1), m);
+            counting.abs_diff(target) <= 1
+        })
+        .map(|(_, p)| p)
+        .sum();
+    assert!(near > 0.8, "mass near {target}: {near}");
+    let peak = probs.iter().cloned().fold(0.0f64, f64::max);
+    assert!(peak < 0.95, "must not be a point mass, peak = {peak}");
+}
+
+#[test]
+fn mul_produces_a_classical_product_state() {
+    // The truncated-carry multiplier is a classical reversible circuit on
+    // basis inputs: its output must be a single basis state, and the product
+    // register must match the carry-less schoolbook value it implements.
+    let c = generators::mul(2, 2, 3); // variant 3 preps a=0b11? (interleaved)
+    let out = classical_output(&c).expect("multiplier must stay classical");
+    // Registers: a = bits 0..2, b = bits 2..4, p = bits 4..8.
+    let a = out & 0b11;
+    let b = (out >> 2) & 0b11;
+    assert!(a > 0 || b > 0, "variant 3 preps at least one operand");
+    // a and b are preserved by construction.
+    let p = (out >> 4) & 0b1111;
+    // The circuit computes partial products with one-level carries; for
+    // operands ≤ 2 bits this equals the true product.
+    assert_eq!(p, a * b, "p = {p}, a·b = {}", a * b);
+}
+
+#[test]
+fn qsc_and_qv_spread_probability() {
+    // Random circuits must not stay concentrated on a single basis state.
+    for c in [generators::qsc(8, 90, 4), generators::qv(8, 4)] {
+        let mut sv = StateVector::zero(8);
+        sv.apply_circuit(&c);
+        let peak = sv.probabilities().into_iter().fold(0.0f64, f64::max);
+        assert!(peak < 0.5, "peak probability {peak} too concentrated");
+    }
+}

@@ -1,0 +1,77 @@
+//! QAOA landscape scan (the paper's Fig. 18 workload in miniature): grid
+//! search over (β, γ) for max-cut on a small graph, comparing the baseline
+//! and TQSim landscapes point by point.
+//!
+//! Run with `cargo run --release -p tqsim-bench --example qaoa_landscape`.
+
+use tqsim::{metrics, Strategy, Tqsim};
+use tqsim_circuit::generators::qaoa_maxcut;
+use tqsim_circuit::Graph;
+use tqsim_noise::NoiseModel;
+
+fn expected_cut(counts: &tqsim::Counts, graph: &Graph) -> f64 {
+    let total = counts.total() as f64;
+    counts.iter().map(|(bits, c)| graph.cut_value(bits) as f64 * c as f64).sum::<f64>() / total
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = Graph::random_regular(8, 3, 7);
+    let noise = NoiseModel::sycamore();
+    let shots = 500;
+    let grid = 5usize;
+
+    println!(
+        "max-cut on a 3-regular 8-vertex graph ({} edges, optimum {})\n",
+        graph.n_edges(),
+        graph.max_cut_brute_force()
+    );
+
+    let mut base_land = Vec::new();
+    let mut tree_land = Vec::new();
+    let mut best = (0.0f64, 0.0f64, f64::MIN);
+    for bi in 0..grid {
+        let beta = std::f64::consts::PI * (bi as f64 + 0.5) / grid as f64;
+        let mut row_b = Vec::new();
+        let mut row_t = Vec::new();
+        for gi in 0..grid {
+            let gamma = 2.0 * std::f64::consts::PI * (gi as f64 + 0.5) / grid as f64;
+            let circuit = qaoa_maxcut(&graph, beta, gamma);
+            let seed = (bi * grid + gi) as u64;
+            let b = Tqsim::new(&circuit)
+                .noise(noise.clone())
+                .shots(shots)
+                .strategy(Strategy::Baseline)
+                .seed(seed)
+                .run()?;
+            let t = Tqsim::new(&circuit)
+                .noise(noise.clone())
+                .shots(shots)
+                .strategy(Strategy::Custom { arities: vec![125, 2, 2] })
+                .seed(seed + 1)
+                .run()?;
+            let (cb, ct) = (expected_cut(&b.counts, &graph), expected_cut(&t.counts, &graph));
+            if ct > best.2 {
+                best = (beta, gamma, ct);
+            }
+            row_b.push(cb);
+            row_t.push(ct);
+        }
+        base_land.extend_from_slice(&row_b);
+        tree_land.extend_from_slice(&row_t);
+    }
+
+    println!("TQSim landscape (expected cut; rows = β, cols = γ):");
+    for row in tree_land.chunks(grid) {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:5.2}")).collect();
+        println!("  {}", cells.join(" "));
+    }
+    println!(
+        "\nbest TQSim point: β={:.2}, γ={:.2} → expected cut {:.2}",
+        best.0, best.1, best.2
+    );
+    println!(
+        "landscape MSE between baseline and TQSim: {:.5} (paper: 0.00161 on its 16-qubit sweep)",
+        metrics::mse(&base_land, &tree_land)
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: simulate a noisy circuit with the flat baseline and with
+//! TQSim's Dynamic Circuit Partition, then compare cost and accuracy.
+//!
+//! Run with `cargo run --release -p tqsim-bench --example quickstart`.
+
+use tqsim::{metrics, speedup, Strategy, Tqsim};
+use tqsim_circuit::generators;
+use tqsim_noise::NoiseModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 10-qubit Quantum Fourier Transform (237 gates) under the paper's
+    // Sycamore-derived depolarizing noise (0.1 % / 1.5 %).
+    let circuit = generators::qft(10);
+    let noise = NoiseModel::sycamore();
+    let shots = 4_000;
+
+    println!("circuit: qft_10 — {} qubits, {} gates", circuit.n_qubits(), circuit.len());
+
+    // 1. The conventional way: one full noisy execution per shot.
+    let baseline = Tqsim::new(&circuit)
+        .noise(noise.clone())
+        .shots(shots)
+        .strategy(Strategy::Baseline)
+        .seed(1)
+        .run()?;
+
+    // 2. TQSim: partition the circuit, reuse intermediate states.
+    let tqsim = Tqsim::new(&circuit)
+        .noise(noise.clone())
+        .shots(shots)
+        .strategy(Strategy::default_dcp())
+        .seed(2)
+        .run()?;
+
+    println!("\nDCP chose the simulation tree {}", tqsim.tree);
+    println!(
+        "gate applications: baseline {} vs TQSim {} ({:.2}× fewer)",
+        baseline.ops.total_gates(),
+        tqsim.ops.total_gates(),
+        baseline.ops.total_gates() as f64 / tqsim.ops.total_gates() as f64,
+    );
+    println!(
+        "wall time: baseline {:?} vs TQSim {:?} ({:.2}× speedup)",
+        baseline.wall_time,
+        tqsim.wall_time,
+        baseline.wall_time.as_secs_f64() / tqsim.wall_time.as_secs_f64(),
+    );
+    println!(
+        "theoretical max for this tree depth: {:.2}×",
+        speedup::theoretical_max_speedup(tqsim.tree.depth(), shots)
+    );
+
+    // 3. Accuracy: both must land at (almost) the same normalized fidelity.
+    let ideal = metrics::ideal_distribution(&circuit);
+    let f_base = metrics::normalized_fidelity(&ideal, &baseline.counts.to_distribution());
+    let f_tree = metrics::normalized_fidelity(&ideal, &tqsim.counts.to_distribution());
+    println!("\nnormalized fidelity: baseline {f_base:.4}, TQSim {f_tree:.4}");
+    println!("difference: {:.4} (paper bound at 32k shots: 0.016)", (f_base - f_tree).abs());
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Variational optimization with TQSim (the paper's §5.7 use case): tune
+//! QAOA angles against a *noisy* simulator, where every optimizer step
+//! costs thousands of shots — exactly the workload TQSim accelerates.
+//!
+//! The loop uses a simple two-stage grid-refinement optimizer; the exact
+//! expectation (`expect_cut_value`, no sampling) validates the final point.
+//!
+//! Run with `cargo run --release -p tqsim-bench --example vqa_optimization`.
+
+use std::f64::consts::PI;
+use tqsim::{Strategy, Tqsim};
+use tqsim_circuit::generators::qaoa_maxcut;
+use tqsim_circuit::Graph;
+use tqsim_noise::NoiseModel;
+use tqsim_statevec::{expect_cut_value, StateVector};
+
+fn sampled_cut(graph: &Graph, beta: f64, gamma: f64, noise: &NoiseModel, seed: u64) -> f64 {
+    let circuit = qaoa_maxcut(graph, beta, gamma);
+    let run = Tqsim::new(&circuit)
+        .noise(noise.clone())
+        .shots(600)
+        .strategy(Strategy::Custom { arities: vec![150, 2, 2] })
+        .seed(seed)
+        .run()
+        .expect("run");
+    let total = run.counts.total() as f64;
+    run.counts.iter().map(|(bits, c)| graph.cut_value(bits) as f64 * c as f64).sum::<f64>()
+        / total
+}
+
+fn main() {
+    let graph = Graph::random_regular(10, 3, 21);
+    let noise = NoiseModel::sycamore();
+    let optimum = graph.max_cut_brute_force();
+    println!(
+        "max-cut on a 3-regular 10-vertex graph: {} edges, optimum {}",
+        graph.n_edges(),
+        optimum
+    );
+
+    // Stage 1: coarse grid under noise.
+    let mut best = (0.0f64, 0.0f64, f64::MIN);
+    let mut evals = 0u32;
+    for bi in 0u64..6 {
+        for gi in 0u64..6 {
+            let beta = PI * (bi as f64 + 0.5) / 6.0;
+            let gamma = 2.0 * PI * (gi as f64 + 0.5) / 6.0;
+            let cut = sampled_cut(&graph, beta, gamma, &noise, bi * 6 + gi);
+            evals += 1;
+            if cut > best.2 {
+                best = (beta, gamma, cut);
+            }
+        }
+    }
+    println!(
+        "coarse stage: best noisy cut {:.2} at (β={:.2}, γ={:.2}) after {evals} circuit evals",
+        best.2, best.0, best.1
+    );
+
+    // Stage 2: refine around the winner.
+    let (b0, g0, _) = best;
+    for bi in -2i32..=2 {
+        for gi in -2i32..=2 {
+            let beta = b0 + f64::from(bi) * 0.1;
+            let gamma = g0 + f64::from(gi) * 0.15;
+            let cut = sampled_cut(&graph, beta, gamma, &noise, (1000 + (bi * 5 + gi)) as u64);
+            evals += 1;
+            if cut > best.2 {
+                best = (beta, gamma, cut);
+            }
+        }
+    }
+    println!(
+        "refined stage: best noisy cut {:.2} at (β={:.2}, γ={:.2}) after {evals} evals",
+        best.2, best.0, best.1
+    );
+
+    // Validate the tuned angles on the *ideal* circuit with exact
+    // expectation values (no shots, no noise).
+    let circuit = qaoa_maxcut(&graph, best.0, best.1);
+    let mut sv = StateVector::zero(circuit.n_qubits());
+    sv.apply_circuit(&circuit);
+    let exact = expect_cut_value(&sv, graph.edges());
+    println!(
+        "\nnoiseless expectation at tuned angles: {exact:.2} / {optimum} ({:.0}% of optimum)",
+        100.0 * exact / optimum as f64
+    );
+    assert!(
+        exact > 0.6 * optimum as f64,
+        "p=1 QAOA should reach a reasonable fraction of the optimum"
+    );
+    println!("(each eval = 600 noisy shots; TQSim's reuse is what keeps {evals} evals cheap —\nthe paper's Fig. 18 grid search is this loop at production scale.)");
+}

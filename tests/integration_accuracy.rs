@@ -1,0 +1,129 @@
+//! Cross-crate accuracy integration tests: TQSim vs the flat baseline vs
+//! the exact density matrix, across noise models — the Fig. 14/15/16
+//! claims at test scale.
+
+use tqsim::{metrics, Strategy, Tqsim};
+use tqsim_circuit::generators;
+use tqsim_densmat::DensityMatrix;
+use tqsim_noise::{fig16_models, NoiseModel};
+
+/// Normalized fidelity of a run's histogram against the ideal distribution.
+fn nf(circuit: &tqsim_circuit::Circuit, counts: &tqsim::Counts) -> f64 {
+    let ideal = metrics::ideal_distribution(circuit);
+    metrics::normalized_fidelity(&ideal, &counts.to_distribution())
+}
+
+#[test]
+fn tqsim_matches_baseline_fidelity_across_classes() {
+    let noise = NoiseModel::sycamore();
+    let shots = 3_000;
+    for circuit in [
+        generators::bv(8),
+        generators::qft(8),
+        generators::qpe_unrolled(3, 1.0 / 3.0),
+        generators::qsc(8, 38, 1),
+    ] {
+        let base = Tqsim::new(&circuit)
+            .noise(noise.clone())
+            .shots(shots)
+            .strategy(Strategy::Baseline)
+            .seed(11)
+            .run()
+            .unwrap();
+        let tree = Tqsim::new(&circuit)
+            .noise(noise.clone())
+            .shots(shots)
+            .strategy(Strategy::Custom { arities: vec![300, 2, 5] })
+            .seed(12)
+            .run()
+            .unwrap();
+        let (fb, ft) = (nf(&circuit, &base.counts), nf(&circuit, &tree.counts));
+        assert!(
+            (fb - ft).abs() < 0.08,
+            "{}-gate circuit: baseline F={fb:.3}, tqsim F={ft:.3}",
+            circuit.len()
+        );
+    }
+}
+
+#[test]
+fn tqsim_matches_exact_density_matrix() {
+    // The §2.4.1 convergence argument, end to end: TQSim's histogram must
+    // approach diag(ρ) of the exactly-evolved mixed state.
+    let circuit = generators::bv(6);
+    let noise = NoiseModel::depolarizing(0.01, 0.05);
+    let dm = DensityMatrix::run_noisy(&circuit, &noise);
+    let exact = dm.probabilities();
+    let tree = Tqsim::new(&circuit)
+        .noise(noise)
+        .shots(8_000)
+        .strategy(Strategy::Custom { arities: vec![500, 4, 4] })
+        .seed(5)
+        .run()
+        .unwrap();
+    let emp = tree.counts.to_distribution();
+    let f = metrics::state_fidelity(&exact, &emp);
+    assert!(f > 0.99, "fidelity to exact DM distribution = {f}");
+}
+
+#[test]
+fn fidelity_gap_stays_small_under_every_noise_model() {
+    // Fig. 16 at test scale: all nine channel combinations.
+    let circuit = generators::qpe_unrolled(3, 1.0 / 3.0);
+    let shots = 1_500;
+    for model in fig16_models() {
+        let base = Tqsim::new(&circuit)
+            .noise(model.clone())
+            .shots(shots)
+            .strategy(Strategy::Baseline)
+            .seed(21)
+            .run()
+            .unwrap();
+        let tree = Tqsim::new(&circuit)
+            .noise(model.clone())
+            .shots(shots)
+            .strategy(Strategy::Custom { arities: vec![150, 2, 5] })
+            .seed(22)
+            .run()
+            .unwrap();
+        let gap = (nf(&circuit, &base.counts) - nf(&circuit, &tree.counts)).abs();
+        assert!(gap < 0.12, "model {}: fidelity gap {gap:.3}", model.name());
+    }
+}
+
+#[test]
+fn deeper_reuse_degrades_accuracy_monotonically_in_the_extreme() {
+    // Fig. 17's extreme case: an A0-only tree (250-1-1) diverges from the
+    // baseline far more than DCP's shape does.
+    let circuit = generators::qpe(8, 1.0 / 3.0);
+    let noise = NoiseModel::sycamore();
+    let shots = 1_000;
+    let f_ref = {
+        let r = Tqsim::new(&circuit)
+            .noise(noise.clone())
+            .shots(shots)
+            .strategy(Strategy::Baseline)
+            .seed(31)
+            .run()
+            .unwrap();
+        nf(&circuit, &r.counts)
+    };
+    let gap = |arities: Vec<u64>, seed: u64| {
+        let r = Tqsim::new(&circuit)
+            .noise(noise.clone())
+            .shots(shots)
+            .strategy(Strategy::Custom { arities })
+            .seed(seed)
+            .run()
+            .unwrap();
+        (nf(&circuit, &r.counts) - f_ref).abs()
+    };
+    // Average over a few seeds to suppress sampling noise.
+    let seeds = [41u64, 42, 43];
+    let dcp: f64 = seeds.iter().map(|&s| gap(vec![250, 2, 2], s)).sum::<f64>() / 3.0;
+    let extreme: f64 = seeds.iter().map(|&s| gap(vec![250, 1, 1], s)).sum::<f64>() / 3.0;
+    assert!(
+        extreme > dcp,
+        "extreme tree should deviate more: dcp {dcp:.4} vs extreme {extreme:.4}"
+    );
+}

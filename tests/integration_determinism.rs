@@ -1,0 +1,75 @@
+//! Determinism and reproducibility: every engine must be a pure function of
+//! its seed, and the generated suite must be stable run to run.
+
+use tqsim::{Strategy, Tqsim};
+use tqsim_baselines::{analyze_redundancy, run_baseline};
+use tqsim_circuit::generators::{self, table2_suite};
+use tqsim_cluster::{run_distributed, InterconnectModel};
+use tqsim_noise::{fig16_models, NoiseModel};
+
+#[test]
+fn suite_generation_is_reproducible() {
+    let a = table2_suite();
+    let b = table2_suite();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.circuit.gates(), y.circuit.gates(), "{}", x.name);
+    }
+}
+
+#[test]
+fn every_engine_is_seed_deterministic() {
+    let circuit = generators::qsc(8, 38, 2);
+    let noise = NoiseModel::sycamore();
+
+    let t1 = Tqsim::new(&circuit).noise(noise.clone()).shots(200).seed(9).run().unwrap();
+    let t2 = Tqsim::new(&circuit).noise(noise.clone()).shots(200).seed(9).run().unwrap();
+    assert_eq!(t1.counts, t2.counts);
+    assert_eq!(t1.ops, t2.ops);
+
+    let b1 = run_baseline(&circuit, &noise, 200, 9);
+    let b2 = run_baseline(&circuit, &noise, 200, 9);
+    assert_eq!(b1.counts, b2.counts);
+
+    let model = InterconnectModel::commodity_cluster();
+    let p = Strategy::Custom { arities: vec![20, 10] }.plan(&circuit, &noise, 200).unwrap();
+    let d1 = run_distributed(&circuit, &noise, &p, 4, model, 9).unwrap();
+    let d2 = run_distributed(&circuit, &noise, &p, 4, model, 9).unwrap();
+    assert_eq!(d1.counts, d2.counts);
+
+    let r1 = analyze_redundancy(&circuit, &noise, 500, 9).unwrap();
+    let r2 = analyze_redundancy(&circuit, &noise, 500, 9).unwrap();
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn different_seeds_decorrelate() {
+    let circuit = generators::qft(8);
+    let noise = NoiseModel::sycamore();
+    let a = Tqsim::new(&circuit).noise(noise.clone()).shots(500).seed(1).run().unwrap();
+    let b = Tqsim::new(&circuit).noise(noise.clone()).shots(500).seed(2).run().unwrap();
+    assert_ne!(a.counts, b.counts, "independent seeds should differ");
+}
+
+#[test]
+fn noise_models_are_deterministically_constructed() {
+    let a = fig16_models();
+    let b = fig16_models();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn plan_is_a_pure_function_of_inputs() {
+    let circuit = generators::qft(12);
+    let noise = NoiseModel::sycamore();
+    let p1 = Strategy::default_dcp().plan(&circuit, &noise, 4_000).unwrap();
+    let p2 = Strategy::default_dcp().plan(&circuit, &noise, 4_000).unwrap();
+    assert_eq!(p1, p2);
+    // And sensitive to its inputs.
+    let p3 = Strategy::default_dcp().plan(&circuit, &noise, 8_000).unwrap();
+    assert_ne!(p1.tree, p3.tree, "different shot budgets should plan differently");
+}

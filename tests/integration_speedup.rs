@@ -1,0 +1,120 @@
+//! Cross-crate speedup integration tests: the computational-reuse math must
+//! hold end to end (Fig. 11 / Table 3 shape at test scale).
+
+use tqsim::{speedup, DcpConfig, Strategy, Tqsim};
+use tqsim_baselines::run_baseline;
+use tqsim_circuit::generators::{self, table2_suite_capped};
+use tqsim_noise::NoiseModel;
+
+#[test]
+fn dcp_reduces_gate_work_on_every_suitable_suite_circuit() {
+    let noise = NoiseModel::sycamore();
+    let shots = 2_000u64;
+    let cfg = DcpConfig { margin: 0.1, copy_cost: 10.0, ..DcpConfig::default() };
+    let mut improved = 0usize;
+    let mut total = 0usize;
+    for bench in table2_suite_capped(10) {
+        let base = Tqsim::new(&bench.circuit)
+            .noise(noise.clone())
+            .shots(shots)
+            .strategy(Strategy::Baseline)
+            .seed(1)
+            .run()
+            .unwrap();
+        let tree = Tqsim::new(&bench.circuit)
+            .noise(noise.clone())
+            .shots(shots)
+            .strategy(Strategy::Dynamic(cfg))
+            .seed(2)
+            .run()
+            .unwrap();
+        total += 1;
+        // Gate work must never increase, and must strictly decrease whenever
+        // DCP actually partitioned.
+        assert!(
+            tree.ops.total_gates() <= base.ops.total_gates(),
+            "{}: tqsim did more gate work",
+            bench.name
+        );
+        if tree.tree.depth() > 1 {
+            assert!(tree.ops.total_gates() < base.ops.total_gates(), "{}", bench.name);
+            improved += 1;
+        }
+    }
+    assert!(improved * 2 > total, "DCP should partition most circuits: {improved}/{total}");
+}
+
+#[test]
+fn measured_speedup_tracks_predicted_speedup() {
+    let circuit = generators::qft(12);
+    let noise = NoiseModel::sycamore();
+    let shots = 2_000u64;
+    let strategy = Strategy::Custom { arities: vec![250, 2, 2, 2] };
+    let plan = strategy.plan(&circuit, &noise, shots).unwrap();
+
+    let base = Tqsim::new(&circuit)
+        .noise(noise.clone())
+        .shots(shots)
+        .strategy(Strategy::Baseline)
+        .seed(3)
+        .run()
+        .unwrap();
+    let tree = Tqsim::new(&circuit)
+        .noise(noise.clone())
+        .shots(shots)
+        .strategy(strategy)
+        .seed(4)
+        .run()
+        .unwrap();
+
+    let measured = base.wall_time.as_secs_f64() / tree.wall_time.as_secs_f64();
+    let predicted = speedup::predicted_speedup(&plan, shots, 5.0);
+    assert!(measured > 1.2, "no speedup measured: {measured:.2}");
+    assert!(
+        (measured / predicted - 1.0).abs() < 0.6,
+        "measured {measured:.2} vs predicted {predicted:.2} diverge wildly"
+    );
+}
+
+#[test]
+fn tree_executor_baseline_agrees_with_independent_flat_runner() {
+    // Two separate implementations of the same semantics (tqsim's (N) tree
+    // vs tqsim-baselines' flat loop) must count the same operations.
+    let circuit = generators::qft(8);
+    let noise = NoiseModel::sycamore();
+    let shots = 300u64;
+    let tree = Tqsim::new(&circuit)
+        .noise(noise.clone())
+        .shots(shots)
+        .strategy(Strategy::Baseline)
+        .seed(7)
+        .run()
+        .unwrap();
+    let flat = run_baseline(&circuit, &noise, shots, 7);
+    assert_eq!(tree.ops.total_gates(), flat.ops.total_gates());
+    assert_eq!(tree.counts.total(), flat.counts.total());
+    // Both draw one sample per shot.
+    assert_eq!(tree.ops.samples, flat.ops.samples);
+}
+
+#[test]
+fn speedup_grows_with_circuit_length() {
+    // The paper's core scaling claim: longer circuits admit more
+    // subcircuits and larger reuse wins (QFT column of Fig. 11).
+    let noise = NoiseModel::sycamore();
+    let shots = 2_000u64;
+    let cfg = DcpConfig { margin: 0.1, copy_cost: 10.0, ..DcpConfig::default() };
+    let mut last = 0.0;
+    for n in [8u16, 10, 12] {
+        let circuit = generators::qft(n);
+        let plan = Strategy::Dynamic(cfg).plan(&circuit, &noise, shots).unwrap();
+        let predicted = speedup::predicted_speedup(&plan, shots, cfg.copy_cost);
+        assert!(
+            predicted >= last * 0.9,
+            "qft_{n}: predicted speedup {predicted:.2} fell below qft_{}'s {last:.2}",
+            n - 2
+        );
+        last = predicted;
+    }
+    assert!(last > 1.5, "qft_12 should predict a solid speedup, got {last:.2}");
+}
