@@ -83,7 +83,11 @@ pub fn analyze_redundancy(
     sequences.sort_unstable();
     let mut unique: u64 = gates as u64; // first sequence contributes fully
     for pair in sequences.windows(2) {
-        let lcp = pair[0].iter().zip(pair[1].iter()).take_while(|(a, b)| a == b).count();
+        let lcp = pair[0]
+            .iter()
+            .zip(pair[1].iter())
+            .take_while(|(a, b)| a == b)
+            .count();
         unique += (gates - lcp) as u64;
     }
 
@@ -131,7 +135,11 @@ mod tests {
         let r = analyze_redundancy(&c, &noise, 200, 1).unwrap();
         // Shots diverge almost immediately (only the tiny 4-symbol tag
         // alphabet keeps a sliver of prefix sharing alive).
-        assert!(r.normalized_computation > 0.8, "{}", r.normalized_computation);
+        assert!(
+            r.normalized_computation > 0.8,
+            "{}",
+            r.normalized_computation
+        );
     }
 
     #[test]
@@ -159,7 +167,11 @@ mod tests {
     fn tqsim_normalized_computation_matches_tree_math() {
         let c = generators::qft(10); // 237 gates
         let noise = NoiseModel::sycamore();
-        let p = Strategy::Custom { arities: vec![10, 10, 10] }.plan(&c, &noise, 1000).unwrap();
+        let p = Strategy::Custom {
+            arities: vec![10, 10, 10],
+        }
+        .plan(&c, &noise, 1000)
+        .unwrap();
         let nc = tqsim_normalized_computation(&p, 1000);
         // lengths are len/3 each; instances 10,100,1000 → (10+100+1000)/3000.
         let lens = p.lengths();

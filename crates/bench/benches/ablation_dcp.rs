@@ -21,15 +21,28 @@ fn main() {
     // ---- 1. copy-cost sweep -------------------------------------------------
     println!("\n(1) copy-cost sensitivity (qft_12, 32 000-shot plan):");
     let circuit = generators::qft(12);
-    let mut t = Table::new(&["copy cost (gates)", "tree", "subcircuits", "predicted speedup"]);
+    let mut t = Table::new(&[
+        "copy cost (gates)",
+        "tree",
+        "subcircuits",
+        "predicted speedup",
+    ]);
     for copy_cost in [2.0, 5.0, 10.0, 20.0, 45.0, 90.0] {
-        let cfg = DcpConfig { copy_cost, ..DcpConfig::default() };
-        let plan = Strategy::Dynamic(cfg).plan(&circuit, &noise, 32_000).expect("plan");
+        let cfg = DcpConfig {
+            copy_cost,
+            ..DcpConfig::default()
+        };
+        let plan = Strategy::Dynamic(cfg)
+            .plan(&circuit, &noise, 32_000)
+            .expect("plan");
         t.row(&[
             format!("{copy_cost:.0}"),
             plan.tree.to_string(),
             plan.k().to_string(),
-            format!("{:.2}×", speedup::predicted_speedup(&plan, 32_000, copy_cost)),
+            format!(
+                "{:.2}×",
+                speedup::predicted_speedup(&plan, 32_000, copy_cost)
+            ),
         ]);
     }
     t.print();
@@ -39,8 +52,14 @@ fn main() {
     println!("\n(2) Eq. 5 margin sensitivity (qft_12, 32 000 shots):");
     let mut t = Table::new(&["ε", "A0", "tree"]);
     for margin in [0.02, 0.03, 0.05, 0.1, 0.2] {
-        let cfg = DcpConfig { margin, copy_cost: scale.copy_cost, ..DcpConfig::default() };
-        let plan = Strategy::Dynamic(cfg).plan(&circuit, &noise, 32_000).expect("plan");
+        let cfg = DcpConfig {
+            margin,
+            copy_cost: scale.copy_cost,
+            ..DcpConfig::default()
+        };
+        let plan = Strategy::Dynamic(cfg)
+            .plan(&circuit, &noise, 32_000)
+            .expect("plan");
         t.row(&[
             format!("{margin}"),
             plan.tree.arities()[0].to_string(),
@@ -54,7 +73,11 @@ fn main() {
     println!("\n(3) shot-count sensitivity (qpe_9, 5-seed mean; paper's 1000/3200/32000 sweep):");
     let qpe = generators::qpe(8, 1.0 / 3.0);
     let ideal = metrics::ideal_distribution(&qpe);
-    let shot_list: &[u64] = if scale.full { &[1_000, 3_200, 32_000] } else { &[500, 1_600, 5_000] };
+    let shot_list: &[u64] = if scale.full {
+        &[1_000, 3_200, 32_000]
+    } else {
+        &[500, 1_600, 5_000]
+    };
     let mut t = Table::new(&["shots", "tree", "speedup", "mean |ΔF| vs baseline"]);
     for &shots in shot_list {
         let reps = 5u64;
@@ -100,7 +123,9 @@ fn main() {
     for leaf_samples in [1u32, 2, 4, 8] {
         // Shrink the last arity so total outcomes stay fixed at 2000.
         let arities = vec![250, 1, (8 / u64::from(leaf_samples)).max(1)];
-        let plan = Strategy::Custom { arities }.plan(&qpe, &noise, 1).expect("plan");
+        let plan = Strategy::Custom { arities }
+            .plan(&qpe, &noise, 1)
+            .expect("plan");
         let exec = TreeExecutor::new(&qpe, &noise, plan).expect("exec");
         let mut gap = 0.0;
         let mut desc = (String::new(), 0u64, 0u64);

@@ -16,7 +16,11 @@ fn main() {
     banner("Figure 1", "ideal vs noisy simulation time (QFT)", &scale);
 
     let n: u16 = if scale.full { 15 } else { 12 };
-    let shots_list: [u64; 2] = if scale.full { [8_192, 32_000] } else { [256, 1_000] };
+    let shots_list: [u64; 2] = if scale.full {
+        [8_192, 32_000]
+    } else {
+        [256, 1_000]
+    };
     let circuit = generators::qft(n);
     let noise = NoiseModel::sycamore();
 
@@ -44,7 +48,10 @@ fn main() {
             format!("noisy qft_{n}"),
             shots.to_string(),
             fmt_secs(noisy_time.as_secs_f64()),
-            format!("{:.0}×", noisy_time.as_secs_f64() / ideal_time.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.0}×",
+                noisy_time.as_secs_f64() / ideal_time.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     table.print();

@@ -6,7 +6,11 @@ use tqsim_densmat::memory;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 4", "statevector vs density-matrix memory scaling", &scale);
+    banner(
+        "Figure 4",
+        "statevector vs density-matrix memory scaling",
+        &scale,
+    );
 
     let mut table = Table::new(&["qubits", "statevector", "density matrix"]);
     for n in (10..=40u32).step_by(5) {
@@ -28,7 +32,14 @@ fn main() {
     println!(
         "  16 GB laptop : statevector ≤ {sv_laptop} qubits, density matrix ≤ {dm_laptop} qubits"
     );
-    println!("  El Capitan   : statevector ≤ {sv_elcap} qubits, density matrix ≤ {dm_elcap} qubits");
-    println!("\npaper reference: DM < 25 qubits on El Capitan; SV > 30 qubits on a laptop (Fig. 4).");
-    assert!(dm_elcap < 25 && sv_laptop >= 30, "Fig. 4 headline claims must reproduce");
+    println!(
+        "  El Capitan   : statevector ≤ {sv_elcap} qubits, density matrix ≤ {dm_elcap} qubits"
+    );
+    println!(
+        "\npaper reference: DM < 25 qubits on El Capitan; SV > 30 qubits on a laptop (Fig. 4)."
+    );
+    assert!(
+        dm_elcap < 25 && sv_laptop >= 30,
+        "Fig. 4 headline claims must reproduce"
+    );
 }

@@ -20,8 +20,14 @@ fn main() {
     let shots: u64 = if scale.full { 8_192 } else { 512 };
     let noise = NoiseModel::sycamore();
 
-    let mut table =
-        Table::new(&["qubits", "gates", "shots", "sim time", "memory", "growth/step"]);
+    let mut table = Table::new(&[
+        "qubits",
+        "gates",
+        "shots",
+        "sim time",
+        "memory",
+        "growth/step",
+    ]);
     let mut prev: Option<f64> = None;
     for n in widths {
         let circuit = generators::bv(n);

@@ -33,7 +33,10 @@ fn main() {
             n.to_string(),
             fmt_bytes(16.0 * f64::from(base.peak_states as u32) * (1u64 << n) as f64),
             fmt_bytes(tree.peak_memory_bytes as f64),
-            format!("{:.4}%", 100.0 * tree.peak_memory_bytes as f64 / system_memory),
+            format!(
+                "{:.4}%",
+                100.0 * tree.peak_memory_bytes as f64 / system_memory
+            ),
             tree.tree.to_string(),
             format!("{:.2}×", wall_speedup(&base, &tree)),
         ]);

@@ -13,7 +13,11 @@ fn main() {
     let scale = Scale::from_env();
     banner("Figure 10", "state-copy cost in gate-equivalents", &scale);
 
-    let widths: Vec<u16> = if scale.full { vec![10, 14, 18, 22] } else { vec![8, 10, 12, 14] };
+    let widths: Vec<u16> = if scale.full {
+        vec![10, 14, 18, 22]
+    } else {
+        vec![8, 10, 12, 14]
+    };
     let trials = if scale.full { 21 } else { 9 };
 
     let mut measured = Table::new(&["width", "copy (ns)", "gate (ns)", "copy cost (gates)"]);

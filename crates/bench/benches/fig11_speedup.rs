@@ -2,14 +2,18 @@
 //! benchmark suite — the paper's headline result (up to 3.89×, average
 //! 2.51× at 32 000 shots on a 32-core server).
 
+use tqsim::speedup::predicted_speedup;
 use tqsim_bench::{banner, fmt_secs, head_to_head, wall_speedup, Scale, Table};
 use tqsim_circuit::generators::{table2_suite_capped, BenchClass};
-use tqsim::speedup::predicted_speedup;
 use tqsim_noise::NoiseModel;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 11", "TQSim speedup across the benchmark suite", &scale);
+    banner(
+        "Figure 11",
+        "TQSim speedup across the benchmark suite",
+        &scale,
+    );
 
     let suite = table2_suite_capped(scale.max_qubits());
     let shots = scale.shots();
@@ -28,8 +32,7 @@ fn main() {
         BenchClass::ALL.iter().map(|c| (*c, Vec::new())).collect();
 
     for bench in &suite {
-        let (base, tree) =
-            head_to_head(&bench.circuit, &noise, scale.dcp_strategy(), shots, 0xF16);
+        let (base, tree) = head_to_head(&bench.circuit, &noise, scale.dcp_strategy(), shots, 0xF16);
         let s = wall_speedup(&base, &tree);
         let plan = tqsim::Tqsim::new(&bench.circuit)
             .noise(noise.clone())
@@ -71,7 +74,11 @@ fn main() {
         }
         let avg = vals.iter().sum::<f64>() / vals.len() as f64;
         all.extend_from_slice(vals);
-        let paper = paper_avgs.iter().find(|(c, _)| c == class).map(|(_, v)| *v).unwrap_or(0.0);
+        let paper = paper_avgs
+            .iter()
+            .find(|(c, _)| c == class)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0);
         println!("  {class:<6} {avg:.2}×   (paper: {paper:.2}×)");
     }
     let overall = all.iter().sum::<f64>() / all.len().max(1) as f64;

@@ -12,7 +12,11 @@ use tqsim_statevec::CostProfile;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 12", "speedup under the A100/cuStateVec cost profile", &scale);
+    banner(
+        "Figure 12",
+        "speedup under the A100/cuStateVec cost profile",
+        &scale,
+    );
 
     let cap = if scale.full { 16 } else { 10 };
     let suite = table2_suite_capped(cap);
@@ -23,8 +27,7 @@ fn main() {
     let mut per_class: Vec<(BenchClass, Vec<f64>)> =
         BenchClass::ALL.iter().map(|c| (*c, Vec::new())).collect();
     for bench in &suite {
-        let (base, tree) =
-            head_to_head(&bench.circuit, &noise, scale.dcp_strategy(), shots, 0xF12);
+        let (base, tree) = head_to_head(&bench.circuit, &noise, scale.dcp_strategy(), shots, 0xF12);
         let s = gpu.modeled_time(&base.ops) / gpu.modeled_time(&tree.ops);
         if let Some((_, v)) = per_class.iter_mut().find(|(c, _)| *c == bench.class) {
             v.push(s);
@@ -50,7 +53,11 @@ fn main() {
         }
         let avg = vals.iter().sum::<f64>() / vals.len() as f64;
         all.extend_from_slice(vals);
-        let p = paper.iter().find(|(c, _)| c == class).map(|(_, s)| *s).unwrap_or("-");
+        let p = paper
+            .iter()
+            .find(|(c, _)| c == class)
+            .map(|(_, s)| *s)
+            .unwrap_or("-");
         table.row(&[class.to_string(), format!("{avg:.2}×"), p.to_string()]);
     }
     table.print();

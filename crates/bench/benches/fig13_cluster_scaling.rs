@@ -7,19 +7,29 @@
 use tqsim::Strategy;
 use tqsim_bench::{banner, fmt_secs, Scale, Table};
 use tqsim_circuit::generators;
-use tqsim_cluster::{estimate_shot_seconds, estimate_tree_seconds, run_distributed, InterconnectModel};
+use tqsim_cluster::{
+    estimate_shot_seconds, estimate_tree_seconds, run_distributed, InterconnectModel,
+};
 use tqsim_noise::NoiseModel;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 13", "strong & weak scaling of baseline vs TQSim", &scale);
+    banner(
+        "Figure 13",
+        "strong & weak scaling of baseline vs TQSim",
+        &scale,
+    );
     let model = InterconnectModel::commodity_cluster();
     let noise = NoiseModel::sycamore();
     let shots: u64 = if scale.full { 32_000 } else { 8_192 };
 
     // ---- (a) strong scaling: fixed circuits, 1..32 nodes -------------------
     println!("\n(a) strong scaling — modeled speedup over 1 node (per shot):");
-    let widths: Vec<u16> = if scale.full { vec![22, 24, 26, 28, 30] } else { vec![18, 22, 26, 30] };
+    let widths: Vec<u16> = if scale.full {
+        vec![22, 24, 26, 28, 30]
+    } else {
+        vec![18, 22, 26, 30]
+    };
     let mut table = Table::new(&["circuit", "2 nodes", "4", "8", "16", "32"]);
     for &n in &widths {
         for (name, circuit) in [("BV", generators::bv(n)), ("QFT", generators::qft(n))] {
@@ -27,7 +37,10 @@ fn main() {
             let cells: Vec<String> = [2usize, 4, 8, 16, 32]
                 .iter()
                 .map(|&nodes| {
-                    format!("{:.1}×", t1 / estimate_shot_seconds(&circuit, &noise, nodes, &model))
+                    format!(
+                        "{:.1}×",
+                        t1 / estimate_shot_seconds(&circuit, &noise, nodes, &model)
+                    )
                 })
                 .collect();
             let mut row = vec![format!("{name} {n}")];
@@ -44,8 +57,13 @@ fn main() {
     for (i, n) in (24u16..=29).enumerate() {
         let nodes = 1usize << i;
         for (name, circuit) in [("BV", generators::bv(n)), ("QFT", generators::qft(n))] {
-            let base = Strategy::Baseline.plan(&circuit, &noise, shots).expect("plan");
-            let dcp = scale.dcp_strategy().plan(&circuit, &noise, shots).expect("plan");
+            let base = Strategy::Baseline
+                .plan(&circuit, &noise, shots)
+                .expect("plan");
+            let dcp = scale
+                .dcp_strategy()
+                .plan(&circuit, &noise, shots)
+                .expect("plan");
             let tb = estimate_tree_seconds(&circuit, &noise, &base, nodes, &model);
             let td = estimate_tree_seconds(&circuit, &noise, &dcp, nodes, &model);
             table.row(&[
@@ -64,8 +82,11 @@ fn main() {
     // ---- live validation run on the real distributed engine ----------------
     println!("\nvalidation: executed (not estimated) distributed run:");
     let circuit = generators::qft(10);
-    let partition =
-        Strategy::Custom { arities: vec![20, 2, 2] }.plan(&circuit, &noise, 80).expect("plan");
+    let partition = Strategy::Custom {
+        arities: vec![20, 2, 2],
+    }
+    .plan(&circuit, &noise, 80)
+    .expect("plan");
     let r = run_distributed(&circuit, &noise, &partition, 4, model, 13).expect("cluster run");
     println!(
         "  qft_10 on 4 nodes: {} outcomes, {} exchanges, {} transferred, modeled {}",

@@ -8,7 +8,11 @@ use tqsim_noise::NoiseModel;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 14", "normalized fidelity: baseline vs TQSim", &scale);
+    banner(
+        "Figure 14",
+        "normalized fidelity: baseline vs TQSim",
+        &scale,
+    );
 
     let suite = table2_suite_capped(scale.max_qubits().min(16));
     let shots = scale.shots();
@@ -22,8 +26,7 @@ fn main() {
 
     for bench in &suite {
         let ideal = metrics::ideal_distribution(&bench.circuit);
-        let (base, tree) =
-            head_to_head(&bench.circuit, &noise, scale.dcp_strategy(), shots, 0xF14);
+        let (base, tree) = head_to_head(&bench.circuit, &noise, scale.dcp_strategy(), shots, 0xF14);
         let fb = metrics::normalized_fidelity(&ideal, &base.counts.to_distribution());
         let ft = metrics::normalized_fidelity(&ideal, &tree.counts.to_distribution());
         let d = (fb - ft).abs();
@@ -44,7 +47,10 @@ fn main() {
     println!("\nper-class mean |ΔF|:");
     for (class, vals) in &per_class {
         if !vals.is_empty() {
-            println!("  {class:<6} {:.4}", vals.iter().sum::<f64>() / vals.len() as f64);
+            println!(
+                "  {class:<6} {:.4}",
+                vals.iter().sum::<f64>() / vals.len() as f64
+            );
         }
     }
     let avg = diffs.iter().sum::<f64>() / diffs.len().max(1) as f64;

@@ -43,7 +43,9 @@ fn main() {
             let tree = Tqsim::new(&circuit)
                 .noise(model.clone())
                 .shots(shots)
-                .strategy(Strategy::Custom { arities: partition.tree.arities().to_vec() })
+                .strategy(Strategy::Custom {
+                    arities: partition.tree.arities().to_vec(),
+                })
                 .seed(0x1600 + rep)
                 .run()
                 .expect("tqsim");

@@ -28,11 +28,15 @@ fn main() {
     let f_ref = metrics::normalized_fidelity(&ideal, &base.counts.to_distribution());
     println!("baseline normalized fidelity: {f_ref:.3}\n");
 
-    let structures = ["250-2-2", "20-10-5", "10-10-10", "5-10-20", "2-2-250", "250-1-1"];
+    let structures = [
+        "250-2-2", "20-10-5", "10-10-10", "5-10-20", "2-2-250", "250-1-1",
+    ];
     let mut table = Table::new(&["structure", "outcomes", "speedup", "|ΔF| vs baseline"]);
     for spec in structures {
         let tree: TreeStructure = spec.parse().expect("tree spec");
-        let strat = Strategy::Custom { arities: tree.arities().to_vec() };
+        let strat = Strategy::Custom {
+            arities: tree.arities().to_vec(),
+        };
         let mut diff_acc = 0.0;
         let mut speed_acc = 0.0;
         for rep in 0..reps {

@@ -10,7 +10,11 @@ use tqsim_noise::NoiseModel;
 /// Expected cut value of a measured histogram.
 fn expected_cut(counts: &tqsim::Counts, graph: &Graph) -> f64 {
     let total = counts.total() as f64;
-    counts.iter().map(|(bits, c)| graph.cut_value(bits) as f64 * c as f64).sum::<f64>() / total
+    counts
+        .iter()
+        .map(|(bits, c)| graph.cut_value(bits) as f64 * c as f64)
+        .sum::<f64>()
+        / total
 }
 
 fn main() {

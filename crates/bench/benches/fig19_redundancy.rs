@@ -13,9 +13,24 @@ fn main() {
 
     // The 18 x-axis circuits of Fig. 19, by suite name, ordered by gates.
     let wanted = [
-        "bv_n10", "qsc_n8", "qpe_n4", "qaoa_n6", "qaoa_n8", "qpe_n6", "qaoa_n9", "mul_n13",
-        "qaoa_n11", "adder_n10_0", "qaoa_n15", "qft_n10", "qv_n10", "qft_n12", "qft_n14",
-        "mul_n15_0", "qv_n16", "qft_n16",
+        "bv_n10",
+        "qsc_n8",
+        "qpe_n4",
+        "qaoa_n6",
+        "qaoa_n8",
+        "qpe_n6",
+        "qaoa_n9",
+        "mul_n13",
+        "qaoa_n11",
+        "adder_n10_0",
+        "qaoa_n15",
+        "qft_n10",
+        "qv_n10",
+        "qft_n12",
+        "qft_n14",
+        "mul_n15_0",
+        "qv_n16",
+        "qft_n16",
     ];
     let shots: u64 = if scale.full { 8_192 } else { 1_000 };
     let noise = NoiseModel::sycamore();
@@ -27,8 +42,8 @@ fn main() {
             .iter()
             .find(|b| b.name == name)
             .unwrap_or_else(|| panic!("suite circuit {name} missing"));
-        let redun = analyze_redundancy(&bench.circuit, &noise, shots, 0xF19)
-            .expect("depolarizing model");
+        let redun =
+            analyze_redundancy(&bench.circuit, &noise, shots, 0xF19).expect("depolarizing model");
         let plan = scale
             .dcp_strategy()
             .plan(&bench.circuit, &noise, shots)
@@ -37,10 +52,19 @@ fn main() {
         rows.push((
             bench.circuit.len(),
             vec![
-                format!("{name} ({},{})", bench.circuit.n_qubits(), bench.circuit.len()),
+                format!(
+                    "{name} ({},{})",
+                    bench.circuit.n_qubits(),
+                    bench.circuit.len()
+                ),
                 format!("{:.3}", redun.normalized_computation),
                 format!("{tq:.3}"),
-                if redun.normalized_computation < tq { "Redun-Elim" } else { "TQSim" }.into(),
+                if redun.normalized_computation < tq {
+                    "Redun-Elim"
+                } else {
+                    "TQSim"
+                }
+                .into(),
             ],
             redun.normalized_computation,
             tq,

@@ -1,9 +1,14 @@
-//! Criterion microbenchmarks of the state-vector substrate: gate kernels,
-//! state copies (the quantity behind Fig. 10), sampling, and noise ops.
+//! Microbenchmarks of the state-vector substrate: gate kernels, state
+//! copies (the quantity behind Fig. 10), sampling, and noise ops.
+//!
+//! Plain-main harness in the house style (no external bench framework):
+//! each primitive is timed over enough repetitions to dominate timer noise
+//! and reported as ns/op.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::time::Instant;
+use tqsim_bench::Table;
 use tqsim_circuit::{Gate, GateKind};
 use tqsim_noise::NoiseModel;
 use tqsim_statevec::StateVector;
@@ -21,10 +26,41 @@ fn scrambled_state(n: u16) -> StateVector {
     sv
 }
 
-fn bench_gate_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gate_kernels");
-    group.sample_size(20);
-    for n in [14u16, 18] {
+/// Nanoseconds per call of `f`, with a warm-up pass.
+fn ns_per_op(reps: u32, mut f: impl FnMut()) -> f64 {
+    for _ in 0..reps / 10 + 1 {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / f64::from(reps)
+}
+
+fn main() {
+    let full = std::env::var("TQSIM_FULL").is_ok_and(|v| v == "1");
+    println!("================================================================");
+    println!("kernels — substrate microbenchmarks (ns per operation)");
+    println!(
+        "mode: {}",
+        if full {
+            "FULL / paper scale"
+        } else {
+            "scaled-down"
+        }
+    );
+    println!("================================================================");
+    // TQSIM_FULL is read directly rather than via Scale::from_env: the
+    // latter also profiles the host copy cost, which is its own benchmark
+    // (fig10) and would double the runtime here.
+
+    let widths: &[u16] = if full { &[14, 18, 22] } else { &[14, 18] };
+    let reps = if full { 200 } else { 40 };
+
+    let mut table = Table::new(&["primitive", "qubits", "ns/op"]);
+
+    for &n in widths {
         let mut sv = scrambled_state(n);
         let mid = n / 2;
         for (label, gate) in [
@@ -37,34 +73,22 @@ fn bench_gate_kernels(c: &mut Criterion) {
             ("fsim", Gate::new(GateKind::FSim(0.5, 0.2), &[1, mid])),
             ("ccx", Gate::new(GateKind::Ccx, &[0, 1, mid])),
         ] {
-            group.bench_with_input(BenchmarkId::new(label, n), &gate, |b, g| {
-                b.iter(|| sv.apply_gate(black_box(g)));
-            });
+            let ns = ns_per_op(reps, || sv.apply_gate(black_box(&gate)));
+            table.row(&[format!("gate/{label}"), n.to_string(), format!("{ns:.0}")]);
         }
-    }
-    group.finish();
-}
 
-fn bench_copy_and_sample(c: &mut Criterion) {
-    let mut group = c.benchmark_group("copy_and_sample");
-    group.sample_size(20);
-    for n in [14u16, 18] {
-        let sv = scrambled_state(n);
+        let src = scrambled_state(n);
         let mut dst = StateVector::zero(n);
-        group.bench_with_input(BenchmarkId::new("state_copy", n), &sv, |b, s| {
-            b.iter(|| dst.copy_from(black_box(s)));
-        });
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        group.bench_with_input(BenchmarkId::new("sample_one", n), &sv, |b, s| {
-            b.iter(|| black_box(s.sample(&mut rng)));
-        });
-    }
-    group.finish();
-}
+        let ns = ns_per_op(reps, || dst.copy_from(black_box(&src)));
+        table.row(&["state_copy".into(), n.to_string(), format!("{ns:.0}")]);
 
-fn bench_noise_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("noise_ops");
-    group.sample_size(20);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let ns = ns_per_op(reps, || {
+            black_box(src.sample(&mut rng));
+        });
+        table.row(&["sample_one".into(), n.to_string(), format!("{ns:.0}")]);
+    }
+
     let n = 14u16;
     let gate = Gate::new(GateKind::Cx, &[0, n / 2]);
     for model in [
@@ -74,12 +98,15 @@ fn bench_noise_ops(c: &mut Criterion) {
     ] {
         let mut sv = scrambled_state(n);
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        group.bench_function(BenchmarkId::new("after_cx", model.name()), |b| {
-            b.iter(|| model.apply_after_gate(&mut sv, black_box(&gate), &mut rng));
+        let ns = ns_per_op(reps, || {
+            model.apply_after_gate(&mut sv, black_box(&gate), &mut rng);
         });
+        table.row(&[
+            format!("noise/{}", model.name()),
+            n.to_string(),
+            format!("{ns:.0}"),
+        ]);
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_gate_kernels, bench_copy_and_sample, bench_noise_ops);
-criterion_main!(benches);
+    table.print();
+}

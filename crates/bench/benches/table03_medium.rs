@@ -27,8 +27,13 @@ fn main() {
     let shots = if scale.full { 32_000 } else { 1_000 };
     let noise = NoiseModel::sycamore();
 
-    let mut table =
-        Table::new(&["benchmark", "baseline time", "TQSim time", "tree", "speedup"]);
+    let mut table = Table::new(&[
+        "benchmark",
+        "baseline time",
+        "TQSim time",
+        "tree",
+        "speedup",
+    ]);
     for (name, circuit) in &circuits {
         let (base, tree) = head_to_head(circuit, &noise, scale.dcp_strategy(), shots, 0x3);
         table.row(&[

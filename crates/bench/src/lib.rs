@@ -29,10 +29,15 @@ impl Scale {
     /// Fig. 10) on hosts with faster memory.
     pub fn from_env() -> Self {
         let full = std::env::var("TQSIM_FULL").is_ok_and(|v| v == "1");
-        let copy_cost = match std::env::var("TQSIM_COPY_COST").ok().and_then(|v| v.parse().ok()) {
+        let copy_cost = match std::env::var("TQSIM_COPY_COST")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
             Some(c) if c > 0.0 => c,
             // One mid-size measurement; the ratio is width-insensitive (§3.6).
-            _ => tqsim_statevec::profile::measure_copy_cost(12, 5).ratio().max(4.0),
+            _ => tqsim_statevec::profile::measure_copy_cost(12, 5)
+                .ratio()
+                .max(4.0),
         };
         Scale { full, copy_cost }
     }
@@ -79,7 +84,11 @@ pub fn banner(artifact: &str, description: &str, scale: &Scale) {
     println!("{artifact} — {description}");
     println!(
         "mode: {} (copy cost ≈ {:.1} gates; set TQSIM_FULL=1 for paper scale)",
-        if scale.full { "FULL / paper scale" } else { "scaled-down" },
+        if scale.full {
+            "FULL / paper scale"
+        } else {
+            "scaled-down"
+        },
         scale.copy_cost
     );
     println!("================================================================");
@@ -94,7 +103,10 @@ pub struct Table {
 impl Table {
     /// Start a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (stringified cells).
@@ -123,7 +135,13 @@ impl Table {
             println!("{}", out.trim_end());
         };
         line(&self.headers);
-        println!("{}", widths.iter().map(|w| "-".repeat(*w + 2)).collect::<String>());
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w + 2))
+                .collect::<String>()
+        );
         for row in &self.rows {
             line(row);
         }
@@ -212,8 +230,15 @@ mod tests {
     fn head_to_head_produces_equal_shot_budgets() {
         let c = generators::bv(6);
         let noise = NoiseModel::sycamore();
-        let (base, tree) =
-            head_to_head(&c, &noise, Strategy::Custom { arities: vec![10, 10] }, 100, 1);
+        let (base, tree) = head_to_head(
+            &c,
+            &noise,
+            Strategy::Custom {
+                arities: vec![10, 10],
+            },
+            100,
+            1,
+        );
         assert_eq!(base.counts.total(), 100);
         assert_eq!(tree.counts.total(), 100);
     }

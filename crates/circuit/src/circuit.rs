@@ -60,7 +60,10 @@ impl From<GateError> for CircuitError {
 impl Circuit {
     /// An empty circuit on `n_qubits` qubits.
     pub fn new(n_qubits: u16) -> Self {
-        Circuit { n_qubits, gates: Vec::new() }
+        Circuit {
+            n_qubits,
+            gates: Vec::new(),
+        }
     }
 
     /// Register width (number of qubits).
@@ -97,7 +100,10 @@ impl Circuit {
     pub fn try_push(&mut self, kind: GateKind, qubits: &[u16]) -> Result<(), CircuitError> {
         let gate = Gate::try_new(kind, qubits)?;
         if let Some(&q) = qubits.iter().find(|&&q| q >= self.n_qubits) {
-            return Err(CircuitError::QubitOutOfRange { qubit: q, width: self.n_qubits });
+            return Err(CircuitError::QubitOutOfRange {
+                qubit: q,
+                width: self.n_qubits,
+            });
         }
         self.gates.push(gate);
         Ok(())
@@ -136,7 +142,10 @@ impl Circuit {
     ///
     /// Panics if the range is out of bounds.
     pub fn slice(&self, range: Range<usize>) -> Circuit {
-        Circuit { n_qubits: self.n_qubits, gates: self.gates[range].to_vec() }
+        Circuit {
+            n_qubits: self.n_qubits,
+            gates: self.gates[range].to_vec(),
+        }
     }
 
     /// Number of gates acting on ≥ 2 qubits.
@@ -159,7 +168,13 @@ impl Circuit {
         let mut ready = vec![0usize; self.n_qubits as usize];
         let mut depth = 0;
         for g in &self.gates {
-            let layer = g.qubits().iter().map(|&q| ready[q as usize]).max().unwrap_or(0) + 1;
+            let layer = g
+                .qubits()
+                .iter()
+                .map(|&q| ready[q as usize])
+                .max()
+                .unwrap_or(0)
+                + 1;
             for &q in g.qubits() {
                 ready[q as usize] = layer;
             }
@@ -312,7 +327,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit[{} qubits, {} gates]", self.n_qubits, self.gates.len())?;
+        writeln!(
+            f,
+            "circuit[{} qubits, {} gates]",
+            self.n_qubits,
+            self.gates.len()
+        )?;
         for g in &self.gates {
             writeln!(f, "  {g}")?;
         }

@@ -1,6 +1,6 @@
 //! Gate definitions: the [`GateKind`] catalogue and the placed [`Gate`].
 
-use crate::math::{c64, C64, Mat2, Mat4, FRAC_1_SQRT_2, I, ONE, ZERO};
+use crate::math::{c64, Mat2, Mat4, C64, FRAC_1_SQRT_2, I, ONE, ZERO};
 use std::fmt;
 
 /// The catalogue of supported gate operations.
@@ -117,7 +117,10 @@ impl GateKind {
     /// kernels exploit this.
     pub fn is_diagonal(&self) -> bool {
         use GateKind::*;
-        matches!(self, Id | Z | S | Sdg | T | Tdg | Rz(_) | Phase(_) | Cz | CPhase(_) | Rzz(_))
+        matches!(
+            self,
+            Id | Z | S | Sdg | T | Tdg | Rz(_) | Phase(_) | Cz | CPhase(_) | Rzz(_)
+        )
     }
 
     /// The 2×2 matrix of a single-qubit kind, `None` for multi-qubit kinds.
@@ -353,7 +356,11 @@ pub enum GateError {
 impl fmt::Display for GateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GateError::ArityMismatch { kind, expected, got } => {
+            GateError::ArityMismatch {
+                kind,
+                expected,
+                got,
+            } => {
                 write!(f, "gate {kind} expects {expected} qubits, got {got}")
             }
             GateError::DuplicateQubit { qubit } => {
@@ -409,10 +416,7 @@ mod tests {
         let sw = GateKind::Sw.matrix1().unwrap();
         let h = FRAC_1_SQRT_2;
         // W = (X+Y)/√2
-        let w = Mat2([
-            [ZERO, c64(h, -h)],
-            [c64(h, h), ZERO],
-        ]);
+        let w = Mat2([[ZERO, c64(h, -h)], [c64(h, h), ZERO]]);
         assert!(sw.mul(&sw).approx_eq(&w, 1e-12), "{:?}", sw.mul(&sw));
     }
 

@@ -56,7 +56,11 @@ mod tests {
         ] {
             let (c, g) = qaoa_random(n, m, 1234, 0.4, 0.9);
             assert_eq!(g.n_edges(), m);
-            assert!(c.len().abs_diff(paper) <= 2, "n={n}: {} vs {paper}", c.len());
+            assert!(
+                c.len().abs_diff(paper) <= 2,
+                "n={n}: {} vs {paper}",
+                c.len()
+            );
         }
     }
 

@@ -43,7 +43,15 @@ mod tests {
     fn gate_counts_match_table2() {
         // (n, expected): Table 2 lists 237 (n=10), 344 (n=12), 472 (n=14),
         // 619 (n=16), 787 (n=18), 975 (n=20). Our formula lands within ±2.
-        for (n, paper) in [(8u16, 146usize), (10, 237), (12, 344), (14, 472), (16, 619), (18, 787), (20, 975)] {
+        for (n, paper) in [
+            (8u16, 146usize),
+            (10, 237),
+            (12, 344),
+            (14, 472),
+            (16, 619),
+            (18, 787),
+            (20, 975),
+        ] {
             let got = qft(n).len();
             let delta = got.abs_diff(paper);
             assert!(delta <= 4, "n={n}: generated {got}, paper {paper}");

@@ -28,7 +28,10 @@ pub fn qpe(m: u16, phase: f64) -> Circuit {
 /// Panics if `m == 0` or `m > 10` (the unrolled form explodes beyond that).
 pub fn qpe_unrolled(m: u16, phase: f64) -> Circuit {
     assert!(m >= 1, "QPE needs at least one counting qubit");
-    assert!(m <= 10, "unrolled QPE is exponential in m; use qpe() instead");
+    assert!(
+        m <= 10,
+        "unrolled QPE is exponential in m; use qpe() instead"
+    );
     let target = m;
     let mut c = Circuit::new(m + 1);
     c.x(target);

@@ -17,7 +17,10 @@ use std::f64::consts::{FRAC_PI_2, PI};
 /// Panics if `n < 2` or `target_gates < n` (the initial H layer must fit).
 pub fn qsc(n: u16, target_gates: usize, seed: u64) -> Circuit {
     assert!(n >= 2, "QSC needs at least 2 qubits");
-    assert!(target_gates >= n as usize, "target too small for the H layer");
+    assert!(
+        target_gates >= n as usize,
+        "target too small for the H layer"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut c = Circuit::new(n);
     for q in 0..n {
@@ -66,7 +69,14 @@ mod tests {
     #[test]
     fn exact_table2_gate_counts() {
         // Fig. 11g tuples: (8,38) (9,45) (10,61) (12,90) (15,132) (16,160).
-        for (n, g) in [(8u16, 38usize), (9, 45), (10, 61), (12, 90), (15, 132), (16, 160)] {
+        for (n, g) in [
+            (8u16, 38usize),
+            (9, 45),
+            (10, 61),
+            (12, 90),
+            (15, 132),
+            (16, 160),
+        ] {
             let c = qsc(n, g, 99);
             assert_eq!(c.len(), g, "n={n}");
             assert_eq!(c.n_qubits(), n);

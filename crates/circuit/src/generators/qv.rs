@@ -26,7 +26,10 @@ pub const QV_BLOCK_GATES: usize = 11;
 ///
 /// Panics if `n` is odd or `< 2`.
 pub fn qv(n: u16, seed: u64) -> Circuit {
-    assert!(n >= 2 && n.is_multiple_of(2), "QV circuits require an even width >= 2");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "QV circuits require an even width >= 2"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut c = Circuit::new(n);
     let mut order: Vec<u16> = (0..n).collect();

@@ -1,6 +1,8 @@
 //! The full 48-circuit Table-2 benchmark suite.
 
-use super::{adder_full, adder_ripple, bv, mul, qaoa_random, qft, qpe, qpe_approx, qpe_unrolled, qsc, qv};
+use super::{
+    adder_full, adder_ripple, bv, mul, qaoa_random, qft, qpe, qpe_approx, qpe_unrolled, qsc, qv,
+};
 use crate::Circuit;
 use std::fmt;
 
@@ -83,14 +85,26 @@ impl BenchCircuit {
         paper_gates: usize,
         circuit: Circuit,
     ) -> Self {
-        BenchCircuit { class, name: name.into(), paper_qubits, paper_gates, circuit }
+        BenchCircuit {
+            class,
+            name: name.into(),
+            paper_qubits,
+            paper_gates,
+            circuit,
+        }
     }
 }
 
 /// QAOA instance parameters used by the suite: seeded G(n, m) graphs with
 /// fixed canonical angles.
-const QAOA_INSTANCES: [(u16, usize, usize); 6] =
-    [(6, 15, 58), (8, 21, 79), (9, 24, 89), (11, 34, 123), (13, 38, 139), (15, 48, 175)];
+const QAOA_INSTANCES: [(u16, usize, usize); 6] = [
+    (6, 15, 58),
+    (8, 21, 79),
+    (9, 24, 89),
+    (11, 34, 123),
+    (13, 38, 139),
+    (15, 48, 175),
+];
 
 /// Build the full 48-circuit Table-2 suite.
 ///
@@ -102,48 +116,128 @@ pub fn table2_suite() -> Vec<BenchCircuit> {
 
     for v in 0..=2u8 {
         let gates = 16 + v as usize;
-        out.push(BenchCircuit::new(Adder, format!("adder_n4_{v}"), 4, gates, adder_full(v)));
+        out.push(BenchCircuit::new(
+            Adder,
+            format!("adder_n4_{v}"),
+            4,
+            gates,
+            adder_full(v),
+        ));
     }
     for (v, paper) in [(0u8, 129usize), (1, 133), (2, 138)] {
-        out.push(BenchCircuit::new(Adder, format!("adder_n10_{v}"), 10, paper, adder_ripple(4, v)));
+        out.push(BenchCircuit::new(
+            Adder,
+            format!("adder_n10_{v}"),
+            10,
+            paper,
+            adder_ripple(4, v),
+        ));
     }
 
     for n in [6u16, 8, 10, 12, 14, 16] {
-        out.push(BenchCircuit::new(Bv, format!("bv_n{n}"), n, 3 * n as usize - 2, bv(n)));
+        out.push(BenchCircuit::new(
+            Bv,
+            format!("bv_n{n}"),
+            n,
+            3 * n as usize - 2,
+            bv(n),
+        ));
     }
 
     out.push(BenchCircuit::new(Mul, "mul_n13", 13, 92, mul(3, 3, 2)));
     for (v, paper) in [(0u8, 492usize), (1, 488), (2, 494), (3, 490)] {
-        out.push(BenchCircuit::new(Mul, format!("mul_n15_{v}"), 15, paper, mul(4, 3, v)));
+        out.push(BenchCircuit::new(
+            Mul,
+            format!("mul_n15_{v}"),
+            15,
+            paper,
+            mul(4, 3, v),
+        ));
     }
     out.push(BenchCircuit::new(Mul, "mul_n25", 25, 1477, mul(8, 4, 5)));
 
     for (i, (n, m, paper)) in QAOA_INSTANCES.into_iter().enumerate() {
         let (circuit, _graph) = qaoa_random(n, m, 0xA0A0 + i as u64, 0.4, 0.9);
-        out.push(BenchCircuit::new(Qaoa, format!("qaoa_n{n}"), n, paper, circuit));
+        out.push(BenchCircuit::new(
+            Qaoa,
+            format!("qaoa_n{n}"),
+            n,
+            paper,
+            circuit,
+        ));
     }
 
-    for (n, paper) in [(8u16, 146usize), (10, 237), (12, 344), (14, 472), (16, 619), (18, 787)] {
-        out.push(BenchCircuit::new(Qft, format!("qft_n{n}"), n, paper, qft(n)));
+    for (n, paper) in [
+        (8u16, 146usize),
+        (10, 237),
+        (12, 344),
+        (14, 472),
+        (16, 619),
+        (18, 787),
+    ] {
+        out.push(BenchCircuit::new(
+            Qft,
+            format!("qft_n{n}"),
+            n,
+            paper,
+            qft(n),
+        ));
     }
 
     let third = 1.0 / 3.0;
-    out.push(BenchCircuit::new(Qpe, "qpe_n4", 4, 53, qpe_unrolled(3, third)));
-    out.push(BenchCircuit::new(Qpe, "qpe_n6", 6, 79, qpe_approx(5, third, 2)));
+    out.push(BenchCircuit::new(
+        Qpe,
+        "qpe_n4",
+        4,
+        53,
+        qpe_unrolled(3, third),
+    ));
+    out.push(BenchCircuit::new(
+        Qpe,
+        "qpe_n6",
+        6,
+        79,
+        qpe_approx(5, third, 2),
+    ));
     out.push(BenchCircuit::new(Qpe, "qpe_n9_0", 9, 187, qpe(8, third)));
-    out.push(BenchCircuit::new(Qpe, "qpe_n9_1", 9, 120, qpe_approx(8, third, 2)));
+    out.push(BenchCircuit::new(
+        Qpe,
+        "qpe_n9_1",
+        9,
+        120,
+        qpe_approx(8, third, 2),
+    ));
     out.push(BenchCircuit::new(Qpe, "qpe_n11", 11, 283, qpe(10, third)));
     out.push(BenchCircuit::new(Qpe, "qpe_n16", 16, 609, qpe(15, third)));
 
-    for (i, (n, g)) in [(8u16, 38usize), (9, 45), (10, 61), (12, 90), (15, 132), (16, 160)]
-        .into_iter()
-        .enumerate()
+    for (i, (n, g)) in [
+        (8u16, 38usize),
+        (9, 45),
+        (10, 61),
+        (12, 90),
+        (15, 132),
+        (16, 160),
+    ]
+    .into_iter()
+    .enumerate()
     {
-        out.push(BenchCircuit::new(Qsc, format!("qsc_n{n}"), n, g, qsc(n, g, 0x5C + i as u64)));
+        out.push(BenchCircuit::new(
+            Qsc,
+            format!("qsc_n{n}"),
+            n,
+            g,
+            qsc(n, g, 0x5C + i as u64),
+        ));
     }
 
     for (i, n) in [10u16, 12, 14, 16, 18, 20].into_iter().enumerate() {
-        out.push(BenchCircuit::new(Qv, format!("qv_n{n}"), n, 33 * n as usize, qv(n, 0x57 + i as u64)));
+        out.push(BenchCircuit::new(
+            Qv,
+            format!("qv_n{n}"),
+            n,
+            33 * n as usize,
+            qv(n, 0x57 + i as u64),
+        ));
     }
 
     out
@@ -152,7 +246,10 @@ pub fn table2_suite() -> Vec<BenchCircuit> {
 /// The suite restricted to instances of at most `max_qubits` qubits —
 /// the knob every harness uses to stay laptop-scale by default.
 pub fn table2_suite_capped(max_qubits: u16) -> Vec<BenchCircuit> {
-    table2_suite().into_iter().filter(|b| b.circuit.n_qubits() <= max_qubits).collect()
+    table2_suite()
+        .into_iter()
+        .filter(|b| b.circuit.n_qubits() <= max_qubits)
+        .collect()
 }
 
 #[cfg(test)]

@@ -30,7 +30,10 @@ impl Graph {
         let before = normalized.len();
         normalized.dedup();
         assert_eq!(before, normalized.len(), "duplicate edges");
-        Graph { n, edges: normalized }
+        Graph {
+            n,
+            edges: normalized,
+        }
     }
 
     /// Complete graph K_n.
@@ -47,7 +50,10 @@ impl Graph {
     /// Star graph: vertex 0 connected to all others.
     pub fn star(n: u16) -> Self {
         assert!(n >= 2, "star graph needs at least 2 vertices");
-        Graph { n, edges: (1..n).map(|b| (0, b)).collect() }
+        Graph {
+            n,
+            edges: (1..n).map(|b| (0, b)).collect(),
+        }
     }
 
     /// Cycle graph C_n.
@@ -85,7 +91,10 @@ impl Graph {
     /// Panics if `n * d` is odd or `d >= n`.
     pub fn random_regular(n: u16, d: u16, seed: u64) -> Self {
         assert!(d < n, "degree {d} too large for {n} vertices");
-        assert!((n as usize * d as usize).is_multiple_of(2), "n*d must be even");
+        assert!(
+            (n as usize * d as usize).is_multiple_of(2),
+            "n*d must be even"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         'outer: for _attempt in 0..1000 {
             let mut stubs: Vec<u16> = Vec::with_capacity(n as usize * d as usize);
@@ -138,7 +147,10 @@ impl Graph {
     /// Panics for graphs with more than 24 vertices.
     pub fn max_cut_brute_force(&self) -> usize {
         assert!(self.n <= 24, "brute force limited to 24 vertices");
-        (0u64..1 << self.n).map(|bits| self.cut_value(bits)).max().unwrap_or(0)
+        (0u64..1 << self.n)
+            .map(|bits| self.cut_value(bits))
+            .max()
+            .unwrap_or(0)
     }
 }
 

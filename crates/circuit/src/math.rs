@@ -266,7 +266,10 @@ mod tests {
 
     #[test]
     fn adjoint_involution() {
-        let m = Mat2([[c64(1.0, 2.0), c64(0.5, -0.25)], [c64(-3.0, 0.0), c64(0.0, 1.0)]]);
+        let m = Mat2([
+            [c64(1.0, 2.0), c64(0.5, -0.25)],
+            [c64(-3.0, 0.0), c64(0.0, 1.0)],
+        ]);
         assert!(m.adjoint().adjoint().approx_eq(&m, 1e-15));
     }
 

@@ -37,7 +37,14 @@ fn cancels(a: &Gate, b: &Gate) -> bool {
     use GateKind::*;
     matches!(
         (a.kind(), b.kind()),
-        (X, X) | (Y, Y) | (Z, Z) | (H, H) | (Cx, Cx) | (Cz, Cz) | (Swap, Swap) | (Ccx, Ccx)
+        (X, X)
+            | (Y, Y)
+            | (Z, Z)
+            | (H, H)
+            | (Cx, Cx)
+            | (Cz, Cz)
+            | (Swap, Swap)
+            | (Ccx, Ccx)
             | (S, Sdg)
             | (Sdg, S)
             | (T, Tdg)
@@ -255,9 +262,14 @@ mod tests {
     fn full_pipeline_on_redundant_circuit() {
         use tqsim_circuit_test_support::states_equal;
         let mut c = Circuit::new(3);
-        c.h(0).h(0) // cancels
-            .rz(0.2, 1).rz(0.3, 1) // merges
-            .h(2).t(2).s(2).tdg(2) // fuses
+        c.h(0)
+            .h(0) // cancels
+            .rz(0.2, 1)
+            .rz(0.3, 1) // merges
+            .h(2)
+            .t(2)
+            .s(2)
+            .tdg(2) // fuses
             .cx(0, 1)
             .ccx(0, 1, 2)
             .ccx(0, 1, 2); // cancels
@@ -308,12 +320,8 @@ mod tests {
                         let (hi, lo) = (qs[0] as usize, qs[1] as usize);
                         for i in 0..dim {
                             if i & (1 << hi) == 0 && i & (1 << lo) == 0 {
-                                let idx = [
-                                    i,
-                                    i | (1 << lo),
-                                    i | (1 << hi),
-                                    i | (1 << hi) | (1 << lo),
-                                ];
+                                let idx =
+                                    [i, i | (1 << lo), i | (1 << hi), i | (1 << hi) | (1 << lo)];
                                 let v = [amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]];
                                 for (r, &target) in idx.iter().enumerate() {
                                     amps[target] = (0..4).map(|k| m.0[r][k] * v[k]).sum();

@@ -268,7 +268,9 @@ impl DistributedStateVector {
         let mut swaps: Vec<(u16, u16)> = Vec::new();
         for q in qubits.iter_mut() {
             if *q >= local_n {
-                let dst = scratch.pop().expect("constructor guarantees >= 3 local qubits");
+                let dst = scratch
+                    .pop()
+                    .expect("constructor guarantees >= 3 local qubits");
                 let gb = *q - local_n;
                 self.dswap(gb, dst);
                 swaps.push((gb, dst));
@@ -442,7 +444,12 @@ mod tests {
 
     fn assert_states_match(dsv: &DistributedStateVector, sv: &StateVector) {
         let gathered = dsv.gather();
-        for (i, (a, b)) in gathered.amplitudes().iter().zip(sv.amplitudes()).enumerate() {
+        for (i, (a, b)) in gathered
+            .amplitudes()
+            .iter()
+            .zip(sv.amplitudes())
+            .enumerate()
+        {
             assert!((a - b).norm() < 1e-10, "amplitude {i}: {a} vs {b}");
         }
     }
@@ -451,7 +458,10 @@ mod tests {
     fn construction_validation() {
         let m = InterconnectModel::commodity_cluster();
         assert!(DistributedStateVector::zero(8, 3, m).is_err());
-        assert!(DistributedStateVector::zero(4, 4, m).is_err(), "only 2 local qubits");
+        assert!(
+            DistributedStateVector::zero(4, 4, m).is_err(),
+            "only 2 local qubits"
+        );
         assert!(DistributedStateVector::zero(8, 4, m).is_ok());
     }
 
@@ -468,7 +478,10 @@ mod tests {
         }
         assert_states_match(&dsv, &sv);
         assert_eq!(dsv.counters.global_gates, 0);
-        assert_eq!(dsv.counters.exchanges, 0, "all-local circuit must not communicate");
+        assert_eq!(
+            dsv.counters.exchanges, 0,
+            "all-local circuit must not communicate"
+        );
     }
 
     #[test]
@@ -476,7 +489,13 @@ mod tests {
         let m = InterconnectModel::commodity_cluster();
         // Gates deliberately touching the top (global) qubits.
         let mut c = Circuit::new(8);
-        c.h(7).cx(7, 0).h(6).cx(6, 7).ccx(7, 6, 5).swap(5, 7).rz(0.3, 6);
+        c.h(7)
+            .cx(7, 0)
+            .h(6)
+            .cx(6, 7)
+            .ccx(7, 6, 5)
+            .swap(5, 7)
+            .rz(0.3, 6);
         let mut sv = StateVector::zero(8);
         sv.apply_circuit(&c);
         let mut dsv = DistributedStateVector::zero(8, 8, m).unwrap();
@@ -492,7 +511,11 @@ mod tests {
     #[test]
     fn full_benchmarks_match_single_node() {
         let m = InterconnectModel::commodity_cluster();
-        for circuit in [generators::qft(7), generators::bv(7), generators::qsc(7, 40, 3)] {
+        for circuit in [
+            generators::qft(7),
+            generators::bv(7),
+            generators::qsc(7, 40, 3),
+        ] {
             let mut sv = StateVector::zero(7);
             sv.apply_circuit(&circuit);
             for nodes in [1usize, 2, 4, 8] {

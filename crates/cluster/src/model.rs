@@ -100,8 +100,16 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = ClusterCounters { local_gates: 2, simulated_seconds: 1.0, ..Default::default() };
-        let b = ClusterCounters { local_gates: 3, simulated_seconds: 0.5, ..Default::default() };
+        let mut a = ClusterCounters {
+            local_gates: 2,
+            simulated_seconds: 1.0,
+            ..Default::default()
+        };
+        let b = ClusterCounters {
+            local_gates: 3,
+            simulated_seconds: 0.5,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.local_gates, 5);
         assert!((a.simulated_seconds - 1.5).abs() < 1e-12);

@@ -48,7 +48,15 @@ pub fn run_distributed(
         .map(|_| DistributedStateVector::zero(n, n_nodes, model))
         .collect::<Result<_, _>>()?;
 
-    recurse(&subcircuits, partition, noise, 0, &mut states, &mut counts, &mut rng);
+    recurse(
+        &subcircuits,
+        partition,
+        noise,
+        0,
+        &mut states,
+        &mut counts,
+        &mut rng,
+    );
 
     let mut counters = ClusterCounters::default();
     for s in &states {
@@ -81,7 +89,15 @@ fn recurse(
             child.apply_gate(gate);
             child.counters.noise_ops += noise.apply_after_gate(child, gate, rng);
         }
-        recurse(subcircuits, partition, noise, level + 1, states, counts, rng);
+        recurse(
+            subcircuits,
+            partition,
+            noise,
+            level + 1,
+            states,
+            counts,
+            rng,
+        );
     }
 }
 
@@ -112,8 +128,7 @@ pub fn estimate_shot_seconds(
         } else {
             noise.channels_2q().len() * gate.arity().min(2)
         } as f64;
-        t += n_channels
-            * (3.0 * model.compute_time(slice_len) + model.allreduce_time(n_nodes));
+        t += n_channels * (3.0 * model.compute_time(slice_len) + model.allreduce_time(n_nodes));
     }
     t
 }
@@ -165,11 +180,12 @@ mod tests {
         let shots = 600u64;
         let partition = Strategy::Baseline.plan(&circuit, &noise, shots).unwrap();
         let model = InterconnectModel::commodity_cluster();
-        let dist =
-            run_distributed(&circuit, &noise, &partition, 4, model, 11).unwrap();
+        let dist = run_distributed(&circuit, &noise, &partition, 4, model, 11).unwrap();
         assert_eq!(dist.counts.total(), shots);
         // Single-node reference.
-        let single = tqsim::TreeExecutor::new(&circuit, &noise, partition).unwrap().run(11);
+        let single = tqsim::TreeExecutor::new(&circuit, &noise, partition)
+            .unwrap()
+            .run(11);
         let secret = 0b111_1110u64;
         let hit = |c: &Counts| {
             (0..2u64).map(|a| c.get(secret | (a << 7))).sum::<u64>() as f64 / c.total() as f64
@@ -181,8 +197,11 @@ mod tests {
     fn distributed_tree_produces_expected_outcomes_and_comm() {
         let circuit = generators::qft(8);
         let noise = NoiseModel::sycamore();
-        let partition =
-            Strategy::Custom { arities: vec![10, 2, 2] }.plan(&circuit, &noise, 40).unwrap();
+        let partition = Strategy::Custom {
+            arities: vec![10, 2, 2],
+        }
+        .plan(&circuit, &noise, 40)
+        .unwrap();
         let model = InterconnectModel::commodity_cluster();
         let r = run_distributed(&circuit, &noise, &partition, 4, model, 3).unwrap();
         assert_eq!(r.counts.total(), 40);
@@ -205,7 +224,10 @@ mod tests {
         assert!(t8 < t1, "8 nodes should beat 1");
         let s8 = t1 / t8;
         let s32 = t1 / t32;
-        assert!(s32 < 32.0 * 0.8, "communication must erode ideal scaling, got {s32}");
+        assert!(
+            s32 < 32.0 * 0.8,
+            "communication must erode ideal scaling, got {s32}"
+        );
         assert!(s32 > s8 * 0.5, "still roughly monotone");
     }
 
@@ -231,7 +253,9 @@ mod tests {
         let noise = NoiseModel::sycamore();
         let model = InterconnectModel::commodity_cluster();
         let base = Strategy::Baseline.plan(&circuit, &noise, 1000).unwrap();
-        let dcp = Strategy::default_dcp().plan(&circuit, &noise, 1000).unwrap();
+        let dcp = Strategy::default_dcp()
+            .plan(&circuit, &noise, 1000)
+            .unwrap();
         let tb = estimate_tree_seconds(&circuit, &noise, &base, 8, &model);
         let td = estimate_tree_seconds(&circuit, &noise, &dcp, 8, &model);
         assert!(td < tb, "TQSim {td} should beat baseline {tb}");

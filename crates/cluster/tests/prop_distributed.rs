@@ -10,8 +10,14 @@ fn arb_gate(n: u16) -> impl Strategy<Value = Gate> {
     let q = 0..n;
     prop_oneof![
         (q.clone(), 0usize..6).prop_map(move |(q, k)| {
-            let kind =
-                [GateKind::X, GateKind::H, GateKind::S, GateKind::T, GateKind::Sx, GateKind::Y][k];
+            let kind = [
+                GateKind::X,
+                GateKind::H,
+                GateKind::S,
+                GateKind::T,
+                GateKind::Sx,
+                GateKind::Y,
+            ][k];
             Gate::new(kind, &[q])
         }),
         (q.clone(), -3.2f64..3.2).prop_map(move |(q, t)| Gate::new(GateKind::Ry(t), &[q])),
@@ -19,7 +25,10 @@ fn arb_gate(n: u16) -> impl Strategy<Value = Gate> {
             if a == b {
                 return None;
             }
-            Some(Gate::new([GateKind::Cx, GateKind::Cz, GateKind::Swap][k], &[a, b]))
+            Some(Gate::new(
+                [GateKind::Cx, GateKind::Cz, GateKind::Swap][k],
+                &[a, b],
+            ))
         }),
         (q.clone(), q.clone(), q).prop_filter_map("distinct", move |(a, b, c)| {
             if a == b || b == c || a == c {

@@ -75,9 +75,15 @@ pub fn sample_size(z: f64, margin: f64, p_hat: f64, n_shots: u64) -> u64 {
 }
 
 /// Eq. 4: aggregate error rate `1 − ∏(1 − e_i)` of a gate slice.
-pub fn aggregate_error_rate(circuit: &Circuit, range: std::ops::Range<usize>, noise: &NoiseModel) -> f64 {
-    let survive: f64 =
-        circuit.gates()[range].iter().map(|g| 1.0 - noise.gate_error_rate(g)).product();
+pub fn aggregate_error_rate(
+    circuit: &Circuit,
+    range: std::ops::Range<usize>,
+    noise: &NoiseModel,
+) -> f64 {
+    let survive: f64 = circuit.gates()[range]
+        .iter()
+        .map(|g| 1.0 - noise.gate_error_rate(g))
+        .product();
     1.0 - survive
 }
 
@@ -120,7 +126,11 @@ pub fn plan_dcp(
     let remaining = len - l0;
     let k_gates = remaining / min_len;
     let ratio = shots as f64 / a0 as f64;
-    let k_shots = if ratio >= 2.0 { ratio.log2().floor() as usize } else { 0 };
+    let k_shots = if ratio >= 2.0 {
+        ratio.log2().floor() as usize
+    } else {
+        0
+    };
     let mut k = k_gates.min(k_shots);
     if let Some(max_k) = cfg.max_subcircuits {
         k = k.min(max_k.saturating_sub(1));
@@ -186,7 +196,10 @@ mod tests {
         // speedup 3.53×.
         let c = generators::qft(14);
         let noise = tqsim_noise::NoiseModel::sycamore();
-        let cfg = DcpConfig { copy_cost: 20.0, ..DcpConfig::default() };
+        let cfg = DcpConfig {
+            copy_cost: 20.0,
+            ..DcpConfig::default()
+        };
         let p = plan_dcp(&c, &noise, 32_000, &cfg).unwrap();
         assert_eq!(p.k(), 7, "subcircuits: {}", p.k());
         let arities = p.tree.arities();
@@ -199,7 +212,10 @@ mod tests {
     fn short_circuit_falls_back_to_baseline() {
         let c = generators::bv(6); // 16 gates
         let noise = tqsim_noise::NoiseModel::sycamore();
-        let cfg = DcpConfig { copy_cost: 30.0, ..DcpConfig::default() };
+        let cfg = DcpConfig {
+            copy_cost: 30.0,
+            ..DcpConfig::default()
+        };
         let p = plan_dcp(&c, &noise, 1000, &cfg).unwrap();
         assert_eq!(p.k(), 1);
         assert_eq!(p.tree.outcomes(), 1000);
@@ -210,7 +226,10 @@ mod tests {
         // The paper's BV observation: only 2 subcircuits fit.
         let c = generators::bv(16); // 46 gates
         let noise = tqsim_noise::NoiseModel::sycamore();
-        let cfg = DcpConfig { copy_cost: 20.0, ..DcpConfig::default() };
+        let cfg = DcpConfig {
+            copy_cost: 20.0,
+            ..DcpConfig::default()
+        };
         let p = plan_dcp(&c, &noise, 32_000, &cfg).unwrap();
         assert_eq!(p.k(), 2, "tree = {}", p.tree);
     }
@@ -233,8 +252,11 @@ mod tests {
     fn max_subcircuits_respected() {
         let c = generators::qft(14);
         let noise = tqsim_noise::NoiseModel::sycamore();
-        let cfg =
-            DcpConfig { copy_cost: 20.0, max_subcircuits: Some(3), ..DcpConfig::default() };
+        let cfg = DcpConfig {
+            copy_cost: 20.0,
+            max_subcircuits: Some(3),
+            ..DcpConfig::default()
+        };
         let p = plan_dcp(&c, &noise, 32_000, &cfg).unwrap();
         assert!(p.k() <= 3);
     }
@@ -243,16 +265,28 @@ mod tests {
     fn outcomes_always_cover_shots() {
         let noise = tqsim_noise::NoiseModel::sycamore();
         for shots in [100u64, 777, 1000, 4096, 32_000] {
-            for gen in [generators::qft(10), generators::bv(12), generators::qv(10, 1)] {
+            for gen in [
+                generators::qft(10),
+                generators::bv(12),
+                generators::qv(10, 1),
+            ] {
                 let p = plan_dcp(&gen, &noise, shots, &DcpConfig::default()).unwrap();
-                assert!(p.tree.outcomes() >= shots, "{} < {shots} for {}", p.tree.outcomes(), p.tree);
+                assert!(
+                    p.tree.outcomes() >= shots,
+                    "{} < {shots} for {}",
+                    p.tree.outcomes(),
+                    p.tree
+                );
             }
         }
     }
 
     #[test]
     fn config_validation() {
-        let bad = DcpConfig { margin: 0.0, ..DcpConfig::default() };
+        let bad = DcpConfig {
+            margin: 0.0,
+            ..DcpConfig::default()
+        };
         assert!(bad.validate().is_err());
     }
 }

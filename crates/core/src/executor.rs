@@ -20,7 +20,10 @@ pub struct Counts {
 impl Counts {
     /// An empty histogram for `n_qubits`-bit outcomes.
     pub fn new(n_qubits: u16) -> Self {
-        Counts { n_qubits, map: HashMap::new() }
+        Counts {
+            n_qubits,
+            map: HashMap::new(),
+        }
     }
 
     /// Register width of the outcomes.
@@ -53,6 +56,26 @@ impl Counts {
         self.map.iter().map(|(&k, &v)| (k, v))
     }
 
+    /// Fold another histogram into this one.
+    ///
+    /// The parallel engines accumulate per-worker histograms and merge them
+    /// at the end; because addition commutes, the merged result is
+    /// independent of worker scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ (merging 3-bit into 5-bit outcomes is
+    /// almost certainly a bug).
+    pub fn merge(&mut self, other: &Counts) {
+        assert_eq!(
+            self.n_qubits, other.n_qubits,
+            "cannot merge histograms of different widths"
+        );
+        for (outcome, count) in other.iter() {
+            *self.map.entry(outcome).or_insert(0) += count;
+        }
+    }
+
     /// The empirical distribution as a dense `2^n` vector.
     ///
     /// # Panics
@@ -60,7 +83,10 @@ impl Counts {
     /// Panics if the histogram is empty or wider than 26 qubits (dense
     /// expansion would exceed memory).
     pub fn to_distribution(&self) -> Vec<f64> {
-        assert!(self.n_qubits <= 26, "dense distribution limited to 26 qubits");
+        assert!(
+            self.n_qubits <= 26,
+            "dense distribution limited to 26 qubits"
+        );
         let total = self.total();
         assert!(total > 0, "empty histogram");
         let mut p = vec![0.0; 1 << self.n_qubits];
@@ -96,9 +122,14 @@ pub struct RunResult {
     pub ops: OpCounts,
     /// The tree that was executed.
     pub tree: TreeStructure,
-    /// Maximum number of concurrently live state buffers (k + 1).
+    /// Maximum number of concurrently live state buffers. The serial
+    /// [`TreeExecutor`] always uses exactly `k + 1`; the `tqsim-engine`
+    /// parallel executor reports its *measured* pool high-water mark,
+    /// which in practice stays within `2 · workers · (k + 1)` under
+    /// stealing (each worker can have one chain pinned by thieves plus
+    /// one active chain).
     pub peak_states: usize,
-    /// Peak amplitude memory in bytes.
+    /// Peak amplitude memory in bytes (same provenance as `peak_states`).
     pub peak_memory_bytes: usize,
     /// Measured wall-clock time.
     pub wall_time: Duration,
@@ -154,7 +185,12 @@ impl<'a> TreeExecutor<'a> {
             )));
         }
         let subcircuits = partition.subcircuits(circuit);
-        Ok(TreeExecutor { circuit, noise, partition, subcircuits })
+        Ok(TreeExecutor {
+            circuit,
+            noise,
+            partition,
+            subcircuits,
+        })
     }
 
     /// The plan being executed.
@@ -173,7 +209,10 @@ impl<'a> TreeExecutor<'a> {
     ///
     /// Panics if `options.leaf_samples == 0`.
     pub fn run_with_options(&self, seed: u64, options: ExecOptions) -> RunResult {
-        assert!(options.leaf_samples >= 1, "need at least one sample per leaf");
+        assert!(
+            options.leaf_samples >= 1,
+            "need at least one sample per leaf"
+        );
         let t0 = Instant::now();
         let n = self.circuit.n_qubits();
         let k = self.subcircuits.len();
@@ -213,7 +252,9 @@ impl<'a> TreeExecutor<'a> {
         if level == k {
             for _ in 0..options.leaf_samples {
                 let outcome = states[k].sample(rng);
-                let outcome = self.noise.apply_readout(outcome, self.circuit.n_qubits(), rng);
+                let outcome = self
+                    .noise
+                    .apply_readout(outcome, self.circuit.n_qubits(), rng);
                 counts.increment(outcome);
                 ops.samples += 1;
             }
@@ -239,11 +280,17 @@ impl<'a> TreeExecutor<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::partition::Strategy;
     use crate::dcp::DcpConfig;
+    use crate::partition::Strategy;
     use tqsim_circuit::generators;
 
-    fn run(circuit: &Circuit, noise: &NoiseModel, strat: &Strategy, shots: u64, seed: u64) -> RunResult {
+    fn run(
+        circuit: &Circuit,
+        noise: &NoiseModel,
+        strat: &Strategy,
+        shots: u64,
+        seed: u64,
+    ) -> RunResult {
         let p = strat.plan(circuit, noise, shots).unwrap();
         TreeExecutor::new(circuit, noise, p).unwrap().run(seed)
     }
@@ -252,7 +299,15 @@ mod tests {
     fn outcome_count_equals_tree_product() {
         let c = generators::qft(6);
         let noise = NoiseModel::sycamore();
-        let r = run(&c, &noise, &Strategy::Custom { arities: vec![5, 3, 2] }, 30, 1);
+        let r = run(
+            &c,
+            &noise,
+            &Strategy::Custom {
+                arities: vec![5, 3, 2],
+            },
+            30,
+            1,
+        );
         assert_eq!(r.counts.total(), 30);
         assert_eq!(r.tree.to_string(), "(5,3,2)");
         assert_eq!(r.peak_states, 4);
@@ -262,7 +317,15 @@ mod tests {
     fn op_accounting_matches_tree_math() {
         let c = generators::qft(6); // uniform-split friendly
         let noise = NoiseModel::ideal();
-        let r = run(&c, &noise, &Strategy::Custom { arities: vec![4, 2] }, 8, 3);
+        let r = run(
+            &c,
+            &noise,
+            &Strategy::Custom {
+                arities: vec![4, 2],
+            },
+            8,
+            3,
+        );
         // Copies = subcircuit executions = 4 + 8 = 12.
         assert_eq!(r.ops.state_copies, 12);
         assert_eq!(r.ops.samples, 8);
@@ -277,11 +340,29 @@ mod tests {
     fn deterministic_given_seed() {
         let c = generators::qv(6, 2);
         let noise = NoiseModel::sycamore();
-        let a = run(&c, &noise, &Strategy::Dynamic(DcpConfig::default()), 100, 42);
-        let b = run(&c, &noise, &Strategy::Dynamic(DcpConfig::default()), 100, 42);
+        let a = run(
+            &c,
+            &noise,
+            &Strategy::Dynamic(DcpConfig::default()),
+            100,
+            42,
+        );
+        let b = run(
+            &c,
+            &noise,
+            &Strategy::Dynamic(DcpConfig::default()),
+            100,
+            42,
+        );
         assert_eq!(a.counts, b.counts);
         assert_eq!(a.ops, b.ops);
-        let c2 = run(&c, &noise, &Strategy::Dynamic(DcpConfig::default()), 100, 43);
+        let c2 = run(
+            &c,
+            &noise,
+            &Strategy::Dynamic(DcpConfig::default()),
+            100,
+            43,
+        );
         assert_ne!(a.counts, c2.counts, "different seed should differ");
     }
 
@@ -308,7 +389,15 @@ mod tests {
         let noise = NoiseModel::sycamore();
         let shots = 2000u64;
         let base = run(&c, &noise, &Strategy::Baseline, shots, 7);
-        let tqs = run(&c, &noise, &Strategy::Custom { arities: vec![100, 20] }, shots, 8);
+        let tqs = run(
+            &c,
+            &noise,
+            &Strategy::Custom {
+                arities: vec![100, 20],
+            },
+            shots,
+            8,
+        );
         let secret: u64 = 0b111_1110;
         let pb = (0..2u64)
             .map(|anc| base.counts.get(secret | (anc << 7)))
@@ -319,7 +408,10 @@ mod tests {
             .sum::<u64>() as f64
             / tqs.counts.total() as f64;
         assert!((pb - pt).abs() < 0.05, "baseline {pb:.3} vs tqsim {pt:.3}");
-        assert!(pb > 0.8, "light noise should mostly preserve the secret, got {pb}");
+        assert!(
+            pb > 0.8,
+            "light noise should mostly preserve the secret, got {pb}"
+        );
     }
 
     #[test]
@@ -346,7 +438,11 @@ mod tests {
     fn leaf_oversampling_multiplies_outcomes() {
         let c = generators::qft(6);
         let noise = NoiseModel::sycamore();
-        let p = Strategy::Custom { arities: vec![5, 2] }.plan(&c, &noise, 10).unwrap();
+        let p = Strategy::Custom {
+            arities: vec![5, 2],
+        }
+        .plan(&c, &noise, 10)
+        .unwrap();
         let exec = TreeExecutor::new(&c, &noise, p).unwrap();
         let r = exec.run_with_options(1, ExecOptions { leaf_samples: 4 });
         assert_eq!(r.counts.total(), 40);

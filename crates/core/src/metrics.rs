@@ -11,7 +11,11 @@ use tqsim_statevec::StateVector;
 ///
 /// Panics if the distributions have different lengths.
 pub fn state_fidelity(p_ideal: &[f64], p_output: &[f64]) -> f64 {
-    assert_eq!(p_ideal.len(), p_output.len(), "distribution length mismatch");
+    assert_eq!(
+        p_ideal.len(),
+        p_output.len(),
+        "distribution length mismatch"
+    );
     let s: f64 = p_ideal
         .iter()
         .zip(p_output.iter())
@@ -63,7 +67,11 @@ pub fn normalized_fidelity(p_ideal: &[f64], p_output: &[f64]) -> f64 {
 pub fn mse(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "series length mismatch");
     assert!(!a.is_empty(), "empty series");
-    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        / a.len() as f64
 }
 
 /// The exact (noiseless) outcome distribution of a circuit, from one
@@ -90,7 +98,10 @@ mod tests {
         let p = vec![1.0, 0.0];
         let q = vec![0.0, 1.0];
         assert_eq!(state_fidelity(&p, &q), 0.0);
-        assert!(normalized_fidelity(&p, &q) < 0.0, "worse than random scores negative");
+        assert!(
+            normalized_fidelity(&p, &q) < 0.0,
+            "worse than random scores negative"
+        );
     }
 
     #[test]
@@ -105,9 +116,8 @@ mod tests {
     #[test]
     fn normalized_fidelity_monotone_in_noise() {
         let p_ideal = vec![0.9, 0.1, 0.0, 0.0];
-        let mix = |w: f64| -> Vec<f64> {
-            p_ideal.iter().map(|&p| (1.0 - w) * p + w * 0.25).collect()
-        };
+        let mix =
+            |w: f64| -> Vec<f64> { p_ideal.iter().map(|&p| (1.0 - w) * p + w * 0.25).collect() };
         let f_low = normalized_fidelity(&p_ideal, &mix(0.1));
         let f_high = normalized_fidelity(&p_ideal, &mix(0.6));
         assert!(f_low > f_high, "{f_low} should exceed {f_high}");

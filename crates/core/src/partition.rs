@@ -61,7 +61,9 @@ impl Partition {
             return Err(PlanError::BadBoundaries("must start at gate 0".into()));
         }
         if !boundaries.windows(2).all(|w| w[0] < w[1]) {
-            return Err(PlanError::BadBoundaries(format!("not strictly increasing: {boundaries:?}")));
+            return Err(PlanError::BadBoundaries(format!(
+                "not strictly increasing: {boundaries:?}"
+            )));
         }
         Ok(Partition { boundaries, tree })
     }
@@ -116,7 +118,10 @@ impl Partition {
             self.covered_gates(),
             circuit.len()
         );
-        self.boundaries.windows(2).map(|w| circuit.slice(w[0]..w[1])).collect()
+        self.boundaries
+            .windows(2)
+            .map(|w| circuit.slice(w[0]..w[1]))
+            .collect()
     }
 }
 
@@ -211,7 +216,9 @@ fn exponential_arities(k: usize, shots: u64) -> Result<Vec<u64>, PlanError> {
     }
     // Solve A^k / 2^{k(k-1)/2} = shots.
     let exponent = (k * (k - 1) / 2) as f64;
-    let a0 = ((shots as f64) * 2f64.powf(exponent)).powf(1.0 / k as f64).floor() as u64;
+    let a0 = ((shots as f64) * 2f64.powf(exponent))
+        .powf(1.0 / k as f64)
+        .floor() as u64;
     let mut a0 = a0.max(1);
     loop {
         let arities: Vec<u64> = (0..k).map(|i| (a0 >> i).max(1)).collect();
@@ -238,7 +245,9 @@ fn equal_split(len: usize, arities: Vec<u64>) -> Result<Partition, PlanError> {
 fn equal_split_tree(len: usize, tree: TreeStructure) -> Result<Partition, PlanError> {
     let k = tree.depth();
     if k > len {
-        return Err(PlanError::BadBoundaries(format!("{k} subcircuits for {len} gates")));
+        return Err(PlanError::BadBoundaries(format!(
+            "{k} subcircuits for {len} gates"
+        )));
     }
     let boundaries: Vec<usize> = (0..=k).map(|i| len * i / k).collect();
     Partition::new(boundaries, tree)
@@ -274,9 +283,18 @@ mod tests {
     fn partition_validation() {
         let t = TreeStructure::new(vec![4, 2]).unwrap();
         assert!(Partition::new(vec![0, 3, 10], t.clone()).is_ok());
-        assert!(Partition::new(vec![0, 10], t.clone()).is_err(), "depth mismatch");
-        assert!(Partition::new(vec![1, 3, 10], t.clone()).is_err(), "must start at 0");
-        assert!(Partition::new(vec![0, 5, 5], t).is_err(), "not strictly increasing");
+        assert!(
+            Partition::new(vec![0, 10], t.clone()).is_err(),
+            "depth mismatch"
+        );
+        assert!(
+            Partition::new(vec![1, 3, 10], t.clone()).is_err(),
+            "must start at 0"
+        );
+        assert!(
+            Partition::new(vec![0, 5, 5], t).is_err(),
+            "not strictly increasing"
+        );
     }
 
     #[test]
@@ -288,7 +306,9 @@ mod tests {
             Strategy::Uniform { k: 4 },
             Strategy::Exponential { k: 3 },
             Strategy::Dynamic(DcpConfig::default()),
-            Strategy::Custom { arities: vec![50, 2, 2] },
+            Strategy::Custom {
+                arities: vec![50, 2, 2],
+            },
         ] {
             let p = strat.plan(&c, &noise, 200).unwrap();
             let subs = p.subcircuits(&c);
@@ -302,9 +322,13 @@ mod tests {
     fn custom_matches_fig17_structures() {
         let c = generators::qpe(8, 1.0 / 3.0); // the paper's QPE_9
         let noise = NoiseModel::sycamore();
-        for spec in ["250-2-2", "20-10-5", "10-10-10", "5-10-20", "2-2-250", "250-1-1"] {
+        for spec in [
+            "250-2-2", "20-10-5", "10-10-10", "5-10-20", "2-2-250", "250-1-1",
+        ] {
             let tree: TreeStructure = spec.parse().unwrap();
-            let strat = Strategy::Custom { arities: tree.arities().to_vec() };
+            let strat = Strategy::Custom {
+                arities: tree.arities().to_vec(),
+            };
             let p = strat.plan(&c, &noise, 1000).unwrap();
             assert_eq!(p.k(), 3);
             assert_eq!(p.tree, tree);
@@ -319,10 +343,17 @@ mod tests {
             Strategy::Baseline.plan(&Circuit::new(3), &noise, 10),
             Err(PlanError::EmptyCircuit)
         );
-        assert_eq!(Strategy::Baseline.plan(&c, &noise, 0), Err(PlanError::ZeroShots));
+        assert_eq!(
+            Strategy::Baseline.plan(&c, &noise, 0),
+            Err(PlanError::ZeroShots)
+        );
         assert!(Strategy::Uniform { k: 0 }.plan(&c, &noise, 10).is_err());
-        assert!(Strategy::Custom { arities: vec![] }.plan(&c, &noise, 10).is_err());
+        assert!(Strategy::Custom { arities: vec![] }
+            .plan(&c, &noise, 10)
+            .is_err());
         // More subcircuits than gates.
-        assert!(Strategy::Uniform { k: 100 }.plan(&c, &noise, 1 << 20).is_err());
+        assert!(Strategy::Uniform { k: 100 }
+            .plan(&c, &noise, 1 << 20)
+            .is_err());
     }
 }

@@ -80,7 +80,9 @@ mod tests {
     #[test]
     fn predicted_speedup_of_baseline_is_one() {
         let c = tqsim_circuit::generators::qft(8);
-        let p = Strategy::Baseline.plan(&c, &NoiseModel::sycamore(), 1000).unwrap();
+        let p = Strategy::Baseline
+            .plan(&c, &NoiseModel::sycamore(), 1000)
+            .unwrap();
         let s = predicted_speedup(&p, 1000, 20.0);
         assert!((s - 1.0).abs() < 1e-9);
     }
@@ -88,9 +90,11 @@ mod tests {
     #[test]
     fn predicted_speedup_of_reuse_tree_exceeds_one() {
         let c = tqsim_circuit::generators::qft(10);
-        let p = Strategy::Custom { arities: vec![50, 2, 2, 2, 2] }
-            .plan(&c, &NoiseModel::sycamore(), 800)
-            .unwrap();
+        let p = Strategy::Custom {
+            arities: vec![50, 2, 2, 2, 2],
+        }
+        .plan(&c, &NoiseModel::sycamore(), 800)
+        .unwrap();
         let s = predicted_speedup(&p, 800, 20.0);
         assert!(s > 1.5, "{s}");
     }

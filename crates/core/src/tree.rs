@@ -20,7 +20,7 @@ use std::str::FromStr;
 /// assert_eq!(t.subcircuit_executions(), 16 + 32 + 64);
 /// assert_eq!(t.to_string(), "(16,2,2)");
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct TreeStructure {
     arities: Vec<u64>,
 }
@@ -71,7 +71,9 @@ impl TreeStructure {
     /// Panics if `shots == 0`.
     pub fn baseline(shots: u64) -> Self {
         assert!(shots > 0, "need at least one shot");
-        TreeStructure { arities: vec![shots] }
+        TreeStructure {
+            arities: vec![shots],
+        }
     }
 
     /// Per-level arities.

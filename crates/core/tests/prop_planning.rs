@@ -2,7 +2,7 @@
 //! invariants, and executor outcome accounting on randomised inputs.
 
 use proptest::prelude::*;
-use tqsim::{DcpConfig, Strategy, TreeStructure, Tqsim};
+use tqsim::{DcpConfig, Strategy, Tqsim, TreeStructure};
 use tqsim_circuit::generators;
 use tqsim_noise::NoiseModel;
 
@@ -125,8 +125,12 @@ fn dcp_is_noise_sensitive() {
     let quiet = NoiseModel::depolarizing(0.0001, 0.0015);
     let loud = NoiseModel::depolarizing(0.01, 0.15);
     let cfg = DcpConfig::default();
-    let a_quiet = Strategy::Dynamic(cfg).plan(&circuit, &quiet, 32_000).unwrap();
-    let a_loud = Strategy::Dynamic(cfg).plan(&circuit, &loud, 32_000).unwrap();
+    let a_quiet = Strategy::Dynamic(cfg)
+        .plan(&circuit, &quiet, 32_000)
+        .unwrap();
+    let a_loud = Strategy::Dynamic(cfg)
+        .plan(&circuit, &loud, 32_000)
+        .unwrap();
     assert!(
         a_loud.tree.arities()[0] >= a_quiet.tree.arities()[0],
         "quiet {} vs loud {}",

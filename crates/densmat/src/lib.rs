@@ -26,7 +26,7 @@
 
 pub mod memory;
 
-use tqsim_circuit::math::{c64, C64, Mat2, Mat4};
+use tqsim_circuit::math::{c64, Mat2, Mat4, C64};
 use tqsim_circuit::{Circuit, Gate, GateKind};
 use tqsim_noise::{Channel, NoiseModel};
 use tqsim_statevec::StateVector;
@@ -55,7 +55,10 @@ impl DensityMatrix {
             n_qubits <= MAX_DM_QUBITS,
             "{n_qubits} qubits exceeds the density-matrix limit of {MAX_DM_QUBITS}"
         );
-        DensityMatrix { n_qubits, vec: StateVector::zero(2 * n_qubits) }
+        DensityMatrix {
+            n_qubits,
+            vec: StateVector::zero(2 * n_qubits),
+        }
     }
 
     /// The pure state `|ψ⟩⟨ψ|` of a state vector.
@@ -110,7 +113,9 @@ impl DensityMatrix {
 
     /// The measurement distribution `diag(ρ)`.
     pub fn probabilities(&self) -> Vec<f64> {
-        (0..self.dim()).map(|i| self.entry(i, i).re.max(0.0)).collect()
+        (0..self.dim())
+            .map(|i| self.entry(i, i).re.max(0.0))
+            .collect()
     }
 
     /// Apply a unitary gate: `ρ → U ρ U†`.
@@ -137,8 +142,10 @@ impl DensityMatrix {
                 // CCX is a real permutation: conj(U) = U on both sides.
                 debug_assert!(matches!(gate.kind(), GateKind::Ccx));
                 self.vec.apply_gate(&Gate::new(GateKind::Ccx, qs));
-                self.vec
-                    .apply_gate(&Gate::new(GateKind::Ccx, &[qs[0] + n, qs[1] + n, qs[2] + n]));
+                self.vec.apply_gate(&Gate::new(
+                    GateKind::Ccx,
+                    &[qs[0] + n, qs[1] + n, qs[2] + n],
+                ));
             }
         }
     }
@@ -146,14 +153,18 @@ impl DensityMatrix {
     fn apply_mat2_sides(&mut self, q: u16, m: &Mat2) {
         let n = self.n_qubits;
         // Row (ket) side uses U; column (bra) side uses conj(U).
-        self.vec.apply_gate(&Gate::new(GateKind::Unitary1(*m), &[q + n]));
-        self.vec.apply_gate(&Gate::new(GateKind::Unitary1(m.conj()), &[q]));
+        self.vec
+            .apply_gate(&Gate::new(GateKind::Unitary1(*m), &[q + n]));
+        self.vec
+            .apply_gate(&Gate::new(GateKind::Unitary1(m.conj()), &[q]));
     }
 
     fn apply_mat4_sides(&mut self, qa: u16, qb: u16, m: &Mat4) {
         let n = self.n_qubits;
-        self.vec.apply_gate(&Gate::new(GateKind::Unitary2(*m), &[qa + n, qb + n]));
-        self.vec.apply_gate(&Gate::new(GateKind::Unitary2(m.conj()), &[qa, qb]));
+        self.vec
+            .apply_gate(&Gate::new(GateKind::Unitary2(*m), &[qa + n, qb + n]));
+        self.vec
+            .apply_gate(&Gate::new(GateKind::Unitary2(m.conj()), &[qa, qb]));
     }
 
     /// Apply a single-qubit Kraus channel exactly: `ρ → Σ_i K_i ρ K_i†`.
@@ -177,7 +188,12 @@ impl DensityMatrix {
 
     /// Apply a joint two-qubit depolarizing channel exactly.
     fn apply_depolarizing_2q(&mut self, qa: u16, qb: u16, p: f64) {
-        let paulis = [Mat2::identity(), Mat2::pauli_x(), Mat2::pauli_y(), Mat2::pauli_z()];
+        let paulis = [
+            Mat2::identity(),
+            Mat2::pauli_x(),
+            Mat2::pauli_y(),
+            Mat2::pauli_z(),
+        ];
         let mut acc = vec![c64(0.0, 0.0); self.vec.len()];
         for (i, pa) in paulis.iter().enumerate() {
             for (j, pb) in paulis.iter().enumerate() {
@@ -303,7 +319,11 @@ mod tests {
         let mut dm = DensityMatrix::zero(1);
         dm.apply_kraus_1q(0, &Channel::Depolarizing { p }.kraus_1q());
         let probs = dm.probabilities();
-        assert!((probs[1] - 2.0 * p / 3.0).abs() < 1e-12, "P(1) = {}", probs[1]);
+        assert!(
+            (probs[1] - 2.0 * p / 3.0).abs() < 1e-12,
+            "P(1) = {}",
+            probs[1]
+        );
     }
 
     #[test]
@@ -364,8 +384,10 @@ mod tests {
     fn readout_confusion_analytic() {
         let mut dm = DensityMatrix::zero(2);
         dm.apply_gate(&Gate::new(GateKind::X, &[0]));
-        let noise =
-            NoiseModel::ideal().with_readout(ReadoutError { p0to1: 0.1, p1to0: 0.2 });
+        let noise = NoiseModel::ideal().with_readout(ReadoutError {
+            p0to1: 0.1,
+            p1to0: 0.2,
+        });
         let p = dm.probabilities_with_readout(&noise);
         // True state |01⟩: q0 reads 1 w.p. 0.8, q1 reads 0 w.p. 0.9.
         assert!((p[0b01] - 0.8 * 0.9).abs() < 1e-12);

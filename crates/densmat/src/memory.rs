@@ -23,7 +23,10 @@ pub const EL_CAPITAN_BYTES: f64 = 5.4375e15;
 
 /// Largest width whose footprint (per `bytes_fn`) fits under `capacity`.
 pub fn max_qubits_within(capacity: f64, bytes_fn: impl Fn(u32) -> f64) -> u32 {
-    (1..=128).take_while(|&n| bytes_fn(n) <= capacity).last().unwrap_or(0)
+    (1..=128)
+        .take_while(|&n| bytes_fn(n) <= capacity)
+        .last()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

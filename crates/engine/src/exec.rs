@@ -1,0 +1,281 @@
+//! Parallel execution of one simulation tree on a [`WorkerPool`].
+//!
+//! The serial [`tqsim::TreeExecutor`] walks the tree depth-first with one
+//! RNG threaded through the whole walk, which is inherently sequential.
+//! Here every tree node is an independent **dataflow task**: it copies its
+//! parent's state (held alive in an `Arc` until the last child has copied
+//! it), applies its subcircuit with fresh stochastic noise, then either
+//! samples (leaf level) or spawns its children. Two things make the result
+//! bit-identical at every parallelism level:
+//!
+//! 1. **Path-derived seeding.** A node's RNG is
+//!    `StdRng::seed_from_u64(job_seed ^ node_path_hash)`, where the path
+//!    hash mixes the child index at every level (paper-style per-subtree
+//!    streams, one step finer). No RNG state ever crosses a task boundary.
+//! 2. **Commutative reduction.** Tasks fold their outcomes into per-worker
+//!    accumulators which are merged once the tree drains; histogram and
+//!    op-count addition commute, so scheduling cannot change the result.
+//!
+//! State buffers come from the executing worker's [`StatePool`], so after
+//! warm-up a tree of thousands of nodes performs **zero state-buffer heap
+//! allocations** (each node overwrites a recycled buffer via `copy_from`;
+//! the pool's allocation counter verifies this). Small per-task
+//! bookkeeping — the boxed task itself and interior nodes' `Arc` — still
+//! allocates, but those are O(bytes) against the O(2^n) amplitude buffers
+//! the pool eliminates. Op accounting matches the serial executor exactly:
+//! one `state_reset` per run, one `state_copy` per node, per-gate and
+//! noise tallies identical.
+//!
+//! [`StatePool`]: tqsim_statevec::StatePool
+
+use crate::pool::{WorkerCtx, WorkerPool};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use tqsim::{Counts, Partition, RunResult};
+use tqsim_circuit::Circuit;
+use tqsim_noise::NoiseModel;
+use tqsim_statevec::{OpCounts, PooledState};
+
+/// Everything a node task needs, shared immutably across the whole tree.
+struct TreeShared {
+    n_qubits: u16,
+    subcircuits: Arc<Vec<Circuit>>,
+    arities: Vec<u64>,
+    noise: NoiseModel,
+    seed: u64,
+    leaf_samples: u32,
+    accums: Vec<Mutex<Accum>>,
+}
+
+struct Accum {
+    counts: Counts,
+    ops: OpCounts,
+}
+
+/// A node's view of its parent state: the implicit `|0…0⟩` root, or a
+/// pooled buffer kept alive until the last sibling has copied it.
+enum Parent {
+    Root,
+    State(Arc<PooledState>),
+}
+
+/// SplitMix64 finaliser: decorrelates structured path inputs.
+#[inline]
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash of a child's tree path given its parent's path hash and its index
+/// among the siblings.
+#[inline]
+fn child_hash(parent_hash: u64, index: u64) -> u64 {
+    mix(parent_hash ^ index.wrapping_mul(0xD1B5_4A32_D192_ED03).wrapping_add(1))
+}
+
+/// Execute one planned tree on the pool, returning the merged result.
+///
+/// `subcircuits` must be `partition.subcircuits(circuit)` for the circuit
+/// the partition was planned against (the engine's job layer guarantees
+/// this and shares the vector between jobs with identical plans).
+pub(crate) fn run_tree(
+    pool: &WorkerPool,
+    partition: &Partition,
+    subcircuits: &Arc<Vec<Circuit>>,
+    n_qubits: u16,
+    noise: &NoiseModel,
+    seed: u64,
+    leaf_samples: u32,
+) -> RunResult {
+    assert!(leaf_samples >= 1, "need at least one sample per leaf");
+    let t0 = Instant::now();
+    let arities = partition.tree.arities().to_vec();
+    let shared = Arc::new(TreeShared {
+        n_qubits,
+        subcircuits: Arc::clone(subcircuits),
+        arities,
+        noise: noise.clone(),
+        seed,
+        leaf_samples,
+        accums: (0..pool.workers())
+            .map(|_| {
+                Mutex::new(Accum {
+                    counts: Counts::new(n_qubits),
+                    ops: OpCounts::new(),
+                })
+            })
+            .collect(),
+    });
+
+    // Phase-scoped memory measurement: the high-water mark we report is
+    // this job's peak live-buffer footprint, not the pool's lifetime peak.
+    pool.pool_counters().reset_high_water();
+
+    let roots = shared.arities[0];
+    for index in 0..roots {
+        let shared = Arc::clone(&shared);
+        let hash = child_hash(seed, index);
+        pool.inject(move |ctx| run_node(&shared, Parent::Root, 0, hash, ctx));
+    }
+    pool.wait_idle();
+
+    let mut counts = Counts::new(n_qubits);
+    let mut ops = OpCounts::new();
+    // Mirrors the serial executor: the initial |0…0⟩ materialisation is
+    // charged once per run.
+    ops.state_resets += 1;
+    for slot in &shared.accums {
+        let accum = slot.lock().expect("accumulator lock");
+        counts.merge(&accum.counts);
+        ops.merge(&accum.ops);
+    }
+
+    let stats = pool.pool_stats();
+    RunResult {
+        counts,
+        ops,
+        tree: partition.tree.clone(),
+        peak_states: stats.high_water,
+        peak_memory_bytes: stats.high_water_bytes,
+        wall_time: t0.elapsed(),
+    }
+}
+
+/// Materialise the node at `level` (executing subcircuit `level`), then
+/// sample (leaf) or spawn the children.
+fn run_node(
+    shared: &Arc<TreeShared>,
+    parent: Parent,
+    level: usize,
+    hash: u64,
+    ctx: &WorkerCtx<'_>,
+) {
+    let k = shared.subcircuits.len();
+    let mut ops = OpCounts::new();
+
+    let mut state = ctx.acquire(shared.n_qubits);
+    match &parent {
+        Parent::Root => state.reset_zero(),
+        Parent::State(p) => state.copy_from(p),
+    }
+    // Both arms are one full pass over the amplitudes; charged as the
+    // state copy every node performs in the serial executor's accounting.
+    ops.state_copies += 1;
+    drop(parent); // release the parent buffer as early as possible
+
+    let mut rng = StdRng::seed_from_u64(shared.seed ^ hash);
+    for gate in &shared.subcircuits[level] {
+        state.apply_gate(gate);
+        ops.add_gates(gate.arity(), 1);
+        ops.noise_ops += shared.noise.apply_after_gate(&mut *state, gate, &mut rng);
+    }
+
+    if level + 1 == k {
+        // Fold straight into this worker's accumulator — the lock is
+        // effectively uncontended (only this worker touches its slot
+        // until the final merge after the pool drains), and it saves a
+        // throwaway histogram per leaf.
+        let mut accum = shared.accums[ctx.index()].lock().expect("accumulator lock");
+        for _ in 0..shared.leaf_samples {
+            let outcome = state.sample(&mut rng);
+            let outcome = shared
+                .noise
+                .apply_readout(outcome, shared.n_qubits, &mut rng);
+            accum.counts.increment(outcome);
+            ops.samples += 1;
+        }
+        accum.ops.merge(&ops);
+        drop(accum);
+        drop(state); // back to the worker's pool
+    } else {
+        let state = Arc::new(state);
+        for index in 0..shared.arities[level + 1] {
+            let shared2 = Arc::clone(shared);
+            let parent = Parent::State(Arc::clone(&state));
+            let hash2 = child_hash(hash, index);
+            ctx.spawn(move |ctx2| run_node(&shared2, parent, level + 1, hash2, ctx2));
+        }
+        let mut accum = shared.accums[ctx.index()].lock().expect("accumulator lock");
+        accum.ops.merge(&ops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqsim::Strategy;
+    use tqsim_circuit::generators;
+
+    fn run_with_workers(workers: usize, seed: u64, arities: Vec<u64>) -> RunResult {
+        let circuit = generators::qft(6);
+        let noise = NoiseModel::sycamore();
+        let strategy = Strategy::Custom { arities };
+        let partition = strategy.plan(&circuit, &noise, 30).unwrap();
+        let subcircuits = Arc::new(partition.subcircuits(&circuit));
+        let pool = WorkerPool::new(workers);
+        run_tree(
+            &pool,
+            &partition,
+            &subcircuits,
+            circuit.n_qubits(),
+            &noise,
+            seed,
+            1,
+        )
+    }
+
+    #[test]
+    fn outcome_count_equals_tree_product() {
+        let r = run_with_workers(3, 1, vec![5, 3, 2]);
+        assert_eq!(r.counts.total(), 30);
+        assert_eq!(r.tree.to_string(), "(5,3,2)");
+    }
+
+    #[test]
+    fn ops_match_serial_executor() {
+        let circuit = generators::qft(6);
+        let noise = NoiseModel::ideal();
+        let strategy = Strategy::Custom {
+            arities: vec![4, 2],
+        };
+        let partition = strategy.plan(&circuit, &noise, 8).unwrap();
+        let serial = tqsim::TreeExecutor::new(&circuit, &noise, partition.clone())
+            .unwrap()
+            .run(3);
+        let subcircuits = Arc::new(partition.subcircuits(&circuit));
+        let pool = WorkerPool::new(2);
+        let par = run_tree(&pool, &partition, &subcircuits, 6, &noise, 3, 1);
+        // Identical op accounting (noiseless ⇒ even the RNG plays no role).
+        assert_eq!(par.ops, serial.ops);
+        // Ideal noise: identical leaf states ⇒ engine and serial agree on
+        // which outcomes are possible, though RNG streams differ.
+        assert_eq!(par.counts.total(), serial.counts.total());
+    }
+
+    #[test]
+    fn schedule_independent_counts() {
+        let a = run_with_workers(1, 42, vec![5, 3, 2]);
+        let b = run_with_workers(4, 42, vec![5, 3, 2]);
+        assert_eq!(a.counts, b.counts, "parallelism must not change results");
+        assert_eq!(a.ops, b.ops);
+        let c = run_with_workers(4, 43, vec![5, 3, 2]);
+        assert_ne!(a.counts, c.counts, "different seed must differ");
+    }
+
+    #[test]
+    fn measured_peak_is_reported() {
+        let r = run_with_workers(2, 7, vec![5, 3, 2]);
+        assert!(r.peak_states >= 1, "at least one live buffer at some point");
+        assert_eq!(r.peak_memory_bytes % (16 << 6), 0, "whole 6-qubit buffers");
+        // Loose schedule-independent bound: each of the 2 workers can have
+        // up to two k-deep chains live when steals pin parents (k = 3).
+        assert!(
+            r.peak_states <= 2 * 2 * 4,
+            "bounded by workers × 2 × (k + 1)"
+        );
+    }
+}

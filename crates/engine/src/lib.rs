@@ -1,0 +1,521 @@
+//! # tqsim-engine
+//!
+//! Pooled, work-stealing **parallel tree-execution engine** for TQSim, with
+//! a batched job API.
+//!
+//! The paper's computational-reuse insight turns noisy Monte-Carlo
+//! simulation into a tree walk; this crate makes that walk run as fast as
+//! the hardware allows:
+//!
+//! - [`WorkerPool`] — a fixed set of worker threads with per-worker LIFO
+//!   deques, FIFO stealing, and a per-worker [`StatePool`] so steady-state
+//!   execution performs zero heap allocations;
+//! - the tree executor (internal, see `exec`) — every tree node is a
+//!   dataflow task with a path-derived RNG stream, so output `Counts` are
+//!   **bit-identical at every parallelism level** for a fixed seed;
+//! - [`Engine`] / [`JobSpec`] / [`Batch`] — submit many
+//!   `(circuit, noise, shots, strategy)` jobs at once; identical partition
+//!   plans are computed once and shared (cross-*job* reuse, one step beyond
+//!   the paper's cross-shot reuse), with [`PlanStats`] reporting the
+//!   dedup win.
+//!
+//! ```
+//! use tqsim_engine::{Engine, EngineConfig, JobSpec};
+//! use tqsim_circuit::generators;
+//!
+//! let circuit = generators::qft(6);
+//! let engine = Engine::new(EngineConfig::default().parallelism(2));
+//! // Three jobs, two of which share one partition plan.
+//! let batch = engine.submit(vec![
+//!     JobSpec::new(&circuit).shots(64).seed(1),
+//!     JobSpec::new(&circuit).shots(64).seed(2),
+//!     JobSpec::new(&circuit).shots(256).seed(3),
+//! ]);
+//! let result = batch.run()?;
+//! assert_eq!(result.jobs.len(), 3);
+//! assert_eq!(result.plans.planned, 2);
+//! assert_eq!(result.plans.reused, 1);
+//! # Ok::<(), tqsim::PlanError>(())
+//! ```
+//!
+//! To parallelise a [`Tqsim`] builder description, set
+//! [`Tqsim::parallelism`] and hand it to the engine:
+//!
+//! ```
+//! use tqsim::Tqsim;
+//! use tqsim_engine::RunParallel;
+//! use tqsim_circuit::generators;
+//!
+//! let circuit = generators::qft(6);
+//! let sim = Tqsim::new(&circuit).shots(128).seed(9).parallelism(2);
+//! let result = sim.run_parallel()?;
+//! assert!(result.counts.total() >= 128);
+//! # Ok::<(), tqsim::PlanError>(())
+//! ```
+//!
+//! [`StatePool`]: tqsim_statevec::StatePool
+
+#![warn(missing_docs)]
+
+mod exec;
+pub mod pool;
+
+pub use pool::{Task, WorkerCtx, WorkerPool};
+
+use std::sync::Arc;
+use tqsim::{Partition, PlanError, RunResult, Strategy, Tqsim};
+use tqsim_circuit::Circuit;
+use tqsim_noise::NoiseModel;
+use tqsim_statevec::PoolStats;
+
+/// Engine construction options.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    parallelism: usize,
+}
+
+impl Default for EngineConfig {
+    /// One worker per available hardware thread.
+    fn default() -> Self {
+        EngineConfig {
+            parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Same as [`EngineConfig::default`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn parallelism(mut self, n: usize) -> Self {
+        assert!(n >= 1, "parallelism must be at least 1");
+        self.parallelism = n;
+        self
+    }
+}
+
+/// One simulation request: a circuit with noise, shot budget, partition
+/// strategy and seed. Defaults mirror [`Tqsim::new`]: Sycamore noise,
+/// 1000 shots, DCP, seed 0, one sample per leaf.
+#[derive(Clone, Debug)]
+pub struct JobSpec<'c> {
+    circuit: &'c Circuit,
+    noise: NoiseModel,
+    shots: u64,
+    strategy: Strategy,
+    seed: u64,
+    leaf_samples: u32,
+}
+
+impl<'c> JobSpec<'c> {
+    /// Describe a job for `circuit` with the default knobs.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        JobSpec {
+            circuit,
+            noise: NoiseModel::sycamore(),
+            shots: 1000,
+            strategy: Strategy::default_dcp(),
+            seed: 0,
+            leaf_samples: 1,
+        }
+    }
+
+    /// Set the noise model.
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Set the shot count (minimum number of outcomes produced).
+    pub fn shots(mut self, shots: u64) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Set the partition strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Outcomes drawn per leaf (cheap oversampling; see
+    /// [`tqsim::ExecOptions`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn leaf_samples(mut self, n: u32) -> Self {
+        assert!(n >= 1, "need at least one sample per leaf");
+        self.leaf_samples = n;
+        self
+    }
+}
+
+/// How much planning work the batch shared across jobs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Distinct `(circuit, noise, shots, strategy)` plans computed.
+    pub planned: usize,
+    /// Jobs that reused an already-computed plan (and its materialised
+    /// subcircuits) instead of planning again.
+    pub reused: usize,
+}
+
+/// Results of a [`Batch::run`]: one [`RunResult`] per job, in submission
+/// order, plus planning-reuse statistics.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// Per-job results, in the order the jobs were submitted.
+    pub jobs: Vec<RunResult>,
+    /// Plan-dedup statistics.
+    pub plans: PlanStats,
+}
+
+/// A set of jobs bound to an engine, ready to run.
+#[must_use = "a batch does nothing until run()"]
+pub struct Batch<'e, 'c> {
+    engine: &'e Engine,
+    jobs: Vec<JobSpec<'c>>,
+}
+
+/// A planned job: the partition plus materialised subcircuits, shareable
+/// across jobs whose planning inputs are identical.
+struct PlannedTree {
+    partition: Partition,
+    subcircuits: Arc<Vec<Circuit>>,
+}
+
+impl<'c> Batch<'_, 'c> {
+    /// Plan (with dedup) and execute every job on the engine's pool.
+    ///
+    /// Jobs run one after another; each job's tree saturates the pool on
+    /// its own, so inter-job parallelism would only add memory pressure.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PlanError`] encountered; planning happens
+    /// up-front, so no job executes unless every job plans.
+    pub fn run(self) -> Result<BatchResult, PlanError> {
+        // Serialize whole batches: concurrent submitters would otherwise
+        // reset each other's phase-scoped high-water marks and could
+        // receive each other's task panics out of `wait_idle`. A poisoned
+        // gate just means a previous batch panicked; the pool itself is
+        // still healthy, so continue.
+        let _running = match self.engine.run_gate.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Plan with dedup: linear scan over the first job of each distinct
+        // plan is fine at batch sizes where planning cost matters
+        // (planning is O(gates), and so is the content comparison).
+        let mut planned: Vec<(usize, Arc<PlannedTree>)> = Vec::new();
+        let mut stats = PlanStats::default();
+        let mut assignments: Vec<Arc<PlannedTree>> = Vec::with_capacity(self.jobs.len());
+        for job in &self.jobs {
+            let existing = planned.iter().find(|&&(idx, _)| {
+                let prev = &self.jobs[idx];
+                prev.shots == job.shots
+                    && prev.strategy == job.strategy
+                    && prev.noise == job.noise
+                    // Pointer equality is the cheap common case (one
+                    // circuit threaded through a seed sweep); fall back to
+                    // content equality so separately built but identical
+                    // circuits still share a plan.
+                    && (std::ptr::eq(prev.circuit, job.circuit) || prev.circuit == job.circuit)
+            });
+            match existing {
+                Some((_, tree)) => {
+                    stats.reused += 1;
+                    assignments.push(Arc::clone(tree));
+                }
+                None => {
+                    let partition = job.strategy.plan(job.circuit, &job.noise, job.shots)?;
+                    let subcircuits = Arc::new(partition.subcircuits(job.circuit));
+                    let tree = Arc::new(PlannedTree {
+                        partition,
+                        subcircuits,
+                    });
+                    stats.planned += 1;
+                    assignments.push(Arc::clone(&tree));
+                    planned.push((assignments.len() - 1, tree));
+                }
+            }
+        }
+
+        let mut results = Vec::with_capacity(self.jobs.len());
+        for (job, tree) in self.jobs.iter().zip(&assignments) {
+            results.push(exec::run_tree(
+                &self.engine.pool,
+                &tree.partition,
+                &tree.subcircuits,
+                job.circuit.n_qubits(),
+                &job.noise,
+                job.seed,
+                job.leaf_samples,
+            ));
+        }
+        Ok(BatchResult {
+            jobs: results,
+            plans: stats,
+        })
+    }
+}
+
+/// The parallel tree-execution engine: a persistent [`WorkerPool`] plus the
+/// batched job front-end. See the [crate docs](self) for an example.
+///
+/// `Engine` is `Sync`; concurrent [`Batch::run`] calls from several
+/// threads are **serialized** against each other (one batch's trees fully
+/// saturate the pool anyway, and serializing keeps per-job memory
+/// metrics and panic delivery correctly scoped to their own batch).
+pub struct Engine {
+    pool: WorkerPool,
+    /// Serializes batch execution; see the struct docs.
+    run_gate: std::sync::Mutex<()>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Engine[{} workers]", self.pool.workers())
+    }
+}
+
+impl Engine {
+    /// Spin up the worker pool.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Engine {
+            pool: WorkerPool::new(cfg.parallelism),
+            run_gate: std::sync::Mutex::new(()),
+        }
+    }
+
+    /// Worker count.
+    pub fn parallelism(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Bind a set of jobs to this engine (execute with [`Batch::run`]).
+    pub fn submit<'e, 'c>(&'e self, jobs: Vec<JobSpec<'c>>) -> Batch<'e, 'c> {
+        Batch { engine: self, jobs }
+    }
+
+    /// Run a single [`Tqsim`] description on this engine (the
+    /// `.parallelism(n)` builder option selects the worker count only when
+    /// the engine is constructed via [`run_parallel`][RunParallel]; an
+    /// explicit engine's own pool is used as-is).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] for unplannable inputs.
+    pub fn run_sim(&self, sim: &Tqsim<'_>) -> Result<RunResult, PlanError> {
+        let job = JobSpec::new(sim.circuit_ref())
+            .noise(sim.noise_ref().clone())
+            .shots(sim.shots_count())
+            .strategy(sim.strategy_ref().clone())
+            .seed(sim.seed_value());
+        let mut result = self.submit(vec![job]).run()?;
+        Ok(result.jobs.remove(0))
+    }
+
+    /// Pre-fill every worker's buffer pool for `n_qubits`-wide jobs with
+    /// tree depth `k`, so running such jobs draws from the free lists
+    /// instead of the heap (observable via [`Engine::pool_stats`]).
+    ///
+    /// Provisions `2 · (k + 2)` buffers per worker: a depth-first chain
+    /// holds at most `k + 1` buffers, and a worker whose chain is pinned
+    /// by stolen children can start a second chain, so double the chain
+    /// depth (plus slack) covers every schedule seen in practice. The
+    /// bound is a heuristic, not an invariant — under a pathological
+    /// many-core schedule the pool simply falls back to allocating, which
+    /// is visible in [`PoolStats::allocations`] but never incorrect.
+    ///
+    /// [`PoolStats::allocations`]: tqsim_statevec::PoolStats::allocations
+    pub fn prewarm(&self, n_qubits: u16, k: usize) {
+        self.pool.prewarm(n_qubits, 2 * (k + 2));
+    }
+
+    /// Aggregate state-buffer pool statistics (allocations, reuses, live
+    /// high-water across all workers).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.pool_stats()
+    }
+
+    /// Direct access to the worker pool (shot-level helpers, custom tasks).
+    pub fn worker_pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+}
+
+/// Extension trait wiring [`Tqsim::parallelism`] to this engine.
+pub trait RunParallel {
+    /// Plan and execute on a transient engine honouring the builder's
+    /// `.parallelism(n)` option. For repeated runs, build one [`Engine`]
+    /// and use [`Engine::run_sim`] to amortise pool spin-up and keep warm
+    /// buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] for unplannable inputs.
+    fn run_parallel(&self) -> Result<RunResult, PlanError>;
+}
+
+impl RunParallel for Tqsim<'_> {
+    fn run_parallel(&self) -> Result<RunResult, PlanError> {
+        Engine::new(EngineConfig::default().parallelism(self.parallelism_degree())).run_sim(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqsim_circuit::generators;
+
+    #[test]
+    fn batch_deduplicates_identical_plans() {
+        let qft = generators::qft(6);
+        let bv = generators::bv(6);
+        let engine = Engine::new(EngineConfig::default().parallelism(2));
+        let qft_rebuilt = generators::qft(6); // equal content, different allocation
+        let result = engine
+            .submit(vec![
+                JobSpec::new(&qft).shots(50).seed(1),
+                JobSpec::new(&qft).shots(50).seed(2), // same plan, new seed
+                JobSpec::new(&qft).shots(200).seed(3), // different shots
+                JobSpec::new(&bv).shots(50).seed(4),  // different circuit
+                JobSpec::new(&qft_rebuilt).shots(50).seed(5), // content-equal ⇒ reuses plan 1
+            ])
+            .run()
+            .unwrap();
+        assert_eq!(
+            result.plans,
+            PlanStats {
+                planned: 3,
+                reused: 2
+            }
+        );
+        assert_eq!(result.jobs.len(), 5);
+        assert_eq!(result.jobs[0].tree, result.jobs[1].tree);
+        assert_ne!(
+            result.jobs[0].counts, result.jobs[1].counts,
+            "same plan, different seeds ⇒ different outcomes"
+        );
+        for job in &result.jobs {
+            assert!(job.counts.total() >= 50);
+        }
+    }
+
+    #[test]
+    fn engine_output_is_parallelism_invariant() {
+        let circuit = generators::qv(6, 2);
+        let run = |workers| {
+            let engine = Engine::new(EngineConfig::default().parallelism(workers));
+            engine
+                .submit(vec![JobSpec::new(&circuit).shots(100).seed(42)])
+                .run()
+                .unwrap()
+                .jobs
+                .remove(0)
+        };
+        let serial = run(1);
+        for workers in [2, 4, 8] {
+            let parallel = run(workers);
+            assert_eq!(serial.counts, parallel.counts, "{workers} workers");
+            assert_eq!(serial.ops, parallel.ops, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn prewarmed_engine_allocates_nothing_at_steady_state() {
+        let circuit = generators::qft(8);
+        let engine = Engine::new(EngineConfig::default().parallelism(2));
+        let spec = |seed| {
+            JobSpec::new(&circuit)
+                .shots(64)
+                .strategy(Strategy::Custom {
+                    arities: vec![16, 2, 2],
+                })
+                .seed(seed)
+        };
+        // Warm-up run covers every buffer the schedule can need…
+        engine.submit(vec![spec(1)]).run().unwrap();
+        engine.prewarm(8, 3);
+        let warm = engine.pool_stats().allocations;
+        // …so further runs must be allocation-free.
+        engine.submit(vec![spec(2), spec(3)]).run().unwrap();
+        let stats = engine.pool_stats();
+        assert_eq!(
+            stats.allocations, warm,
+            "zero per-node allocations after warm-up"
+        );
+        assert!(stats.reuses > 0);
+        assert_eq!(stats.outstanding, 0, "every buffer returned");
+    }
+
+    #[test]
+    fn run_sim_honours_the_builder() {
+        let circuit = generators::qft(6);
+        let engine = Engine::new(EngineConfig::default().parallelism(2));
+        let sim = Tqsim::new(&circuit).shots(64).seed(5);
+        let r = engine.run_sim(&sim).unwrap();
+        assert!(r.counts.total() >= 64);
+        let r2 = sim.run_parallel().unwrap();
+        assert_eq!(r.counts, r2.counts, "same seed ⇒ same outcomes on any pool");
+    }
+
+    #[test]
+    fn concurrent_batches_on_one_engine_are_serialized_and_correct() {
+        let circuit = generators::qft(6);
+        let engine = Engine::new(EngineConfig::default().parallelism(2));
+        let reference = engine
+            .submit(vec![JobSpec::new(&circuit).shots(64).seed(9)])
+            .run()
+            .unwrap()
+            .jobs
+            .remove(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        engine
+                            .submit(vec![JobSpec::new(&circuit).shots(64).seed(9)])
+                            .run()
+                            .unwrap()
+                            .jobs
+                            .remove(0)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let r = handle.join().unwrap();
+                assert_eq!(
+                    r.counts, reference.counts,
+                    "serialized batches stay correct"
+                );
+                assert!(r.peak_states >= 1, "metrics scoped to the owning batch");
+            }
+        });
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = Engine::new(EngineConfig::default().parallelism(1));
+        let result = engine.submit(Vec::new()).run().unwrap();
+        assert!(result.jobs.is_empty());
+        assert_eq!(result.plans, PlanStats::default());
+    }
+}

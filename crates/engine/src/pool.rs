@@ -1,0 +1,447 @@
+//! The work-stealing worker pool.
+//!
+//! A [`WorkerPool`] owns `n` OS threads. Work arrives either through
+//! [`WorkerPool::inject`] (external submission onto a global queue) or
+//! through [`WorkerCtx::spawn`] (a running task pushing follow-up work onto
+//! its worker's local deque). Each worker drains its own deque LIFO —
+//! depth-first, which keeps the set of live tree states small — and when
+//! empty takes from the global queue or **steals FIFO** from a sibling's
+//! deque, so large subtrees redistribute themselves across idle workers
+//! automatically.
+//!
+//! Every worker owns a [`StatePool`] whose buffers are recycled across
+//! tasks and jobs; all per-worker pools report into a single shared
+//! [`PoolCounters`] block, so the pool-wide allocation count and live-buffer
+//! high-water mark are exact, not per-worker approximations.
+//!
+//! The pool is deliberately scheduler-agnostic about *results*: tasks
+//! communicate through whatever shared accumulators the caller arranges
+//! (the tree executor uses one mutex-guarded accumulator per worker, which
+//! its own worker touches almost exclusively). Determinism therefore never
+//! depends on scheduling — each task derives its RNG stream from its
+//! position in the computation, and merges commute.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use tqsim_statevec::{PoolCounters, PoolStats, PooledState, StatePool};
+
+/// A unit of work: runs once on some worker.
+pub type Task = Box<dyn FnOnce(&WorkerCtx<'_>) + Send + 'static>;
+
+struct Shared {
+    /// Externally injected work (FIFO).
+    injector: Mutex<VecDeque<Task>>,
+    /// Per-worker deques: owner pops the back, thieves steal the front.
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    /// Tasks queued anywhere (quick "is there work?" probe). Incremented
+    /// *before* the push and decremented only after a successful pop, so
+    /// it may transiently over-count but never wraps below zero.
+    queued: AtomicUsize,
+    /// Tasks queued or currently running; 0 ⇔ pool idle.
+    pending: AtomicUsize,
+    /// Workers currently parked on `work_cv`. Producers skip the wake
+    /// lock entirely while this is zero (the common case on a busy pool).
+    sleepers: AtomicUsize,
+    /// Guards sleep/wake transitions (prevents lost wakeups).
+    sleep: Mutex<bool>, // the bool is the shutdown flag
+    work_cv: Condvar,
+    done_cv: Condvar,
+    /// First panic payload from a task, re-raised by `wait_idle` (matching
+    /// rayon's propagate-first-panic semantics; without this, a panicking
+    /// task would leave `pending` undrained and deadlock the submitter).
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    counters: Arc<PoolCounters>,
+}
+
+impl Shared {
+    /// Publish one new task: bump the counters, then wake a sleeper only
+    /// if one exists. Lost-wakeup freedom is the classic Dekker argument
+    /// (both sides use `SeqCst`): a worker increments `sleepers` *before*
+    /// re-checking `queued` under the lock, and a producer increments
+    /// `queued` *before* reading `sleepers` — at least one side must see
+    /// the other's write, so either the worker re-loops or the producer
+    /// takes the lock and notifies.
+    fn publish(&self, queue: &Mutex<VecDeque<Task>>, task: Task) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        queue.lock().expect("queue lock").push_back(task);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep.lock().expect("sleep lock");
+            self.work_cv.notify_one();
+        }
+    }
+}
+
+/// What a task sees of the pool: its worker identity, the worker's state
+/// pool, and the ability to spawn follow-up tasks.
+pub struct WorkerCtx<'a> {
+    index: usize,
+    state_pool: &'a StatePool,
+    shared: &'a Arc<Shared>,
+}
+
+impl WorkerCtx<'_> {
+    /// This worker's index in `0..parallelism` (stable for the pool's
+    /// lifetime; useful for per-worker accumulator slots).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Check a state buffer out of this worker's pool (contents
+    /// unspecified; overwrite before use). Returned buffers find their way
+    /// back to this worker's free list no matter which thread drops them.
+    pub fn acquire(&self, n_qubits: u16) -> PooledState {
+        self.state_pool.acquire(n_qubits)
+    }
+
+    /// Push a follow-up task onto this worker's local deque (LIFO for the
+    /// owner, stealable FIFO by siblings).
+    pub fn spawn(&self, task: impl FnOnce(&WorkerCtx<'_>) + Send + 'static) {
+        self.shared
+            .publish(&self.shared.locals[self.index], Box::new(task));
+    }
+}
+
+/// A fixed-size pool of worker threads with work stealing and per-worker
+/// state pools. See the [module docs](self).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    state_pools: Vec<StatePool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "WorkerPool[{} workers, {:?}]",
+            self.handles.len(),
+            self.pool_stats()
+        )
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `workers` threads (each with its own [`StatePool`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or thread spawning fails.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "a pool needs at least one worker");
+        let counters = PoolCounters::new();
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            sleep: Mutex::new(false),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+            counters: Arc::clone(&counters),
+        });
+        let state_pools: Vec<StatePool> = (0..workers)
+            .map(|_| StatePool::with_counters(Arc::clone(&counters)))
+            .collect();
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                let state_pool = state_pools[index].clone();
+                std::thread::Builder::new()
+                    .name(format!("tqsim-worker-{index}"))
+                    .spawn(move || worker_loop(index, &state_pool, &shared))
+                    .expect("worker thread spawn")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            state_pools,
+            handles,
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Submit one task to the global queue.
+    pub fn inject(&self, task: impl FnOnce(&WorkerCtx<'_>) + Send + 'static) {
+        self.shared.publish(&self.shared.injector, Box::new(task));
+    }
+
+    /// Block until every queued and spawned task has finished.
+    ///
+    /// Intended for one submitter at a time (the engine runs jobs
+    /// sequentially); concurrent submitters would wait for each other's
+    /// work too, which is safe but rarely what you want.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic any task raised since the last
+    /// `wait_idle` (the panicking task's subtree is abandoned; other tasks
+    /// run to completion first, and the pool stays usable afterwards).
+    pub fn wait_idle(&self) {
+        let mut guard = self.shared.sleep.lock().expect("sleep lock");
+        while self.shared.pending.load(Ordering::SeqCst) != 0 {
+            guard = self.shared.done_cv.wait(guard).expect("done wait");
+        }
+        drop(guard);
+        // Take the payload in its own statement: `if let` would keep the
+        // lock guard alive across `resume_unwind`, poisoning the mutex.
+        let payload = self.shared.panic.lock().expect("panic slot").take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Run `count` indexed iterations across the pool and block until all
+    /// complete. `f(i, ctx)` is called exactly once for every
+    /// `i ∈ 0..count`, from whichever worker picked the strip containing
+    /// `i`; iterations are striped into `~8 × workers` contiguous chunks so
+    /// stealing can rebalance uneven iteration costs.
+    pub fn for_each_index<F>(&self, count: u64, f: F)
+    where
+        F: Fn(u64, &WorkerCtx<'_>) + Send + Sync + 'static,
+    {
+        if count == 0 {
+            return;
+        }
+        let f = Arc::new(f);
+        let strips = (self.workers() as u64 * 8).min(count);
+        let chunk = count.div_ceil(strips);
+        let mut start = 0;
+        while start < count {
+            let end = (start + chunk).min(count);
+            let f = Arc::clone(&f);
+            self.inject(move |ctx| {
+                for i in start..end {
+                    f(i, ctx);
+                }
+            });
+            start = end;
+        }
+        self.wait_idle();
+    }
+
+    /// Aggregate buffer-pool statistics across all workers (exact global
+    /// counts: the per-worker pools share one counter block).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.shared.counters.stats()
+    }
+
+    /// The shared counter block (for phase-scoped high-water measurement).
+    pub fn pool_counters(&self) -> &Arc<PoolCounters> {
+        &self.shared.counters
+    }
+
+    /// Pre-fill every worker's free list with `per_worker` buffers of width
+    /// `n_qubits`, so steady-state execution allocates nothing.
+    pub fn prewarm(&self, n_qubits: u16, per_worker: usize) {
+        for pool in &self.state_pools {
+            pool.prewarm(n_qubits, per_worker);
+        }
+    }
+
+    /// Drop all pooled buffers on every worker.
+    pub fn shrink(&self) {
+        for pool in &self.state_pools {
+            pool.shrink();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut shutdown = self.shared.sleep.lock().expect("sleep lock");
+            *shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(index: usize, state_pool: &StatePool, shared: &Arc<Shared>) {
+    let ctx = WorkerCtx {
+        index,
+        state_pool,
+        shared,
+    };
+    loop {
+        if let Some(task) = find_task(index, shared) {
+            // Catch unwinds so a panicking task cannot kill the worker
+            // with `pending` undrained (which would deadlock the
+            // submitter); the payload is re-raised by `wait_idle`.
+            if let Err(payload) =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(&ctx)))
+            {
+                let mut slot = shared.panic.lock().expect("panic slot");
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last task of the batch: wake the submitter. Taking the
+                // lock orders this notify against `wait_idle`'s check.
+                let _guard = shared.sleep.lock().expect("sleep lock");
+                shared.done_cv.notify_all();
+            }
+            continue;
+        }
+        let shutdown = shared.sleep.lock().expect("sleep lock");
+        // Register as a sleeper *before* the final queue re-check: a
+        // producer that missed our registration must then see `queued > 0`
+        // here (see `Shared::publish` for the pairing argument).
+        shared.sleepers.fetch_add(1, Ordering::SeqCst);
+        if shared.queued.load(Ordering::SeqCst) > 0 {
+            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        if *shutdown {
+            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let _unused = shared.work_cv.wait(shutdown).expect("work wait");
+        shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Pop in priority order: own deque (LIFO) → global injector (FIFO) →
+/// steal from siblings (FIFO), scanning from the next index round-robin.
+fn find_task(index: usize, shared: &Shared) -> Option<Task> {
+    let grab = |queue: &Mutex<VecDeque<Task>>, lifo: bool| -> Option<Task> {
+        let mut q = queue.lock().expect("queue lock");
+        if lifo {
+            q.pop_back()
+        } else {
+            q.pop_front()
+        }
+    };
+    let task = grab(&shared.locals[index], true)
+        .or_else(|| grab(&shared.injector, false))
+        .or_else(|| {
+            let n = shared.locals.len();
+            (1..n).find_map(|offset| grab(&shared.locals[(index + offset) % n], false))
+        });
+    if task.is_some() {
+        shared.queued.fetch_sub(1, Ordering::SeqCst);
+    }
+    task
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_injected_task() {
+        let pool = WorkerPool::new(4);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let hits = Arc::clone(&hits);
+            pool.inject(move |_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(hits.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn spawned_subtasks_complete_before_wait_returns() {
+        let pool = WorkerPool::new(3);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        pool.inject(move |ctx| {
+            for _ in 0..10 {
+                let h = Arc::clone(&h);
+                ctx.spawn(move |ctx2| {
+                    let h2 = Arc::clone(&h);
+                    ctx2.spawn(move |_| {
+                        h2.fetch_add(1, Ordering::SeqCst);
+                    });
+                    h.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        pool.wait_idle();
+        assert_eq!(hits.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn for_each_index_covers_exactly_once() {
+        let pool = WorkerPool::new(2);
+        let seen: Arc<Vec<AtomicU64>> = Arc::new((0..500).map(|_| AtomicU64::new(0)).collect());
+        let s = Arc::clone(&seen);
+        pool.for_each_index(500, move |i, _| {
+            s[i as usize].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(seen.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn worker_buffers_are_pooled_across_batches() {
+        let pool = WorkerPool::new(2);
+        pool.prewarm(5, 2);
+        let warmed = pool.pool_stats().allocations;
+        for _ in 0..3 {
+            pool.for_each_index(50, |_, ctx| {
+                let mut sv = ctx.acquire(5);
+                sv.reset_zero();
+            });
+        }
+        let stats = pool.pool_stats();
+        assert_eq!(stats.allocations, warmed, "steady state must not allocate");
+        assert_eq!(stats.outstanding, 0);
+        assert!(stats.reuses >= 150);
+    }
+
+    #[test]
+    fn pool_can_be_reused_after_idle() {
+        let pool = WorkerPool::new(2);
+        let hits = Arc::new(AtomicU64::new(0));
+        for round in 1..=3u64 {
+            let h = Arc::clone(&hits);
+            pool.for_each_index(10, move |_, _| {
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(hits.load(Ordering::SeqCst), round * 10);
+        }
+    }
+
+    #[test]
+    fn wait_idle_on_empty_pool_returns_immediately() {
+        let pool = WorkerPool::new(1);
+        pool.wait_idle();
+        pool.wait_idle();
+    }
+
+    #[test]
+    fn task_panic_propagates_instead_of_deadlocking() {
+        let pool = WorkerPool::new(2);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        pool.inject(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.inject(|_| panic!("task exploded"));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.wait_idle()));
+        let payload = caught.expect_err("wait_idle must re-raise the task panic");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"task exploded"));
+        // The healthy task still ran, and the pool remains usable.
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        let h = Arc::clone(&hits);
+        pool.for_each_index(5, move |_, _| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 6);
+    }
+}

@@ -73,7 +73,9 @@ impl Channel {
             Channel::PhaseDamping { lambda } => prob(lambda, "lambda"),
             Channel::ThermalRelaxation { t1, t2, gate_time } => {
                 if t1 <= 0.0 || t2 <= 0.0 || gate_time < 0.0 {
-                    return Err(format!("non-positive times: t1={t1}, t2={t2}, gate={gate_time}"));
+                    return Err(format!(
+                        "non-positive times: t1={t1}, t2={t2}, gate={gate_time}"
+                    ));
                 }
                 if t2 > 2.0 * t1 {
                     return Err(format!("T2={t2} exceeds 2·T1={}", 2.0 * t1));
@@ -208,15 +210,27 @@ fn thermal_params(t1: f64, t2: f64, gate_time: f64) -> (f64, f64) {
 
 fn amplitude_damping_kraus(gamma: f64) -> Vec<Mat2> {
     vec![
-        Mat2([[c64(1.0, 0.0), c64(0.0, 0.0)], [c64(0.0, 0.0), c64((1.0 - gamma).sqrt(), 0.0)]]),
-        Mat2([[c64(0.0, 0.0), c64(gamma.sqrt(), 0.0)], [c64(0.0, 0.0), c64(0.0, 0.0)]]),
+        Mat2([
+            [c64(1.0, 0.0), c64(0.0, 0.0)],
+            [c64(0.0, 0.0), c64((1.0 - gamma).sqrt(), 0.0)],
+        ]),
+        Mat2([
+            [c64(0.0, 0.0), c64(gamma.sqrt(), 0.0)],
+            [c64(0.0, 0.0), c64(0.0, 0.0)],
+        ]),
     ]
 }
 
 fn phase_damping_kraus(lambda: f64) -> Vec<Mat2> {
     vec![
-        Mat2([[c64(1.0, 0.0), c64(0.0, 0.0)], [c64(0.0, 0.0), c64((1.0 - lambda).sqrt(), 0.0)]]),
-        Mat2([[c64(0.0, 0.0), c64(0.0, 0.0)], [c64(0.0, 0.0), c64(lambda.sqrt(), 0.0)]]),
+        Mat2([
+            [c64(1.0, 0.0), c64(0.0, 0.0)],
+            [c64(0.0, 0.0), c64((1.0 - lambda).sqrt(), 0.0)],
+        ]),
+        Mat2([
+            [c64(0.0, 0.0), c64(0.0, 0.0)],
+            [c64(0.0, 0.0), c64(lambda.sqrt(), 0.0)],
+        ]),
     ]
 }
 
@@ -294,7 +308,10 @@ mod tests {
                 }
             }
         }
-        assert!(sum.approx_eq(&Mat2::identity(), 1e-12), "{ch:?}: ΣK†K = {sum:?}");
+        assert!(
+            sum.approx_eq(&Mat2::identity(), 1e-12),
+            "{ch:?}: ΣK†K = {sum:?}"
+        );
     }
 
     #[test]
@@ -303,7 +320,11 @@ mod tests {
             Channel::Depolarizing { p: 0.02 },
             Channel::AmplitudeDamping { gamma: 0.01 },
             Channel::PhaseDamping { lambda: 0.01 },
-            Channel::ThermalRelaxation { t1: 15e-6, t2: 16e-6, gate_time: 25e-9 },
+            Channel::ThermalRelaxation {
+                t1: 15e-6,
+                t2: 16e-6,
+                gate_time: 25e-9,
+            },
         ] {
             ch.validate().unwrap();
             kraus_completeness(&ch);
@@ -313,9 +334,17 @@ mod tests {
     #[test]
     fn validation_catches_bad_params() {
         assert!(Channel::Depolarizing { p: 1.5 }.validate().is_err());
-        assert!(Channel::AmplitudeDamping { gamma: -0.1 }.validate().is_err());
+        assert!(Channel::AmplitudeDamping { gamma: -0.1 }
+            .validate()
+            .is_err());
         assert!(
-            Channel::ThermalRelaxation { t1: 1e-6, t2: 3e-6, gate_time: 1e-9 }.validate().is_err(),
+            Channel::ThermalRelaxation {
+                t1: 1e-6,
+                t2: 3e-6,
+                gate_time: 1e-9
+            }
+            .validate()
+            .is_err(),
             "T2 > 2T1 must be rejected"
         );
     }
@@ -327,7 +356,11 @@ mod tests {
             Channel::Depolarizing { p: 0.5 },
             Channel::AmplitudeDamping { gamma: 0.3 },
             Channel::PhaseDamping { lambda: 0.3 },
-            Channel::ThermalRelaxation { t1: 10.0, t2: 12.0, gate_time: 3.0 },
+            Channel::ThermalRelaxation {
+                t1: 10.0,
+                t2: 12.0,
+                gate_time: 3.0,
+            },
         ] {
             let mut sv = StateVector::zero(3);
             let mut prep = tqsim_circuit::Circuit::new(3);
@@ -403,8 +436,16 @@ mod tests {
 
     #[test]
     fn error_probability_monotone_in_time() {
-        let short = Channel::ThermalRelaxation { t1: 15e-6, t2: 16e-6, gate_time: 25e-9 };
-        let long = Channel::ThermalRelaxation { t1: 15e-6, t2: 16e-6, gate_time: 32e-9 };
+        let short = Channel::ThermalRelaxation {
+            t1: 15e-6,
+            t2: 16e-6,
+            gate_time: 25e-9,
+        };
+        let long = Channel::ThermalRelaxation {
+            t1: 15e-6,
+            t2: 16e-6,
+            gate_time: 32e-9,
+        };
         assert!(long.error_probability() > short.error_probability());
     }
 }

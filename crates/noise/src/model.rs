@@ -22,7 +22,10 @@ impl ReadoutError {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn symmetric(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "readout probability {p} outside [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "readout probability {p} outside [0,1]"
+        );
         ReadoutError { p0to1: p, p1to0: p }
     }
 
@@ -60,7 +63,10 @@ pub struct NoiseModel {
 impl NoiseModel {
     /// The noiseless model.
     pub fn ideal() -> Self {
-        NoiseModel { name: "ideal".into(), ..Default::default() }
+        NoiseModel {
+            name: "ideal".into(),
+            ..Default::default()
+        }
     }
 
     /// Depolarizing noise with separate single-/two-qubit error rates
@@ -250,12 +256,14 @@ impl NoiseModel {
     /// readout), return `(p1, p2)` — consumed by the redundancy-elimination
     /// baseline, which needs discrete error tags.
     pub fn depolarizing_rates(&self) -> Option<(f64, f64)> {
-        match (self.channels_1q.as_slice(), self.channels_2q.as_slice(), self.readout) {
-            (
-                [Channel::Depolarizing { p: p1 }],
-                [Channel::Depolarizing { p: p2 }],
-                None,
-            ) => Some((*p1, *p2)),
+        match (
+            self.channels_1q.as_slice(),
+            self.channels_2q.as_slice(),
+            self.readout,
+        ) {
+            ([Channel::Depolarizing { p: p1 }], [Channel::Depolarizing { p: p2 }], None) => {
+                Some((*p1, *p2))
+            }
             _ => None,
         }
     }
@@ -275,8 +283,16 @@ pub fn fig16_models() -> Vec<NoiseModel> {
     let pd = NoiseModel::phase_damping(0.01).named("PD");
     let all = NoiseModel::sycamore()
         .named("ALL")
-        .with_channel_1q(Channel::ThermalRelaxation { t1: 15e-6, t2: 16e-6, gate_time: 25e-9 })
-        .with_channel_2q(Channel::ThermalRelaxation { t1: 15e-6, t2: 16e-6, gate_time: 32e-9 })
+        .with_channel_1q(Channel::ThermalRelaxation {
+            t1: 15e-6,
+            t2: 16e-6,
+            gate_time: 25e-9,
+        })
+        .with_channel_2q(Channel::ThermalRelaxation {
+            t1: 15e-6,
+            t2: 16e-6,
+            gate_time: 32e-9,
+        })
         .with_channel_1q(Channel::AmplitudeDamping { gamma: 0.01 })
         .with_channel_2q(Channel::AmplitudeDamping { gamma: 0.01 })
         .with_channel_1q(Channel::PhaseDamping { lambda: 0.01 })
@@ -330,21 +346,19 @@ mod tests {
             .with_channel_1q(Channel::AmplitudeDamping { gamma: 0.1 });
         // 1 - 0.9*0.9 = 0.19
         assert!((nm.error_rate_1q() - 0.19).abs() < 1e-12);
-        assert_eq!(nm.depolarizing_rates(), None, "extra channel disables DC fast path");
+        assert_eq!(
+            nm.depolarizing_rates(),
+            None,
+            "extra channel disables DC fast path"
+        );
     }
 
     #[test]
     fn gate_error_rate_by_arity() {
         let nm = NoiseModel::sycamore();
-        assert!(
-            (nm.gate_error_rate(&Gate::new(GateKind::H, &[0])) - 0.001).abs() < 1e-12
-        );
-        assert!(
-            (nm.gate_error_rate(&Gate::new(GateKind::Cx, &[0, 1])) - 0.015).abs() < 1e-12
-        );
-        assert!(
-            (nm.gate_error_rate(&Gate::new(GateKind::Ccx, &[0, 1, 2])) - 0.015).abs() < 1e-12
-        );
+        assert!((nm.gate_error_rate(&Gate::new(GateKind::H, &[0])) - 0.001).abs() < 1e-12);
+        assert!((nm.gate_error_rate(&Gate::new(GateKind::Cx, &[0, 1])) - 0.015).abs() < 1e-12);
+        assert!((nm.gate_error_rate(&Gate::new(GateKind::Ccx, &[0, 1, 2])) - 0.015).abs() < 1e-12);
     }
 
     #[test]
@@ -363,7 +377,10 @@ mod tests {
 
     #[test]
     fn asymmetric_readout() {
-        let ro = ReadoutError { p0to1: 0.0, p1to0: 1.0 };
+        let ro = ReadoutError {
+            p0to1: 0.0,
+            p1to0: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(5);
         assert_eq!(ro.apply(0b111, 3, &mut rng), 0b000);
         assert_eq!(ro.apply(0b000, 3, &mut rng), 0b000);
@@ -373,7 +390,10 @@ mod tests {
     fn fig16_lineup() {
         let models = fig16_models();
         let names: Vec<&str> = models.iter().map(NoiseModel::name).collect();
-        assert_eq!(names, ["DC", "DCR", "TR", "TRR", "AD", "ADR", "PD", "PDR", "ALL"]);
+        assert_eq!(
+            names,
+            ["DC", "DCR", "TR", "TRR", "AD", "ADR", "PD", "PDR", "ALL"]
+        );
         for m in &models {
             assert!(!m.is_ideal());
         }

@@ -16,7 +16,11 @@ fn arb_channel() -> impl Strategy<Value = Channel> {
         (0.0f64..1.0).prop_map(|lambda| Channel::PhaseDamping { lambda }),
         (1e-7f64..1e-4, 0.1f64..2.0, 0.0f64..1e-6).prop_map(|(t1, ratio, gate_time)| {
             // T2 = ratio · T1 with ratio ≤ 2 keeps the channel physical.
-            Channel::ThermalRelaxation { t1, t2: ratio * t1, gate_time }
+            Channel::ThermalRelaxation {
+                t1,
+                t2: ratio * t1,
+                gate_time,
+            }
         }),
     ]
 }
@@ -132,5 +136,8 @@ fn amplitude_damping_ensemble_matches_gamma() {
         }
     }
     let rate = f64::from(decayed) / f64::from(trials);
-    assert!((rate - gamma).abs() < 0.02, "decay rate {rate} vs γ {gamma}");
+    assert!(
+        (rate - gamma).abs() < 0.02,
+        "decay rate {rate} vs γ {gamma}"
+    );
 }

@@ -131,7 +131,9 @@ mod tests {
     fn server_cpus_have_highest_copy_cost() {
         // The paper's §3.6 observation.
         let systems = CostProfile::fig10_systems();
-        let server_min = systems[3].copy_cost_in_gates().min(systems[4].copy_cost_in_gates());
+        let server_min = systems[3]
+            .copy_cost_in_gates()
+            .min(systems[4].copy_cost_in_gates());
         for p in [systems[0], systems[1], systems[2], systems[5]] {
             assert!(p.copy_cost_in_gates() < server_min, "{}", p.name);
         }
@@ -140,8 +142,16 @@ mod tests {
     #[test]
     fn modeled_time_is_linear() {
         let p = CostProfile::gpu_a100();
-        let a = OpCounts { gates_1q: 10, state_copies: 1, ..Default::default() };
-        let b = OpCounts { gates_1q: 20, state_copies: 2, ..Default::default() };
+        let a = OpCounts {
+            gates_1q: 10,
+            state_copies: 1,
+            ..Default::default()
+        };
+        let b = OpCounts {
+            gates_1q: 20,
+            state_copies: 2,
+            ..Default::default()
+        };
         assert!((2.0 * p.modeled_time(&a) - p.modeled_time(&b)).abs() < 1e-9);
     }
 }

@@ -28,7 +28,9 @@ impl ZString {
     /// Panics if `a == b`.
     pub fn zz(a: u16, b: u16) -> Self {
         assert_ne!(a, b, "ZZ needs distinct qubits");
-        ZString { mask: (1 << a) | (1 << b) }
+        ZString {
+            mask: (1 << a) | (1 << b),
+        }
     }
 
     /// An arbitrary Z-string from a qubit mask.
@@ -65,7 +67,11 @@ pub fn expect_z_string(sv: &StateVector, zs: ZString) -> f64 {
     );
     let mask = zs.mask();
     let body = |(i, a): (usize, &tqsim_circuit::C64)| {
-        let sign = if (i as u64 & mask).count_ones().is_multiple_of(2) { 1.0 } else { -1.0 };
+        let sign = if (i as u64 & mask).count_ones().is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         sign * a.norm_sqr()
     };
     if sv.len() < crate::kernels::PAR_MIN_LEN {
@@ -91,10 +97,22 @@ mod tests {
 
     #[test]
     fn z_on_basis_states() {
-        assert_eq!(expect_z_string(&StateVector::basis(2, 0b00), ZString::z(0)), 1.0);
-        assert_eq!(expect_z_string(&StateVector::basis(2, 0b01), ZString::z(0)), -1.0);
-        assert_eq!(expect_z_string(&StateVector::basis(2, 0b11), ZString::zz(0, 1)), 1.0);
-        assert_eq!(expect_z_string(&StateVector::basis(2, 0b01), ZString::zz(0, 1)), -1.0);
+        assert_eq!(
+            expect_z_string(&StateVector::basis(2, 0b00), ZString::z(0)),
+            1.0
+        );
+        assert_eq!(
+            expect_z_string(&StateVector::basis(2, 0b01), ZString::z(0)),
+            -1.0
+        );
+        assert_eq!(
+            expect_z_string(&StateVector::basis(2, 0b11), ZString::zz(0, 1)),
+            1.0
+        );
+        assert_eq!(
+            expect_z_string(&StateVector::basis(2, 0b01), ZString::zz(0, 1)),
+            -1.0
+        );
     }
 
     #[test]
@@ -139,7 +157,10 @@ mod tests {
                 .count() as f64;
         }
         let sampled = acc / f64::from(shots);
-        assert!((exact - sampled).abs() < 0.03, "exact {exact} vs sampled {sampled}");
+        assert!(
+            (exact - sampled).abs() < 0.03,
+            "exact {exact} vs sampled {sampled}"
+        );
     }
 
     #[test]

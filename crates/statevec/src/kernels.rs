@@ -6,7 +6,7 @@
 //! overhead would dominate.
 
 use rayon::prelude::*;
-use tqsim_circuit::math::{C64, Mat2, Mat4};
+use tqsim_circuit::math::{Mat2, Mat4, C64};
 
 /// Below this many amplitudes, kernels run serially.
 pub const PAR_MIN_LEN: usize = 1 << 14;
@@ -34,7 +34,9 @@ where
         amps.par_chunks_mut(block).for_each(|chunk| {
             let (lo, hi) = chunk.split_at_mut(step);
             if step >= INNER_PAR_MIN {
-                lo.par_iter_mut().zip(hi.par_iter_mut()).for_each(|(a, b)| f(a, b));
+                lo.par_iter_mut()
+                    .zip(hi.par_iter_mut())
+                    .for_each(|(a, b)| f(a, b));
             } else {
                 for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
                     f(a, b);
@@ -64,13 +66,15 @@ where
             }
         }
     } else {
-        amps.par_chunks_mut(block).enumerate().for_each(|(ci, chunk)| {
-            let base = ci * block;
-            let (lo, hi) = chunk.split_at_mut(step);
-            for (i, (a, b)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
-                f(base + i, a, b);
-            }
-        });
+        amps.par_chunks_mut(block)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let base = ci * block;
+                let (lo, hi) = chunk.split_at_mut(step);
+                for (i, (a, b)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+                    f(base + i, a, b);
+                }
+            });
     }
 }
 
@@ -216,7 +220,9 @@ pub fn apply_diag2(amps: &mut [C64], q_hi: usize, q_lo: usize, d: [C64; 4]) {
 pub fn apply_swap(amps: &mut [C64], p: usize, q: usize) {
     let (q0, q1) = (p.min(q), p.max(q));
     // Exchange |01> and |10> amplitudes.
-    for_each_quad(amps, q0, q1, |_a00, a01, a10, _a11| std::mem::swap(a01, a10));
+    for_each_quad(amps, q0, q1, |_a00, a01, a10, _a11| {
+        std::mem::swap(a01, a10)
+    });
 }
 
 /// Generic two-qubit unitary. `q_hi` indexes the more significant matrix
@@ -224,7 +230,11 @@ pub fn apply_swap(amps: &mut [C64], p: usize, q: usize) {
 pub fn apply_mat4(amps: &mut [C64], q_hi: usize, q_lo: usize, m: &Mat4) {
     // for_each_quad orders by (bit q1, bit q0) with q0 < q1; permute the
     // matrix when the gate's hi qubit is the numerically smaller one.
-    let (q0, q1, mm) = if q_hi > q_lo { (q_lo, q_hi, *m) } else { (q_hi, q_lo, m.swapped_qubits()) };
+    let (q0, q1, mm) = if q_hi > q_lo {
+        (q_lo, q_hi, *m)
+    } else {
+        (q_hi, q_lo, m.swapped_qubits())
+    };
     let m = mm.0;
     for_each_quad(amps, q0, q1, move |a00, a01, a10, a11| {
         let v = [*a00, *a01, *a10, *a11];
@@ -302,7 +312,12 @@ pub fn apply_gate_amps(amps: &mut [C64], gate: &tqsim_circuit::Gate) {
             amps,
             qs[0] as usize,
             qs[1] as usize,
-            [c64(1.0, 0.0), c64(1.0, 0.0), c64(1.0, 0.0), C64::from_polar(1.0, t)],
+            [
+                c64(1.0, 0.0),
+                c64(1.0, 0.0),
+                c64(1.0, 0.0),
+                C64::from_polar(1.0, t),
+            ],
         ),
         GateKind::Rzz(t) => {
             let e = C64::from_polar(1.0, -t / 2.0);
@@ -388,7 +403,10 @@ mod tests {
                 apply_cx(&mut a, c, t);
                 apply_mat4(&mut b, c, t, &m);
                 for i in 0..8 {
-                    assert!((a[i] - b[i]).norm() < 1e-12, "c={c} t={t} start={start} i={i}");
+                    assert!(
+                        (a[i] - b[i]).norm() < 1e-12,
+                        "c={c} t={t} start={start} i={i}"
+                    );
                 }
             }
         }
@@ -397,8 +415,16 @@ mod tests {
     #[test]
     fn diag2_applies_by_bit_pattern() {
         let mut v = vec![c64(1.0, 0.0); 4];
-        apply_diag2(&mut v, 1, 0, [c64(1.0, 0.0), c64(2.0, 0.0), c64(3.0, 0.0), c64(4.0, 0.0)]);
-        assert_eq!(v, vec![c64(1.0, 0.0), c64(2.0, 0.0), c64(3.0, 0.0), c64(4.0, 0.0)]);
+        apply_diag2(
+            &mut v,
+            1,
+            0,
+            [c64(1.0, 0.0), c64(2.0, 0.0), c64(3.0, 0.0), c64(4.0, 0.0)],
+        );
+        assert_eq!(
+            v,
+            vec![c64(1.0, 0.0), c64(2.0, 0.0), c64(3.0, 0.0), c64(4.0, 0.0)]
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod backend;
 pub mod expectation;
 pub mod kernels;
 pub mod ops;
+pub mod pool;
 pub mod profile;
 pub mod state;
 pub mod traits;
@@ -35,5 +36,6 @@ pub mod traits;
 pub use backend::CostProfile;
 pub use expectation::{expect_cut_value, expect_z_string, ZString};
 pub use ops::OpCounts;
+pub use pool::{PoolCounters, PoolStats, PooledState, StatePool};
 pub use state::{StateVector, MAX_QUBITS};
 pub use traits::QuantumState;

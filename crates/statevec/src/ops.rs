@@ -9,7 +9,7 @@ use std::ops::{Add, AddAssign};
 
 /// Counts of the primitive operations an execution performed. Each count is
 /// in units of "full passes over a 2^n state" of the given flavour.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OpCounts {
     /// Single-qubit gate applications.
     pub gates_1q: u64,
@@ -50,6 +50,12 @@ impl OpCounts {
     /// Total gate applications of any arity.
     pub fn total_gates(&self) -> u64 {
         self.gates_1q + self.gates_2q + self.gates_3q
+    }
+
+    /// Fold another tally into this one (named form of `+=`, used by the
+    /// parallel engines when reducing per-worker accumulators).
+    pub fn merge(&mut self, other: &OpCounts) {
+        *self += *other;
     }
 
     /// Total work in *gate equivalents*: gates count 1 (by arity weight),
@@ -101,8 +107,16 @@ mod tests {
 
     #[test]
     fn add_and_sum() {
-        let a = OpCounts { gates_1q: 3, gates_2q: 1, ..Default::default() };
-        let b = OpCounts { gates_1q: 2, state_copies: 4, ..Default::default() };
+        let a = OpCounts {
+            gates_1q: 3,
+            gates_2q: 1,
+            ..Default::default()
+        };
+        let b = OpCounts {
+            gates_1q: 2,
+            state_copies: 4,
+            ..Default::default()
+        };
         let c = a + b;
         assert_eq!(c.gates_1q, 5);
         assert_eq!(c.state_copies, 4);
@@ -112,7 +126,11 @@ mod tests {
 
     #[test]
     fn gate_equivalents_weights_copies() {
-        let ops = OpCounts { gates_1q: 10, state_copies: 2, ..Default::default() };
+        let ops = OpCounts {
+            gates_1q: 10,
+            state_copies: 2,
+            ..Default::default()
+        };
         let ge = ops.gate_equivalents(20.0, 2.5);
         assert!((ge - (10.0 + 40.0)).abs() < 1e-12);
     }

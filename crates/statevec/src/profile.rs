@@ -62,7 +62,11 @@ pub fn measure_copy_cost(n_qubits: u16, trials: usize) -> HostCopyCost {
         dst.copy_from(&sv);
         copy_times.push(t1.elapsed().as_nanos() as f64);
     }
-    HostCopyCost { n_qubits, copy_ns: median(copy_times), gate_ns: median(gate_times) }
+    HostCopyCost {
+        n_qubits,
+        copy_ns: median(copy_times),
+        gate_ns: median(gate_times),
+    }
 }
 
 /// Average copy-to-gate ratio over a range of widths — the single number
@@ -73,8 +77,9 @@ pub fn measure_copy_cost(n_qubits: u16, trials: usize) -> HostCopyCost {
 ///
 /// Panics if the range is empty.
 pub fn measure_copy_cost_avg(widths: std::ops::RangeInclusive<u16>, trials: usize) -> f64 {
-    let ratios: Vec<f64> =
-        widths.map(|n| measure_copy_cost(n, trials).ratio()).collect();
+    let ratios: Vec<f64> = widths
+        .map(|n| measure_copy_cost(n, trials).ratio())
+        .collect();
     assert!(!ratios.is_empty(), "empty width range");
     ratios.iter().sum::<f64>() / ratios.len() as f64
 }

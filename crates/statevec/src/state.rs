@@ -42,7 +42,10 @@ impl StateVector {
     /// Panics if `n_qubits` is 0 or exceeds [`MAX_QUBITS`].
     pub fn zero(n_qubits: u16) -> Self {
         assert!(n_qubits >= 1, "state needs at least one qubit");
-        assert!(n_qubits <= MAX_QUBITS, "{n_qubits} qubits exceeds MAX_QUBITS={MAX_QUBITS}");
+        assert!(
+            n_qubits <= MAX_QUBITS,
+            "{n_qubits} qubits exceeds MAX_QUBITS={MAX_QUBITS}"
+        );
         let mut amps = vec![c64(0.0, 0.0); 1usize << n_qubits];
         amps[0] = c64(1.0, 0.0);
         StateVector { n_qubits, amps }
@@ -69,7 +72,10 @@ impl StateVector {
     /// normalisation (checkable via [`StateVector::norm_sqr`]).
     pub fn from_amplitudes(amps: Vec<C64>) -> Self {
         let len = amps.len();
-        assert!(len >= 2 && len.is_power_of_two(), "length must be a power of two >= 2");
+        assert!(
+            len >= 2 && len.is_power_of_two(),
+            "length must be a power of two >= 2"
+        );
         let n_qubits = len.trailing_zeros() as u16;
         StateVector { n_qubits, amps }
     }
@@ -234,7 +240,11 @@ impl StateVector {
     /// Panics if the gate touches a qubit outside the register.
     pub fn apply_gate(&mut self, gate: &Gate) {
         for &q in gate.qubits() {
-            assert!(q < self.n_qubits, "gate {gate} out of range for {} qubits", self.n_qubits);
+            assert!(
+                q < self.n_qubits,
+                "gate {gate} out of range for {} qubits",
+                self.n_qubits
+            );
         }
         kernels::apply_gate_amps(&mut self.amps, gate);
     }
@@ -273,7 +283,12 @@ impl StateVector {
 
 impl fmt::Debug for StateVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "StateVector[{} qubits; |ψ|²={:.6}]", self.n_qubits, self.norm_sqr())
+        write!(
+            f,
+            "StateVector[{} qubits; |ψ|²={:.6}]",
+            self.n_qubits,
+            self.norm_sqr()
+        )
     }
 }
 
@@ -321,7 +336,24 @@ mod tests {
     fn every_gate_kind_preserves_norm() {
         use GateKind::*;
         let kinds2 = [Cx, Cz, CPhase(0.7), Swap, Rzz(0.9), FSim(0.5, 0.3)];
-        let kinds1 = [X, Y, Z, H, S, Sdg, T, Tdg, Sx, Sy, Sw, Rx(0.4), Ry(1.1), Rz(2.2), Phase(0.6), U3(0.3, 0.8, 1.4)];
+        let kinds1 = [
+            X,
+            Y,
+            Z,
+            H,
+            S,
+            Sdg,
+            T,
+            Tdg,
+            Sx,
+            Sy,
+            Sw,
+            Rx(0.4),
+            Ry(1.1),
+            Rz(2.2),
+            Phase(0.6),
+            U3(0.3, 0.8, 1.4),
+        ];
         let mut sv = StateVector::zero(4);
         // Scramble a bit first so gates act on a generic state.
         let mut c = Circuit::new(4);

@@ -136,7 +136,10 @@ fn qpe_peaks_at_the_encoded_phase() {
         }
     }
     assert_eq!(best.0, 3, "estimated {} with p={:.3}", best.0, best.1);
-    assert!(best.1 > 0.9, "representable phase should be near-deterministic");
+    assert!(
+        best.1 > 0.9,
+        "representable phase should be near-deterministic"
+    );
 }
 
 #[test]

@@ -29,8 +29,12 @@ fn arb_gate(n: u16) -> impl Strategy<Value = Gate> {
             Gate::new(kind, &[q])
         }),
         (q.clone(), angle.clone(), 0usize..4).prop_map(move |(q, t, k)| {
-            let kind =
-                [GateKind::Rx(t), GateKind::Ry(t), GateKind::Rz(t), GateKind::Phase(t)][k];
+            let kind = [
+                GateKind::Rx(t),
+                GateKind::Ry(t),
+                GateKind::Rz(t),
+                GateKind::Phase(t),
+            ][k];
             Gate::new(kind, &[q])
         }),
         (q.clone(), q.clone(), angle.clone(), 0usize..6).prop_filter_map(
@@ -180,7 +184,11 @@ fn dense_reference_on_all_basis_states_for_cx() {
         for start in 0..8u64 {
             let mut sv = StateVector::basis(3, start);
             sv.apply_gate(&Gate::new(GateKind::Cx, &[c, t]));
-            let expect = if (start >> c) & 1 == 1 { start ^ (1 << t) } else { start };
+            let expect = if (start >> c) & 1 == 1 {
+                start ^ (1 << t)
+            } else {
+                start
+            };
             assert_eq!(sv.probability(expect), 1.0, "cx({c},{t}) on |{start:03b}>");
         }
     }

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. A noisy TQSim tree on the cluster.
-    let partition = Strategy::Custom { arities: vec![50, 2, 2] }.plan(&circuit, &noise, 200)?;
+    let partition = Strategy::Custom {
+        arities: vec![50, 2, 2],
+    }
+    .plan(&circuit, &noise, 200)?;
     let result = run_distributed(&circuit, &noise, &partition, 4, model, 42)?;
     println!(
         "\nTQSim tree {} on 4 nodes: {} outcomes, {} state copies, modeled time {:.3} ms",
@@ -55,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t1 = tqsim_cluster::estimate_shot_seconds(&wide, &noise, 1, &model);
     for nodes in [1usize, 2, 4, 8, 16, 32] {
         let t = tqsim_cluster::estimate_shot_seconds(&wide, &noise, nodes, &model);
-        println!("  {nodes:>2} nodes: {:>8.2} s   speedup {:>5.2}×", t, t1 / t);
+        println!(
+            "  {nodes:>2} nodes: {:>8.2} s   speedup {:>5.2}×",
+            t,
+            t1 / t
+        );
     }
     Ok(())
 }

@@ -35,7 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let tree = Tqsim::new(&circuit)
             .noise(model.clone())
             .shots(shots)
-            .strategy(Strategy::Custom { arities: vec![250, 2, 2, 2] })
+            .strategy(Strategy::Custom {
+                arities: vec![250, 2, 2, 2],
+            })
             .seed(2)
             .run()?;
         let f_b = metrics::normalized_fidelity(&ideal, &base.counts.to_distribution());

@@ -27,9 +27,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("XCP  k=3", Strategy::Exponential { k: 3 }),
         (
             "DCP      ",
-            Strategy::Dynamic(DcpConfig { copy_cost, ..DcpConfig::default() }),
+            Strategy::Dynamic(DcpConfig {
+                copy_cost,
+                ..DcpConfig::default()
+            }),
         ),
-        ("Custom   ", Strategy::Custom { arities: vec![500, 4, 4, 4] }),
+        (
+            "Custom   ",
+            Strategy::Custom {
+                arities: vec![500, 4, 4, 4],
+            },
+        ),
     ];
 
     println!(

@@ -11,7 +11,11 @@ use tqsim_noise::NoiseModel;
 
 fn expected_cut(counts: &tqsim::Counts, graph: &Graph) -> f64 {
     let total = counts.total() as f64;
-    counts.iter().map(|(bits, c)| graph.cut_value(bits) as f64 * c as f64).sum::<f64>() / total
+    counts
+        .iter()
+        .map(|(bits, c)| graph.cut_value(bits) as f64 * c as f64)
+        .sum::<f64>()
+        / total
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -46,10 +50,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let t = Tqsim::new(&circuit)
                 .noise(noise.clone())
                 .shots(shots)
-                .strategy(Strategy::Custom { arities: vec![125, 2, 2] })
+                .strategy(Strategy::Custom {
+                    arities: vec![125, 2, 2],
+                })
                 .seed(seed + 1)
                 .run()?;
-            let (cb, ct) = (expected_cut(&b.counts, &graph), expected_cut(&t.counts, &graph));
+            let (cb, ct) = (
+                expected_cut(&b.counts, &graph),
+                expected_cut(&t.counts, &graph),
+            );
             if ct > best.2 {
                 best = (beta, gamma, ct);
             }

@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let noise = NoiseModel::sycamore();
     let shots = 4_000;
 
-    println!("circuit: qft_10 — {} qubits, {} gates", circuit.n_qubits(), circuit.len());
+    println!(
+        "circuit: qft_10 — {} qubits, {} gates",
+        circuit.n_qubits(),
+        circuit.len()
+    );
 
     // 1. The conventional way: one full noisy execution per shot.
     let baseline = Tqsim::new(&circuit)
@@ -55,6 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let f_base = metrics::normalized_fidelity(&ideal, &baseline.counts.to_distribution());
     let f_tree = metrics::normalized_fidelity(&ideal, &tqsim.counts.to_distribution());
     println!("\nnormalized fidelity: baseline {f_base:.4}, TQSim {f_tree:.4}");
-    println!("difference: {:.4} (paper bound at 32k shots: 0.016)", (f_base - f_tree).abs());
+    println!(
+        "difference: {:.4} (paper bound at 32k shots: 0.016)",
+        (f_base - f_tree).abs()
+    );
     Ok(())
 }

@@ -19,12 +19,17 @@ fn sampled_cut(graph: &Graph, beta: f64, gamma: f64, noise: &NoiseModel, seed: u
     let run = Tqsim::new(&circuit)
         .noise(noise.clone())
         .shots(600)
-        .strategy(Strategy::Custom { arities: vec![150, 2, 2] })
+        .strategy(Strategy::Custom {
+            arities: vec![150, 2, 2],
+        })
         .seed(seed)
         .run()
         .expect("run");
     let total = run.counts.total() as f64;
-    run.counts.iter().map(|(bits, c)| graph.cut_value(bits) as f64 * c as f64).sum::<f64>()
+    run.counts
+        .iter()
+        .map(|(bits, c)| graph.cut_value(bits) as f64 * c as f64)
+        .sum::<f64>()
         / total
 }
 

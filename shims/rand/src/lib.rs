@@ -1,0 +1,349 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so the
+//! pieces of `rand` it actually uses are reimplemented here behind the same
+//! paths (`rand::rngs::StdRng`, `rand::SeedableRng`, `rand::Rng`,
+//! `rand::RngExt`, `rand::seq::SliceRandom`). The implementation favours
+//! determinism and simplicity over cryptographic strength:
+//!
+//! - [`rngs::StdRng`] is an [xoshiro256**] generator seeded via SplitMix64 —
+//!   excellent statistical quality for Monte-Carlo work, trivially
+//!   reproducible from a `u64` seed, `Send + Sync`-friendly state.
+//! - Floating-point generation uses the standard 53-bit mantissa trick, so
+//!   `random::<f64>()` is uniform on `[0, 1)`.
+//! - Integer ranges use Lemire-style multiply-shift rejection, giving
+//!   unbiased draws without modulo artefacts.
+//!
+//! Swapping the real `rand` back in is **not** a pure manifest change:
+//! this shim's [`RngExt`] trait (where `random`/`random_range` live here)
+//! has no direct counterpart in the real crate, so `use rand::{Rng,
+//! RngExt}` imports across the workspace would need a mechanical rename —
+//! and [`rngs::StdRng`] is xoshiro256** rather than ChaCha12, so all
+//! seed-pinned expectations would produce different (equally valid)
+//! streams and statistical tests would need re-baselining.
+//!
+//! [xoshiro256**]: https://prng.di.unimi.it/
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{RngExt, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let x: f64 = rng.random();
+//! assert!((0.0..1.0).contains(&x));
+//! let k = rng.random_range(10..20u64);
+//! assert!((10..20).contains(&k));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number source: everything derives from `next_u64`.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Sample a value of type `T` from its standard distribution
+    /// (`f64`/`f32`: uniform on `[0, 1)`; integers: uniform over the full
+    /// range; `bool`: fair coin).
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// `true` with probability `p` (a `p ≤ 0` never fires, a `p ≥ 1`
+    /// always does).
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Types seedable from a `u64` (the only seeding mode this workspace uses).
+pub trait SeedableRng: Sized {
+    /// Construct a generator whose entire stream is determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Deterministic generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**
+    /// seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let mut s2n = s2 ^ s0;
+            let s3n = s3 ^ s1;
+            let s1n = s1 ^ s2n;
+            let s0n = s0 ^ s3n;
+            s2n ^= t;
+            self.s = [s0n, s1n, s2n, s3n.rotate_left(45)];
+            result
+        }
+    }
+}
+
+/// A type with a "standard" distribution ([`RngExt::random`]).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges a value can be sampled from.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased draw from `[0, bound)` via Lemire multiply-shift rejection.
+#[inline]
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Accept when the low word clears (2^64 mod bound); for powers of two
+    // the threshold is 0 and the first draw always succeeds.
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let m = (rng.next_u64() as u128).wrapping_mul(bound as u128);
+        if m as u64 >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                start + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + f64::from_rng(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range");
+        start + f64::from_rng(rng) * (end - start)
+    }
+}
+
+/// Sequence helpers (`slice.shuffle(&mut rng)`).
+pub mod seq {
+    use super::{uniform_below, Rng};
+
+    /// Randomisation methods on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_below(rng, (i + 1) as u64) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[uniform_below(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn ranges_hit_all_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.random_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v = rng.random_range(3..=4u8);
+            assert!(v == 3 || v == 4);
+        }
+        let x = rng.random_range(1.5..2.5f64);
+        assert!((1.5..2.5).contains(&x));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements almost surely move");
+    }
+
+    #[test]
+    fn bool_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate = {rate}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so the
+//! parallel-iterator entry points the code uses (`par_iter`, `par_iter_mut`,
+//! `into_par_iter`, `par_chunks_mut`, `ThreadPoolBuilder`) are provided here
+//! as **sequential adapters**: each returns the corresponding standard
+//! iterator, so every combinator (`map`, `zip`, `enumerate`, `sum`,
+//! `for_each`, `collect`, …) resolves to `std::iter::Iterator` and the code
+//! compiles and runs unchanged — just single-threaded at the amplitude
+//! level.
+//!
+//! Real multi-core scaling in this workspace comes from `tqsim-engine`'s
+//! work-stealing worker pool, which parallelises across simulation-tree
+//! subtrees/shots (the profitable axis for noisy Monte-Carlo workloads)
+//! using `std::thread` directly. If the real `rayon` becomes available,
+//! deleting this shim restores amplitude-level parallelism too.
+//!
+//! ```
+//! use rayon::prelude::*;
+//!
+//! let v = vec![1u64, 2, 3];
+//! let s: u64 = v.par_iter().map(|x| x * 2).sum();
+//! assert_eq!(s, 12);
+//! ```
+
+#![warn(missing_docs)]
+
+/// The traits (`par_iter` and friends) — `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSliceMut,
+    };
+}
+
+/// `into_par_iter()` on any owned iterable (sequential here).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Consume `self` into a "parallel" (here: sequential) iterator.
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// `par_iter()` on any `&C: IntoIterator` collection (sequential here).
+pub trait IntoParallelRefIterator<'d> {
+    /// Iterator type produced.
+    type Iter: Iterator;
+
+    /// Borrowing "parallel" (here: sequential) iterator.
+    fn par_iter(&'d self) -> Self::Iter;
+}
+
+impl<'d, C: 'd + ?Sized> IntoParallelRefIterator<'d> for C
+where
+    &'d C: IntoIterator,
+{
+    type Iter = <&'d C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'d self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_iter_mut()` on any `&mut C: IntoIterator` collection (sequential
+/// here).
+pub trait IntoParallelRefMutIterator<'d> {
+    /// Iterator type produced.
+    type Iter: Iterator;
+
+    /// Mutably borrowing "parallel" (here: sequential) iterator.
+    fn par_iter_mut(&'d mut self) -> Self::Iter;
+}
+
+impl<'d, C: 'd + ?Sized> IntoParallelRefMutIterator<'d> for C
+where
+    &'d mut C: IntoIterator,
+{
+    type Iter = <&'d mut C as IntoIterator>::IntoIter;
+
+    fn par_iter_mut(&'d mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Chunking entry points on mutable slices (sequential here).
+pub trait ParallelSliceMut<T> {
+    /// `chunks_mut` under the parallel name.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// Builder-compatible stand-in for rayon's pool ([`ThreadPool`] runs
+/// closures inline).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (never produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the requested thread count (advisory in this shim).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the (inline) pool. Never fails.
+    ///
+    /// # Errors
+    ///
+    /// Present for API compatibility; this shim always returns `Ok`.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+}
+
+/// Inline stand-in for a rayon thread pool.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` "inside" the pool (inline in this shim).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_behave_like_std_iterators() {
+        let v = vec![1u64, 2, 3, 4];
+        assert_eq!(v.par_iter().sum::<u64>(), 10);
+        assert_eq!((0..5u64).into_par_iter().map(|x| x * x).sum::<u64>(), 30);
+
+        let mut w = vec![1u64, 2, 3];
+        w.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(w, vec![2, 3, 4]);
+
+        let mut a = [0u8; 8];
+        a.par_chunks_mut(4)
+            .enumerate()
+            .for_each(|(i, c)| c.fill(i as u8));
+        assert_eq!(a, [0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn pool_installs_inline() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 21 * 2), 42);
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! # tqsim-repro
+//!
+//! Workspace facade crate: it exists so the repository-level integration
+//! tests (`tests/`) and runnable examples (`examples/`) have a package to
+//! hang off, and it re-exports every workspace crate under one roof for
+//! quick interactive use:
+//!
+//! ```
+//! use tqsim_repro::prelude::*;
+//!
+//! let circuit = generators::qft(6);
+//! let result = Tqsim::new(&circuit).shots(100).seed(3).run().unwrap();
+//! assert!(result.counts.total() >= 100);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use tqsim;
+pub use tqsim_baselines as baselines;
+pub use tqsim_circuit as circuit;
+pub use tqsim_cluster as cluster;
+pub use tqsim_densmat as densmat;
+pub use tqsim_engine as engine;
+pub use tqsim_noise as noise;
+pub use tqsim_statevec as statevec;
+
+/// One-stop imports for experiments and examples.
+pub mod prelude {
+    pub use tqsim::{Counts, DcpConfig, RunResult, Strategy, Tqsim, TreeStructure};
+    pub use tqsim_circuit::{generators, Circuit};
+    pub use tqsim_engine::{Engine, EngineConfig, JobSpec};
+    pub use tqsim_noise::NoiseModel;
+    pub use tqsim_statevec::StateVector;
+}

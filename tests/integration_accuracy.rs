@@ -33,7 +33,9 @@ fn tqsim_matches_baseline_fidelity_across_classes() {
         let tree = Tqsim::new(&circuit)
             .noise(noise.clone())
             .shots(shots)
-            .strategy(Strategy::Custom { arities: vec![300, 2, 5] })
+            .strategy(Strategy::Custom {
+                arities: vec![300, 2, 5],
+            })
             .seed(12)
             .run()
             .unwrap();
@@ -57,7 +59,9 @@ fn tqsim_matches_exact_density_matrix() {
     let tree = Tqsim::new(&circuit)
         .noise(noise)
         .shots(8_000)
-        .strategy(Strategy::Custom { arities: vec![500, 4, 4] })
+        .strategy(Strategy::Custom {
+            arities: vec![500, 4, 4],
+        })
         .seed(5)
         .run()
         .unwrap();
@@ -82,7 +86,9 @@ fn fidelity_gap_stays_small_under_every_noise_model() {
         let tree = Tqsim::new(&circuit)
             .noise(model.clone())
             .shots(shots)
-            .strategy(Strategy::Custom { arities: vec![150, 2, 5] })
+            .strategy(Strategy::Custom {
+                arities: vec![150, 2, 5],
+            })
             .seed(22)
             .run()
             .unwrap();
@@ -118,10 +124,13 @@ fn deeper_reuse_degrades_accuracy_monotonically_in_the_extreme() {
             .unwrap();
         (nf(&circuit, &r.counts) - f_ref).abs()
     };
-    // Average over a few seeds to suppress sampling noise.
-    let seeds = [41u64, 42, 43];
-    let dcp: f64 = seeds.iter().map(|&s| gap(vec![250, 2, 2], s)).sum::<f64>() / 3.0;
-    let extreme: f64 = seeds.iter().map(|&s| gap(vec![250, 1, 1], s)).sum::<f64>() / 3.0;
+    // Average over several seeds to suppress sampling noise: the expected
+    // difference between the two shapes is small at this shot budget, so a
+    // handful of seeds is not enough to separate them reliably.
+    let seeds = [41u64, 42, 43, 44, 45, 46, 47, 48];
+    let n = seeds.len() as f64;
+    let dcp: f64 = seeds.iter().map(|&s| gap(vec![250, 2, 2], s)).sum::<f64>() / n;
+    let extreme: f64 = seeds.iter().map(|&s| gap(vec![250, 1, 1], s)).sum::<f64>() / n;
     assert!(
         extreme > dcp,
         "extreme tree should deviate more: dcp {dcp:.4} vs extreme {extreme:.4}"

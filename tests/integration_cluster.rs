@@ -29,8 +29,11 @@ fn distributed_engine_is_bit_exact_on_ideal_circuits() {
                 dsv.apply_gate(gate);
             }
             let gathered = dsv.gather();
-            for (i, (a, b)) in
-                gathered.amplitudes().iter().zip(reference.amplitudes()).enumerate()
+            for (i, (a, b)) in gathered
+                .amplitudes()
+                .iter()
+                .zip(reference.amplitudes())
+                .enumerate()
             {
                 assert!((a - b).norm() < 1e-9, "{name}, {nodes} nodes, amp {i}");
             }
@@ -43,13 +46,17 @@ fn distributed_noisy_run_matches_single_node_statistics() {
     let circuit = generators::bv(8);
     let noise = NoiseModel::sycamore();
     let shots = 800u64;
-    let partition = Strategy::Custom { arities: vec![80, 10] }
-        .plan(&circuit, &noise, shots)
-        .unwrap();
+    let partition = Strategy::Custom {
+        arities: vec![80, 10],
+    }
+    .plan(&circuit, &noise, shots)
+    .unwrap();
     let model = InterconnectModel::commodity_cluster();
 
     let dist = run_distributed(&circuit, &noise, &partition, 4, model, 17).unwrap();
-    let single = tqsim::TreeExecutor::new(&circuit, &noise, partition).unwrap().run(17);
+    let single = tqsim::TreeExecutor::new(&circuit, &noise, partition)
+        .unwrap()
+        .run(17);
 
     let secret = 0b111_1110u64;
     let hit = |c: &tqsim::Counts| {
@@ -72,7 +79,8 @@ fn strong_scaling_improves_then_saturates() {
     let small = generators::bv(16);
     let large = generators::qft(24);
     let speedup = |c: &tqsim_circuit::Circuit, nodes: usize| {
-        estimate_shot_seconds(c, &noise, 1, &model) / estimate_shot_seconds(c, &noise, nodes, &model)
+        estimate_shot_seconds(c, &noise, 1, &model)
+            / estimate_shot_seconds(c, &noise, nodes, &model)
     };
     let s_small = speedup(&small, 32);
     let s_large = speedup(&large, 32);
@@ -91,7 +99,9 @@ fn tqsim_beats_baseline_on_the_cluster_estimator() {
     let model = InterconnectModel::commodity_cluster();
     let shots = 8_192;
     let base = Strategy::Baseline.plan(&circuit, &noise, shots).unwrap();
-    let dcp = Strategy::default_dcp().plan(&circuit, &noise, shots).unwrap();
+    let dcp = Strategy::default_dcp()
+        .plan(&circuit, &noise, shots)
+        .unwrap();
     for nodes in [1usize, 4, 16, 32] {
         let tb = estimate_tree_seconds(&circuit, &noise, &base, nodes, &model);
         let td = estimate_tree_seconds(&circuit, &noise, &dcp, nodes, &model);

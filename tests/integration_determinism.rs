@@ -23,8 +23,18 @@ fn every_engine_is_seed_deterministic() {
     let circuit = generators::qsc(8, 38, 2);
     let noise = NoiseModel::sycamore();
 
-    let t1 = Tqsim::new(&circuit).noise(noise.clone()).shots(200).seed(9).run().unwrap();
-    let t2 = Tqsim::new(&circuit).noise(noise.clone()).shots(200).seed(9).run().unwrap();
+    let t1 = Tqsim::new(&circuit)
+        .noise(noise.clone())
+        .shots(200)
+        .seed(9)
+        .run()
+        .unwrap();
+    let t2 = Tqsim::new(&circuit)
+        .noise(noise.clone())
+        .shots(200)
+        .seed(9)
+        .run()
+        .unwrap();
     assert_eq!(t1.counts, t2.counts);
     assert_eq!(t1.ops, t2.ops);
 
@@ -33,7 +43,11 @@ fn every_engine_is_seed_deterministic() {
     assert_eq!(b1.counts, b2.counts);
 
     let model = InterconnectModel::commodity_cluster();
-    let p = Strategy::Custom { arities: vec![20, 10] }.plan(&circuit, &noise, 200).unwrap();
+    let p = Strategy::Custom {
+        arities: vec![20, 10],
+    }
+    .plan(&circuit, &noise, 200)
+    .unwrap();
     let d1 = run_distributed(&circuit, &noise, &p, 4, model, 9).unwrap();
     let d2 = run_distributed(&circuit, &noise, &p, 4, model, 9).unwrap();
     assert_eq!(d1.counts, d2.counts);
@@ -47,8 +61,18 @@ fn every_engine_is_seed_deterministic() {
 fn different_seeds_decorrelate() {
     let circuit = generators::qft(8);
     let noise = NoiseModel::sycamore();
-    let a = Tqsim::new(&circuit).noise(noise.clone()).shots(500).seed(1).run().unwrap();
-    let b = Tqsim::new(&circuit).noise(noise.clone()).shots(500).seed(2).run().unwrap();
+    let a = Tqsim::new(&circuit)
+        .noise(noise.clone())
+        .shots(500)
+        .seed(1)
+        .run()
+        .unwrap();
+    let b = Tqsim::new(&circuit)
+        .noise(noise.clone())
+        .shots(500)
+        .seed(2)
+        .run()
+        .unwrap();
     assert_ne!(a.counts, b.counts, "independent seeds should differ");
 }
 
@@ -66,10 +90,19 @@ fn noise_models_are_deterministically_constructed() {
 fn plan_is_a_pure_function_of_inputs() {
     let circuit = generators::qft(12);
     let noise = NoiseModel::sycamore();
-    let p1 = Strategy::default_dcp().plan(&circuit, &noise, 4_000).unwrap();
-    let p2 = Strategy::default_dcp().plan(&circuit, &noise, 4_000).unwrap();
+    let p1 = Strategy::default_dcp()
+        .plan(&circuit, &noise, 4_000)
+        .unwrap();
+    let p2 = Strategy::default_dcp()
+        .plan(&circuit, &noise, 4_000)
+        .unwrap();
     assert_eq!(p1, p2);
     // And sensitive to its inputs.
-    let p3 = Strategy::default_dcp().plan(&circuit, &noise, 8_000).unwrap();
-    assert_ne!(p1.tree, p3.tree, "different shot budgets should plan differently");
+    let p3 = Strategy::default_dcp()
+        .plan(&circuit, &noise, 8_000)
+        .unwrap();
+    assert_ne!(
+        p1.tree, p3.tree,
+        "different shot budgets should plan differently"
+    );
 }

@@ -10,7 +10,11 @@ use tqsim_noise::NoiseModel;
 fn dcp_reduces_gate_work_on_every_suitable_suite_circuit() {
     let noise = NoiseModel::sycamore();
     let shots = 2_000u64;
-    let cfg = DcpConfig { margin: 0.1, copy_cost: 10.0, ..DcpConfig::default() };
+    let cfg = DcpConfig {
+        margin: 0.1,
+        copy_cost: 10.0,
+        ..DcpConfig::default()
+    };
     let mut improved = 0usize;
     let mut total = 0usize;
     for bench in table2_suite_capped(10) {
@@ -37,11 +41,18 @@ fn dcp_reduces_gate_work_on_every_suitable_suite_circuit() {
             bench.name
         );
         if tree.tree.depth() > 1 {
-            assert!(tree.ops.total_gates() < base.ops.total_gates(), "{}", bench.name);
+            assert!(
+                tree.ops.total_gates() < base.ops.total_gates(),
+                "{}",
+                bench.name
+            );
             improved += 1;
         }
     }
-    assert!(improved * 2 > total, "DCP should partition most circuits: {improved}/{total}");
+    assert!(
+        improved * 2 > total,
+        "DCP should partition most circuits: {improved}/{total}"
+    );
 }
 
 #[test]
@@ -49,7 +60,9 @@ fn measured_speedup_tracks_predicted_speedup() {
     let circuit = generators::qft(12);
     let noise = NoiseModel::sycamore();
     let shots = 2_000u64;
-    let strategy = Strategy::Custom { arities: vec![250, 2, 2, 2] };
+    let strategy = Strategy::Custom {
+        arities: vec![250, 2, 2, 2],
+    };
     let plan = strategy.plan(&circuit, &noise, shots).unwrap();
 
     let base = Tqsim::new(&circuit)
@@ -103,11 +116,17 @@ fn speedup_grows_with_circuit_length() {
     // subcircuits and larger reuse wins (QFT column of Fig. 11).
     let noise = NoiseModel::sycamore();
     let shots = 2_000u64;
-    let cfg = DcpConfig { margin: 0.1, copy_cost: 10.0, ..DcpConfig::default() };
+    let cfg = DcpConfig {
+        margin: 0.1,
+        copy_cost: 10.0,
+        ..DcpConfig::default()
+    };
     let mut last = 0.0;
     for n in [8u16, 10, 12] {
         let circuit = generators::qft(n);
-        let plan = Strategy::Dynamic(cfg).plan(&circuit, &noise, shots).unwrap();
+        let plan = Strategy::Dynamic(cfg)
+            .plan(&circuit, &noise, shots)
+            .unwrap();
         let predicted = speedup::predicted_speedup(&plan, shots, cfg.copy_cost);
         assert!(
             predicted >= last * 0.9,
@@ -116,5 +135,8 @@ fn speedup_grows_with_circuit_length() {
         );
         last = predicted;
     }
-    assert!(last > 1.5, "qft_12 should predict a solid speedup, got {last:.2}");
+    assert!(
+        last > 1.5,
+        "qft_12 should predict a solid speedup, got {last:.2}"
+    );
 }
