@@ -1,9 +1,13 @@
 //! The flat Monte-Carlo baseline: one full noisy circuit execution per shot.
 //!
-//! This is an *independent* implementation of the semantics that
+//! This is an *independent* implementation of the tree-walk semantics that
 //! `tqsim`'s degenerate tree `(N)` also provides — the two are
 //! cross-validated in the integration tests, which is exactly why the
-//! duplication exists.
+//! duplication exists. Both baselines still benefit from the
+//! compile-once/replay-many layer: the circuit is compiled into one fused
+//! plan up front and replayed per shot (`N` replays of a single
+//! compilation), with the noise-adaptive flush keeping the RNG streams —
+//! and therefore `Counts` — identical to unfused per-gate dispatch.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,14 +54,14 @@ pub fn run_baseline(
     let mut ops = OpCounts::new();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sv = StateVector::zero(n);
+    // Compile once, replay `shots` times.
+    let plan = noise.compile(circuit);
     for _shot in 0..shots {
         sv.reset_zero();
         ops.state_resets += 1;
-        for gate in circuit {
-            sv.apply_gate(gate);
-            ops.add_gates(gate.arity(), 1);
-            ops.noise_ops += noise.apply_after_gate(&mut sv, gate, &mut rng);
-        }
+        plan.replay(&mut sv, &mut ops, |gate, ctx| {
+            noise.apply_after_gate_deferred(gate, ctx, &mut rng)
+        });
         let outcome = noise.apply_readout(sv.sample(&mut rng), n, &mut rng);
         counts.increment(outcome);
         ops.samples += 1;
@@ -102,19 +106,18 @@ pub fn run_baseline_parallel(
             .map(|_| Mutex::new((Counts::new(n), OpCounts::new())))
             .collect(),
     );
-    let task_data = Arc::new((circuit.clone(), noise.clone(), Arc::clone(&accums)));
+    // One compilation shared by every worker's shots.
+    let task_data = Arc::new((noise.compile(circuit), noise.clone(), Arc::clone(&accums)));
     pool.for_each_index(shots, move |shot, ctx| {
-        let (circuit, noise, accums) = &*task_data;
+        let (plan, noise, accums) = &*task_data;
         let mut rng = StdRng::seed_from_u64(seed ^ (shot.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
         let mut ops = OpCounts::new();
         let mut sv = ctx.acquire(n);
         sv.reset_zero();
         ops.state_resets += 1;
-        for gate in circuit {
-            sv.apply_gate(gate);
-            ops.add_gates(gate.arity(), 1);
-            ops.noise_ops += noise.apply_after_gate(&mut *sv, gate, &mut rng);
-        }
+        plan.replay(&mut sv, &mut ops, |gate, fctx| {
+            noise.apply_after_gate_deferred(gate, fctx, &mut rng)
+        });
         let outcome = noise.apply_readout(sv.sample(&mut rng), n, &mut rng);
         ops.samples += 1;
         drop(sv); // recycle the buffer before merging

@@ -1,0 +1,151 @@
+//! Fusion bench: compile-once/replay-many vs per-gate dispatch, in
+//! **op-counting mode** — the reported `amp_passes` are host-independent
+//! (they depend only on circuit, plan, noise model and seed, never on
+//! timing), so CI can track the fusion win as a stable artifact.
+//!
+//! Writes `BENCH_fusion.json` (override the path with
+//! `TQSIM_BENCH_JSON=<path>`) with one record per circuit × noise model:
+//! unfused/fused pass counts, the pass ratio, fused-gate tallies, and a
+//! `counts_identical` invariant check (fused and unfused execution must
+//! produce bit-identical histograms for the same seed).
+
+use tqsim::{ExecOptions, Strategy, TreeExecutor};
+use tqsim_bench::{banner, Scale, Table};
+use tqsim_circuit::{generators, Circuit};
+use tqsim_noise::NoiseModel;
+
+struct Row {
+    circuit: &'static str,
+    noise: &'static str,
+    gates: u64,
+    unfused_passes: u64,
+    fused_passes: u64,
+    fused_gates: u64,
+    counts_identical: bool,
+}
+
+fn run_pair(circuit: &Circuit, noise: &NoiseModel, shots: u64, seed: u64) -> (u64, u64, u64, bool) {
+    let partition = Strategy::Custom {
+        arities: vec![8, 4],
+    }
+    .plan(circuit, noise, shots)
+    .expect("plan");
+    let exec = TreeExecutor::new(circuit, noise, partition).expect("bind");
+    let fused = exec.run_with_options(seed, ExecOptions::default());
+    let unfused = exec.run_with_options(
+        seed,
+        ExecOptions {
+            fusion: false,
+            ..ExecOptions::default()
+        },
+    );
+    (
+        unfused.ops.amp_passes,
+        fused.ops.amp_passes,
+        fused.ops.fused_gates,
+        fused.counts == unfused.counts,
+    )
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "fusion",
+        "compile-once/replay-many pass reduction (op-counting mode)",
+        &scale,
+    );
+
+    let n: u16 = if scale.full { 16 } else { 12 };
+    let shots = 32u64;
+    let seed = 11u64;
+    let qaoa = generators::qaoa_random(n, 2 * usize::from(n), 1, 0.4, 0.8).0;
+    let circuits: Vec<(&'static str, Circuit)> = vec![
+        ("bv", generators::bv(n)),
+        ("qft", generators::qft(n)),
+        ("qaoa", qaoa),
+    ];
+    let noises = [
+        ("ideal", NoiseModel::ideal()),
+        ("sycamore", NoiseModel::sycamore()),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (cname, circuit) in &circuits {
+        for (nname, noise) in &noises {
+            let (unfused, fused, fused_gates, identical) = run_pair(circuit, noise, shots, seed);
+            rows.push(Row {
+                circuit: cname,
+                noise: nname,
+                gates: circuit.len() as u64,
+                unfused_passes: unfused,
+                fused_passes: fused,
+                fused_gates,
+                counts_identical: identical,
+            });
+        }
+    }
+
+    let mut table = Table::new(&[
+        "circuit",
+        "noise",
+        "gates",
+        "passes (unfused)",
+        "passes (fused)",
+        "ratio",
+        "counts identical",
+    ]);
+    for r in &rows {
+        table.row(&[
+            r.circuit.to_string(),
+            r.noise.to_string(),
+            r.gates.to_string(),
+            r.unfused_passes.to_string(),
+            r.fused_passes.to_string(),
+            format!("{:.2}×", r.unfused_passes as f64 / r.fused_passes as f64),
+            r.counts_identical.to_string(),
+        ]);
+    }
+    table.print();
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let mut json = String::from("{\n  \"bench\": \"fusion\",\n  \"mode\": \"op-counting\",\n");
+    json.push_str(&format!(
+        "  \"qubits\": {n},\n  \"shots\": {shots},\n  \"seed\": {seed},\n  \"rows\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"circuit\": \"{}\", \"noise\": \"{}\", \"gates\": {}, \
+             \"amp_passes_unfused\": {}, \"amp_passes_fused\": {}, \
+             \"pass_ratio\": {:.4}, \"fused_gates\": {}, \"counts_identical\": {}}}{}\n",
+            r.circuit,
+            r.noise,
+            r.gates,
+            r.unfused_passes,
+            r.fused_passes,
+            r.unfused_passes as f64 / r.fused_passes as f64,
+            r.fused_gates,
+            r.counts_identical,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path =
+        std::env::var("TQSIM_BENCH_JSON").unwrap_or_else(|_| "BENCH_fusion.json".to_string());
+    std::fs::write(&path, &json).expect("write bench artifact");
+    println!("\nwrote {path}");
+
+    let qft_rows: Vec<&Row> = rows.iter().filter(|r| r.circuit == "qft").collect();
+    for r in &qft_rows {
+        assert!(
+            r.unfused_passes as f64 / r.fused_passes as f64 >= 2.0,
+            "acceptance: QFT-style workloads must drop ≥2× in passes ({} / {})",
+            r.unfused_passes,
+            r.fused_passes
+        );
+    }
+    assert!(
+        rows.iter().all(|r| r.counts_identical),
+        "fused Counts diverged from unfused"
+    );
+    println!("acceptance: QFT pass ratio ≥ 2×, all histograms bit-identical ✓");
+}

@@ -114,13 +114,55 @@ impl GateKind {
     /// Whether this kind is *diagonal* in the computational basis.
     ///
     /// Diagonal gates commute with Z-type noise and are cheaper to apply;
-    /// kernels exploit this.
+    /// kernels and the fusion planner exploit this. Derived from
+    /// [`GateKind::diag1`]/[`GateKind::diag2`] so the classification has a
+    /// single source of truth.
     pub fn is_diagonal(&self) -> bool {
+        self.diag1().is_some() || self.diag2().is_some()
+    }
+
+    /// The diagonal entries `[d0, d1]` of a *diagonal single-qubit* kind,
+    /// `None` for everything else.
+    ///
+    /// This is the classification the fusion planner
+    /// (`tqsim_statevec::plan`) and the diagonal gate kernels share; the
+    /// entries are produced by exactly the expressions the specialised
+    /// kernels historically used, so a diagonal gate applied through a
+    /// single-term fused sweep is bit-identical to the unfused dispatch.
+    pub fn diag1(&self) -> Option<[C64; 2]> {
         use GateKind::*;
-        matches!(
-            self,
-            Id | Z | S | Sdg | T | Tdg | Rz(_) | Phase(_) | Cz | CPhase(_) | Rzz(_)
-        )
+        let d = match *self {
+            Id => [ONE, ONE],
+            Z => [ONE, c64(-1.0, 0.0)],
+            S => [ONE, I],
+            Sdg => [ONE, c64(0.0, -1.0)],
+            T => [ONE, C64::from_polar(1.0, std::f64::consts::FRAC_PI_4)],
+            Tdg => [ONE, C64::from_polar(1.0, -std::f64::consts::FRAC_PI_4)],
+            Rz(t) => [
+                C64::from_polar(1.0, -t / 2.0),
+                C64::from_polar(1.0, t / 2.0),
+            ],
+            Phase(t) => [ONE, C64::from_polar(1.0, t)],
+            _ => return None,
+        };
+        Some(d)
+    }
+
+    /// The diagonal entries `[d00, d01, d10, d11]` of a *diagonal two-qubit*
+    /// kind (first qubit = more significant index bit), `None` otherwise.
+    pub fn diag2(&self) -> Option<[C64; 4]> {
+        use GateKind::*;
+        let d = match *self {
+            Cz => [ONE, ONE, ONE, c64(-1.0, 0.0)],
+            CPhase(t) => [ONE, ONE, ONE, C64::from_polar(1.0, t)],
+            Rzz(t) => {
+                let e = C64::from_polar(1.0, -t / 2.0);
+                let ec = C64::from_polar(1.0, t / 2.0);
+                [e, ec, ec, e]
+            }
+            _ => return None,
+        };
+        Some(d)
     }
 
     /// The 2×2 matrix of a single-qubit kind, `None` for multi-qubit kinds.
@@ -463,5 +505,33 @@ mod tests {
         assert!(GateKind::Rz(0.1).is_diagonal());
         assert!(!GateKind::Cx.is_diagonal());
         assert!(!GateKind::H.is_diagonal());
+    }
+
+    #[test]
+    fn diag1_matches_matrix_diagonal() {
+        use GateKind::*;
+        for k in [Id, Z, S, Sdg, T, Tdg, Rz(0.7), Phase(1.3)] {
+            let d = k.diag1().expect("diagonal kind");
+            let m = k.matrix1().unwrap();
+            assert!((d[0] - m.0[0][0]).norm() < 1e-15, "{k:?}");
+            assert!((d[1] - m.0[1][1]).norm() < 1e-15, "{k:?}");
+            assert!(m.0[0][1].norm() < 1e-15 && m.0[1][0].norm() < 1e-15);
+        }
+        assert!(H.diag1().is_none());
+        assert!(Cx.diag1().is_none());
+    }
+
+    #[test]
+    fn diag2_matches_matrix_diagonal() {
+        use GateKind::*;
+        for k in [Cz, CPhase(0.4), Rzz(0.9)] {
+            let d = k.diag2().expect("diagonal kind");
+            let m = k.matrix2().unwrap();
+            for (i, di) in d.iter().enumerate() {
+                assert!((di - m.0[i][i]).norm() < 1e-15, "{k:?}");
+            }
+        }
+        assert!(Swap.diag2().is_none());
+        assert!(Z.diag2().is_none(), "1q kinds are not diag2");
     }
 }

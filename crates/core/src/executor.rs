@@ -6,9 +6,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
-use tqsim_circuit::Circuit;
+use tqsim_circuit::{Circuit, GateKind};
 use tqsim_noise::NoiseModel;
-use tqsim_statevec::{OpCounts, StateVector};
+use tqsim_statevec::{CompiledCircuit, OpCounts, StateVector};
 
 /// Measurement histogram of a simulation run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -141,13 +141,23 @@ pub struct ExecOptions {
     /// Outcomes drawn per leaf (default 1, the paper's semantics). Values
     /// above 1 oversample each leaf state: `∏A_j · leaf_samples` outcomes
     /// for the same gate work — a cheap-throughput / correlated-samples
-    /// trade the `ablation_dcp` harness quantifies.
+    /// trade the `ablation_dcp` harness quantifies. Oversampled leaves are
+    /// drawn in one batched CDF walk ([`StateVector::sample_many`]).
     pub leaf_samples: u32,
+    /// Replay each subcircuit's compiled fused plan (default) instead of
+    /// dispatching gate by gate. The compiled path consumes the RNG stream
+    /// identically — same trajectory branches, same `Counts` — while
+    /// performing fewer amplitude passes (see [`OpCounts::amp_passes`]).
+    /// The unfused path is kept as the bit-exact reference semantics.
+    pub fusion: bool,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { leaf_samples: 1 }
+        ExecOptions {
+            leaf_samples: 1,
+            fusion: true,
+        }
     }
 }
 
@@ -163,6 +173,9 @@ pub struct TreeExecutor<'a> {
     noise: &'a NoiseModel,
     partition: Partition,
     subcircuits: Vec<Circuit>,
+    /// One fused plan per subcircuit, compiled **once** and replayed at
+    /// every node of the tree (`∏_{j≤i} A_j` replays of plan `i`).
+    compiled: Vec<CompiledCircuit>,
 }
 
 impl<'a> TreeExecutor<'a> {
@@ -185,17 +198,24 @@ impl<'a> TreeExecutor<'a> {
             )));
         }
         let subcircuits = partition.subcircuits(circuit);
+        let compiled = subcircuits.iter().map(|sc| noise.compile(sc)).collect();
         Ok(TreeExecutor {
             circuit,
             noise,
             partition,
             subcircuits,
+            compiled,
         })
     }
 
     /// The plan being executed.
     pub fn partition(&self) -> &Partition {
         &self.partition
+    }
+
+    /// The per-subcircuit compiled fused plans (for inspection/benchmarks).
+    pub fn compiled_plans(&self) -> &[CompiledCircuit] {
+        &self.compiled
     }
 
     /// Execute the full tree with a deterministic seed.
@@ -250,14 +270,7 @@ impl<'a> TreeExecutor<'a> {
     ) {
         let k = self.subcircuits.len();
         if level == k {
-            for _ in 0..options.leaf_samples {
-                let outcome = states[k].sample(rng);
-                let outcome = self
-                    .noise
-                    .apply_readout(outcome, self.circuit.n_qubits(), rng);
-                counts.increment(outcome);
-                ops.samples += 1;
-            }
+            self.sample_leaf(&states[k], counts, ops, rng, options.leaf_samples);
             return;
         }
         let arity = self.partition.tree.arities()[level];
@@ -267,13 +280,68 @@ impl<'a> TreeExecutor<'a> {
             let child = &mut children[0];
             child.copy_from(parent);
             ops.state_copies += 1;
-            for gate in &self.subcircuits[level] {
-                child.apply_gate(gate);
-                ops.add_gates(gate.arity(), 1);
-                ops.noise_ops += self.noise.apply_after_gate(child, gate, rng);
+            if options.fusion {
+                self.compiled[level].replay(child, ops, |gate, ctx| {
+                    self.noise.apply_after_gate_deferred(gate, ctx, rng)
+                });
+            } else {
+                for gate in &self.subcircuits[level] {
+                    child.apply_gate(gate);
+                    ops.add_gates(gate.arity(), 1);
+                    if !matches!(gate.kind(), GateKind::Id) {
+                        ops.amp_passes += 1;
+                    }
+                    ops.noise_ops += self.noise.apply_after_gate(child, gate, rng);
+                }
             }
             self.recurse(level + 1, states, counts, ops, rng, options);
         }
+    }
+
+    fn sample_leaf(
+        &self,
+        state: &StateVector,
+        counts: &mut Counts,
+        ops: &mut OpCounts,
+        rng: &mut StdRng,
+        leaf_samples: u32,
+    ) {
+        let n = self.circuit.n_qubits();
+        draw_leaf_outcomes(state, self.noise, n, leaf_samples, rng, |outcome| {
+            counts.increment(outcome);
+            ops.samples += 1;
+        });
+    }
+}
+
+/// Draw `leaf_samples` readout-corrected outcomes from a leaf state,
+/// feeding each to `sink`. A single draw walks the CDF directly;
+/// oversampled leaves batch all uniforms into one
+/// [`StateVector::sample_many`] walk (uniforms first, then readout noise
+/// per outcome in draw order).
+///
+/// This is the **single** leaf-sampling implementation: the serial
+/// [`TreeExecutor`] and the `tqsim-engine` node executor both call it, and
+/// their count equivalence relies on consuming the RNG stream identically
+/// — do not fork the draw order.
+pub fn draw_leaf_outcomes<R: rand::Rng + ?Sized>(
+    state: &StateVector,
+    noise: &NoiseModel,
+    n_qubits: u16,
+    leaf_samples: u32,
+    rng: &mut R,
+    mut sink: impl FnMut(u64),
+) {
+    if leaf_samples == 1 {
+        let outcome = state.sample(rng);
+        sink(noise.apply_readout(outcome, n_qubits, rng));
+        return;
+    }
+    let us: Vec<f64> = (0..leaf_samples)
+        .map(|_| rand::RngExt::random(rng))
+        .collect();
+    for outcome in state.sample_many(&us) {
+        sink(noise.apply_readout(outcome, n_qubits, rng));
     }
 }
 
@@ -435,6 +503,56 @@ mod tests {
     }
 
     #[test]
+    fn fused_replay_matches_unfused_counts_bit_for_bit() {
+        // The compiled-plan path must consume the RNG stream identically to
+        // per-gate dispatch, so the histograms agree exactly — under noise,
+        // where the noise-adaptive flush is exercised, and without. The
+        // heavy depolarizing model fires branches constantly, checking that
+        // noise-only sweeps stay out of amp_passes (which the unfused path
+        // never counts either) and the pass reduction survives.
+        for noise in [
+            NoiseModel::sycamore(),
+            NoiseModel::ideal(),
+            NoiseModel::depolarizing(0.25, 0.35),
+        ] {
+            for (gen, shots) in [
+                (generators::bv(8), 60u64),
+                (generators::qft(7), 60),
+                (generators::qv(6, 2), 40),
+            ] {
+                let p = Strategy::Custom {
+                    arities: vec![5, 4, 3],
+                }
+                .plan(&gen, &noise, shots)
+                .unwrap();
+                let exec = TreeExecutor::new(&gen, &noise, p).unwrap();
+                for seed in [7u64, 1234] {
+                    let fused = exec.run_with_options(seed, ExecOptions::default());
+                    let unfused = exec.run_with_options(
+                        seed,
+                        ExecOptions {
+                            fusion: false,
+                            ..ExecOptions::default()
+                        },
+                    );
+                    assert_eq!(fused.counts, unfused.counts, "{}", noise.name());
+                    assert_eq!(fused.ops.total_gates(), unfused.ops.total_gates());
+                    assert_eq!(fused.ops.noise_ops, unfused.ops.noise_ops);
+                    assert_eq!(fused.ops.state_copies, unfused.ops.state_copies);
+                    assert!(
+                        fused.ops.amp_passes < unfused.ops.amp_passes,
+                        "{}: fusion must reduce passes ({} vs {})",
+                        noise.name(),
+                        fused.ops.amp_passes,
+                        unfused.ops.amp_passes
+                    );
+                    assert!(fused.ops.fused_gates > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn leaf_oversampling_multiplies_outcomes() {
         let c = generators::qft(6);
         let noise = NoiseModel::sycamore();
@@ -444,7 +562,13 @@ mod tests {
         .plan(&c, &noise, 10)
         .unwrap();
         let exec = TreeExecutor::new(&c, &noise, p).unwrap();
-        let r = exec.run_with_options(1, ExecOptions { leaf_samples: 4 });
+        let r = exec.run_with_options(
+            1,
+            ExecOptions {
+                leaf_samples: 4,
+                ..ExecOptions::default()
+            },
+        );
         assert_eq!(r.counts.total(), 40);
         assert_eq!(r.ops.samples, 40);
         // Gate work unchanged vs leaf_samples = 1.

@@ -102,9 +102,17 @@ impl TreeStructure {
     }
 
     /// Total subcircuit executions: `Σ_i instances(i)` — the computation the
-    /// paper counts as "nodes" (minus the initial-state root).
+    /// paper counts as "nodes" (minus the initial-state root). Computed with
+    /// a single prefix-product pass, O(k) rather than the O(k²) of summing
+    /// [`TreeStructure::instances`] per level.
     pub fn subcircuit_executions(&self) -> u64 {
-        (0..self.arities.len()).map(|i| self.instances(i)).sum()
+        self.arities
+            .iter()
+            .scan(1u64, |prod, &a| {
+                *prod *= a;
+                Some(*prod)
+            })
+            .sum()
     }
 
     /// Total node count including the initial-state root (Fig. 6/7 caption
@@ -181,6 +189,13 @@ mod tests {
     fn rejects_invalid() {
         assert_eq!(TreeStructure::new(vec![]), Err(TreeError::Empty));
         assert_eq!(TreeStructure::new(vec![4, 0]), Err(TreeError::ZeroArity));
+    }
+
+    #[test]
+    fn prefix_product_matches_per_level_instances() {
+        let t = TreeStructure::new(vec![7, 1, 3, 2, 1, 5, 2, 2]).unwrap();
+        let by_level: u64 = (0..t.depth()).map(|i| t.instances(i)).sum();
+        assert_eq!(t.subcircuit_executions(), by_level);
     }
 
     #[test]

@@ -34,18 +34,23 @@ use rand::SeedableRng;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use tqsim::{Counts, Partition, RunResult};
-use tqsim_circuit::Circuit;
+use tqsim_circuit::{Circuit, GateKind};
 use tqsim_noise::NoiseModel;
-use tqsim_statevec::{OpCounts, PooledState};
+use tqsim_statevec::{CompiledCircuit, OpCounts, PooledState};
 
 /// Everything a node task needs, shared immutably across the whole tree.
 struct TreeShared {
     n_qubits: u16,
     subcircuits: Arc<Vec<Circuit>>,
+    /// Per-subcircuit fused plans — compiled **once** per distinct batch
+    /// plan and replayed by every node (shared across jobs by the batch's
+    /// plan dedup).
+    plans: Arc<Vec<CompiledCircuit>>,
     arities: Vec<u64>,
     noise: NoiseModel,
     seed: u64,
     leaf_samples: u32,
+    fusion: bool,
     accums: Vec<Mutex<Accum>>,
 }
 
@@ -82,14 +87,17 @@ fn child_hash(parent_hash: u64, index: u64) -> u64 {
 /// `subcircuits` must be `partition.subcircuits(circuit)` for the circuit
 /// the partition was planned against (the engine's job layer guarantees
 /// this and shares the vector between jobs with identical plans).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_tree(
     pool: &WorkerPool,
     partition: &Partition,
     subcircuits: &Arc<Vec<Circuit>>,
+    plans: &Arc<Vec<CompiledCircuit>>,
     n_qubits: u16,
     noise: &NoiseModel,
     seed: u64,
     leaf_samples: u32,
+    fusion: bool,
 ) -> RunResult {
     assert!(leaf_samples >= 1, "need at least one sample per leaf");
     let t0 = Instant::now();
@@ -97,10 +105,12 @@ pub(crate) fn run_tree(
     let shared = Arc::new(TreeShared {
         n_qubits,
         subcircuits: Arc::clone(subcircuits),
+        plans: Arc::clone(plans),
         arities,
         noise: noise.clone(),
         seed,
         leaf_samples,
+        fusion,
         accums: (0..pool.workers())
             .map(|_| {
                 Mutex::new(Accum {
@@ -168,10 +178,22 @@ fn run_node(
     drop(parent); // release the parent buffer as early as possible
 
     let mut rng = StdRng::seed_from_u64(shared.seed ^ hash);
-    for gate in &shared.subcircuits[level] {
-        state.apply_gate(gate);
-        ops.add_gates(gate.arity(), 1);
-        ops.noise_ops += shared.noise.apply_after_gate(&mut *state, gate, &mut rng);
+    if shared.fusion {
+        // Compile-once/replay-many: the node replays the shared fused plan
+        // with its own RNG stream; the noise-adaptive flush keeps fusing
+        // across identity Kraus branches.
+        shared.plans[level].replay(&mut state, &mut ops, |gate, ctx| {
+            shared.noise.apply_after_gate_deferred(gate, ctx, &mut rng)
+        });
+    } else {
+        for gate in &shared.subcircuits[level] {
+            state.apply_gate(gate);
+            ops.add_gates(gate.arity(), 1);
+            if !matches!(gate.kind(), GateKind::Id) {
+                ops.amp_passes += 1;
+            }
+            ops.noise_ops += shared.noise.apply_after_gate(&mut *state, gate, &mut rng);
+        }
     }
 
     if level + 1 == k {
@@ -180,14 +202,19 @@ fn run_node(
         // until the final merge after the pool drains), and it saves a
         // throwaway histogram per leaf.
         let mut accum = shared.accums[ctx.index()].lock().expect("accumulator lock");
-        for _ in 0..shared.leaf_samples {
-            let outcome = state.sample(&mut rng);
-            let outcome = shared
-                .noise
-                .apply_readout(outcome, shared.n_qubits, &mut rng);
-            accum.counts.increment(outcome);
-            ops.samples += 1;
-        }
+        // Shared with the serial executor so both consume the RNG stream
+        // identically (batched CDF walk when oversampling).
+        tqsim::draw_leaf_outcomes(
+            &state,
+            &shared.noise,
+            shared.n_qubits,
+            shared.leaf_samples,
+            &mut rng,
+            |outcome| {
+                accum.counts.increment(outcome);
+                ops.samples += 1;
+            },
+        );
         accum.ops.merge(&ops);
         drop(accum);
         drop(state); // back to the worker's pool
@@ -211,20 +238,32 @@ mod tests {
     use tqsim_circuit::generators;
 
     fn run_with_workers(workers: usize, seed: u64, arities: Vec<u64>) -> RunResult {
+        run_with_workers_fusion(workers, seed, arities, true)
+    }
+
+    fn run_with_workers_fusion(
+        workers: usize,
+        seed: u64,
+        arities: Vec<u64>,
+        fusion: bool,
+    ) -> RunResult {
         let circuit = generators::qft(6);
         let noise = NoiseModel::sycamore();
         let strategy = Strategy::Custom { arities };
         let partition = strategy.plan(&circuit, &noise, 30).unwrap();
         let subcircuits = Arc::new(partition.subcircuits(&circuit));
+        let plans = Arc::new(subcircuits.iter().map(|sc| noise.compile(sc)).collect());
         let pool = WorkerPool::new(workers);
         run_tree(
             &pool,
             &partition,
             &subcircuits,
+            &plans,
             circuit.n_qubits(),
             &noise,
             seed,
             1,
+            fusion,
         )
     }
 
@@ -247,13 +286,44 @@ mod tests {
             .unwrap()
             .run(3);
         let subcircuits = Arc::new(partition.subcircuits(&circuit));
+        let plans = Arc::new(subcircuits.iter().map(|sc| noise.compile(sc)).collect());
         let pool = WorkerPool::new(2);
-        let par = run_tree(&pool, &partition, &subcircuits, 6, &noise, 3, 1);
-        // Identical op accounting (noiseless ⇒ even the RNG plays no role).
+        let par = run_tree(
+            &pool,
+            &partition,
+            &subcircuits,
+            &plans,
+            6,
+            &noise,
+            3,
+            1,
+            true,
+        );
+        // Identical op accounting (noiseless ⇒ even the RNG plays no role),
+        // including the fused-path amp_passes/fused_gates counters.
         assert_eq!(par.ops, serial.ops);
         // Ideal noise: identical leaf states ⇒ engine and serial agree on
         // which outcomes are possible, though RNG streams differ.
         assert_eq!(par.counts.total(), serial.counts.total());
+    }
+
+    #[test]
+    fn fused_and_unfused_counts_are_bit_identical() {
+        // The noise-adaptive flush must consume the per-node RNG streams
+        // exactly as the unfused loop does, so Counts match bit for bit.
+        for seed in [1u64, 42, 99] {
+            let fused = run_with_workers_fusion(2, seed, vec![5, 3, 2], true);
+            let unfused = run_with_workers_fusion(2, seed, vec![5, 3, 2], false);
+            assert_eq!(fused.counts, unfused.counts, "seed {seed}");
+            assert_eq!(fused.ops.total_gates(), unfused.ops.total_gates());
+            assert_eq!(fused.ops.noise_ops, unfused.ops.noise_ops);
+            assert!(
+                fused.ops.amp_passes < unfused.ops.amp_passes,
+                "fusion must reduce passes: {} vs {}",
+                fused.ops.amp_passes,
+                unfused.ops.amp_passes
+            );
+        }
     }
 
     #[test]

@@ -66,7 +66,7 @@ use std::sync::Arc;
 use tqsim::{Partition, PlanError, RunResult, Strategy, Tqsim};
 use tqsim_circuit::Circuit;
 use tqsim_noise::NoiseModel;
-use tqsim_statevec::PoolStats;
+use tqsim_statevec::{CompiledCircuit, PoolStats};
 
 /// Engine construction options.
 #[derive(Clone, Debug)]
@@ -114,6 +114,7 @@ pub struct JobSpec<'c> {
     strategy: Strategy,
     seed: u64,
     leaf_samples: u32,
+    fusion: bool,
 }
 
 impl<'c> JobSpec<'c> {
@@ -126,6 +127,7 @@ impl<'c> JobSpec<'c> {
             strategy: Strategy::default_dcp(),
             seed: 0,
             leaf_samples: 1,
+            fusion: true,
         }
     }
 
@@ -164,6 +166,16 @@ impl<'c> JobSpec<'c> {
         self.leaf_samples = n;
         self
     }
+
+    /// Toggle fused plan replay (default on). The fused path consumes the
+    /// node RNG streams identically to the unfused path — `Counts` are the
+    /// same either way — while performing fewer amplitude passes; the
+    /// unfused path remains as the reference semantics (see
+    /// [`tqsim::ExecOptions`]).
+    pub fn fusion(mut self, enabled: bool) -> Self {
+        self.fusion = enabled;
+        self
+    }
 }
 
 /// How much planning work the batch shared across jobs.
@@ -193,11 +205,16 @@ pub struct Batch<'e, 'c> {
     jobs: Vec<JobSpec<'c>>,
 }
 
-/// A planned job: the partition plus materialised subcircuits, shareable
-/// across jobs whose planning inputs are identical.
+/// A planned job: the partition, materialised subcircuits, and the
+/// per-subcircuit **compiled fused plans**, shareable across jobs whose
+/// planning inputs are identical — plan dedup therefore also dedups
+/// compilation (the plans are compiled once per distinct
+/// `(circuit, noise, shots, strategy)` and replayed by every node of every
+/// job that shares them).
 struct PlannedTree {
     partition: Partition,
     subcircuits: Arc<Vec<Circuit>>,
+    compiled: Arc<Vec<CompiledCircuit>>,
 }
 
 impl<'c> Batch<'_, 'c> {
@@ -246,9 +263,12 @@ impl<'c> Batch<'_, 'c> {
                 None => {
                     let partition = job.strategy.plan(job.circuit, &job.noise, job.shots)?;
                     let subcircuits = Arc::new(partition.subcircuits(job.circuit));
+                    let compiled =
+                        Arc::new(subcircuits.iter().map(|sc| job.noise.compile(sc)).collect());
                     let tree = Arc::new(PlannedTree {
                         partition,
                         subcircuits,
+                        compiled,
                     });
                     stats.planned += 1;
                     assignments.push(Arc::clone(&tree));
@@ -263,10 +283,12 @@ impl<'c> Batch<'_, 'c> {
                 &self.engine.pool,
                 &tree.partition,
                 &tree.subcircuits,
+                &tree.compiled,
                 job.circuit.n_qubits(),
                 &job.noise,
                 job.seed,
                 job.leaf_samples,
+                job.fusion,
             ));
         }
         Ok(BatchResult {
@@ -464,6 +486,36 @@ mod tests {
         );
         assert!(stats.reuses > 0);
         assert_eq!(stats.outstanding, 0, "every buffer returned");
+    }
+
+    #[test]
+    fn oversampled_leaves_are_schedule_and_fusion_invariant() {
+        // leaf_samples > 1 exercises the batched sample_many walk shared
+        // with the serial executor; counts must not depend on parallelism
+        // or on the fusion toggle.
+        let circuit = generators::qft(6);
+        let run = |workers: usize, fusion: bool| {
+            let engine = Engine::new(EngineConfig::default().parallelism(workers));
+            engine
+                .submit(vec![JobSpec::new(&circuit)
+                    .shots(32)
+                    .leaf_samples(4)
+                    .seed(21)
+                    .fusion(fusion)])
+                .run()
+                .unwrap()
+                .jobs
+                .remove(0)
+        };
+        let reference = run(1, true);
+        assert_eq!(reference.counts.total(), 4 * reference.tree.outcomes());
+        for (workers, fusion) in [(4, true), (1, false), (4, false)] {
+            let r = run(workers, fusion);
+            assert_eq!(
+                r.counts, reference.counts,
+                "workers {workers}, fusion {fusion}"
+            );
+        }
     }
 
     #[test]

@@ -52,6 +52,38 @@ pub enum Channel {
     },
 }
 
+/// Outcome of sampling a channel's trajectory branch *without* consulting
+/// the state — the first half of the `sample_branch`/`apply_branch` split
+/// that the fused executor's noise-adaptive flush relies on.
+///
+/// `Paulis` carries its (16-byte) payload inline by design: branch samples
+/// are drawn once per gate on the execution hot path, where a heap
+/// indirection would cost more than the copy.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BranchSample {
+    /// The identity branch fired: nothing to apply, fusion may continue
+    /// across this noise point.
+    Identity,
+    /// Pauli operators to apply to the touched qubits, in slot order
+    /// (single-qubit sampling fills only the first slot).
+    Paulis([Option<GateKind>; 2]),
+    /// This channel's branch probabilities depend on the state (damping
+    /// families): the caller must materialise the state and use
+    /// [`Channel::apply_1q`].
+    NeedsState,
+}
+
+/// Pauli kind for a uniform draw in `0..3` (0 = X, 1 = Y, 2 = Z).
+#[inline]
+fn pauli_kind(which: u32) -> GateKind {
+    match which {
+        0 => GateKind::X,
+        1 => GateKind::Y,
+        _ => GateKind::Z,
+    }
+}
+
 impl Channel {
     /// Check parameter ranges.
     ///
@@ -132,6 +164,51 @@ impl Channel {
         }
     }
 
+    /// Whether trajectory-branch *sampling* consumes RNG draws independent
+    /// of the state. True for depolarizing channels; damping families read
+    /// the qubit's marginal, so their sampling needs a materialised state.
+    pub fn samples_state_free(&self) -> bool {
+        matches!(self, Channel::Depolarizing { .. })
+    }
+
+    /// Sample the single-qubit trajectory branch without a state,
+    /// consuming RNG draws in exactly the order [`Channel::apply_1q`]
+    /// would (the apply path is implemented on top of this).
+    pub fn sample_branch_1q<R: Rng + ?Sized>(&self, rng: &mut R) -> BranchSample {
+        match *self {
+            Channel::Depolarizing { p } => {
+                if rng.random::<f64>() < p {
+                    BranchSample::Paulis([Some(pauli_kind(rng.random_range(0..3))), None])
+                } else {
+                    BranchSample::Identity
+                }
+            }
+            _ => BranchSample::NeedsState,
+        }
+    }
+
+    /// Sample the joint two-qubit branch without a state (depolarizing:
+    /// uniform over the 15 non-identity Pauli pairs), with the draw order
+    /// of [`Channel::apply_2q`].
+    pub fn sample_branch_2q<R: Rng + ?Sized>(&self, rng: &mut R) -> BranchSample {
+        match *self {
+            Channel::Depolarizing { p } => {
+                if rng.random::<f64>() < p {
+                    // Uniform over the 15 non-identity pairs (I,P), (P,I), (P,P').
+                    let combo = rng.random_range(1..16u8);
+                    let (pa, pb) = (combo >> 2, combo & 0b11);
+                    BranchSample::Paulis([
+                        (pa > 0).then(|| pauli_kind(u32::from(pa) - 1)),
+                        (pb > 0).then(|| pauli_kind(u32::from(pb) - 1)),
+                    ])
+                } else {
+                    BranchSample::Identity
+                }
+            }
+            _ => BranchSample::NeedsState,
+        }
+    }
+
     /// Sample one trajectory branch and apply it to qubit `q` of `sv`,
     /// renormalising. Returns `true` if a non-trivial (jump or non-identity
     /// Pauli) branch fired — callers use this for error-event accounting.
@@ -145,14 +222,14 @@ impl Channel {
         R: Rng + ?Sized,
     {
         match *self {
-            Channel::Depolarizing { p } => {
-                if rng.random::<f64>() < p {
-                    apply_random_pauli(sv, q, rng.random_range(0..3));
+            Channel::Depolarizing { .. } => match self.sample_branch_1q(rng) {
+                BranchSample::Identity => false,
+                BranchSample::Paulis(paulis) => {
+                    apply_branch_paulis(sv, [q, q], paulis);
                     true
-                } else {
-                    false
                 }
-            }
+                BranchSample::NeedsState => unreachable!("depolarizing is state-free"),
+            },
             Channel::AmplitudeDamping { gamma } => apply_amplitude_damping(sv, q, gamma, rng),
             Channel::PhaseDamping { lambda } => apply_phase_damping(sv, q, lambda, rng),
             Channel::ThermalRelaxation { t1, t2, gate_time } => {
@@ -173,27 +250,33 @@ impl Channel {
         R: Rng + ?Sized,
     {
         match *self {
-            Channel::Depolarizing { p } => {
-                if rng.random::<f64>() < p {
-                    // Uniform over the 15 non-identity pairs (I,P), (P,I), (P,P').
-                    let combo = rng.random_range(1..16u8);
-                    let (pa, pb) = (combo >> 2, combo & 0b11);
-                    if pa > 0 {
-                        apply_random_pauli(sv, qa, u32::from(pa) - 1);
-                    }
-                    if pb > 0 {
-                        apply_random_pauli(sv, qb, u32::from(pb) - 1);
-                    }
+            Channel::Depolarizing { .. } => match self.sample_branch_2q(rng) {
+                BranchSample::Identity => false,
+                BranchSample::Paulis(paulis) => {
+                    apply_branch_paulis(sv, [qa, qb], paulis);
                     true
-                } else {
-                    false
                 }
-            }
+                BranchSample::NeedsState => unreachable!("depolarizing is state-free"),
+            },
             _ => {
                 let a = self.apply_1q(sv, qa, rng);
                 let b = self.apply_1q(sv, qb, rng);
                 a || b
             }
+        }
+    }
+}
+
+/// Apply a sampled Pauli pair to its qubits, in slot order — the second
+/// half of the `sample_branch`/`apply_branch` split.
+pub fn apply_branch_paulis<S: QuantumState + ?Sized>(
+    sv: &mut S,
+    qubits: [u16; 2],
+    paulis: [Option<GateKind>; 2],
+) {
+    for (q, kind) in qubits.into_iter().zip(paulis) {
+        if let Some(kind) = kind {
+            sv.apply_gate(&tqsim_circuit::Gate::new(kind, &[q]));
         }
     }
 }
@@ -232,16 +315,6 @@ fn phase_damping_kraus(lambda: f64) -> Vec<Mat2> {
             [c64(0.0, 0.0), c64(lambda.sqrt(), 0.0)],
         ]),
     ]
-}
-
-/// Apply Pauli `which` (0 = X, 1 = Y, 2 = Z) to qubit `q`.
-fn apply_random_pauli<S: QuantumState + ?Sized>(sv: &mut S, q: u16, which: u32) {
-    let kind = match which {
-        0 => GateKind::X,
-        1 => GateKind::Y,
-        _ => GateKind::Z,
-    };
-    sv.apply_gate(&tqsim_circuit::Gate::new(kind, &[q]));
 }
 
 /// Amplitude-damping trajectory step. Jump probability `γ·P(q=1)`.
@@ -422,6 +495,54 @@ mod tests {
         }
         let rate = f64::from(fired) / f64::from(trials);
         assert!((rate - 0.3).abs() < 0.03, "rate = {rate}");
+    }
+
+    #[test]
+    fn sample_branch_consumes_the_same_draws_as_apply() {
+        // Two RNG clones: one drives sample_branch + apply_branch_paulis,
+        // the other the classic apply path. States and RNG positions must
+        // stay identical draw for draw.
+        let ch = Channel::Depolarizing { p: 0.4 };
+        let mut rng_a = StdRng::seed_from_u64(13);
+        let mut rng_b = StdRng::seed_from_u64(13);
+        let mut sv_a = StateVector::zero(2);
+        let mut sv_b = StateVector::zero(2);
+        let mut prep = tqsim_circuit::Circuit::new(2);
+        prep.h(0).cx(0, 1);
+        sv_a.apply_circuit(&prep);
+        sv_b.apply_circuit(&prep);
+        for _ in 0..200 {
+            match ch.sample_branch_2q(&mut rng_a) {
+                BranchSample::Identity => {}
+                BranchSample::Paulis(paulis) => apply_branch_paulis(&mut sv_a, [0, 1], paulis),
+                BranchSample::NeedsState => unreachable!(),
+            }
+            ch.apply_2q(&mut sv_b, 0, 1, &mut rng_b);
+            assert_eq!(sv_a.amplitudes(), sv_b.amplitudes());
+        }
+        // Same RNG position afterwards: the next draws agree.
+        assert_eq!(
+            rand::RngExt::random::<f64>(&mut rng_a),
+            rand::RngExt::random::<f64>(&mut rng_b)
+        );
+    }
+
+    #[test]
+    fn state_free_classification() {
+        assert!(Channel::Depolarizing { p: 0.1 }.samples_state_free());
+        for ch in [
+            Channel::AmplitudeDamping { gamma: 0.1 },
+            Channel::PhaseDamping { lambda: 0.1 },
+            Channel::ThermalRelaxation {
+                t1: 1.0,
+                t2: 1.0,
+                gate_time: 0.1,
+            },
+        ] {
+            assert!(!ch.samples_state_free());
+            let mut rng = StdRng::seed_from_u64(0);
+            assert_eq!(ch.sample_branch_1q(&mut rng), BranchSample::NeedsState);
+        }
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! [`NoiseModel`]: binding channels to gates, plus readout error.
 
-use crate::channel::Channel;
+use crate::channel::{BranchSample, Channel};
 use rand::{Rng, RngExt};
-use tqsim_circuit::Gate;
+use tqsim_circuit::{Circuit, Gate};
+use tqsim_statevec::plan::{CompiledCircuit, FlushCtx};
 use tqsim_statevec::QuantumState;
 
 /// Classical readout error: each measured bit flips with the given
@@ -244,6 +245,80 @@ impl NoiseModel {
         ops
     }
 
+    /// Whether this model injects any stochastic channel after `gate`
+    /// (readout error is separate and applies at sampling time). This is
+    /// the predicate that places noise markers in compiled plans.
+    pub fn has_gate_channels(&self, gate: &Gate) -> bool {
+        if gate.arity() == 1 {
+            !self.channels_1q.is_empty()
+        } else {
+            !self.channels_2q.is_empty()
+        }
+    }
+
+    /// Compile `circuit` into a fused replay plan
+    /// ([`tqsim_statevec::plan`]) with noise markers exactly where this
+    /// model attaches channels. Replay the result with
+    /// [`NoiseModel::apply_after_gate_deferred`] as the noise hook.
+    pub fn compile(&self, circuit: &Circuit) -> CompiledCircuit {
+        CompiledCircuit::compile(circuit, |g| self.has_gate_channels(g))
+    }
+
+    /// The fused-execution counterpart of [`NoiseModel::apply_after_gate`]:
+    /// semantically identical (same channels, same RNG draws in the same
+    /// order), but branches are **sampled before the state is touched**.
+    /// Identity branches leave the fusion buffer pending — fusion continues
+    /// across the noise point — fired Paulis are fed back into the buffer,
+    /// and only state-dependent channels (damping families) force
+    /// [`FlushCtx::flush`]. Returns the noise-operator count, exactly as
+    /// the unfused path does.
+    pub fn apply_after_gate_deferred<R: Rng + ?Sized>(
+        &self,
+        gate: &Gate,
+        ctx: &mut FlushCtx<'_>,
+        rng: &mut R,
+    ) -> u64 {
+        let qs = gate.qubits();
+        let mut ops = 0u64;
+        if gate.arity() == 1 {
+            for ch in &self.channels_1q {
+                ops += 1;
+                match ch.sample_branch_1q(rng) {
+                    BranchSample::Identity => {}
+                    BranchSample::Paulis([pauli, _]) => {
+                        if let Some(kind) = pauli {
+                            ctx.push_branch_gate(&Gate::new(kind, &[qs[0]]));
+                        }
+                    }
+                    BranchSample::NeedsState => {
+                        ch.apply_1q(ctx.flush(), qs[0], rng);
+                    }
+                }
+            }
+        } else {
+            for ch in &self.channels_2q {
+                match ch {
+                    Channel::Depolarizing { .. } => {
+                        ops += 1;
+                        deferred_2q(ch, qs[0], qs[1], ctx, rng);
+                        // Toffoli's third qubit shares the two-qubit rate.
+                        if let Some(&q3) = qs.get(2) {
+                            ops += 1;
+                            deferred_2q(ch, qs[0], q3, ctx, rng);
+                        }
+                    }
+                    _ => {
+                        for &q in qs {
+                            ops += 1;
+                            ch.apply_1q(ctx.flush(), q, rng);
+                        }
+                    }
+                }
+            }
+        }
+        ops
+    }
+
     /// Apply readout error (if configured) to a sampled outcome.
     pub fn apply_readout<R: Rng + ?Sized>(&self, outcome: u64, n_qubits: u16, rng: &mut R) -> u64 {
         match self.readout {
@@ -271,6 +346,29 @@ impl NoiseModel {
 
 fn combine(rates: impl Iterator<Item = f64>) -> f64 {
     1.0 - rates.fold(1.0, |acc, e| acc * (1.0 - e))
+}
+
+/// Deferred joint two-qubit branch: sample first, then either keep fusing
+/// (identity) or feed the fired Paulis into the fusion buffer in the slot
+/// order the unfused path applies them.
+fn deferred_2q<R: Rng + ?Sized>(
+    ch: &Channel,
+    qa: u16,
+    qb: u16,
+    ctx: &mut FlushCtx<'_>,
+    rng: &mut R,
+) {
+    match ch.sample_branch_2q(rng) {
+        BranchSample::Identity => {}
+        BranchSample::Paulis(paulis) => {
+            for (q, pauli) in [qa, qb].into_iter().zip(paulis) {
+                if let Some(kind) = pauli {
+                    ctx.push_branch_gate(&Gate::new(kind, &[q]));
+                }
+            }
+        }
+        BranchSample::NeedsState => unreachable!("only depolarizing is deferred jointly"),
+    }
 }
 
 /// The nine noise-model combinations of the paper's Fig. 16, in x-axis
@@ -400,6 +498,77 @@ mod tests {
         // Readout variants carry the R channel.
         assert!(models[1].readout().is_some());
         assert!(models[0].readout().is_none());
+    }
+
+    #[test]
+    fn deferred_noise_matches_unfused_stream_and_state() {
+        // Replay a compiled plan with the deferred hook against the classic
+        // apply-per-gate loop on a cloned RNG: the draw stream must match
+        // exactly and the states must agree to fusion reordering tolerance.
+        use tqsim_statevec::OpCounts;
+        for noise in [
+            NoiseModel::sycamore(),
+            fig16_models().pop().unwrap(), // ALL: stacks every channel family
+        ] {
+            let mut circuit = tqsim_circuit::Circuit::new(3);
+            circuit
+                .h(0)
+                .t(0)
+                .cx(0, 1)
+                .rz(0.4, 1)
+                .cz(1, 2)
+                .sx(2)
+                .ccx(0, 1, 2)
+                .h(2);
+            let compiled = noise.compile(&circuit);
+
+            for seed in 0..20u64 {
+                let mut rng_fused = StdRng::seed_from_u64(seed);
+                let mut rng_plain = StdRng::seed_from_u64(seed);
+
+                let mut fused = StateVector::zero(3);
+                let mut ops = OpCounts::new();
+                compiled.replay(&mut fused, &mut ops, |gate, ctx| {
+                    noise.apply_after_gate_deferred(gate, ctx, &mut rng_fused)
+                });
+
+                let mut plain = StateVector::zero(3);
+                let mut plain_noise_ops = 0;
+                for gate in &circuit {
+                    plain.apply_gate(gate);
+                    plain_noise_ops += noise.apply_after_gate(&mut plain, gate, &mut rng_plain);
+                }
+
+                assert_eq!(ops.noise_ops, plain_noise_ops, "seed {seed}");
+                assert_eq!(
+                    rand::RngExt::random::<f64>(&mut rng_fused),
+                    rand::RngExt::random::<f64>(&mut rng_plain),
+                    "RNG streams diverged at seed {seed}"
+                );
+                for (i, (a, b)) in fused
+                    .amplitudes()
+                    .iter()
+                    .zip(plain.amplitudes())
+                    .enumerate()
+                {
+                    assert!(
+                        (a - b).norm() < 1e-10,
+                        "seed {seed} amp {i}: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn channel_binding_predicate() {
+        let nm = NoiseModel::sycamore();
+        assert!(nm.has_gate_channels(&Gate::new(GateKind::H, &[0])));
+        assert!(nm.has_gate_channels(&Gate::new(GateKind::Cx, &[0, 1])));
+        assert!(!NoiseModel::ideal().has_gate_channels(&Gate::new(GateKind::H, &[0])));
+        let only_2q = NoiseModel::ideal().with_channel_2q(Channel::Depolarizing { p: 0.01 });
+        assert!(!only_2q.has_gate_channels(&Gate::new(GateKind::H, &[0])));
+        assert!(only_2q.has_gate_channels(&Gate::new(GateKind::Ccx, &[0, 1, 2])));
     }
 
     #[test]

@@ -138,6 +138,70 @@ where
     }
 }
 
+// ---- reduction kernels ----------------------------------------------------
+
+/// Squared 2-norm `Σ |a_i|²` with the standard `PAR_MIN_LEN` switch.
+pub fn norm_sqr_amps(amps: &[C64]) -> f64 {
+    if amps.len() < PAR_MIN_LEN {
+        amps.iter().map(|a| a.norm_sqr()).sum()
+    } else {
+        amps.par_iter().map(|a| a.norm_sqr()).sum()
+    }
+}
+
+/// Scale every amplitude by the real factor `s`.
+pub fn scale_amps(amps: &mut [C64], s: f64) {
+    if amps.len() < PAR_MIN_LEN {
+        amps.iter_mut().for_each(|a| *a *= s);
+    } else {
+        amps.par_iter_mut().for_each(|a| *a *= s);
+    }
+}
+
+/// Inner product `Σ conj(a_i)·b_i`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn inner_amps(a: &[C64], b: &[C64]) -> C64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    if a.len() < PAR_MIN_LEN {
+        a.iter().zip(b.iter()).map(|(x, y)| x.conj() * y).sum()
+    } else {
+        a.par_iter()
+            .zip(b.par_iter())
+            .map(|(x, y)| x.conj() * y)
+            .sum()
+    }
+}
+
+/// The outcome distribution `|a_i|²` as a dense vector.
+pub fn probabilities_amps(amps: &[C64]) -> Vec<f64> {
+    if amps.len() < PAR_MIN_LEN {
+        amps.iter().map(|a| a.norm_sqr()).collect()
+    } else {
+        amps.par_iter().map(|a| a.norm_sqr()).collect()
+    }
+}
+
+/// Marginal probability that bit `q` of the index reads 1.
+pub fn marginal_one_amps(amps: &[C64], q: usize) -> f64 {
+    let mask = 1usize << q;
+    if amps.len() < PAR_MIN_LEN {
+        amps.iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    } else {
+        amps.par_iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+}
+
 // ---- gate kernels ---------------------------------------------------------
 
 /// Generic single-qubit unitary on qubit `q`.
@@ -269,61 +333,25 @@ pub fn apply_ccx(amps: &mut [C64], c1: usize, c2: usize, t: usize) {
 /// Panics (in debug builds) if a gate qubit does not fit the slice length;
 /// callers validate widths.
 pub fn apply_gate_amps(amps: &mut [C64], gate: &tqsim_circuit::Gate) {
-    use tqsim_circuit::math::c64;
     use tqsim_circuit::GateKind;
     let qs = gate.qubits();
+    // Diagonal kinds share one classification with the fusion planner
+    // (`GateKind::diag1`/`diag2`), so fused and unfused dispatch agree on
+    // the exact diagonal entries.
+    if !matches!(gate.kind(), GateKind::Id) {
+        if let Some(d) = gate.kind().diag1() {
+            return apply_diag1(amps, qs[0] as usize, d[0], d[1]);
+        }
+        if let Some(d) = gate.kind().diag2() {
+            return apply_diag2(amps, qs[0] as usize, qs[1] as usize, d);
+        }
+    }
     match *gate.kind() {
         GateKind::Id => {}
         GateKind::X => apply_x(amps, qs[0] as usize),
         GateKind::Y => apply_y(amps, qs[0] as usize),
-        GateKind::Z => apply_diag1(amps, qs[0] as usize, c64(1.0, 0.0), c64(-1.0, 0.0)),
         GateKind::H => apply_h(amps, qs[0] as usize),
-        GateKind::S => apply_diag1(amps, qs[0] as usize, c64(1.0, 0.0), c64(0.0, 1.0)),
-        GateKind::Sdg => apply_diag1(amps, qs[0] as usize, c64(1.0, 0.0), c64(0.0, -1.0)),
-        GateKind::T => apply_diag1(
-            amps,
-            qs[0] as usize,
-            c64(1.0, 0.0),
-            C64::from_polar(1.0, std::f64::consts::FRAC_PI_4),
-        ),
-        GateKind::Tdg => apply_diag1(
-            amps,
-            qs[0] as usize,
-            c64(1.0, 0.0),
-            C64::from_polar(1.0, -std::f64::consts::FRAC_PI_4),
-        ),
-        GateKind::Rz(t) => apply_diag1(
-            amps,
-            qs[0] as usize,
-            C64::from_polar(1.0, -t / 2.0),
-            C64::from_polar(1.0, t / 2.0),
-        ),
-        GateKind::Phase(t) => {
-            apply_diag1(amps, qs[0] as usize, c64(1.0, 0.0), C64::from_polar(1.0, t))
-        }
         GateKind::Cx => apply_cx(amps, qs[0] as usize, qs[1] as usize),
-        GateKind::Cz => apply_diag2(
-            amps,
-            qs[0] as usize,
-            qs[1] as usize,
-            [c64(1.0, 0.0), c64(1.0, 0.0), c64(1.0, 0.0), c64(-1.0, 0.0)],
-        ),
-        GateKind::CPhase(t) => apply_diag2(
-            amps,
-            qs[0] as usize,
-            qs[1] as usize,
-            [
-                c64(1.0, 0.0),
-                c64(1.0, 0.0),
-                c64(1.0, 0.0),
-                C64::from_polar(1.0, t),
-            ],
-        ),
-        GateKind::Rzz(t) => {
-            let e = C64::from_polar(1.0, -t / 2.0);
-            let ec = C64::from_polar(1.0, t / 2.0);
-            apply_diag2(amps, qs[0] as usize, qs[1] as usize, [e, ec, ec, e])
-        }
         GateKind::Swap => apply_swap(amps, qs[0] as usize, qs[1] as usize),
         GateKind::Ccx => apply_ccx(amps, qs[0] as usize, qs[1] as usize, qs[2] as usize),
         ref k => match k.arity() {

@@ -6,6 +6,9 @@
 //! - [`StateVector`]: 2^n-amplitude pure states with specialised parallel
 //!   gate kernels (X/Y/Z/H/phase/controlled/diagonal fast paths plus generic
 //!   dense 1q/2q application);
+//! - [`plan::CompiledCircuit`]: compile-once/replay-many subcircuit plans
+//!   with gate fusion and noise-adaptive flush — the tree executors compile
+//!   each subcircuit once and replay it at every node;
 //! - [`ops::OpCounts`]: operation tallies shared by every engine;
 //! - [`backend::CostProfile`]: per-platform cost models (the Fig. 10 / Table 1
 //!   systems) turning tallies into modeled time;
@@ -28,6 +31,7 @@ pub mod backend;
 pub mod expectation;
 pub mod kernels;
 pub mod ops;
+pub mod plan;
 pub mod pool;
 pub mod profile;
 pub mod state;
@@ -36,6 +40,7 @@ pub mod traits;
 pub use backend::CostProfile;
 pub use expectation::{expect_cut_value, expect_z_string, ZString};
 pub use ops::OpCounts;
+pub use plan::{CompiledCircuit, DiagRun, FlushCtx, FusedOp, Fuser, PlanOp};
 pub use pool::{PoolCounters, PoolStats, PooledState, StatePool};
 pub use state::{StateVector, MAX_QUBITS};
 pub use traits::QuantumState;

@@ -25,6 +25,16 @@ pub struct OpCounts {
     pub state_resets: u64,
     /// Outcome samples drawn (≈ half a pass each).
     pub samples: u64,
+    /// **Measured** full passes over the amplitude array performed by the
+    /// gate-application engine. Unfused execution performs one pass per
+    /// (non-identity) gate; fused replay (see [`crate::plan`]) collapses
+    /// runs of gates into single sweeps, so `amp_passes < total_gates()`
+    /// quantifies the fusion win. Noise-channel sweeps (marginals, Kraus
+    /// branches, renormalisation) are accounted under `noise_ops`, not here.
+    pub amp_passes: u64,
+    /// Gates (or fired noise branches) that were merged into an already
+    /// pending fused operation instead of costing their own pass.
+    pub fused_gates: u64,
 }
 
 impl OpCounts {
@@ -85,6 +95,8 @@ impl Add for OpCounts {
             state_copies: self.state_copies + rhs.state_copies,
             state_resets: self.state_resets + rhs.state_resets,
             samples: self.samples + rhs.samples,
+            amp_passes: self.amp_passes + rhs.amp_passes,
+            fused_gates: self.fused_gates + rhs.fused_gates,
         }
     }
 }

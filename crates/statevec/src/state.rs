@@ -1,7 +1,6 @@
 //! The [`StateVector`] type: a 2^n-amplitude pure quantum state.
 
 use crate::kernels;
-use rayon::prelude::*;
 use std::fmt;
 use tqsim_circuit::math::{c64, C64};
 use tqsim_circuit::{Circuit, Gate};
@@ -130,11 +129,7 @@ impl StateVector {
 
     /// Squared 2-norm `⟨ψ|ψ⟩` (1 for a normalised state).
     pub fn norm_sqr(&self) -> f64 {
-        if self.amps.len() < kernels::PAR_MIN_LEN {
-            self.amps.iter().map(|a| a.norm_sqr()).sum()
-        } else {
-            self.amps.par_iter().map(|a| a.norm_sqr()).sum()
-        }
+        kernels::norm_sqr_amps(&self.amps)
     }
 
     /// Scale all amplitudes so the state is normalised.
@@ -145,12 +140,7 @@ impl StateVector {
     pub fn renormalize(&mut self) {
         let n = self.norm_sqr();
         assert!(n > 1e-300, "cannot normalise a zero state");
-        let s = 1.0 / n.sqrt();
-        if self.amps.len() < kernels::PAR_MIN_LEN {
-            self.amps.iter_mut().for_each(|a| *a *= s);
-        } else {
-            self.amps.par_iter_mut().for_each(|a| *a *= s);
-        }
+        kernels::scale_amps(&mut self.amps, 1.0 / n.sqrt());
     }
 
     /// Inner product `⟨self|other⟩`.
@@ -160,11 +150,7 @@ impl StateVector {
     /// Panics if widths differ.
     pub fn inner(&self, other: &StateVector) -> C64 {
         assert_eq!(self.n_qubits, other.n_qubits, "width mismatch");
-        self.amps
-            .iter()
-            .zip(other.amps.iter())
-            .map(|(a, b)| a.conj() * b)
-            .fold(c64(0.0, 0.0), |acc, x| acc + x)
+        kernels::inner_amps(&self.amps, &other.amps)
     }
 
     /// Probability of measuring basis state `idx`.
@@ -178,7 +164,7 @@ impl StateVector {
 
     /// The full outcome distribution `|ψ_x|²` (length `2^n`).
     pub fn probabilities(&self) -> Vec<f64> {
-        self.amps.iter().map(|a| a.norm_sqr()).collect()
+        kernels::probabilities_amps(&self.amps)
     }
 
     /// Marginal probability that qubit `q` reads 1.
@@ -188,22 +174,7 @@ impl StateVector {
     /// Panics if `q` is out of range.
     pub fn marginal_one(&self, q: u16) -> f64 {
         assert!(q < self.n_qubits, "qubit {q} out of range");
-        let mask = 1usize << q;
-        if self.amps.len() < kernels::PAR_MIN_LEN {
-            self.amps
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| i & mask != 0)
-                .map(|(_, a)| a.norm_sqr())
-                .sum()
-        } else {
-            self.amps
-                .par_iter()
-                .enumerate()
-                .filter(|(i, _)| i & mask != 0)
-                .map(|(_, a)| a.norm_sqr())
-                .sum()
-        }
+        kernels::marginal_one_amps(&self.amps, q as usize)
     }
 
     /// Sample one measurement outcome given a uniform draw `u ∈ [0, 1)` by
@@ -228,6 +199,32 @@ impl StateVector {
     pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         let u: f64 = rand::RngExt::random(rng);
         self.sample_with(u)
+    }
+
+    /// Sample one outcome per uniform draw in `us`, walking the cumulative
+    /// distribution **once** regardless of the draw count (vs one expected
+    /// half-pass per draw for repeated [`StateVector::sample_with`]).
+    ///
+    /// The draws are sorted internally; `out[i]` is the outcome for `us[i]`
+    /// (original order), and each individual outcome is exactly what
+    /// `sample_with(us[i])` returns. Executors use this whenever
+    /// `leaf_samples > 1` makes per-leaf sampling the dominant cost.
+    pub fn sample_many(&self, us: &[f64]) -> Vec<u64> {
+        let mut order: Vec<usize> = (0..us.len()).collect();
+        order.sort_by(|&i, &j| us[i].total_cmp(&us[j]));
+        let mut out = vec![0u64; us.len()];
+        let mut idx = 0usize;
+        let mut acc = self.amps[0].norm_sqr();
+        for &slot in &order {
+            // Mirror `sample_with`: smallest index with u < cdf(index),
+            // falling back to the last basis state for over-range draws.
+            while us[slot] >= acc && idx + 1 < self.amps.len() {
+                idx += 1;
+                acc += self.amps[idx].norm_sqr();
+            }
+            out[slot] = idx as u64;
+        }
+        out
     }
 
     // ---- gate application --------------------------------------------------
@@ -392,6 +389,29 @@ mod tests {
         assert_eq!(sv.sample_with(0.2), 0);
         assert_eq!(sv.sample_with(0.7), 1);
         assert_eq!(sv.sample_with(0.999999), 1);
+    }
+
+    #[test]
+    fn sample_many_matches_sample_with() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).cx(0, 2).t(1).ry(0.9, 3);
+        let mut sv = StateVector::zero(4);
+        sv.apply_circuit(&c);
+        let us = [0.93, 0.02, 0.5, 0.500001, 0.02, 0.999_999_9, 0.0];
+        let batch = sv.sample_many(&us);
+        for (u, got) in us.iter().zip(&batch) {
+            assert_eq!(*got, sv.sample_with(*u), "u={u}");
+        }
+    }
+
+    #[test]
+    fn sample_many_handles_over_range_draws() {
+        // A slightly sub-normalised state: draws beyond the total fall back
+        // to the last basis state, exactly like `sample_with`.
+        let mut sv = StateVector::basis(2, 1);
+        sv.amplitudes_mut()[1] = c64(0.99, 0.0);
+        assert_eq!(sv.sample_many(&[0.999]), vec![3]);
+        assert!(sv.sample_many(&[]).is_empty());
     }
 
     #[test]
