@@ -54,14 +54,12 @@ pub fn run_baseline(
     let mut ops = OpCounts::new();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sv = StateVector::zero(n);
-    // Compile once, replay `shots` times.
+    // Compile once, replay `shots` times through the shared generic driver.
     let plan = noise.compile(circuit);
     for _shot in 0..shots {
         sv.reset_zero();
         ops.state_resets += 1;
-        plan.replay(&mut sv, &mut ops, |gate, ctx| {
-            noise.apply_after_gate_deferred(gate, ctx, &mut rng)
-        });
+        tqsim::run_subcircuit(&mut sv, circuit, &plan, noise, &mut rng, &mut ops, true);
         let outcome = noise.apply_readout(sv.sample(&mut rng), n, &mut rng);
         counts.increment(outcome);
         ops.samples += 1;
@@ -107,17 +105,20 @@ pub fn run_baseline_parallel(
             .collect(),
     );
     // One compilation shared by every worker's shots.
-    let task_data = Arc::new((noise.compile(circuit), noise.clone(), Arc::clone(&accums)));
+    let task_data = Arc::new((
+        noise.compile(circuit),
+        circuit.clone(),
+        noise.clone(),
+        Arc::clone(&accums),
+    ));
     pool.for_each_index(shots, move |shot, ctx| {
-        let (plan, noise, accums) = &*task_data;
+        let (plan, circuit, noise, accums) = &*task_data;
         let mut rng = StdRng::seed_from_u64(seed ^ (shot.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
         let mut ops = OpCounts::new();
         let mut sv = ctx.acquire(n);
         sv.reset_zero();
         ops.state_resets += 1;
-        plan.replay(&mut sv, &mut ops, |gate, fctx| {
-            noise.apply_after_gate_deferred(gate, fctx, &mut rng)
-        });
+        tqsim::run_subcircuit(&mut *sv, circuit, plan, noise, &mut rng, &mut ops, true);
         let outcome = noise.apply_readout(sv.sample(&mut rng), n, &mut rng);
         ops.samples += 1;
         drop(sv); // recycle the buffer before merging

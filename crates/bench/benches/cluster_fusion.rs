@@ -1,0 +1,202 @@
+//! Cluster fusion bench: per-gate dispatch vs fused-plan replay on the
+//! **distributed** backend, in op-counting mode — `amp_passes` depends only
+//! on circuit, plan, noise model and seed (the dynamic fuser is
+//! state-agnostic), so CI can track the distributed fusion win as a stable
+//! artifact alongside the single-node `fusion` bench.
+//!
+//! Writes `BENCH_cluster_fusion.json` (override with
+//! `TQSIM_BENCH_JSON=<path>`) with one record per circuit × noise model ×
+//! node count: unfused/fused pass counts, the pass ratio, exchange counts,
+//! and two invariant checks — fused and unfused distributed execution must
+//! produce bit-identical histograms for the same seed, and the fused
+//! distributed `Counts` must equal the serial single-node executor's.
+
+use tqsim::{ExecOptions, Strategy, TreeExecutor};
+use tqsim_bench::{banner, Scale, Table};
+use tqsim_circuit::{generators, Circuit};
+use tqsim_cluster::{run_distributed_with_options, InterconnectModel};
+use tqsim_noise::NoiseModel;
+
+struct Row {
+    circuit: &'static str,
+    noise: &'static str,
+    nodes: usize,
+    gates: u64,
+    unfused_passes: u64,
+    fused_passes: u64,
+    exchanges: u64,
+    counts_identical: bool,
+    matches_serial: bool,
+}
+
+fn run_row(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    nodes: usize,
+    shots: u64,
+    seed: u64,
+) -> (u64, u64, u64, bool, bool) {
+    let partition = Strategy::Custom {
+        arities: vec![8, 4],
+    }
+    .plan(circuit, noise, shots)
+    .expect("plan");
+    let model = InterconnectModel::commodity_cluster();
+    let fused = run_distributed_with_options(
+        circuit,
+        noise,
+        &partition,
+        nodes,
+        model,
+        seed,
+        ExecOptions::default(),
+    )
+    .expect("fused distributed run");
+    let unfused = run_distributed_with_options(
+        circuit,
+        noise,
+        &partition,
+        nodes,
+        model,
+        seed,
+        ExecOptions {
+            fusion: false,
+            ..ExecOptions::default()
+        },
+    )
+    .expect("unfused distributed run");
+    let serial = TreeExecutor::new(circuit, noise, partition)
+        .expect("bind")
+        .run(seed);
+    (
+        unfused.ops.amp_passes,
+        fused.ops.amp_passes,
+        fused.counters.exchanges,
+        fused.counts == unfused.counts,
+        fused.counts == serial.counts,
+    )
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "cluster_fusion",
+        "distributed fused-plan replay vs per-gate dispatch (op-counting mode)",
+        &scale,
+    );
+
+    let n: u16 = if scale.full { 14 } else { 10 };
+    let shots = 32u64;
+    let seed = 11u64;
+    let qaoa = generators::qaoa_random(n, 2 * usize::from(n), 1, 0.4, 0.8).0;
+    let circuits: Vec<(&'static str, Circuit)> = vec![
+        ("bv", generators::bv(n)),
+        ("qft", generators::qft(n)),
+        ("qaoa", qaoa),
+    ];
+    let noises = [
+        ("ideal", NoiseModel::ideal()),
+        ("sycamore", NoiseModel::sycamore()),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (cname, circuit) in &circuits {
+        for (nname, noise) in &noises {
+            for nodes in [2usize, 4] {
+                let (unfused, fused, exchanges, identical, serial_ok) =
+                    run_row(circuit, noise, nodes, shots, seed);
+                rows.push(Row {
+                    circuit: cname,
+                    noise: nname,
+                    nodes,
+                    gates: circuit.len() as u64,
+                    unfused_passes: unfused,
+                    fused_passes: fused,
+                    exchanges,
+                    counts_identical: identical,
+                    matches_serial: serial_ok,
+                });
+            }
+        }
+    }
+
+    let mut table = Table::new(&[
+        "circuit",
+        "noise",
+        "nodes",
+        "gates",
+        "passes (unfused)",
+        "passes (fused)",
+        "ratio",
+        "exchanges",
+        "counts identical",
+        "matches serial",
+    ]);
+    for r in &rows {
+        table.row(&[
+            r.circuit.to_string(),
+            r.noise.to_string(),
+            r.nodes.to_string(),
+            r.gates.to_string(),
+            r.unfused_passes.to_string(),
+            r.fused_passes.to_string(),
+            format!("{:.2}×", r.unfused_passes as f64 / r.fused_passes as f64),
+            r.exchanges.to_string(),
+            r.counts_identical.to_string(),
+            r.matches_serial.to_string(),
+        ]);
+    }
+    table.print();
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let mut json =
+        String::from("{\n  \"bench\": \"cluster_fusion\",\n  \"mode\": \"op-counting\",\n");
+    json.push_str(&format!(
+        "  \"qubits\": {n},\n  \"shots\": {shots},\n  \"seed\": {seed},\n  \"rows\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"circuit\": \"{}\", \"noise\": \"{}\", \"nodes\": {}, \"gates\": {}, \
+             \"amp_passes_unfused\": {}, \"amp_passes_fused\": {}, \
+             \"pass_ratio\": {:.4}, \"exchanges\": {}, \"counts_identical\": {}, \
+             \"matches_serial\": {}}}{}\n",
+            r.circuit,
+            r.noise,
+            r.nodes,
+            r.gates,
+            r.unfused_passes,
+            r.fused_passes,
+            r.unfused_passes as f64 / r.fused_passes as f64,
+            r.exchanges,
+            r.counts_identical,
+            r.matches_serial,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::env::var("TQSIM_BENCH_JSON")
+        .unwrap_or_else(|_| "BENCH_cluster_fusion.json".to_string());
+    std::fs::write(&path, &json).expect("write bench artifact");
+    println!("\nwrote {path}");
+
+    for r in rows.iter().filter(|r| r.circuit == "qft") {
+        assert!(
+            r.unfused_passes as f64 / r.fused_passes as f64 >= 1.5,
+            "acceptance: distributed QFT replay must drop ≥1.5× in passes ({} / {})",
+            r.unfused_passes,
+            r.fused_passes
+        );
+    }
+    assert!(
+        rows.iter().all(|r| r.counts_identical),
+        "fused distributed Counts diverged from unfused"
+    );
+    assert!(
+        rows.iter().all(|r| r.matches_serial),
+        "distributed Counts diverged from the serial single-node executor"
+    );
+    println!(
+        "acceptance: distributed QFT pass ratio ≥ 1.5×, histograms bit-identical \
+         (fused vs unfused, distributed vs serial) ✓"
+    );
+}

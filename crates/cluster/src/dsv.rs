@@ -16,9 +16,9 @@ use std::fmt;
 /// Below this per-node slice length, node work runs on the calling thread —
 /// the semantics are identical and thread-spawn overhead would dominate.
 const THREAD_MIN_SLICE: usize = 1 << 12;
-use tqsim_circuit::math::{c64, C64};
+use tqsim_circuit::math::{c64, Mat2, Mat4, C64};
 use tqsim_circuit::Gate;
-use tqsim_statevec::{kernels, QuantumState, StateVector};
+use tqsim_statevec::{kernels, DiagRun, QuantumState, StateVector};
 
 /// Error constructing a [`DistributedStateVector`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -172,25 +172,25 @@ impl DistributedStateVector {
         self.charge_compute_pass();
     }
 
-    /// Sample one outcome given a uniform draw (two-phase: pick the node by
-    /// cumulative slice weight, then walk within the node).
+    /// Sample one outcome given a uniform draw, walking the cumulative
+    /// distribution amplitude by amplitude in global index order — the
+    /// **same accumulation order** as [`StateVector::sample_with`] and both
+    /// backends' `sample_many`, so a draw lands on the identical basis
+    /// state on every backend (floating-point addition is non-associative;
+    /// a per-node pre-summed walk would diverge on edge draws).
     pub fn sample_with(&self, u: f64) -> u64 {
         let mut acc = 0.0f64;
         for (node, slice) in self.slices.iter().enumerate() {
-            let w: f64 = slice.iter().map(|a| a.norm_sqr()).sum();
-            if u < acc + w || node == self.slices.len() - 1 {
-                let mut local_acc = acc;
-                for (i, a) in slice.iter().enumerate() {
-                    local_acc += a.norm_sqr();
-                    if u < local_acc {
-                        return ((node as u64) << self.local_n) | i as u64;
-                    }
+            for (i, a) in slice.iter().enumerate() {
+                acc += a.norm_sqr();
+                if u < acc {
+                    return ((node as u64) << self.local_n) | i as u64;
                 }
-                return ((node as u64) << self.local_n) | (slice.len() as u64 - 1);
             }
-            acc += w;
         }
-        unreachable!("cumulative walk covers all nodes")
+        // Over-range draw on a slightly sub-normalised state: last basis
+        // state, exactly like the single-node walk.
+        (1u64 << self.n_qubits) - 1
     }
 
     /// Sample one outcome with an RNG.
@@ -199,10 +199,65 @@ impl DistributedStateVector {
         self.sample_with(u)
     }
 
+    /// Sample one outcome per uniform draw in `us`, walking the cumulative
+    /// distribution **once** across all node slices (vs one expected
+    /// half-walk per draw for repeated [`DistributedStateVector::sample_with`]).
+    ///
+    /// Mirrors [`StateVector::sample_many`] draw for draw — the draws are
+    /// sorted internally, `out[i]` is the outcome for `us[i]` in original
+    /// order, and the CDF is accumulated in global index order with the
+    /// same addition sequence, so oversampled leaves stay bit-identical
+    /// across backends.
+    pub fn sample_many(&self, us: &[f64]) -> Vec<u64> {
+        let mut order: Vec<usize> = (0..us.len()).collect();
+        order.sort_by(|&i, &j| us[i].total_cmp(&us[j]));
+        let mut out = vec![0u64; us.len()];
+        if us.is_empty() {
+            return out;
+        }
+        let local_mask = self.slice_len() - 1;
+        let amp = |idx: usize| self.slices[idx >> self.local_n][idx & local_mask];
+        let total = 1usize << self.n_qubits;
+        let mut idx = 0usize;
+        let mut acc = amp(0).norm_sqr();
+        for &slot in &order {
+            // Mirror `sample_with`: smallest index with u < cdf(index),
+            // falling back to the last basis state for over-range draws.
+            while us[slot] >= acc && idx + 1 < total {
+                idx += 1;
+                acc += amp(idx).norm_sqr();
+            }
+            out[slot] = idx as u64;
+        }
+        out
+    }
+
     fn charge_compute_pass(&mut self) {
         let slice_len = self.slice_len() as u64;
         self.counters.amp_ops += slice_len * self.n_nodes() as u64;
         self.counters.simulated_seconds += self.model.compute_time(slice_len);
+    }
+
+    /// Apply `op` to every node slice concurrently (one thread per node),
+    /// handing the closure its node index. The single serial/threaded
+    /// dispatch point for node-local sweeps.
+    fn each_node_indexed<F>(&mut self, op: F)
+    where
+        F: Fn(usize, &mut [C64]) + Sync,
+    {
+        if self.slice_len() < THREAD_MIN_SLICE {
+            for (node, slice) in self.slices.iter_mut().enumerate() {
+                op(node, slice);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for (node, slice) in self.slices.iter_mut().enumerate() {
+                    let op = &op;
+                    scope.spawn(move || op(node, slice));
+                }
+            });
+        }
+        self.charge_compute_pass();
     }
 
     /// Apply `op` to every node slice concurrently (one thread per node).
@@ -210,19 +265,7 @@ impl DistributedStateVector {
     where
         F: Fn(&mut [C64]) + Sync,
     {
-        if self.slice_len() < THREAD_MIN_SLICE {
-            for slice in &mut self.slices {
-                op(slice);
-            }
-        } else {
-            std::thread::scope(|scope| {
-                for slice in &mut self.slices {
-                    let op = &op;
-                    scope.spawn(move || op(slice));
-                }
-            });
-        }
-        self.charge_compute_pass();
+        self.each_node_indexed(|_, slice| op(slice));
     }
 
     /// Distributed swap of global bit `gb` (0-based within the top `g`)
@@ -254,12 +297,13 @@ impl DistributedStateVector {
         self.counters.simulated_seconds += self.model.exchange_time(half_bytes);
     }
 
-    /// Remap any global qubits of `gate` onto scratch local qubits, apply
-    /// locally, and restore. Returns the swap plan applied (for testing).
-    fn apply_gate_remapped(&mut self, gate: &Gate) -> usize {
+    /// Distributed-swap every global qubit in `qubits` down to a scratch
+    /// local qubit. Returns the remapped (now all-local) qubit list and the
+    /// swap plan to undo with [`DistributedStateVector::undo_remap`].
+    fn remap_to_local(&mut self, qubits: &[u16]) -> (Vec<u16>, Vec<(u16, u16)>) {
         let local_n = self.local_n;
-        let mut qubits: Vec<u16> = gate.qubits().to_vec();
-        // Scratch = highest local qubits not used by the gate itself.
+        let mut qubits = qubits.to_vec();
+        // Scratch = highest local qubits not used by the operation itself.
         let mut scratch: Vec<u16> = (0..local_n)
             .rev()
             .filter(|q| !qubits.contains(q))
@@ -277,11 +321,23 @@ impl DistributedStateVector {
                 *q = dst;
             }
         }
-        let remapped = Gate::new(*gate.kind(), &qubits);
-        self.each_node(|slice| kernels::apply_gate_amps(slice, &remapped));
+        (qubits, swaps)
+    }
+
+    /// Undo a [`DistributedStateVector::remap_to_local`] swap plan.
+    fn undo_remap(&mut self, swaps: &[(u16, u16)]) {
         for &(gb, dst) in swaps.iter().rev() {
             self.dswap(gb, dst);
         }
+    }
+
+    /// Remap any global qubits of `gate` onto scratch local qubits, apply
+    /// locally, and restore. Returns the swap plan applied (for testing).
+    fn apply_gate_remapped(&mut self, gate: &Gate) -> usize {
+        let (qubits, swaps) = self.remap_to_local(gate.qubits());
+        let remapped = Gate::new(*gate.kind(), &qubits);
+        self.each_node(|slice| kernels::apply_gate_amps(slice, &remapped));
+        self.undo_remap(&swaps);
         swaps.len()
     }
 }
@@ -320,6 +376,56 @@ impl QuantumState for DistributedStateVector {
         }
     }
 
+    fn apply_mat2(&mut self, q: u16, m: &Mat2) {
+        assert!(q < self.n_qubits, "qubit out of range");
+        if q < self.local_n {
+            // Fused kernel runs node-local, one thread per node.
+            let ql = q as usize;
+            let m = *m;
+            self.each_node(move |slice| kernels::apply_mat2(slice, ql, &m));
+            self.counters.local_gates += 1;
+        } else {
+            let (qs, swaps) = self.remap_to_local(&[q]);
+            let ql = qs[0] as usize;
+            let m = *m;
+            self.each_node(move |slice| kernels::apply_mat2(slice, ql, &m));
+            self.undo_remap(&swaps);
+            self.counters.global_gates += 1;
+        }
+    }
+
+    fn apply_mat4(&mut self, q_hi: u16, q_lo: u16, m: &Mat4) {
+        assert!(
+            q_hi < self.n_qubits && q_lo < self.n_qubits,
+            "qubit out of range"
+        );
+        if q_hi < self.local_n && q_lo < self.local_n {
+            // Both qubits node-local: the fused quad sweep never leaves the
+            // node, exactly like the single-node kernel.
+            let (hi, lo) = (q_hi as usize, q_lo as usize);
+            let m = *m;
+            self.each_node(move |slice| kernels::apply_mat4(slice, hi, lo, &m));
+            self.counters.local_gates += 1;
+        } else {
+            // Fall back to the distributed-swap remap path.
+            let (qs, swaps) = self.remap_to_local(&[q_hi, q_lo]);
+            let (hi, lo) = (qs[0] as usize, qs[1] as usize);
+            let m = *m;
+            self.each_node(move |slice| kernels::apply_mat4(slice, hi, lo, &m));
+            self.undo_remap(&swaps);
+            self.counters.global_gates += 1;
+        }
+    }
+
+    fn apply_diag_run(&mut self, run: &DiagRun) {
+        // Diagonals never move amplitudes: each node sweeps its slice with
+        // the slice's global base index — no communication even when the
+        // run touches node-selecting (global) qubits.
+        let local_n = self.local_n;
+        self.each_node_indexed(|node, slice| run.apply_offset(slice, node << local_n));
+        self.counters.local_gates += 1;
+    }
+
     fn marginal_one(&self, q: u16) -> f64 {
         assert!(q < self.n_qubits, "qubit out of range");
         if q >= self.local_n {
@@ -346,25 +452,12 @@ impl QuantumState for DistributedStateVector {
         if q >= self.local_n {
             // Node-selecting bit: scale whole slices, no communication.
             let mask = 1usize << (q - self.local_n);
-            let scale = |slice: &mut Vec<C64>, d: C64| {
+            self.each_node_indexed(|node, slice| {
+                let d = if node & mask != 0 { d1 } else { d0 };
                 for a in slice.iter_mut() {
                     *a *= d;
                 }
-            };
-            if self.slice_len() < THREAD_MIN_SLICE {
-                for (node, slice) in self.slices.iter_mut().enumerate() {
-                    scale(slice, if node & mask != 0 { d1 } else { d0 });
-                }
-            } else {
-                std::thread::scope(|scope| {
-                    for (node, slice) in self.slices.iter_mut().enumerate() {
-                        let d = if node & mask != 0 { d1 } else { d0 };
-                        let scale = &scale;
-                        scope.spawn(move || scale(slice, d));
-                    }
-                });
-            }
-            self.charge_compute_pass();
+            });
         } else {
             let q = q as usize;
             self.each_node(|slice| kernels::apply_diag1(slice, q, d0, d1));
@@ -421,6 +514,18 @@ impl QuantumState for DistributedStateVector {
             }
         });
         self.counters.simulated_seconds += self.model.allreduce_time(self.n_nodes());
+    }
+
+    fn norm_sqr(&self) -> f64 {
+        DistributedStateVector::norm_sqr(self)
+    }
+
+    fn sample_with(&self, u: f64) -> u64 {
+        DistributedStateVector::sample_with(self, u)
+    }
+
+    fn sample_many(&self, us: &[f64]) -> Vec<u64> {
+        DistributedStateVector::sample_many(self, us)
     }
 }
 
@@ -570,6 +675,78 @@ mod tests {
         for u in [0.01, 0.25, 0.5, 0.75, 0.99] {
             assert_eq!(dsv.sample_with(u), gathered.sample_with(u), "u={u}");
         }
+    }
+
+    #[test]
+    fn sample_many_matches_sample_with_and_single_node() {
+        let m = InterconnectModel::commodity_cluster();
+        let c = generators::qft(6);
+        let mut dsv = DistributedStateVector::zero(6, 4, m).unwrap();
+        for g in &c {
+            dsv.apply_gate(g);
+        }
+        let us = [0.93, 0.02, 0.5, 0.500001, 0.02, 0.999_999_9, 0.0];
+        let batch = dsv.sample_many(&us);
+        for (u, got) in us.iter().zip(&batch) {
+            assert_eq!(*got, dsv.sample_with(*u), "u={u}");
+        }
+        // Draw-for-draw identical to the single-node batched walk.
+        assert_eq!(batch, dsv.gather().sample_many(&us));
+        assert!(dsv.sample_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn fused_ops_match_remapped_gate_dispatch() {
+        use tqsim_circuit::math::Mat2;
+        let m = InterconnectModel::commodity_cluster();
+        let mut prep = Circuit::new(6);
+        prep.h(0).cx(0, 3).ry(0.7, 5).cz(1, 4);
+        let mat2 = GateKind::H.matrix1().unwrap();
+        let mat4 = GateKind::Cx.matrix2().unwrap();
+        let folded2 = mat2.mul(&Mat2::identity());
+        let mut sv = StateVector::zero(6);
+        sv.apply_circuit(&prep);
+        let mut dsv = DistributedStateVector::zero(6, 4, m).unwrap();
+        for g in &prep {
+            dsv.apply_gate(g);
+        }
+        // Local and global Mat2 / Mat4, including a cross-boundary pair.
+        for q in [1u16, 5] {
+            QuantumState::apply_mat2(&mut sv, q, &folded2);
+            QuantumState::apply_mat2(&mut dsv, q, &folded2);
+        }
+        for (hi, lo) in [(0u16, 1u16), (4, 0), (5, 4)] {
+            QuantumState::apply_mat4(&mut sv, hi, lo, &mat4);
+            QuantumState::apply_mat4(&mut dsv, hi, lo, &mat4);
+        }
+        assert_states_match(&dsv, &sv);
+        assert!(dsv.counters.exchanges > 0, "global mat ops must remap");
+    }
+
+    #[test]
+    fn diag_runs_never_communicate() {
+        let m = InterconnectModel::commodity_cluster();
+        let mut prep = Circuit::new(6);
+        prep.h(0).h(5).cx(0, 4);
+        let mut sv = StateVector::zero(6);
+        sv.apply_circuit(&prep);
+        let mut dsv = DistributedStateVector::zero(6, 4, m).unwrap();
+        for g in &prep {
+            dsv.apply_gate(g);
+        }
+        let before = dsv.counters.exchanges;
+        // A run over local and global qubits, incl. a cross-boundary pair.
+        let mut run = tqsim_statevec::DiagRun::new();
+        run.push1(1, GateKind::T.diag1().unwrap());
+        run.push1(5, GateKind::S.diag1().unwrap());
+        run.push2(4, 0, GateKind::Cz.diag2().unwrap());
+        QuantumState::apply_diag_run(&mut sv, &run);
+        QuantumState::apply_diag_run(&mut dsv, &run);
+        assert_states_match(&dsv, &sv);
+        assert_eq!(
+            dsv.counters.exchanges, before,
+            "diagonal sweeps must stay node-local"
+        );
     }
 
     #[test]

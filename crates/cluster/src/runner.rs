@@ -5,10 +5,10 @@ use crate::dsv::{ClusterError, DistributedStateVector};
 use crate::model::{ClusterCounters, InterconnectModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tqsim::{Counts, Partition};
+use tqsim::{Counts, ExecOptions, Partition};
 use tqsim_circuit::{Circuit, Gate};
 use tqsim_noise::NoiseModel;
-use tqsim_statevec::QuantumState;
+use tqsim_statevec::{CompiledCircuit, OpCounts, QuantumState};
 
 /// Result of a distributed run.
 #[derive(Clone, Debug)]
@@ -17,11 +17,15 @@ pub struct DistRunResult {
     pub counts: Counts,
     /// Merged cluster counters (including modeled cluster seconds).
     pub counters: ClusterCounters,
+    /// Backend-agnostic operation tallies from the shared replay driver —
+    /// `amp_passes` quantifies the distributed fusion win exactly as on the
+    /// single-node backend (the dynamic fuser emits the same sweeps).
+    pub ops: OpCounts,
 }
 
-/// Execute a TQSim partition on the distributed engine (the baseline is the
-/// degenerate partition `(N)`). Mirrors the single-node
-/// [`tqsim::TreeExecutor`] semantics exactly, so outcomes are comparable.
+/// Execute a TQSim partition on the distributed engine with default
+/// [`ExecOptions`] (fused replay, one sample per leaf). See
+/// [`run_distributed_with_options`].
 ///
 /// # Errors
 ///
@@ -38,65 +42,134 @@ pub fn run_distributed(
     model: InterconnectModel,
     seed: u64,
 ) -> Result<DistRunResult, ClusterError> {
+    run_distributed_with_options(
+        circuit,
+        noise,
+        partition,
+        n_nodes,
+        model,
+        seed,
+        ExecOptions::default(),
+    )
+}
+
+/// Execute a TQSim partition on the distributed engine (the baseline is the
+/// degenerate partition `(N)`). Mirrors the single-node
+/// [`tqsim::TreeExecutor`] semantics exactly — each subcircuit is compiled
+/// **once** and its fused plan replayed per tree node through the shared
+/// generic driver ([`tqsim::run_subcircuit`]), consuming the RNG stream
+/// identically — so for the same seed the `Counts` are **bit-identical** to
+/// the serial executor's (property-tested in `tests/prop_backend.rs`).
+///
+/// # Errors
+///
+/// Returns [`ClusterError`] for invalid node configurations.
+///
+/// # Panics
+///
+/// Panics if the partition does not cover the circuit or
+/// `options.leaf_samples == 0`.
+pub fn run_distributed_with_options(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    partition: &Partition,
+    n_nodes: usize,
+    model: InterconnectModel,
+    seed: u64,
+    options: ExecOptions,
+) -> Result<DistRunResult, ClusterError> {
+    assert!(
+        options.leaf_samples >= 1,
+        "need at least one sample per leaf"
+    );
     let subcircuits = partition.subcircuits(circuit);
+    // Compile once per subcircuit; every node of the tree replays the plan.
+    let compiled: Vec<CompiledCircuit> = subcircuits.iter().map(|sc| noise.compile(sc)).collect();
     let k = subcircuits.len();
     let n = circuit.n_qubits();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut counts = Counts::new(n);
+    let mut ops = OpCounts::new();
 
     let mut states: Vec<DistributedStateVector> = (0..=k)
         .map(|_| DistributedStateVector::zero(n, n_nodes, model))
         .collect::<Result<_, _>>()?;
+    ops.state_resets += 1;
 
     recurse(
         &subcircuits,
+        &compiled,
         partition,
         noise,
         0,
         &mut states,
         &mut counts,
+        &mut ops,
         &mut rng,
+        options,
     );
 
     let mut counters = ClusterCounters::default();
     for s in &states {
         counters.merge(&s.counters);
     }
-    Ok(DistRunResult { counts, counters })
+    counters.noise_ops += ops.noise_ops;
+    Ok(DistRunResult {
+        counts,
+        counters,
+        ops,
+    })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn recurse(
     subcircuits: &[Circuit],
+    compiled: &[CompiledCircuit],
     partition: &Partition,
     noise: &NoiseModel,
     level: usize,
     states: &mut [DistributedStateVector],
     counts: &mut Counts,
+    ops: &mut OpCounts,
     rng: &mut StdRng,
+    options: ExecOptions,
 ) {
     let k = subcircuits.len();
     if level == k {
         let n = states[k].n_qubits();
-        let outcome = states[k].sample(rng);
-        counts.increment(noise.apply_readout(outcome, n, rng));
+        // Shared with the single-node executors so every backend consumes
+        // the RNG stream identically (batched CDF walk when oversampling).
+        tqsim::draw_leaf_outcomes(&states[k], noise, n, options.leaf_samples, rng, |outcome| {
+            counts.increment(outcome);
+            ops.samples += 1;
+        });
         return;
     }
     for _rep in 0..partition.tree.arities()[level] {
         let (parents, children) = states.split_at_mut(level + 1);
         let child = &mut children[0];
         child.copy_from(&parents[level]);
-        for gate in &subcircuits[level] {
-            child.apply_gate(gate);
-            child.counters.noise_ops += noise.apply_after_gate(child, gate, rng);
-        }
+        ops.state_copies += 1;
+        tqsim::run_subcircuit(
+            child,
+            &subcircuits[level],
+            &compiled[level],
+            noise,
+            rng,
+            ops,
+            options.fusion,
+        );
         recurse(
             subcircuits,
+            compiled,
             partition,
             noise,
             level + 1,
             states,
             counts,
+            ops,
             rng,
+            options,
         );
     }
 }
@@ -259,6 +332,96 @@ mod tests {
         let tb = estimate_tree_seconds(&circuit, &noise, &base, 8, &model);
         let td = estimate_tree_seconds(&circuit, &noise, &dcp, 8, &model);
         assert!(td < tb, "TQSim {td} should beat baseline {tb}");
+    }
+
+    #[test]
+    fn fused_distributed_counts_are_bit_identical_to_unfused() {
+        let circuit = generators::qft(8);
+        let noise = NoiseModel::sycamore();
+        let partition = tqsim::Strategy::Custom {
+            arities: vec![6, 2, 2],
+        }
+        .plan(&circuit, &noise, 24)
+        .unwrap();
+        let model = InterconnectModel::commodity_cluster();
+        for seed in [3u64, 77] {
+            let fused = run_distributed_with_options(
+                &circuit,
+                &noise,
+                &partition,
+                4,
+                model,
+                seed,
+                tqsim::ExecOptions::default(),
+            )
+            .unwrap();
+            let unfused = run_distributed_with_options(
+                &circuit,
+                &noise,
+                &partition,
+                4,
+                model,
+                seed,
+                tqsim::ExecOptions {
+                    fusion: false,
+                    ..tqsim::ExecOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(fused.counts, unfused.counts, "seed {seed}");
+            assert_eq!(fused.ops.total_gates(), unfused.ops.total_gates());
+            assert_eq!(fused.ops.noise_ops, unfused.ops.noise_ops);
+            assert!(
+                fused.ops.amp_passes < unfused.ops.amp_passes,
+                "distributed fusion must reduce passes ({} vs {})",
+                fused.ops.amp_passes,
+                unfused.ops.amp_passes
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_replay_matches_serial_executor_bit_for_bit() {
+        // Same seed, same partition: the distributed fused replay must
+        // reproduce the serial single-node executor's Counts exactly, at
+        // every node count, including oversampled leaves (batched CDF walk).
+        let circuit = generators::qft(8);
+        let model = InterconnectModel::commodity_cluster();
+        for noise in [NoiseModel::ideal(), NoiseModel::sycamore()] {
+            let partition = tqsim::Strategy::Custom {
+                arities: vec![5, 2, 2],
+            }
+            .plan(&circuit, &noise, 20)
+            .unwrap();
+            for leaf_samples in [1u32, 3] {
+                let options = tqsim::ExecOptions {
+                    leaf_samples,
+                    ..tqsim::ExecOptions::default()
+                };
+                let serial = tqsim::TreeExecutor::new(&circuit, &noise, partition.clone())
+                    .unwrap()
+                    .run_with_options(9, options);
+                for nodes in [2usize, 4, 8] {
+                    let dist = run_distributed_with_options(
+                        &circuit, &noise, &partition, nodes, model, 9, options,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        dist.counts,
+                        serial.counts,
+                        "{} nodes, {leaf_samples} leaf samples, {}",
+                        nodes,
+                        noise.name()
+                    );
+                    // The dynamic fuser is state-agnostic: identical sweep
+                    // sequence, identical pass accounting on every backend.
+                    assert_eq!(dist.ops.amp_passes, serial.ops.amp_passes);
+                    assert_eq!(dist.ops.noise_ops, serial.ops.noise_ops);
+                    assert_eq!(dist.ops.state_copies, serial.ops.state_copies);
+                    assert_eq!(dist.ops.samples, serial.ops.samples);
+                }
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,13 @@ pub struct DcpConfig {
     pub memory_budget_bytes: Option<u64>,
     /// Optional hard cap on the number of subcircuits.
     pub max_subcircuits: Option<usize>,
+    /// Charge candidate subcircuits their **compiled amplitude-pass count**
+    /// (the fusion-aware [`tqsim_statevec::CompiledCircuit::amp_pass_estimate`]
+    /// cost) instead of their source gate count, so boundary placement
+    /// favours fusion-friendly splits and boundaries land on equal-pass
+    /// quantiles. `copy_cost` is then measured in amplitude passes rather
+    /// than gates. Off by default to preserve the paper-pinned plans.
+    pub plan_aware: bool,
 }
 
 impl Default for DcpConfig {
@@ -41,6 +48,7 @@ impl Default for DcpConfig {
             copy_cost: 20.0,
             memory_budget_bytes: None,
             max_subcircuits: None,
+            plan_aware: false,
         }
     }
 }
@@ -110,6 +118,9 @@ pub fn plan_dcp(
     if shots == 0 {
         return Err(PlanError::ZeroShots);
     }
+    if cfg.plan_aware {
+        return plan_dcp_pass_costed(circuit, noise, shots, cfg);
+    }
     let len = circuit.len();
     let min_len = (cfg.copy_cost.ceil() as usize).max(1);
 
@@ -163,6 +174,107 @@ pub fn plan_dcp(
     boundaries.push(l0);
     for i in 1..=k {
         boundaries.push(l0 + remaining * i / k);
+    }
+    Partition::new(boundaries, tree)
+}
+
+/// `costs[i]` = estimated fused amplitude passes of the length-`i` prefix —
+/// the cost [`tqsim_statevec::CompiledCircuit::amp_pass_estimate`] reports
+/// for the prefix compiled in isolation — computed online in one O(len)
+/// sweep by streaming gate classifications through a [`Fuser`] and counting
+/// emitted sweeps plus the pending buffer.
+fn fused_prefix_costs(circuit: &Circuit) -> Vec<u64> {
+    use tqsim_statevec::{classify, Fuser};
+    let mut costs = Vec::with_capacity(circuit.len() + 1);
+    costs.push(0);
+    let mut fuser = Fuser::new();
+    let mut emitted = 0u64;
+    for gate in circuit {
+        if let Some(op) = classify(gate) {
+            fuser.push(&op, &mut |_, _| emitted += 1);
+        }
+        costs.push(emitted + fuser.pending_passes());
+    }
+    costs
+}
+
+/// Plan-aware DCP: identical statistical machinery (Eqs. 4–6), but every
+/// candidate subcircuit is charged its **compiled amplitude-pass count**
+/// instead of its source gate count. The executors replay fused plans, so
+/// passes — not gates — are what a subcircuit execution actually costs;
+/// charging passes keeps the copy-cost break-even honest on
+/// fusion-friendly circuits and places the remaining boundaries at equal
+/// *pass* quantiles rather than equal gate counts.
+fn plan_dcp_pass_costed(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    shots: u64,
+    cfg: &DcpConfig,
+) -> Result<Partition, PlanError> {
+    let len = circuit.len();
+    let costs = fused_prefix_costs(circuit);
+    let total = costs[len] as f64;
+
+    // Phase 1: first subcircuit = shortest prefix whose *compiled* cost
+    // covers the state-copy cost (now in pass units).
+    let Some(l0) = (1..len).find(|&i| costs[i] as f64 >= cfg.copy_cost) else {
+        return Partition::baseline(len, shots);
+    };
+    let p_hat = aggregate_error_rate(circuit, 0..l0, noise);
+    let a0 = sample_size(cfg.confidence_z, cfg.margin, p_hat, shots);
+
+    // Phase 2: how many equal-cost subcircuits can the remainder support?
+    let remaining_cost = total - costs[l0] as f64;
+    let k_cost = (remaining_cost / cfg.copy_cost).floor() as usize;
+    let ratio = shots as f64 / a0 as f64;
+    let k_shots = if ratio >= 2.0 {
+        ratio.log2().floor() as usize
+    } else {
+        0
+    };
+    // Every subcircuit still needs at least one source gate.
+    let mut k = k_cost.min(k_shots).min(len - l0);
+    if let Some(max_k) = cfg.max_subcircuits {
+        k = k.min(max_k.saturating_sub(1));
+    }
+    if let Some(budget) = cfg.memory_budget_bytes {
+        let state_bytes = 16u64 << circuit.n_qubits();
+        let max_states = (budget / state_bytes.max(1)).max(2) as usize;
+        k = k.min(max_states.saturating_sub(1));
+    }
+    if k == 0 {
+        return Partition::baseline(len, shots);
+    }
+
+    // Eq. 6 unchanged: uniform arity, A0 raised to cover the shot budget.
+    let ar = (ratio.powf(1.0 / k as f64).floor() as u64).max(2);
+    let reuse: u64 = ar.pow(k as u32);
+    let a0 = a0.max(shots.div_ceil(reuse));
+
+    let mut arities = Vec::with_capacity(k + 1);
+    arities.push(a0);
+    arities.extend(std::iter::repeat_n(ar, k));
+    let tree = TreeStructure::new(arities).expect("arities are positive");
+
+    // Boundaries at equal compiled-pass quantiles of the remainder, so
+    // every subcircuit replays a comparable number of fused sweeps.
+    let mut boundaries = Vec::with_capacity(k + 2);
+    boundaries.push(0);
+    boundaries.push(l0);
+    let mut prev = l0;
+    for i in 1..=k {
+        let b = if i == k {
+            len
+        } else {
+            let target = costs[l0] as f64 + remaining_cost * i as f64 / k as f64;
+            ((prev + 1)..len)
+                .find(|&j| costs[j] as f64 >= target)
+                .unwrap_or(len)
+                .min(len - (k - i)) // leave ≥ 1 gate per remaining subcircuit
+                .max(prev + 1)
+        };
+        boundaries.push(b);
+        prev = b;
     }
     Partition::new(boundaries, tree)
 }
@@ -279,6 +391,134 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn plan_aware_charges_compiled_passes_not_gates() {
+        // QFT fuses ≈2.4×, so covering a 20-*pass* copy cost needs far more
+        // than 20 source gates: the plan-aware prefix must be longer.
+        let c = generators::qft(14);
+        let noise = tqsim_noise::NoiseModel::sycamore();
+        let classic = plan_dcp(&c, &noise, 32_000, &DcpConfig::default()).unwrap();
+        let aware = plan_dcp(
+            &c,
+            &noise,
+            32_000,
+            &DcpConfig {
+                plan_aware: true,
+                ..DcpConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            aware.boundaries()[1] > classic.boundaries()[1],
+            "plan-aware prefix {} must exceed gate-counted prefix {}",
+            aware.boundaries()[1],
+            classic.boundaries()[1]
+        );
+        assert_eq!(aware.covered_gates(), c.len());
+        assert!(aware.tree.outcomes() >= 32_000);
+        // The prefix's compiled cost actually covers the copy cost, and the
+        // one-gate-shorter prefix does not (shortest qualifying prefix).
+        let costs = fused_prefix_costs(&c);
+        let l0 = aware.boundaries()[1];
+        assert!(costs[l0] >= 20);
+        assert!(costs[l0 - 1] < 20);
+    }
+
+    #[test]
+    fn plan_aware_boundaries_are_pass_balanced() {
+        let c = generators::qft(14);
+        let noise = tqsim_noise::NoiseModel::sycamore();
+        let cfg = DcpConfig {
+            plan_aware: true,
+            ..DcpConfig::default()
+        };
+        let p = plan_dcp(&c, &noise, 32_000, &cfg).unwrap();
+        let costs = fused_prefix_costs(&c);
+        let bounds = p.boundaries();
+        assert!(bounds.len() >= 3, "expected a real partition, got {p:?}");
+        // Per-subcircuit compiled costs past the prefix stay within 2× of
+        // each other (equal-pass quantile cuts on a discrete cost curve).
+        let seg_costs: Vec<u64> = bounds
+            .windows(2)
+            .skip(1)
+            .map(|w| costs[w[1]] - costs[w[0]])
+            .collect();
+        let (min, max) = (
+            *seg_costs.iter().min().unwrap(),
+            *seg_costs.iter().max().unwrap(),
+        );
+        assert!(
+            max <= 2 * min.max(1),
+            "unbalanced compiled costs: {seg_costs:?}"
+        );
+    }
+
+    #[test]
+    fn plan_aware_respects_caps_and_fallback() {
+        let noise = tqsim_noise::NoiseModel::sycamore();
+        // Too short to cover the pass-denominated copy cost: baseline.
+        let short = generators::bv(6);
+        let p = plan_dcp(
+            &short,
+            &noise,
+            1000,
+            &DcpConfig {
+                plan_aware: true,
+                copy_cost: 60.0,
+                ..DcpConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(p.k(), 1);
+        // Caps still bite.
+        let c = generators::qft(14);
+        let p = plan_dcp(
+            &c,
+            &noise,
+            32_000,
+            &DcpConfig {
+                plan_aware: true,
+                max_subcircuits: Some(3),
+                ..DcpConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(p.k() <= 3);
+    }
+
+    #[test]
+    fn plan_aware_outcomes_always_cover_shots() {
+        let noise = tqsim_noise::NoiseModel::sycamore();
+        let cfg = DcpConfig {
+            plan_aware: true,
+            ..DcpConfig::default()
+        };
+        for shots in [100u64, 777, 4096, 32_000] {
+            for gen in [
+                generators::qft(10),
+                generators::bv(12),
+                generators::qv(10, 1),
+            ] {
+                let p = plan_dcp(&gen, &noise, shots, &cfg).unwrap();
+                assert!(p.tree.outcomes() >= shots);
+                assert_eq!(p.covered_gates(), gen.len());
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_costs_match_compiled_estimates() {
+        let c = generators::qft(8);
+        let costs = fused_prefix_costs(&c);
+        assert_eq!(costs.len(), c.len() + 1);
+        assert_eq!(costs[0], 0);
+        // The full-circuit entry equals the compiled estimate.
+        let compiled = tqsim_statevec::CompiledCircuit::compile(&c, |_| false);
+        assert_eq!(costs[c.len()], compiled.amp_pass_estimate());
+        // And fusion makes it strictly cheaper than the gate count.
+        assert!(costs[c.len()] < c.len() as u64);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 use tqsim_circuit::{Circuit, GateKind};
 use tqsim_noise::NoiseModel;
-use tqsim_statevec::{CompiledCircuit, OpCounts, StateVector};
+use tqsim_statevec::{CompiledCircuit, OpCounts, QuantumState, StateVector};
 
 /// Measurement histogram of a simulation run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -280,20 +280,15 @@ impl<'a> TreeExecutor<'a> {
             let child = &mut children[0];
             child.copy_from(parent);
             ops.state_copies += 1;
-            if options.fusion {
-                self.compiled[level].replay(child, ops, |gate, ctx| {
-                    self.noise.apply_after_gate_deferred(gate, ctx, rng)
-                });
-            } else {
-                for gate in &self.subcircuits[level] {
-                    child.apply_gate(gate);
-                    ops.add_gates(gate.arity(), 1);
-                    if !matches!(gate.kind(), GateKind::Id) {
-                        ops.amp_passes += 1;
-                    }
-                    ops.noise_ops += self.noise.apply_after_gate(child, gate, rng);
-                }
-            }
+            run_subcircuit(
+                child,
+                &self.subcircuits[level],
+                &self.compiled[level],
+                self.noise,
+                rng,
+                ops,
+                options.fusion,
+            );
             self.recurse(level + 1, states, counts, ops, rng, options);
         }
     }
@@ -314,26 +309,68 @@ impl<'a> TreeExecutor<'a> {
     }
 }
 
+/// Execute one subcircuit on any [`QuantumState`] backend: the **single**
+/// replay-driving implementation shared by the serial [`TreeExecutor`], the
+/// `tqsim-engine` node executor, the Monte-Carlo baselines and
+/// `tqsim-cluster`'s distributed runner.
+///
+/// With `fusion` on (the default everywhere) the compiled `plan` is
+/// replayed with the noise-adaptive flush; otherwise each source gate is
+/// dispatched and its noise applied per gate. Both arms consume the RNG
+/// stream identically — the fused/unfused and cross-backend `Counts`
+/// equivalences all rely on this function being the only fork point, so do
+/// not duplicate the loop or change the draw order.
+pub fn run_subcircuit<S, R>(
+    state: &mut S,
+    subcircuit: &Circuit,
+    plan: &CompiledCircuit,
+    noise: &NoiseModel,
+    rng: &mut R,
+    ops: &mut OpCounts,
+    fusion: bool,
+) where
+    S: QuantumState + ?Sized,
+    R: rand::Rng + ?Sized,
+{
+    if fusion {
+        plan.replay(state, ops, |gate, ctx| {
+            noise.apply_after_gate_deferred(gate, ctx, rng)
+        });
+    } else {
+        for gate in subcircuit {
+            state.apply_gate(gate);
+            ops.add_gates(gate.arity(), 1);
+            if !matches!(gate.kind(), GateKind::Id) {
+                ops.amp_passes += 1;
+            }
+            ops.noise_ops += noise.apply_after_gate(state, gate, rng);
+        }
+    }
+}
+
 /// Draw `leaf_samples` readout-corrected outcomes from a leaf state,
 /// feeding each to `sink`. A single draw walks the CDF directly;
 /// oversampled leaves batch all uniforms into one
-/// [`StateVector::sample_many`] walk (uniforms first, then readout noise
+/// [`QuantumState::sample_many`] walk (uniforms first, then readout noise
 /// per outcome in draw order).
 ///
 /// This is the **single** leaf-sampling implementation: the serial
-/// [`TreeExecutor`] and the `tqsim-engine` node executor both call it, and
-/// their count equivalence relies on consuming the RNG stream identically
-/// — do not fork the draw order.
-pub fn draw_leaf_outcomes<R: rand::Rng + ?Sized>(
-    state: &StateVector,
+/// [`TreeExecutor`], the `tqsim-engine` node executor and the distributed
+/// runner all call it, and their count equivalence relies on consuming the
+/// RNG stream identically — do not fork the draw order.
+pub fn draw_leaf_outcomes<S, R>(
+    state: &S,
     noise: &NoiseModel,
     n_qubits: u16,
     leaf_samples: u32,
     rng: &mut R,
     mut sink: impl FnMut(u64),
-) {
+) where
+    S: QuantumState + ?Sized,
+    R: rand::Rng + ?Sized,
+{
     if leaf_samples == 1 {
-        let outcome = state.sample(rng);
+        let outcome = state.sample_with(rand::RngExt::random(rng));
         sink(noise.apply_readout(outcome, n_qubits, rng));
         return;
     }

@@ -52,7 +52,9 @@ pub mod speedup;
 pub mod tree;
 
 pub use dcp::DcpConfig;
-pub use executor::{draw_leaf_outcomes, Counts, ExecOptions, RunResult, TreeExecutor};
+pub use executor::{
+    draw_leaf_outcomes, run_subcircuit, Counts, ExecOptions, RunResult, TreeExecutor,
+};
 pub use partition::{Partition, PlanError, Strategy};
 pub use sim::Tqsim;
 pub use tree::TreeStructure;

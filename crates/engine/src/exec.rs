@@ -34,7 +34,7 @@ use rand::SeedableRng;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use tqsim::{Counts, Partition, RunResult};
-use tqsim_circuit::{Circuit, GateKind};
+use tqsim_circuit::Circuit;
 use tqsim_noise::NoiseModel;
 use tqsim_statevec::{CompiledCircuit, OpCounts, PooledState};
 
@@ -178,23 +178,19 @@ fn run_node(
     drop(parent); // release the parent buffer as early as possible
 
     let mut rng = StdRng::seed_from_u64(shared.seed ^ hash);
-    if shared.fusion {
-        // Compile-once/replay-many: the node replays the shared fused plan
-        // with its own RNG stream; the noise-adaptive flush keeps fusing
-        // across identity Kraus branches.
-        shared.plans[level].replay(&mut state, &mut ops, |gate, ctx| {
-            shared.noise.apply_after_gate_deferred(gate, ctx, &mut rng)
-        });
-    } else {
-        for gate in &shared.subcircuits[level] {
-            state.apply_gate(gate);
-            ops.add_gates(gate.arity(), 1);
-            if !matches!(gate.kind(), GateKind::Id) {
-                ops.amp_passes += 1;
-            }
-            ops.noise_ops += shared.noise.apply_after_gate(&mut *state, gate, &mut rng);
-        }
-    }
+    // Compile-once/replay-many through the shared generic driver: the node
+    // replays the batch's fused plan with its own RNG stream (or dispatches
+    // per gate when fusion is off), consuming the stream identically to the
+    // serial executor.
+    tqsim::run_subcircuit(
+        &mut *state,
+        &shared.subcircuits[level],
+        &shared.plans[level],
+        &shared.noise,
+        &mut rng,
+        &mut ops,
+        shared.fusion,
+    );
 
     if level + 1 == k {
         // Fold straight into this worker's accumulator — the lock is
@@ -205,7 +201,7 @@ fn run_node(
         // Shared with the serial executor so both consume the RNG stream
         // identically (batched CDF walk when oversampling).
         tqsim::draw_leaf_outcomes(
-            &state,
+            &*state,
             &shared.noise,
             shared.n_qubits,
             shared.leaf_samples,

@@ -272,12 +272,16 @@ impl NoiseModel {
     /// and only state-dependent channels (damping families) force
     /// [`FlushCtx::flush`]. Returns the noise-operator count, exactly as
     /// the unfused path does.
-    pub fn apply_after_gate_deferred<R: Rng + ?Sized>(
+    pub fn apply_after_gate_deferred<S, R>(
         &self,
         gate: &Gate,
-        ctx: &mut FlushCtx<'_>,
+        ctx: &mut FlushCtx<'_, S>,
         rng: &mut R,
-    ) -> u64 {
+    ) -> u64
+    where
+        S: QuantumState + ?Sized,
+        R: Rng + ?Sized,
+    {
         let qs = gate.qubits();
         let mut ops = 0u64;
         if gate.arity() == 1 {
@@ -351,13 +355,11 @@ fn combine(rates: impl Iterator<Item = f64>) -> f64 {
 /// Deferred joint two-qubit branch: sample first, then either keep fusing
 /// (identity) or feed the fired Paulis into the fusion buffer in the slot
 /// order the unfused path applies them.
-fn deferred_2q<R: Rng + ?Sized>(
-    ch: &Channel,
-    qa: u16,
-    qb: u16,
-    ctx: &mut FlushCtx<'_>,
-    rng: &mut R,
-) {
+fn deferred_2q<S, R>(ch: &Channel, qa: u16, qb: u16, ctx: &mut FlushCtx<'_, S>, rng: &mut R)
+where
+    S: QuantumState + ?Sized,
+    R: Rng + ?Sized,
+{
     match ch.sample_branch_2q(rng) {
         BranchSample::Identity => {}
         BranchSample::Paulis(paulis) => {

@@ -40,7 +40,7 @@
 
 use crate::kernels;
 use crate::ops::OpCounts;
-use crate::state::StateVector;
+use crate::traits::QuantumState;
 use tqsim_circuit::math::{Mat2, Mat4, C64};
 use tqsim_circuit::{Circuit, Gate, GateKind};
 
@@ -171,22 +171,57 @@ impl DiagRun {
 
     /// Apply the run to an amplitude slice in one sweep.
     pub fn apply(&self, amps: &mut [C64]) {
+        self.apply_offset(amps, 0);
+    }
+
+    /// Apply the run to an amplitude slice whose first element has *global*
+    /// index `base` (a distributed node slice; `base` must be a multiple of
+    /// the slice length). Qubits whose stride fits inside the slice use the
+    /// local kernels — bit-identical to [`DiagRun::apply`] on the full
+    /// array — while higher ("global") qubits read constant bits from
+    /// `base`, so the sweep stays node-local: **diagonal runs never
+    /// communicate**, however the qubits are sliced.
+    pub fn apply_offset(&self, amps: &mut [C64], base: usize) {
+        let len = amps.len();
+        debug_assert!(base.is_multiple_of(len), "offset must be slice-aligned");
         match (self.terms1.as_slice(), self.terms2.as_slice()) {
             ([], []) => {}
             // Single-term runs use the pristine specialised kernels, so an
             // unfused diagonal gate stays bit-identical to direct dispatch.
-            ([(q, d)], []) => kernels::apply_diag1(amps, *q as usize, d[0], d[1]),
-            ([], [(a, b, d)]) => kernels::apply_diag2(amps, *a as usize, *b as usize, *d),
+            ([(q, d)], []) => {
+                let mask = 1usize << q;
+                if mask < len {
+                    kernels::apply_diag1(amps, *q as usize, d[0], d[1]);
+                } else {
+                    // The qubit selects whole slices: one constant factor.
+                    let dd = d[usize::from(base & mask != 0)];
+                    kernels::for_each_amp_indexed(amps, move |_, amp| *amp *= dd);
+                }
+            }
+            ([], [(a, b, d)]) => {
+                let (ma, mb) = (1usize << *a, 1usize << *b);
+                if ma < len && mb < len {
+                    kernels::apply_diag2(amps, *a as usize, *b as usize, *d);
+                } else {
+                    let d = *d;
+                    kernels::for_each_amp_indexed(amps, move |i, amp| {
+                        let g = base | i;
+                        let sel = (usize::from(g & ma != 0) << 1) | usize::from(g & mb != 0);
+                        *amp *= d[sel];
+                    });
+                }
+            }
             // Allocation-free sweep (the replay hot path runs once per
             // tree node): masks are a single shift from the stored qubits.
             (t1, t2) => kernels::for_each_amp_indexed(amps, move |i, amp| {
+                let g = base | i;
                 let mut f = C64::new(1.0, 0.0);
                 for &(q, d) in t1 {
-                    f *= d[usize::from(i & (1usize << q) != 0)];
+                    f *= d[usize::from(g & (1usize << q) != 0)];
                 }
                 for &(a, b, d) in t2 {
-                    let sel = (usize::from(i & (1usize << a) != 0) << 1)
-                        | usize::from(i & (1usize << b) != 0);
+                    let sel = (usize::from(g & (1usize << a) != 0) << 1)
+                        | usize::from(g & (1usize << b) != 0);
                     f *= d[sel];
                 }
                 *amp *= f;
@@ -572,6 +607,13 @@ impl Fuser {
         }
     }
 
+    /// Number of amplitude passes the pending state would cost if flushed
+    /// now (0–2: at most one dense op plus one diagonal run). Consumed by
+    /// plan-aware DCP's prefix cost estimator.
+    pub fn pending_passes(&self) -> u64 {
+        u64::from(self.dense.is_some()) + u64::from(!self.diag.is_empty())
+    }
+
     /// Emit everything pending (dense op first, then the diagonal run).
     pub fn flush(&mut self, emit: &mut impl FnMut(&FusedOp, bool)) {
         if let Some(dense) = self.dense.take() {
@@ -609,10 +651,10 @@ impl Fuser {
     }
 }
 
-/// Apply one fused operation to a state, charging one amplitude pass.
-/// Pristine ops (never folded) dispatch through their original specialised
-/// kernel for bit-identity with unfused execution.
-pub fn apply_fused_op(sv: &mut StateVector, op: &FusedOp, ops: &mut OpCounts) {
+/// Apply one fused operation to any [`QuantumState`] backend, charging one
+/// amplitude pass. Pristine ops (never folded) dispatch through the
+/// backend's full gate path for bit-identity with unfused execution.
+pub fn apply_fused_op<S: QuantumState + ?Sized>(sv: &mut S, op: &FusedOp, ops: &mut OpCounts) {
     ops.amp_passes += 1;
     apply_fused_op_raw(sv, op);
 }
@@ -621,19 +663,18 @@ pub fn apply_fused_op(sv: &mut StateVector, op: &FusedOp, ops: &mut OpCounts) {
 /// sinks charge `amp_passes` themselves so that noise-only sweeps (fired
 /// Kraus branches, accounted under `noise_ops` like the unfused path)
 /// don't inflate the gate-pass metric.
-fn apply_fused_op_raw(sv: &mut StateVector, op: &FusedOp) {
-    let amps = sv.amplitudes_mut();
+fn apply_fused_op_raw<S: QuantumState + ?Sized>(sv: &mut S, op: &FusedOp) {
     match op {
         FusedOp::Unitary1 { q, m, src } => match src {
-            Some(gate) => kernels::apply_gate_amps(amps, gate),
-            None => kernels::apply_mat2(amps, *q as usize, m),
+            Some(gate) => sv.apply_gate(gate),
+            None => sv.apply_mat2(*q, m),
         },
         FusedOp::Unitary2 { q_hi, q_lo, m, src } => match src {
-            Some(gate) => kernels::apply_gate_amps(amps, gate),
-            None => kernels::apply_mat4(amps, *q_hi as usize, *q_lo as usize, m),
+            Some(gate) => sv.apply_gate(gate),
+            None => sv.apply_mat4(*q_hi, *q_lo, m),
         },
-        FusedOp::FusedDiag(run) => run.apply(amps),
-        FusedOp::Passthrough(gate) => kernels::apply_gate_amps(amps, gate),
+        FusedOp::FusedDiag(run) => sv.apply_diag_run(run),
+        FusedOp::Passthrough(gate) => sv.apply_gate(gate),
     }
 }
 
@@ -663,18 +704,19 @@ pub struct CompiledCircuit {
 }
 
 /// Mutable view handed to the noise hook at a [`PlanOp::Noise`] marker; the
-/// entry point of the **noise-adaptive flush**.
-pub struct FlushCtx<'a> {
-    sv: &'a mut StateVector,
+/// entry point of the **noise-adaptive flush**. Generic over the replay
+/// backend: the same hook drives single-node and distributed states.
+pub struct FlushCtx<'a, S: QuantumState + ?Sized> {
+    sv: &'a mut S,
     fuser: &'a mut Fuser,
     ops: &'a mut OpCounts,
 }
 
-impl FlushCtx<'_> {
+impl<S: QuantumState + ?Sized> FlushCtx<'_, S> {
     /// Materialise all pending fused operations and return the now-current
     /// state. Idempotent; required before any state-dependent branch
     /// sampling (damping-style channels) or direct Kraus application.
-    pub fn flush(&mut self) -> &mut StateVector {
+    pub fn flush(&mut self) -> &mut S {
         let sv = &mut *self.sv;
         let ops = &mut *self.ops;
         self.fuser.flush(&mut apply_sink(sv, ops));
@@ -699,8 +741,8 @@ impl FlushCtx<'_> {
 
 /// The standard replay emit sink: apply the op and charge one amplitude
 /// pass unless the sweep is purely fired-noise work.
-fn apply_sink<'s>(
-    sv: &'s mut StateVector,
+fn apply_sink<'s, S: QuantumState + ?Sized>(
+    sv: &'s mut S,
     ops: &'s mut OpCounts,
 ) -> impl FnMut(&FusedOp, bool) + 's {
     move |op, noise_only| {
@@ -773,20 +815,28 @@ impl CompiledCircuit {
             .count()
     }
 
-    /// Replay the plan onto `sv`, invoking `on_noise` at every noise marker
-    /// with the source gate and a [`FlushCtx`]; the hook returns the number
-    /// of noise-operator applications it performed (accounted under
-    /// [`OpCounts::noise_ops`]). Gate tallies are charged from the compiled
-    /// source counts, identically to unfused execution; `amp_passes` and
-    /// `fused_gates` record what the fused sweep actually did. Pending ops
-    /// are fully materialised before returning.
+    /// Replay the plan onto any [`QuantumState`] backend `sv`, invoking
+    /// `on_noise` at every noise marker with the source gate and a
+    /// [`FlushCtx`]; the hook returns the number of noise-operator
+    /// applications it performed (accounted under [`OpCounts::noise_ops`]).
+    /// Gate tallies are charged from the compiled source counts,
+    /// identically to unfused execution; `amp_passes` and `fused_gates`
+    /// record what the fused sweep actually did. Pending ops are fully
+    /// materialised before returning.
+    ///
+    /// The replay path is **backend-generic**: the single-node
+    /// [`crate::StateVector`] and `tqsim-cluster`'s distributed state drive
+    /// this same code, and because the dynamic [`Fuser`] is state-agnostic
+    /// the emitted sweep sequence — and therefore `amp_passes` — is
+    /// identical on every backend.
     ///
     /// # Panics
     ///
     /// Panics if `sv` is narrower than the compiled circuit.
-    pub fn replay<F>(&self, sv: &mut StateVector, ops: &mut OpCounts, mut on_noise: F)
+    pub fn replay<S, F>(&self, sv: &mut S, ops: &mut OpCounts, mut on_noise: F)
     where
-        F: FnMut(&Gate, &mut FlushCtx<'_>) -> u64,
+        S: QuantumState + ?Sized,
+        F: FnMut(&Gate, &mut FlushCtx<'_, S>) -> u64,
     {
         assert!(
             self.n_qubits <= sv.n_qubits(),
@@ -830,14 +880,44 @@ impl CompiledCircuit {
     }
 
     /// Replay with no noise hook (ideal-model plans, or tests).
-    pub fn replay_ideal(&self, sv: &mut StateVector, ops: &mut OpCounts) {
+    pub fn replay_ideal<S: QuantumState + ?Sized>(&self, sv: &mut S, ops: &mut OpCounts) {
         self.replay(sv, ops, |_, _| 0);
+    }
+
+    /// Estimated amplitude passes of one replay assuming every noise marker
+    /// samples the identity branch — the overwhelming case at realistic
+    /// error rates, and exact for ideal-model plans. Computed by streaming
+    /// the plan through a fresh dynamic [`Fuser`] (markers skipped) and
+    /// counting emitted sweeps, so it reflects the noise-adaptive flush's
+    /// re-fusion across markers. O(plan length), no state touched.
+    ///
+    /// This is the cost DCP's plan-aware mode charges a candidate
+    /// subcircuit instead of its source gate count.
+    pub fn amp_pass_estimate(&self) -> u64 {
+        let mut fuser = Fuser::new();
+        let mut passes = 0u64;
+        for op in &self.plan {
+            if let PlanOp::Gate(fop) = op {
+                fuser.push(fop, &mut |_, noise_only| {
+                    if !noise_only {
+                        passes += 1;
+                    }
+                });
+            }
+        }
+        fuser.flush(&mut |_, noise_only| {
+            if !noise_only {
+                passes += 1;
+            }
+        });
+        passes
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::StateVector;
     use tqsim_circuit::c64;
 
     fn apply_both(c: &Circuit) -> (StateVector, StateVector, OpCounts) {
@@ -1046,6 +1126,72 @@ mod tests {
             ops.amp_passes,
             ops.total_gates()
         );
+    }
+
+    #[test]
+    fn amp_pass_estimate_refuses_across_markers() {
+        let mut c = Circuit::new(1);
+        c.t(0).t(0).t(0).t(0);
+        let marked = CompiledCircuit::compile(&c, |_| true);
+        // Markers block static fusion (4 plan gates) but the estimate
+        // re-fuses across them, matching an all-identity replay.
+        assert_eq!(marked.amp_pass_estimate(), 1);
+        let mut sv = StateVector::zero(1);
+        let mut ops = OpCounts::new();
+        marked.replay(&mut sv, &mut ops, |_, _| 0);
+        assert_eq!(ops.amp_passes, marked.amp_pass_estimate());
+    }
+
+    #[test]
+    fn amp_pass_estimate_matches_ideal_replay() {
+        let n = 6u16;
+        let mut c = Circuit::new(n);
+        for i in 0..n {
+            c.h(i);
+            for j in (i + 1)..n {
+                c.cp(0.3, j, i);
+            }
+        }
+        let compiled = CompiledCircuit::compile(&c, |_| false);
+        let mut sv = StateVector::zero(n);
+        let mut ops = OpCounts::new();
+        compiled.replay_ideal(&mut sv, &mut ops);
+        assert_eq!(compiled.amp_pass_estimate(), ops.amp_passes);
+    }
+
+    #[test]
+    fn apply_offset_matches_full_array_sweep() {
+        // A run touching low (slice-local) and high (slice-selecting)
+        // qubits applied per half-slice with offsets must equal the
+        // full-array application bit for bit.
+        let mut run = DiagRun::new();
+        run.push1(0, [c64(1.0, 0.0), c64(0.0, 1.0)]);
+        run.push1(2, [c64(0.5, 0.0), c64(1.0, 0.0)]);
+        run.push2(2, 1, [c64(1.0, 0.0); 4]);
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2).t(0).cx(0, 2);
+        let mut sv = StateVector::zero(3);
+        sv.apply_circuit(&c);
+        let mut full = sv.amplitudes().to_vec();
+        let mut sliced = full.clone();
+        run.apply(&mut full);
+        let half = sliced.len() / 2;
+        let (lo, hi) = sliced.split_at_mut(half);
+        run.apply_offset(lo, 0);
+        run.apply_offset(hi, half);
+        assert_eq!(full, sliced, "offset slices must match the full sweep");
+        // Single-term runs exercise the constant-scale arm.
+        let mut hi_only = DiagRun::new();
+        hi_only.push1(2, [c64(0.25, 0.0), c64(0.0, -1.0)]);
+        let mut full2 = sv.amplitudes().to_vec();
+        let mut sliced2 = full2.clone();
+        hi_only.apply(&mut full2);
+        let (lo2, hi2) = sliced2.split_at_mut(half);
+        hi_only.apply_offset(lo2, 0);
+        hi_only.apply_offset(hi2, half);
+        for (a, b) in full2.iter().zip(&sliced2) {
+            assert!((a - b).norm() < 1e-15);
+        }
     }
 
     #[test]

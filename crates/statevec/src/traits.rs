@@ -1,12 +1,30 @@
 //! The [`QuantumState`] abstraction implemented by every state engine
 //! (single-node [`crate::StateVector`], the distributed engine in
-//! `tqsim-cluster`), so the noise machinery works on all of them.
+//! `tqsim-cluster`), so the noise machinery **and the compiled-plan replay
+//! path** work on all of them.
+//!
+//! The trait covers three surfaces:
+//!
+//! 1. **Gate application** — [`QuantumState::apply_gate`] plus the fused-op
+//!    surface ([`QuantumState::apply_mat2`]/[`QuantumState::apply_mat4`]/
+//!    [`QuantumState::apply_diag_run`]) that
+//!    [`crate::plan::CompiledCircuit::replay`] drives;
+//! 2. **Trajectory noise** — marginals, (anti-)diagonal Kraus branches and
+//!    renormalisation;
+//! 3. **Measurement** — CDF sampling, batched
+//!    ([`QuantumState::sample_many`]) and single-draw.
+//!
+//! Implementations must keep the *arithmetic* of each operation identical
+//! to [`crate::StateVector`]'s kernels (same per-amplitude multiplication
+//! order): the executors rely on replaying one plan on different backends
+//! producing bit-identical `Counts` for the same RNG stream.
 
-use tqsim_circuit::math::C64;
+use crate::plan::DiagRun;
+use tqsim_circuit::math::{Mat2, Mat4, C64};
 use tqsim_circuit::Gate;
 
-/// Operations a pure-state engine must expose for gate application and
-/// Monte-Carlo trajectory noise.
+/// Operations a pure-state engine must expose for gate application,
+/// compiled-plan replay, Monte-Carlo trajectory noise and sampling.
 pub trait QuantumState {
     /// Register width.
     fn n_qubits(&self) -> u16;
@@ -19,6 +37,19 @@ pub trait QuantumState {
     /// register.
     fn apply_gate(&mut self, gate: &Gate);
 
+    /// Apply a dense (possibly product-of-many) single-qubit unitary on `q`
+    /// — the fused `Mat2` surface of plan replay.
+    fn apply_mat2(&mut self, q: u16, m: &Mat2);
+
+    /// Apply a dense two-qubit unitary; `q_hi` indexes the more significant
+    /// matrix bit — the fused `Mat4` surface of plan replay.
+    fn apply_mat4(&mut self, q_hi: u16, q_lo: u16, m: &Mat4);
+
+    /// Apply a coalesced diagonal run in one sweep. Diagonals never move
+    /// amplitudes, so distributed implementations can run this node-local
+    /// even when the run touches globally-sliced qubits.
+    fn apply_diag_run(&mut self, run: &DiagRun);
+
     /// Marginal probability that qubit `q` reads 1.
     fn marginal_one(&self, q: u16) -> f64;
 
@@ -30,8 +61,23 @@ pub trait QuantumState {
     /// `[[0, a01], [a10, 0]]` on `q`.
     fn apply_antidiag1(&mut self, q: u16, a01: C64, a10: C64);
 
+    /// Squared 2-norm `⟨ψ|ψ⟩`.
+    fn norm_sqr(&self) -> f64;
+
     /// Rescale to unit norm (after a non-unitary Kraus branch).
     fn renormalize(&mut self);
+
+    /// Sample one measurement outcome given a uniform draw `u ∈ [0, 1)` by
+    /// walking the cumulative distribution in global index order.
+    fn sample_with(&self, u: f64) -> u64;
+
+    /// Sample one outcome per uniform draw in `us`; `out[i]` must be
+    /// exactly what `sample_with(us[i])` returns. The default walks the
+    /// CDF once per draw; backends override with a batched sorted-CDF walk
+    /// (see [`crate::StateVector::sample_many`]).
+    fn sample_many(&self, us: &[f64]) -> Vec<u64> {
+        us.iter().map(|&u| self.sample_with(u)).collect()
+    }
 }
 
 impl QuantumState for crate::StateVector {
@@ -41,6 +87,18 @@ impl QuantumState for crate::StateVector {
 
     fn apply_gate(&mut self, gate: &Gate) {
         crate::StateVector::apply_gate(self, gate);
+    }
+
+    fn apply_mat2(&mut self, q: u16, m: &Mat2) {
+        crate::kernels::apply_mat2(self.amplitudes_mut(), q as usize, m);
+    }
+
+    fn apply_mat4(&mut self, q_hi: u16, q_lo: u16, m: &Mat4) {
+        crate::kernels::apply_mat4(self.amplitudes_mut(), q_hi as usize, q_lo as usize, m);
+    }
+
+    fn apply_diag_run(&mut self, run: &DiagRun) {
+        run.apply(self.amplitudes_mut());
     }
 
     fn marginal_one(&self, q: u16) -> f64 {
@@ -55,8 +113,20 @@ impl QuantumState for crate::StateVector {
         crate::StateVector::apply_antidiag1(self, q, a01, a10);
     }
 
+    fn norm_sqr(&self) -> f64 {
+        crate::StateVector::norm_sqr(self)
+    }
+
     fn renormalize(&mut self) {
         crate::StateVector::renormalize(self);
+    }
+
+    fn sample_with(&self, u: f64) -> u64 {
+        crate::StateVector::sample_with(self, u)
+    }
+
+    fn sample_many(&self, us: &[f64]) -> Vec<u64> {
+        crate::StateVector::sample_many(self, us)
     }
 }
 
@@ -76,5 +146,67 @@ mod tests {
         let mut sv = StateVector::zero(2);
         let m = exercise(&mut sv);
         assert!((m - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trait_fused_surface_matches_inherent_kernels() {
+        let mut c = tqsim_circuit::Circuit::new(3);
+        c.h(0).cx(0, 1).t(2);
+        let mut a = StateVector::zero(3);
+        a.apply_circuit(&c);
+        let mut b = a.clone();
+        let m2 = GateKind::H.matrix1().unwrap();
+        let m4 = GateKind::Cx.matrix2().unwrap();
+        QuantumState::apply_mat2(&mut a, 2, &m2);
+        crate::kernels::apply_mat2(b.amplitudes_mut(), 2, &m2);
+        QuantumState::apply_mat4(&mut a, 0, 2, &m4);
+        crate::kernels::apply_mat4(b.amplitudes_mut(), 0, 2, &m4);
+        assert_eq!(a.amplitudes(), b.amplitudes());
+    }
+
+    #[test]
+    fn default_sample_many_matches_sample_with() {
+        // A throwaway impl relying on the provided default.
+        struct Wrap(StateVector);
+        impl QuantumState for Wrap {
+            fn n_qubits(&self) -> u16 {
+                self.0.n_qubits()
+            }
+            fn apply_gate(&mut self, gate: &Gate) {
+                self.0.apply_gate(gate);
+            }
+            fn apply_mat2(&mut self, q: u16, m: &Mat2) {
+                QuantumState::apply_mat2(&mut self.0, q, m);
+            }
+            fn apply_mat4(&mut self, q_hi: u16, q_lo: u16, m: &Mat4) {
+                QuantumState::apply_mat4(&mut self.0, q_hi, q_lo, m);
+            }
+            fn apply_diag_run(&mut self, run: &DiagRun) {
+                QuantumState::apply_diag_run(&mut self.0, run);
+            }
+            fn marginal_one(&self, q: u16) -> f64 {
+                self.0.marginal_one(q)
+            }
+            fn apply_diag1(&mut self, q: u16, d0: C64, d1: C64) {
+                self.0.apply_diag1(q, d0, d1);
+            }
+            fn apply_antidiag1(&mut self, q: u16, a01: C64, a10: C64) {
+                self.0.apply_antidiag1(q, a01, a10);
+            }
+            fn norm_sqr(&self) -> f64 {
+                self.0.norm_sqr()
+            }
+            fn renormalize(&mut self) {
+                self.0.renormalize();
+            }
+            fn sample_with(&self, u: f64) -> u64 {
+                self.0.sample_with(u)
+            }
+        }
+        let mut w = Wrap(StateVector::zero(3));
+        w.apply_gate(&Gate::new(GateKind::H, &[0]));
+        w.apply_gate(&Gate::new(GateKind::H, &[2]));
+        let us = [0.9, 0.1, 0.4, 0.7];
+        assert_eq!(w.sample_many(&us), w.0.sample_many(&us));
     }
 }

@@ -1,0 +1,144 @@
+//! Cross-backend property tests of the generic plan-replay path: fused
+//! replay on the distributed `DistributedStateVector` (2/4/8 nodes) must
+//! yield `Counts` **bit-identical** to serial single-node `StateVector`
+//! replay for the same seed — ideal and sycamore noise, single and
+//! oversampled leaves — because both backends drive the one shared generic
+//! driver (`tqsim::run_subcircuit`) and consume the RNG stream identically.
+
+use proptest::prelude::*;
+use tqsim::{ExecOptions, Strategy as PlanStrategy, TreeExecutor};
+use tqsim_circuit::{Circuit, Gate, GateKind};
+use tqsim_cluster::{run_distributed_with_options, InterconnectModel};
+use tqsim_noise::NoiseModel;
+
+/// Random gates over 7 qubits — wide enough that 8-node slicing (3 global
+/// qubits) exercises the remap fallback alongside node-local fused kernels.
+fn arb_gate(n: u16) -> impl Strategy<Value = Gate> {
+    let q = 0..n;
+    let angle = -6.3f64..6.3;
+    prop_oneof![
+        (q.clone(), 0usize..10).prop_map(move |(q, k)| {
+            let kind = [
+                GateKind::X,
+                GateKind::Y,
+                GateKind::Z,
+                GateKind::H,
+                GateKind::S,
+                GateKind::T,
+                GateKind::Tdg,
+                GateKind::Sx,
+                GateKind::Sw,
+                GateKind::Id,
+            ][k];
+            Gate::new(kind, &[q])
+        }),
+        (q.clone(), angle.clone(), 0usize..4).prop_map(move |(q, t, k)| {
+            let kind = [
+                GateKind::Rx(t),
+                GateKind::Rz(t),
+                GateKind::Phase(t),
+                GateKind::Ry(t),
+            ][k];
+            Gate::new(kind, &[q])
+        }),
+        (q.clone(), q.clone(), angle, 0usize..6).prop_filter_map(
+            "distinct qubits",
+            move |(a, b, t, k)| {
+                if a == b {
+                    return None;
+                }
+                let kind = [
+                    GateKind::Cx,
+                    GateKind::Cz,
+                    GateKind::CPhase(t),
+                    GateKind::Swap,
+                    GateKind::Rzz(t),
+                    GateKind::FSim(t, t / 2.0),
+                ][k];
+                Some(Gate::new(kind, &[a, b]))
+            }
+        ),
+        (q.clone(), q.clone(), q).prop_filter_map("distinct qubits", move |(a, b, c)| {
+            if a == b || b == c || a == c {
+                return None;
+            }
+            Some(Gate::new(GateKind::Ccx, &[a, b, c]))
+        }),
+    ]
+}
+
+fn arb_circuit(n: u16, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_gate(n), 2..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(*g.kind(), g.qubits());
+        }
+        c
+    })
+}
+
+fn noise_for(idx: usize) -> NoiseModel {
+    if idx == 0 {
+        NoiseModel::ideal()
+    } else {
+        NoiseModel::sycamore()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn distributed_fused_replay_is_bit_identical_to_serial(
+        circuit in arb_circuit(7, 24),
+        noise_idx in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let noise = noise_for(noise_idx);
+        let partition = PlanStrategy::Custom { arities: vec![3, 2] }
+            .plan(&circuit, &noise, 6)
+            .unwrap();
+        let serial = TreeExecutor::new(&circuit, &noise, partition.clone())
+            .unwrap()
+            .run_with_options(seed, ExecOptions::default());
+        let model = InterconnectModel::commodity_cluster();
+        for nodes in [2usize, 4, 8] {
+            let dist = run_distributed_with_options(
+                &circuit, &noise, &partition, nodes, model, seed,
+                ExecOptions::default(),
+            )
+            .unwrap();
+            prop_assert_eq!(&dist.counts, &serial.counts, "{} nodes", nodes);
+            // One state-agnostic fuser → identical sweep accounting.
+            prop_assert_eq!(dist.ops.amp_passes, serial.ops.amp_passes);
+            prop_assert_eq!(dist.ops.noise_ops, serial.ops.noise_ops);
+            prop_assert_eq!(dist.ops.total_gates(), serial.ops.total_gates());
+            prop_assert_eq!(dist.ops.samples, serial.ops.samples);
+        }
+    }
+
+    #[test]
+    fn oversampled_distributed_leaves_stay_deterministic(
+        circuit in arb_circuit(7, 18),
+        seed in 0u64..1000,
+        leaf_samples in 2u32..5,
+    ) {
+        // `DistributedStateVector::sample_many` must consume the uniforms
+        // draw-for-draw like `StateVector::sample_many`.
+        let noise = NoiseModel::sycamore();
+        let partition = PlanStrategy::Custom { arities: vec![3, 2] }
+            .plan(&circuit, &noise, 6)
+            .unwrap();
+        let options = ExecOptions { leaf_samples, ..ExecOptions::default() };
+        let serial = TreeExecutor::new(&circuit, &noise, partition.clone())
+            .unwrap()
+            .run_with_options(seed, options);
+        let model = InterconnectModel::commodity_cluster();
+        let dist = run_distributed_with_options(
+            &circuit, &noise, &partition, 4, model, seed, options,
+        )
+        .unwrap();
+        prop_assert_eq!(&dist.counts, &serial.counts);
+        prop_assert_eq!(dist.ops.samples, serial.ops.samples);
+    }
+}
