@@ -1,0 +1,191 @@
+//! Service-throughput bench: a repeated-circuit multi-client workload
+//! driven through `tqsim-service` at job concurrency 1 vs 4.
+//!
+//! Reports jobs/sec at each concurrency (wall-clock — separates only on
+//! multi-core hosts; the 1-CPU CI container shows parity), the
+//! cross-request plan-cache hit rate (host-independent), and a
+//! determinism check: every job's histogram at concurrency 4 must be
+//! bit-identical to its concurrency-1 run.
+//!
+//! Writes `BENCH_service.json` (override with `TQSIM_BENCH_JSON`) and
+//! asserts a ≥ 0.9 cache hit rate on the repeated-circuit workload — the
+//! service-layer acceptance criterion.
+
+use std::sync::Arc;
+use std::time::Instant;
+use tqsim::{Counts, Strategy};
+use tqsim_bench::{banner, Scale, Table};
+use tqsim_circuit::{generators, Circuit};
+use tqsim_service::{JobRequest, Service, ServiceConfig, Ticket};
+
+struct ConcurrencyRow {
+    concurrency: usize,
+    jobs: usize,
+    wall_secs: f64,
+    jobs_per_sec: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    hit_rate: f64,
+    running_high_water: usize,
+}
+
+/// The repeated-circuit workload: `jobs_per_circuit` seeded jobs over each
+/// distinct circuit, submitted by 3 round-robin clients, all in flight
+/// before anyone waits.
+fn drive(
+    concurrency: usize,
+    parallelism: usize,
+    circuits: &[Arc<Circuit>],
+    jobs_per_circuit: usize,
+    shots: u64,
+) -> (ConcurrencyRow, Vec<Counts>) {
+    let service = Service::start(
+        ServiceConfig::default()
+            .parallelism(parallelism)
+            .max_concurrent_jobs(concurrency)
+            .queue_capacity(circuits.len() * jobs_per_circuit + 1),
+    );
+    let t0 = Instant::now();
+    let mut tickets: Vec<Ticket> = Vec::new();
+    for rep in 0..jobs_per_circuit {
+        for (ci, circuit) in circuits.iter().enumerate() {
+            let client = format!("client-{}", (rep + ci) % 3);
+            let ticket = service
+                .submit(
+                    &client,
+                    JobRequest::new(Arc::clone(circuit))
+                        .shots(shots)
+                        .strategy(Strategy::Custom {
+                            arities: vec![8, 4],
+                        })
+                        .seed((rep * circuits.len() + ci) as u64),
+                )
+                .expect("workload sized within queue capacity");
+            tickets.push(ticket);
+        }
+    }
+    let histograms: Vec<Counts> = tickets
+        .iter()
+        .map(|t| t.wait().expect("job completes").counts)
+        .collect();
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = service.stats();
+    service.shutdown();
+    let jobs = tickets.len();
+    (
+        ConcurrencyRow {
+            concurrency,
+            jobs,
+            wall_secs: wall,
+            jobs_per_sec: jobs as f64 / wall.max(1e-9),
+            cache_hits: stats.cache.hits,
+            cache_misses: stats.cache.misses,
+            hit_rate: stats.cache.hits as f64
+                / (stats.cache.hits + stats.cache.misses).max(1) as f64,
+            running_high_water: stats.running_high_water,
+        },
+        histograms,
+    )
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "service",
+        "multi-client service throughput + cross-request plan-cache reuse",
+        &scale,
+    );
+
+    let n: u16 = if scale.full { 12 } else { 10 };
+    let jobs_per_circuit = if scale.full { 20 } else { 10 };
+    let shots = 32u64;
+    let circuits: Vec<Arc<Circuit>> =
+        vec![Arc::new(generators::qft(n)), Arc::new(generators::bv(n))];
+
+    let mut rows = Vec::new();
+    let mut reference: Option<Vec<Counts>> = None;
+    let mut identical = true;
+    for concurrency in [1usize, 4] {
+        let (row, histograms) = drive(concurrency, 2, &circuits, jobs_per_circuit, shots);
+        match &reference {
+            None => reference = Some(histograms),
+            Some(expected) => identical = expected == &histograms,
+        }
+        rows.push(row);
+    }
+
+    let mut table = Table::new(&[
+        "concurrency",
+        "jobs",
+        "wall",
+        "jobs/sec",
+        "cache hits",
+        "cache misses",
+        "hit rate",
+        "overlap high-water",
+    ]);
+    for r in &rows {
+        table.row(&[
+            r.concurrency.to_string(),
+            r.jobs.to_string(),
+            tqsim_bench::fmt_secs(r.wall_secs),
+            format!("{:.1}", r.jobs_per_sec),
+            r.cache_hits.to_string(),
+            r.cache_misses.to_string(),
+            format!("{:.3}", r.hit_rate),
+            r.running_high_water.to_string(),
+        ]);
+    }
+    table.print();
+    println!("histograms identical across concurrency: {identical}");
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let mut json = String::from("{\n  \"bench\": \"service\",\n");
+    json.push_str(&format!(
+        "  \"qubits\": {n},\n  \"distinct_circuits\": {},\n  \"shots\": {shots},\n  \
+         \"counts_identical_across_concurrency\": {identical},\n  \"rows\": [\n",
+        circuits.len()
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"concurrency\": {}, \"jobs\": {}, \"wall_secs\": {:.6}, \
+             \"jobs_per_sec\": {:.2}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"cache_hit_rate\": {:.4}, \"running_high_water\": {}}}{}\n",
+            r.concurrency,
+            r.jobs,
+            r.wall_secs,
+            r.jobs_per_sec,
+            r.cache_hits,
+            r.cache_misses,
+            r.hit_rate,
+            r.running_high_water,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path =
+        std::env::var("TQSIM_BENCH_JSON").unwrap_or_else(|_| "BENCH_service.json".to_string());
+    std::fs::write(&path, &json).expect("write bench artifact");
+    println!("\nwrote {path}");
+
+    // Acceptance: the repeated-circuit workload must be cache-served.
+    for r in &rows {
+        assert!(
+            r.hit_rate >= 0.9,
+            "acceptance: cache hit rate {:.3} < 0.9 at concurrency {}",
+            r.hit_rate,
+            r.concurrency
+        );
+        assert_eq!(
+            r.cache_misses, 2,
+            "exactly one compile per distinct circuit"
+        );
+    }
+    assert!(
+        identical,
+        "acceptance: per-job histograms must not depend on service concurrency"
+    );
+    println!(
+        "acceptance: hit rate ≥ 0.9 at both concurrencies, histograms concurrency-invariant ✓"
+    );
+}

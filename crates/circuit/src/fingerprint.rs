@@ -1,0 +1,109 @@
+//! Stable content fingerprinting for circuits.
+//!
+//! [`Circuit::fingerprint`](crate::Circuit::fingerprint) keys cross-request
+//! plan caches: two structurally equal circuits (same width, same gates in
+//! the same order, same parameters, same qubit placements) must hash to the
+//! same value in every process, on every platform, across program runs.
+//! `std::collections::hash_map::DefaultHasher` guarantees none of that, so
+//! the hash is a hand-rolled **FNV-1a (64-bit)** over a canonical byte
+//! encoding — the same construction the `proptest` shim uses for seed
+//! derivation.
+//!
+//! The fingerprint is *content* equality, not *semantic* equality: `h(0);
+//! h(0)` and the empty circuit are semantically identical but fingerprint
+//! differently, which is exactly right for a compilation cache (the compiled
+//! plans differ too).
+
+/// Incremental 64-bit FNV-1a hasher over canonical little-endian encodings.
+///
+/// ```
+/// use tqsim_circuit::fingerprint::Fnv64;
+/// let mut a = Fnv64::new();
+/// a.write_u64(7);
+/// let mut b = Fnv64::new();
+/// b.write_u64(7);
+/// assert_eq!(a.finish(), b.finish());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Absorb raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorb a `u16` (little-endian).
+    pub fn write_u16(&mut self, v: u16) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorb an `f64` by its IEEE-754 bit pattern — exact, no rounding;
+    /// `-0.0` and `0.0` intentionally hash differently (they are different
+    /// gate parameters even though numerically equal).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The digest so far (the hasher may keep absorbing afterwards).
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c — pins the constants.
+        let mut h = Fnv64::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        let mut ab = Fnv64::new();
+        ab.write_u64(1);
+        ab.write_u64(2);
+        let mut ba = Fnv64::new();
+        ba.write_u64(2);
+        ba.write_u64(1);
+        assert_ne!(ab.finish(), ba.finish());
+    }
+
+    #[test]
+    fn f64_bit_exactness() {
+        let mut a = Fnv64::new();
+        a.write_f64(0.0);
+        let mut b = Fnv64::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish(), "signed zeros are distinct params");
+    }
+}

@@ -281,6 +281,23 @@ impl GateKind {
     }
 }
 
+impl GateKind {
+    /// The gate's continuous parameters in declaration order (empty for
+    /// fixed gates; matrix kinds flatten row-major, real then imaginary
+    /// per entry). Consumed by [`Gate::fingerprint_into`] and wire codecs.
+    pub fn params(&self) -> Vec<f64> {
+        use GateKind::*;
+        match *self {
+            Rx(t) | Ry(t) | Rz(t) | Phase(t) | CPhase(t) | Rzz(t) => vec![t],
+            U3(a, b, c) => vec![a, b, c],
+            FSim(a, b) => vec![a, b],
+            Unitary1(m) => m.0.iter().flatten().flat_map(|c| [c.re, c.im]).collect(),
+            Unitary2(m) => m.0.iter().flatten().flat_map(|c| [c.re, c.im]).collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
 impl fmt::Display for GateKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         use GateKind::*;
@@ -358,6 +375,26 @@ impl Gate {
     /// Largest qubit index touched.
     pub fn max_qubit(&self) -> u16 {
         *self.qubits().iter().max().expect("arity >= 1")
+    }
+
+    /// Absorb this gate's canonical encoding into `hasher`: the kind
+    /// mnemonic (unique per [`GateKind`]), every continuous parameter as
+    /// IEEE-754 bits, then the qubit placements in slot order. Two gates
+    /// feed identical bytes iff they compare equal.
+    pub fn fingerprint_into(&self, hasher: &mut crate::fingerprint::Fnv64) {
+        // The mnemonic is length-prefixed so distinct kind sequences can
+        // never collide by concatenation ("s","x" vs "sx").
+        let name = self.kind.name();
+        hasher.write_u64(name.len() as u64);
+        hasher.write_bytes(name.as_bytes());
+        let params = self.kind.params();
+        hasher.write_u64(params.len() as u64);
+        for p in params {
+            hasher.write_f64(p);
+        }
+        for &q in self.qubits() {
+            hasher.write_u16(q);
+        }
     }
 }
 

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod circuit;
+pub mod fingerprint;
 pub mod gate;
 pub mod generators;
 pub mod graph;

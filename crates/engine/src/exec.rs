@@ -1,4 +1,4 @@
-//! Parallel execution of one simulation tree on a [`WorkerPool`].
+//! Parallel execution of simulation trees on a [`WorkerPool`].
 //!
 //! The serial [`tqsim::TreeExecutor`] walks the tree depth-first with one
 //! RNG threaded through the whole walk, which is inherently sequential.
@@ -16,6 +16,15 @@
 //!    accumulators which are merged once the tree drains; histogram and
 //!    op-count addition commute, so scheduling cannot change the result.
 //!
+//! Since the service front-end landed, the executor is **multi-tenant**:
+//! several jobs can be in flight on one pool at once. Each job tracks its
+//! own outstanding-task count ([`TreeShared::remaining`]) and fires a
+//! completion callback from whichever worker retires its last node, so
+//! nobody has to wait for the whole pool to go idle — concurrent jobs'
+//! tasks interleave freely in the work-stealing deques. Determinism is
+//! unaffected: a node's RNG stream depends only on its own job's seed and
+//! its tree path, never on what else shares the pool.
+//!
 //! State buffers come from the executing worker's [`StatePool`], so after
 //! warm-up a tree of thousands of nodes performs **zero state-buffer heap
 //! allocations** (each node overwrites a recycled buffer via `copy_from`;
@@ -29,34 +38,94 @@
 //! [`StatePool`]: tqsim_statevec::StatePool
 
 use crate::pool::{WorkerCtx, WorkerPool};
+use crate::{ChunkSink, JobPlan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
-use tqsim::{Counts, Partition, RunResult};
+use tqsim::{Counts, RunResult, TreeStructure};
 use tqsim_circuit::Circuit;
 use tqsim_noise::NoiseModel;
-use tqsim_statevec::{CompiledCircuit, OpCounts, PooledState};
+use tqsim_statevec::{CompiledCircuit, OpCounts, PoolCounters, PooledState};
 
-/// Everything a node task needs, shared immutably across the whole tree.
+/// Completion callback: invoked exactly once, from whichever worker retires
+/// the job's last node, with the fully merged result.
+pub(crate) type DoneFn = Box<dyn FnOnce(RunResult) + Send>;
+
+/// Everything a node task needs, shared immutably across one job's tree.
 struct TreeShared {
     n_qubits: u16,
     subcircuits: Arc<Vec<Circuit>>,
-    /// Per-subcircuit fused plans — compiled **once** per distinct batch
-    /// plan and replayed by every node (shared across jobs by the batch's
-    /// plan dedup).
+    /// Per-subcircuit fused plans — compiled **once** per distinct plan and
+    /// replayed by every node (shared across jobs by plan dedup and the
+    /// service's cross-request plan cache).
     plans: Arc<Vec<CompiledCircuit>>,
     arities: Vec<u64>,
+    tree: TreeStructure,
     noise: NoiseModel,
     seed: u64,
     leaf_samples: u32,
     fusion: bool,
     accums: Vec<Mutex<Accum>>,
+    /// Outstanding tasks of **this job** (not the pool): seeded with the
+    /// root count; interior nodes add their children *before* spawning
+    /// them; every node decrements once on retirement (a drop guard, so a
+    /// panicking node still counts down and abandons only its own
+    /// subtree). Zero ⇒ the job is complete.
+    remaining: AtomicU64,
+    /// Taken by the retiring node; `None` afterwards.
+    done: Mutex<Option<DoneFn>>,
+    /// Optional streaming sink: each leaf's outcomes are delivered as soon
+    /// as the leaf batch is drawn, long before the job completes.
+    sink: Option<ChunkSink>,
+    counters: Arc<PoolCounters>,
+    t0: Instant,
 }
 
 struct Accum {
     counts: Counts,
     ops: OpCounts,
+}
+
+/// Decrements the job's outstanding-task count when the node retires (or
+/// unwinds), firing the completion callback on the last one.
+struct NodeGuard {
+    shared: Arc<TreeShared>,
+}
+
+impl Drop for NodeGuard {
+    fn drop(&mut self) {
+        if self.shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            finish_job(&self.shared);
+        }
+    }
+}
+
+/// Merge the per-worker accumulators into the final [`RunResult`] and hand
+/// it to the job's completion callback.
+fn finish_job(shared: &TreeShared) {
+    let done = shared.done.lock().expect("done slot").take();
+    let Some(done) = done else { return };
+    let mut counts = Counts::new(shared.n_qubits);
+    let mut ops = OpCounts::new();
+    // Mirrors the serial executor: the initial |0…0⟩ materialisation is
+    // charged once per run.
+    ops.state_resets += 1;
+    for slot in &shared.accums {
+        let accum = slot.lock().expect("accumulator lock");
+        counts.merge(&accum.counts);
+        ops.merge(&accum.ops);
+    }
+    let stats = shared.counters.stats();
+    done(RunResult {
+        counts,
+        ops,
+        tree: shared.tree.clone(),
+        peak_states: stats.high_water,
+        peak_memory_bytes: stats.high_water_bytes,
+        wall_time: shared.t0.elapsed(),
+    });
 }
 
 /// A node's view of its parent state: the implicit `|0…0⟩` root, or a
@@ -82,77 +151,93 @@ fn child_hash(parent_hash: u64, index: u64) -> u64 {
     mix(parent_hash ^ index.wrapping_mul(0xD1B5_4A32_D192_ED03).wrapping_add(1))
 }
 
-/// Execute one planned tree on the pool, returning the merged result.
+/// Start one planned job on the pool **without blocking**: root tasks are
+/// injected and `done` fires from a worker when the last node retires.
+/// This is the multi-tenant entry point — any number of jobs may be live
+/// on one pool, interleaving in the work-stealing deques.
 ///
-/// `subcircuits` must be `partition.subcircuits(circuit)` for the circuit
-/// the partition was planned against (the engine's job layer guarantees
-/// this and shares the vector between jobs with identical plans).
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn run_tree(
+/// `peak_states`/`peak_memory_bytes` in the delivered result are the
+/// pool's high-water mark over the job's lifetime; when jobs overlap, the
+/// mark reflects the *combined* footprint of everything sharing the pool
+/// (reset it between phases via [`WorkerPool::pool_counters`] for scoped
+/// measurements).
+pub(crate) fn launch_tree(
     pool: &WorkerPool,
-    partition: &Partition,
-    subcircuits: &Arc<Vec<Circuit>>,
-    plans: &Arc<Vec<CompiledCircuit>>,
-    n_qubits: u16,
-    noise: &NoiseModel,
+    plan: &Arc<JobPlan>,
     seed: u64,
     leaf_samples: u32,
     fusion: bool,
-) -> RunResult {
+    sink: Option<ChunkSink>,
+    done: DoneFn,
+) {
     assert!(leaf_samples >= 1, "need at least one sample per leaf");
-    let t0 = Instant::now();
-    let arities = partition.tree.arities().to_vec();
+    let arities = plan.partition.tree.arities().to_vec();
+    let roots = arities[0];
     let shared = Arc::new(TreeShared {
-        n_qubits,
-        subcircuits: Arc::clone(subcircuits),
-        plans: Arc::clone(plans),
+        n_qubits: plan.n_qubits,
+        subcircuits: Arc::clone(&plan.subcircuits),
+        plans: Arc::clone(&plan.compiled),
         arities,
-        noise: noise.clone(),
+        tree: plan.partition.tree.clone(),
+        noise: plan.noise.clone(),
         seed,
         leaf_samples,
         fusion,
         accums: (0..pool.workers())
             .map(|_| {
                 Mutex::new(Accum {
-                    counts: Counts::new(n_qubits),
+                    counts: Counts::new(plan.n_qubits),
                     ops: OpCounts::new(),
                 })
             })
             .collect(),
+        remaining: AtomicU64::new(roots),
+        done: Mutex::new(Some(done)),
+        sink,
+        counters: Arc::clone(pool.pool_counters()),
+        t0: Instant::now(),
     });
 
-    // Phase-scoped memory measurement: the high-water mark we report is
-    // this job's peak live-buffer footprint, not the pool's lifetime peak.
-    pool.pool_counters().reset_high_water();
-
-    let roots = shared.arities[0];
     for index in 0..roots {
         let shared = Arc::clone(&shared);
         let hash = child_hash(seed, index);
         pool.inject(move |ctx| run_node(&shared, Parent::Root, 0, hash, ctx));
     }
+}
+
+/// Execute one planned job on the pool and block until it completes —
+/// the single-tenant path used by sequential batches. Memory metrics are
+/// phase-scoped: the pool high-water mark is reset first, so the reported
+/// peak is this job's own footprint.
+///
+/// # Panics
+///
+/// Re-raises the first panic any node task raised (via
+/// [`WorkerPool::wait_idle`]).
+pub(crate) fn run_tree(
+    pool: &WorkerPool,
+    plan: &Arc<JobPlan>,
+    seed: u64,
+    leaf_samples: u32,
+    fusion: bool,
+) -> RunResult {
+    pool.pool_counters().reset_high_water();
+    let (tx, rx) = mpsc::channel();
+    launch_tree(
+        pool,
+        plan,
+        seed,
+        leaf_samples,
+        fusion,
+        None,
+        Box::new(move |result| {
+            let _ = tx.send(result);
+        }),
+    );
+    // Blocks until the tree drains and re-raises any node panic; the
+    // completion callback has necessarily fired by then.
     pool.wait_idle();
-
-    let mut counts = Counts::new(n_qubits);
-    let mut ops = OpCounts::new();
-    // Mirrors the serial executor: the initial |0…0⟩ materialisation is
-    // charged once per run.
-    ops.state_resets += 1;
-    for slot in &shared.accums {
-        let accum = slot.lock().expect("accumulator lock");
-        counts.merge(&accum.counts);
-        ops.merge(&accum.ops);
-    }
-
-    let stats = pool.pool_stats();
-    RunResult {
-        counts,
-        ops,
-        tree: partition.tree.clone(),
-        peak_states: stats.high_water,
-        peak_memory_bytes: stats.high_water_bytes,
-        wall_time: t0.elapsed(),
-    }
+    rx.recv().expect("job completion callback must have fired")
 }
 
 /// Materialise the node at `level` (executing subcircuit `level`), then
@@ -164,6 +249,11 @@ fn run_node(
     hash: u64,
     ctx: &WorkerCtx<'_>,
 ) {
+    // First statement, so a panic anywhere below still retires this node
+    // (its un-spawned subtree simply never joins the count).
+    let _retire = NodeGuard {
+        shared: Arc::clone(shared),
+    };
     let k = shared.subcircuits.len();
     let mut ops = OpCounts::new();
 
@@ -193,30 +283,60 @@ fn run_node(
     );
 
     if level + 1 == k {
-        // Fold straight into this worker's accumulator — the lock is
-        // effectively uncontended (only this worker touches its slot
-        // until the final merge after the pool drains), and it saves a
-        // throwaway histogram per leaf.
-        let mut accum = shared.accums[ctx.index()].lock().expect("accumulator lock");
-        // Shared with the serial executor so both consume the RNG stream
-        // identically (batched CDF walk when oversampling).
-        tqsim::draw_leaf_outcomes(
-            &*state,
-            &shared.noise,
-            shared.n_qubits,
-            shared.leaf_samples,
-            &mut rng,
-            |outcome| {
-                accum.counts.increment(outcome);
-                ops.samples += 1;
-            },
-        );
-        accum.ops.merge(&ops);
-        drop(accum);
-        drop(state); // back to the worker's pool
+        // Leaf sampling shares draw_leaf_outcomes with the serial executor
+        // so both consume the RNG stream identically (batched CDF walk when
+        // oversampling). Fold straight into this worker's accumulator — the
+        // lock is effectively uncontended (only this worker touches its
+        // slot until the final merge), and it saves a throwaway histogram
+        // per leaf. Only a streaming job buffers the leaf batch (the sink
+        // must not be called under the accumulator lock); the plain path
+        // stays allocation-free.
+        if let Some(sink) = &shared.sink {
+            let mut outcomes = Vec::with_capacity(shared.leaf_samples as usize);
+            tqsim::draw_leaf_outcomes(
+                &*state,
+                &shared.noise,
+                shared.n_qubits,
+                shared.leaf_samples,
+                &mut rng,
+                |outcome| {
+                    outcomes.push(outcome);
+                    ops.samples += 1;
+                },
+            );
+            drop(state); // back to the worker's pool
+            {
+                let mut accum = shared.accums[ctx.index()].lock().expect("accumulator lock");
+                for &outcome in &outcomes {
+                    accum.counts.increment(outcome);
+                }
+                accum.ops.merge(&ops);
+            }
+            sink(&outcomes);
+        } else {
+            let mut accum = shared.accums[ctx.index()].lock().expect("accumulator lock");
+            tqsim::draw_leaf_outcomes(
+                &*state,
+                &shared.noise,
+                shared.n_qubits,
+                shared.leaf_samples,
+                &mut rng,
+                |outcome| {
+                    accum.counts.increment(outcome);
+                    ops.samples += 1;
+                },
+            );
+            accum.ops.merge(&ops);
+            drop(accum);
+            drop(state); // back to the worker's pool
+        }
     } else {
         let state = Arc::new(state);
-        for index in 0..shared.arities[level + 1] {
+        let arity = shared.arities[level + 1];
+        // Register the children before the first spawn: a fast child must
+        // never observe the job count at zero while siblings are pending.
+        shared.remaining.fetch_add(arity, Ordering::AcqRel);
+        for index in 0..arity {
             let shared2 = Arc::clone(shared);
             let parent = Parent::State(Arc::clone(&state));
             let hash2 = child_hash(hash, index);
@@ -232,6 +352,12 @@ mod tests {
     use super::*;
     use tqsim::Strategy;
     use tqsim_circuit::generators;
+    use tqsim_noise::NoiseModel;
+
+    fn plan_for(arities: Vec<u64>, noise: &NoiseModel) -> Arc<JobPlan> {
+        let circuit = generators::qft(6);
+        Arc::new(JobPlan::plan(&circuit, noise, 30, &Strategy::Custom { arities }).expect("plan"))
+    }
 
     fn run_with_workers(workers: usize, seed: u64, arities: Vec<u64>) -> RunResult {
         run_with_workers_fusion(workers, seed, arities, true)
@@ -243,24 +369,10 @@ mod tests {
         arities: Vec<u64>,
         fusion: bool,
     ) -> RunResult {
-        let circuit = generators::qft(6);
         let noise = NoiseModel::sycamore();
-        let strategy = Strategy::Custom { arities };
-        let partition = strategy.plan(&circuit, &noise, 30).unwrap();
-        let subcircuits = Arc::new(partition.subcircuits(&circuit));
-        let plans = Arc::new(subcircuits.iter().map(|sc| noise.compile(sc)).collect());
+        let plan = plan_for(arities, &noise);
         let pool = WorkerPool::new(workers);
-        run_tree(
-            &pool,
-            &partition,
-            &subcircuits,
-            &plans,
-            circuit.n_qubits(),
-            &noise,
-            seed,
-            1,
-            fusion,
-        )
+        run_tree(&pool, &plan, seed, 1, fusion)
     }
 
     #[test]
@@ -278,23 +390,12 @@ mod tests {
             arities: vec![4, 2],
         };
         let partition = strategy.plan(&circuit, &noise, 8).unwrap();
-        let serial = tqsim::TreeExecutor::new(&circuit, &noise, partition.clone())
+        let serial = tqsim::TreeExecutor::new(&circuit, &noise, partition)
             .unwrap()
             .run(3);
-        let subcircuits = Arc::new(partition.subcircuits(&circuit));
-        let plans = Arc::new(subcircuits.iter().map(|sc| noise.compile(sc)).collect());
+        let plan = Arc::new(JobPlan::plan(&circuit, &noise, 8, &strategy).unwrap());
         let pool = WorkerPool::new(2);
-        let par = run_tree(
-            &pool,
-            &partition,
-            &subcircuits,
-            &plans,
-            6,
-            &noise,
-            3,
-            1,
-            true,
-        );
+        let par = run_tree(&pool, &plan, 3, 1, true);
         // Identical op accounting (noiseless ⇒ even the RNG plays no role),
         // including the fused-path amp_passes/fused_gates counters.
         assert_eq!(par.ops, serial.ops);
@@ -343,5 +444,83 @@ mod tests {
             r.peak_states <= 2 * 2 * 4,
             "bounded by workers × 2 × (k + 1)"
         );
+    }
+
+    #[test]
+    fn overlapped_jobs_on_one_pool_match_isolated_runs() {
+        // Multi-tenancy in microcosm: launch three jobs at once on one
+        // pool; each must produce exactly the Counts it produces alone.
+        let noise = NoiseModel::sycamore();
+        let plan = plan_for(vec![5, 3, 2], &noise);
+        let isolated: Vec<RunResult> = (0..3u64)
+            .map(|seed| {
+                let pool = WorkerPool::new(2);
+                run_tree(&pool, &plan, seed, 1, true)
+            })
+            .collect();
+
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = mpsc::channel();
+        for seed in 0..3u64 {
+            let tx = tx.clone();
+            launch_tree(
+                &pool,
+                &plan,
+                seed,
+                1,
+                true,
+                None,
+                Box::new(move |r| {
+                    let _ = tx.send((seed, r));
+                }),
+            );
+        }
+        drop(tx);
+        let mut overlapped: Vec<Option<RunResult>> = vec![None, None, None];
+        for (seed, r) in rx.iter() {
+            overlapped[seed as usize] = Some(r);
+        }
+        for (seed, (iso, ovl)) in isolated.iter().zip(&overlapped).enumerate() {
+            let ovl = ovl.as_ref().expect("all jobs complete");
+            assert_eq!(iso.counts, ovl.counts, "seed {seed}");
+            assert_eq!(iso.ops, ovl.ops, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn streaming_sink_receives_every_outcome() {
+        let noise = NoiseModel::sycamore();
+        let plan = plan_for(vec![5, 3, 2], &noise);
+        let pool = WorkerPool::new(2);
+        let streamed = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let sink_target = Arc::clone(&streamed);
+        let sink: ChunkSink = Arc::new(move |chunk: &[u64]| {
+            sink_target.lock().unwrap().extend_from_slice(chunk);
+        });
+        let (tx, rx) = mpsc::channel();
+        launch_tree(
+            &pool,
+            &plan,
+            9,
+            2,
+            true,
+            Some(sink),
+            Box::new(move |r| {
+                let _ = tx.send(r);
+            }),
+        );
+        let result = rx.recv().unwrap();
+        // Streamed outcomes are the final histogram, delivered early in
+        // leaf-batch chunks (arrival order is scheduling-dependent; the
+        // multiset is not).
+        let streamed: Counts = {
+            let mut c = Counts::new(6);
+            for &o in streamed.lock().unwrap().iter() {
+                c.increment(o);
+            }
+            c
+        };
+        assert_eq!(result.counts.total(), 60, "30 leaves × 2 samples");
+        assert_eq!(streamed, result.counts);
     }
 }

@@ -1,7 +1,7 @@
 //! # tqsim-engine
 //!
 //! Pooled, work-stealing **parallel tree-execution engine** for TQSim, with
-//! a batched job API.
+//! a batched job API and a multi-tenant scheduler.
 //!
 //! The paper's computational-reuse insight turns noisy Monte-Carlo
 //! simulation into a tree walk; this crate makes that walk run as fast as
@@ -17,7 +17,20 @@
 //!   `(circuit, noise, shots, strategy)` jobs at once; identical partition
 //!   plans are computed once and shared (cross-*job* reuse, one step beyond
 //!   the paper's cross-shot reuse), with [`PlanStats`] reporting the
-//!   dedup win.
+//!   dedup win;
+//! - [`JobPlan`] / [`PlannedJob`] / [`Engine::start`] — the **multi-tenant**
+//!   surface: pre-planned jobs start without blocking, any number can share
+//!   the pool at once, each fires a completion callback from the worker
+//!   that retires its last tree node, and an optional [`ChunkSink`] streams
+//!   leaf outcomes while the job is still running. This is what the
+//!   `tqsim-service` front-end schedules concurrent client jobs through.
+//!
+//! Multi-job batches **overlap** on the pool by default: jobs whose trees
+//! are too narrow to saturate the workers run concurrently (each with its
+//! own path-seeded RNG streams, so per-job `Counts` are bit-identical to a
+//! serial run), while a saturating job is admitted alone.
+//! [`Batch::sequential`] restores strict one-after-another execution with
+//! per-job phase-scoped memory metrics.
 //!
 //! ```
 //! use tqsim_engine::{Engine, EngineConfig, JobSpec};
@@ -62,11 +75,17 @@ pub mod pool;
 
 pub use pool::{Task, WorkerCtx, WorkerPool};
 
-use std::sync::Arc;
-use tqsim::{Partition, PlanError, RunResult, Strategy, Tqsim};
+use std::sync::{mpsc, Arc};
+use tqsim::{Partition, PlanError, RunResult, Strategy, Tqsim, TreeStructure};
 use tqsim_circuit::Circuit;
 use tqsim_noise::NoiseModel;
 use tqsim_statevec::{CompiledCircuit, PoolStats};
+
+/// A streaming outcome sink: called from worker threads with each leaf
+/// batch's outcomes as soon as the leaf is sampled, long before the job
+/// completes. Chunk *arrival order* is scheduling-dependent; the multiset
+/// of streamed outcomes always equals the job's final histogram.
+pub type ChunkSink = Arc<dyn Fn(&[u64]) + Send + Sync>;
 
 /// Engine construction options.
 #[derive(Clone, Debug)]
@@ -178,6 +197,141 @@ impl<'c> JobSpec<'c> {
     }
 }
 
+/// A fully planned, owned, immutable job: the partition, materialised
+/// subcircuits and the per-subcircuit **compiled fused plans**, plus the
+/// planning inputs they were derived from. Shareable (via `Arc`) across
+/// any number of jobs, batches and service requests whose planning inputs
+/// are identical — sharing a `JobPlan` is what makes plan dedup also dedup
+/// DCP planning *and* compilation.
+///
+/// Unlike [`JobSpec`], a `JobPlan` borrows nothing: the `tqsim-service`
+/// front-end caches these across requests for the lifetime of the service
+/// (keyed by circuit fingerprint + noise + strategy + shots), so a
+/// repeated circuit skips planning and compilation entirely.
+pub struct JobPlan {
+    pub(crate) partition: Partition,
+    pub(crate) subcircuits: Arc<Vec<Circuit>>,
+    pub(crate) compiled: Arc<Vec<CompiledCircuit>>,
+    pub(crate) n_qubits: u16,
+    pub(crate) noise: NoiseModel,
+    shots: u64,
+}
+
+impl std::fmt::Debug for JobPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JobPlan[{} qubits, {} subcircuits, tree {}]",
+            self.n_qubits,
+            self.subcircuits.len(),
+            self.partition.tree
+        )
+    }
+}
+
+impl JobPlan {
+    /// Plan `circuit` for `shots` under `noise` with `strategy`, then
+    /// materialise and compile every subcircuit. The expensive part of a
+    /// job, done exactly once per distinct planning input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] for unplannable inputs.
+    pub fn plan(
+        circuit: &Circuit,
+        noise: &NoiseModel,
+        shots: u64,
+        strategy: &Strategy,
+    ) -> Result<JobPlan, PlanError> {
+        let partition = strategy.plan(circuit, noise, shots)?;
+        let subcircuits = Arc::new(partition.subcircuits(circuit));
+        let compiled = Arc::new(subcircuits.iter().map(|sc| noise.compile(sc)).collect());
+        Ok(JobPlan {
+            partition,
+            subcircuits,
+            compiled,
+            n_qubits: circuit.n_qubits(),
+            noise: noise.clone(),
+            shots,
+        })
+    }
+
+    /// The planned tree shape.
+    pub fn tree(&self) -> &TreeStructure {
+        &self.partition.tree
+    }
+
+    /// The underlying partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Register width of the planned circuit.
+    pub fn n_qubits(&self) -> u16 {
+        self.n_qubits
+    }
+
+    /// The noise model the plan was compiled against.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// The shot budget the plan was sized for.
+    pub fn shots(&self) -> u64 {
+        self.shots
+    }
+}
+
+/// An owned, ready-to-start job bound to a shared [`JobPlan`]: the
+/// multi-tenant counterpart of [`JobSpec`], consumed by [`Engine::start`].
+#[derive(Clone, Debug)]
+pub struct PlannedJob {
+    plan: Arc<JobPlan>,
+    seed: u64,
+    leaf_samples: u32,
+    fusion: bool,
+}
+
+impl PlannedJob {
+    /// A job executing `plan` with seed 0, one sample per leaf, fusion on.
+    pub fn new(plan: Arc<JobPlan>) -> Self {
+        PlannedJob {
+            plan,
+            seed: 0,
+            leaf_samples: 1,
+            fusion: true,
+        }
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Outcomes drawn per leaf (see [`JobSpec::leaf_samples`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn leaf_samples(mut self, n: u32) -> Self {
+        assert!(n >= 1, "need at least one sample per leaf");
+        self.leaf_samples = n;
+        self
+    }
+
+    /// Toggle fused plan replay (see [`JobSpec::fusion`]).
+    pub fn fusion(mut self, enabled: bool) -> Self {
+        self.fusion = enabled;
+        self
+    }
+
+    /// The shared plan this job replays.
+    pub fn plan(&self) -> &Arc<JobPlan> {
+        &self.plan
+    }
+}
+
 /// How much planning work the batch shared across jobs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PlanStats {
@@ -198,30 +352,58 @@ pub struct BatchResult {
     pub plans: PlanStats,
 }
 
+/// Batch execution mode: overlapped (default) or strictly sequential.
+#[derive(Clone, Copy, Debug)]
+enum BatchMode {
+    /// Jobs overlap on the pool, bounded by the width heuristic (and by
+    /// `max_jobs` when explicitly set, which also disables the heuristic).
+    Overlapped { max_jobs: Option<usize> },
+    /// One job at a time with per-job phase-scoped memory metrics.
+    Sequential,
+}
+
 /// A set of jobs bound to an engine, ready to run.
 #[must_use = "a batch does nothing until run()"]
 pub struct Batch<'e, 'c> {
     engine: &'e Engine,
     jobs: Vec<JobSpec<'c>>,
-}
-
-/// A planned job: the partition, materialised subcircuits, and the
-/// per-subcircuit **compiled fused plans**, shareable across jobs whose
-/// planning inputs are identical — plan dedup therefore also dedups
-/// compilation (the plans are compiled once per distinct
-/// `(circuit, noise, shots, strategy)` and replayed by every node of every
-/// job that shares them).
-struct PlannedTree {
-    partition: Partition,
-    subcircuits: Arc<Vec<Circuit>>,
-    compiled: Arc<Vec<CompiledCircuit>>,
+    mode: BatchMode,
 }
 
 impl<'c> Batch<'_, 'c> {
+    /// Run jobs strictly one after another (the pre-service behaviour):
+    /// each job's tree saturates the pool alone and its reported
+    /// `peak_states`/`peak_memory_bytes` are phase-scoped to that job.
+    /// Use for benchmarks that need per-job memory attribution.
+    pub fn sequential(mut self) -> Self {
+        self.mode = BatchMode::Sequential;
+        self
+    }
+
+    /// Overlap up to `n` jobs regardless of their tree widths (the default
+    /// mode caps overlap by the width heuristic instead: jobs are admitted
+    /// while the running jobs' root arities sum below the worker count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn concurrency(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one concurrent job");
+        self.mode = BatchMode::Overlapped { max_jobs: Some(n) };
+        self
+    }
+
     /// Plan (with dedup) and execute every job on the engine's pool.
     ///
-    /// Jobs run one after another; each job's tree saturates the pool on
-    /// its own, so inter-job parallelism would only add memory pressure.
+    /// By default jobs **overlap**: a job whose tree cannot saturate the
+    /// pool leaves workers free, so the scheduler admits further jobs
+    /// until the running root arities cover the worker count (or the
+    /// explicit [`Batch::concurrency`] cap is hit). Per-job `Counts` are
+    /// bit-identical to a sequential run — every node's RNG stream is
+    /// derived from its own job's seed and tree path, never from
+    /// scheduling. Memory metrics of overlapped jobs report the pool-wide
+    /// high-water mark across the batch (use [`Batch::sequential`] for
+    /// per-job attribution).
     ///
     /// # Errors
     ///
@@ -230,9 +412,9 @@ impl<'c> Batch<'_, 'c> {
     pub fn run(self) -> Result<BatchResult, PlanError> {
         // Serialize whole batches: concurrent submitters would otherwise
         // reset each other's phase-scoped high-water marks and could
-        // receive each other's task panics out of `wait_idle`. A poisoned
-        // gate just means a previous batch panicked; the pool itself is
-        // still healthy, so continue.
+        // receive each other's task panics. A poisoned gate just means a
+        // previous batch panicked; the pool itself is still healthy, so
+        // continue.
         let _running = match self.engine.run_gate.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
@@ -240,9 +422,9 @@ impl<'c> Batch<'_, 'c> {
         // Plan with dedup: linear scan over the first job of each distinct
         // plan is fine at batch sizes where planning cost matters
         // (planning is O(gates), and so is the content comparison).
-        let mut planned: Vec<(usize, Arc<PlannedTree>)> = Vec::new();
+        let mut planned: Vec<(usize, Arc<JobPlan>)> = Vec::new();
         let mut stats = PlanStats::default();
-        let mut assignments: Vec<Arc<PlannedTree>> = Vec::with_capacity(self.jobs.len());
+        let mut assignments: Vec<Arc<JobPlan>> = Vec::with_capacity(self.jobs.len());
         for job in &self.jobs {
             let existing = planned.iter().find(|&&(idx, _)| {
                 let prev = &self.jobs[idx];
@@ -256,41 +438,43 @@ impl<'c> Batch<'_, 'c> {
                     && (std::ptr::eq(prev.circuit, job.circuit) || prev.circuit == job.circuit)
             });
             match existing {
-                Some((_, tree)) => {
+                Some((_, plan)) => {
                     stats.reused += 1;
-                    assignments.push(Arc::clone(tree));
+                    assignments.push(Arc::clone(plan));
                 }
                 None => {
-                    let partition = job.strategy.plan(job.circuit, &job.noise, job.shots)?;
-                    let subcircuits = Arc::new(partition.subcircuits(job.circuit));
-                    let compiled =
-                        Arc::new(subcircuits.iter().map(|sc| job.noise.compile(sc)).collect());
-                    let tree = Arc::new(PlannedTree {
-                        partition,
-                        subcircuits,
-                        compiled,
-                    });
+                    let plan = Arc::new(JobPlan::plan(
+                        job.circuit,
+                        &job.noise,
+                        job.shots,
+                        &job.strategy,
+                    )?);
                     stats.planned += 1;
-                    assignments.push(Arc::clone(&tree));
-                    planned.push((assignments.len() - 1, tree));
+                    assignments.push(Arc::clone(&plan));
+                    planned.push((assignments.len() - 1, plan));
                 }
             }
         }
 
-        let mut results = Vec::with_capacity(self.jobs.len());
-        for (job, tree) in self.jobs.iter().zip(&assignments) {
-            results.push(exec::run_tree(
-                &self.engine.pool,
-                &tree.partition,
-                &tree.subcircuits,
-                &tree.compiled,
-                job.circuit.n_qubits(),
-                &job.noise,
-                job.seed,
-                job.leaf_samples,
-                job.fusion,
-            ));
-        }
+        let results = match self.mode {
+            BatchMode::Sequential => self
+                .jobs
+                .iter()
+                .zip(&assignments)
+                .map(|(job, plan)| {
+                    exec::run_tree(
+                        &self.engine.pool,
+                        plan,
+                        job.seed,
+                        job.leaf_samples,
+                        job.fusion,
+                    )
+                })
+                .collect(),
+            BatchMode::Overlapped { max_jobs } => {
+                run_overlapped(self.engine, &self.jobs, &assignments, max_jobs)
+            }
+        };
         Ok(BatchResult {
             jobs: results,
             plans: stats,
@@ -298,13 +482,80 @@ impl<'c> Batch<'_, 'c> {
     }
 }
 
+/// The overlapping batch scheduler: admit jobs while the pool has slack,
+/// collect completions in any order, return results in submission order.
+fn run_overlapped(
+    engine: &Engine,
+    jobs: &[JobSpec<'_>],
+    plans: &[Arc<JobPlan>],
+    max_jobs: Option<usize>,
+) -> Vec<RunResult> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let workers = engine.pool.workers() as u64;
+    // An explicit concurrency cap replaces the width heuristic; the
+    // default cap is one job per worker (admission normally stops far
+    // earlier, once the running widths cover the pool).
+    let cap = max_jobs.unwrap_or(engine.pool.workers()).max(1);
+    let width_gated = max_jobs.is_none();
+    // A job's appetite for workers: its root arity (the number of
+    // immediately runnable tasks), saturating at the pool size.
+    let width = |idx: usize| plans[idx].partition.tree.arities()[0].min(workers);
+
+    engine.pool.pool_counters().reset_high_water();
+    let (tx, rx) = mpsc::channel::<(usize, RunResult)>();
+    let mut results: Vec<Option<RunResult>> = jobs.iter().map(|_| None).collect();
+    let (mut next, mut running, mut running_width, mut completed) = (0usize, 0usize, 0u64, 0usize);
+    while completed < jobs.len() {
+        while next < jobs.len()
+            && (running == 0 || (running < cap && (!width_gated || running_width < workers)))
+        {
+            let job = &jobs[next];
+            let tx = tx.clone();
+            let idx = next;
+            exec::launch_tree(
+                &engine.pool,
+                &plans[next],
+                job.seed,
+                job.leaf_samples,
+                job.fusion,
+                None,
+                Box::new(move |result| {
+                    let _ = tx.send((idx, result));
+                }),
+            );
+            running += 1;
+            running_width += width(next);
+            next += 1;
+        }
+        let (idx, result) = rx.recv().expect("job completion callback");
+        results[idx] = Some(result);
+        running -= 1;
+        running_width -= width(idx);
+        completed += 1;
+    }
+    // A panicking node abandons its subtree but still drains its job's
+    // task count, so every job completes (with partial counts) and the
+    // payload surfaces here — same propagation point as wait_idle.
+    if let Some(payload) = engine.pool.take_panic() {
+        std::panic::resume_unwind(payload);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every job completed"))
+        .collect()
+}
+
 /// The parallel tree-execution engine: a persistent [`WorkerPool`] plus the
 /// batched job front-end. See the [crate docs](self) for an example.
 ///
-/// `Engine` is `Sync`; concurrent [`Batch::run`] calls from several
-/// threads are **serialized** against each other (one batch's trees fully
-/// saturate the pool anyway, and serializing keeps per-job memory
-/// metrics and panic delivery correctly scoped to their own batch).
+/// `Engine` is `Sync`. Concurrent [`Batch::run`] calls from several
+/// threads are **serialized** against each other (keeping per-batch memory
+/// metrics and panic delivery correctly scoped); the multi-tenant
+/// [`Engine::start`] path is not gated — any number of started jobs share
+/// the pool concurrently, which is how the service front-end overlaps
+/// client requests.
 pub struct Engine {
     pool: WorkerPool,
     /// Serializes batch execution; see the struct docs.
@@ -333,7 +584,79 @@ impl Engine {
 
     /// Bind a set of jobs to this engine (execute with [`Batch::run`]).
     pub fn submit<'e, 'c>(&'e self, jobs: Vec<JobSpec<'c>>) -> Batch<'e, 'c> {
-        Batch { engine: self, jobs }
+        Batch {
+            engine: self,
+            jobs,
+            mode: BatchMode::Overlapped { max_jobs: None },
+        }
+    }
+
+    /// Start a planned job **without blocking** (the multi-tenant entry
+    /// point): root tasks are injected immediately, any number of started
+    /// jobs interleave on the pool, and `on_done` fires exactly once —
+    /// from a worker thread — with the merged result when the job's last
+    /// tree node retires. An optional `sink` receives each leaf batch's
+    /// outcomes as soon as it is sampled (streaming results).
+    ///
+    /// Determinism: the job's `Counts` are bit-identical to running it
+    /// alone (or through a sequential batch) with the same seed — node RNG
+    /// streams depend only on the job seed and tree path. Memory metrics
+    /// in the result are the pool-wide high-water mark, shared with
+    /// whatever else overlapped the job.
+    pub fn start(
+        &self,
+        job: &PlannedJob,
+        sink: Option<ChunkSink>,
+        on_done: impl FnOnce(RunResult) + Send + 'static,
+    ) {
+        exec::launch_tree(
+            &self.pool,
+            &job.plan,
+            job.seed,
+            job.leaf_samples,
+            job.fusion,
+            sink,
+            Box::new(on_done),
+        );
+    }
+
+    /// Blocking convenience over [`Engine::start`]: run one planned job to
+    /// completion. Safe to call from many threads at once (jobs overlap).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a node-task panic instead of returning its partial
+    /// result. The pool's panic slot is shared, so under overlap a
+    /// concurrent caller may drain the payload first; completeness is
+    /// therefore also checked per job (a healthy run yields exactly
+    /// `tree.outcomes() × leaf_samples` samples) so a truncated result
+    /// can never be returned as success.
+    pub fn run_planned(&self, job: &PlannedJob) -> RunResult {
+        let (tx, rx) = mpsc::channel();
+        self.start(job, None, move |result| {
+            let _ = tx.send(result);
+        });
+        let result = rx.recv().expect("job completion callback must fire");
+        let expected = result.tree.outcomes() * u64::from(job.leaf_samples);
+        if let Some(payload) = self.take_panic() {
+            std::panic::resume_unwind(payload);
+        }
+        let produced = result.counts.total();
+        assert!(
+            produced >= expected,
+            "job aborted by a node-task panic ({produced}/{expected} outcomes; \
+             the payload surfaced at a concurrent caller)"
+        );
+        result
+    }
+
+    /// Take the first panic payload any task raised since the last check,
+    /// if any — for callers of the non-blocking [`Engine::start`] path,
+    /// which has no `wait_idle` to re-raise through. A panicking node
+    /// abandons its own subtree; its job still completes (with partial
+    /// counts) and the pool stays healthy.
+    pub fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.pool.take_panic()
     }
 
     /// Run a single [`Tqsim`] description on this engine (the
@@ -362,9 +685,11 @@ impl Engine {
     /// holds at most `k + 1` buffers, and a worker whose chain is pinned
     /// by stolen children can start a second chain, so double the chain
     /// depth (plus slack) covers every schedule seen in practice. The
-    /// bound is a heuristic, not an invariant — under a pathological
-    /// many-core schedule the pool simply falls back to allocating, which
-    /// is visible in [`PoolStats::allocations`] but never incorrect.
+    /// bound is per concurrently running job: overlapped jobs multiply it
+    /// (pass `k` summed over the jobs you expect to overlap, or accept
+    /// pool growth to the natural high-water mark). Never incorrect —
+    /// under-provisioning just falls back to allocating, visible in
+    /// [`PoolStats::allocations`].
     ///
     /// [`PoolStats::allocations`]: tqsim_statevec::PoolStats::allocations
     pub fn prewarm(&self, n_qubits: u16, k: usize) {
@@ -462,6 +787,48 @@ mod tests {
     }
 
     #[test]
+    fn overlapped_batches_match_sequential_bit_for_bit() {
+        // The satellite fix for ROADMAP's "Batch::run executes jobs
+        // sequentially": overlapping must never change any job's output.
+        let qft = generators::qft(6);
+        let bv = generators::bv(6);
+        let engine = Engine::new(EngineConfig::default().parallelism(4));
+        let jobs = || {
+            vec![
+                JobSpec::new(&qft)
+                    .shots(30)
+                    .strategy(Strategy::Custom {
+                        arities: vec![5, 3, 2],
+                    })
+                    .seed(1),
+                JobSpec::new(&bv)
+                    .shots(12)
+                    .strategy(Strategy::Custom {
+                        arities: vec![4, 3],
+                    })
+                    .seed(2),
+                JobSpec::new(&qft)
+                    .shots(30)
+                    .strategy(Strategy::Custom {
+                        arities: vec![5, 3, 2],
+                    })
+                    .seed(3),
+            ]
+        };
+        let sequential = engine.submit(jobs()).sequential().run().unwrap();
+        let overlapped = engine.submit(jobs()).run().unwrap();
+        let pinned = engine.submit(jobs()).concurrency(3).run().unwrap();
+        assert_eq!(sequential.plans, overlapped.plans);
+        for (i, (s, o)) in sequential.jobs.iter().zip(&overlapped.jobs).enumerate() {
+            assert_eq!(s.counts, o.counts, "job {i} (default overlap)");
+            assert_eq!(s.ops, o.ops, "job {i}");
+        }
+        for (i, (s, p)) in sequential.jobs.iter().zip(&pinned.jobs).enumerate() {
+            assert_eq!(s.counts, p.counts, "job {i} (explicit concurrency)");
+        }
+    }
+
+    #[test]
     fn prewarmed_engine_allocates_nothing_at_steady_state() {
         let circuit = generators::qft(8);
         let engine = Engine::new(EngineConfig::default().parallelism(2));
@@ -473,12 +840,17 @@ mod tests {
                 })
                 .seed(seed)
         };
-        // Warm-up run covers every buffer the schedule can need…
-        engine.submit(vec![spec(1)]).run().unwrap();
+        // Sequential mode: the zero-alloc provisioning bound is per job
+        // (overlapped jobs legitimately hold more buffers live at once).
+        engine.submit(vec![spec(1)]).sequential().run().unwrap();
         engine.prewarm(8, 3);
         let warm = engine.pool_stats().allocations;
         // …so further runs must be allocation-free.
-        engine.submit(vec![spec(2), spec(3)]).run().unwrap();
+        engine
+            .submit(vec![spec(2), spec(3)])
+            .sequential()
+            .run()
+            .unwrap();
         let stats = engine.pool_stats();
         assert_eq!(
             stats.allocations, warm,
@@ -564,10 +936,79 @@ mod tests {
     }
 
     #[test]
+    fn started_jobs_overlap_without_gating() {
+        // The multi-tenant path: many threads driving run_planned on one
+        // engine concurrently, each getting its own bit-exact result.
+        let circuit = generators::qft(6);
+        let engine = Engine::new(EngineConfig::default().parallelism(2));
+        let plan = Arc::new(
+            JobPlan::plan(
+                &circuit,
+                &NoiseModel::sycamore(),
+                30,
+                &Strategy::Custom {
+                    arities: vec![5, 3, 2],
+                },
+            )
+            .unwrap(),
+        );
+        let reference: Vec<_> = (0..4u64)
+            .map(|seed| engine.run_planned(&PlannedJob::new(Arc::clone(&plan)).seed(seed)))
+            .collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|seed| {
+                    let engine = &engine;
+                    let plan = Arc::clone(&plan);
+                    scope.spawn(move || engine.run_planned(&PlannedJob::new(plan).seed(seed)))
+                })
+                .collect();
+            for (seed, handle) in handles.into_iter().enumerate() {
+                let r = handle.join().unwrap();
+                assert_eq!(r.counts, reference[seed].counts, "seed {seed}");
+                assert_eq!(r.ops, reference[seed].ops, "seed {seed}");
+            }
+        });
+    }
+
+    #[test]
+    fn engine_owned_by_completion_callback_tears_down_safely() {
+        // The service pattern: the completion callback holds the last Arc
+        // of the engine, so pool teardown can begin on a worker thread.
+        // The pool must detach (never self-join) and the process must not
+        // leak a panic.
+        let circuit = generators::qft(6);
+        let plan = Arc::new(
+            JobPlan::plan(
+                &circuit,
+                &NoiseModel::sycamore(),
+                12,
+                &Strategy::Custom {
+                    arities: vec![4, 3],
+                },
+            )
+            .unwrap(),
+        );
+        for _ in 0..5 {
+            let engine = Arc::new(Engine::new(EngineConfig::default().parallelism(2)));
+            let (tx, rx) = mpsc::channel();
+            let own = Arc::clone(&engine);
+            engine.start(&PlannedJob::new(Arc::clone(&plan)), None, move |result| {
+                let _engine_kept_alive_by_callback = own;
+                let _ = tx.send(result.counts.total());
+            });
+            drop(engine); // the worker's clone may now be the last one
+            assert_eq!(rx.recv().unwrap(), 12);
+        }
+    }
+
+    #[test]
     fn empty_batch_is_fine() {
         let engine = Engine::new(EngineConfig::default().parallelism(1));
         let result = engine.submit(Vec::new()).run().unwrap();
         assert!(result.jobs.is_empty());
         assert_eq!(result.plans, PlanStats::default());
+        let result = engine.submit(Vec::new()).sequential().run().unwrap();
+        assert!(result.jobs.is_empty());
     }
 }

@@ -193,10 +193,20 @@ impl WorkerPool {
         drop(guard);
         // Take the payload in its own statement: `if let` would keep the
         // lock guard alive across `resume_unwind`, poisoning the mutex.
-        let payload = self.shared.panic.lock().expect("panic slot").take();
+        let payload = self.take_panic();
         if let Some(payload) = payload {
             std::panic::resume_unwind(payload);
         }
+    }
+
+    /// Take the first stored task panic without blocking, if any. The
+    /// non-blocking job path ([`tqsim-engine`'s multi-tenant scheduler])
+    /// has no `wait_idle` to re-raise through, so it polls this after job
+    /// completion instead.
+    ///
+    /// [`tqsim-engine`'s multi-tenant scheduler]: self
+    pub fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.shared.panic.lock().expect("panic slot").take()
     }
 
     /// Run `count` indexed iterations across the pool and block until all
@@ -262,8 +272,18 @@ impl Drop for WorkerPool {
             *shutdown = true;
             self.shared.work_cv.notify_all();
         }
+        let current = std::thread::current().id();
         for handle in self.handles.drain(..) {
-            let _ = handle.join();
+            if handle.thread().id() == current {
+                // The pool's last owner died on one of its own workers (a
+                // job-completion callback owning the engine is the typical
+                // path): joining would be a self-join. Detach instead —
+                // the thread's loop observes the shutdown flag and exits
+                // on its own, holding only per-thread state.
+                drop(handle);
+            } else {
+                let _ = handle.join();
+            }
         }
     }
 }

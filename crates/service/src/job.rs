@@ -1,0 +1,287 @@
+//! Job records and client tickets: per-job status, the streamed-outcome
+//! buffer, and the completion rendezvous.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use tqsim::RunResult;
+
+/// Service-assigned job identifier (unique for the service lifetime).
+pub type JobId = u64;
+
+/// Where a job is in its lifecycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting for a scheduler slot.
+    Queued,
+    /// Executing on the engine.
+    Running,
+    /// Completed; the result is available.
+    Done,
+    /// Planning or execution failed.
+    Failed(String),
+    /// Cancelled by the client (best-effort: a job already running is
+    /// detached — its remaining work completes on the engine but its
+    /// result and chunks are discarded).
+    Cancelled,
+}
+
+impl JobStatus {
+    /// Whether the job can make no further progress.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobStatus::Queued | JobStatus::Running)
+    }
+
+    /// Short wire-protocol name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed(_) => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Why [`Ticket::wait`] did not return a result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The job was cancelled.
+    Cancelled,
+    /// Planning or execution failed.
+    Failed(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Cancelled => f.write_str("job cancelled"),
+            JobError::Failed(msg) => write!(f, "job failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Monotone counters shared by every job record (rendered into
+/// `ServiceStats`).
+#[derive(Debug, Default)]
+pub(crate) struct ServiceCounters {
+    pub submitted: AtomicU64,
+    pub rejected: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub chunks_streamed: AtomicU64,
+    pub outcomes_streamed: AtomicU64,
+}
+
+struct JobState {
+    status: JobStatus,
+    result: Option<RunResult>,
+    /// Streamed outcomes not yet drained by the client.
+    pending: Vec<u64>,
+    /// Total outcomes ever pushed into `pending`.
+    streamed: u64,
+}
+
+/// One job's shared record: the scheduler, the engine's worker threads and
+/// any number of client handles all talk through this.
+pub(crate) struct JobRecord {
+    id: JobId,
+    client: String,
+    counters: Arc<ServiceCounters>,
+    state: Mutex<JobState>,
+    /// Notified on every state change (status transitions and new chunks).
+    cv: Condvar,
+}
+
+impl JobRecord {
+    pub(crate) fn new(id: JobId, client: &str, counters: Arc<ServiceCounters>) -> Arc<Self> {
+        Arc::new(JobRecord {
+            id,
+            client: client.to_string(),
+            counters,
+            state: Mutex::new(JobState {
+                status: JobStatus::Queued,
+                result: None,
+                pending: Vec::new(),
+                streamed: 0,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn id(&self) -> JobId {
+        self.id
+    }
+
+    pub(crate) fn client(&self) -> &str {
+        &self.client
+    }
+
+    pub(crate) fn status(&self) -> JobStatus {
+        self.state.lock().expect("job state").status.clone()
+    }
+
+    pub(crate) fn set_running(&self) {
+        let mut st = self.state.lock().expect("job state");
+        if st.status == JobStatus::Queued {
+            st.status = JobStatus::Running;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Streaming sink target: called from engine worker threads per leaf
+    /// batch. Chunks for a cancelled job are dropped.
+    pub(crate) fn push_chunk(&self, outcomes: &[u64]) {
+        let mut st = self.state.lock().expect("job state");
+        if st.status == JobStatus::Cancelled {
+            return;
+        }
+        st.pending.extend_from_slice(outcomes);
+        st.streamed += outcomes.len() as u64;
+        self.counters
+            .chunks_streamed
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .outcomes_streamed
+            .fetch_add(outcomes.len() as u64, Ordering::Relaxed);
+        self.cv.notify_all();
+    }
+
+    /// Completion callback target (engine worker thread). A cancelled
+    /// job's result is discarded.
+    pub(crate) fn finish(&self, result: RunResult) {
+        let mut st = self.state.lock().expect("job state");
+        if st.status == JobStatus::Cancelled {
+            return;
+        }
+        st.status = JobStatus::Done;
+        st.result = Some(result);
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn fail(&self, message: String) {
+        let mut st = self.state.lock().expect("job state");
+        if st.status.is_terminal() {
+            return;
+        }
+        st.status = JobStatus::Failed(message);
+        self.counters.failed.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_all();
+    }
+
+    /// Returns whether the cancellation took effect (the job had not
+    /// already reached a terminal state).
+    pub(crate) fn cancel(&self) -> bool {
+        let mut st = self.state.lock().expect("job state");
+        if st.status.is_terminal() {
+            return false;
+        }
+        st.status = JobStatus::Cancelled;
+        st.pending.clear();
+        st.result = None;
+        self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_all();
+        true
+    }
+}
+
+/// A client's handle on one submitted job: poll status, stream outcome
+/// chunks as leaf batches complete, block for the final result, or cancel.
+///
+/// Tickets are cheap to clone; all clones observe the same job. The
+/// streamed-chunk buffer is a single queue — when several handles stream
+/// one job, each outcome is delivered to exactly one of them.
+#[derive(Clone)]
+pub struct Ticket {
+    pub(crate) record: Arc<JobRecord>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Ticket[job {}, client {:?}, {:?}]",
+            self.record.id(),
+            self.record.client(),
+            self.record.status()
+        )
+    }
+}
+
+impl Ticket {
+    /// The service-assigned job id.
+    pub fn id(&self) -> JobId {
+        self.record.id()
+    }
+
+    /// The submitting client's name.
+    pub fn client(&self) -> &str {
+        self.record.client()
+    }
+
+    /// Current lifecycle status.
+    pub fn status(&self) -> JobStatus {
+        self.record.status()
+    }
+
+    /// Outcomes streamed so far (including ones already drained).
+    pub fn streamed(&self) -> u64 {
+        self.record.state.lock().expect("job state").streamed
+    }
+
+    /// Drain whatever outcomes have streamed in since the last drain,
+    /// without blocking. Empty means "nothing new yet", not "finished" —
+    /// combine with [`Ticket::status`].
+    pub fn try_chunk(&self) -> Vec<u64> {
+        let mut st = self.record.state.lock().expect("job state");
+        std::mem::take(&mut st.pending)
+    }
+
+    /// Block until at least one new outcome is available and drain the
+    /// buffer, or return `None` once the job is terminal with nothing
+    /// left to drain. Looping on this yields every outcome of the job,
+    /// in leaf-batch chunks, while the job is still executing.
+    pub fn next_chunk(&self) -> Option<Vec<u64>> {
+        let mut st = self.record.state.lock().expect("job state");
+        loop {
+            if !st.pending.is_empty() {
+                return Some(std::mem::take(&mut st.pending));
+            }
+            if st.status.is_terminal() {
+                return None;
+            }
+            st = self.record.cv.wait(st).expect("job cv");
+        }
+    }
+
+    /// Block until the job reaches a terminal state and return the full
+    /// result (histogram, op counts, tree, timings).
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Cancelled`] or [`JobError::Failed`] for jobs that did
+    /// not complete.
+    pub fn wait(&self) -> Result<RunResult, JobError> {
+        let mut st = self.record.state.lock().expect("job state");
+        loop {
+            match &st.status {
+                JobStatus::Done => {
+                    return Ok(st.result.clone().expect("done job has a result"));
+                }
+                JobStatus::Failed(msg) => return Err(JobError::Failed(msg.clone())),
+                JobStatus::Cancelled => return Err(JobError::Cancelled),
+                _ => st = self.record.cv.wait(st).expect("job cv"),
+            }
+        }
+    }
+
+    /// Cancel the job (best-effort; see [`JobStatus::Cancelled`]). Returns
+    /// whether the cancellation took effect.
+    pub fn cancel(&self) -> bool {
+        self.record.cancel()
+    }
+}

@@ -1,0 +1,335 @@
+//! # tqsim-service
+//!
+//! A **concurrent job-queue service layer** over [`tqsim-engine`]: the
+//! shape a production simulator presents to many clients at once, with the
+//! paper's computational-reuse idea pushed one level further up the stack —
+//! identical circuits submitted by *different clients at different times*
+//! compile once and replay everywhere.
+//!
+//! The pieces, front to back:
+//!
+//! - **Admission + fairness** ([`SubmitError`], [`ServiceConfig`]): a
+//!   bounded submission queue with a global and a per-client capacity;
+//!   over-capacity submissions are refused explicitly (backpressure, never
+//!   a silent stall), and the scheduler drains clients round-robin so one
+//!   flooding client cannot starve the rest.
+//! - **Overlapping scheduler** ([`Service`]): up to `max_concurrent_jobs`
+//!   jobs run on one shared engine pool at once via the engine's
+//!   multi-tenant [`Engine::start`] path. Small-tree jobs that cannot
+//!   saturate the workers overlap; every job's `Counts` stay bit-identical
+//!   to a serial `Engine::submit` run because node RNG streams derive only
+//!   from the job's own seed and tree path.
+//! - **Cross-request plan cache** ([`PlanCache`], [`CacheStats`]): plans
+//!   keyed by `(circuit fingerprint, noise, strategy, shots, fusion)` are
+//!   compiled once per distinct key for the whole service lifetime, with
+//!   LRU eviction and hit/miss/eviction counters in [`ServiceStats`].
+//! - **Streaming results** ([`Ticket`]): leaf-batch outcome chunks are
+//!   delivered to the client handle while the job is still executing;
+//!   [`Ticket::wait`] returns the full histogram at the end.
+//! - **Wire protocol** ([`wire`]): a std-only `TcpListener` front-end
+//!   speaking line-delimited JSON (hand-rolled — no serde in the offline
+//!   workspace) with `submit`/`poll`/`stream`/`cancel`/`result`/`stats`
+//!   verbs.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tqsim_circuit::generators;
+//! use tqsim_service::{JobRequest, Service, ServiceConfig};
+//!
+//! let service = Service::start(
+//!     ServiceConfig::default().parallelism(2).max_concurrent_jobs(2),
+//! );
+//! let circuit = Arc::new(generators::qft(6));
+//!
+//! // Two clients, same circuit: the second submission hits the plan cache.
+//! let a = service
+//!     .submit("alice", JobRequest::new(Arc::clone(&circuit)).shots(64).seed(1))
+//!     .unwrap();
+//! let b = service
+//!     .submit("bob", JobRequest::new(circuit).shots(64).seed(2))
+//!     .unwrap();
+//!
+//! // Stream alice's outcomes as leaf batches land…
+//! let mut streamed = 0;
+//! while let Some(chunk) = a.next_chunk() {
+//!     streamed += chunk.len();
+//! }
+//! assert!(streamed >= 64);
+//! // …and collect bob's final histogram.
+//! assert!(b.wait().unwrap().counts.total() >= 64);
+//!
+//! let stats = service.stats();
+//! assert_eq!(stats.completed, 2);
+//! assert_eq!(stats.cache.misses, 1, "one compile");
+//! assert_eq!(stats.cache.hits, 1, "one cross-client cache hit");
+//! service.shutdown();
+//! ```
+//!
+//! [`tqsim-engine`]: tqsim_engine
+//! [`Engine::start`]: tqsim_engine::Engine::start
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod job;
+pub mod json;
+mod queue;
+pub mod service;
+pub mod wire;
+
+pub use cache::{CacheStats, PlanCache, PlanKey};
+pub use job::{JobError, JobId, JobStatus, Ticket};
+pub use queue::SubmitError;
+pub use service::{run_one, JobRequest, Service, ServiceConfig, ServiceStats};
+pub use wire::{serve, ServerHandle};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tqsim_circuit::generators;
+    use tqsim_engine::{Engine, EngineConfig, JobSpec};
+    use tqsim_noise::NoiseModel;
+
+    fn small_service(max_jobs: usize) -> Arc<Service> {
+        Service::start(
+            ServiceConfig::default()
+                .parallelism(2)
+                .max_concurrent_jobs(max_jobs),
+        )
+    }
+
+    #[test]
+    fn service_counts_match_direct_engine_submit() {
+        let circuit = generators::qft(6);
+        let engine = Engine::new(EngineConfig::default().parallelism(2));
+        let reference = engine
+            .submit(vec![JobSpec::new(&circuit).shots(64).seed(11)])
+            .sequential()
+            .run()
+            .unwrap()
+            .jobs
+            .remove(0);
+
+        let service = small_service(2);
+        let result = service
+            .submit(
+                "c",
+                JobRequest::new(Arc::new(circuit.clone()))
+                    .shots(64)
+                    .seed(11),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(result.counts, reference.counts);
+        assert_eq!(result.ops, reference.ops);
+        service.shutdown();
+    }
+
+    #[test]
+    fn repeated_circuit_hits_the_plan_cache() {
+        let service = small_service(1);
+        let circuit = Arc::new(generators::qft(6));
+        let distinct = Arc::new(generators::bv(6));
+        for seed in 0..3 {
+            service
+                .submit(
+                    "a",
+                    JobRequest::new(Arc::clone(&circuit)).shots(32).seed(seed),
+                )
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        service
+            .submit("a", JobRequest::new(distinct).shots(32).seed(9))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.cache.compiled, 2, "one compile per distinct circuit");
+        assert_eq!(stats.cache.hits, 2);
+        assert_eq!(stats.completed, 4);
+        service.shutdown();
+    }
+
+    #[test]
+    fn streaming_chunks_cover_the_histogram() {
+        let service = small_service(2);
+        let circuit = Arc::new(generators::qft(6));
+        let ticket = service
+            .submit(
+                "s",
+                JobRequest::new(circuit)
+                    .shots(30)
+                    .strategy(tqsim::Strategy::Custom {
+                        arities: vec![5, 3, 2],
+                    })
+                    .seed(3),
+            )
+            .unwrap();
+        let mut streamed = Vec::new();
+        while let Some(chunk) = ticket.next_chunk() {
+            streamed.extend(chunk);
+        }
+        let result = ticket.wait().unwrap();
+        assert_eq!(streamed.len() as u64, result.counts.total());
+        let mut histogram = tqsim::Counts::new(6);
+        for o in streamed {
+            histogram.increment(o);
+        }
+        assert_eq!(histogram, result.counts);
+        service.shutdown();
+    }
+
+    #[test]
+    fn backpressure_is_deterministic_under_pause() {
+        let service = Service::start(
+            ServiceConfig::default()
+                .parallelism(1)
+                .max_concurrent_jobs(1)
+                .queue_capacity(2),
+        );
+        service.pause_scheduling();
+        let circuit = Arc::new(generators::bv(5));
+        let t1 = service
+            .submit("a", JobRequest::new(Arc::clone(&circuit)).shots(8).seed(1))
+            .unwrap();
+        let t2 = service
+            .submit("b", JobRequest::new(Arc::clone(&circuit)).shots(8).seed(2))
+            .unwrap();
+        let refused = service.submit("c", JobRequest::new(circuit).shots(8).seed(3));
+        assert!(matches!(
+            refused,
+            Err(SubmitError::QueueFull { capacity: 2 })
+        ));
+        assert_eq!(service.stats().rejected, 1);
+        service.resume_scheduling();
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+        service.shutdown();
+    }
+
+    #[test]
+    fn per_client_cap_spares_other_clients() {
+        let service = Service::start(
+            ServiceConfig::default()
+                .parallelism(1)
+                .max_concurrent_jobs(1)
+                .queue_capacity(16)
+                .per_client_capacity(1),
+        );
+        service.pause_scheduling();
+        let circuit = Arc::new(generators::bv(5));
+        let kept = service
+            .submit(
+                "flood",
+                JobRequest::new(Arc::clone(&circuit)).shots(8).seed(1),
+            )
+            .unwrap();
+        let refused = service.submit(
+            "flood",
+            JobRequest::new(Arc::clone(&circuit)).shots(8).seed(2),
+        );
+        assert!(matches!(
+            refused,
+            Err(SubmitError::ClientQueueFull { capacity: 1 })
+        ));
+        let other = service
+            .submit("polite", JobRequest::new(circuit).shots(8).seed(3))
+            .unwrap();
+        service.resume_scheduling();
+        assert!(kept.wait().is_ok());
+        assert!(other.wait().is_ok());
+        service.shutdown();
+    }
+
+    #[test]
+    fn queued_cancellation_never_runs() {
+        let service = Service::start(
+            ServiceConfig::default()
+                .parallelism(1)
+                .max_concurrent_jobs(1),
+        );
+        service.pause_scheduling();
+        let circuit = Arc::new(generators::bv(5));
+        let ticket = service
+            .submit("a", JobRequest::new(circuit).shots(8).seed(1))
+            .unwrap();
+        assert!(ticket.cancel());
+        assert!(!ticket.cancel(), "second cancel is a no-op");
+        service.resume_scheduling();
+        assert!(matches!(ticket.wait(), Err(JobError::Cancelled)));
+        assert!(ticket.next_chunk().is_none());
+        let stats = service.stats();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.completed, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn failed_planning_reports_through_the_ticket() {
+        let service = small_service(1);
+        // An empty circuit cannot be planned.
+        let ticket = service
+            .submit(
+                "a",
+                JobRequest::new(Arc::new(tqsim_circuit::Circuit::new(3))),
+            )
+            .unwrap();
+        match ticket.wait() {
+            Err(JobError::Failed(msg)) => assert!(msg.contains("no gates"), "{msg}"),
+            other => panic!("expected failure, got {other:?}"),
+        }
+        assert_eq!(service.stats().failed, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_fails_queued_jobs_and_refuses_new_ones() {
+        let service = Service::start(
+            ServiceConfig::default()
+                .parallelism(1)
+                .max_concurrent_jobs(1),
+        );
+        service.pause_scheduling();
+        let circuit = Arc::new(generators::bv(5));
+        let queued = service
+            .submit("a", JobRequest::new(Arc::clone(&circuit)).shots(8))
+            .unwrap();
+        service.shutdown();
+        assert!(matches!(queued.wait(), Err(JobError::Failed(_))));
+        assert!(matches!(
+            service.submit("a", JobRequest::new(circuit)),
+            Err(SubmitError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn concurrent_clients_with_ideal_noise() {
+        let service = small_service(4);
+        let circuit = Arc::new(generators::bv(6));
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| {
+                service
+                    .submit(
+                        &format!("client-{i}"),
+                        JobRequest::new(Arc::clone(&circuit))
+                            .noise(NoiseModel::ideal())
+                            .shots(16)
+                            .seed(i),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        for ticket in tickets {
+            let result = ticket.wait().unwrap();
+            assert!(result.counts.total() >= 16);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.completed, 4);
+        assert!(stats.running_high_water >= 1);
+        service.shutdown();
+    }
+}

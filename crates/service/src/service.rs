@@ -1,0 +1,564 @@
+//! The service core: admission, the scheduler thread, job overlap on the
+//! engine, and the stats snapshot.
+
+use crate::cache::{CacheStats, PlanCache, PlanKey};
+use crate::job::{JobError, JobId, JobRecord, ServiceCounters, Ticket};
+use crate::queue::{FairQueue, PendingJob, SubmitError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use tqsim::Strategy;
+use tqsim_circuit::Circuit;
+use tqsim_engine::{ChunkSink, Engine, EngineConfig, PlannedJob};
+use tqsim_noise::NoiseModel;
+
+/// Service construction options.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Engine worker threads (default: available hardware parallelism).
+    pub parallelism: usize,
+    /// Jobs executing on the engine at once (default: the worker count —
+    /// enough overlap to keep every worker fed by narrow trees).
+    pub max_concurrent_jobs: usize,
+    /// Global queued-job bound; submissions beyond it are refused with
+    /// [`SubmitError::QueueFull`] (backpressure).
+    pub queue_capacity: usize,
+    /// Per-client queued-job bound (fairness guard).
+    pub per_client_capacity: usize,
+    /// Plan-cache capacity in plans (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ServiceConfig {
+            parallelism,
+            max_concurrent_jobs: parallelism,
+            queue_capacity: 256,
+            per_client_capacity: 64,
+            cache_capacity: 64,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Same as [`ServiceConfig::default`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the engine worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn parallelism(mut self, n: usize) -> Self {
+        assert!(n >= 1, "parallelism must be at least 1");
+        self.parallelism = n;
+        self
+    }
+
+    /// Set the concurrent-job window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn max_concurrent_jobs(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one concurrent job");
+        self.max_concurrent_jobs = n;
+        self
+    }
+
+    /// Set the global queue bound.
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n;
+        self
+    }
+
+    /// Set the per-client queue bound.
+    pub fn per_client_capacity(mut self, n: usize) -> Self {
+        self.per_client_capacity = n;
+        self
+    }
+
+    /// Set the plan-cache capacity (0 disables caching).
+    pub fn cache_capacity(mut self, n: usize) -> Self {
+        self.cache_capacity = n;
+        self
+    }
+}
+
+/// One client submission: everything [`tqsim_engine::JobSpec`] carries,
+/// owned (requests outlive the submitting call — they cross threads and,
+/// through the wire protocol, processes).
+#[derive(Clone, Debug)]
+pub struct JobRequest {
+    /// The circuit to simulate (shared, so the plan cache can hold it
+    /// without copying).
+    pub circuit: Arc<Circuit>,
+    /// Noise model (defaults to Sycamore depolarizing).
+    pub noise: NoiseModel,
+    /// Shot budget (minimum outcomes produced; defaults to 1000).
+    pub shots: u64,
+    /// Partition strategy (defaults to DCP).
+    pub strategy: Strategy,
+    /// RNG seed (results are bit-deterministic given a seed).
+    pub seed: u64,
+    /// Outcomes per leaf (defaults to 1).
+    pub leaf_samples: u32,
+    /// Fused plan replay (defaults to on).
+    pub fusion: bool,
+}
+
+impl JobRequest {
+    /// A request with the default knobs (mirrors `JobSpec::new`).
+    pub fn new(circuit: Arc<Circuit>) -> Self {
+        JobRequest {
+            circuit,
+            noise: NoiseModel::sycamore(),
+            shots: 1000,
+            strategy: Strategy::default_dcp(),
+            seed: 0,
+            leaf_samples: 1,
+            fusion: true,
+        }
+    }
+
+    /// Set the noise model.
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Set the shot budget.
+    pub fn shots(mut self, shots: u64) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Set the partition strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set outcomes per leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn leaf_samples(mut self, n: u32) -> Self {
+        assert!(n >= 1, "need at least one sample per leaf");
+        self.leaf_samples = n;
+        self
+    }
+
+    /// Toggle fused replay.
+    pub fn fusion(mut self, enabled: bool) -> Self {
+        self.fusion = enabled;
+        self
+    }
+
+    fn plan_key(&self) -> PlanKey {
+        PlanKey {
+            fingerprint: self.circuit.fingerprint(),
+            circuit: Arc::clone(&self.circuit),
+            noise: self.noise.clone(),
+            strategy: self.strategy.clone(),
+            shots: self.shots,
+            fusion: self.fusion,
+        }
+    }
+}
+
+/// Point-in-time service observability snapshot.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs admitted over the service lifetime.
+    pub submitted: u64,
+    /// Submissions refused by admission control.
+    pub rejected: u64,
+    /// Jobs completed with a result.
+    pub completed: u64,
+    /// Jobs that failed planning or execution.
+    pub failed: u64,
+    /// Jobs cancelled by clients.
+    pub cancelled: u64,
+    /// Jobs queued right now.
+    pub queued_now: usize,
+    /// Jobs executing on the engine right now.
+    pub running_now: usize,
+    /// Most jobs ever executing at once.
+    pub running_high_water: usize,
+    /// Leaf-batch chunks streamed to clients.
+    pub chunks_streamed: u64,
+    /// Total outcomes streamed to clients.
+    pub outcomes_streamed: u64,
+    /// Cross-request plan-cache counters.
+    pub cache: CacheStats,
+    /// Engine worker threads.
+    pub workers: usize,
+    /// Configured concurrent-job window.
+    pub max_concurrent_jobs: usize,
+}
+
+struct SchedState {
+    queue: FairQueue,
+    running: usize,
+    running_high_water: usize,
+    shutdown: bool,
+    paused: bool,
+}
+
+pub(crate) struct Shared {
+    engine: Engine,
+    cache: PlanCache,
+    cfg: ServiceConfig,
+    counters: Arc<ServiceCounters>,
+    state: Mutex<SchedState>,
+    /// Wakes the scheduler: new submission, a slot freed, pause toggled,
+    /// shutdown.
+    work_cv: Condvar,
+    /// Job registry for id-based lookups (wire protocol `poll`/`stream`/
+    /// `cancel`/`result`). Entries live for the service lifetime — the
+    /// retention policy is "everything", which is fine for the workloads
+    /// this serves today; see ROADMAP for the TTL follow-up.
+    jobs: Mutex<HashMap<JobId, Arc<JobRecord>>>,
+    next_id: AtomicU64,
+}
+
+impl Shared {
+    fn job_slot_freed(&self) {
+        let mut st = self.state.lock().expect("scheduler state");
+        st.running -= 1;
+        self.work_cv.notify_all();
+    }
+}
+
+/// The multi-client simulation service: a bounded fair queue in front of a
+/// scheduler that overlaps jobs on one engine, with a cross-request plan
+/// cache and streaming results. See the [crate docs](crate) for the tour.
+///
+/// ```
+/// use std::sync::Arc;
+/// use tqsim_circuit::generators;
+/// use tqsim_service::{JobRequest, Service, ServiceConfig};
+///
+/// let service = Service::start(ServiceConfig::default().parallelism(2));
+/// let circuit = Arc::new(generators::qft(6));
+/// let ticket = service
+///     .submit("alice", JobRequest::new(circuit).shots(64).seed(7))
+///     .unwrap();
+/// let result = ticket.wait().unwrap();
+/// assert!(result.counts.total() >= 64);
+/// service.shutdown();
+/// ```
+pub struct Service {
+    shared: Arc<Shared>,
+    scheduler: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        write!(
+            f,
+            "Service[{} workers, {} running, {} queued]",
+            stats.workers, stats.running_now, stats.queued_now
+        )
+    }
+}
+
+impl Service {
+    /// Spin up the engine and the scheduler thread.
+    pub fn start(cfg: ServiceConfig) -> Arc<Service> {
+        let shared = Arc::new(Shared {
+            engine: Engine::new(EngineConfig::default().parallelism(cfg.parallelism)),
+            cache: PlanCache::new(cfg.cache_capacity),
+            counters: Arc::new(ServiceCounters::default()),
+            state: Mutex::new(SchedState {
+                queue: FairQueue::new(cfg.queue_capacity, cfg.per_client_capacity),
+                running: 0,
+                running_high_water: 0,
+                shutdown: false,
+                paused: false,
+            }),
+            work_cv: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            cfg,
+        });
+        let sched_shared = Arc::clone(&shared);
+        let scheduler = std::thread::Builder::new()
+            .name("tqsim-service-scheduler".into())
+            .spawn(move || scheduler_loop(&sched_shared))
+            .expect("scheduler thread spawn");
+        Arc::new(Service {
+            shared,
+            scheduler: Mutex::new(Some(scheduler)),
+        })
+    }
+
+    /// Submit a job on behalf of `client`. Non-blocking: admission either
+    /// succeeds immediately (the job is queued and will be scheduled
+    /// fairly) or is refused with the bound that was hit — backpressure is
+    /// explicit, never a silent stall.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] / [`SubmitError::ClientQueueFull`] when
+    /// admission control refuses, [`SubmitError::ShuttingDown`] after
+    /// [`Service::shutdown`].
+    pub fn submit(&self, client: &str, request: JobRequest) -> Result<Ticket, SubmitError> {
+        let shared = &self.shared;
+        let mut st = shared.state.lock().expect("scheduler state");
+        if st.shutdown {
+            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::ShuttingDown);
+        }
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let record = JobRecord::new(id, client, Arc::clone(&shared.counters));
+        match st.queue.push(
+            client,
+            PendingJob {
+                record: Arc::clone(&record),
+                request,
+            },
+        ) {
+            Ok(()) => {
+                shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                shared.work_cv.notify_all();
+                drop(st);
+                shared
+                    .jobs
+                    .lock()
+                    .expect("job registry")
+                    .insert(id, Arc::clone(&record));
+                Ok(Ticket { record })
+            }
+            Err(err) => {
+                shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(err)
+            }
+        }
+    }
+
+    /// Look up a previously submitted job by id (any connection may poll,
+    /// stream or cancel a job it knows the id of — the protocol trusts
+    /// its callers; see ROADMAP's auth follow-up).
+    pub fn lookup(&self, id: JobId) -> Option<Ticket> {
+        self.shared
+            .jobs
+            .lock()
+            .expect("job registry")
+            .get(&id)
+            .map(|record| Ticket {
+                record: Arc::clone(record),
+            })
+    }
+
+    /// Observability snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let shared = &self.shared;
+        let (queued_now, running_now, running_high_water) = {
+            let st = shared.state.lock().expect("scheduler state");
+            (st.queue.len(), st.running, st.running_high_water)
+        };
+        let c = &shared.counters;
+        ServiceStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            queued_now,
+            running_now,
+            running_high_water,
+            chunks_streamed: c.chunks_streamed.load(Ordering::Relaxed),
+            outcomes_streamed: c.outcomes_streamed.load(Ordering::Relaxed),
+            cache: shared.cache.stats(),
+            workers: shared.engine.parallelism(),
+            max_concurrent_jobs: shared.cfg.max_concurrent_jobs,
+        }
+    }
+
+    /// Stop dispatching queued jobs (running jobs continue; submissions
+    /// still queue). An operational drain valve — and the deterministic
+    /// way to test backpressure.
+    pub fn pause_scheduling(&self) {
+        let mut st = self.shared.state.lock().expect("scheduler state");
+        st.paused = true;
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Resume dispatching after [`Service::pause_scheduling`].
+    pub fn resume_scheduling(&self) {
+        let mut st = self.shared.state.lock().expect("scheduler state");
+        st.paused = false;
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Graceful shutdown: refuse new submissions, fail everything still
+    /// queued, let running jobs finish, and join the scheduler thread.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock().expect("scheduler state");
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        if let Some(handle) = self.scheduler.lock().expect("scheduler handle").take() {
+            let _ = handle.join();
+        }
+        // Wait for in-flight jobs so `shutdown` is a true quiesce point.
+        let mut st = self.shared.state.lock().expect("scheduler state");
+        while st.running > 0 {
+            st = self.shared.work_cv.wait(st).expect("scheduler state");
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn scheduler_loop(shared: &Arc<Shared>) {
+    loop {
+        let pending = {
+            let mut st = shared.state.lock().expect("scheduler state");
+            loop {
+                if st.shutdown {
+                    // Fail whatever is still queued so no ticket blocks
+                    // forever, then exit.
+                    for job in st.queue.drain_all() {
+                        job.record.fail("service shut down".into());
+                    }
+                    return;
+                }
+                if !st.paused && st.running < shared.cfg.max_concurrent_jobs {
+                    if let Some(job) = st.queue.pop_fair() {
+                        st.running += 1;
+                        st.running_high_water = st.running_high_water.max(st.running);
+                        break job;
+                    }
+                }
+                st = shared.work_cv.wait(st).expect("scheduler state");
+            }
+        };
+        // Cache hits — the steady-state case — dispatch inline: a lookup
+        // plus the non-blocking Engine::start costs microseconds. Only a
+        // miss (or an in-flight same-key plan) moves to a short-lived
+        // planner thread, so planning a large novel circuit never
+        // head-of-line blocks dispatch of already-cached jobs behind it,
+        // and concurrent misses on *different* keys plan in parallel (the
+        // cache plans outside its lock; same-key misses single-flight).
+        match shared.cache.try_get(&pending.request.plan_key()) {
+            Some(plan) => start_job(shared, pending, plan),
+            None => {
+                // Live planner threads are bounded by max_concurrent_jobs
+                // (each occupies a running slot), so spawn failure means
+                // the process is out of threads for its configured window
+                // — treat as fatal.
+                let dispatch_shared = Arc::clone(shared);
+                std::thread::Builder::new()
+                    .name("tqsim-service-planner".into())
+                    .spawn(move || dispatch(&dispatch_shared, pending))
+                    .expect("planner thread spawn");
+            }
+        }
+    }
+}
+
+/// Plan (through the cross-request cache) and start one job on the engine.
+fn dispatch(shared: &Arc<Shared>, pending: PendingJob) {
+    let plan = match shared.cache.get_or_plan(&pending.request.plan_key()) {
+        Ok(plan) => plan,
+        Err(err) => {
+            pending.record.fail(err.to_string());
+            shared.job_slot_freed();
+            return;
+        }
+    };
+    start_job(shared, pending, plan);
+}
+
+/// Start one planned job on the engine with streaming + completion wiring.
+fn start_job(shared: &Arc<Shared>, pending: PendingJob, plan: Arc<tqsim_engine::JobPlan>) {
+    let PendingJob { record, request } = pending;
+    record.set_running();
+    let sink: ChunkSink = {
+        let record = Arc::clone(&record);
+        Arc::new(move |chunk: &[u64]| record.push_chunk(chunk))
+    };
+    let done_shared = Arc::clone(shared);
+    let leaf_samples = request.leaf_samples;
+    shared.engine.start(
+        &PlannedJob::new(plan)
+            .seed(request.seed)
+            .leaf_samples(leaf_samples)
+            .fusion(request.fusion),
+        Some(sink),
+        move |result| {
+            // A panicking node task abandons its subtree (the engine keeps
+            // the pool healthy and completes the job with partial counts),
+            // so completeness is the per-job panic signal: every healthy
+            // run yields exactly outcomes × leaf_samples samples. Fail the
+            // ticket instead of handing the client a silently short
+            // histogram, and drain the pool's panic slot so the payload
+            // cannot resurface in an unrelated caller later.
+            let expected = result.tree.outcomes() * u64::from(leaf_samples);
+            let produced = result.counts.total();
+            if produced < expected {
+                let detail = done_shared
+                    .engine
+                    .take_panic()
+                    .map(|payload| panic_message(&payload))
+                    .unwrap_or_else(|| "node task panicked".into());
+                record.fail(format!(
+                    "execution aborted ({produced}/{expected} outcomes): {detail}"
+                ));
+            } else {
+                record.finish(result);
+            }
+            done_shared.job_slot_freed();
+        },
+    );
+}
+
+/// Best-effort human-readable form of a task panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "node task panicked".into()
+    }
+}
+
+/// Convenience: submit and wait (one call, no ticket juggling).
+///
+/// # Errors
+///
+/// The outer [`SubmitError`] if admission refuses; the inner [`JobError`]
+/// if the admitted job then fails or is cancelled.
+pub fn run_one(
+    service: &Service,
+    client: &str,
+    request: JobRequest,
+) -> Result<Result<tqsim::RunResult, JobError>, SubmitError> {
+    let ticket = service.submit(client, request)?;
+    Ok(ticket.wait())
+}

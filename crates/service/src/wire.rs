@@ -1,0 +1,695 @@
+//! The line-delimited JSON wire protocol and the `std::net` TCP front-end.
+//!
+//! One request per line, one (or for `stream`, many) response line(s) per
+//! request, every line a single JSON object. Hand-rolled on [`crate::json`]
+//! — the offline workspace has no serde — and std-only: a plain
+//! `TcpListener` with one thread per connection, no async runtime.
+//!
+//! ## Verbs
+//!
+//! | request | response |
+//! |---|---|
+//! | `{"op":"submit","client":"alice","shots":64,"seed":7,"noise":"sycamore","strategy":"dcp","circuit":{"n":2,"gates":[["h",0],["cx",0,1]]}}` | `{"ok":true,"job":1}` or `{"ok":false,"error":"queue full (256 jobs queued)"}` (backpressure is an explicit refusal — retry later) |
+//! | `{"op":"poll","job":1}` | `{"ok":true,"status":"running","streamed":128}` |
+//! | `{"op":"stream","job":1}` | `{"chunk":[3,3,1,…]}` lines as leaf batches land, then `{"done":true,"status":"done","total":64}` |
+//! | `{"op":"result","job":1}` | `{"ok":true,"status":"done","total":64,"counts":[[0,31],[3,33]],…}` |
+//! | `{"op":"cancel","job":1}` | `{"ok":true,"cancelled":true}` |
+//! | `{"op":"stats"}` | `{"ok":true,"submitted":…,"cache":{"hits":…},…}` |
+//!
+//! Gates are `[name, params…, qubits…]` arrays — the name determines the
+//! parameter count and arity, so decoding is unambiguous. Angles travel as
+//! shortest-round-trip `f64` text, so a circuit fingerprints identically
+//! on both ends of the wire and cache hits work across processes. Noise is
+//! `"ideal"`/`"sycamore"` or `{"kind":"depolarizing","p1":…,"p2":…}` (also
+//! `amplitude-damping`/`phase-damping`, optional symmetric `"readout"`);
+//! strategies are `"dcp"`/`"baseline"` or
+//! `{"kind":"uniform"|"exponential","k":…}` /
+//! `{"kind":"custom","arities":[…]}`.
+//!
+//! Integers on the wire (seeds, shots, outcomes) must stay ≤ 2⁵³ — the
+//! JSON layer refuses to emit anything larger rather than round silently.
+
+use crate::job::{JobStatus, Ticket};
+use crate::json::{self, num, num_u64, obj, str_val, Value};
+use crate::service::{JobRequest, Service, ServiceStats};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use tqsim::{RunResult, Strategy};
+use tqsim_circuit::math::{c64, Mat2, Mat4};
+use tqsim_circuit::{Circuit, GateKind};
+use tqsim_noise::{NoiseModel, ReadoutError};
+
+// ---------------------------------------------------------------- codecs
+
+/// Per-mnemonic decode table: `(params, arity)`.
+fn gate_shape(name: &str) -> Option<(usize, usize)> {
+    Some(match name {
+        "id" | "x" | "y" | "z" | "h" | "s" | "sdg" | "t" | "tdg" | "sx" | "sy" | "sw" => (0, 1),
+        "rx" | "ry" | "rz" | "p" => (1, 1),
+        "u3" => (3, 1),
+        "u1q" => (8, 1),
+        "cx" | "cz" | "swap" => (0, 2),
+        "cp" | "rzz" => (1, 2),
+        "fsim" => (2, 2),
+        "u2q" => (32, 2),
+        "ccx" => (0, 3),
+        _ => return None,
+    })
+}
+
+fn gate_kind(name: &str, params: &[f64]) -> Option<GateKind> {
+    Some(match name {
+        "id" => GateKind::Id,
+        "x" => GateKind::X,
+        "y" => GateKind::Y,
+        "z" => GateKind::Z,
+        "h" => GateKind::H,
+        "s" => GateKind::S,
+        "sdg" => GateKind::Sdg,
+        "t" => GateKind::T,
+        "tdg" => GateKind::Tdg,
+        "sx" => GateKind::Sx,
+        "sy" => GateKind::Sy,
+        "sw" => GateKind::Sw,
+        "rx" => GateKind::Rx(params[0]),
+        "ry" => GateKind::Ry(params[0]),
+        "rz" => GateKind::Rz(params[0]),
+        "p" => GateKind::Phase(params[0]),
+        "u3" => GateKind::U3(params[0], params[1], params[2]),
+        "u1q" => {
+            let e = |i: usize| c64(params[2 * i], params[2 * i + 1]);
+            GateKind::Unitary1(Mat2([[e(0), e(1)], [e(2), e(3)]]))
+        }
+        "cx" => GateKind::Cx,
+        "cz" => GateKind::Cz,
+        "swap" => GateKind::Swap,
+        "cp" => GateKind::CPhase(params[0]),
+        "rzz" => GateKind::Rzz(params[0]),
+        "fsim" => GateKind::FSim(params[0], params[1]),
+        "u2q" => {
+            let e = |i: usize| c64(params[2 * i], params[2 * i + 1]);
+            let mut m = [[c64(0.0, 0.0); 4]; 4];
+            for (r, row) in m.iter_mut().enumerate() {
+                for (c_idx, cell) in row.iter_mut().enumerate() {
+                    *cell = e(r * 4 + c_idx);
+                }
+            }
+            GateKind::Unitary2(Mat4(m))
+        }
+        "ccx" => GateKind::Ccx,
+        _ => return None,
+    })
+}
+
+/// Encode a circuit as `{"n": width, "gates": [[name, params…, qubits…]]}`.
+pub fn circuit_to_json(circuit: &Circuit) -> Value {
+    let gates = circuit
+        .iter()
+        .map(|gate| {
+            let mut cells = vec![str_val(gate.kind().name())];
+            cells.extend(gate.kind().params().into_iter().map(num));
+            cells.extend(gate.qubits().iter().map(|&q| num_u64(u64::from(q))));
+            Value::Arr(cells)
+        })
+        .collect();
+    obj(vec![
+        ("n", num_u64(u64::from(circuit.n_qubits()))),
+        ("gates", Value::Arr(gates)),
+    ])
+}
+
+/// Decode a circuit (see [`circuit_to_json`]).
+///
+/// # Errors
+///
+/// A human-readable message for malformed input (unknown mnemonic, wrong
+/// cell count, out-of-range qubits, …).
+pub fn circuit_from_json(value: &Value) -> Result<Circuit, String> {
+    let n = value
+        .get("n")
+        .and_then(Value::as_u64)
+        .ok_or("circuit needs a numeric \"n\"")?;
+    let n = u16::try_from(n).map_err(|_| "circuit width exceeds u16")?;
+    let gates = value
+        .get("gates")
+        .and_then(Value::as_arr)
+        .ok_or("circuit needs a \"gates\" array")?;
+    let mut circuit = Circuit::new(n);
+    for (idx, cell) in gates.iter().enumerate() {
+        let parts = cell
+            .as_arr()
+            .ok_or_else(|| format!("gate {idx} is not an array"))?;
+        let name = parts
+            .first()
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("gate {idx} lacks a name"))?;
+        let (n_params, arity) =
+            gate_shape(name).ok_or_else(|| format!("gate {idx}: unknown mnemonic {name:?}"))?;
+        if parts.len() != 1 + n_params + arity {
+            return Err(format!(
+                "gate {idx} ({name}): expected {n_params} params + {arity} qubits, got {} cells",
+                parts.len() - 1
+            ));
+        }
+        let params: Vec<f64> = parts[1..1 + n_params]
+            .iter()
+            .map(|v| v.as_f64().ok_or_else(|| format!("gate {idx}: bad param")))
+            .collect::<Result<_, _>>()?;
+        let qubits: Vec<u16> = parts[1 + n_params..]
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|q| u16::try_from(q).ok())
+                    .ok_or_else(|| format!("gate {idx}: bad qubit"))
+            })
+            .collect::<Result<_, _>>()?;
+        let kind = gate_kind(name, &params).expect("shape-checked mnemonic");
+        circuit
+            .try_push(kind, &qubits)
+            .map_err(|e| format!("gate {idx} ({name}): {e}"))?;
+    }
+    Ok(circuit)
+}
+
+/// Decode a noise model: `"ideal"`, `"sycamore"`, or an object with a
+/// `"kind"` and its parameters (optionally a symmetric `"readout"` rate).
+pub fn noise_from_json(value: &Value) -> Result<NoiseModel, String> {
+    let with_readout = |model: NoiseModel, value: &Value| -> Result<NoiseModel, String> {
+        match value.get("readout") {
+            None => Ok(model),
+            Some(p) => {
+                let p = p.as_f64().ok_or("readout must be a number")?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("readout rate {p} outside [0,1]"));
+                }
+                Ok(model.with_readout(ReadoutError::symmetric(p)))
+            }
+        }
+    };
+    match value {
+        Value::Str(name) => match name.as_str() {
+            "ideal" => Ok(NoiseModel::ideal()),
+            "sycamore" => Ok(NoiseModel::sycamore()),
+            other => Err(format!("unknown noise model {other:?}")),
+        },
+        Value::Obj(_) => {
+            let kind = value
+                .get("kind")
+                .and_then(Value::as_str)
+                .ok_or("noise object needs a \"kind\"")?;
+            let f = |key: &str| -> Result<f64, String> {
+                value
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("noise kind {kind:?} needs numeric {key:?}"))
+            };
+            let model = match kind {
+                "ideal" => NoiseModel::ideal(),
+                "sycamore" => NoiseModel::sycamore(),
+                "depolarizing" => NoiseModel::depolarizing(f("p1")?, f("p2")?),
+                "amplitude-damping" => NoiseModel::amplitude_damping(f("gamma")?),
+                "phase-damping" => NoiseModel::phase_damping(f("lambda")?),
+                other => return Err(format!("unknown noise kind {other:?}")),
+            };
+            with_readout(model, value)
+        }
+        _ => Err("noise must be a string or object".into()),
+    }
+}
+
+/// Decode a strategy: `"dcp"`, `"baseline"`, or an object with `"kind"`
+/// `uniform`/`exponential` (+`"k"`) or `custom` (+`"arities"`).
+pub fn strategy_from_json(value: &Value) -> Result<Strategy, String> {
+    match value {
+        Value::Str(name) => match name.as_str() {
+            "dcp" => Ok(Strategy::default_dcp()),
+            "baseline" => Ok(Strategy::Baseline),
+            other => Err(format!("unknown strategy {other:?}")),
+        },
+        Value::Obj(_) => {
+            let kind = value
+                .get("kind")
+                .and_then(Value::as_str)
+                .ok_or("strategy object needs a \"kind\"")?;
+            match kind {
+                "dcp" => Ok(Strategy::default_dcp()),
+                "baseline" => Ok(Strategy::Baseline),
+                "uniform" | "exponential" => {
+                    let k = value
+                        .get("k")
+                        .and_then(Value::as_u64)
+                        .ok_or("strategy needs numeric \"k\"")?
+                        as usize;
+                    Ok(if kind == "uniform" {
+                        Strategy::Uniform { k }
+                    } else {
+                        Strategy::Exponential { k }
+                    })
+                }
+                "custom" => {
+                    let arities = value
+                        .get("arities")
+                        .and_then(Value::as_arr)
+                        .ok_or("custom strategy needs an \"arities\" array")?
+                        .iter()
+                        .map(|v| v.as_u64().ok_or("arities must be positive integers"))
+                        .collect::<Result<Vec<u64>, _>>()?;
+                    Ok(Strategy::Custom { arities })
+                }
+                other => Err(format!("unknown strategy kind {other:?}")),
+            }
+        }
+        _ => Err("strategy must be a string or object".into()),
+    }
+}
+
+/// Decode a full submission request (everything but `"op"`).
+pub fn request_from_json(value: &Value) -> Result<(String, JobRequest), String> {
+    let client = value
+        .get("client")
+        .and_then(Value::as_str)
+        .unwrap_or("anonymous")
+        .to_string();
+    let circuit = circuit_from_json(value.get("circuit").ok_or("submit needs a \"circuit\"")?)?;
+    let mut request = JobRequest::new(Arc::new(circuit));
+    if let Some(noise) = value.get("noise") {
+        request = request.noise(noise_from_json(noise)?);
+    }
+    if let Some(strategy) = value.get("strategy") {
+        request = request.strategy(strategy_from_json(strategy)?);
+    }
+    if let Some(shots) = value.get("shots") {
+        request = request.shots(shots.as_u64().ok_or("shots must be a positive integer")?);
+    }
+    if let Some(seed) = value.get("seed") {
+        request = request.seed(seed.as_u64().ok_or("seed must be an integer ≤ 2^53")?);
+    }
+    if let Some(ls) = value.get("leaf_samples") {
+        let ls = ls
+            .as_u64()
+            .ok_or("leaf_samples must be a positive integer")?;
+        if ls == 0 || ls > u64::from(u32::MAX) {
+            return Err("leaf_samples out of range".into());
+        }
+        request = request.leaf_samples(ls as u32);
+    }
+    if let Some(fusion) = value.get("fusion") {
+        request = request.fusion(fusion.as_bool().ok_or("fusion must be a bool")?);
+    }
+    Ok((client, request))
+}
+
+fn result_to_json(status: &JobStatus, result: &RunResult) -> Value {
+    let mut counts: Vec<(u64, u64)> = result.counts.iter().collect();
+    counts.sort_unstable();
+    obj(vec![
+        ("ok", Value::Bool(true)),
+        ("status", str_val(status.name())),
+        ("total", num_u64(result.counts.total())),
+        ("distinct", num_u64(result.counts.distinct() as u64)),
+        (
+            "counts",
+            Value::Arr(
+                counts
+                    .into_iter()
+                    .map(|(o, c)| Value::Arr(vec![num_u64(o), num_u64(c)]))
+                    .collect(),
+            ),
+        ),
+        ("tree", str_val(result.tree.to_string())),
+        ("gates", num_u64(result.ops.total_gates())),
+        ("amp_passes", num_u64(result.ops.amp_passes)),
+        ("noise_ops", num_u64(result.ops.noise_ops)),
+        ("samples", num_u64(result.ops.samples)),
+        ("wall_ms", num(result.wall_time.as_secs_f64() * 1e3)),
+    ])
+}
+
+/// Render a [`ServiceStats`] snapshot (the `stats` verb's payload).
+pub fn stats_to_json(stats: &ServiceStats) -> Value {
+    obj(vec![
+        ("ok", Value::Bool(true)),
+        ("submitted", num_u64(stats.submitted)),
+        ("rejected", num_u64(stats.rejected)),
+        ("completed", num_u64(stats.completed)),
+        ("failed", num_u64(stats.failed)),
+        ("cancelled", num_u64(stats.cancelled)),
+        ("queued_now", num_u64(stats.queued_now as u64)),
+        ("running_now", num_u64(stats.running_now as u64)),
+        (
+            "running_high_water",
+            num_u64(stats.running_high_water as u64),
+        ),
+        ("chunks_streamed", num_u64(stats.chunks_streamed)),
+        ("outcomes_streamed", num_u64(stats.outcomes_streamed)),
+        ("workers", num_u64(stats.workers as u64)),
+        (
+            "max_concurrent_jobs",
+            num_u64(stats.max_concurrent_jobs as u64),
+        ),
+        (
+            "cache",
+            obj(vec![
+                ("hits", num_u64(stats.cache.hits)),
+                ("misses", num_u64(stats.cache.misses)),
+                ("evictions", num_u64(stats.cache.evictions)),
+                ("compiled", num_u64(stats.cache.compiled)),
+                ("entries", num_u64(stats.cache.entries as u64)),
+            ]),
+        ),
+    ])
+}
+
+fn error_json(message: impl std::fmt::Display) -> Value {
+    obj(vec![
+        ("ok", Value::Bool(false)),
+        ("error", str_val(message.to_string())),
+    ])
+}
+
+// ---------------------------------------------------------------- server
+
+/// A running TCP front-end. Dropping the handle (or calling
+/// [`ServerHandle::stop`]) stops accepting new connections; established
+/// connections run until their client disconnects.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (use with `TcpStream::connect`; bind to port 0
+    /// and read this for an ephemeral loopback endpoint).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection. A wildcard
+        // bind address (0.0.0.0 / ::) is not connectable on every
+        // platform, so aim the wake-up at loopback on the bound port.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, std::time::Duration::from_secs(1));
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback port) and
+/// serve the protocol on it: one thread per connection, requests handled
+/// in arrival order per connection, connections independent.
+///
+/// # Errors
+///
+/// I/O errors from binding.
+pub fn serve(service: Arc<Service>, addr: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("tqsim-service-accept".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let service = Arc::clone(&service);
+                let _ = std::thread::Builder::new()
+                    .name("tqsim-service-conn".into())
+                    .spawn(move || handle_connection(&service, stream));
+            }
+        })?;
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// Longest accepted request line (1 MiB — a dense 25-qubit circuit encodes
+/// well under this). Bounds per-connection memory against a peer that
+/// streams bytes without ever sending a newline.
+const MAX_LINE_BYTES: u64 = 1 << 20;
+
+fn handle_connection(service: &Service, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = std::io::BufWriter::new(write_half);
+    let mut reader = BufReader::new(stream);
+    loop {
+        let mut line = String::new();
+        // Cap the read: a line that hits the limit without a newline is a
+        // protocol violation, answered once and then disconnected.
+        let mut limited = std::io::Read::take(&mut reader, MAX_LINE_BYTES);
+        match limited.read_line(&mut line) {
+            Ok(0) => return, // connection closed
+            Ok(_) => {}
+            Err(_) => return,
+        }
+        let overlong = !line.ends_with('\n') && line.len() as u64 >= MAX_LINE_BYTES;
+        if overlong {
+            let _ = write_line(&mut writer, &error_json("request line too long"));
+            let _ = writer.flush();
+            return;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let finished = handle_line(service, &line, &mut writer).is_err();
+        if writer.flush().is_err() || finished {
+            return;
+        }
+    }
+}
+
+fn write_line(writer: &mut dyn Write, value: &Value) -> std::io::Result<()> {
+    writer.write_all(value.to_json().as_bytes())?;
+    writer.write_all(b"\n")
+}
+
+/// Handle one request line; `Err` means the connection is unusable.
+fn handle_line(service: &Service, line: &str, writer: &mut dyn Write) -> std::io::Result<()> {
+    let request = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return write_line(writer, &error_json(e)),
+    };
+    let op = request.get("op").and_then(Value::as_str).unwrap_or("");
+    match op {
+        "submit" => match request_from_json(&request) {
+            Err(msg) => write_line(writer, &error_json(msg)),
+            Ok((client, job_request)) => match service.submit(&client, job_request) {
+                Ok(ticket) => write_line(
+                    writer,
+                    &obj(vec![
+                        ("ok", Value::Bool(true)),
+                        ("job", num_u64(ticket.id())),
+                    ]),
+                ),
+                Err(err) => write_line(writer, &error_json(err)),
+            },
+        },
+        "poll" => with_ticket(service, &request, writer, |ticket, writer| {
+            let status = ticket.status();
+            let mut fields = vec![
+                ("ok", Value::Bool(true)),
+                ("status", str_val(status.name())),
+                ("streamed", num_u64(ticket.streamed())),
+            ];
+            if let JobStatus::Failed(msg) = &status {
+                fields.push(("error", str_val(msg.clone())));
+            }
+            write_line(writer, &obj(fields))
+        }),
+        "stream" => with_ticket(service, &request, writer, |ticket, writer| {
+            let mut total = 0u64;
+            while let Some(chunk) = ticket.next_chunk() {
+                total += chunk.len() as u64;
+                write_line(
+                    writer,
+                    &obj(vec![(
+                        "chunk",
+                        Value::Arr(chunk.into_iter().map(num_u64).collect()),
+                    )]),
+                )?;
+                // Flush per chunk: streaming means the client sees leaf
+                // batches while the job still runs, not a buffered burst.
+                writer.flush()?;
+            }
+            write_line(
+                writer,
+                &obj(vec![
+                    ("done", Value::Bool(true)),
+                    ("status", str_val(ticket.status().name())),
+                    ("total", num_u64(total)),
+                ]),
+            )
+        }),
+        "result" => with_ticket(service, &request, writer, |ticket, writer| {
+            match ticket.wait() {
+                Ok(result) => write_line(writer, &result_to_json(&ticket.status(), &result)),
+                Err(err) => write_line(writer, &error_json(err)),
+            }
+        }),
+        "cancel" => with_ticket(service, &request, writer, |ticket, writer| {
+            let took_effect = ticket.cancel();
+            write_line(
+                writer,
+                &obj(vec![
+                    ("ok", Value::Bool(true)),
+                    ("cancelled", Value::Bool(took_effect)),
+                ]),
+            )
+        }),
+        "stats" => write_line(writer, &stats_to_json(&service.stats())),
+        other => write_line(writer, &error_json(format!("unknown op {other:?}"))),
+    }
+}
+
+fn with_ticket(
+    service: &Service,
+    request: &Value,
+    writer: &mut dyn Write,
+    f: impl FnOnce(Ticket, &mut dyn Write) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    let Some(id) = request.get("job").and_then(Value::as_u64) else {
+        return write_line(writer, &error_json("request needs a numeric \"job\""));
+    };
+    match service.lookup(id) {
+        Some(ticket) => f(ticket, writer),
+        None => write_line(writer, &error_json(format!("unknown job {id}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqsim_circuit::generators;
+
+    #[test]
+    fn circuit_codec_round_trips_and_fingerprints_match() {
+        let mut circuit = Circuit::new(4);
+        circuit
+            .h(0)
+            .cx(0, 1)
+            .rz(0.1 + 0.2, 2) // a value with no short decimal form
+            .cp(std::f64::consts::PI / 3.0, 1, 3)
+            .u3(0.3, -1.7, 2.9, 0)
+            .fsim(0.5, 0.25, 2, 3)
+            .ccx(0, 1, 2);
+        let text = circuit_to_json(&circuit).to_json();
+        let back = circuit_from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(circuit, back);
+        assert_eq!(
+            circuit.fingerprint(),
+            back.fingerprint(),
+            "wire transport must preserve the cache key"
+        );
+    }
+
+    #[test]
+    fn generator_circuits_survive_the_wire() {
+        for circuit in [
+            generators::qft(6),
+            generators::bv(7),
+            generators::adder_full(1),
+        ] {
+            let text = circuit_to_json(&circuit).to_json();
+            let back = circuit_from_json(&json::parse(&text).unwrap()).unwrap();
+            assert_eq!(circuit.fingerprint(), back.fingerprint());
+        }
+    }
+
+    #[test]
+    fn matrix_gates_round_trip() {
+        let u = GateKind::H.matrix1().unwrap();
+        let mut circuit = Circuit::new(2);
+        circuit.unitary1(u, 1);
+        let text = circuit_to_json(&circuit).to_json();
+        let back = circuit_from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(circuit, back);
+    }
+
+    #[test]
+    fn malformed_circuits_are_rejected() {
+        for bad in [
+            r#"{"gates": []}"#,
+            r#"{"n": 2, "gates": [["nope", 0]]}"#,
+            r#"{"n": 2, "gates": [["h"]]}"#,
+            r#"{"n": 2, "gates": [["h", 5]]}"#,
+            r#"{"n": 2, "gates": [["cx", 0, 0]]}"#,
+            r#"{"n": 2, "gates": [["rz", 0]]}"#,
+        ] {
+            let value = json::parse(bad).unwrap();
+            assert!(circuit_from_json(&value).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn noise_and_strategy_codecs() {
+        assert_eq!(
+            noise_from_json(&json::parse("\"sycamore\"").unwrap()).unwrap(),
+            NoiseModel::sycamore()
+        );
+        assert!(noise_from_json(&json::parse("\"nope\"").unwrap()).is_err());
+        let dep = noise_from_json(
+            &json::parse(r#"{"kind":"depolarizing","p1":0.001,"p2":0.015,"readout":0.02}"#)
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(dep.readout().is_some());
+        assert_eq!(dep.depolarizing_rates(), None, "readout disables DC tuple");
+
+        assert_eq!(
+            strategy_from_json(&json::parse("\"baseline\"").unwrap()).unwrap(),
+            Strategy::Baseline
+        );
+        assert_eq!(
+            strategy_from_json(&json::parse(r#"{"kind":"custom","arities":[5,3,2]}"#).unwrap())
+                .unwrap(),
+            Strategy::Custom {
+                arities: vec![5, 3, 2]
+            }
+        );
+        assert!(strategy_from_json(&json::parse(r#"{"kind":"??"}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn submit_decode_applies_defaults() {
+        let value = json::parse(
+            r#"{"op":"submit","circuit":{"n":2,"gates":[["h",0],["cx",0,1]]},"shots":64}"#,
+        )
+        .unwrap();
+        let (client, request) = request_from_json(&value).unwrap();
+        assert_eq!(client, "anonymous");
+        assert_eq!(request.shots, 64);
+        assert_eq!(request.seed, 0);
+        assert!(request.fusion);
+        assert_eq!(request.noise, NoiseModel::sycamore());
+    }
+}

@@ -40,7 +40,15 @@ fn main() {
 
     let n_jobs = jobs.len();
     let t0 = Instant::now();
-    let result = engine.submit(jobs).run().expect("all jobs plannable");
+    // Sequential mode so the per-job "peak states" column below is each
+    // job's own phase-scoped footprint; the default overlapped mode would
+    // report the batch-wide pool high-water mark for every row (drop
+    // `.sequential()` to let narrow-tree jobs interleave on the pool).
+    let result = engine
+        .submit(jobs)
+        .sequential()
+        .run()
+        .expect("all jobs plannable");
     let elapsed = t0.elapsed();
 
     println!(

@@ -22,13 +22,15 @@ pub use tqsim_cluster as cluster;
 pub use tqsim_densmat as densmat;
 pub use tqsim_engine as engine;
 pub use tqsim_noise as noise;
+pub use tqsim_service as service;
 pub use tqsim_statevec as statevec;
 
 /// One-stop imports for experiments and examples.
 pub mod prelude {
     pub use tqsim::{Counts, DcpConfig, RunResult, Strategy, Tqsim, TreeStructure};
     pub use tqsim_circuit::{generators, Circuit};
-    pub use tqsim_engine::{Engine, EngineConfig, JobSpec};
+    pub use tqsim_engine::{Engine, EngineConfig, JobPlan, JobSpec, PlannedJob};
     pub use tqsim_noise::NoiseModel;
+    pub use tqsim_service::{JobRequest, Service, ServiceConfig, Ticket};
     pub use tqsim_statevec::StateVector;
 }

@@ -1,0 +1,407 @@
+//! Service-layer integration tests: concurrency determinism (N concurrent
+//! clients receive `Counts` bit-identical to a serial `Engine::submit`),
+//! cross-request plan-cache accounting, and a loopback smoke test of the
+//! TCP wire protocol.
+
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use tqsim::{Counts, RunResult, Strategy as PlanStrategy};
+use tqsim_circuit::{generators, Circuit, Gate, GateKind};
+use tqsim_engine::{Engine, EngineConfig, JobSpec};
+use tqsim_noise::NoiseModel;
+use tqsim_service::{json, wire, JobRequest, Service, ServiceConfig, Ticket};
+
+/// Random gates over the wire-transportable catalogue.
+fn arb_gate(n: u16) -> impl Strategy<Value = Gate> {
+    let q = 0..n;
+    let angle = -6.3f64..6.3;
+    prop_oneof![
+        (q.clone(), 0usize..8).prop_map(move |(q, k)| {
+            let kind = [
+                GateKind::X,
+                GateKind::Y,
+                GateKind::Z,
+                GateKind::H,
+                GateKind::S,
+                GateKind::T,
+                GateKind::Sx,
+                GateKind::Id,
+            ][k];
+            Gate::new(kind, &[q])
+        }),
+        (q.clone(), angle.clone(), 0usize..4).prop_map(move |(q, t, k)| {
+            let kind = [
+                GateKind::Rx(t),
+                GateKind::Rz(t),
+                GateKind::Phase(t),
+                GateKind::Ry(t),
+            ][k];
+            Gate::new(kind, &[q])
+        }),
+        (q.clone(), q, angle, 0usize..5).prop_filter_map("distinct qubits", move |(a, b, t, k)| {
+            if a == b {
+                return None;
+            }
+            let kind = [
+                GateKind::Cx,
+                GateKind::Cz,
+                GateKind::CPhase(t),
+                GateKind::Swap,
+                GateKind::Rzz(t),
+            ][k];
+            Some(Gate::new(kind, &[a, b]))
+        }),
+    ]
+}
+
+fn arb_circuit(n: u16, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_gate(n), 4..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(*g.kind(), g.qubits());
+        }
+        c
+    })
+}
+
+fn noise_for(idx: usize) -> NoiseModel {
+    if idx == 0 {
+        NoiseModel::ideal()
+    } else {
+        NoiseModel::sycamore()
+    }
+}
+
+/// Serial reference: one-worker engine, strictly sequential batch.
+fn serial_reference(circuit: &Circuit, noise: &NoiseModel, seeds: &[u64]) -> Vec<RunResult> {
+    let engine = Engine::new(EngineConfig::default().parallelism(1));
+    engine
+        .submit(
+            seeds
+                .iter()
+                .map(|&seed| {
+                    JobSpec::new(circuit)
+                        .noise(noise.clone())
+                        .shots(12)
+                        .strategy(PlanStrategy::Custom {
+                            arities: vec![4, 3],
+                        })
+                        .seed(seed)
+                })
+                .collect(),
+        )
+        .sequential()
+        .run()
+        .unwrap()
+        .jobs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The acceptance property: N concurrent clients submitting seeded
+    /// jobs (ideal + sycamore noise) receive `Counts` bit-identical to a
+    /// serial `Engine::submit`, at service concurrency 1, 2 and 4.
+    #[test]
+    fn concurrent_clients_match_serial_engine_submit(
+        circuit in arb_circuit(5, 20),
+        noise_idx in 0usize..2,
+        base_seed in 0u64..1000,
+    ) {
+        let noise = noise_for(noise_idx);
+        let seeds: Vec<u64> = (0..3).map(|i| base_seed + i).collect();
+        let reference = serial_reference(&circuit, &noise, &seeds);
+        let shared = Arc::new(circuit);
+        for concurrency in [1usize, 2, 4] {
+            let service = Service::start(
+                ServiceConfig::default()
+                    .parallelism(2)
+                    .max_concurrent_jobs(concurrency),
+            );
+            // All clients submit before anyone waits, so jobs genuinely
+            // overlap at concurrency > 1.
+            let tickets: Vec<Ticket> = seeds
+                .iter()
+                .enumerate()
+                .map(|(i, &seed)| {
+                    service
+                        .submit(
+                            &format!("client-{i}"),
+                            JobRequest::new(Arc::clone(&shared))
+                                .noise(noise.clone())
+                                .shots(12)
+                                .strategy(PlanStrategy::Custom {
+                                    arities: vec![4, 3],
+                                })
+                                .seed(seed),
+                        )
+                        .unwrap()
+                })
+                .collect();
+            for (i, ticket) in tickets.iter().enumerate() {
+                let result = ticket.wait().unwrap();
+                prop_assert_eq!(
+                    &result.counts,
+                    &reference[i].counts,
+                    "concurrency {}, client {}",
+                    concurrency,
+                    i
+                );
+                prop_assert_eq!(&result.ops, &reference[i].ops);
+            }
+            // Identical planning inputs: one compile, the rest cache hits.
+            let stats = service.stats();
+            prop_assert_eq!(stats.cache.compiled, 1);
+            prop_assert_eq!(stats.cache.hits, seeds.len() as u64 - 1);
+            service.shutdown();
+        }
+    }
+}
+
+#[test]
+fn cache_accounting_one_compile_per_distinct_circuit() {
+    // The acceptance criterion in miniature: a repeated-circuit workload
+    // shows cross-request hits with compile count == distinct circuits.
+    let service = Service::start(
+        ServiceConfig::default()
+            .parallelism(2)
+            .max_concurrent_jobs(2),
+    );
+    let qft = Arc::new(generators::qft(6));
+    let rebuilt = Arc::new(generators::qft(6)); // structurally equal, new allocation
+    let bv = Arc::new(generators::bv(6));
+    let submissions = [
+        (Arc::clone(&qft), 1u64),
+        (Arc::clone(&rebuilt), 2),
+        (Arc::clone(&bv), 3),
+        (Arc::clone(&qft), 4),
+        (rebuilt, 5),
+        (bv, 6),
+    ];
+    let tickets: Vec<Ticket> = submissions
+        .iter()
+        .map(|(circuit, seed)| {
+            service
+                .submit(
+                    "repeat",
+                    JobRequest::new(Arc::clone(circuit)).shots(32).seed(*seed),
+                )
+                .unwrap()
+        })
+        .collect();
+    for ticket in &tickets {
+        ticket.wait().unwrap();
+    }
+    let stats = service.stats();
+    assert_eq!(stats.cache.compiled, 2, "qft and bv compile once each");
+    assert_eq!(stats.cache.misses, 2);
+    assert_eq!(stats.cache.hits, 4, "all repeats hit, across allocations");
+    assert_eq!(stats.completed, 6);
+    service.shutdown();
+}
+
+// ---------------------------------------------------------------- wire
+
+struct WireClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl WireClient {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("loopback connect");
+        let writer = stream.try_clone().expect("clone stream");
+        WireClient {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send");
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> json::Value {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("recv");
+        json::parse(line.trim()).expect("response is JSON")
+    }
+
+    fn request(&mut self, line: &str) -> json::Value {
+        self.send(line);
+        self.recv()
+    }
+}
+
+#[test]
+fn tcp_loopback_smoke() {
+    let service = Service::start(
+        ServiceConfig::default()
+            .parallelism(2)
+            .max_concurrent_jobs(2),
+    );
+    let server = wire::serve(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.addr();
+
+    // Submit a QFT over the wire with a pinned custom tree.
+    let circuit = generators::qft(5);
+    let submit = json::Value::Obj(vec![
+        ("op".into(), json::str_val("submit")),
+        ("client".into(), json::str_val("wire-smoke")),
+        ("circuit".into(), wire::circuit_to_json(&circuit)),
+        ("shots".into(), json::num_u64(24)),
+        ("seed".into(), json::num_u64(7)),
+        ("noise".into(), json::str_val("sycamore")),
+        (
+            "strategy".into(),
+            json::parse(r#"{"kind":"custom","arities":[6,4]}"#).unwrap(),
+        ),
+    ])
+    .to_json();
+
+    let mut client = WireClient::connect(addr);
+    let reply = client.request(&submit);
+    assert_eq!(reply.get("ok").and_then(json::Value::as_bool), Some(true));
+    let job = reply.get("job").and_then(json::Value::as_u64).unwrap();
+
+    // Stream the outcomes (a second connection, as a real consumer would).
+    let mut streamer = WireClient::connect(addr);
+    streamer.send(&format!("{{\"op\":\"stream\",\"job\":{job}}}"));
+    let mut streamed: Vec<u64> = Vec::new();
+    loop {
+        let line = streamer.recv();
+        if line.get("done").is_some() {
+            assert_eq!(
+                line.get("status").and_then(json::Value::as_str),
+                Some("done")
+            );
+            assert_eq!(
+                line.get("total").and_then(json::Value::as_u64),
+                Some(streamed.len() as u64)
+            );
+            break;
+        }
+        let chunk = line.get("chunk").and_then(json::Value::as_arr).unwrap();
+        streamed.extend(chunk.iter().map(|v| v.as_u64().unwrap()));
+    }
+    assert_eq!(streamed.len(), 24, "6×4 tree leaves");
+
+    // Poll reports completion.
+    let poll = client.request(&format!("{{\"op\":\"poll\",\"job\":{job}}}"));
+    assert_eq!(
+        poll.get("status").and_then(json::Value::as_str),
+        Some("done")
+    );
+
+    // The final result matches an identical in-process run bit for bit
+    // (wire transport preserves the circuit exactly).
+    let result = client.request(&format!("{{\"op\":\"result\",\"job\":{job}}}"));
+    let reference = serial_reference_for_smoke(&circuit);
+    assert_eq!(
+        result.get("total").and_then(json::Value::as_u64),
+        Some(reference.counts.total())
+    );
+    let mut wire_counts = Counts::new(5);
+    for pair in result.get("counts").and_then(json::Value::as_arr).unwrap() {
+        let pair = pair.as_arr().unwrap();
+        let outcome = pair[0].as_u64().unwrap();
+        for _ in 0..pair[1].as_u64().unwrap() {
+            wire_counts.increment(outcome);
+        }
+    }
+    assert_eq!(wire_counts, reference.counts);
+    // Streamed outcomes equal the final histogram as a multiset.
+    let mut streamed_counts = Counts::new(5);
+    for o in streamed {
+        streamed_counts.increment(o);
+    }
+    assert_eq!(streamed_counts, reference.counts);
+
+    // Stats verb shows the lifecycle.
+    let stats = client.request(r#"{"op":"stats"}"#);
+    assert_eq!(
+        stats.get("completed").and_then(json::Value::as_u64),
+        Some(1)
+    );
+    assert!(stats.get("cache").is_some());
+
+    // Error paths stay on-protocol.
+    let unknown = client.request(r#"{"op":"poll","job":999999}"#);
+    assert_eq!(
+        unknown.get("ok").and_then(json::Value::as_bool),
+        Some(false)
+    );
+    let garbage = client.request("not json at all");
+    assert_eq!(
+        garbage.get("ok").and_then(json::Value::as_bool),
+        Some(false)
+    );
+    let cancel = client.request(&format!("{{\"op\":\"cancel\",\"job\":{job}}}"));
+    assert_eq!(
+        cancel.get("cancelled").and_then(json::Value::as_bool),
+        Some(false),
+        "already done ⇒ cancel is a no-op"
+    );
+
+    server.stop();
+    service.shutdown();
+}
+
+fn serial_reference_for_smoke(circuit: &Circuit) -> RunResult {
+    let engine = Engine::new(EngineConfig::default().parallelism(1));
+    engine
+        .submit(vec![JobSpec::new(circuit)
+            .shots(24)
+            .strategy(PlanStrategy::Custom {
+                arities: vec![6, 4],
+            })
+            .seed(7)])
+        .sequential()
+        .run()
+        .unwrap()
+        .jobs
+        .remove(0)
+}
+
+#[test]
+fn wire_backpressure_reports_queue_full() {
+    let service = Service::start(
+        ServiceConfig::default()
+            .parallelism(1)
+            .max_concurrent_jobs(1)
+            .queue_capacity(1),
+    );
+    service.pause_scheduling();
+    let server = wire::serve(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+    let mut client = WireClient::connect(server.addr());
+    let submit = |client: &mut WireClient, seed: u64| {
+        let circuit = generators::bv(5);
+        let line = json::Value::Obj(vec![
+            ("op".into(), json::str_val("submit")),
+            ("circuit".into(), wire::circuit_to_json(&circuit)),
+            ("shots".into(), json::num_u64(8)),
+            ("seed".into(), json::num_u64(seed)),
+        ])
+        .to_json();
+        client.request(&line)
+    };
+    let first = submit(&mut client, 1);
+    assert_eq!(first.get("ok").and_then(json::Value::as_bool), Some(true));
+    let refused = submit(&mut client, 2);
+    assert_eq!(
+        refused.get("ok").and_then(json::Value::as_bool),
+        Some(false)
+    );
+    let msg = refused.get("error").and_then(json::Value::as_str).unwrap();
+    assert!(msg.contains("queue full"), "{msg}");
+    service.resume_scheduling();
+    let job = first.get("job").and_then(json::Value::as_u64).unwrap();
+    let result = client.request(&format!("{{\"op\":\"result\",\"job\":{job}}}"));
+    assert_eq!(result.get("ok").and_then(json::Value::as_bool), Some(true));
+    server.stop();
+    service.shutdown();
+}
