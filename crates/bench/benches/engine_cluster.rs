@@ -1,0 +1,197 @@
+//! Engine × cluster bench: the **pooled distributed tree** (the
+//! backend-generic `tqsim-engine` executor running
+//! `DistributedStateVector` nodes via `ClusterBackend`) vs **per-shot
+//! distributed Monte-Carlo** (one full noisy circuit replay per shot on
+//! the same distributed backend), in op-counting mode — `amp_passes`
+//! depends only on circuit, plan, noise and seed, so CI can track the
+//! tree-reuse win on the distributed backend as a stable artifact.
+//!
+//! Writes `BENCH_engine_cluster.json` (override with
+//! `TQSIM_BENCH_JSON=<path>`) with one record per circuit × node count:
+//! tree vs flat pass counts, the reuse ratio, state copies, and the
+//! cross-backend invariant — the pooled cluster engine's `Counts` must be
+//! bit-identical to the serial single-node engine run for the same seed.
+
+use std::sync::Arc;
+use tqsim::Strategy;
+use tqsim_bench::{banner, Scale, Table};
+use tqsim_circuit::{generators, Circuit};
+use tqsim_cluster::{ClusterBackend, InterconnectModel};
+use tqsim_engine::{Engine, EngineConfig, JobPlan, PlannedJob};
+use tqsim_noise::NoiseModel;
+use tqsim_statevec::{OpCounts, PooledBackend};
+
+struct Row {
+    circuit: &'static str,
+    nodes: usize,
+    gates: u64,
+    tree_passes: u64,
+    flat_passes: u64,
+    tree_copies: u64,
+    matches_single_node: bool,
+    pool_high_water: usize,
+}
+
+/// Per-shot distributed Monte-Carlo: compile the full circuit once, then
+/// reset + replay + sample per shot on one distributed state.
+fn flat_distributed_ops(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    backend: &ClusterBackend,
+    shots: u64,
+    seed: u64,
+) -> OpCounts {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let n = circuit.n_qubits();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = OpCounts::new();
+    let plan = noise.compile(circuit);
+    let mut state = backend.allocate(n);
+    for _shot in 0..shots {
+        backend.reset_zero(&mut state);
+        ops.state_resets += 1;
+        tqsim::run_subcircuit(&mut state, circuit, &plan, noise, &mut rng, &mut ops, true);
+        tqsim::draw_leaf_outcomes(&state, noise, n, 1, &mut rng, |_outcome| {
+            ops.samples += 1;
+        });
+    }
+    ops
+}
+
+fn run_row(circuit: &Circuit, noise: &NoiseModel, nodes: usize, shots: u64, seed: u64) -> Row {
+    let backend = ClusterBackend::new(nodes, InterconnectModel::commodity_cluster());
+    let plan = Arc::new(
+        JobPlan::plan(
+            circuit,
+            noise,
+            shots,
+            &Strategy::Custom {
+                arities: vec![4, 4, 2],
+            },
+        )
+        .expect("plan"),
+    );
+    // The pooled distributed tree: the generic engine executor on the
+    // cluster backend, work-stealing across 2 workers.
+    let engine = Engine::with_backend(EngineConfig::default().parallelism(2), backend);
+    let tree = engine.run_planned(&PlannedJob::new(Arc::clone(&plan)).seed(seed));
+    // Serial single-node engine reference for the bit-identity invariant.
+    let reference = Engine::new(EngineConfig::default().parallelism(1))
+        .run_planned(&PlannedJob::new(plan).seed(seed));
+    let flat = flat_distributed_ops(circuit, noise, &backend, shots, seed);
+    Row {
+        circuit: "",
+        nodes,
+        gates: circuit.len() as u64,
+        tree_passes: tree.ops.amp_passes,
+        flat_passes: flat.amp_passes,
+        tree_copies: tree.ops.state_copies,
+        matches_single_node: tree.counts == reference.counts,
+        pool_high_water: engine.pool_stats().high_water,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "engine_cluster",
+        "pooled distributed tree vs per-shot distributed Monte-Carlo (op-counting mode)",
+        &scale,
+    );
+
+    let n: u16 = if scale.full { 14 } else { 10 };
+    let shots = 32u64;
+    let seed = 13u64;
+    let noise = NoiseModel::sycamore();
+    let qaoa = generators::qaoa_random(n, 2 * usize::from(n), 1, 0.4, 0.8).0;
+    let circuits: Vec<(&'static str, Circuit)> = vec![
+        ("bv", generators::bv(n)),
+        ("qft", generators::qft(n)),
+        ("qaoa", qaoa),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (cname, circuit) in &circuits {
+        for nodes in [2usize, 4] {
+            let mut row = run_row(circuit, &noise, nodes, shots, seed);
+            row.circuit = cname;
+            rows.push(row);
+        }
+    }
+
+    let mut table = Table::new(&[
+        "circuit",
+        "nodes",
+        "gates",
+        "passes (tree)",
+        "passes (flat MC)",
+        "reuse ratio",
+        "tree copies",
+        "pool high water",
+        "matches single-node",
+    ]);
+    for r in &rows {
+        table.row(&[
+            r.circuit.to_string(),
+            r.nodes.to_string(),
+            r.gates.to_string(),
+            r.tree_passes.to_string(),
+            r.flat_passes.to_string(),
+            format!("{:.2}×", r.flat_passes as f64 / r.tree_passes as f64),
+            r.tree_copies.to_string(),
+            r.pool_high_water.to_string(),
+            r.matches_single_node.to_string(),
+        ]);
+    }
+    table.print();
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let mut json =
+        String::from("{\n  \"bench\": \"engine_cluster\",\n  \"mode\": \"op-counting\",\n");
+    json.push_str(&format!(
+        "  \"qubits\": {n},\n  \"shots\": {shots},\n  \"seed\": {seed},\n  \"rows\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"circuit\": \"{}\", \"nodes\": {}, \"gates\": {}, \
+             \"amp_passes_tree\": {}, \"amp_passes_flat\": {}, \
+             \"reuse_ratio\": {:.4}, \"tree_state_copies\": {}, \
+             \"pool_high_water\": {}, \"matches_single_node\": {}}}{}\n",
+            r.circuit,
+            r.nodes,
+            r.gates,
+            r.tree_passes,
+            r.flat_passes,
+            r.flat_passes as f64 / r.tree_passes as f64,
+            r.tree_copies,
+            r.pool_high_water,
+            r.matches_single_node,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::env::var("TQSIM_BENCH_JSON")
+        .unwrap_or_else(|_| "BENCH_engine_cluster.json".to_string());
+    std::fs::write(&path, &json).expect("write bench artifact");
+    println!("\nwrote {path}");
+
+    for r in &rows {
+        assert!(
+            r.flat_passes as f64 / r.tree_passes as f64 >= 1.5,
+            "acceptance: pooled distributed tree must perform ≥1.5× fewer amp \
+             passes than per-shot distributed Monte-Carlo ({} vs {} on {})",
+            r.flat_passes,
+            r.tree_passes,
+            r.circuit
+        );
+    }
+    assert!(
+        rows.iter().all(|r| r.matches_single_node),
+        "pooled cluster engine Counts diverged from the serial single-node engine"
+    );
+    println!(
+        "acceptance: distributed tree reuse ≥ 1.5× fewer amp passes, Counts \
+         bit-identical to the single-node engine ✓"
+    );
+}

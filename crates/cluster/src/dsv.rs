@@ -18,7 +18,7 @@ use std::fmt;
 const THREAD_MIN_SLICE: usize = 1 << 12;
 use tqsim_circuit::math::{c64, Mat2, Mat4, C64};
 use tqsim_circuit::Gate;
-use tqsim_statevec::{kernels, DiagRun, QuantumState, StateVector};
+use tqsim_statevec::{kernels, DiagRun, PooledBackend, QuantumState, StateVector};
 
 /// Error constructing a [`DistributedStateVector`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -74,13 +74,8 @@ impl DistributedStateVector {
         n_nodes: usize,
         model: InterconnectModel,
     ) -> Result<Self, ClusterError> {
-        if n_nodes == 0 || !n_nodes.is_power_of_two() {
-            return Err(ClusterError::BadNodeCount(n_nodes));
-        }
+        check_layout(n_qubits, n_nodes)?;
         let g = n_nodes.trailing_zeros() as u16;
-        if n_qubits < g + 3 {
-            return Err(ClusterError::TooFewLocalQubits { n_qubits, n_nodes });
-        }
         let local_n = n_qubits - g;
         let slice_len = 1usize << local_n;
         let mut slices = vec![vec![c64(0.0, 0.0); slice_len]; n_nodes];
@@ -121,6 +116,11 @@ impl DistributedStateVector {
     /// Amplitudes held per node.
     pub fn slice_len(&self) -> usize {
         1usize << self.local_n
+    }
+
+    /// Total amplitude bytes across the node group (`2^n · 16`).
+    pub fn bytes(&self) -> usize {
+        self.slice_len() * self.n_nodes() * std::mem::size_of::<C64>()
     }
 
     /// Qubits that are node-local (the low `n − g`).
@@ -339,6 +339,107 @@ impl DistributedStateVector {
         self.each_node(|slice| kernels::apply_gate_amps(slice, &remapped));
         self.undo_remap(&swaps);
         swaps.len()
+    }
+}
+
+/// The single source of truth for the slicing invariant: `n_nodes` must
+/// be a power of two ≥ 1 and at least 3 qubits must stay node-local.
+/// [`DistributedStateVector::zero`], [`ClusterBackend::validate`] and the
+/// runner's pre-checks all delegate here, so the rule cannot drift.
+pub(crate) fn check_layout(n_qubits: u16, n_nodes: usize) -> Result<(), ClusterError> {
+    if n_nodes == 0 || !n_nodes.is_power_of_two() {
+        return Err(ClusterError::BadNodeCount(n_nodes));
+    }
+    if n_qubits < n_nodes.trailing_zeros() as u16 + 3 {
+        return Err(ClusterError::TooFewLocalQubits { n_qubits, n_nodes });
+    }
+    Ok(())
+}
+
+/// The distributed execution backend: a node-group descriptor (node count
+/// and interconnect model) implementing [`PooledBackend`] with
+/// [`DistributedStateVector`] states, so `tqsim_statevec::StatePool`, the
+/// `tqsim-engine` pooled tree executor and `tqsim`'s serial tree walk all
+/// run on the cluster unchanged. Parent→child state copies stay node-local
+/// slice memcpys ([`DistributedStateVector::copy_from`]) — intermediate
+/// states never round-trip through a dense global vector.
+///
+/// Construction does not validate a register width (the backend is
+/// width-agnostic until a state is allocated); call
+/// [`ClusterBackend::validate`] — or check [`ClusterBackend::supports`] —
+/// before pooling states of a given width.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterBackend {
+    n_nodes: usize,
+    model: InterconnectModel,
+}
+
+impl ClusterBackend {
+    /// A backend slicing every state across `n_nodes` simulated nodes,
+    /// pricing communication with `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n_nodes` is a power of two ≥ 1 (width-dependent
+    /// validation is deferred to [`ClusterBackend::validate`]).
+    pub fn new(n_nodes: usize, model: InterconnectModel) -> Self {
+        assert!(
+            n_nodes >= 1 && n_nodes.is_power_of_two(),
+            "node count {n_nodes} is not a power of two >= 1"
+        );
+        ClusterBackend { n_nodes, model }
+    }
+
+    /// Number of nodes states are sliced across.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The interconnect model communication is priced with.
+    pub fn model(&self) -> InterconnectModel {
+        self.model
+    }
+
+    /// Check that `n_qubits`-wide states can be sliced across this node
+    /// group (≥ 3 qubits must stay node-local).
+    ///
+    /// # Errors
+    ///
+    /// The same conditions as [`DistributedStateVector::zero`].
+    pub fn validate(&self, n_qubits: u16) -> Result<(), ClusterError> {
+        check_layout(n_qubits, self.n_nodes)
+    }
+
+    /// Whether `n_qubits`-wide states fit this node group (the infallible
+    /// form of [`ClusterBackend::validate`], for placement policies).
+    pub fn supports(&self, n_qubits: u16) -> bool {
+        self.validate(n_qubits).is_ok()
+    }
+}
+
+impl PooledBackend for ClusterBackend {
+    type State = DistributedStateVector;
+
+    fn supports(&self, n_qubits: u16) -> bool {
+        ClusterBackend::supports(self, n_qubits)
+    }
+
+    fn allocate(&self, n_qubits: u16) -> DistributedStateVector {
+        DistributedStateVector::zero(n_qubits, self.n_nodes, self.model).unwrap_or_else(|err| {
+            panic!("executors must gate on PooledBackend::supports before allocating: {err}")
+        })
+    }
+
+    fn reset_zero(&self, state: &mut DistributedStateVector) {
+        state.reset_zero();
+    }
+
+    fn copy_into(&self, dst: &mut DistributedStateVector, src: &DistributedStateVector) {
+        dst.copy_from(src);
+    }
+
+    fn state_bytes(&self, state: &DistributedStateVector) -> usize {
+        state.bytes()
     }
 }
 

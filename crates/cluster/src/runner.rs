@@ -1,14 +1,14 @@
 //! Distributed execution of baseline and TQSim tree simulations, plus the
 //! analytic scaling estimator behind Fig. 13.
 
-use crate::dsv::{ClusterError, DistributedStateVector};
+use crate::dsv::{ClusterBackend, ClusterError, DistributedStateVector};
 use crate::model::{ClusterCounters, InterconnectModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tqsim::{Counts, ExecOptions, Partition};
 use tqsim_circuit::{Circuit, Gate};
 use tqsim_noise::NoiseModel;
-use tqsim_statevec::{CompiledCircuit, OpCounts, QuantumState};
+use tqsim_statevec::{CompiledCircuit, OpCounts, PooledBackend};
 
 /// Result of a distributed run.
 #[derive(Clone, Debug)]
@@ -54,12 +54,14 @@ pub fn run_distributed(
 }
 
 /// Execute a TQSim partition on the distributed engine (the baseline is the
-/// degenerate partition `(N)`). Mirrors the single-node
-/// [`tqsim::TreeExecutor`] semantics exactly — each subcircuit is compiled
-/// **once** and its fused plan replayed per tree node through the shared
-/// generic driver ([`tqsim::run_subcircuit`]), consuming the RNG stream
-/// identically — so for the same seed the `Counts` are **bit-identical** to
-/// the serial executor's (property-tested in `tests/prop_backend.rs`).
+/// degenerate partition `(N)`). A thin wrapper over the backend-generic
+/// serial tree walk ([`tqsim::run_tree_nodes`] on a [`ClusterBackend`]) —
+/// the same walk the single-node [`tqsim::TreeExecutor`] drives — so each
+/// subcircuit is compiled **once**, its fused plan replayed per tree node
+/// through the shared generic driver ([`tqsim::run_subcircuit`]), and the
+/// RNG stream consumed identically: for the same seed the `Counts` are
+/// **bit-identical** to the serial executor's (property-tested in
+/// `tests/prop_backend.rs`).
 ///
 /// # Errors
 ///
@@ -91,17 +93,17 @@ pub fn run_distributed_with_options(
     let mut counts = Counts::new(n);
     let mut ops = OpCounts::new();
 
-    let mut states: Vec<DistributedStateVector> = (0..=k)
-        .map(|_| DistributedStateVector::zero(n, n_nodes, model))
-        .collect::<Result<_, _>>()?;
+    crate::dsv::check_layout(n, n_nodes)?;
+    let backend = ClusterBackend::new(n_nodes, model);
+    let mut states: Vec<DistributedStateVector> = (0..=k).map(|_| backend.allocate(n)).collect();
     ops.state_resets += 1;
 
-    recurse(
+    tqsim::run_tree_nodes(
+        &backend,
         &subcircuits,
         &compiled,
-        partition,
+        &partition.tree,
         noise,
-        0,
         &mut states,
         &mut counts,
         &mut ops,
@@ -119,59 +121,6 @@ pub fn run_distributed_with_options(
         counters,
         ops,
     })
-}
-
-#[allow(clippy::too_many_arguments)]
-fn recurse(
-    subcircuits: &[Circuit],
-    compiled: &[CompiledCircuit],
-    partition: &Partition,
-    noise: &NoiseModel,
-    level: usize,
-    states: &mut [DistributedStateVector],
-    counts: &mut Counts,
-    ops: &mut OpCounts,
-    rng: &mut StdRng,
-    options: ExecOptions,
-) {
-    let k = subcircuits.len();
-    if level == k {
-        let n = states[k].n_qubits();
-        // Shared with the single-node executors so every backend consumes
-        // the RNG stream identically (batched CDF walk when oversampling).
-        tqsim::draw_leaf_outcomes(&states[k], noise, n, options.leaf_samples, rng, |outcome| {
-            counts.increment(outcome);
-            ops.samples += 1;
-        });
-        return;
-    }
-    for _rep in 0..partition.tree.arities()[level] {
-        let (parents, children) = states.split_at_mut(level + 1);
-        let child = &mut children[0];
-        child.copy_from(&parents[level]);
-        ops.state_copies += 1;
-        tqsim::run_subcircuit(
-            child,
-            &subcircuits[level],
-            &compiled[level],
-            noise,
-            rng,
-            ops,
-            options.fusion,
-        );
-        recurse(
-            subcircuits,
-            compiled,
-            partition,
-            noise,
-            level + 1,
-            states,
-            counts,
-            ops,
-            rng,
-            options,
-        );
-    }
 }
 
 // ---- analytic estimator (for widths too large to execute here) ------------

@@ -8,7 +8,9 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 use tqsim_circuit::{Circuit, GateKind};
 use tqsim_noise::NoiseModel;
-use tqsim_statevec::{CompiledCircuit, OpCounts, QuantumState, StateVector};
+use tqsim_statevec::{
+    CompiledCircuit, OpCounts, PooledBackend, QuantumState, SingleNode, StateVector,
+};
 
 /// Measurement histogram of a simulation run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -242,10 +244,22 @@ impl<'a> TreeExecutor<'a> {
 
         // One live state per tree level (+ the root) — this is exactly the
         // "intermediate states in otherwise-unused memory" trade of §3.4.
-        let mut states: Vec<StateVector> = (0..=k).map(|_| StateVector::zero(n)).collect();
+        let backend = SingleNode;
+        let mut states: Vec<StateVector> = (0..=k).map(|_| backend.allocate(n)).collect();
         ops.state_resets += 1;
 
-        self.recurse(0, &mut states, &mut counts, &mut ops, &mut rng, options);
+        run_tree_nodes(
+            &backend,
+            &self.subcircuits,
+            &self.compiled,
+            &self.partition.tree,
+            self.noise,
+            &mut states,
+            &mut counts,
+            &mut ops,
+            &mut rng,
+            options,
+        );
 
         let peak_states = k + 1;
         let peak_memory_bytes = peak_states * (16usize << n);
@@ -258,54 +272,119 @@ impl<'a> TreeExecutor<'a> {
             wall_time: t0.elapsed(),
         }
     }
+}
 
-    fn recurse(
-        &self,
-        level: usize,
-        states: &mut [StateVector],
-        counts: &mut Counts,
-        ops: &mut OpCounts,
-        rng: &mut StdRng,
-        options: ExecOptions,
-    ) {
-        let k = self.subcircuits.len();
-        if level == k {
-            self.sample_leaf(&states[k], counts, ops, rng, options.leaf_samples);
-            return;
-        }
-        let arity = self.partition.tree.arities()[level];
-        for _rep in 0..arity {
-            let (parents, children) = states.split_at_mut(level + 1);
-            let parent = &parents[level];
-            let child = &mut children[0];
-            child.copy_from(parent);
-            ops.state_copies += 1;
-            run_subcircuit(
-                child,
-                &self.subcircuits[level],
-                &self.compiled[level],
-                self.noise,
-                rng,
-                ops,
-                options.fusion,
-            );
-            self.recurse(level + 1, states, counts, ops, rng, options);
-        }
-    }
+/// Walk one partitioned simulation tree depth-first on any pooled backend —
+/// the **single** serial tree-walk implementation, shared by the
+/// single-node [`TreeExecutor`] and `tqsim-cluster`'s distributed runner
+/// (whose bespoke recursion this replaced).
+///
+/// `states` holds one preallocated state per tree level plus the root
+/// (`k + 1` entries for a `k`-subcircuit partition); `states[0]` must be
+/// `|0…0⟩`. Each node copies its parent's state through
+/// [`PooledBackend::copy_into`] (node-local slice copies on distributed
+/// backends — the contents never round-trip through a dense global
+/// vector), replays its compiled subcircuit via [`run_subcircuit`] and
+/// either samples ([`draw_leaf_outcomes`]) or recurses. One RNG is
+/// threaded through the whole walk, so for a fixed seed the `Counts` are
+/// bit-identical on every backend.
+///
+/// # Panics
+///
+/// Panics if `states` is shorter than `subcircuits.len() + 1` or
+/// `options.leaf_samples == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_tree_nodes<B, R>(
+    backend: &B,
+    subcircuits: &[Circuit],
+    compiled: &[CompiledCircuit],
+    tree: &TreeStructure,
+    noise: &NoiseModel,
+    states: &mut [B::State],
+    counts: &mut Counts,
+    ops: &mut OpCounts,
+    rng: &mut R,
+    options: ExecOptions,
+) where
+    B: PooledBackend,
+    R: rand::Rng + ?Sized,
+{
+    assert!(
+        states.len() > subcircuits.len(),
+        "need one state per tree level plus the root"
+    );
+    assert!(
+        options.leaf_samples >= 1,
+        "need at least one sample per leaf"
+    );
+    recurse_nodes(
+        backend,
+        subcircuits,
+        compiled,
+        tree,
+        noise,
+        0,
+        states,
+        counts,
+        ops,
+        rng,
+        options,
+    );
+}
 
-    fn sample_leaf(
-        &self,
-        state: &StateVector,
-        counts: &mut Counts,
-        ops: &mut OpCounts,
-        rng: &mut StdRng,
-        leaf_samples: u32,
-    ) {
-        let n = self.circuit.n_qubits();
-        draw_leaf_outcomes(state, self.noise, n, leaf_samples, rng, |outcome| {
+#[allow(clippy::too_many_arguments)]
+fn recurse_nodes<B, R>(
+    backend: &B,
+    subcircuits: &[Circuit],
+    compiled: &[CompiledCircuit],
+    tree: &TreeStructure,
+    noise: &NoiseModel,
+    level: usize,
+    states: &mut [B::State],
+    counts: &mut Counts,
+    ops: &mut OpCounts,
+    rng: &mut R,
+    options: ExecOptions,
+) where
+    B: PooledBackend,
+    R: rand::Rng + ?Sized,
+{
+    let k = subcircuits.len();
+    if level == k {
+        let n = QuantumState::n_qubits(&states[k]);
+        draw_leaf_outcomes(&states[k], noise, n, options.leaf_samples, rng, |outcome| {
             counts.increment(outcome);
             ops.samples += 1;
         });
+        return;
+    }
+    for _rep in 0..tree.arities()[level] {
+        let (parents, children) = states.split_at_mut(level + 1);
+        let child = &mut children[0];
+        backend.copy_into(child, &parents[level]);
+        ops.state_copies += 1;
+        run_subcircuit(
+            child,
+            &subcircuits[level],
+            &compiled[level],
+            noise,
+            rng,
+            ops,
+            options.fusion,
+        );
+        recurse_nodes(
+            backend,
+            subcircuits,
+            compiled,
+            tree,
+            noise,
+            level + 1,
+            states,
+            counts,
+            ops,
+            rng,
+            options,
+        );
     }
 }
 

@@ -47,7 +47,7 @@ use std::time::Instant;
 use tqsim::{Counts, RunResult, TreeStructure};
 use tqsim_circuit::Circuit;
 use tqsim_noise::NoiseModel;
-use tqsim_statevec::{CompiledCircuit, OpCounts, PoolCounters, PooledState};
+use tqsim_statevec::{CompiledCircuit, OpCounts, PoolCounters, PooledBackend, PooledState};
 
 /// Completion callback: invoked exactly once, from whichever worker retires
 /// the job's last node, with the fully merged result.
@@ -130,9 +130,9 @@ fn finish_job(shared: &TreeShared) {
 
 /// A node's view of its parent state: the implicit `|0…0⟩` root, or a
 /// pooled buffer kept alive until the last sibling has copied it.
-enum Parent {
+enum Parent<B: PooledBackend> {
     Root,
-    State(Arc<PooledState>),
+    State(Arc<PooledState<B>>),
 }
 
 /// SplitMix64 finaliser: decorrelates structured path inputs.
@@ -161,8 +161,8 @@ fn child_hash(parent_hash: u64, index: u64) -> u64 {
 /// mark reflects the *combined* footprint of everything sharing the pool
 /// (reset it between phases via [`WorkerPool::pool_counters`] for scoped
 /// measurements).
-pub(crate) fn launch_tree(
-    pool: &WorkerPool,
+pub(crate) fn launch_tree<B: PooledBackend>(
+    pool: &WorkerPool<B>,
     plan: &Arc<JobPlan>,
     seed: u64,
     leaf_samples: u32,
@@ -171,6 +171,15 @@ pub(crate) fn launch_tree(
     done: DoneFn,
 ) {
     assert!(leaf_samples >= 1, "need at least one sample per leaf");
+    // Fail fast on the caller's thread: an unsupported width (e.g. too few
+    // node-local qubits for a cluster backend) is a static configuration
+    // error, not something to panic over mid-tree on a worker.
+    assert!(
+        pool.backend().supports(plan.n_qubits),
+        "backend cannot materialise {}-qubit states (check PooledBackend::supports \
+         before submitting)",
+        plan.n_qubits
+    );
     let arities = plan.partition.tree.arities().to_vec();
     let roots = arities[0];
     let shared = Arc::new(TreeShared {
@@ -214,8 +223,8 @@ pub(crate) fn launch_tree(
 ///
 /// Re-raises the first panic any node task raised (via
 /// [`WorkerPool::wait_idle`]).
-pub(crate) fn run_tree(
-    pool: &WorkerPool,
+pub(crate) fn run_tree<B: PooledBackend>(
+    pool: &WorkerPool<B>,
     plan: &Arc<JobPlan>,
     seed: u64,
     leaf_samples: u32,
@@ -242,12 +251,12 @@ pub(crate) fn run_tree(
 
 /// Materialise the node at `level` (executing subcircuit `level`), then
 /// sample (leaf) or spawn the children.
-fn run_node(
+fn run_node<B: PooledBackend>(
     shared: &Arc<TreeShared>,
-    parent: Parent,
+    parent: Parent<B>,
     level: usize,
     hash: u64,
-    ctx: &WorkerCtx<'_>,
+    ctx: &WorkerCtx<'_, B>,
 ) {
     // First statement, so a panic anywhere below still retires this node
     // (its un-spawned subtree simply never joins the count).

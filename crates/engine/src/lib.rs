@@ -32,6 +32,16 @@
 //! [`Batch::sequential`] restores strict one-after-another execution with
 //! per-job phase-scoped memory metrics.
 //!
+//! The whole stack is **generic over the execution backend**
+//! ([`tqsim_statevec::PooledBackend`]): [`Engine::new`] pools single-node
+//! `StateVector`s, while [`Engine::with_backend`] accepts any backend —
+//! `tqsim-cluster`'s `ClusterBackend` runs every tree node on a
+//! distributed state vector sliced across a simulated node group, so
+//! circuits whose states exceed one node's memory use the same pooled,
+//! work-stealing executor. For a fixed seed, `Counts` are bit-identical
+//! across backends *and* parallelism levels (property-tested in
+//! `tests/prop_engine_cluster.rs`).
+//!
 //! ```
 //! use tqsim_engine::{Engine, EngineConfig, JobSpec};
 //! use tqsim_circuit::generators;
@@ -79,7 +89,7 @@ use std::sync::{mpsc, Arc};
 use tqsim::{Partition, PlanError, RunResult, Strategy, Tqsim, TreeStructure};
 use tqsim_circuit::Circuit;
 use tqsim_noise::NoiseModel;
-use tqsim_statevec::{CompiledCircuit, PoolStats};
+use tqsim_statevec::{CompiledCircuit, PoolStats, PooledBackend, SingleNode};
 
 /// A streaming outcome sink: called from worker threads with each leaf
 /// batch's outcomes as soon as the leaf is sampled, long before the job
@@ -364,13 +374,13 @@ enum BatchMode {
 
 /// A set of jobs bound to an engine, ready to run.
 #[must_use = "a batch does nothing until run()"]
-pub struct Batch<'e, 'c> {
-    engine: &'e Engine,
+pub struct Batch<'e, 'c, B: PooledBackend = SingleNode> {
+    engine: &'e Engine<B>,
     jobs: Vec<JobSpec<'c>>,
     mode: BatchMode,
 }
 
-impl<'c> Batch<'_, 'c> {
+impl<'c, B: PooledBackend> Batch<'_, 'c, B> {
     /// Run jobs strictly one after another (the pre-service behaviour):
     /// each job's tree saturates the pool alone and its reported
     /// `peak_states`/`peak_memory_bytes` are phase-scoped to that job.
@@ -484,8 +494,8 @@ impl<'c> Batch<'_, 'c> {
 
 /// The overlapping batch scheduler: admit jobs while the pool has slack,
 /// collect completions in any order, return results in submission order.
-fn run_overlapped(
-    engine: &Engine,
+fn run_overlapped<B: PooledBackend>(
+    engine: &Engine<B>,
     jobs: &[JobSpec<'_>],
     plans: &[Arc<JobPlan>],
     max_jobs: Option<usize>,
@@ -556,23 +566,37 @@ fn run_overlapped(
 /// [`Engine::start`] path is not gated — any number of started jobs share
 /// the pool concurrently, which is how the service front-end overlaps
 /// client requests.
-pub struct Engine {
-    pool: WorkerPool,
+pub struct Engine<B: PooledBackend = SingleNode> {
+    pool: WorkerPool<B>,
     /// Serializes batch execution; see the struct docs.
     run_gate: std::sync::Mutex<()>,
 }
 
-impl std::fmt::Debug for Engine {
+impl<B: PooledBackend> std::fmt::Debug for Engine<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Engine[{} workers]", self.pool.workers())
     }
 }
 
 impl Engine {
-    /// Spin up the worker pool.
+    /// Spin up a single-node worker pool (states are plain
+    /// [`tqsim_statevec::StateVector`]s).
     pub fn new(cfg: EngineConfig) -> Self {
+        Engine::with_backend(cfg, SingleNode)
+    }
+}
+
+impl<B: PooledBackend> Engine<B> {
+    /// Spin up a worker pool whose state buffers allocate through
+    /// `backend` — e.g. `tqsim-cluster`'s node-group-aware backend, so
+    /// tree nodes whose states exceed one node's memory run on the
+    /// distributed state vector through the exact same executor. For a
+    /// fixed seed, `Counts` are bit-identical across backends (and across
+    /// parallelism levels): node RNG streams derive only from the job seed
+    /// and tree path, and every backend replays the same compiled plans.
+    pub fn with_backend(cfg: EngineConfig, backend: B) -> Self {
         Engine {
-            pool: WorkerPool::new(cfg.parallelism),
+            pool: WorkerPool::with_backend(cfg.parallelism, backend),
             run_gate: std::sync::Mutex::new(()),
         }
     }
@@ -583,7 +607,7 @@ impl Engine {
     }
 
     /// Bind a set of jobs to this engine (execute with [`Batch::run`]).
-    pub fn submit<'e, 'c>(&'e self, jobs: Vec<JobSpec<'c>>) -> Batch<'e, 'c> {
+    pub fn submit<'e, 'c>(&'e self, jobs: Vec<JobSpec<'c>>) -> Batch<'e, 'c, B> {
         Batch {
             engine: self,
             jobs,
@@ -703,7 +727,7 @@ impl Engine {
     }
 
     /// Direct access to the worker pool (shot-level helpers, custom tasks).
-    pub fn worker_pool(&self) -> &WorkerPool {
+    pub fn worker_pool(&self) -> &WorkerPool<B> {
         &self.pool
     }
 }
@@ -999,6 +1023,66 @@ mod tests {
             });
             drop(engine); // the worker's clone may now be the last one
             assert_eq!(rx.recv().unwrap(), 12);
+        }
+    }
+
+    #[test]
+    fn cluster_backend_counts_match_single_node_bit_for_bit() {
+        // The tentpole invariant: one JobPlan, two backends, identical
+        // Counts. The cluster engine pools DistributedStateVectors through
+        // the same executor; node RNG streams depend only on seed + tree
+        // path, and plan replay is arithmetic-identical across backends.
+        use tqsim_cluster::{ClusterBackend, InterconnectModel};
+        let circuit = generators::qft(8);
+        let plan = Arc::new(
+            JobPlan::plan(
+                &circuit,
+                &NoiseModel::sycamore(),
+                24,
+                &Strategy::Custom {
+                    arities: vec![4, 3, 2],
+                },
+            )
+            .unwrap(),
+        );
+        let reference = Engine::new(EngineConfig::default().parallelism(1))
+            .run_planned(&PlannedJob::new(Arc::clone(&plan)).seed(7));
+        let model = InterconnectModel::commodity_cluster();
+        for nodes in [2usize, 4] {
+            let engine = Engine::with_backend(
+                EngineConfig::default().parallelism(2),
+                ClusterBackend::new(nodes, model),
+            );
+            let r = engine.run_planned(&PlannedJob::new(Arc::clone(&plan)).seed(7));
+            assert_eq!(r.counts, reference.counts, "{nodes} nodes");
+            assert_eq!(r.ops, reference.ops, "{nodes} nodes");
+            let stats = engine.pool_stats();
+            assert_eq!(stats.outstanding, 0, "every distributed buffer returned");
+            assert!(stats.reuses > 0, "pooling must recycle distributed states");
+        }
+    }
+
+    #[test]
+    fn cluster_backend_batches_and_streaming_work() {
+        // Batches (plan dedup, overlap) and streaming sinks are
+        // backend-agnostic: the same surface works on the cluster engine.
+        use tqsim_cluster::{ClusterBackend, InterconnectModel};
+        let circuit = generators::qft(8);
+        let engine = Engine::with_backend(
+            EngineConfig::default().parallelism(2),
+            ClusterBackend::new(4, InterconnectModel::commodity_cluster()),
+        );
+        let result = engine
+            .submit(vec![
+                JobSpec::new(&circuit).shots(12).seed(1),
+                JobSpec::new(&circuit).shots(12).seed(2),
+            ])
+            .run()
+            .unwrap();
+        assert_eq!(result.plans.planned, 1);
+        assert_eq!(result.plans.reused, 1);
+        for job in &result.jobs {
+            assert!(job.counts.total() >= 12);
         }
     }
 

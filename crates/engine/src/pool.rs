@@ -25,16 +25,16 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use tqsim_statevec::{PoolCounters, PoolStats, PooledState, StatePool};
+use tqsim_statevec::{PoolCounters, PoolStats, PooledBackend, PooledState, SingleNode, StatePool};
 
 /// A unit of work: runs once on some worker.
-pub type Task = Box<dyn FnOnce(&WorkerCtx<'_>) + Send + 'static>;
+pub type Task<B = SingleNode> = Box<dyn FnOnce(&WorkerCtx<'_, B>) + Send + 'static>;
 
-struct Shared {
+struct Shared<B: PooledBackend> {
     /// Externally injected work (FIFO).
-    injector: Mutex<VecDeque<Task>>,
+    injector: Mutex<VecDeque<Task<B>>>,
     /// Per-worker deques: owner pops the back, thieves steal the front.
-    locals: Vec<Mutex<VecDeque<Task>>>,
+    locals: Vec<Mutex<VecDeque<Task<B>>>>,
     /// Tasks queued anywhere (quick "is there work?" probe). Incremented
     /// *before* the push and decremented only after a successful pop, so
     /// it may transiently over-count but never wraps below zero.
@@ -55,7 +55,7 @@ struct Shared {
     counters: Arc<PoolCounters>,
 }
 
-impl Shared {
+impl<B: PooledBackend> Shared<B> {
     /// Publish one new task: bump the counters, then wake a sleeper only
     /// if one exists. Lost-wakeup freedom is the classic Dekker argument
     /// (both sides use `SeqCst`): a worker increments `sleepers` *before*
@@ -63,7 +63,7 @@ impl Shared {
     /// `queued` *before* reading `sleepers` — at least one side must see
     /// the other's write, so either the worker re-loops or the producer
     /// takes the lock and notifies.
-    fn publish(&self, queue: &Mutex<VecDeque<Task>>, task: Task) {
+    fn publish(&self, queue: &Mutex<VecDeque<Task<B>>>, task: Task<B>) {
         self.pending.fetch_add(1, Ordering::SeqCst);
         self.queued.fetch_add(1, Ordering::SeqCst);
         queue.lock().expect("queue lock").push_back(task);
@@ -76,13 +76,13 @@ impl Shared {
 
 /// What a task sees of the pool: its worker identity, the worker's state
 /// pool, and the ability to spawn follow-up tasks.
-pub struct WorkerCtx<'a> {
+pub struct WorkerCtx<'a, B: PooledBackend = SingleNode> {
     index: usize,
-    state_pool: &'a StatePool,
-    shared: &'a Arc<Shared>,
+    state_pool: &'a StatePool<B>,
+    shared: &'a Arc<Shared<B>>,
 }
 
-impl WorkerCtx<'_> {
+impl<B: PooledBackend> WorkerCtx<'_, B> {
     /// This worker's index in `0..parallelism` (stable for the pool's
     /// lifetime; useful for per-worker accumulator slots).
     pub fn index(&self) -> usize {
@@ -92,27 +92,29 @@ impl WorkerCtx<'_> {
     /// Check a state buffer out of this worker's pool (contents
     /// unspecified; overwrite before use). Returned buffers find their way
     /// back to this worker's free list no matter which thread drops them.
-    pub fn acquire(&self, n_qubits: u16) -> PooledState {
+    pub fn acquire(&self, n_qubits: u16) -> PooledState<B> {
         self.state_pool.acquire(n_qubits)
     }
 
     /// Push a follow-up task onto this worker's local deque (LIFO for the
     /// owner, stealable FIFO by siblings).
-    pub fn spawn(&self, task: impl FnOnce(&WorkerCtx<'_>) + Send + 'static) {
+    pub fn spawn(&self, task: impl FnOnce(&WorkerCtx<'_, B>) + Send + 'static) {
         self.shared
             .publish(&self.shared.locals[self.index], Box::new(task));
     }
 }
 
 /// A fixed-size pool of worker threads with work stealing and per-worker
-/// state pools. See the [module docs](self).
-pub struct WorkerPool {
-    shared: Arc<Shared>,
-    state_pools: Vec<StatePool>,
+/// state pools, generic over the execution backend (single-node
+/// [`StatePool`]s by default; `tqsim-cluster`'s backend pools distributed
+/// states). See the [module docs](self).
+pub struct WorkerPool<B: PooledBackend = SingleNode> {
+    shared: Arc<Shared<B>>,
+    state_pools: Vec<StatePool<B>>,
     handles: Vec<JoinHandle<()>>,
 }
 
-impl std::fmt::Debug for WorkerPool {
+impl<B: PooledBackend> std::fmt::Debug for WorkerPool<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
@@ -124,12 +126,26 @@ impl std::fmt::Debug for WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawn a pool of `workers` threads (each with its own [`StatePool`]).
+    /// Spawn a pool of `workers` threads, each pooling single-node
+    /// [`tqsim_statevec::StateVector`] buffers.
     ///
     /// # Panics
     ///
     /// Panics if `workers == 0` or thread spawning fails.
     pub fn new(workers: usize) -> Self {
+        WorkerPool::with_backend(workers, SingleNode)
+    }
+}
+
+impl<B: PooledBackend> WorkerPool<B> {
+    /// Spawn a pool of `workers` threads whose per-worker [`StatePool`]s
+    /// allocate through `backend` (e.g. `tqsim-cluster`'s node-group-aware
+    /// backend).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or thread spawning fails.
+    pub fn with_backend(workers: usize, backend: B) -> Self {
         assert!(workers >= 1, "a pool needs at least one worker");
         let counters = PoolCounters::new();
         let shared = Arc::new(Shared {
@@ -144,8 +160,8 @@ impl WorkerPool {
             panic: Mutex::new(None),
             counters: Arc::clone(&counters),
         });
-        let state_pools: Vec<StatePool> = (0..workers)
-            .map(|_| StatePool::with_counters(Arc::clone(&counters)))
+        let state_pools: Vec<StatePool<B>> = (0..workers)
+            .map(|_| StatePool::with_backend(backend.clone(), Arc::clone(&counters)))
             .collect();
         let handles = (0..workers)
             .map(|index| {
@@ -170,7 +186,7 @@ impl WorkerPool {
     }
 
     /// Submit one task to the global queue.
-    pub fn inject(&self, task: impl FnOnce(&WorkerCtx<'_>) + Send + 'static) {
+    pub fn inject(&self, task: impl FnOnce(&WorkerCtx<'_, B>) + Send + 'static) {
         self.shared.publish(&self.shared.injector, Box::new(task));
     }
 
@@ -216,7 +232,7 @@ impl WorkerPool {
     /// stealing can rebalance uneven iteration costs.
     pub fn for_each_index<F>(&self, count: u64, f: F)
     where
-        F: Fn(u64, &WorkerCtx<'_>) + Send + Sync + 'static,
+        F: Fn(u64, &WorkerCtx<'_, B>) + Send + Sync + 'static,
     {
         if count == 0 {
             return;
@@ -236,6 +252,11 @@ impl WorkerPool {
             start = end;
         }
         self.wait_idle();
+    }
+
+    /// The execution backend the per-worker state pools allocate through.
+    pub fn backend(&self) -> &B {
+        self.state_pools[0].backend()
     }
 
     /// Aggregate buffer-pool statistics across all workers (exact global
@@ -265,7 +286,7 @@ impl WorkerPool {
     }
 }
 
-impl Drop for WorkerPool {
+impl<B: PooledBackend> Drop for WorkerPool<B> {
     fn drop(&mut self) {
         {
             let mut shutdown = self.shared.sleep.lock().expect("sleep lock");
@@ -288,7 +309,7 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(index: usize, state_pool: &StatePool, shared: &Arc<Shared>) {
+fn worker_loop<B: PooledBackend>(index: usize, state_pool: &StatePool<B>, shared: &Arc<Shared<B>>) {
     let ctx = WorkerCtx {
         index,
         state_pool,
@@ -335,8 +356,8 @@ fn worker_loop(index: usize, state_pool: &StatePool, shared: &Arc<Shared>) {
 
 /// Pop in priority order: own deque (LIFO) → global injector (FIFO) →
 /// steal from siblings (FIFO), scanning from the next index round-robin.
-fn find_task(index: usize, shared: &Shared) -> Option<Task> {
-    let grab = |queue: &Mutex<VecDeque<Task>>, lifo: bool| -> Option<Task> {
+fn find_task<B: PooledBackend>(index: usize, shared: &Shared<B>) -> Option<Task<B>> {
+    let grab = |queue: &Mutex<VecDeque<Task<B>>>, lifo: bool| -> Option<Task<B>> {
         let mut q = queue.lock().expect("queue lock");
         if lifo {
             q.pop_back()

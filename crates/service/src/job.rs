@@ -3,6 +3,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 use tqsim::RunResult;
 
 /// Service-assigned job identifier (unique for the service lifetime).
@@ -74,6 +75,12 @@ pub(crate) struct ServiceCounters {
     pub cancelled: AtomicU64,
     pub chunks_streamed: AtomicU64,
     pub outcomes_streamed: AtomicU64,
+    /// Jobs dispatched onto the single-node engine.
+    pub single_node_jobs: AtomicU64,
+    /// Jobs routed to the cluster-backed engine by the placement policy.
+    pub cluster_jobs: AtomicU64,
+    /// Finished job records dropped by the TTL sweep or explicit forget.
+    pub forgotten: AtomicU64,
 }
 
 struct JobState {
@@ -83,6 +90,8 @@ struct JobState {
     pending: Vec<u64>,
     /// Total outcomes ever pushed into `pending`.
     streamed: u64,
+    /// When the job reached a terminal state (drives retention sweeps).
+    finished_at: Option<Instant>,
 }
 
 /// One job's shared record: the scheduler, the engine's worker threads and
@@ -94,6 +103,11 @@ pub(crate) struct JobRecord {
     state: Mutex<JobState>,
     /// Notified on every state change (status transitions and new chunks).
     cv: Condvar,
+    /// Invoked once, outside the state lock, when a cancellation takes
+    /// effect — the service hooks this to eagerly remove a still-queued
+    /// entry from the submission queue (freeing its admission slot
+    /// immediately instead of when the scheduler pops over it).
+    on_cancel: Mutex<Option<Box<dyn FnOnce() + Send>>>,
 }
 
 impl JobRecord {
@@ -107,8 +121,10 @@ impl JobRecord {
                 result: None,
                 pending: Vec::new(),
                 streamed: 0,
+                finished_at: None,
             }),
             cv: Condvar::new(),
+            on_cancel: Mutex::new(None),
         })
     }
 
@@ -159,6 +175,7 @@ impl JobRecord {
         }
         st.status = JobStatus::Done;
         st.result = Some(result);
+        st.finished_at = Some(Instant::now());
         self.counters.completed.fetch_add(1, Ordering::Relaxed);
         self.cv.notify_all();
     }
@@ -169,6 +186,7 @@ impl JobRecord {
             return;
         }
         st.status = JobStatus::Failed(message);
+        st.finished_at = Some(Instant::now());
         self.counters.failed.fetch_add(1, Ordering::Relaxed);
         self.cv.notify_all();
     }
@@ -176,17 +194,76 @@ impl JobRecord {
     /// Returns whether the cancellation took effect (the job had not
     /// already reached a terminal state).
     pub(crate) fn cancel(&self) -> bool {
-        let mut st = self.state.lock().expect("job state");
-        if st.status.is_terminal() {
-            return false;
+        {
+            let mut st = self.state.lock().expect("job state");
+            if st.status.is_terminal() {
+                return false;
+            }
+            st.status = JobStatus::Cancelled;
+            st.pending.clear();
+            st.result = None;
+            st.finished_at = Some(Instant::now());
+            self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            self.cv.notify_all();
         }
-        st.status = JobStatus::Cancelled;
-        st.pending.clear();
-        st.result = None;
-        self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-        self.cv.notify_all();
+        // Outside the state lock: the hook takes the scheduler lock, and
+        // the scheduler reads job status under it — holding both here
+        // would invert that order and deadlock.
+        if let Some(hook) = self.on_cancel.lock().expect("cancel hook").take() {
+            hook();
+        }
         true
     }
+
+    /// Install the eager-dequeue hook (service-side; see `on_cancel`).
+    pub(crate) fn set_on_cancel(&self, hook: Box<dyn FnOnce() + Send>) {
+        *self.on_cancel.lock().expect("cancel hook") = Some(hook);
+    }
+
+    /// Whether the job is terminal and has been so for longer than `ttl`.
+    pub(crate) fn expired(&self, ttl: Duration) -> bool {
+        let st = self.state.lock().expect("job state");
+        st.finished_at.is_some_and(|at| at.elapsed() >= ttl)
+    }
+
+    /// Whether the job is in a terminal state (for explicit forget).
+    pub(crate) fn is_terminal(&self) -> bool {
+        self.state.lock().expect("job state").status.is_terminal()
+    }
+}
+
+/// Wait on `cv` until notified or `deadline` passes. `None` deadline waits
+/// unboundedly and always returns the re-acquired guard; `Some(None)`
+/// return means the deadline expired.
+fn wait_until<'a, T>(
+    cv: &Condvar,
+    guard: std::sync::MutexGuard<'a, T>,
+    deadline: Option<Instant>,
+) -> Option<std::sync::MutexGuard<'a, T>> {
+    match deadline {
+        None => Some(cv.wait(guard).expect("job cv")),
+        Some(deadline) => {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timed_out) = cv.wait_timeout(guard, deadline - now).expect("job cv");
+            Some(guard)
+        }
+    }
+}
+
+/// Outcome of a bounded [`Ticket::next_chunk_timeout`] poll.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChunkPoll {
+    /// New outcomes arrived (the drained buffer).
+    Chunk(Vec<u64>),
+    /// The job is terminal and nothing is left to drain.
+    Terminal,
+    /// Nothing new within the timeout; the job is still live. Callers use
+    /// the gap to check their own liveness (e.g. a connection handler
+    /// probing whether its client is still there).
+    TimedOut,
 }
 
 /// A client's handle on one submitted job: poll status, stream outcome
@@ -246,15 +323,10 @@ impl Ticket {
     /// left to drain. Looping on this yields every outcome of the job,
     /// in leaf-batch chunks, while the job is still executing.
     pub fn next_chunk(&self) -> Option<Vec<u64>> {
-        let mut st = self.record.state.lock().expect("job state");
-        loop {
-            if !st.pending.is_empty() {
-                return Some(std::mem::take(&mut st.pending));
-            }
-            if st.status.is_terminal() {
-                return None;
-            }
-            st = self.record.cv.wait(st).expect("job cv");
+        match self.next_chunk_deadline(None) {
+            ChunkPoll::Chunk(chunk) => Some(chunk),
+            ChunkPoll::Terminal => None,
+            ChunkPoll::TimedOut => unreachable!("no deadline cannot time out"),
         }
     }
 
@@ -266,21 +338,70 @@ impl Ticket {
     /// [`JobError::Cancelled`] or [`JobError::Failed`] for jobs that did
     /// not complete.
     pub fn wait(&self) -> Result<RunResult, JobError> {
+        self.wait_deadline(None)
+            .expect("no deadline cannot time out")
+    }
+
+    /// Bounded [`Ticket::next_chunk`]: block at most `timeout` for new
+    /// outcomes. Lets a connection handler interleave chunk draining with
+    /// liveness checks instead of parking its thread until the job ends.
+    /// An unrepresentable deadline (e.g. `Duration::MAX`) waits
+    /// unboundedly, like [`Ticket::next_chunk`].
+    pub fn next_chunk_timeout(&self, timeout: Duration) -> ChunkPoll {
+        self.next_chunk_deadline(Instant::now().checked_add(timeout))
+    }
+
+    /// Bounded [`Ticket::wait`]: block at most `timeout` for the job to
+    /// reach a terminal state. `None` means "still running — check back";
+    /// the same liveness-poll companion as [`Ticket::next_chunk_timeout`].
+    /// An unrepresentable deadline (e.g. `Duration::MAX`) waits
+    /// unboundedly, like [`Ticket::wait`].
+    #[allow(clippy::type_complexity)]
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<RunResult, JobError>> {
+        self.wait_deadline(Instant::now().checked_add(timeout))
+    }
+
+    /// The one drain/wait state machine behind [`Ticket::next_chunk`] and
+    /// [`Ticket::next_chunk_timeout`]; `None` means no deadline.
+    fn next_chunk_deadline(&self, deadline: Option<Instant>) -> ChunkPoll {
+        let mut st = self.record.state.lock().expect("job state");
+        loop {
+            if !st.pending.is_empty() {
+                return ChunkPoll::Chunk(std::mem::take(&mut st.pending));
+            }
+            if st.status.is_terminal() {
+                return ChunkPoll::Terminal;
+            }
+            match wait_until(&self.record.cv, st, deadline) {
+                Some(guard) => st = guard,
+                None => return ChunkPoll::TimedOut,
+            }
+        }
+    }
+
+    /// The one terminal-wait state machine behind [`Ticket::wait`] and
+    /// [`Ticket::wait_timeout`]; `None` means no deadline.
+    fn wait_deadline(&self, deadline: Option<Instant>) -> Option<Result<RunResult, JobError>> {
         let mut st = self.record.state.lock().expect("job state");
         loop {
             match &st.status {
                 JobStatus::Done => {
-                    return Ok(st.result.clone().expect("done job has a result"));
+                    return Some(Ok(st.result.clone().expect("done job has a result")));
                 }
-                JobStatus::Failed(msg) => return Err(JobError::Failed(msg.clone())),
-                JobStatus::Cancelled => return Err(JobError::Cancelled),
-                _ => st = self.record.cv.wait(st).expect("job cv"),
+                JobStatus::Failed(msg) => return Some(Err(JobError::Failed(msg.clone()))),
+                JobStatus::Cancelled => return Some(Err(JobError::Cancelled)),
+                _ => match wait_until(&self.record.cv, st, deadline) {
+                    Some(guard) => st = guard,
+                    None => return None,
+                },
             }
         }
     }
 
     /// Cancel the job (best-effort; see [`JobStatus::Cancelled`]). Returns
-    /// whether the cancellation took effect.
+    /// whether the cancellation took effect. A still-queued job is also
+    /// removed from the submission queue eagerly, freeing its admission
+    /// slot immediately.
     pub fn cancel(&self) -> bool {
         self.record.cancel()
     }

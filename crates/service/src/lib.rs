@@ -78,9 +78,9 @@ pub mod service;
 pub mod wire;
 
 pub use cache::{CacheStats, PlanCache, PlanKey};
-pub use job::{JobError, JobId, JobStatus, Ticket};
+pub use job::{ChunkPoll, JobError, JobId, JobStatus, Ticket};
 pub use queue::SubmitError;
-pub use service::{run_one, JobRequest, Service, ServiceConfig, ServiceStats};
+pub use service::{run_one, BackendPolicy, JobRequest, Service, ServiceConfig, ServiceStats};
 pub use wire::{serve, ServerHandle};
 
 #[cfg(test)]
@@ -304,6 +304,179 @@ mod tests {
             service.submit("a", JobRequest::new(circuit)),
             Err(SubmitError::ShuttingDown)
         ));
+    }
+
+    #[test]
+    fn queued_cancellation_frees_admission_slot_eagerly() {
+        // Cancel-heavy admission: with scheduling paused, cancelling a
+        // queued job must re-open its slot immediately — no scheduler pop
+        // is ever involved.
+        let service = Service::start(
+            ServiceConfig::default()
+                .parallelism(1)
+                .max_concurrent_jobs(1)
+                .queue_capacity(2),
+        );
+        service.pause_scheduling();
+        let circuit = Arc::new(generators::bv(5));
+        let kept = service
+            .submit("a", JobRequest::new(Arc::clone(&circuit)).shots(8).seed(1))
+            .unwrap();
+        let doomed = service
+            .submit("b", JobRequest::new(Arc::clone(&circuit)).shots(8).seed(2))
+            .unwrap();
+        assert!(matches!(
+            service.submit("c", JobRequest::new(Arc::clone(&circuit)).shots(8).seed(3)),
+            Err(SubmitError::QueueFull { .. })
+        ));
+        assert!(doomed.cancel());
+        assert_eq!(service.stats().queued_now, 1, "slot freed without a pop");
+        let admitted = service
+            .submit("c", JobRequest::new(circuit).shots(8).seed(3))
+            .expect("eagerly freed slot admits a new job");
+        service.resume_scheduling();
+        assert!(kept.wait().is_ok());
+        assert!(admitted.wait().is_ok());
+        assert!(matches!(doomed.wait(), Err(JobError::Cancelled)));
+        service.shutdown();
+    }
+
+    #[test]
+    fn retention_ttl_sweeps_and_forget_drops_finished_records() {
+        let service = Service::start(
+            ServiceConfig::default()
+                .parallelism(1)
+                .max_concurrent_jobs(1)
+                .retention_ttl(Some(std::time::Duration::ZERO)),
+        );
+        let circuit = Arc::new(generators::bv(5));
+        let a = service
+            .submit("a", JobRequest::new(Arc::clone(&circuit)).shots(8).seed(1))
+            .unwrap();
+        a.wait().unwrap();
+        // Terminal + zero TTL ⇒ the next sweep drops the record.
+        service.sweep_retention();
+        let stats = service.stats();
+        assert_eq!(stats.retained_jobs, 0, "expired record swept");
+        assert_eq!(stats.forgotten, 1);
+        assert!(service.lookup(a.id()).is_none(), "record gone after sweep");
+        // The ticket itself keeps working: it holds the record directly.
+        assert!(a.wait().is_ok());
+
+        // Explicit forget: refused while live, honoured once terminal.
+        service.pause_scheduling();
+        let live = service
+            .submit("a", JobRequest::new(circuit).shots(8).seed(2))
+            .unwrap();
+        assert!(!service.forget(live.id()), "live jobs are never forgotten");
+        service.resume_scheduling();
+        live.wait().unwrap();
+        assert!(service.forget(live.id()));
+        assert!(!service.forget(live.id()), "second forget is a no-op");
+        assert!(service.lookup(live.id()).is_none());
+        service.shutdown();
+    }
+
+    #[test]
+    fn ticket_timeout_apis_report_progress_without_parking() {
+        let service = Service::start(
+            ServiceConfig::default()
+                .parallelism(1)
+                .max_concurrent_jobs(1),
+        );
+        service.pause_scheduling();
+        let circuit = Arc::new(generators::bv(5));
+        let ticket = service
+            .submit("a", JobRequest::new(circuit).shots(8).seed(1))
+            .unwrap();
+        // Queued forever (paused): bounded waits must come back.
+        let t0 = std::time::Instant::now();
+        assert!(ticket
+            .wait_timeout(std::time::Duration::from_millis(20))
+            .is_none());
+        assert_eq!(
+            ticket.next_chunk_timeout(std::time::Duration::from_millis(20)),
+            ChunkPoll::TimedOut
+        );
+        assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+        service.resume_scheduling();
+        let result = ticket
+            .wait_timeout(std::time::Duration::from_secs(30))
+            .expect("resumed job finishes")
+            .unwrap();
+        assert!(result.counts.total() >= 8);
+        // Terminal with everything drained ⇒ Terminal, not TimedOut.
+        while let ChunkPoll::Chunk(_) =
+            ticket.next_chunk_timeout(std::time::Duration::from_millis(20))
+        {}
+        assert_eq!(
+            ticket.next_chunk_timeout(std::time::Duration::from_millis(20)),
+            ChunkPoll::Terminal
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn backend_policy_routes_wide_jobs_to_the_cluster_engine() {
+        // Placement is width-driven and result-invariant: the same request
+        // must produce bit-identical Counts on a single-node-only service
+        // and on one that routes it to the cluster backend.
+        let circuit = Arc::new(generators::qft(8));
+        let request = || {
+            JobRequest::new(Arc::clone(&circuit))
+                .shots(24)
+                .strategy(tqsim::Strategy::Custom {
+                    arities: vec![4, 3, 2],
+                })
+                .seed(7)
+        };
+        let single = small_service(2);
+        let reference = single.submit("a", request()).unwrap().wait().unwrap();
+        single.shutdown();
+
+        let routed = Service::start(
+            ServiceConfig::default()
+                .parallelism(2)
+                .max_concurrent_jobs(2)
+                .backend_policy(BackendPolicy::cluster_above(8, 4)),
+        );
+        // Below threshold ⇒ single-node; at/above ⇒ cluster.
+        let narrow = Arc::new(generators::bv(6));
+        routed
+            .submit("a", JobRequest::new(narrow).shots(8).seed(1))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let wide = routed.submit("a", request()).unwrap().wait().unwrap();
+        assert_eq!(wide.counts, reference.counts, "placement-invariant");
+        let stats = routed.stats();
+        assert_eq!(stats.single_node_jobs, 1);
+        assert_eq!(stats.cluster_jobs, 1);
+        routed.shutdown();
+    }
+
+    #[test]
+    fn infeasible_cluster_width_falls_back_to_single_node() {
+        // 5 qubits over 8 nodes leaves < 3 local qubits: the policy says
+        // cluster, feasibility says no — the job must still run (single-
+        // node) rather than fail.
+        let service = Service::start(
+            ServiceConfig::default()
+                .parallelism(1)
+                .max_concurrent_jobs(1)
+                .backend_policy(BackendPolicy::cluster_above(4, 8)),
+        );
+        let circuit = Arc::new(generators::bv(5));
+        let result = service
+            .submit("a", JobRequest::new(circuit).shots(8).seed(3))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(result.counts.total() >= 8);
+        let stats = service.stats();
+        assert_eq!(stats.cluster_jobs, 0);
+        assert_eq!(stats.single_node_jobs, 1);
+        service.shutdown();
     }
 
     #[test]

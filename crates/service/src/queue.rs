@@ -138,6 +138,27 @@ impl FairQueue {
         popped
     }
 
+    /// Eagerly remove a still-queued entry by job id (queued-then-cancelled
+    /// jobs free their admission slot immediately instead of when the
+    /// scheduler pops over them). Returns whether an entry was removed;
+    /// the lazy status check in [`FairQueue::pop_fair`] remains as the
+    /// backstop for entries that were popped before the removal ran.
+    pub(crate) fn remove(&mut self, id: crate::job::JobId) -> bool {
+        let mut removed = false;
+        for lane in &mut self.lanes {
+            if let Some(pos) = lane.jobs.iter().position(|j| j.record.id() == id) {
+                lane.jobs.remove(pos);
+                self.queued -= 1;
+                removed = true;
+                break;
+            }
+        }
+        if removed {
+            self.prune_empty_lanes();
+        }
+        removed
+    }
+
     /// Drop drained lanes, keeping the round-robin cursor pointing at the
     /// same "next" client among the survivors.
     fn prune_empty_lanes(&mut self) {
@@ -234,6 +255,29 @@ mod tests {
         assert_eq!(popped.record.id(), 2);
         assert!(q.pop_fair().is_none());
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn eager_removal_frees_admission_slots_immediately() {
+        // Cancel-heavy admission: a full queue must re-admit as soon as a
+        // queued entry is removed, without waiting for a scheduler pop.
+        let mut q = FairQueue::new(2, 2);
+        q.push("a", job(1, "a")).unwrap();
+        q.push("a", job(2, "a")).unwrap();
+        assert!(matches!(
+            q.push("a", job(3, "a")),
+            Err(SubmitError::QueueFull { .. })
+        ));
+        assert!(q.remove(1), "queued entry removed eagerly");
+        assert_eq!(q.len(), 1, "slot freed without a pop");
+        q.push("a", job(3, "a")).unwrap();
+        assert!(!q.remove(99), "unknown id is a no-op");
+        // Remaining entries drain in order; the removed one never appears.
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_fair())
+            .map(|j| j.record.id())
+            .collect();
+        assert_eq!(order, vec![2, 3]);
+        assert!(q.lanes.is_empty(), "lanes pruned after removal + drain");
     }
 
     #[test]

@@ -8,10 +8,55 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 use tqsim::Strategy;
 use tqsim_circuit::Circuit;
+use tqsim_cluster::{ClusterBackend, InterconnectModel};
 use tqsim_engine::{ChunkSink, Engine, EngineConfig, PlannedJob};
 use tqsim_noise::NoiseModel;
+
+/// Where the placement policy routes jobs: the single-node engine or the
+/// cluster-backed engine (distributed state vectors over a simulated node
+/// group). Results are backend-independent — `Counts` for a given seed are
+/// bit-identical wherever the job lands — so placement is purely a memory
+/// / capacity decision.
+#[derive(Clone, Debug)]
+pub struct BackendPolicy {
+    /// Route jobs whose register width is at least this many qubits to the
+    /// cluster engine (`None`, the default, runs everything single-node).
+    /// Jobs the node group cannot slice (fewer than 3 local qubits) fall
+    /// back to the single-node engine regardless.
+    pub cluster_min_qubits: Option<u16>,
+    /// Simulated node-group size for cluster-backed jobs (power of two).
+    pub cluster_nodes: usize,
+    /// Worker threads of the cluster-backed engine (tree-level
+    /// parallelism; each distributed state additionally fans its node
+    /// slices out internally).
+    pub cluster_parallelism: usize,
+}
+
+impl Default for BackendPolicy {
+    /// Single-node only.
+    fn default() -> Self {
+        BackendPolicy {
+            cluster_min_qubits: None,
+            cluster_nodes: 4,
+            cluster_parallelism: 2,
+        }
+    }
+}
+
+impl BackendPolicy {
+    /// Route jobs of `min_qubits` or more to a `nodes`-node cluster
+    /// engine.
+    pub fn cluster_above(min_qubits: u16, nodes: usize) -> Self {
+        BackendPolicy {
+            cluster_min_qubits: Some(min_qubits),
+            cluster_nodes: nodes,
+            ..BackendPolicy::default()
+        }
+    }
+}
 
 /// Service construction options.
 #[derive(Clone, Debug)]
@@ -28,6 +73,13 @@ pub struct ServiceConfig {
     pub per_client_capacity: usize,
     /// Plan-cache capacity in plans (0 disables caching).
     pub cache_capacity: usize,
+    /// Backend placement policy (default: everything single-node).
+    pub backend_policy: BackendPolicy,
+    /// How long finished job records stay queryable after reaching a
+    /// terminal state. The sweep runs opportunistically on submissions and
+    /// stats snapshots (plus [`Service::sweep_retention`] for explicit
+    /// control); `None` retains records for the service lifetime.
+    pub retention_ttl: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -41,6 +93,8 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             per_client_capacity: 64,
             cache_capacity: 64,
+            backend_policy: BackendPolicy::default(),
+            retention_ttl: Some(Duration::from_secs(900)),
         }
     }
 }
@@ -88,6 +142,31 @@ impl ServiceConfig {
     /// Set the plan-cache capacity (0 disables caching).
     pub fn cache_capacity(mut self, n: usize) -> Self {
         self.cache_capacity = n;
+        self
+    }
+
+    /// Set the backend placement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's node count is not a power of two ≥ 1 or its
+    /// cluster parallelism is zero.
+    pub fn backend_policy(mut self, policy: BackendPolicy) -> Self {
+        assert!(
+            policy.cluster_nodes >= 1 && policy.cluster_nodes.is_power_of_two(),
+            "cluster node count must be a power of two"
+        );
+        assert!(
+            policy.cluster_parallelism >= 1,
+            "cluster engine needs at least one worker"
+        );
+        self.backend_policy = policy;
+        self
+    }
+
+    /// Set the finished-job retention TTL (`None` retains forever).
+    pub fn retention_ttl(mut self, ttl: Option<Duration>) -> Self {
+        self.retention_ttl = ttl;
         self
     }
 }
@@ -210,6 +289,14 @@ pub struct ServiceStats {
     pub workers: usize,
     /// Configured concurrent-job window.
     pub max_concurrent_jobs: usize,
+    /// Jobs dispatched onto the single-node engine.
+    pub single_node_jobs: u64,
+    /// Jobs the placement policy routed to the cluster-backed engine.
+    pub cluster_jobs: u64,
+    /// Finished-job records currently retained in the registry.
+    pub retained_jobs: usize,
+    /// Job records dropped by the retention sweep or an explicit forget.
+    pub forgotten: u64,
 }
 
 struct SchedState {
@@ -222,6 +309,12 @@ struct SchedState {
 
 pub(crate) struct Shared {
     engine: Engine,
+    /// The cluster-backed engine, spun up only when the placement policy
+    /// can route anything to it. Shares nothing with the single-node pool
+    /// except the plan cache: the same `JobPlan` replays on either.
+    /// Placement feasibility is read off the engine's own backend
+    /// (`worker_pool().backend()`), so there is no second copy to drift.
+    cluster: Option<Engine<ClusterBackend>>,
     cache: PlanCache,
     cfg: ServiceConfig,
     counters: Arc<ServiceCounters>,
@@ -230,11 +323,16 @@ pub(crate) struct Shared {
     /// shutdown.
     work_cv: Condvar,
     /// Job registry for id-based lookups (wire protocol `poll`/`stream`/
-    /// `cancel`/`result`). Entries live for the service lifetime — the
-    /// retention policy is "everything", which is fine for the workloads
-    /// this serves today; see ROADMAP for the TTL follow-up.
+    /// `cancel`/`result`/`forget`). Finished entries expire after
+    /// `cfg.retention_ttl` (swept opportunistically) or an explicit forget.
     jobs: Mutex<HashMap<JobId, Arc<JobRecord>>>,
     next_id: AtomicU64,
+    /// When the service started (monotone clock base for sweep gating).
+    started: std::time::Instant,
+    /// Milliseconds-since-start of the last retention sweep: opportunistic
+    /// sweeps are throttled to once a second so the submission hot path
+    /// never pays an O(retained records) scan per call.
+    last_sweep_ms: AtomicU64,
 }
 
 impl Shared {
@@ -242,6 +340,40 @@ impl Shared {
         let mut st = self.state.lock().expect("scheduler state");
         st.running -= 1;
         self.work_cv.notify_all();
+    }
+
+    /// Drop expired finished-job records (no-op without a TTL). Runs
+    /// opportunistically on submissions and stats snapshots — throttled to
+    /// once a second unless `force`d (the explicit
+    /// [`Service::sweep_retention`] entry point forces, so tests and
+    /// operators get deterministic sweeps).
+    fn sweep_retention(&self, force: bool) {
+        let Some(ttl) = self.cfg.retention_ttl else {
+            return;
+        };
+        let now_ms = self.started.elapsed().as_millis() as u64;
+        if force {
+            self.last_sweep_ms.store(now_ms, Ordering::Relaxed);
+        } else {
+            let last = self.last_sweep_ms.load(Ordering::Relaxed);
+            let due = now_ms.saturating_sub(last) >= 1000
+                && self
+                    .last_sweep_ms
+                    .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok();
+            if !due {
+                return;
+            }
+        }
+        let mut jobs = self.jobs.lock().expect("job registry");
+        let before = jobs.len();
+        jobs.retain(|_, record| !record.expired(ttl));
+        let dropped = (before - jobs.len()) as u64;
+        if dropped > 0 {
+            self.counters
+                .forgotten
+                .fetch_add(dropped, Ordering::Relaxed);
+        }
     }
 }
 
@@ -280,10 +412,22 @@ impl std::fmt::Debug for Service {
 }
 
 impl Service {
-    /// Spin up the engine and the scheduler thread.
+    /// Spin up the engine(s) and the scheduler thread: always the
+    /// single-node engine, plus a cluster-backed engine when the backend
+    /// policy enables routing (see [`BackendPolicy`]).
     pub fn start(cfg: ServiceConfig) -> Arc<Service> {
+        let cluster = cfg.backend_policy.cluster_min_qubits.map(|_| {
+            Engine::with_backend(
+                EngineConfig::default().parallelism(cfg.backend_policy.cluster_parallelism),
+                ClusterBackend::new(
+                    cfg.backend_policy.cluster_nodes,
+                    InterconnectModel::commodity_cluster(),
+                ),
+            )
+        });
         let shared = Arc::new(Shared {
             engine: Engine::new(EngineConfig::default().parallelism(cfg.parallelism)),
+            cluster,
             cache: PlanCache::new(cfg.cache_capacity),
             counters: Arc::new(ServiceCounters::default()),
             state: Mutex::new(SchedState {
@@ -296,6 +440,8 @@ impl Service {
             work_cv: Condvar::new(),
             jobs: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
+            started: std::time::Instant::now(),
+            last_sweep_ms: AtomicU64::new(0),
             cfg,
         });
         let sched_shared = Arc::clone(&shared);
@@ -321,6 +467,7 @@ impl Service {
     /// [`Service::shutdown`].
     pub fn submit(&self, client: &str, request: JobRequest) -> Result<Ticket, SubmitError> {
         let shared = &self.shared;
+        shared.sweep_retention(false);
         let mut st = shared.state.lock().expect("scheduler state");
         if st.shutdown {
             shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
@@ -339,6 +486,19 @@ impl Service {
                 shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
                 shared.work_cv.notify_all();
                 drop(st);
+                // Eager queued-cancel removal: a cancellation arriving
+                // while the job still waits for a slot frees its admission
+                // slot immediately (the hook runs outside the record lock;
+                // pop races are backstopped by pop_fair's status check).
+                let weak = Arc::downgrade(shared);
+                record.set_on_cancel(Box::new(move || {
+                    if let Some(shared) = weak.upgrade() {
+                        let mut st = shared.state.lock().expect("scheduler state");
+                        if st.queue.remove(id) {
+                            shared.work_cv.notify_all();
+                        }
+                    }
+                }));
                 shared
                     .jobs
                     .lock()
@@ -367,13 +527,24 @@ impl Service {
             })
     }
 
-    /// Observability snapshot.
+    /// Observability snapshot (also runs the retention sweep, so
+    /// `retained_jobs` reflects the TTL).
     pub fn stats(&self) -> ServiceStats {
         let shared = &self.shared;
+        shared.sweep_retention(false);
         let (queued_now, running_now, running_high_water) = {
             let st = shared.state.lock().expect("scheduler state");
             (st.queue.len(), st.running, st.running_high_water)
         };
+        // Count only terminal records: live (queued/running) jobs are in
+        // the registry too but are not "retained" in the TTL sense.
+        let retained_jobs = shared
+            .jobs
+            .lock()
+            .expect("job registry")
+            .values()
+            .filter(|record| record.is_terminal())
+            .count();
         let c = &shared.counters;
         ServiceStats {
             submitted: c.submitted.load(Ordering::Relaxed),
@@ -389,7 +560,33 @@ impl Service {
             cache: shared.cache.stats(),
             workers: shared.engine.parallelism(),
             max_concurrent_jobs: shared.cfg.max_concurrent_jobs,
+            single_node_jobs: c.single_node_jobs.load(Ordering::Relaxed),
+            cluster_jobs: c.cluster_jobs.load(Ordering::Relaxed),
+            retained_jobs,
+            forgotten: c.forgotten.load(Ordering::Relaxed),
         }
+    }
+
+    /// Drop finished-job records older than the configured TTL now (the
+    /// sweep otherwise runs opportunistically on submissions and stats).
+    pub fn sweep_retention(&self) {
+        self.shared.sweep_retention(true);
+    }
+
+    /// Explicitly drop a finished job's record, releasing its result and
+    /// streamed-chunk memory. Returns whether a record was dropped — live
+    /// (queued or running) jobs are never forgotten; cancel first.
+    pub fn forget(&self, id: JobId) -> bool {
+        let mut jobs = self.shared.jobs.lock().expect("job registry");
+        let forgettable = jobs.get(&id).is_some_and(|record| record.is_terminal());
+        if forgettable {
+            jobs.remove(&id);
+            self.shared
+                .counters
+                .forgotten
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        forgettable
     }
 
     /// Stop dispatching queued jobs (running jobs continue; submissions
@@ -494,9 +691,44 @@ fn dispatch(shared: &Arc<Shared>, pending: PendingJob) {
     start_job(shared, pending, plan);
 }
 
-/// Start one planned job on the engine with streaming + completion wiring.
+/// Which engine the placement policy chose for one job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Placement {
+    SingleNode,
+    Cluster,
+}
+
+/// Apply the backend policy: cluster when configured, the job is at or
+/// above the width threshold, and the node group can actually slice it
+/// (≥ 3 local qubits); single-node otherwise.
+fn place(shared: &Shared, n_qubits: u16) -> Placement {
+    let over_threshold = shared
+        .cfg
+        .backend_policy
+        .cluster_min_qubits
+        .is_some_and(|min| n_qubits >= min);
+    let feasible = shared
+        .cluster
+        .as_ref()
+        .is_some_and(|engine| engine.worker_pool().backend().supports(n_qubits));
+    if over_threshold && feasible {
+        Placement::Cluster
+    } else {
+        Placement::SingleNode
+    }
+}
+
+/// Start one planned job on the placed engine with streaming + completion
+/// wiring. Both engines run the identical `JobPlan` through the identical
+/// backend-generic executor, so placement never changes a job's `Counts`.
 fn start_job(shared: &Arc<Shared>, pending: PendingJob, plan: Arc<tqsim_engine::JobPlan>) {
     let PendingJob { record, request } = pending;
+    let placement = place(shared, plan.n_qubits());
+    match placement {
+        Placement::SingleNode => &shared.counters.single_node_jobs,
+        Placement::Cluster => &shared.counters.cluster_jobs,
+    }
+    .fetch_add(1, Ordering::Relaxed);
     record.set_running();
     let sink: ChunkSink = {
         let record = Arc::clone(&record);
@@ -504,37 +736,48 @@ fn start_job(shared: &Arc<Shared>, pending: PendingJob, plan: Arc<tqsim_engine::
     };
     let done_shared = Arc::clone(shared);
     let leaf_samples = request.leaf_samples;
-    shared.engine.start(
-        &PlannedJob::new(plan)
-            .seed(request.seed)
-            .leaf_samples(leaf_samples)
-            .fusion(request.fusion),
-        Some(sink),
-        move |result| {
-            // A panicking node task abandons its subtree (the engine keeps
-            // the pool healthy and completes the job with partial counts),
-            // so completeness is the per-job panic signal: every healthy
-            // run yields exactly outcomes × leaf_samples samples. Fail the
-            // ticket instead of handing the client a silently short
-            // histogram, and drain the pool's panic slot so the payload
-            // cannot resurface in an unrelated caller later.
-            let expected = result.tree.outcomes() * u64::from(leaf_samples);
-            let produced = result.counts.total();
-            if produced < expected {
-                let detail = done_shared
-                    .engine
-                    .take_panic()
-                    .map(|payload| panic_message(&payload))
-                    .unwrap_or_else(|| "node task panicked".into());
-                record.fail(format!(
-                    "execution aborted ({produced}/{expected} outcomes): {detail}"
-                ));
-            } else {
-                record.finish(result);
-            }
-            done_shared.job_slot_freed();
-        },
-    );
+    let planned = PlannedJob::new(plan)
+        .seed(request.seed)
+        .leaf_samples(leaf_samples)
+        .fusion(request.fusion);
+    let on_done = move |result: tqsim::RunResult| {
+        // A panicking node task abandons its subtree (the engine keeps
+        // the pool healthy and completes the job with partial counts),
+        // so completeness is the per-job panic signal: every healthy
+        // run yields exactly outcomes × leaf_samples samples. Fail the
+        // ticket instead of handing the client a silently short
+        // histogram, and drain the executing pool's panic slot so the
+        // payload cannot resurface in an unrelated caller later.
+        let expected = result.tree.outcomes() * u64::from(leaf_samples);
+        let produced = result.counts.total();
+        if produced < expected {
+            let payload = match placement {
+                Placement::SingleNode => done_shared.engine.take_panic(),
+                Placement::Cluster => done_shared
+                    .cluster
+                    .as_ref()
+                    .expect("cluster placement implies a cluster engine")
+                    .take_panic(),
+            };
+            let detail = payload
+                .map(|payload| panic_message(&payload))
+                .unwrap_or_else(|| "node task panicked".into());
+            record.fail(format!(
+                "execution aborted ({produced}/{expected} outcomes): {detail}"
+            ));
+        } else {
+            record.finish(result);
+        }
+        done_shared.job_slot_freed();
+    };
+    match placement {
+        Placement::SingleNode => shared.engine.start(&planned, Some(sink), on_done),
+        Placement::Cluster => shared
+            .cluster
+            .as_ref()
+            .expect("cluster placement implies a cluster engine")
+            .start(&planned, Some(sink), on_done),
+    }
 }
 
 /// Best-effort human-readable form of a task panic payload.

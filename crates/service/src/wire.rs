@@ -14,7 +14,17 @@
 //! | `{"op":"stream","job":1}` | `{"chunk":[3,3,1,…]}` lines as leaf batches land, then `{"done":true,"status":"done","total":64}` |
 //! | `{"op":"result","job":1}` | `{"ok":true,"status":"done","total":64,"counts":[[0,31],[3,33]],…}` |
 //! | `{"op":"cancel","job":1}` | `{"ok":true,"cancelled":true}` |
+//! | `{"op":"forget","job":1}` | `{"ok":true,"forgotten":true}` (drops a finished job's record; live jobs are refused with `"forgotten":false`) |
 //! | `{"op":"stats"}` | `{"ok":true,"submitted":…,"cache":{"hits":…},…}` |
+//!
+//! Blocking verbs (`result`, `stream`) poll their connection's liveness
+//! every few hundred milliseconds while waiting: an abandoned connection
+//! on a never-terminal job (e.g. queued while scheduling is paused) is
+//! detected via a non-blocking peek and its thread + socket reclaimed
+//! instead of parking until service shutdown. Read-side EOF gets a grace
+//! window first (one-shot clients that `shutdown(WR)` and wait for the
+//! response look identical to a vanished peer), so half-closing clients
+//! keep working while truly dead connections are bounded by the grace.
 //!
 //! Gates are `[name, params…, qubits…]` arrays — the name determines the
 //! parameter count and arity, so decoding is unambiguous. Angles travel as
@@ -29,7 +39,7 @@
 //! Integers on the wire (seeds, shots, outcomes) must stay ≤ 2⁵³ — the
 //! JSON layer refuses to emit anything larger rather than round silently.
 
-use crate::job::{JobStatus, Ticket};
+use crate::job::{ChunkPoll, JobStatus, Ticket};
 use crate::json::{self, num, num_u64, obj, str_val, Value};
 use crate::service::{JobRequest, Service, ServiceStats};
 use std::io::{BufRead, BufReader, Write};
@@ -37,6 +47,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 use tqsim::{RunResult, Strategy};
 use tqsim_circuit::math::{c64, Mat2, Mat4};
 use tqsim_circuit::{Circuit, GateKind};
@@ -350,6 +361,10 @@ pub fn stats_to_json(stats: &ServiceStats) -> Value {
             "max_concurrent_jobs",
             num_u64(stats.max_concurrent_jobs as u64),
         ),
+        ("single_node_jobs", num_u64(stats.single_node_jobs)),
+        ("cluster_jobs", num_u64(stats.cluster_jobs)),
+        ("retained_jobs", num_u64(stats.retained_jobs as u64)),
+        ("forgotten", num_u64(stats.forgotten)),
         (
             "cache",
             obj(vec![
@@ -456,8 +471,104 @@ pub fn serve(service: Arc<Service>, addr: &str) -> std::io::Result<ServerHandle>
 /// streams bytes without ever sending a newline.
 const MAX_LINE_BYTES: u64 = 1 << 20;
 
+/// How often a blocking verb re-checks its connection while waiting on a
+/// non-terminal job.
+const LIVENESS_POLL: Duration = Duration::from_millis(250);
+
+/// How long a blocking verb keeps waiting after observing read-side EOF.
+/// TCP cannot distinguish a one-shot client that `shutdown(WR)`s and waits
+/// for its response from a client that vanished — both read as a FIN — so
+/// EOF starts a grace window instead of disconnecting immediately:
+/// half-closing clients with jobs shorter than this still get their
+/// response, while a truly abandoned connection is reclaimed within the
+/// window instead of parking its thread + socket until service shutdown.
+const EOF_GRACE: Duration = Duration::from_secs(60);
+
+/// One probe of the connection while a blocking verb waits.
+enum Liveness {
+    /// Connected (quiet, or with pipelined bytes pending — a FIN behind
+    /// unread data is invisible without consuming it, so such a peer is
+    /// only reclaimed once the current verb completes and the reader
+    /// drains to EOF).
+    Alive,
+    /// Read side returned EOF: either a half-closing one-shot client still
+    /// awaiting its response, or a gone peer — indistinguishable; see
+    /// [`EOF_GRACE`].
+    ReadClosed,
+    /// The socket errored (reset, probe failure): definitely gone.
+    Dead,
+}
+
+/// Non-blocking 1-byte peek; blocking mode is restored before returning —
+/// the connection's reader shares this socket.
+fn probe_peer(stream: &TcpStream) -> Liveness {
+    if stream.set_nonblocking(true).is_err() {
+        return Liveness::Dead;
+    }
+    let mut probe = [0u8; 1];
+    let liveness = match stream.peek(&mut probe) {
+        Ok(0) => Liveness::ReadClosed,
+        Ok(_) => Liveness::Alive,
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Liveness::Alive,
+        Err(_) => Liveness::Dead,
+    };
+    if stream.set_nonblocking(false).is_err() {
+        return Liveness::Dead;
+    }
+    liveness
+}
+
+/// Per-verb liveness tracker: call [`LivenessWatch::give_up`] on every
+/// quiet poll interval; `true` means reclaim the connection.
+struct LivenessWatch<'a> {
+    stream: &'a TcpStream,
+    grace: Duration,
+    read_closed_since: Option<std::time::Instant>,
+}
+
+impl<'a> LivenessWatch<'a> {
+    fn new(stream: &'a TcpStream) -> Self {
+        LivenessWatch::with_grace(stream, EOF_GRACE)
+    }
+
+    /// Testing seam: the production handlers always use [`EOF_GRACE`].
+    fn with_grace(stream: &'a TcpStream, grace: Duration) -> Self {
+        LivenessWatch {
+            stream,
+            grace,
+            read_closed_since: None,
+        }
+    }
+
+    fn give_up(&mut self) -> bool {
+        match probe_peer(self.stream) {
+            Liveness::Alive => {
+                self.read_closed_since = None;
+                false
+            }
+            Liveness::Dead => true,
+            Liveness::ReadClosed => {
+                let since = *self
+                    .read_closed_since
+                    .get_or_insert_with(std::time::Instant::now);
+                since.elapsed() >= self.grace
+            }
+        }
+    }
+}
+
+fn disconnected() -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::BrokenPipe,
+        "client disconnected while waiting",
+    )
+}
+
 fn handle_connection(service: &Service, stream: TcpStream) {
     let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let Ok(liveness) = stream.try_clone() else {
         return;
     };
     let mut writer = std::io::BufWriter::new(write_half);
@@ -481,7 +592,7 @@ fn handle_connection(service: &Service, stream: TcpStream) {
         if line.trim().is_empty() {
             continue;
         }
-        let finished = handle_line(service, &line, &mut writer).is_err();
+        let finished = handle_line(service, &line, &mut writer, &liveness).is_err();
         if writer.flush().is_err() || finished {
             return;
         }
@@ -494,7 +605,12 @@ fn write_line(writer: &mut dyn Write, value: &Value) -> std::io::Result<()> {
 }
 
 /// Handle one request line; `Err` means the connection is unusable.
-fn handle_line(service: &Service, line: &str, writer: &mut dyn Write) -> std::io::Result<()> {
+fn handle_line(
+    service: &Service,
+    line: &str,
+    writer: &mut dyn Write,
+    liveness: &TcpStream,
+) -> std::io::Result<()> {
     let request = match json::parse(line) {
         Ok(v) => v,
         Err(e) => return write_line(writer, &error_json(e)),
@@ -527,19 +643,33 @@ fn handle_line(service: &Service, line: &str, writer: &mut dyn Write) -> std::io
             write_line(writer, &obj(fields))
         }),
         "stream" => with_ticket(service, &request, writer, |ticket, writer| {
+            let mut watch = LivenessWatch::new(liveness);
             let mut total = 0u64;
-            while let Some(chunk) = ticket.next_chunk() {
-                total += chunk.len() as u64;
-                write_line(
-                    writer,
-                    &obj(vec![(
-                        "chunk",
-                        Value::Arr(chunk.into_iter().map(num_u64).collect()),
-                    )]),
-                )?;
-                // Flush per chunk: streaming means the client sees leaf
-                // batches while the job still runs, not a buffered burst.
-                writer.flush()?;
+            loop {
+                match ticket.next_chunk_timeout(LIVENESS_POLL) {
+                    ChunkPoll::Chunk(chunk) => {
+                        total += chunk.len() as u64;
+                        write_line(
+                            writer,
+                            &obj(vec![(
+                                "chunk",
+                                Value::Arr(chunk.into_iter().map(num_u64).collect()),
+                            )]),
+                        )?;
+                        // Flush per chunk: streaming means the client sees
+                        // leaf batches while the job still runs, not a
+                        // buffered burst.
+                        writer.flush()?;
+                    }
+                    ChunkPoll::Terminal => break,
+                    // Quiet interval on a live job: reclaim the thread +
+                    // socket if the client has gone away.
+                    ChunkPoll::TimedOut => {
+                        if watch.give_up() {
+                            return Err(disconnected());
+                        }
+                    }
+                }
             }
             write_line(
                 writer,
@@ -551,7 +681,18 @@ fn handle_line(service: &Service, line: &str, writer: &mut dyn Write) -> std::io
             )
         }),
         "result" => with_ticket(service, &request, writer, |ticket, writer| {
-            match ticket.wait() {
+            let mut watch = LivenessWatch::new(liveness);
+            let outcome = loop {
+                match ticket.wait_timeout(LIVENESS_POLL) {
+                    Some(outcome) => break outcome,
+                    None => {
+                        if watch.give_up() {
+                            return Err(disconnected());
+                        }
+                    }
+                }
+            };
+            match outcome {
                 Ok(result) => write_line(writer, &result_to_json(&ticket.status(), &result)),
                 Err(err) => write_line(writer, &error_json(err)),
             }
@@ -563,6 +704,19 @@ fn handle_line(service: &Service, line: &str, writer: &mut dyn Write) -> std::io
                 &obj(vec![
                     ("ok", Value::Bool(true)),
                     ("cancelled", Value::Bool(took_effect)),
+                ]),
+            )
+        }),
+        // An unknown (or already-swept) id errors like every other job
+        // verb; `forgotten: false` therefore always means "still live —
+        // cancel first", never "already gone".
+        "forget" => with_ticket(service, &request, writer, |ticket, writer| {
+            let forgotten = service.forget(ticket.id());
+            write_line(
+                writer,
+                &obj(vec![
+                    ("ok", Value::Bool(true)),
+                    ("forgotten", Value::Bool(forgotten)),
                 ]),
             )
         }),
@@ -677,6 +831,44 @@ mod tests {
             }
         );
         assert!(strategy_from_json(&json::parse(r#"{"kind":"??"}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn liveness_watch_reclaims_closed_peers_after_grace() {
+        use std::io::Write as _;
+        use std::net::{Shutdown, TcpListener, TcpStream};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+
+        // Connected and quiet: never give up.
+        let mut watch = LivenessWatch::with_grace(&server_side, Duration::ZERO);
+        assert!(!watch.give_up(), "quiet but connected peer is alive");
+        // Pipelined unread bytes also read as alive.
+        client.write_all(b"pending").unwrap();
+        client.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!watch.give_up(), "pending bytes read as alive");
+
+        // Fresh pair: peer closes with nothing buffered → EOF starts the
+        // grace clock; zero grace reclaims on the next poll, and a real
+        // grace holds the connection first.
+        let client2 = TcpStream::connect(addr).unwrap();
+        let (server2, _) = listener.accept().unwrap();
+        client2.shutdown(Shutdown::Both).unwrap();
+        drop(client2);
+        std::thread::sleep(Duration::from_millis(50));
+        let mut patient = LivenessWatch::with_grace(&server2, Duration::from_secs(3600));
+        assert!(
+            !patient.give_up(),
+            "EOF within grace must keep the half-close case working"
+        );
+        let mut impatient = LivenessWatch::with_grace(&server2, Duration::ZERO);
+        assert!(
+            impatient.give_up(),
+            "expired grace after EOF reclaims the connection"
+        );
     }
 
     #[test]

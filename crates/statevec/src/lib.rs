@@ -43,4 +43,4 @@ pub use ops::OpCounts;
 pub use plan::{classify, CompiledCircuit, DiagRun, FlushCtx, FusedOp, Fuser, PlanOp};
 pub use pool::{PoolCounters, PoolStats, PooledState, StatePool};
 pub use state::{StateVector, MAX_QUBITS};
-pub use traits::QuantumState;
+pub use traits::{PooledBackend, QuantumState, SingleNode};

@@ -1,12 +1,18 @@
-//! Reusable state-buffer pools.
+//! Reusable state-buffer pools, generic over the execution backend.
 //!
 //! Tree execution materialises one `2^n`-amplitude buffer per node; doing a
 //! heap allocation per node would dominate runtime for shallow circuits and
-//! fragment the allocator at scale. A [`StatePool`] keeps released
-//! [`StateVector`]s on a free list, keyed by register width, so steady-state
-//! execution performs **zero heap allocations**: a node acquires a buffer,
-//! overwrites it via the no-realloc [`StateVector::copy_from`] /
-//! [`StateVector::reset_zero`] APIs, and drops it back to the pool.
+//! fragment the allocator at scale. A [`StatePool`] keeps released states
+//! on a free list, keyed by register width, so steady-state execution
+//! performs **zero state allocations**: a node acquires a buffer,
+//! overwrites it via the no-realloc [`PooledState::copy_from`] /
+//! [`PooledState::reset_zero`] APIs, and drops it back to the pool.
+//!
+//! The pool is generic over a [`PooledBackend`]: the default
+//! [`SingleNode`] backend pools plain [`StateVector`]s, while
+//! `tqsim-cluster`'s backend pools distributed state vectors whose slices
+//! span a simulated node group — the same pool (and the same `tqsim-engine`
+//! executor above it) runs trees whose states exceed one node's memory.
 //!
 //! Pools are cheap cloneable handles (`Arc` inside), so one pool can be
 //! shared across helpers, and a buffer returned from any thread finds its
@@ -31,7 +37,7 @@
 //! assert_eq!(stats.high_water, 1);
 //! ```
 
-use crate::state::StateVector;
+use crate::traits::{PooledBackend, QuantumState, SingleNode};
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -118,19 +124,28 @@ impl PoolCounters {
     }
 }
 
-struct PoolShared {
+struct PoolShared<B: PooledBackend> {
+    backend: B,
     /// Free buffers keyed by register width.
-    free: Mutex<HashMap<u16, Vec<StateVector>>>,
+    free: Mutex<HashMap<u16, Vec<B::State>>>,
     counters: Arc<PoolCounters>,
 }
 
-/// A width-keyed free list of [`StateVector`] buffers.
+/// A width-keyed free list of state buffers for one [`PooledBackend`]
+/// (plain [`StateVector`]s on the default [`SingleNode`] backend).
 ///
 /// Cloning a `StatePool` clones the *handle*: both handles drain and refill
 /// the same free list. See the [module docs](self) for the usage pattern.
-#[derive(Clone)]
-pub struct StatePool {
-    shared: Arc<PoolShared>,
+pub struct StatePool<B: PooledBackend = SingleNode> {
+    shared: Arc<PoolShared<B>>,
+}
+
+impl<B: PooledBackend> Clone for StatePool<B> {
+    fn clone(&self) -> Self {
+        StatePool {
+            shared: Arc::clone(&self.shared),
+        }
+    }
 }
 
 impl Default for StatePool {
@@ -139,7 +154,7 @@ impl Default for StatePool {
     }
 }
 
-impl std::fmt::Debug for StatePool {
+impl<B: PooledBackend> std::fmt::Debug for StatePool<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let stats = self.stats();
         write!(
@@ -151,29 +166,44 @@ impl std::fmt::Debug for StatePool {
 }
 
 impl StatePool {
-    /// An empty pool with its own counters.
+    /// An empty single-node pool with its own counters.
     pub fn new() -> Self {
         StatePool::with_counters(PoolCounters::new())
     }
 
-    /// An empty pool reporting into an externally shared counter block
-    /// (lets several pools expose one aggregate high-water mark).
+    /// An empty single-node pool reporting into an externally shared
+    /// counter block (lets several pools expose one aggregate high-water
+    /// mark).
     pub fn with_counters(counters: Arc<PoolCounters>) -> Self {
+        StatePool::with_backend(SingleNode, counters)
+    }
+}
+
+impl<B: PooledBackend> StatePool<B> {
+    /// An empty pool allocating through `backend`, reporting into an
+    /// externally shared counter block.
+    pub fn with_backend(backend: B, counters: Arc<PoolCounters>) -> Self {
         StatePool {
             shared: Arc::new(PoolShared {
+                backend,
                 free: Mutex::new(HashMap::new()),
                 counters,
             }),
         }
     }
 
+    /// The backend this pool allocates through.
+    pub fn backend(&self) -> &B {
+        &self.shared.backend
+    }
+
     /// Check a buffer out of the pool.
     ///
     /// The returned buffer's **amplitudes are unspecified** (it is whatever
     /// some previous user left behind); callers must overwrite it via
-    /// [`StateVector::copy_from`] or [`StateVector::reset_zero`] before use.
-    /// Allocates only when no `n_qubits`-wide buffer is free.
-    pub fn acquire(&self, n_qubits: u16) -> PooledState {
+    /// [`PooledState::copy_from`] or [`PooledState::reset_zero`] before
+    /// use. Allocates only when no `n_qubits`-wide buffer is free.
+    pub fn acquire(&self, n_qubits: u16) -> PooledState<B> {
         let recycled = self
             .shared
             .free
@@ -182,10 +212,12 @@ impl StatePool {
             .get_mut(&n_qubits)
             .and_then(Vec::pop);
         let reused = recycled.is_some();
-        let sv = recycled.unwrap_or_else(|| StateVector::zero(n_qubits));
-        self.shared.counters.on_checkout(sv.bytes(), reused);
+        let state = recycled.unwrap_or_else(|| self.shared.backend.allocate(n_qubits));
+        self.shared
+            .counters
+            .on_checkout(self.shared.backend.state_bytes(&state), reused);
         PooledState {
-            sv: Some(sv),
+            state: Some(state),
             shared: Arc::clone(&self.shared),
         }
     }
@@ -200,7 +232,7 @@ impl StatePool {
                 .counters
                 .allocations
                 .fetch_add(1, Ordering::Relaxed);
-            slot.push(StateVector::zero(n_qubits));
+            slot.push(self.shared.backend.allocate(n_qubits));
         }
     }
 
@@ -221,7 +253,7 @@ impl StatePool {
     }
 
     /// Counter snapshot (shared across pools created via
-    /// [`StatePool::with_counters`]).
+    /// [`StatePool::with_counters`] / [`StatePool::with_backend`]).
     pub fn stats(&self) -> PoolStats {
         self.shared.counters.stats()
     }
@@ -232,44 +264,67 @@ impl StatePool {
     }
 }
 
-/// An RAII checkout from a [`StatePool`]; dereferences to [`StateVector`]
-/// and returns the buffer to its pool on drop (from any thread).
-pub struct PooledState {
-    sv: Option<StateVector>,
-    shared: Arc<PoolShared>,
+/// An RAII checkout from a [`StatePool`]; dereferences to the backend's
+/// state type and returns the buffer to its pool on drop (from any
+/// thread).
+pub struct PooledState<B: PooledBackend = SingleNode> {
+    state: Option<B::State>,
+    shared: Arc<PoolShared<B>>,
 }
 
-impl Deref for PooledState {
-    type Target = StateVector;
+impl<B: PooledBackend> PooledState<B> {
+    /// Reset the buffer to `|0…0⟩` in place (backend-routed; no
+    /// reallocation).
+    pub fn reset_zero(&mut self) {
+        let state = self.state.as_mut().expect("buffer present until drop");
+        self.shared.backend.reset_zero(state);
+    }
 
-    fn deref(&self) -> &StateVector {
-        self.sv.as_ref().expect("buffer present until drop")
+    /// Overwrite the buffer with `src`'s contents (backend-routed; the
+    /// tree's parent→child intermediate-state copy, no reallocation).
+    ///
+    /// # Panics
+    ///
+    /// Backends panic on layout mismatches (width or node count).
+    pub fn copy_from(&mut self, src: &B::State) {
+        let state = self.state.as_mut().expect("buffer present until drop");
+        self.shared.backend.copy_into(state, src);
     }
 }
 
-impl DerefMut for PooledState {
-    fn deref_mut(&mut self) -> &mut StateVector {
-        self.sv.as_mut().expect("buffer present until drop")
+impl<B: PooledBackend> Deref for PooledState<B> {
+    type Target = B::State;
+
+    fn deref(&self) -> &B::State {
+        self.state.as_ref().expect("buffer present until drop")
     }
 }
 
-impl std::fmt::Debug for PooledState {
+impl<B: PooledBackend> DerefMut for PooledState<B> {
+    fn deref_mut(&mut self) -> &mut B::State {
+        self.state.as_mut().expect("buffer present until drop")
+    }
+}
+
+impl<B: PooledBackend> std::fmt::Debug for PooledState<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "PooledState[{} qubits]", self.n_qubits())
+        write!(f, "PooledState[{} qubits]", QuantumState::n_qubits(&**self))
     }
 }
 
-impl Drop for PooledState {
+impl<B: PooledBackend> Drop for PooledState<B> {
     fn drop(&mut self) {
-        let sv = self.sv.take().expect("double drop is impossible");
-        self.shared.counters.on_checkin(sv.bytes());
+        let state = self.state.take().expect("double drop is impossible");
+        self.shared
+            .counters
+            .on_checkin(self.shared.backend.state_bytes(&state));
         self.shared
             .free
             .lock()
             .expect("pool lock")
-            .entry(sv.n_qubits())
+            .entry(QuantumState::n_qubits(&state))
             .or_default()
-            .push(sv);
+            .push(state);
     }
 }
 
@@ -367,5 +422,20 @@ mod tests {
         assert_eq!(pool.free_buffers(), 1);
         pool.shrink();
         assert_eq!(pool.free_buffers(), 0);
+    }
+
+    #[test]
+    fn backend_routed_reset_and_copy_match_inherent() {
+        // PooledState::reset_zero / copy_from route through the backend
+        // trait; on SingleNode they must behave exactly like the inherent
+        // StateVector methods the executors used before the refactor.
+        let pool = StatePool::new();
+        let mut a = pool.acquire(3);
+        a.reset_zero();
+        assert_eq!(a.probability(0), 1.0);
+        a.apply_gate(&tqsim_circuit::Gate::new(tqsim_circuit::GateKind::H, &[0]));
+        let mut b = pool.acquire(3);
+        b.copy_from(&a);
+        assert_eq!(a.amplitudes(), b.amplitudes());
     }
 }

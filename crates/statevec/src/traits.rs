@@ -18,6 +18,14 @@
 //! to [`crate::StateVector`]'s kernels (same per-amplitude multiplication
 //! order): the executors rely on replaying one plan on different backends
 //! producing bit-identical `Counts` for the same RNG stream.
+//!
+//! The companion [`PooledBackend`] trait covers the *lifecycle* side the
+//! tree executors need on top of [`QuantumState`]: allocating a state,
+//! resetting it, overwriting it with a parent's contents without
+//! reallocation, and accounting its size. [`crate::StatePool`] and the
+//! `tqsim-engine` worker pool are generic over it, which is what lets the
+//! same pooled tree executor run on the single-node and the distributed
+//! backend.
 
 use crate::plan::DiagRun;
 use tqsim_circuit::math::{Mat2, Mat4, C64};
@@ -77,6 +85,86 @@ pub trait QuantumState {
     /// (see [`crate::StateVector::sample_many`]).
     fn sample_many(&self, us: &[f64]) -> Vec<u64> {
         us.iter().map(|&u| self.sample_with(u)).collect()
+    }
+}
+
+/// A factory + lifecycle surface for poolable execution states: how to
+/// **allocate** a `|0…0⟩` state of a given width, **reset** one in place,
+/// **clone** a parent's contents into a recycled buffer without
+/// reallocation, and how many amplitude **bytes** a state holds (for pool
+/// high-water accounting).
+///
+/// Backends are cheap, clonable descriptors (the single-node backend is a
+/// unit struct; the cluster backend carries its node count and interconnect
+/// model), shared by every worker pool and pooled buffer of one engine.
+/// [`crate::StatePool`], the `tqsim-engine` executor and the serial tree
+/// walk in `tqsim` are all generic over this trait, so a tree whose states
+/// exceed one node's memory runs on a distributed backend through the exact
+/// same pooled executor as a single-node run.
+///
+/// The `State` associated type must implement [`QuantumState`] with
+/// arithmetic bit-identical to [`crate::StateVector`] (see the module
+/// docs): the engine relies on replaying one plan on different backends
+/// producing identical `Counts` for the same RNG stream.
+pub trait PooledBackend: Clone + Send + Sync + 'static {
+    /// The state representation this backend materialises. `Sync` because
+    /// a tree parent's state is shared immutably across its children's
+    /// copy-in tasks.
+    type State: QuantumState + Send + Sync + 'static;
+
+    /// Whether this backend can materialise `n_qubits`-wide states
+    /// (default: any width). Executors check this **before** scheduling
+    /// work, so an unsupported width fails fast on the caller's thread
+    /// instead of panicking inside [`PooledBackend::allocate`] on a
+    /// worker.
+    fn supports(&self, n_qubits: u16) -> bool {
+        let _ = n_qubits;
+        true
+    }
+
+    /// Allocate a fresh `|0…0⟩` state of width `n_qubits` (the pool's
+    /// cold path; steady-state execution recycles instead). May panic for
+    /// widths [`PooledBackend::supports`] rejects.
+    fn allocate(&self, n_qubits: u16) -> Self::State;
+
+    /// Reset an existing state to `|0…0⟩` in place, without reallocation.
+    fn reset_zero(&self, state: &mut Self::State);
+
+    /// Overwrite `dst` with `src`'s contents without reallocation — the
+    /// parent→child intermediate-state copy at the heart of TQSim's
+    /// computational reuse. Distributed implementations copy node-local
+    /// slices directly; the contents never round-trip through a dense
+    /// global vector.
+    fn copy_into(&self, dst: &mut Self::State, src: &Self::State);
+
+    /// Amplitude bytes held by `state` (summed across nodes for
+    /// distributed backends), for pool memory accounting.
+    fn state_bytes(&self, state: &Self::State) -> usize;
+}
+
+/// The single-node backend: pooled states are plain [`crate::StateVector`]
+/// buffers. This is the default backend of `StatePool` and the
+/// `tqsim-engine` worker pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SingleNode;
+
+impl PooledBackend for SingleNode {
+    type State = crate::StateVector;
+
+    fn allocate(&self, n_qubits: u16) -> crate::StateVector {
+        crate::StateVector::zero(n_qubits)
+    }
+
+    fn reset_zero(&self, state: &mut crate::StateVector) {
+        state.reset_zero();
+    }
+
+    fn copy_into(&self, dst: &mut crate::StateVector, src: &crate::StateVector) {
+        dst.copy_from(src);
+    }
+
+    fn state_bytes(&self, state: &crate::StateVector) -> usize {
+        state.bytes()
     }
 }
 

@@ -11,7 +11,7 @@ use tqsim::{Counts, RunResult, Strategy as PlanStrategy};
 use tqsim_circuit::{generators, Circuit, Gate, GateKind};
 use tqsim_engine::{Engine, EngineConfig, JobSpec};
 use tqsim_noise::NoiseModel;
-use tqsim_service::{json, wire, JobRequest, Service, ServiceConfig, Ticket};
+use tqsim_service::{json, wire, BackendPolicy, JobRequest, Service, ServiceConfig, Ticket};
 
 /// Random gates over the wire-transportable catalogue.
 fn arb_gate(n: u16) -> impl Strategy<Value = Gate> {
@@ -402,6 +402,149 @@ fn wire_backpressure_reports_queue_full() {
     let job = first.get("job").and_then(json::Value::as_u64).unwrap();
     let result = client.request(&format!("{{\"op\":\"result\",\"job\":{job}}}"));
     assert_eq!(result.get("ok").and_then(json::Value::as_bool), Some(true));
+    server.stop();
+    service.shutdown();
+}
+
+// ------------------------------------------------------- backend placement
+
+#[test]
+fn service_routes_over_threshold_jobs_to_the_cluster_backend() {
+    // The engine×cluster acceptance at the service layer: a job at or
+    // above the policy's width threshold executes on the cluster-backed
+    // engine (visible in the per-backend counters), with Counts
+    // bit-identical to the same request on a single-node-only service.
+    let wide_circuit = Arc::new(generators::qft(9));
+    let narrow_circuit = Arc::new(generators::bv(6));
+    let wide_request = |circuit: &Arc<Circuit>| {
+        JobRequest::new(Arc::clone(circuit))
+            .shots(24)
+            .strategy(PlanStrategy::Custom {
+                arities: vec![4, 3, 2],
+            })
+            .seed(17)
+    };
+
+    let single = Service::start(
+        ServiceConfig::default()
+            .parallelism(2)
+            .max_concurrent_jobs(2),
+    );
+    let reference = single
+        .submit("ref", wide_request(&wide_circuit))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let single_stats = single.stats();
+    assert_eq!(single_stats.cluster_jobs, 0);
+    assert_eq!(single_stats.single_node_jobs, 1);
+    single.shutdown();
+
+    let routed = Service::start(
+        ServiceConfig::default()
+            .parallelism(2)
+            .max_concurrent_jobs(2)
+            .backend_policy(BackendPolicy::cluster_above(8, 4)),
+    );
+    let narrow = routed
+        .submit(
+            "a",
+            JobRequest::new(Arc::clone(&narrow_circuit))
+                .shots(8)
+                .seed(1),
+        )
+        .unwrap();
+    let wide = routed.submit("a", wide_request(&wide_circuit)).unwrap();
+    narrow.wait().unwrap();
+    let wide_result = wide.wait().unwrap();
+    assert_eq!(
+        wide_result.counts, reference.counts,
+        "cluster placement must not change the histogram"
+    );
+    assert_eq!(wide_result.ops, reference.ops, "identical op accounting");
+    let stats = routed.stats();
+    assert_eq!(stats.cluster_jobs, 1, "wide job routed to the cluster");
+    assert_eq!(stats.single_node_jobs, 1, "narrow job stayed single-node");
+    routed.shutdown();
+}
+
+// ------------------------------------------------ wire hygiene + retention
+
+#[test]
+fn wire_forget_drops_finished_records_and_liveness_reclaims_abandoned_waits() {
+    let service = Service::start(
+        ServiceConfig::default()
+            .parallelism(1)
+            .max_concurrent_jobs(1),
+    );
+    service.pause_scheduling();
+    let server = wire::serve(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.addr();
+
+    let circuit = generators::bv(5);
+    let submit_line = json::Value::Obj(vec![
+        ("op".into(), json::str_val("submit")),
+        ("circuit".into(), wire::circuit_to_json(&circuit)),
+        ("shots".into(), json::num_u64(8)),
+        ("seed".into(), json::num_u64(5)),
+    ])
+    .to_json();
+    let mut client = WireClient::connect(addr);
+    let submitted = client.request(&submit_line);
+    let job = submitted.get("job").and_then(json::Value::as_u64).unwrap();
+
+    // Abandon a connection mid-`result` on a job that cannot finish
+    // (scheduling is paused): the handler's liveness poll must reclaim
+    // the thread instead of parking it until shutdown.
+    let mut abandoned = WireClient::connect(addr);
+    abandoned.send(&format!("{{\"op\":\"result\",\"job\":{job}}}"));
+    drop(abandoned);
+    // Give the poll interval a chance to fire and observe the hangup.
+    std::thread::sleep(std::time::Duration::from_millis(600));
+
+    // Live jobs are never forgotten.
+    let refused = client.request(&format!("{{\"op\":\"forget\",\"job\":{job}}}"));
+    assert_eq!(
+        refused.get("forgotten").and_then(json::Value::as_bool),
+        Some(false)
+    );
+
+    service.resume_scheduling();
+    let result = client.request(&format!("{{\"op\":\"result\",\"job\":{job}}}"));
+    assert_eq!(result.get("ok").and_then(json::Value::as_bool), Some(true));
+
+    // Finished ⇒ forget drops the record; later lookups see unknown job.
+    let stats = client.request("{\"op\":\"stats\"}");
+    assert_eq!(
+        stats.get("retained_jobs").and_then(json::Value::as_u64),
+        Some(1)
+    );
+    let forgotten = client.request(&format!("{{\"op\":\"forget\",\"job\":{job}}}"));
+    assert_eq!(
+        forgotten.get("forgotten").and_then(json::Value::as_bool),
+        Some(true)
+    );
+    let unknown = client.request(&format!("{{\"op\":\"poll\",\"job\":{job}}}"));
+    assert_eq!(
+        unknown.get("ok").and_then(json::Value::as_bool),
+        Some(false)
+    );
+    // A forgotten (or never-existing) id errors like every other job verb
+    // — forgotten:false is reserved for "still live, cancel first".
+    let gone = client.request(&format!("{{\"op\":\"forget\",\"job\":{job}}}"));
+    assert_eq!(gone.get("ok").and_then(json::Value::as_bool), Some(false));
+    let msg = gone.get("error").and_then(json::Value::as_str).unwrap();
+    assert!(msg.contains("unknown job"), "{msg}");
+    let stats = client.request("{\"op\":\"stats\"}");
+    assert_eq!(
+        stats.get("retained_jobs").and_then(json::Value::as_u64),
+        Some(0)
+    );
+    assert_eq!(
+        stats.get("forgotten").and_then(json::Value::as_u64),
+        Some(1)
+    );
+
     server.stop();
     service.shutdown();
 }
