@@ -74,7 +74,7 @@ fn run_row(circuit: &Circuit, noise: &NoiseModel, nodes: usize, shots: u64, seed
     );
     // The pooled distributed tree: the generic engine executor on the
     // cluster backend, work-stealing across 2 workers.
-    let engine = Engine::with_backend(EngineConfig::default().parallelism(2), backend);
+    let engine = Engine::with_backend(EngineConfig::default().parallelism(2), backend.clone());
     let tree = engine.run_planned(&PlannedJob::new(Arc::clone(&plan)).seed(seed));
     // Serial single-node engine reference for the bit-identity invariant.
     let reference = Engine::new(EngineConfig::default().parallelism(1))

@@ -12,6 +12,8 @@
 
 use crate::model::{ClusterCounters, InterconnectModel};
 use std::fmt;
+use std::sync::Arc;
+use tqsim_obs::{Counter, Registry};
 
 /// Below this per-node slice length, node work runs on the calling thread —
 /// the semantics are identical and thread-spawn overhead would dominate.
@@ -51,6 +53,41 @@ impl fmt::Display for ClusterError {
 
 impl std::error::Error for ClusterError {}
 
+/// Live observability counters for distributed execution, shared by every
+/// state an observed [`ClusterBackend`] allocates. Unlike the per-state
+/// [`ClusterCounters`] (which travel with each [`DistributedStateVector`]
+/// and merge into run results), these are global monotonic totals held in a
+/// [`tqsim_obs::Registry`] — a monitoring view across all runs.
+#[derive(Debug)]
+pub struct ClusterObs {
+    /// Pairwise half-slice exchange rounds (distributed swaps and
+    /// cross-node antidiagonal combines).
+    pub exchanges: Arc<Counter>,
+    /// Modeled bytes moved over the interconnect.
+    pub bytes_exchanged: Arc<Counter>,
+    /// Gates applied without communication (all qubits node-local).
+    pub local_gates: Arc<Counter>,
+    /// Gates that needed a global→local remap (distributed swaps each way).
+    pub remapped_gates: Arc<Counter>,
+    /// Parent→child intermediate-state copies (node-local memcpys).
+    pub state_copies: Arc<Counter>,
+}
+
+impl ClusterObs {
+    /// Register the cluster counter set in `registry`. Metric names are
+    /// fixed (`tqsim_cluster_*_total`), so registering twice against the
+    /// same registry yields handles to the same underlying counters.
+    pub fn register(registry: &Registry) -> Arc<Self> {
+        Arc::new(ClusterObs {
+            exchanges: registry.counter("tqsim_cluster_exchanges_total", &[]),
+            bytes_exchanged: registry.counter("tqsim_cluster_bytes_exchanged_total", &[]),
+            local_gates: registry.counter("tqsim_cluster_local_gates_total", &[]),
+            remapped_gates: registry.counter("tqsim_cluster_remapped_gates_total", &[]),
+            state_copies: registry.counter("tqsim_cluster_state_copies_total", &[]),
+        })
+    }
+}
+
 /// A pure state distributed over `2^g` simulated nodes.
 pub struct DistributedStateVector {
     n_qubits: u16,
@@ -60,6 +97,7 @@ pub struct DistributedStateVector {
     model: InterconnectModel,
     /// Operation counters, including modeled cluster time.
     pub counters: ClusterCounters,
+    obs: Option<Arc<ClusterObs>>,
 }
 
 impl DistributedStateVector {
@@ -87,6 +125,7 @@ impl DistributedStateVector {
             slices,
             model,
             counters: ClusterCounters::default(),
+            obs: None,
         })
     }
 
@@ -111,6 +150,12 @@ impl DistributedStateVector {
     /// Number of nodes.
     pub fn n_nodes(&self) -> usize {
         self.slices.len()
+    }
+
+    /// Mirror this state's communication and gate activity into `obs` (in
+    /// addition to the per-state [`ClusterCounters`], which always run).
+    pub fn observe(&mut self, obs: Arc<ClusterObs>) {
+        self.obs = Some(obs);
     }
 
     /// Amplitudes held per node.
@@ -169,6 +214,9 @@ impl DistributedStateVector {
             dst.copy_from_slice(s);
         }
         self.counters.state_copies += 1;
+        if let Some(obs) = &self.obs {
+            obs.state_copies.inc();
+        }
         self.charge_compute_pass();
     }
 
@@ -230,6 +278,25 @@ impl DistributedStateVector {
             out[slot] = idx as u64;
         }
         out
+    }
+
+    /// Count one communication-free gate (per-state and, when observed,
+    /// the registry total).
+    #[inline]
+    fn note_local_gate(&mut self) {
+        self.counters.local_gates += 1;
+        if let Some(obs) = &self.obs {
+            obs.local_gates.inc();
+        }
+    }
+
+    /// Count one gate that needed a global→local remap.
+    #[inline]
+    fn note_remapped_gate(&mut self) {
+        self.counters.global_gates += 1;
+        if let Some(obs) = &self.obs {
+            obs.remapped_gates.inc();
+        }
     }
 
     fn charge_compute_pass(&mut self) {
@@ -295,6 +362,11 @@ impl DistributedStateVector {
         self.counters.exchanges += 1;
         self.counters.bytes_exchanged += half_bytes * self.n_nodes() as u64;
         self.counters.simulated_seconds += self.model.exchange_time(half_bytes);
+        if let Some(obs) = &self.obs {
+            obs.exchanges.inc();
+            obs.bytes_exchanged
+                .add(half_bytes * self.slices.len() as u64);
+        }
     }
 
     /// Distributed-swap every global qubit in `qubits` down to a scratch
@@ -368,10 +440,19 @@ pub(crate) fn check_layout(n_qubits: u16, n_nodes: usize) -> Result<(), ClusterE
 /// width-agnostic until a state is allocated); call
 /// [`ClusterBackend::validate`] — or check [`ClusterBackend::supports`] —
 /// before pooling states of a given width.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct ClusterBackend {
     n_nodes: usize,
     model: InterconnectModel,
+    obs: Option<Arc<ClusterObs>>,
+}
+
+/// Backends compare by topology (node count and interconnect model);
+/// whether one is observed does not change what it computes.
+impl PartialEq for ClusterBackend {
+    fn eq(&self, other: &Self) -> bool {
+        self.n_nodes == other.n_nodes && self.model == other.model
+    }
 }
 
 impl ClusterBackend {
@@ -387,7 +468,19 @@ impl ClusterBackend {
             n_nodes >= 1 && n_nodes.is_power_of_two(),
             "node count {n_nodes} is not a power of two >= 1"
         );
-        ClusterBackend { n_nodes, model }
+        ClusterBackend {
+            n_nodes,
+            model,
+            obs: None,
+        }
+    }
+
+    /// Mirror every allocated state's communication and gate activity into
+    /// `obs` (see [`ClusterObs::register`]).
+    #[must_use]
+    pub fn observed(mut self, obs: Arc<ClusterObs>) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Number of nodes states are sliced across.
@@ -425,9 +518,14 @@ impl PooledBackend for ClusterBackend {
     }
 
     fn allocate(&self, n_qubits: u16) -> DistributedStateVector {
-        DistributedStateVector::zero(n_qubits, self.n_nodes, self.model).unwrap_or_else(|err| {
-            panic!("executors must gate on PooledBackend::supports before allocating: {err}")
-        })
+        let mut state = DistributedStateVector::zero(n_qubits, self.n_nodes, self.model)
+            .unwrap_or_else(|err| {
+                panic!("executors must gate on PooledBackend::supports before allocating: {err}")
+            });
+        if let Some(obs) = &self.obs {
+            state.observe(Arc::clone(obs));
+        }
+        state
     }
 
     fn reset_zero(&self, state: &mut DistributedStateVector) {
@@ -470,10 +568,10 @@ impl QuantumState for DistributedStateVector {
         let local_n = self.local_n;
         if gate.qubits().iter().all(|&q| q < local_n) {
             self.each_node(|slice| kernels::apply_gate_amps(slice, gate));
-            self.counters.local_gates += 1;
+            self.note_local_gate();
         } else {
             self.apply_gate_remapped(gate);
-            self.counters.global_gates += 1;
+            self.note_remapped_gate();
         }
     }
 
@@ -484,14 +582,14 @@ impl QuantumState for DistributedStateVector {
             let ql = q as usize;
             let m = *m;
             self.each_node(move |slice| kernels::apply_mat2(slice, ql, &m));
-            self.counters.local_gates += 1;
+            self.note_local_gate();
         } else {
             let (qs, swaps) = self.remap_to_local(&[q]);
             let ql = qs[0] as usize;
             let m = *m;
             self.each_node(move |slice| kernels::apply_mat2(slice, ql, &m));
             self.undo_remap(&swaps);
-            self.counters.global_gates += 1;
+            self.note_remapped_gate();
         }
     }
 
@@ -506,7 +604,7 @@ impl QuantumState for DistributedStateVector {
             let (hi, lo) = (q_hi as usize, q_lo as usize);
             let m = *m;
             self.each_node(move |slice| kernels::apply_mat4(slice, hi, lo, &m));
-            self.counters.local_gates += 1;
+            self.note_local_gate();
         } else {
             // Fall back to the distributed-swap remap path.
             let (qs, swaps) = self.remap_to_local(&[q_hi, q_lo]);
@@ -514,7 +612,7 @@ impl QuantumState for DistributedStateVector {
             let m = *m;
             self.each_node(move |slice| kernels::apply_mat4(slice, hi, lo, &m));
             self.undo_remap(&swaps);
-            self.counters.global_gates += 1;
+            self.note_remapped_gate();
         }
     }
 
@@ -524,7 +622,7 @@ impl QuantumState for DistributedStateVector {
         // run touches node-selecting (global) qubits.
         let local_n = self.local_n;
         self.each_node_indexed(|node, slice| run.apply_offset(slice, node << local_n));
-        self.counters.local_gates += 1;
+        self.note_local_gate();
     }
 
     fn marginal_one(&self, q: u16) -> f64 {
@@ -599,6 +697,10 @@ impl QuantumState for DistributedStateVector {
             self.counters.exchanges += 1;
             self.counters.bytes_exchanged += bytes * self.n_nodes() as u64;
             self.counters.simulated_seconds += self.model.exchange_time(bytes);
+            if let Some(obs) = &self.obs {
+                obs.exchanges.inc();
+                obs.bytes_exchanged.add(bytes * self.slices.len() as u64);
+            }
         } else {
             let q = q as usize;
             self.each_node(|slice| kernels::apply_antidiag1(slice, q, a01, a10));
@@ -712,6 +814,36 @@ mod tests {
         assert!(dsv.counters.global_gates > 0);
         assert!(dsv.counters.exchanges > 0);
         assert!(dsv.counters.bytes_exchanged > 0);
+    }
+
+    /// An observed backend mirrors every per-state counter movement into
+    /// the shared registry totals, and observation never changes the math.
+    #[test]
+    fn observed_backend_mirrors_state_counters() {
+        let m = InterconnectModel::commodity_cluster();
+        let registry = Registry::new();
+        let obs = ClusterObs::register(&registry);
+        let backend = ClusterBackend::new(4, m).observed(Arc::clone(&obs));
+        let circuit = generators::qft(8);
+
+        let mut observed = backend.allocate(8);
+        let mut plain = DistributedStateVector::zero(8, 4, m).unwrap();
+        for g in &circuit {
+            observed.apply_gate(g);
+            plain.apply_gate(g);
+        }
+        let mut scratch = backend.allocate(8);
+        scratch.copy_from(&observed);
+        assert_states_match(&scratch, &plain.gather());
+
+        assert_eq!(obs.local_gates.get(), observed.counters.local_gates);
+        assert_eq!(obs.remapped_gates.get(), observed.counters.global_gates);
+        assert_eq!(obs.exchanges.get(), observed.counters.exchanges);
+        assert_eq!(obs.bytes_exchanged.get(), observed.counters.bytes_exchanged);
+        assert_eq!(obs.state_copies.get(), 1, "one copy_from above");
+        assert!(obs.exchanges.get() > 0, "QFT(8) on 4 nodes communicates");
+        // Observation is a mirror, not a behaviour change.
+        assert_eq!(observed.counters, plain.counters);
     }
 
     #[test]

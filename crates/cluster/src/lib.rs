@@ -32,7 +32,7 @@ pub mod dsv;
 pub mod model;
 pub mod runner;
 
-pub use dsv::{ClusterBackend, ClusterError, DistributedStateVector};
+pub use dsv::{ClusterBackend, ClusterError, ClusterObs, DistributedStateVector};
 pub use model::{ClusterCounters, InterconnectModel};
 pub use runner::{
     estimate_shot_seconds, estimate_tree_seconds, run_distributed, run_distributed_with_options,

@@ -58,4 +58,5 @@ pub use executor::{
 };
 pub use partition::{Partition, PlanError, Strategy};
 pub use sim::Tqsim;
+pub use tqsim_statevec::OpCounts;
 pub use tree::TreeStructure;

@@ -84,12 +84,13 @@ mod exec;
 pub mod pool;
 
 pub use pool::{Task, WorkerCtx, WorkerPool};
+pub use tqsim_statevec::PoolStats;
 
 use std::sync::{mpsc, Arc};
 use tqsim::{Partition, PlanError, RunResult, Strategy, Tqsim, TreeStructure};
 use tqsim_circuit::Circuit;
 use tqsim_noise::NoiseModel;
-use tqsim_statevec::{CompiledCircuit, PoolStats, PooledBackend, SingleNode};
+use tqsim_statevec::{CompiledCircuit, PooledBackend, SingleNode};
 
 /// A streaming outcome sink: called from worker threads with each leaf
 /// batch's outcomes as soon as the leaf is sampled, long before the job
@@ -101,6 +102,10 @@ pub type ChunkSink = Arc<dyn Fn(&[u64]) + Send + Sync>;
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
     parallelism: usize,
+    /// Observability target: workers report per-worker busy/idle/steal
+    /// counters and task latencies into this registry under the given
+    /// `engine` scope label (None ⇒ uninstrumented; the default).
+    observe: Option<(Arc<tqsim_obs::Registry>, String)>,
 }
 
 impl Default for EngineConfig {
@@ -110,6 +115,7 @@ impl Default for EngineConfig {
             parallelism: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            observe: None,
         }
     }
 }
@@ -128,6 +134,16 @@ impl EngineConfig {
     pub fn parallelism(mut self, n: usize) -> Self {
         assert!(n >= 1, "parallelism must be at least 1");
         self.parallelism = n;
+        self
+    }
+
+    /// Report worker-pool metrics into `registry`, labeling every
+    /// instrument with `engine=scope` (so several engines — e.g. the
+    /// service's single-node and cluster pools — share one registry
+    /// without colliding). See
+    /// [`WorkerPool::with_backend_observed`][crate::WorkerPool::with_backend_observed].
+    pub fn observe(mut self, registry: Arc<tqsim_obs::Registry>, scope: &str) -> Self {
+        self.observe = Some((registry, scope.to_string()));
         self
     }
 }
@@ -595,8 +611,12 @@ impl<B: PooledBackend> Engine<B> {
     /// parallelism levels): node RNG streams derive only from the job seed
     /// and tree path, and every backend replays the same compiled plans.
     pub fn with_backend(cfg: EngineConfig, backend: B) -> Self {
+        let observe = cfg
+            .observe
+            .as_ref()
+            .map(|(registry, scope)| (registry.as_ref(), scope.as_str()));
         Engine {
-            pool: WorkerPool::with_backend(cfg.parallelism, backend),
+            pool: WorkerPool::with_backend_observed(cfg.parallelism, backend, observe),
             run_gate: std::sync::Mutex::new(()),
         }
     }

@@ -25,10 +25,59 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+use tqsim_obs::{elapsed_ns, Counter, Histogram, Registry};
 use tqsim_statevec::{PoolCounters, PoolStats, PooledBackend, PooledState, SingleNode, StatePool};
 
 /// A unit of work: runs once on some worker.
 pub type Task<B = SingleNode> = Box<dyn FnOnce(&WorkerCtx<'_, B>) + Send + 'static>;
+
+/// One worker's observability instruments (see [`PoolMetrics`]).
+struct WorkerInstruments {
+    /// Tasks this worker executed.
+    tasks: Arc<Counter>,
+    /// Tasks it took from a sibling's deque.
+    steals: Arc<Counter>,
+    /// Nanoseconds spent executing tasks.
+    busy_ns: Arc<Counter>,
+    /// Nanoseconds spent parked on the work condvar.
+    idle_ns: Arc<Counter>,
+    /// Times the worker parked (busy pools park rarely).
+    parks: Arc<Counter>,
+}
+
+/// Per-pool observability instruments, registered into a shared
+/// [`Registry`] under an `engine` scope label (one instrument set per
+/// worker plus a pool-wide task-latency histogram). Absent by default;
+/// when absent the worker loop's only overhead is one `Option` check per
+/// task.
+pub(crate) struct PoolMetrics {
+    /// Latency distribution of every task the pool ran.
+    task_ns: Arc<Histogram>,
+    workers: Vec<WorkerInstruments>,
+}
+
+impl PoolMetrics {
+    fn register(registry: &Registry, scope: &str, workers: usize) -> Self {
+        let engine = [("engine", scope)];
+        PoolMetrics {
+            task_ns: registry.histogram("tqsim_engine_task_ns", &engine),
+            workers: (0..workers)
+                .map(|index| {
+                    let worker = index.to_string();
+                    let labels = [("engine", scope), ("worker", worker.as_str())];
+                    WorkerInstruments {
+                        tasks: registry.counter("tqsim_engine_tasks_total", &labels),
+                        steals: registry.counter("tqsim_engine_steals_total", &labels),
+                        busy_ns: registry.counter("tqsim_engine_busy_ns_total", &labels),
+                        idle_ns: registry.counter("tqsim_engine_idle_ns_total", &labels),
+                        parks: registry.counter("tqsim_engine_parks_total", &labels),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
 
 struct Shared<B: PooledBackend> {
     /// Externally injected work (FIFO).
@@ -53,6 +102,8 @@ struct Shared<B: PooledBackend> {
     /// task would leave `pending` undrained and deadlock the submitter).
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     counters: Arc<PoolCounters>,
+    /// Per-worker busy/idle/steal instruments (None ⇒ uninstrumented).
+    metrics: Option<PoolMetrics>,
 }
 
 impl<B: PooledBackend> Shared<B> {
@@ -146,8 +197,27 @@ impl<B: PooledBackend> WorkerPool<B> {
     ///
     /// Panics if `workers == 0` or thread spawning fails.
     pub fn with_backend(workers: usize, backend: B) -> Self {
+        WorkerPool::with_backend_observed(workers, backend, None)
+    }
+
+    /// [`WorkerPool::with_backend`] with optional observability: when a
+    /// registry and scope are given, every worker reports task counts,
+    /// busy/idle nanoseconds, steals and parks into
+    /// `tqsim_engine_*{engine=scope, worker=i}` instruments, plus one
+    /// pool-wide `tqsim_engine_task_ns` latency histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or thread spawning fails.
+    pub fn with_backend_observed(
+        workers: usize,
+        backend: B,
+        observe: Option<(&Registry, &str)>,
+    ) -> Self {
         assert!(workers >= 1, "a pool needs at least one worker");
         let counters = PoolCounters::new();
+        let metrics =
+            observe.map(|(registry, scope)| PoolMetrics::register(registry, scope, workers));
         let shared = Arc::new(Shared {
             injector: Mutex::new(VecDeque::new()),
             locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -159,6 +229,7 @@ impl<B: PooledBackend> WorkerPool<B> {
             done_cv: Condvar::new(),
             panic: Mutex::new(None),
             counters: Arc::clone(&counters),
+            metrics,
         });
         let state_pools: Vec<StatePool<B>> = (0..workers)
             .map(|_| StatePool::with_backend(backend.clone(), Arc::clone(&counters)))
@@ -317,6 +388,7 @@ fn worker_loop<B: PooledBackend>(index: usize, state_pool: &StatePool<B>, shared
     };
     loop {
         if let Some(task) = find_task(index, shared) {
+            let started = shared.metrics.as_ref().map(|_| Instant::now());
             // Catch unwinds so a panicking task cannot kill the worker
             // with `pending` undrained (which would deadlock the
             // submitter); the payload is re-raised by `wait_idle`.
@@ -327,6 +399,13 @@ fn worker_loop<B: PooledBackend>(index: usize, state_pool: &StatePool<B>, shared
                 if slot.is_none() {
                     *slot = Some(payload);
                 }
+            }
+            if let (Some(metrics), Some(started)) = (&shared.metrics, started) {
+                let ns = elapsed_ns(started);
+                let w = &metrics.workers[index];
+                w.tasks.inc();
+                w.busy_ns.add(ns);
+                metrics.task_ns.record(ns);
             }
             if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
                 // Last task of the batch: wake the submitter. Taking the
@@ -349,8 +428,14 @@ fn worker_loop<B: PooledBackend>(index: usize, state_pool: &StatePool<B>, shared
             shared.sleepers.fetch_sub(1, Ordering::SeqCst);
             return;
         }
+        let parked = shared.metrics.as_ref().map(|_| Instant::now());
         let _unused = shared.work_cv.wait(shutdown).expect("work wait");
         shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+        if let (Some(metrics), Some(parked)) = (&shared.metrics, parked) {
+            let w = &metrics.workers[index];
+            w.parks.inc();
+            w.idle_ns.add(elapsed_ns(parked));
+        }
     }
 }
 
@@ -365,14 +450,22 @@ fn find_task<B: PooledBackend>(index: usize, shared: &Shared<B>) -> Option<Task<
             q.pop_front()
         }
     };
+    let mut stolen = false;
     let task = grab(&shared.locals[index], true)
         .or_else(|| grab(&shared.injector, false))
         .or_else(|| {
             let n = shared.locals.len();
-            (1..n).find_map(|offset| grab(&shared.locals[(index + offset) % n], false))
+            let task = (1..n).find_map(|offset| grab(&shared.locals[(index + offset) % n], false));
+            stolen = task.is_some();
+            task
         });
     if task.is_some() {
         shared.queued.fetch_sub(1, Ordering::SeqCst);
+        if stolen {
+            if let Some(metrics) = &shared.metrics {
+                metrics.workers[index].steals.inc();
+            }
+        }
     }
     task
 }
@@ -463,6 +556,38 @@ mod tests {
         let pool = WorkerPool::new(1);
         pool.wait_idle();
         pool.wait_idle();
+    }
+
+    #[test]
+    fn observed_pool_reports_task_metrics() {
+        let registry = Registry::new();
+        let pool = WorkerPool::with_backend_observed(2, SingleNode, Some((&registry, "test")));
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        pool.for_each_index(64, move |_, _| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 64);
+        let snap = registry.snapshot();
+        let per_worker = |name: &str| -> u64 {
+            (0..2)
+                .map(|w| {
+                    let worker = w.to_string();
+                    snap.counter(name, &[("engine", "test"), ("worker", worker.as_str())])
+                        .expect("worker instrument registered")
+                })
+                .sum()
+        };
+        let tasks = per_worker("tqsim_engine_tasks_total");
+        let hist = snap
+            .histogram("tqsim_engine_task_ns", &[("engine", "test")])
+            .expect("task histogram registered");
+        assert_eq!(tasks, hist.count, "every task records one latency sample");
+        assert!(tasks >= 1, "striped batch must run tasks");
+        assert!(per_worker("tqsim_engine_busy_ns_total") > 0);
+        // Steals/parks are scheduling-dependent — just present and sane.
+        let _ = per_worker("tqsim_engine_steals_total");
+        let _ = per_worker("tqsim_engine_parks_total");
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Bounded ring-buffer event recorder for per-job lifecycle timelines.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One recorded lifecycle event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the log's epoch (its creation).
+    pub ts_ns: u64,
+    /// The job the event belongs to (0 for non-job events).
+    pub job: u64,
+    /// What happened (static stage names — `"submitted"`, `"running"`, …).
+    pub stage: &'static str,
+}
+
+/// A bounded ring buffer of [`Event`]s: recording is O(1), the oldest
+/// events are overwritten once `capacity` is reached (the overwrite count
+/// is tracked, so consumers can tell a partial timeline from a full one).
+#[derive(Debug)]
+pub struct EventLog {
+    epoch: Instant,
+    capacity: usize,
+    ring: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl EventLog {
+    /// An empty log keeping the most recent `capacity` events
+    /// (`capacity == 0` disables recording entirely).
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            epoch: Instant::now(),
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Append one event, evicting the oldest when full.
+    pub fn record(&self, job: u64, stage: &'static str) {
+        if self.capacity == 0 {
+            return;
+        }
+        let ts_ns = crate::elapsed_ns(self.epoch);
+        let mut ring = self.ring.lock().expect("event ring");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(Event { ts_ns, job, stage });
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.ring
+            .lock()
+            .expect("event ring")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Events overwritten by the ring since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let log = EventLog::new(8);
+        log.record(1, "submitted");
+        log.record(1, "running");
+        log.record(1, "done");
+        let events = log.snapshot();
+        assert_eq!(
+            events.iter().map(|e| e.stage).collect::<Vec<_>>(),
+            ["submitted", "running", "done"]
+        );
+        assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_evictions() {
+        let log = EventLog::new(3);
+        for job in 0..10 {
+            log.record(job, "submitted");
+        }
+        let events = log.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events.iter().map(|e| e.job).collect::<Vec<_>>(), [7, 8, 9]);
+        assert_eq!(log.dropped(), 7);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let log = EventLog::new(0);
+        log.record(1, "submitted");
+        assert!(log.snapshot().is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+}

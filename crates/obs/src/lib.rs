@@ -1,0 +1,259 @@
+//! # tqsim-obs
+//!
+//! The workspace's observability substrate: dependency-free (std-only)
+//! metric primitives shared by the engine, the cluster backend and the
+//! service front-end, surfaced through the service's `{"op":"metrics"}`
+//! wire verb.
+//!
+//! Everything here is designed for always-on use inside simulation hot
+//! paths:
+//!
+//! - [`Counter`] / [`Gauge`] — single relaxed atomics.
+//! - [`Histogram`] — log2-bucketed latency distribution with lock-free
+//!   [`Histogram::record`] and p50/p90/p99 estimation (within one bucket
+//!   of exact, see [`HistogramSnapshot::quantile`]).
+//! - [`Span`] — RAII timer recording its scope's elapsed nanoseconds into
+//!   a histogram on drop.
+//! - [`EventLog`] — bounded ring buffer of per-job lifecycle events (the
+//!   raw material for job timelines).
+//! - [`Registry`] — the named-instrument directory snapshotting everything
+//!   into a structured [`Snapshot`] or a Prometheus-style text exposition.
+//!
+//! ```
+//! use tqsim_obs::{Registry, Span};
+//!
+//! let registry = Registry::new();
+//! let latency = registry.histogram("demo_stage_ns", &[("stage", "execute")]);
+//! {
+//!     let _span = Span::enter(&latency); // records on drop
+//! }
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.histograms[0].snapshot.count, 1);
+//! assert!(registry.render_text().contains("demo_stage_ns"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod events;
+mod hist;
+mod registry;
+
+pub use events::{Event, EventLog};
+pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{HistogramMetric, MetricValue, Registry, Snapshot};
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotone event counter (one relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite the value — for mirroring a counter maintained elsewhere
+    /// (e.g. a snapshot-time copy of an engine-internal atomic) into a
+    /// registry. The mirrored source must itself be monotone.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An up/down instantaneous value (one relaxed atomic), with a
+/// compare-and-swap-free monotonic max for high-water marks.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtract one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Raise the gauge to `v` if `v` is larger (atomic monotonic max — the
+    /// race-free way to track high-water marks from concurrent observers).
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII span: starts a clock on [`Span::enter`] and records the elapsed
+/// nanoseconds into the histogram when dropped. Borrowed form; see
+/// [`Registry::span`] for an owned (`Arc`-holding) variant.
+#[must_use = "a span records on drop; binding it to `_` drops immediately"]
+pub struct Span<'h> {
+    hist: &'h Histogram,
+    start: Instant,
+}
+
+impl<'h> Span<'h> {
+    /// Start timing into `hist`.
+    pub fn enter(hist: &'h Histogram) -> Self {
+        Span {
+            hist,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.hist.record(elapsed_ns(self.start));
+    }
+}
+
+/// Owned counterpart of [`Span`]: holds its histogram by `Arc`, so it can
+/// outlive the registry borrow that created it (returned by
+/// [`Registry::span`]).
+#[must_use = "a span records on drop; binding it to `_` drops immediately"]
+pub struct OwnedSpan {
+    hist: std::sync::Arc<Histogram>,
+    start: Instant,
+}
+
+impl OwnedSpan {
+    /// Start timing into `hist`.
+    pub fn enter(hist: std::sync::Arc<Histogram>) -> Self {
+        OwnedSpan {
+            hist,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for OwnedSpan {
+    fn drop(&mut self) {
+        self.hist.record(elapsed_ns(self.start));
+    }
+}
+
+/// Nanoseconds since `start`, saturated to `u64` (584 years — effectively
+/// never).
+#[inline]
+pub fn elapsed_ns(start: Instant) -> u64 {
+    duration_ns(start.elapsed())
+}
+
+/// A `Duration` as saturated `u64` nanoseconds.
+#[inline]
+pub fn duration_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.set(2);
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn gauge_tracks_and_maxes() {
+        let g = Gauge::new();
+        g.set(3);
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 3);
+        g.set_max(10);
+        g.set_max(7);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn gauge_max_is_race_free() {
+        // Regression shape for the service's running_high_water: many
+        // threads racing monotonic-max updates must converge on the true
+        // maximum (a read-then-write would lose updates).
+        let g = Arc::new(Gauge::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        g.set_max(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.get(), 7999);
+    }
+
+    #[test]
+    fn span_records_once_on_drop() {
+        let h = Histogram::new();
+        {
+            let _span = Span::enter(&h);
+        }
+        assert_eq!(h.snapshot().count, 1);
+        let h = Arc::new(Histogram::new());
+        {
+            let _span = OwnedSpan::enter(Arc::clone(&h));
+        }
+        assert_eq!(h.snapshot().count, 1);
+    }
+}

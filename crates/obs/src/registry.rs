@@ -1,0 +1,384 @@
+//! The named-instrument directory and its snapshot/exposition formats.
+
+use crate::events::EventLog;
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::{Counter, Gauge, OwnedSpan};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default event-ring capacity for [`Registry::new`].
+const DEFAULT_EVENT_CAPACITY: usize = 256;
+
+/// A metric's identity: family name plus label pairs. Two registrations
+/// with the same identity return the same instrument.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Id {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+fn id_of(name: &str, labels: &[(&str, &str)]) -> Id {
+    Id {
+        name: name.to_string(),
+        labels: labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: Vec<(Id, Arc<Counter>)>,
+    gauges: Vec<(Id, Arc<Gauge>)>,
+    histograms: Vec<(Id, Arc<Histogram>)>,
+}
+
+/// The instrument directory: get-or-register named counters, gauges and
+/// histograms (plus one [`EventLog`]), then snapshot everything at once.
+///
+/// Registration takes a lock; the returned `Arc`s are meant to be held by
+/// the hot path, which then touches only its own relaxed atomics.
+/// Instruments snapshot in registration order, so output is deterministic.
+pub struct Registry {
+    epoch: Instant,
+    inner: Mutex<Inner>,
+    events: EventLog,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("registry");
+        write!(
+            f,
+            "Registry[{} counters, {} gauges, {} histograms]",
+            inner.counters.len(),
+            inner.gauges.len(),
+            inner.histograms.len()
+        )
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+fn get_or_insert<T: Default>(list: &mut Vec<(Id, Arc<T>)>, id: Id) -> Arc<T> {
+    if let Some((_, existing)) = list.iter().find(|(i, _)| *i == id) {
+        return Arc::clone(existing);
+    }
+    let instrument = Arc::new(T::default());
+    list.push((id, Arc::clone(&instrument)));
+    instrument
+}
+
+impl Registry {
+    /// An empty registry (event ring of 256).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Registry::default())
+    }
+
+    /// An empty registry with an explicit event-ring capacity (0 disables
+    /// event recording).
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Registry {
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+            events: EventLog::new(capacity),
+        }
+    }
+
+    /// Get or register the counter `name{labels}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        get_or_insert(
+            &mut self.inner.lock().expect("registry").counters,
+            id_of(name, labels),
+        )
+    }
+
+    /// Get or register the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        get_or_insert(
+            &mut self.inner.lock().expect("registry").gauges,
+            id_of(name, labels),
+        )
+    }
+
+    /// Get or register the histogram `name{labels}`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        get_or_insert(
+            &mut self.inner.lock().expect("registry").histograms,
+            id_of(name, labels),
+        )
+    }
+
+    /// Start an [`OwnedSpan`] recording into the histogram `name{labels}`
+    /// when dropped.
+    pub fn span(&self, name: &str, labels: &[(&str, &str)]) -> OwnedSpan {
+        OwnedSpan::enter(self.histogram(name, labels))
+    }
+
+    /// The registry's lifecycle-event ring.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Seconds since the registry was created.
+    pub fn uptime_secs(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// A structured point-in-time copy of every registered instrument, in
+    /// registration order.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("registry");
+        Snapshot {
+            uptime_secs: self.uptime_secs(),
+            counters: inner
+                .counters
+                .iter()
+                .map(|(id, c)| MetricValue {
+                    name: id.name.clone(),
+                    labels: id.labels.clone(),
+                    value: c.get(),
+                })
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(id, g)| MetricValue {
+                    name: id.name.clone(),
+                    labels: id.labels.clone(),
+                    value: g.get(),
+                })
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(id, h)| HistogramMetric {
+                    name: id.name.clone(),
+                    labels: id.labels.clone(),
+                    snapshot: h.snapshot(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The Prometheus-style text exposition of [`Registry::snapshot`].
+    pub fn render_text(&self) -> String {
+        self.snapshot().render_text()
+    }
+}
+
+/// One scalar instrument's snapshot entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricValue<T> {
+    /// Metric family name.
+    pub name: String,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The value at snapshot time.
+    pub value: T,
+}
+
+/// One histogram's snapshot entry.
+#[derive(Clone, Debug)]
+pub struct HistogramMetric {
+    /// Metric family name.
+    pub name: String,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The distribution at snapshot time.
+    pub snapshot: HistogramSnapshot,
+}
+
+/// A structured point-in-time copy of a whole [`Registry`].
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Seconds since the registry was created.
+    pub uptime_secs: f64,
+    /// Counter entries, in registration order.
+    pub counters: Vec<MetricValue<u64>>,
+    /// Gauge entries, in registration order.
+    pub gauges: Vec<MetricValue<i64>>,
+    /// Histogram entries, in registration order.
+    pub histograms: Vec<HistogramMetric>,
+}
+
+impl Snapshot {
+    /// Find a counter's value by name and labels.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|m| matches(&m.name, &m.labels, name, labels))
+            .map(|m| m.value)
+    }
+
+    /// Find a gauge's value by name and labels.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        self.gauges
+            .iter()
+            .find(|m| matches(&m.name, &m.labels, name, labels))
+            .map(|m| m.value)
+    }
+
+    /// Find a histogram's snapshot by name and labels.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|m| matches(&m.name, &m.labels, name, labels))
+            .map(|m| &m.snapshot)
+    }
+
+    /// Render the Prometheus text exposition: `# TYPE` headers, one sample
+    /// line per instrument, `_bucket`/`_sum`/`_count` series per histogram
+    /// (cumulative `le` edges, top bucket as `+Inf`).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut typed: HashSet<&str> = HashSet::new();
+        for m in &self.counters {
+            if typed.insert(&m.name) {
+                let _ = writeln!(out, "# TYPE {} counter", m.name);
+            }
+            let _ = writeln!(out, "{}{} {}", m.name, label_set(&m.labels), m.value);
+        }
+        for m in &self.gauges {
+            if typed.insert(&m.name) {
+                let _ = writeln!(out, "# TYPE {} gauge", m.name);
+            }
+            let _ = writeln!(out, "{}{} {}", m.name, label_set(&m.labels), m.value);
+        }
+        for m in &self.histograms {
+            if typed.insert(&m.name) {
+                let _ = writeln!(out, "# TYPE {} histogram", m.name);
+            }
+            for (upper, cum) in m.snapshot.cumulative_buckets() {
+                let mut labels = m.labels.clone();
+                let le = if upper == u64::MAX {
+                    "+Inf".to_string()
+                } else {
+                    upper.to_string()
+                };
+                labels.push(("le".to_string(), le));
+                let _ = writeln!(out, "{}_bucket{} {}", m.name, label_set(&labels), cum);
+            }
+            let ls = label_set(&m.labels);
+            let _ = writeln!(out, "{}_sum{} {}", m.name, ls, m.snapshot.sum);
+            let _ = writeln!(out, "{}_count{} {}", m.name, ls, m.snapshot.count);
+        }
+        out
+    }
+}
+
+fn matches(
+    name: &str,
+    labels: &[(String, String)],
+    want_name: &str,
+    want: &[(&str, &str)],
+) -> bool {
+    name == want_name
+        && labels.len() == want.len()
+        && labels
+            .iter()
+            .zip(want.iter())
+            .all(|((k, v), (wk, wv))| k == wk && v == wv)
+}
+
+/// `{k="v",…}` or the empty string for unlabeled metrics.
+fn label_set(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let reg = Registry::new();
+        let a = reg.counter("x_total", &[("k", "v")]);
+        let b = reg.counter("x_total", &[("k", "v")]);
+        a.inc();
+        b.inc();
+        assert_eq!(reg.snapshot().counter("x_total", &[("k", "v")]), Some(2));
+        // Different labels are a different instrument.
+        let c = reg.counter("x_total", &[("k", "w")]);
+        c.add(5);
+        assert_eq!(reg.snapshot().counter("x_total", &[("k", "w")]), Some(5));
+    }
+
+    #[test]
+    fn snapshot_lookups_and_order() {
+        let reg = Registry::new();
+        reg.gauge("depth", &[]).set(3);
+        reg.counter("b_total", &[]).inc();
+        reg.counter("a_total", &[]).inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("depth", &[]), Some(3));
+        assert_eq!(snap.gauge("missing", &[]), None);
+        // Registration order, not alphabetical.
+        assert_eq!(snap.counters[0].name, "b_total");
+        assert_eq!(snap.counters[1].name, "a_total");
+    }
+
+    #[test]
+    fn text_exposition_shape() {
+        let reg = Registry::new();
+        reg.counter("jobs_total", &[("state", "done")]).add(2);
+        reg.gauge("queue_depth", &[]).set(1);
+        let h = reg.histogram("lat_ns", &[("stage", "execute")]);
+        h.record(5);
+        h.record(100);
+        let text = reg.render_text();
+        assert!(text.contains("# TYPE jobs_total counter"));
+        assert!(text.contains("jobs_total{state=\"done\"} 2"));
+        assert!(text.contains("# TYPE queue_depth gauge"));
+        assert!(text.contains("queue_depth 1"));
+        assert!(text.contains("# TYPE lat_ns histogram"));
+        assert!(text.contains("lat_ns_bucket{stage=\"execute\",le=\"7\"} 1"));
+        assert!(text.contains("lat_ns_sum{stage=\"execute\"} 105"));
+        assert!(text.contains("lat_ns_count{stage=\"execute\"} 2"));
+    }
+
+    #[test]
+    fn span_via_registry_records() {
+        let reg = Registry::new();
+        {
+            let _span = reg.span("stage_ns", &[("stage", "compile")]);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.histogram("stage_ns", &[("stage", "compile")])
+                .unwrap()
+                .count,
+            1
+        );
+    }
+
+    #[test]
+    fn events_flow_through_registry() {
+        let reg = Registry::new();
+        reg.events().record(7, "submitted");
+        let events = reg.events().snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].job, 7);
+    }
+
+    #[test]
+    fn uptime_advances() {
+        let reg = Registry::new();
+        assert!(reg.uptime_secs() >= 0.0);
+        assert!(reg.snapshot().uptime_secs >= 0.0);
+    }
+}

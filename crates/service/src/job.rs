@@ -1,10 +1,12 @@
 //! Job records and client tickets: per-job status, the streamed-outcome
 //! buffer, and the completion rendezvous.
 
+use crate::metrics::ServiceMetrics;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use tqsim::RunResult;
+use tqsim_obs::duration_ns;
 
 /// Service-assigned job identifier (unique for the service lifetime).
 pub type JobId = u64;
@@ -92,6 +94,12 @@ struct JobState {
     streamed: u64,
     /// When the job reached a terminal state (drives retention sweeps).
     finished_at: Option<Instant>,
+    /// When the scheduler popped the job off the queue (ends `queue_wait`).
+    popped_at: Option<Instant>,
+    /// When execution started on an engine (ends `compile`).
+    running_at: Option<Instant>,
+    /// When the last outcome chunk streamed in (ends `stream`).
+    last_chunk_at: Option<Instant>,
 }
 
 /// One job's shared record: the scheduler, the engine's worker threads and
@@ -100,6 +108,10 @@ pub(crate) struct JobRecord {
     id: JobId,
     client: String,
     counters: Arc<ServiceCounters>,
+    /// When the job was admitted (starts `queue_wait` and `e2e`).
+    submitted_at: Instant,
+    /// Stage histograms + event ring; `None` when observability is off.
+    metrics: Option<Arc<ServiceMetrics>>,
     state: Mutex<JobState>,
     /// Notified on every state change (status transitions and new chunks).
     cv: Condvar,
@@ -111,21 +123,42 @@ pub(crate) struct JobRecord {
 }
 
 impl JobRecord {
-    pub(crate) fn new(id: JobId, client: &str, counters: Arc<ServiceCounters>) -> Arc<Self> {
+    pub(crate) fn new(
+        id: JobId,
+        client: &str,
+        counters: Arc<ServiceCounters>,
+        metrics: Option<Arc<ServiceMetrics>>,
+    ) -> Arc<Self> {
+        if let Some(m) = &metrics {
+            m.registry.events().record(id, "submitted");
+        }
         Arc::new(JobRecord {
             id,
             client: client.to_string(),
             counters,
+            submitted_at: Instant::now(),
+            metrics,
             state: Mutex::new(JobState {
                 status: JobStatus::Queued,
                 result: None,
                 pending: Vec::new(),
                 streamed: 0,
                 finished_at: None,
+                popped_at: None,
+                running_at: None,
+                last_chunk_at: None,
             }),
             cv: Condvar::new(),
             on_cancel: Mutex::new(None),
         })
+    }
+
+    /// Record a lifecycle event into the observability ring (no-op when
+    /// observability is off).
+    fn event(&self, stage: &'static str) {
+        if let Some(m) = &self.metrics {
+            m.registry.events().record(self.id, stage);
+        }
     }
 
     pub(crate) fn id(&self) -> JobId {
@@ -140,11 +173,24 @@ impl JobRecord {
         self.state.lock().expect("job state").status.clone()
     }
 
+    /// Mark the scheduler pop (ends the `queue_wait` stage). Idempotent.
+    pub(crate) fn set_scheduled(&self) {
+        let mut st = self.state.lock().expect("job state");
+        if st.popped_at.is_none() {
+            st.popped_at = Some(Instant::now());
+            drop(st);
+            self.event("scheduled");
+        }
+    }
+
     pub(crate) fn set_running(&self) {
         let mut st = self.state.lock().expect("job state");
         if st.status == JobStatus::Queued {
             st.status = JobStatus::Running;
+            st.running_at = Some(Instant::now());
             self.cv.notify_all();
+            drop(st);
+            self.event("running");
         }
     }
 
@@ -157,6 +203,7 @@ impl JobRecord {
         }
         st.pending.extend_from_slice(outcomes);
         st.streamed += outcomes.len() as u64;
+        st.last_chunk_at = Some(Instant::now());
         self.counters
             .chunks_streamed
             .fetch_add(1, Ordering::Relaxed);
@@ -174,10 +221,31 @@ impl JobRecord {
             return;
         }
         st.status = JobStatus::Done;
+        let now = Instant::now();
+        st.finished_at = Some(now);
+        if let Some(m) = &self.metrics {
+            // One record per *completed* job into every stage histogram
+            // (each histogram's count therefore equals the completed-job
+            // count), all derived from the same four instants so
+            // queue_wait + compile + execute sums exactly to e2e.
+            let popped = st.popped_at.unwrap_or(self.submitted_at);
+            let running = st.running_at.unwrap_or(popped);
+            let since = |later: Instant, earlier: Instant| {
+                duration_ns(later.saturating_duration_since(earlier))
+            };
+            m.queue_wait_ns.record(since(popped, self.submitted_at));
+            m.compile_ns.record(since(running, popped));
+            m.execute_ns.record(since(now, running));
+            m.stream_ns
+                .record(since(st.last_chunk_at.unwrap_or(running), running));
+            m.e2e_ns.record(since(now, self.submitted_at));
+            m.add_ops(&result.ops);
+        }
         st.result = Some(result);
-        st.finished_at = Some(Instant::now());
         self.counters.completed.fetch_add(1, Ordering::Relaxed);
         self.cv.notify_all();
+        drop(st);
+        self.event("done");
     }
 
     pub(crate) fn fail(&self, message: String) {
@@ -189,6 +257,8 @@ impl JobRecord {
         st.finished_at = Some(Instant::now());
         self.counters.failed.fetch_add(1, Ordering::Relaxed);
         self.cv.notify_all();
+        drop(st);
+        self.event("failed");
     }
 
     /// Returns whether the cancellation took effect (the job had not
@@ -206,6 +276,7 @@ impl JobRecord {
             self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
             self.cv.notify_all();
         }
+        self.event("cancelled");
         // Outside the state lock: the hook takes the scheduler lock, and
         // the scheduler reads job status under it — holding both here
         // would invert that order and deadlock.

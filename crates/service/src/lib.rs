@@ -28,8 +28,15 @@
 //!   [`Ticket::wait`] returns the full histogram at the end.
 //! - **Wire protocol** ([`wire`]): a std-only `TcpListener` front-end
 //!   speaking line-delimited JSON (hand-rolled — no serde in the offline
-//!   workspace) with `submit`/`poll`/`stream`/`cancel`/`result`/`stats`
-//!   verbs.
+//!   workspace) with `submit`/`poll`/`stream`/`cancel`/`result`/`stats`/
+//!   `metrics` verbs.
+//! - **Observability** ([`Service::metrics`], the `metrics` verb): a
+//!   workspace-wide registry ([`tqsim_obs`], re-exported as [`obs`]) of
+//!   per-stage job latency histograms (queue-wait / compile / execute /
+//!   stream / end-to-end, with p50/p90/p99), queue-depth and per-backend
+//!   in-flight gauges, engine worker busy/steal counters and cluster
+//!   exchange totals — as a structured snapshot or a Prometheus-style
+//!   text exposition.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -73,9 +80,15 @@
 pub mod cache;
 pub mod job;
 pub mod json;
+mod metrics;
 mod queue;
 pub mod service;
 pub mod wire;
+
+/// The observability toolkit this service instruments itself with
+/// (re-exported so callers can consume [`Service::metrics`] snapshots
+/// without a separate dependency).
+pub use tqsim_obs as obs;
 
 pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use job::{ChunkPoll, JobError, JobId, JobStatus, Ticket};
@@ -503,6 +516,155 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.completed, 4);
         assert!(stats.running_high_water >= 1);
+        service.shutdown();
+    }
+
+    /// `Ticket::wait` unblocks on the finish notification, slightly before
+    /// the executor's completion hook returns the scheduler slot and
+    /// decrements the in-flight gauge — poll briefly until both drain.
+    fn wait_drained(service: &Service) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let idle = service.stats().running_now == 0
+                && service.metrics().is_none_or(|s| {
+                    s.gauge("tqsim_jobs_inflight", &[("backend", "single_node")]) == Some(0)
+                });
+            if idle || std::time::Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn metrics_stage_histograms_count_completed_jobs() {
+        let service = small_service(2);
+        let circuit = Arc::new(generators::qft(6));
+        for seed in 0..3 {
+            service
+                .submit(
+                    "m",
+                    JobRequest::new(Arc::clone(&circuit)).shots(16).seed(seed),
+                )
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        wait_drained(&service);
+        let snap = service.metrics().expect("observability defaults on");
+        // Every stage histogram records exactly once per completed job —
+        // never on failure or cancellation — so counts match completions.
+        let mut sums = std::collections::HashMap::new();
+        for stage in crate::metrics::STAGES {
+            let h = snap
+                .histogram(crate::metrics::STAGE_HIST, &[("stage", stage)])
+                .unwrap_or_else(|| panic!("stage {stage} registered"));
+            assert_eq!(h.count, 3, "stage {stage}");
+            sums.insert(stage, h.sum);
+        }
+        // The first three stages telescope over the same instants.
+        assert_eq!(
+            sums["queue_wait"] + sums["compile"] + sums["execute"],
+            sums["e2e"]
+        );
+        // Mirrored counters agree with the stats snapshot.
+        assert_eq!(snap.counter("tqsim_jobs_completed_total", &[]), Some(3));
+        assert_eq!(
+            snap.counter("tqsim_jobs_placed_total", &[("backend", "single_node")]),
+            Some(3)
+        );
+        assert!(
+            snap.counter("tqsim_ops_total", &[("kind", "gates_2q")])
+                .unwrap()
+                > 0
+        );
+        assert_eq!(snap.gauge("tqsim_queue_depth", &[]), Some(0));
+        assert_eq!(
+            snap.gauge("tqsim_jobs_inflight", &[("backend", "single_node")]),
+            Some(0)
+        );
+        // The engine registered its per-worker instruments and did work.
+        assert!(snap
+            .counter(
+                "tqsim_engine_tasks_total",
+                &[("engine", "single_node"), ("worker", "0")]
+            )
+            .is_some());
+        // Exposition and events are live too.
+        let text = service.metrics_text().unwrap();
+        assert!(text.contains("# TYPE tqsim_job_stage_ns histogram"));
+        assert!(text.contains("tqsim_jobs_completed_total 3"));
+        let events = service.metrics_events().unwrap();
+        assert!(events.iter().any(|e| e.stage == "done"));
+        service.shutdown();
+    }
+
+    #[test]
+    fn disabled_observability_reports_none() {
+        let service = Service::start(
+            ServiceConfig::default()
+                .parallelism(1)
+                .max_concurrent_jobs(1)
+                .observability(false),
+        );
+        let circuit = Arc::new(generators::bv(5));
+        service
+            .submit("a", JobRequest::new(circuit).shots(8).seed(1))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(service.metrics().is_none());
+        assert!(service.metrics_text().is_none());
+        assert!(service.metrics_events().is_none());
+        service.shutdown();
+    }
+
+    #[test]
+    fn running_high_water_is_bounded_and_monotonic() {
+        // Regression: the high-water mark is an atomic `fetch_max` updated
+        // at pop time; under concurrency it must never exceed the
+        // configured cap, never decrease, and never read torn/stale lows
+        // after jobs drain.
+        let service = Service::start(
+            ServiceConfig::default()
+                .parallelism(2)
+                .max_concurrent_jobs(2),
+        );
+        let circuit = Arc::new(generators::qft(7));
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| {
+                service
+                    .submit(
+                        &format!("c{i}"),
+                        JobRequest::new(Arc::clone(&circuit)).shots(32).seed(i),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        wait_drained(&service);
+        let first = service.stats();
+        assert!(first.running_high_water >= 1);
+        assert!(first.running_high_water <= 2, "never exceeds the cap");
+        assert_eq!(first.running_now, 0, "all drained");
+        let second = service.stats();
+        assert!(
+            second.running_high_water >= first.running_high_water,
+            "monotonic across snapshots"
+        );
+        assert!(second.snapshot_seq > first.snapshot_seq);
+        service.shutdown();
+    }
+
+    #[test]
+    fn stats_carry_uptime_and_snapshot_seq() {
+        let service = small_service(1);
+        let a = service.stats();
+        let b = service.stats();
+        assert_eq!(b.snapshot_seq, a.snapshot_seq + 1, "strictly increasing");
+        assert!(b.uptime_secs >= a.uptime_secs);
         service.shutdown();
     }
 }

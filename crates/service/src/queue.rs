@@ -207,7 +207,7 @@ mod tests {
     fn job(id: u64, client: &str) -> PendingJob {
         let counters = Arc::new(ServiceCounters::default());
         PendingJob {
-            record: JobRecord::new(id, client, counters),
+            record: JobRecord::new(id, client, counters, None),
             request: JobRequest::new(Arc::new(generators::bv(4))),
         }
     }

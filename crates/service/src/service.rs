@@ -3,9 +3,10 @@
 
 use crate::cache::{CacheStats, PlanCache, PlanKey};
 use crate::job::{JobError, JobId, JobRecord, ServiceCounters, Ticket};
+use crate::metrics::{GaugeRefresh, ServiceMetrics};
 use crate::queue::{FairQueue, PendingJob, SubmitError};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -80,6 +81,11 @@ pub struct ServiceConfig {
     /// stats snapshots (plus [`Service::sweep_retention`] for explicit
     /// control); `None` retains records for the service lifetime.
     pub retention_ttl: Option<Duration>,
+    /// Whether to run the observability layer (per-stage latency
+    /// histograms, engine/cluster instruments, the `metrics` wire verb).
+    /// On by default; off skips every instrument for a zero-overhead
+    /// baseline (the `obs` bench measures the difference).
+    pub observability: bool,
 }
 
 impl Default for ServiceConfig {
@@ -95,6 +101,7 @@ impl Default for ServiceConfig {
             cache_capacity: 64,
             backend_policy: BackendPolicy::default(),
             retention_ttl: Some(Duration::from_secs(900)),
+            observability: true,
         }
     }
 }
@@ -167,6 +174,13 @@ impl ServiceConfig {
     /// Set the finished-job retention TTL (`None` retains forever).
     pub fn retention_ttl(mut self, ttl: Option<Duration>) -> Self {
         self.retention_ttl = ttl;
+        self
+    }
+
+    /// Toggle the observability layer (default on; see
+    /// [`ServiceConfig::observability`]).
+    pub fn observability(mut self, enabled: bool) -> Self {
+        self.observability = enabled;
         self
     }
 }
@@ -297,12 +311,16 @@ pub struct ServiceStats {
     pub retained_jobs: usize,
     /// Job records dropped by the retention sweep or an explicit forget.
     pub forgotten: u64,
+    /// Whole seconds since the service started.
+    pub uptime_secs: u64,
+    /// Monotone snapshot sequence number (increments per [`Service::stats`]
+    /// call — lets pollers detect reordered or duplicated snapshots).
+    pub snapshot_seq: u64,
 }
 
 struct SchedState {
     queue: FairQueue,
     running: usize,
-    running_high_water: usize,
     shutdown: bool,
     paused: bool,
 }
@@ -318,6 +336,14 @@ pub(crate) struct Shared {
     cache: PlanCache,
     cfg: ServiceConfig,
     counters: Arc<ServiceCounters>,
+    /// The observability layer (`None` when disabled by config).
+    metrics: Option<Arc<ServiceMetrics>>,
+    /// Most jobs ever executing at once, maintained with an atomic
+    /// monotonic max (`fetch_max`) so concurrent readers never observe a
+    /// torn or regressed high water.
+    running_high_water: AtomicUsize,
+    /// Monotone [`Service::stats`] snapshot sequence.
+    snapshot_seq: AtomicU64,
     state: Mutex<SchedState>,
     /// Wakes the scheduler: new submission, a slot freed, pause toggled,
     /// shutdown.
@@ -416,24 +442,35 @@ impl Service {
     /// single-node engine, plus a cluster-backed engine when the backend
     /// policy enables routing (see [`BackendPolicy`]).
     pub fn start(cfg: ServiceConfig) -> Arc<Service> {
+        let metrics = cfg.observability.then(ServiceMetrics::new);
+        let mut engine_cfg = EngineConfig::default().parallelism(cfg.parallelism);
+        if let Some(m) = &metrics {
+            engine_cfg = engine_cfg.observe(Arc::clone(&m.registry), "single_node");
+        }
         let cluster = cfg.backend_policy.cluster_min_qubits.map(|_| {
-            Engine::with_backend(
-                EngineConfig::default().parallelism(cfg.backend_policy.cluster_parallelism),
-                ClusterBackend::new(
-                    cfg.backend_policy.cluster_nodes,
-                    InterconnectModel::commodity_cluster(),
-                ),
-            )
+            let mut backend = ClusterBackend::new(
+                cfg.backend_policy.cluster_nodes,
+                InterconnectModel::commodity_cluster(),
+            );
+            let mut cluster_cfg =
+                EngineConfig::default().parallelism(cfg.backend_policy.cluster_parallelism);
+            if let Some(m) = &metrics {
+                backend = backend.observed(Arc::clone(&m.cluster));
+                cluster_cfg = cluster_cfg.observe(Arc::clone(&m.registry), "cluster");
+            }
+            Engine::with_backend(cluster_cfg, backend)
         });
         let shared = Arc::new(Shared {
-            engine: Engine::new(EngineConfig::default().parallelism(cfg.parallelism)),
+            engine: Engine::new(engine_cfg),
             cluster,
             cache: PlanCache::new(cfg.cache_capacity),
             counters: Arc::new(ServiceCounters::default()),
+            metrics,
+            running_high_water: AtomicUsize::new(0),
+            snapshot_seq: AtomicU64::new(0),
             state: Mutex::new(SchedState {
                 queue: FairQueue::new(cfg.queue_capacity, cfg.per_client_capacity),
                 running: 0,
-                running_high_water: 0,
                 shutdown: false,
                 paused: false,
             }),
@@ -474,7 +511,12 @@ impl Service {
             return Err(SubmitError::ShuttingDown);
         }
         let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
-        let record = JobRecord::new(id, client, Arc::clone(&shared.counters));
+        let record = JobRecord::new(
+            id,
+            client,
+            Arc::clone(&shared.counters),
+            shared.metrics.clone(),
+        );
         match st.queue.push(
             client,
             PendingJob {
@@ -484,6 +526,9 @@ impl Service {
         ) {
             Ok(()) => {
                 shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &shared.metrics {
+                    m.queue_depth.set(st.queue.len() as i64);
+                }
                 shared.work_cv.notify_all();
                 drop(st);
                 // Eager queued-cancel removal: a cancellation arriving
@@ -495,6 +540,9 @@ impl Service {
                     if let Some(shared) = weak.upgrade() {
                         let mut st = shared.state.lock().expect("scheduler state");
                         if st.queue.remove(id) {
+                            if let Some(m) = &shared.metrics {
+                                m.queue_depth.set(st.queue.len() as i64);
+                            }
                             shared.work_cv.notify_all();
                         }
                     }
@@ -532,10 +580,11 @@ impl Service {
     pub fn stats(&self) -> ServiceStats {
         let shared = &self.shared;
         shared.sweep_retention(false);
-        let (queued_now, running_now, running_high_water) = {
+        let (queued_now, running_now) = {
             let st = shared.state.lock().expect("scheduler state");
-            (st.queue.len(), st.running, st.running_high_water)
+            (st.queue.len(), st.running)
         };
+        let running_high_water = shared.running_high_water.load(Ordering::Relaxed);
         // Count only terminal records: live (queued/running) jobs are in
         // the registry too but are not "retained" in the TTL sense.
         let retained_jobs = shared
@@ -564,7 +613,67 @@ impl Service {
             cluster_jobs: c.cluster_jobs.load(Ordering::Relaxed),
             retained_jobs,
             forgotten: c.forgotten.load(Ordering::Relaxed),
+            uptime_secs: shared.started.elapsed().as_secs(),
+            snapshot_seq: shared.snapshot_seq.fetch_add(1, Ordering::Relaxed) + 1,
         }
+    }
+
+    /// A structured metrics snapshot: per-stage latency histograms, queue
+    /// and in-flight gauges, engine worker instruments, cluster
+    /// communication totals and mirrored service/cache/pool counters.
+    /// `None` when observability is disabled (see
+    /// [`ServiceConfig::observability`]).
+    pub fn metrics(&self) -> Option<tqsim_obs::Snapshot> {
+        let m = self.refreshed_metrics()?;
+        Some(m.registry.snapshot())
+    }
+
+    /// The Prometheus-style text exposition of [`Service::metrics`].
+    /// `None` when observability is disabled.
+    pub fn metrics_text(&self) -> Option<String> {
+        let m = self.refreshed_metrics()?;
+        Some(m.registry.render_text())
+    }
+
+    /// The per-job lifecycle event timeline (a bounded ring; the most
+    /// recent events, oldest first). `None` when observability is disabled.
+    pub fn metrics_events(&self) -> Option<Vec<tqsim_obs::Event>> {
+        let m = self.shared.metrics.as_ref()?;
+        Some(m.registry.events().snapshot())
+    }
+
+    /// Refresh the mirrored instruments and hand back the metrics layer.
+    fn refreshed_metrics(&self) -> Option<&ServiceMetrics> {
+        let shared = &self.shared;
+        let m = shared.metrics.as_ref()?;
+        shared.sweep_retention(false);
+        let (queued, running) = {
+            let st = shared.state.lock().expect("scheduler state");
+            (st.queue.len(), st.running)
+        };
+        let retained = shared
+            .jobs
+            .lock()
+            .expect("job registry")
+            .values()
+            .filter(|record| record.is_terminal())
+            .count();
+        let mut pools = vec![("single_node", shared.engine.pool_stats())];
+        if let Some(cluster) = &shared.cluster {
+            pools.push(("cluster", cluster.pool_stats()));
+        }
+        m.refresh(
+            &shared.counters,
+            &shared.cache.stats(),
+            &pools,
+            GaugeRefresh {
+                queued,
+                running,
+                running_high_water: shared.running_high_water.load(Ordering::Relaxed),
+                retained,
+            },
+        );
+        Some(m)
     }
 
     /// Drop finished-job records older than the configured TTL now (the
@@ -647,13 +756,22 @@ fn scheduler_loop(shared: &Arc<Shared>) {
                 if !st.paused && st.running < shared.cfg.max_concurrent_jobs {
                     if let Some(job) = st.queue.pop_fair() {
                         st.running += 1;
-                        st.running_high_water = st.running_high_water.max(st.running);
+                        // Atomic monotonic max: concurrent stats readers
+                        // never see the high water regress.
+                        shared
+                            .running_high_water
+                            .fetch_max(st.running, Ordering::Relaxed);
+                        if let Some(m) = &shared.metrics {
+                            m.queue_depth.set(st.queue.len() as i64);
+                        }
                         break job;
                     }
                 }
                 st = shared.work_cv.wait(st).expect("scheduler state");
             }
         };
+        // The queue-wait stage ends here, whichever dispatch path follows.
+        pending.record.set_scheduled();
         // Cache hits — the steady-state case — dispatch inline: a lookup
         // plus the non-blocking Engine::start costs microseconds. Only a
         // miss (or an in-flight same-key plan) moves to a short-lived
@@ -680,7 +798,16 @@ fn scheduler_loop(shared: &Arc<Shared>) {
 
 /// Plan (through the cross-request cache) and start one job on the engine.
 fn dispatch(shared: &Arc<Shared>, pending: PendingJob) {
-    let plan = match shared.cache.get_or_plan(&pending.request.plan_key()) {
+    // RAII span: planning wall time (cache-miss dispatches only) lands in
+    // the `tqsim_plan_ns` histogram when the guard drops.
+    let plan = {
+        let _span = shared
+            .metrics
+            .as_ref()
+            .map(|m| m.registry.span("tqsim_plan_ns", &[]));
+        shared.cache.get_or_plan(&pending.request.plan_key())
+    };
+    let plan = match plan {
         Ok(plan) => plan,
         Err(err) => {
             pending.record.fail(err.to_string());
@@ -729,6 +856,14 @@ fn start_job(shared: &Arc<Shared>, pending: PendingJob, plan: Arc<tqsim_engine::
         Placement::Cluster => &shared.counters.cluster_jobs,
     }
     .fetch_add(1, Ordering::Relaxed);
+    // Per-backend in-flight gauge: up here, down in the completion hook.
+    let inflight = shared.metrics.as_ref().map(|m| match placement {
+        Placement::SingleNode => Arc::clone(&m.inflight_single),
+        Placement::Cluster => Arc::clone(&m.inflight_cluster),
+    });
+    if let Some(gauge) = &inflight {
+        gauge.inc();
+    }
     record.set_running();
     let sink: ChunkSink = {
         let record = Arc::clone(&record);
@@ -767,6 +902,9 @@ fn start_job(shared: &Arc<Shared>, pending: PendingJob, plan: Arc<tqsim_engine::
             ));
         } else {
             record.finish(result);
+        }
+        if let Some(gauge) = &inflight {
+            gauge.dec();
         }
         done_shared.job_slot_freed();
     };

@@ -15,7 +15,8 @@
 //! | `{"op":"result","job":1}` | `{"ok":true,"status":"done","total":64,"counts":[[0,31],[3,33]],…}` |
 //! | `{"op":"cancel","job":1}` | `{"ok":true,"cancelled":true}` |
 //! | `{"op":"forget","job":1}` | `{"ok":true,"forgotten":true}` (drops a finished job's record; live jobs are refused with `"forgotten":false`) |
-//! | `{"op":"stats"}` | `{"ok":true,"submitted":…,"cache":{"hits":…},…}` |
+//! | `{"op":"stats"}` | `{"ok":true,"submitted":…,"uptime_secs":…,"snapshot_seq":…,"cache":{"hits":…},…}` |
+//! | `{"op":"metrics"}` | `{"ok":true,"uptime_secs":…,"counters":[{"name":…,"labels":{…},"value":…}],"gauges":[…],"histograms":[{"name":"tqsim_job_stage_ns","labels":{"stage":"execute"},"count":…,"p50_ns":…,"p90_ns":…,"p99_ns":…,…}]}` (add `"events":true` for the lifecycle timeline; `"format":"text"` returns `{"ok":true,"text":"<Prometheus exposition>"}`; refused when observability is disabled) |
 //!
 //! Blocking verbs (`result`, `stream`) poll their connection's liveness
 //! every few hundred milliseconds while waiting: an abandoned connection
@@ -356,6 +357,8 @@ pub fn stats_to_json(stats: &ServiceStats) -> Value {
         ),
         ("chunks_streamed", num_u64(stats.chunks_streamed)),
         ("outcomes_streamed", num_u64(stats.outcomes_streamed)),
+        ("uptime_secs", num_u64(stats.uptime_secs)),
+        ("snapshot_seq", num_u64(stats.snapshot_seq)),
         ("workers", num_u64(stats.workers as u64)),
         (
             "max_concurrent_jobs",
@@ -376,6 +379,79 @@ pub fn stats_to_json(stats: &ServiceStats) -> Value {
             ]),
         ),
     ])
+}
+
+/// Render a registry snapshot (the `metrics` verb's JSON payload). Every
+/// number goes through [`num`] as `f64` — counter values can exceed the
+/// 2⁵³ exact-integer range (e.g. byte totals), and a lossy-but-close
+/// monitoring value beats a refused snapshot.
+pub fn metrics_to_json(snap: &tqsim_obs::Snapshot) -> Value {
+    let labels_obj = |labels: &[(String, String)]| {
+        Value::Obj(
+            labels
+                .iter()
+                .map(|(k, v)| (k.clone(), str_val(v.clone())))
+                .collect(),
+        )
+    };
+    let scalar = |name: &str, labels: &[(String, String)], value: f64| {
+        obj(vec![
+            ("name", str_val(name)),
+            ("labels", labels_obj(labels)),
+            ("value", num(value)),
+        ])
+    };
+    let counters: Vec<Value> = snap
+        .counters
+        .iter()
+        .map(|m| scalar(&m.name, &m.labels, m.value as f64))
+        .collect();
+    let gauges: Vec<Value> = snap
+        .gauges
+        .iter()
+        .map(|m| scalar(&m.name, &m.labels, m.value as f64))
+        .collect();
+    let histograms: Vec<Value> = snap
+        .histograms
+        .iter()
+        .map(|m| {
+            let s = &m.snapshot;
+            obj(vec![
+                ("name", str_val(m.name.clone())),
+                ("labels", labels_obj(&m.labels)),
+                ("count", num(s.count as f64)),
+                ("sum_ns", num(s.sum as f64)),
+                ("max_ns", num(s.max as f64)),
+                ("mean_ns", num(s.mean())),
+                ("p50_ns", num(s.p50() as f64)),
+                ("p90_ns", num(s.p90() as f64)),
+                ("p99_ns", num(s.p99() as f64)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("ok", Value::Bool(true)),
+        ("uptime_secs", num(snap.uptime_secs)),
+        ("counters", Value::Arr(counters)),
+        ("gauges", Value::Arr(gauges)),
+        ("histograms", Value::Arr(histograms)),
+    ])
+}
+
+/// Render the lifecycle-event ring for `{"op":"metrics","events":true}`.
+fn events_to_json(events: &[tqsim_obs::Event]) -> Value {
+    Value::Arr(
+        events
+            .iter()
+            .map(|e| {
+                obj(vec![
+                    ("ts_ns", num(e.ts_ns as f64)),
+                    ("job", num(e.job as f64)),
+                    ("stage", str_val(e.stage)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn error_json(message: impl std::fmt::Display) -> Value {
@@ -721,6 +797,38 @@ fn handle_line(
             )
         }),
         "stats" => write_line(writer, &stats_to_json(&service.stats())),
+        "metrics" => {
+            let format = request
+                .get("format")
+                .and_then(Value::as_str)
+                .unwrap_or("json");
+            let reply = match format {
+                "text" => match service.metrics_text() {
+                    Some(text) => obj(vec![("ok", Value::Bool(true)), ("text", str_val(text))]),
+                    None => error_json("observability disabled"),
+                },
+                "json" => match service.metrics() {
+                    Some(snap) => {
+                        let mut reply = metrics_to_json(&snap);
+                        let want_events = request
+                            .get("events")
+                            .and_then(Value::as_bool)
+                            .unwrap_or(false);
+                        if want_events {
+                            if let (Value::Obj(fields), Some(events)) =
+                                (&mut reply, service.metrics_events())
+                            {
+                                fields.push(("events".to_string(), events_to_json(&events)));
+                            }
+                        }
+                        reply
+                    }
+                    None => error_json("observability disabled"),
+                },
+                other => error_json(format!("unknown metrics format {other:?}")),
+            };
+            write_line(writer, &reply)
+        }
         other => write_line(writer, &error_json(format!("unknown op {other:?}"))),
     }
 }

@@ -548,3 +548,122 @@ fn wire_forget_drops_finished_records_and_liveness_reclaims_abandoned_waits() {
     server.stop();
     service.shutdown();
 }
+
+#[test]
+fn wire_metrics_histograms_match_completed_jobs() {
+    let service = Service::start(
+        ServiceConfig::default()
+            .parallelism(2)
+            .max_concurrent_jobs(2),
+    );
+    let server = wire::serve(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.addr();
+
+    // Three streaming submissions over the wire, fully drained.
+    let circuit = generators::qft(5);
+    let jobs = 3u64;
+    let mut client = WireClient::connect(addr);
+    for seed in 0..jobs {
+        let submit = json::Value::Obj(vec![
+            ("op".into(), json::str_val("submit")),
+            ("client".into(), json::str_val("metrics-test")),
+            ("circuit".into(), wire::circuit_to_json(&circuit)),
+            ("shots".into(), json::num_u64(24)),
+            ("seed".into(), json::num_u64(seed)),
+            (
+                "strategy".into(),
+                json::parse(r#"{"kind":"custom","arities":[6,4]}"#).unwrap(),
+            ),
+        ])
+        .to_json();
+        let reply = client.request(&submit);
+        let job = reply.get("job").and_then(json::Value::as_u64).unwrap();
+        let mut streamer = WireClient::connect(addr);
+        streamer.send(&format!("{{\"op\":\"stream\",\"job\":{job}}}"));
+        loop {
+            if streamer.recv().get("done").is_some() {
+                break;
+            }
+        }
+    }
+
+    // Completion notifies the streamer slightly before the executor's
+    // hook drops the in-flight gauge — wait for the drain.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while service.stats().running_now > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    // The structured metrics verb: each stage histogram counted every
+    // completed job exactly once.
+    let metrics = client.request(r#"{"op":"metrics","events":true}"#);
+    assert_eq!(metrics.get("ok").and_then(json::Value::as_bool), Some(true));
+    let histograms = metrics
+        .get("histograms")
+        .and_then(json::Value::as_arr)
+        .unwrap();
+    let stage_count = |stage: &str| {
+        histograms
+            .iter()
+            .find(|h| {
+                h.get("name").and_then(json::Value::as_str) == Some("tqsim_job_stage_ns")
+                    && h.get("labels")
+                        .and_then(|l| l.get("stage"))
+                        .and_then(json::Value::as_str)
+                        == Some(stage)
+            })
+            .unwrap_or_else(|| panic!("stage {stage} missing"))
+            .get("count")
+            .and_then(json::Value::as_f64)
+            .unwrap() as u64
+    };
+    for stage in ["queue_wait", "compile", "execute", "stream", "e2e"] {
+        assert_eq!(stage_count(stage), jobs, "stage {stage}");
+    }
+    let find_scalar = |section: &str, name: &str| {
+        metrics
+            .get(section)
+            .and_then(json::Value::as_arr)
+            .unwrap()
+            .iter()
+            .find(|m| m.get("name").and_then(json::Value::as_str) == Some(name))
+            .and_then(|m| m.get("value"))
+            .and_then(json::Value::as_f64)
+    };
+    assert_eq!(
+        find_scalar("counters", "tqsim_jobs_completed_total"),
+        Some(jobs as f64)
+    );
+    assert_eq!(
+        find_scalar("counters", "tqsim_outcomes_streamed_total"),
+        Some((jobs * 24) as f64),
+        "every shot of every job was streamed"
+    );
+    assert!(find_scalar("counters", "tqsim_chunks_streamed_total").unwrap_or(0.0) > 0.0);
+    assert!(find_scalar("counters", "tqsim_ops_total").unwrap_or(0.0) > 0.0);
+    assert_eq!(find_scalar("gauges", "tqsim_queue_depth"), Some(0.0));
+    assert!(metrics
+        .get("uptime_secs")
+        .and_then(json::Value::as_f64)
+        .is_some());
+    let events = metrics.get("events").and_then(json::Value::as_arr).unwrap();
+    assert!(events
+        .iter()
+        .any(|e| e.get("stage").and_then(json::Value::as_str) == Some("done")));
+
+    // The Prometheus exposition carries the same totals.
+    let text_reply = client.request(r#"{"op":"metrics","format":"text"}"#);
+    let text = text_reply
+        .get("text")
+        .and_then(json::Value::as_str)
+        .unwrap();
+    assert!(text.contains("# TYPE tqsim_job_stage_ns histogram"));
+    assert!(text.contains(&format!("tqsim_jobs_completed_total {jobs}")));
+
+    // Unknown formats are refused on-protocol.
+    let bad = client.request(r#"{"op":"metrics","format":"xml"}"#);
+    assert_eq!(bad.get("ok").and_then(json::Value::as_bool), Some(false));
+
+    server.stop();
+    service.shutdown();
+}
