@@ -210,6 +210,12 @@ impl DistributedStateVector {
     pub fn copy_from(&mut self, src: &DistributedStateVector) {
         assert_eq!(self.n_qubits, src.n_qubits, "width mismatch");
         assert_eq!(self.n_nodes(), src.n_nodes(), "node-count mismatch");
+        // Failpoint modelling a node failing mid-copy. No error channel
+        // through the state API, so an injected error panics; the engine's
+        // per-task `catch_unwind` contains it to the running job.
+        if let Err(fault) = tqsim_faults::trigger("cluster.state_copy") {
+            panic!("{fault}");
+        }
         for (dst, s) in self.slices.iter_mut().zip(src.slices.iter()) {
             dst.copy_from_slice(s);
         }
@@ -339,6 +345,12 @@ impl DistributedStateVector {
     /// with local qubit `lq`: pairwise half-slice exchange.
     fn dswap(&mut self, gb: u16, lq: u16) {
         debug_assert!(gb < self.g && lq < self.local_n);
+        // Failpoint modelling an interconnect fault (dropped exchange,
+        // slow link via the delay action). Converted to a panic for the
+        // same reason as `copy_from`.
+        if let Err(fault) = tqsim_faults::trigger("cluster.exchange") {
+            panic!("{fault}");
+        }
         let step = 1usize << gb;
         let sl = 1usize << lq;
         if self.slice_len() < THREAD_MIN_SLICE {
@@ -666,6 +678,11 @@ impl QuantumState for DistributedStateVector {
     fn apply_antidiag1(&mut self, q: u16, a01: C64, a10: C64) {
         assert!(q < self.n_qubits, "qubit out of range");
         if q >= self.local_n {
+            // Same interconnect failpoint as `dswap`: the cross-node
+            // combine is an exchange round too.
+            if let Err(fault) = tqsim_faults::trigger("cluster.exchange") {
+                panic!("{fault}");
+            }
             // Pairwise cross-node combine: a' = a01·b, b' = a10·a.
             let step = 1usize << (q - self.local_n);
             let combine = |a: &mut Vec<C64>, b: &mut Vec<C64>| {

@@ -42,7 +42,7 @@ use crate::{ChunkSink, JobPlan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 use tqsim::{Counts, RunResult, TreeStructure};
 use tqsim_circuit::Circuit;
@@ -102,10 +102,19 @@ impl Drop for NodeGuard {
     }
 }
 
+/// Lock a job-shared slot, recovering from poison: these locks are taken
+/// on panic paths by design (`finish_job` runs from `NodeGuard::drop`
+/// while a sibling may have unwound mid-merge), and a double panic inside
+/// a `Drop` aborts the process. A poisoned accumulator at worst loses the
+/// unwound node's partial tally — which the panicked job discards anyway.
+fn lock_recover<T>(slot: &Mutex<T>) -> MutexGuard<'_, T> {
+    slot.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Merge the per-worker accumulators into the final [`RunResult`] and hand
 /// it to the job's completion callback.
 fn finish_job(shared: &TreeShared) {
-    let done = shared.done.lock().expect("done slot").take();
+    let done = lock_recover(&shared.done).take();
     let Some(done) = done else { return };
     let mut counts = Counts::new(shared.n_qubits);
     let mut ops = OpCounts::new();
@@ -113,7 +122,7 @@ fn finish_job(shared: &TreeShared) {
     // charged once per run.
     ops.state_resets += 1;
     for slot in &shared.accums {
-        let accum = slot.lock().expect("accumulator lock");
+        let accum = lock_recover(slot);
         counts.merge(&accum.counts);
         ops.merge(&accum.ops);
     }
@@ -263,6 +272,13 @@ fn run_node<B: PooledBackend>(
     let _retire = NodeGuard {
         shared: Arc::clone(shared),
     };
+    // Failpoint covering the whole node task: a single relaxed load when
+    // disarmed. There is no error channel out of a task, so an injected
+    // error becomes a panic — contained by the worker's `catch_unwind`
+    // exactly like an organic one.
+    if let Err(fault) = tqsim_faults::trigger("engine.node_task") {
+        panic!("{fault}");
+    }
     let k = shared.subcircuits.len();
     let mut ops = OpCounts::new();
 
@@ -315,7 +331,7 @@ fn run_node<B: PooledBackend>(
             );
             drop(state); // back to the worker's pool
             {
-                let mut accum = shared.accums[ctx.index()].lock().expect("accumulator lock");
+                let mut accum = lock_recover(&shared.accums[ctx.index()]);
                 for &outcome in &outcomes {
                     accum.counts.increment(outcome);
                 }
@@ -323,7 +339,7 @@ fn run_node<B: PooledBackend>(
             }
             sink(&outcomes);
         } else {
-            let mut accum = shared.accums[ctx.index()].lock().expect("accumulator lock");
+            let mut accum = lock_recover(&shared.accums[ctx.index()]);
             tqsim::draw_leaf_outcomes(
                 &*state,
                 &shared.noise,
@@ -351,7 +367,7 @@ fn run_node<B: PooledBackend>(
             let hash2 = child_hash(hash, index);
             ctx.spawn(move |ctx2| run_node(&shared2, parent, level + 1, hash2, ctx2));
         }
-        let mut accum = shared.accums[ctx.index()].lock().expect("accumulator lock");
+        let mut accum = lock_recover(&shared.accums[ctx.index()]);
         accum.ops.merge(&ops);
     }
 }

@@ -293,7 +293,14 @@ impl<B: PooledBackend> WorkerPool<B> {
     ///
     /// [`tqsim-engine`'s multi-tenant scheduler]: self
     pub fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
-        self.shared.panic.lock().expect("panic slot").take()
+        // Recover from poison: this lock is only ever taken on panic
+        // paths, and `.expect` here would double-panic while already
+        // handling a task panic.
+        self.shared
+            .panic
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
     }
 
     /// Run `count` indexed iterations across the pool and block until all
@@ -395,7 +402,12 @@ fn worker_loop<B: PooledBackend>(index: usize, state_pool: &StatePool<B>, shared
             if let Err(payload) =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(&ctx)))
             {
-                let mut slot = shared.panic.lock().expect("panic slot");
+                // Poison-tolerant for the same reason as `take_panic`:
+                // this path is already handling one panic.
+                let mut slot = shared
+                    .panic
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 if slot.is_none() {
                     *slot = Some(payload);
                 }

@@ -1,0 +1,547 @@
+//! # tqsim-faults
+//!
+//! A seedable, deterministic **failpoint registry** for fault-injection
+//! testing — std-only and dependency-free, like [`tqsim-obs`]. Production
+//! code names its fault-prone seams once:
+//!
+//! ```
+//! fn exchange_slices() {
+//!     if let Err(fault) = tqsim_faults::trigger("cluster.exchange") {
+//!         panic!("{fault}");
+//!     }
+//!     // … the real exchange …
+//! }
+//! ```
+//!
+//! and tests (or an operator, via the `TQSIM_FAILPOINTS` environment
+//! variable) arm those sites with a [`FaultConfig`]: an [`FaultAction`]
+//! (panic, error, delay) fired by a [`Trigger`] policy (always, nth hit,
+//! seeded probability). **When no site is armed, a trigger is a single
+//! relaxed atomic load** — cheap enough to leave compiled into release
+//! hot paths permanently.
+//!
+//! Determinism: the probability trigger draws from a per-site SplitMix64
+//! stream seeded at configure time, and the nth-hit trigger counts
+//! evaluations — so a fixed seed and a serial workload fire identically
+//! run after run (concurrent workloads racing on one site keep exact
+//! *counts* deterministic, though which racer fires may vary).
+//!
+//! ## Environment configuration
+//!
+//! `TQSIM_FAILPOINTS` is a `;`-separated list of `site=action[,trigger]`
+//! specs, parsed by [`init_from_env`] (idempotent; the service front-end
+//! calls it on startup):
+//!
+//! | piece | forms |
+//! |---|---|
+//! | action | `panic` · `error` · `delay:<ms>` |
+//! | trigger | `always` (default) · `nth:<n>` · `first:<n>` · `prob:<p>:<seed>` |
+//!
+//! e.g. `TQSIM_FAILPOINTS="engine.node_task=panic,nth:3;cluster.exchange=error,prob:0.01:42"`.
+//!
+//! ## Accounting
+//!
+//! Every armed site counts evaluations ([`hits`]) and taken actions
+//! ([`fired`]) — chaos suites compare `fired` against service-side
+//! failure counters to prove no injected fault was double-counted or
+//! lost. [`reset_all`] disarms everything and zeroes the counters
+//! (test isolation).
+//!
+//! [`tqsim-obs`]: https://docs.rs/tqsim-obs
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// What an armed failpoint does when its trigger fires.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultAction {
+    /// Panic with a message naming the site. In worker-pool code this is
+    /// contained by the pool's per-task `catch_unwind` and surfaces as a
+    /// job-level abort.
+    Panic,
+    /// Return a [`FaultError`] from [`trigger`], for sites with a
+    /// `Result` channel to propagate through. Sites without one (node
+    /// tasks, exchanges) conventionally convert it to a panic.
+    Error,
+    /// Sleep for the given duration, then succeed — simulates a slow
+    /// node / slow interconnect without failing anything.
+    Delay(Duration),
+}
+
+/// When an armed failpoint takes its action.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Trigger {
+    /// Fire on every evaluation.
+    Always,
+    /// Fire exactly once, on the `n`-th evaluation since arming
+    /// (1-based).
+    Nth(u64),
+    /// Fire on every one of the first `n` evaluations since arming, then
+    /// never again — "the first n tries fail". With retrying callers this
+    /// injects exactly `n` failed attempts deterministically.
+    First(u64),
+    /// Fire each evaluation independently with probability `p`, drawn
+    /// from a SplitMix64 stream seeded with `seed` at configure time.
+    Probability {
+        /// Per-evaluation fire probability in `[0, 1]`.
+        p: f64,
+        /// Stream seed (same seed ⇒ same fire pattern).
+        seed: u64,
+    },
+}
+
+/// A full site configuration: what to do and when.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// The action taken when the trigger fires.
+    pub action: FaultAction,
+    /// The firing policy.
+    pub trigger: Trigger,
+}
+
+impl FaultConfig {
+    /// `action` fired on every evaluation.
+    pub fn new(action: FaultAction) -> Self {
+        FaultConfig {
+            action,
+            trigger: Trigger::Always,
+        }
+    }
+
+    /// Panic on every evaluation.
+    pub fn panic() -> Self {
+        FaultConfig::new(FaultAction::Panic)
+    }
+
+    /// Error on every evaluation.
+    pub fn error() -> Self {
+        FaultConfig::new(FaultAction::Error)
+    }
+
+    /// Delay every evaluation by `d`.
+    pub fn delay(d: Duration) -> Self {
+        FaultConfig::new(FaultAction::Delay(d))
+    }
+
+    /// Replace the trigger (builder-style).
+    pub fn trigger(mut self, trigger: Trigger) -> Self {
+        self.trigger = trigger;
+        self
+    }
+
+    /// Fire only on the `n`-th evaluation (1-based).
+    pub fn nth(self, n: u64) -> Self {
+        self.trigger(Trigger::Nth(n))
+    }
+
+    /// Fire on each of the first `n` evaluations, then pass.
+    pub fn first(self, n: u64) -> Self {
+        self.trigger(Trigger::First(n))
+    }
+
+    /// Fire each evaluation with probability `p` from a `seed`ed stream.
+    pub fn probability(self, p: f64, seed: u64) -> Self {
+        self.trigger(Trigger::Probability { p, seed })
+    }
+
+    /// Parse one `action[,trigger]` spec (see the [module docs](self)).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for malformed specs.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (action, trigger) = match spec.split_once(',') {
+            Some((a, t)) => (a.trim(), Some(t.trim())),
+            None => (spec.trim(), None),
+        };
+        let action = if action == "panic" {
+            FaultAction::Panic
+        } else if action == "error" {
+            FaultAction::Error
+        } else if let Some(ms) = action.strip_prefix("delay:") {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("bad delay milliseconds {ms:?}"))?;
+            FaultAction::Delay(Duration::from_millis(ms))
+        } else {
+            return Err(format!("unknown action {action:?}"));
+        };
+        let trigger = match trigger {
+            None | Some("always") => Trigger::Always,
+            Some(t) => {
+                if let Some(n) = t.strip_prefix("nth:") {
+                    Trigger::Nth(n.parse().map_err(|_| format!("bad nth count {n:?}"))?)
+                } else if let Some(n) = t.strip_prefix("first:") {
+                    Trigger::First(n.parse().map_err(|_| format!("bad first count {n:?}"))?)
+                } else if let Some(rest) = t.strip_prefix("prob:") {
+                    let (p, seed) = rest
+                        .split_once(':')
+                        .ok_or_else(|| format!("prob needs p:seed, got {rest:?}"))?;
+                    let p: f64 = p.parse().map_err(|_| format!("bad probability {p:?}"))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("probability {p} outside [0,1]"));
+                    }
+                    let seed: u64 = seed.parse().map_err(|_| format!("bad seed {seed:?}"))?;
+                    Trigger::Probability { p, seed }
+                } else {
+                    return Err(format!("unknown trigger {t:?}"));
+                }
+            }
+        };
+        Ok(FaultConfig { action, trigger })
+    }
+}
+
+/// An injected failure, returned by [`trigger`] for the
+/// [`FaultAction::Error`] action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultError {
+    site: String,
+}
+
+impl FaultError {
+    /// The failpoint that fired.
+    pub fn site(&self) -> &str {
+        &self.site
+    }
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at failpoint `{}`", self.site)
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// One registered site. Counters are monotone until [`reset_all`].
+struct Site {
+    config: Option<FaultConfig>,
+    hits: AtomicU64,
+    fired: AtomicU64,
+    /// SplitMix64 state for the probability trigger.
+    rng: AtomicU64,
+}
+
+/// Number of sites currently armed. The whole fast path: when this reads
+/// zero, [`trigger`] returns without taking any lock.
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+fn registry() -> &'static Mutex<HashMap<String, Site>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Site>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn with_registry<T>(f: impl FnOnce(&mut HashMap<String, Site>) -> T) -> T {
+    // Failpoints run on panic paths by design; never double-panic on a
+    // poisoned registry.
+    let mut guard = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    f(&mut guard)
+}
+
+/// SplitMix64 step (the same mixer the engine uses for path hashing):
+/// full-period, seedable, and good enough for fire/don't-fire draws.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Evaluate the failpoint named `site`. Disabled sites (the default, and
+/// the whole registry when nothing is armed) return `Ok(())` after one
+/// relaxed atomic load.
+///
+/// # Errors
+///
+/// [`FaultError`] when an armed [`FaultAction::Error`] fires.
+///
+/// # Panics
+///
+/// When an armed [`FaultAction::Panic`] fires (message names the site).
+#[inline]
+pub fn trigger(site: &str) -> Result<(), FaultError> {
+    if ARMED.load(Ordering::Relaxed) == 0 {
+        return Ok(());
+    }
+    trigger_slow(site)
+}
+
+#[cold]
+fn trigger_slow(site: &str) -> Result<(), FaultError> {
+    // Decide under the lock, act outside it: a panic or sleep must not
+    // hold the registry.
+    let action = with_registry(|map| {
+        let entry = map.get(site)?;
+        let config = entry.config.as_ref()?;
+        let hit = entry.hits.fetch_add(1, Ordering::Relaxed) + 1;
+        let fire = match config.trigger {
+            Trigger::Always => true,
+            Trigger::Nth(n) => hit == n,
+            Trigger::First(n) => hit <= n,
+            Trigger::Probability { p, .. } => {
+                let drawn = entry
+                    .rng
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                        Some(splitmix64(s))
+                    })
+                    .map(splitmix64)
+                    .unwrap_or(0);
+                // 53 uniform mantissa bits, exactly the [0,1) convention
+                // rand uses.
+                ((drawn >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+            }
+        };
+        if fire {
+            entry.fired.fetch_add(1, Ordering::Relaxed);
+            Some(config.action.clone())
+        } else {
+            None
+        }
+    });
+    match action {
+        None => Ok(()),
+        Some(FaultAction::Delay(d)) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+        Some(FaultAction::Error) => Err(FaultError {
+            site: site.to_string(),
+        }),
+        Some(FaultAction::Panic) => panic!("injected fault at failpoint `{site}` (panic action)"),
+    }
+}
+
+/// Arm `site` with `config` (replacing any previous configuration; the
+/// hit/fired counters and probability stream restart).
+pub fn configure(site: &str, config: FaultConfig) {
+    with_registry(|map| {
+        let seed = match config.trigger {
+            Trigger::Probability { seed, .. } => seed,
+            _ => 0,
+        };
+        let was_armed = map.get(site).is_some_and(|s| s.config.is_some());
+        map.insert(
+            site.to_string(),
+            Site {
+                config: Some(config),
+                hits: AtomicU64::new(0),
+                fired: AtomicU64::new(0),
+                rng: AtomicU64::new(splitmix64(seed)),
+            },
+        );
+        if !was_armed {
+            ARMED.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Disarm `site` (keeps its counters readable until [`reset_all`]).
+pub fn disarm(site: &str) {
+    with_registry(|map| {
+        if let Some(entry) = map.get_mut(site) {
+            if entry.config.take().is_some() {
+                ARMED.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    });
+}
+
+/// Disarm every site and zero all counters (test isolation).
+pub fn reset_all() {
+    with_registry(|map| {
+        let armed = map.values().filter(|s| s.config.is_some()).count();
+        map.clear();
+        ARMED.fetch_sub(armed, Ordering::Relaxed);
+    });
+}
+
+/// Evaluations of `site` since it was last configured (0 if never).
+pub fn hits(site: &str) -> u64 {
+    with_registry(|map| {
+        map.get(site)
+            .map(|s| s.hits.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    })
+}
+
+/// Actions actually taken at `site` since it was last configured.
+pub fn fired(site: &str) -> u64 {
+    with_registry(|map| {
+        map.get(site)
+            .map(|s| s.fired.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    })
+}
+
+/// Whether any site is currently armed.
+pub fn any_armed() -> bool {
+    ARMED.load(Ordering::Relaxed) != 0
+}
+
+/// Parse `TQSIM_FAILPOINTS` and arm the sites it names. Idempotent (only
+/// the first call reads the environment); malformed specs are reported on
+/// stderr and skipped rather than aborting startup.
+pub fn init_from_env() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let Ok(specs) = std::env::var("TQSIM_FAILPOINTS") else {
+            return;
+        };
+        for spec in specs.split(';').filter(|s| !s.trim().is_empty()) {
+            match spec.split_once('=') {
+                Some((site, config)) => match FaultConfig::parse(config) {
+                    Ok(config) => configure(site.trim(), config),
+                    Err(err) => eprintln!("tqsim-faults: bad spec {spec:?}: {err}"),
+                },
+                None => eprintln!("tqsim-faults: bad spec {spec:?}: missing `=`"),
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// The registry is process-global; tests that arm sites serialize.
+    fn lock() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_sites_are_free_and_silent() {
+        let _gate = lock();
+        reset_all();
+        assert!(!any_armed());
+        for _ in 0..1000 {
+            trigger("test.unarmed").unwrap();
+        }
+        assert_eq!(hits("test.unarmed"), 0, "unarmed sites count nothing");
+    }
+
+    #[test]
+    fn nth_hit_fires_exactly_once() {
+        let _gate = lock();
+        reset_all();
+        configure("test.nth", FaultConfig::error().nth(3));
+        assert!(trigger("test.nth").is_ok());
+        assert!(trigger("test.nth").is_ok());
+        assert!(trigger("test.nth").is_err(), "third evaluation fires");
+        assert!(trigger("test.nth").is_ok(), "and only the third");
+        assert_eq!(hits("test.nth"), 4);
+        assert_eq!(fired("test.nth"), 1);
+        reset_all();
+    }
+
+    #[test]
+    fn first_n_fires_then_passes() {
+        let _gate = lock();
+        reset_all();
+        configure("test.first", FaultConfig::error().first(2));
+        assert!(trigger("test.first").is_err(), "first evaluation fires");
+        assert!(trigger("test.first").is_err(), "second fires");
+        assert!(trigger("test.first").is_ok(), "third passes");
+        assert!(trigger("test.first").is_ok());
+        assert_eq!(fired("test.first"), 2);
+        reset_all();
+    }
+
+    #[test]
+    fn probability_is_seed_deterministic() {
+        let _gate = lock();
+        reset_all();
+        let pattern = |seed: u64| -> Vec<bool> {
+            configure("test.prob", FaultConfig::error().probability(0.3, seed));
+            (0..64).map(|_| trigger("test.prob").is_err()).collect()
+        };
+        let a = pattern(7);
+        let b = pattern(7);
+        assert_eq!(a, b, "same seed, same fire pattern");
+        let c = pattern(8);
+        assert_ne!(a, c, "different seed, different pattern");
+        let rate = a.iter().filter(|&&f| f).count();
+        assert!((5..30).contains(&rate), "≈0.3 of 64, got {rate}");
+        reset_all();
+    }
+
+    #[test]
+    fn panic_action_names_the_site() {
+        let _gate = lock();
+        reset_all();
+        configure("test.panic", FaultConfig::panic());
+        let err = std::panic::catch_unwind(|| {
+            let _ = trigger("test.panic");
+        })
+        .expect_err("armed panic action must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("test.panic"), "{msg}");
+        assert_eq!(fired("test.panic"), 1);
+        // The registry survives the unwind: disarm + re-trigger works.
+        disarm("test.panic");
+        assert!(trigger("test.panic").is_ok());
+        reset_all();
+    }
+
+    #[test]
+    fn delay_action_sleeps_then_succeeds() {
+        let _gate = lock();
+        reset_all();
+        configure("test.delay", FaultConfig::delay(Duration::from_millis(30)));
+        let t0 = std::time::Instant::now();
+        trigger("test.delay").unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        reset_all();
+    }
+
+    #[test]
+    fn spec_grammar_round_trips() {
+        assert_eq!(FaultConfig::parse("panic").unwrap(), FaultConfig::panic());
+        assert_eq!(
+            FaultConfig::parse("error,nth:5").unwrap(),
+            FaultConfig::error().nth(5)
+        );
+        assert_eq!(
+            FaultConfig::parse("panic,first:2").unwrap(),
+            FaultConfig::panic().first(2)
+        );
+        assert_eq!(
+            FaultConfig::parse("delay:250,always").unwrap(),
+            FaultConfig::delay(Duration::from_millis(250))
+        );
+        assert_eq!(
+            FaultConfig::parse("error,prob:0.25:99").unwrap(),
+            FaultConfig::error().probability(0.25, 99)
+        );
+        for bad in [
+            "explode",
+            "delay:soon",
+            "panic,nth:x",
+            "error,prob:2.0:1",
+            "error,prob:0.5",
+        ] {
+            assert!(FaultConfig::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn disarm_and_reset_restore_the_fast_path() {
+        let _gate = lock();
+        reset_all();
+        configure("test.a", FaultConfig::error());
+        configure("test.b", FaultConfig::error());
+        assert!(any_armed());
+        disarm("test.a");
+        assert!(trigger("test.a").is_ok(), "disarmed site passes");
+        assert!(trigger("test.b").is_err(), "other site still armed");
+        reset_all();
+        assert!(!any_armed());
+        assert_eq!(fired("test.b"), 0, "reset zeroes counters");
+    }
+}

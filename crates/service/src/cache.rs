@@ -166,6 +166,12 @@ impl PlanCache {
         // Always clear the in-flight marker — also on an error return or a
         // panic inside planning — or same-key waiters would hang forever.
         let unmark = InFlightGuard { cache: self, key };
+        // Failpoint covering plan compilation: this one *has* an error
+        // channel, so an injected fault surfaces as a structured
+        // `PlanError` and fails only the requesting job(s), never the
+        // service (and errors are not cached — a retry replans).
+        tqsim_faults::trigger("service.plan")
+            .map_err(|fault| PlanError::BadConfig(fault.to_string()))?;
         // Plan outside the lock: planning is O(gates) and compilation is
         // O(gates · matrices); concurrent misses on *different* keys must
         // not serialize on the cache.

@@ -20,8 +20,9 @@ pub enum JobStatus {
     Running,
     /// Completed; the result is available.
     Done,
-    /// Planning or execution failed.
-    Failed(String),
+    /// Terminal failure; the payload says which kind (plan error, panic
+    /// abort, deadline, unavailable backend).
+    Failed(JobError),
     /// Cancelled by the client (best-effort: a job already running is
     /// detached — its remaining work completes on the engine but its
     /// result and chunks are discarded).
@@ -46,13 +47,37 @@ impl JobStatus {
     }
 }
 
-/// Why [`Ticket::wait`] did not return a result.
+/// Why [`Ticket::wait`] did not return a result. Every variant carries a
+/// stable machine-readable [`JobError::code`] that the wire protocol
+/// returns alongside the human message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum JobError {
     /// The job was cancelled.
     Cancelled,
     /// Planning or execution failed.
     Failed(String),
+    /// Execution was aborted mid-flight (a worker panic contained to this
+    /// job; retries, if configured, were exhausted).
+    Aborted(String),
+    /// The job's deadline passed before it completed.
+    DeadlineExceeded,
+    /// No backend can run the job (e.g. a cluster fault on a job too wide
+    /// for single-node degradation).
+    BackendUnavailable(String),
+}
+
+impl JobError {
+    /// Stable machine-readable error code (the wire protocol's `"code"`
+    /// field).
+    pub fn code(&self) -> &'static str {
+        match self {
+            JobError::Cancelled => "job_cancelled",
+            JobError::Failed(_) => "job_failed",
+            JobError::Aborted(_) => "job_aborted",
+            JobError::DeadlineExceeded => "deadline_exceeded",
+            JobError::BackendUnavailable(_) => "backend_unavailable",
+        }
+    }
 }
 
 impl std::fmt::Display for JobError {
@@ -60,6 +85,9 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::Cancelled => f.write_str("job cancelled"),
             JobError::Failed(msg) => write!(f, "job failed: {msg}"),
+            JobError::Aborted(msg) => write!(f, "job aborted: {msg}"),
+            JobError::DeadlineExceeded => f.write_str("job deadline exceeded"),
+            JobError::BackendUnavailable(msg) => write!(f, "backend unavailable: {msg}"),
         }
     }
 }
@@ -75,6 +103,17 @@ pub(crate) struct ServiceCounters {
     pub completed: AtomicU64,
     pub failed: AtomicU64,
     pub cancelled: AtomicU64,
+    /// Jobs terminally aborted by a contained worker panic (disjoint from
+    /// `failed`/`timed_out`; every failure-terminal job lands in exactly
+    /// one of the three).
+    pub aborted: AtomicU64,
+    /// Retry attempts started (one per re-dispatch, not per job).
+    pub retried: AtomicU64,
+    /// Jobs terminated by their deadline watchdog.
+    pub timed_out: AtomicU64,
+    /// Cluster jobs successfully re-placed onto the single-node engine
+    /// after a cluster fault.
+    pub degraded: AtomicU64,
     pub chunks_streamed: AtomicU64,
     pub outcomes_streamed: AtomicU64,
     /// Jobs dispatched onto the single-node engine.
@@ -195,10 +234,11 @@ impl JobRecord {
     }
 
     /// Streaming sink target: called from engine worker threads per leaf
-    /// batch. Chunks for a cancelled job are dropped.
+    /// batch. Chunks for a job already terminal (cancelled, deadline-failed,
+    /// aborted) are dropped.
     pub(crate) fn push_chunk(&self, outcomes: &[u64]) {
         let mut st = self.state.lock().expect("job state");
-        if st.status == JobStatus::Cancelled {
+        if st.status.is_terminal() {
             return;
         }
         st.pending.extend_from_slice(outcomes);
@@ -213,11 +253,13 @@ impl JobRecord {
         self.cv.notify_all();
     }
 
-    /// Completion callback target (engine worker thread). A cancelled
-    /// job's result is discarded.
+    /// Completion callback target (engine worker thread). A job already
+    /// terminal (cancelled, or failed by the deadline watchdog while the
+    /// engine was still finishing) keeps its terminal state — the late
+    /// result is discarded.
     pub(crate) fn finish(&self, result: RunResult) {
         let mut st = self.state.lock().expect("job state");
-        if st.status == JobStatus::Cancelled {
+        if st.status.is_terminal() {
             return;
         }
         st.status = JobStatus::Done;
@@ -248,17 +290,73 @@ impl JobRecord {
         self.event("done");
     }
 
-    pub(crate) fn fail(&self, message: String) {
+    /// Terminate the job with a structured error. Counts the terminal
+    /// cause into exactly one failure counter, clears any partially
+    /// streamed outcomes (a failed job's partial data is misleading), and
+    /// — like [`JobRecord::cancel`] — runs the eager-dequeue hook so a
+    /// still-queued job (e.g. one timed out before ever being scheduled)
+    /// releases its admission slot immediately.
+    pub(crate) fn fail(&self, error: JobError) {
+        {
+            let mut st = self.state.lock().expect("job state");
+            if st.status.is_terminal() {
+                return;
+            }
+            let (counter, stage): (&AtomicU64, &'static str) = match &error {
+                JobError::Aborted(_) => (&self.counters.aborted, "aborted"),
+                JobError::DeadlineExceeded => (&self.counters.timed_out, "deadline_exceeded"),
+                JobError::Cancelled => (&self.counters.cancelled, "cancelled"),
+                JobError::Failed(_) | JobError::BackendUnavailable(_) => {
+                    (&self.counters.failed, "failed")
+                }
+            };
+            st.status = JobStatus::Failed(error);
+            st.pending.clear();
+            st.result = None;
+            st.finished_at = Some(Instant::now());
+            counter.fetch_add(1, Ordering::Relaxed);
+            self.cv.notify_all();
+            drop(st);
+            self.event(stage);
+        }
+        // Outside the state lock, same lock-order argument as `cancel`.
+        if let Some(hook) = self.on_cancel.lock().expect("cancel hook").take() {
+            hook();
+        }
+    }
+
+    /// Re-arm a running job for another execution attempt after a
+    /// contained fault: status stays `Running` and partial streamed chunks
+    /// from the failed attempt are dropped, so the re-run streams from a
+    /// clean slate. Returns `false` (and does nothing) if the job went
+    /// terminal in the meantime — the caller must not re-dispatch it.
+    fn rearm(&self, stage: &'static str) -> bool {
         let mut st = self.state.lock().expect("job state");
         if st.status.is_terminal() {
-            return;
+            return false;
         }
-        st.status = JobStatus::Failed(message);
-        st.finished_at = Some(Instant::now());
-        self.counters.failed.fetch_add(1, Ordering::Relaxed);
-        self.cv.notify_all();
+        st.pending.clear();
+        st.streamed = 0;
         drop(st);
-        self.event("failed");
+        self.event(stage);
+        true
+    }
+
+    /// [`JobRecord::rearm`] for a same-placement retry; ticks the retry
+    /// counter.
+    pub(crate) fn rearm_for_retry(&self) -> bool {
+        if !self.rearm("retrying") {
+            return false;
+        }
+        self.counters.retried.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// [`JobRecord::rearm`] for a cluster → single-node degradation
+    /// re-placement (counted by the service's `degraded` counter, not
+    /// `retried`).
+    pub(crate) fn rearm_for_degrade(&self) -> bool {
+        self.rearm("degraded")
     }
 
     /// Returns whether the cancellation took effect (the job had not
@@ -459,7 +557,7 @@ impl Ticket {
                 JobStatus::Done => {
                     return Some(Ok(st.result.clone().expect("done job has a result")));
                 }
-                JobStatus::Failed(msg) => return Some(Err(JobError::Failed(msg.clone()))),
+                JobStatus::Failed(err) => return Some(Err(err.clone())),
                 JobStatus::Cancelled => return Some(Err(JobError::Cancelled)),
                 _ => match wait_until(&self.record.cv, st, deadline) {
                     Some(guard) => st = guard,

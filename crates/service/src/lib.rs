@@ -93,7 +93,9 @@ pub use tqsim_obs as obs;
 pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use job::{ChunkPoll, JobError, JobId, JobStatus, Ticket};
 pub use queue::SubmitError;
-pub use service::{run_one, BackendPolicy, JobRequest, Service, ServiceConfig, ServiceStats};
+pub use service::{
+    run_one, BackendPolicy, JobRequest, RetryPolicy, Service, ServiceConfig, ServiceStats,
+};
 pub use wire::{serve, ServerHandle};
 
 #[cfg(test)]

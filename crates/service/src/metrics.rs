@@ -164,6 +164,10 @@ impl ServiceMetrics {
         mirror("tqsim_jobs_completed_total", load(&counters.completed));
         mirror("tqsim_jobs_failed_total", load(&counters.failed));
         mirror("tqsim_jobs_cancelled_total", load(&counters.cancelled));
+        mirror("tqsim_jobs_aborted_total", load(&counters.aborted));
+        mirror("tqsim_jobs_retried_total", load(&counters.retried));
+        mirror("tqsim_jobs_timed_out_total", load(&counters.timed_out));
+        mirror("tqsim_jobs_degraded_total", load(&counters.degraded));
         mirror("tqsim_jobs_forgotten_total", load(&counters.forgotten));
         mirror(
             "tqsim_chunks_streamed_total",

@@ -32,6 +32,28 @@ pub enum SubmitError {
     ShuttingDown,
 }
 
+impl SubmitError {
+    /// Stable machine-readable error code (the wire protocol's `"code"`
+    /// field).
+    pub fn code(&self) -> &'static str {
+        match self {
+            SubmitError::QueueFull { .. } => "queue_full",
+            SubmitError::ClientQueueFull { .. } => "client_queue_full",
+            SubmitError::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Whether the refusal is transient backpressure the client should
+    /// retry after backing off (drives the wire protocol's
+    /// `"retry_after_ms"` hint).
+    pub fn is_backpressure(&self) -> bool {
+        matches!(
+            self,
+            SubmitError::QueueFull { .. } | SubmitError::ClientQueueFull { .. }
+        )
+    }
+}
+
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

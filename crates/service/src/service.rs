@@ -5,11 +5,11 @@ use crate::cache::{CacheStats, PlanCache, PlanKey};
 use crate::job::{JobError, JobId, JobRecord, ServiceCounters, Ticket};
 use crate::metrics::{GaugeRefresh, ServiceMetrics};
 use crate::queue::{FairQueue, PendingJob, SubmitError};
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tqsim::Strategy;
 use tqsim_circuit::Circuit;
 use tqsim_cluster::{ClusterBackend, InterconnectModel};
@@ -34,6 +34,13 @@ pub struct BackendPolicy {
     /// parallelism; each distributed state additionally fans its node
     /// slices out internally).
     pub cluster_parallelism: usize,
+    /// Widest job the single-node engine accepts, in qubits (`None`, the
+    /// default, accepts any width). This is what "the width fits" means
+    /// for **cluster degradation**: when a cluster-placed job keeps
+    /// faulting, the service re-places it onto the single-node engine
+    /// only if it fits under this cap, and refuses with
+    /// [`JobError::BackendUnavailable`] otherwise.
+    pub single_node_max_qubits: Option<u16>,
 }
 
 impl Default for BackendPolicy {
@@ -43,6 +50,7 @@ impl Default for BackendPolicy {
             cluster_min_qubits: None,
             cluster_nodes: 4,
             cluster_parallelism: 2,
+            single_node_max_qubits: None,
         }
     }
 }
@@ -56,6 +64,79 @@ impl BackendPolicy {
             cluster_nodes: nodes,
             ..BackendPolicy::default()
         }
+    }
+
+    /// Cap the single-node engine at `max_qubits` (see
+    /// [`BackendPolicy::single_node_max_qubits`]).
+    pub fn single_node_up_to(mut self, max_qubits: u16) -> Self {
+        self.single_node_max_qubits = Some(max_qubits);
+        self
+    }
+}
+
+/// How many times a job is executed before its failure becomes terminal,
+/// and how long to back off between attempts.
+///
+/// Retries are **deterministic**: an attempt reruns the identical plan
+/// with the identical seed, and path-derived node seeding makes `Counts`
+/// a pure function of `(plan, seed)` — so a job that succeeds on attempt
+/// three returns results bit-identical to one that succeeds on attempt
+/// one. Backoff is exponential: `initial_backoff · 2^(attempt-1)`, capped
+/// at `max_backoff`. A retrying job keeps its scheduler slot through the
+/// backoff window (it is still consuming service capacity, just not CPU).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total execution attempts (≥ 1; the default 1 means no retry).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub initial_backoff: Duration,
+    /// Upper bound on any backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// No retries.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            initial_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Up to `max_attempts` total attempts with default backoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts == 0`.
+    pub fn attempts(max_attempts: u32) -> Self {
+        assert!(max_attempts >= 1, "a job needs at least one attempt");
+        RetryPolicy {
+            max_attempts,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Set the initial backoff (doubles per attempt, capped).
+    pub fn initial_backoff(mut self, d: Duration) -> Self {
+        self.initial_backoff = d;
+        self
+    }
+
+    /// Set the backoff cap.
+    pub fn max_backoff(mut self, d: Duration) -> Self {
+        self.max_backoff = d;
+        self
+    }
+
+    /// Backoff before attempt `failed_attempt + 1`.
+    fn backoff_after(&self, failed_attempt: u32) -> Duration {
+        let doublings = failed_attempt.saturating_sub(1).min(16);
+        self.initial_backoff
+            .saturating_mul(1 << doublings)
+            .min(self.max_backoff)
     }
 }
 
@@ -205,6 +286,12 @@ pub struct JobRequest {
     pub leaf_samples: u32,
     /// Fused plan replay (defaults to on).
     pub fusion: bool,
+    /// Execution retry policy (defaults to no retries).
+    pub retry: RetryPolicy,
+    /// Wall-clock budget measured from admission; when it passes before
+    /// the job completes, the watchdog fails it with
+    /// [`JobError::DeadlineExceeded`] (defaults to none).
+    pub deadline: Option<Duration>,
 }
 
 impl JobRequest {
@@ -218,6 +305,8 @@ impl JobRequest {
             seed: 0,
             leaf_samples: 1,
             fusion: true,
+            retry: RetryPolicy::default(),
+            deadline: None,
         }
     }
 
@@ -262,6 +351,18 @@ impl JobRequest {
         self
     }
 
+    /// Set the execution retry policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Set the per-job deadline (measured from admission).
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
     fn plan_key(&self) -> PlanKey {
         PlanKey {
             fingerprint: self.circuit.fingerprint(),
@@ -283,10 +384,19 @@ pub struct ServiceStats {
     pub rejected: u64,
     /// Jobs completed with a result.
     pub completed: u64,
-    /// Jobs that failed planning or execution.
+    /// Jobs that failed planning or execution (excluding aborts and
+    /// timeouts, which count separately below).
     pub failed: u64,
     /// Jobs cancelled by clients.
     pub cancelled: u64,
+    /// Jobs terminally aborted by a contained worker panic.
+    pub aborted: u64,
+    /// Execution retry attempts started.
+    pub retried: u64,
+    /// Jobs terminated by their deadline.
+    pub timed_out: u64,
+    /// Cluster jobs successfully degraded onto the single-node engine.
+    pub degraded: u64,
     /// Jobs queued right now.
     pub queued_now: usize,
     /// Jobs executing on the engine right now.
@@ -325,6 +435,149 @@ struct SchedState {
     paused: bool,
 }
 
+/// Something the watchdog thread fires at a future instant.
+enum TimerTask {
+    /// Fail this job with [`JobError::DeadlineExceeded`] (a no-op if it
+    /// reached a terminal state first).
+    Deadline(Arc<JobRecord>),
+    /// Re-dispatch a retrying job after its backoff window.
+    Retry(Box<dyn FnOnce() + Send>),
+}
+
+struct TimerEntry {
+    due: Instant,
+    /// Tie-breaker so equal deadlines fire in schedule order.
+    seq: u64,
+    task: TimerTask,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    /// Reversed, so the std max-heap pops the *earliest* due entry.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+struct WatchdogState {
+    heap: BinaryHeap<TimerEntry>,
+    seq: u64,
+    shutdown: bool,
+}
+
+/// One timer thread serving every per-job deadline and retry backoff: a
+/// min-heap of due instants and a condvar timed-wait until the earliest.
+/// On shutdown, pending retries fire immediately (their jobs hold
+/// scheduler slots that must drain) and pending deadlines are dropped
+/// (running jobs are allowed to finish).
+struct Watchdog {
+    state: Mutex<WatchdogState>,
+    cv: Condvar,
+}
+
+impl Watchdog {
+    fn new() -> Self {
+        Watchdog {
+            state: Mutex::new(WatchdogState {
+                heap: BinaryHeap::new(),
+                seq: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Schedule `task` to fire at `due`. After shutdown the task is handed
+    /// back instead, and the caller must run (or drop) it itself — nothing
+    /// is silently lost.
+    fn schedule(&self, due: Instant, task: TimerTask) -> Result<(), TimerTask> {
+        let mut st = self.state.lock().expect("watchdog state");
+        if st.shutdown {
+            return Err(task);
+        }
+        st.seq += 1;
+        let seq = st.seq;
+        st.heap.push(TimerEntry { due, seq, task });
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    fn begin_shutdown(&self) {
+        let mut st = self.state.lock().expect("watchdog state");
+        st.shutdown = true;
+        self.cv.notify_all();
+    }
+}
+
+fn watchdog_loop(shared: &Arc<Shared>) {
+    loop {
+        let mut fired: Vec<TimerTask> = Vec::new();
+        let shutting_down = {
+            let mut st = shared.watchdog.state.lock().expect("watchdog state");
+            loop {
+                let now = Instant::now();
+                while st.heap.peek().is_some_and(|e| e.due <= now) {
+                    fired.push(st.heap.pop().expect("peeked").task);
+                }
+                if !fired.is_empty() {
+                    break false;
+                }
+                if st.shutdown {
+                    // Flush: retries fire now (their jobs hold scheduler
+                    // slots), deadlines are dropped (running jobs finish).
+                    while let Some(e) = st.heap.pop() {
+                        if matches!(e.task, TimerTask::Retry(_)) {
+                            fired.push(e.task);
+                        }
+                    }
+                    break true;
+                }
+                st = match st.heap.peek().map(|e| e.due) {
+                    Some(due) => {
+                        let wait = due.saturating_duration_since(Instant::now());
+                        shared
+                            .watchdog
+                            .cv
+                            .wait_timeout(st, wait)
+                            .expect("watchdog cv")
+                            .0
+                    }
+                    None => shared.watchdog.cv.wait(st).expect("watchdog cv"),
+                };
+            }
+        };
+        // Fire outside the watchdog lock: deadline failure takes the job
+        // lock and the scheduler lock (dequeue hook); retries dispatch
+        // onto the engine.
+        for task in fired {
+            fire_timer(shared, task);
+        }
+        if shutting_down {
+            return;
+        }
+    }
+}
+
+fn fire_timer(shared: &Arc<Shared>, task: TimerTask) {
+    match task {
+        TimerTask::Deadline(record) => record.fail(JobError::DeadlineExceeded),
+        TimerTask::Retry(redispatch) => {
+            let _ = shared; // retries carry their own Arc<Shared>
+            redispatch();
+        }
+    }
+}
+
 pub(crate) struct Shared {
     engine: Engine,
     /// The cluster-backed engine, spun up only when the placement policy
@@ -348,6 +601,8 @@ pub(crate) struct Shared {
     /// Wakes the scheduler: new submission, a slot freed, pause toggled,
     /// shutdown.
     work_cv: Condvar,
+    /// Deadline + retry-backoff timer wheel (one thread; see [`Watchdog`]).
+    watchdog: Watchdog,
     /// Job registry for id-based lookups (wire protocol `poll`/`stream`/
     /// `cancel`/`result`/`forget`). Finished entries expire after
     /// `cfg.retention_ttl` (swept opportunistically) or an explicit forget.
@@ -424,6 +679,7 @@ impl Shared {
 pub struct Service {
     shared: Arc<Shared>,
     scheduler: Mutex<Option<JoinHandle<()>>>,
+    watchdog: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for Service {
@@ -442,6 +698,9 @@ impl Service {
     /// single-node engine, plus a cluster-backed engine when the backend
     /// policy enables routing (see [`BackendPolicy`]).
     pub fn start(cfg: ServiceConfig) -> Arc<Service> {
+        // Arm any operator-configured failpoints (`TQSIM_FAILPOINTS`);
+        // idempotent and free when the variable is unset.
+        tqsim_faults::init_from_env();
         let metrics = cfg.observability.then(ServiceMetrics::new);
         let mut engine_cfg = EngineConfig::default().parallelism(cfg.parallelism);
         if let Some(m) = &metrics {
@@ -475,6 +734,7 @@ impl Service {
                 paused: false,
             }),
             work_cv: Condvar::new(),
+            watchdog: Watchdog::new(),
             jobs: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             started: std::time::Instant::now(),
@@ -486,9 +746,15 @@ impl Service {
             .name("tqsim-service-scheduler".into())
             .spawn(move || scheduler_loop(&sched_shared))
             .expect("scheduler thread spawn");
+        let watchdog_shared = Arc::clone(&shared);
+        let watchdog = std::thread::Builder::new()
+            .name("tqsim-service-watchdog".into())
+            .spawn(move || watchdog_loop(&watchdog_shared))
+            .expect("watchdog thread spawn");
         Arc::new(Service {
             shared,
             scheduler: Mutex::new(Some(scheduler)),
+            watchdog: Mutex::new(Some(watchdog)),
         })
     }
 
@@ -511,6 +777,7 @@ impl Service {
             return Err(SubmitError::ShuttingDown);
         }
         let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let deadline = request.deadline;
         let record = JobRecord::new(
             id,
             client,
@@ -552,6 +819,21 @@ impl Service {
                     .lock()
                     .expect("job registry")
                     .insert(id, Arc::clone(&record));
+                // Arm the deadline (measured from admission). The fail it
+                // eventually triggers is a no-op on a job already terminal,
+                // and runs the same eager-dequeue hook as a cancellation,
+                // so a job that times out while still queued frees its
+                // admission slot immediately.
+                if let Some(deadline) = deadline {
+                    if let Some(due) = Instant::now().checked_add(deadline) {
+                        // Err only after watchdog shutdown (racing a
+                        // concurrent Service::shutdown): the queue drain is
+                        // about to fail this job anyway.
+                        let _ = shared
+                            .watchdog
+                            .schedule(due, TimerTask::Deadline(Arc::clone(&record)));
+                    }
+                }
                 Ok(Ticket { record })
             }
             Err(err) => {
@@ -601,6 +883,10 @@ impl Service {
             completed: c.completed.load(Ordering::Relaxed),
             failed: c.failed.load(Ordering::Relaxed),
             cancelled: c.cancelled.load(Ordering::Relaxed),
+            aborted: c.aborted.load(Ordering::Relaxed),
+            retried: c.retried.load(Ordering::Relaxed),
+            timed_out: c.timed_out.load(Ordering::Relaxed),
+            degraded: c.degraded.load(Ordering::Relaxed),
             queued_now,
             running_now,
             running_high_water,
@@ -726,6 +1012,13 @@ impl Service {
         if let Some(handle) = self.scheduler.lock().expect("scheduler handle").take() {
             let _ = handle.join();
         }
+        // Flush the watchdog: jobs parked in retry backoff re-dispatch
+        // immediately (they hold running slots the quiesce below waits
+        // on), pending deadlines are dropped (running jobs may finish).
+        self.shared.watchdog.begin_shutdown();
+        if let Some(handle) = self.watchdog.lock().expect("watchdog handle").take() {
+            let _ = handle.join();
+        }
         // Wait for in-flight jobs so `shutdown` is a true quiesce point.
         let mut st = self.shared.state.lock().expect("scheduler state");
         while st.running > 0 {
@@ -747,9 +1040,14 @@ fn scheduler_loop(shared: &Arc<Shared>) {
             loop {
                 if st.shutdown {
                     // Fail whatever is still queued so no ticket blocks
-                    // forever, then exit.
-                    for job in st.queue.drain_all() {
-                        job.record.fail("service shut down".into());
+                    // forever, then exit. Failing runs each job's eager
+                    // dequeue hook, which takes this lock — drain first,
+                    // fail after release.
+                    let drained = st.queue.drain_all();
+                    drop(st);
+                    for job in drained {
+                        job.record
+                            .fail(JobError::Failed("service shut down".into()));
                     }
                     return;
                 }
@@ -810,7 +1108,7 @@ fn dispatch(shared: &Arc<Shared>, pending: PendingJob) {
     let plan = match plan {
         Ok(plan) => plan,
         Err(err) => {
-            pending.record.fail(err.to_string());
+            pending.record.fail(JobError::Failed(err.to_string()));
             shared.job_slot_freed();
             return;
         }
@@ -827,8 +1125,10 @@ enum Placement {
 
 /// Apply the backend policy: cluster when configured, the job is at or
 /// above the width threshold, and the node group can actually slice it
-/// (≥ 3 local qubits); single-node otherwise.
-fn place(shared: &Shared, n_qubits: u16) -> Placement {
+/// (≥ 3 local qubits); single-node otherwise — unless the job is also
+/// wider than [`BackendPolicy::single_node_max_qubits`], in which case no
+/// engine can take it and placement itself fails.
+fn place(shared: &Shared, n_qubits: u16) -> Result<Placement, JobError> {
     let over_threshold = shared
         .cfg
         .backend_policy
@@ -839,10 +1139,25 @@ fn place(shared: &Shared, n_qubits: u16) -> Placement {
         .as_ref()
         .is_some_and(|engine| engine.worker_pool().backend().supports(n_qubits));
     if over_threshold && feasible {
-        Placement::Cluster
+        Ok(Placement::Cluster)
+    } else if single_node_fits(shared, n_qubits) {
+        Ok(Placement::SingleNode)
     } else {
-        Placement::SingleNode
+        Err(JobError::BackendUnavailable(format!(
+            "{n_qubits}-qubit job exceeds the single-node cap and no \
+             feasible cluster placement exists"
+        )))
     }
+}
+
+/// Whether the single-node engine is allowed to take a job of this width
+/// (no configured cap means it always is).
+fn single_node_fits(shared: &Shared, n_qubits: u16) -> bool {
+    shared
+        .cfg
+        .backend_policy
+        .single_node_max_qubits
+        .is_none_or(|max| n_qubits <= max)
 }
 
 /// Start one planned job on the placed engine with streaming + completion
@@ -850,12 +1165,51 @@ fn place(shared: &Shared, n_qubits: u16) -> Placement {
 /// backend-generic executor, so placement never changes a job's `Counts`.
 fn start_job(shared: &Arc<Shared>, pending: PendingJob, plan: Arc<tqsim_engine::JobPlan>) {
     let PendingJob { record, request } = pending;
-    let placement = place(shared, plan.n_qubits());
-    match placement {
-        Placement::SingleNode => &shared.counters.single_node_jobs,
-        Placement::Cluster => &shared.counters.cluster_jobs,
+    start_attempt(shared, record, request, plan, 1, None);
+}
+
+/// Run one execution attempt of a job. `attempt` is 1-based within the
+/// current placement; `forced` pins the placement (retries stay where the
+/// first attempt ran so they replay the identical execution; degradation
+/// pins single-node explicitly).
+///
+/// The job's scheduler slot is held across the whole attempt chain —
+/// through backoff waits and degradation re-placement — and released
+/// exactly once, on whichever path ends the chain.
+fn start_attempt(
+    shared: &Arc<Shared>,
+    record: Arc<JobRecord>,
+    request: JobRequest,
+    plan: Arc<tqsim_engine::JobPlan>,
+    attempt: u32,
+    forced: Option<Placement>,
+) {
+    // A deadline (or cancel) may have landed while this attempt waited in
+    // retry backoff; don't burn engine time on a decided job.
+    if record.status().is_terminal() {
+        shared.job_slot_freed();
+        return;
     }
-    .fetch_add(1, Ordering::Relaxed);
+    let placement = match forced {
+        Some(placement) => placement,
+        None => match place(shared, plan.n_qubits()) {
+            Ok(placement) => placement,
+            Err(err) => {
+                record.fail(err);
+                shared.job_slot_freed();
+                return;
+            }
+        },
+    };
+    // Count each *job* once per backend; retries and degradation re-runs
+    // are tracked by their own counters.
+    if attempt == 1 && forced.is_none() {
+        match placement {
+            Placement::SingleNode => &shared.counters.single_node_jobs,
+            Placement::Cluster => &shared.counters.cluster_jobs,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
     // Per-backend in-flight gauge: up here, down in the completion hook.
     let inflight = shared.metrics.as_ref().map(|m| match placement {
         Placement::SingleNode => Arc::clone(&m.inflight_single),
@@ -870,6 +1224,9 @@ fn start_job(shared: &Arc<Shared>, pending: PendingJob, plan: Arc<tqsim_engine::
         Arc::new(move |chunk: &[u64]| record.push_chunk(chunk))
     };
     let done_shared = Arc::clone(shared);
+    let done_record = Arc::clone(&record);
+    let done_request = request.clone();
+    let done_plan = Arc::clone(&plan);
     let leaf_samples = request.leaf_samples;
     let planned = PlannedJob::new(plan)
         .seed(request.seed)
@@ -880,33 +1237,43 @@ fn start_job(shared: &Arc<Shared>, pending: PendingJob, plan: Arc<tqsim_engine::
         // the pool healthy and completes the job with partial counts),
         // so completeness is the per-job panic signal: every healthy
         // run yields exactly outcomes × leaf_samples samples. Fail the
-        // ticket instead of handing the client a silently short
+        // attempt instead of handing the client a silently short
         // histogram, and drain the executing pool's panic slot so the
         // payload cannot resurface in an unrelated caller later.
         let expected = result.tree.outcomes() * u64::from(leaf_samples);
         let produced = result.counts.total();
-        if produced < expected {
-            let payload = match placement {
-                Placement::SingleNode => done_shared.engine.take_panic(),
-                Placement::Cluster => done_shared
-                    .cluster
-                    .as_ref()
-                    .expect("cluster placement implies a cluster engine")
-                    .take_panic(),
-            };
-            let detail = payload
-                .map(|payload| panic_message(&payload))
-                .unwrap_or_else(|| "node task panicked".into());
-            record.fail(format!(
-                "execution aborted ({produced}/{expected} outcomes): {detail}"
-            ));
-        } else {
+        if produced >= expected {
             record.finish(result);
+            if let Some(gauge) = &inflight {
+                gauge.dec();
+            }
+            done_shared.job_slot_freed();
+            return;
         }
+        let payload = match placement {
+            Placement::SingleNode => done_shared.engine.take_panic(),
+            Placement::Cluster => done_shared
+                .cluster
+                .as_ref()
+                .expect("cluster placement implies a cluster engine")
+                .take_panic(),
+        };
+        let detail = payload
+            .map(|payload| panic_message(&payload))
+            .unwrap_or_else(|| "node task panicked".into());
+        let detail = format!("execution aborted ({produced}/{expected} outcomes): {detail}");
         if let Some(gauge) = &inflight {
             gauge.dec();
         }
-        done_shared.job_slot_freed();
+        attempt_failed(
+            &done_shared,
+            done_record,
+            done_request,
+            done_plan,
+            placement,
+            attempt,
+            detail,
+        );
     };
     match placement {
         Placement::SingleNode => shared.engine.start(&planned, Some(sink), on_done),
@@ -916,6 +1283,87 @@ fn start_job(shared: &Arc<Shared>, pending: PendingJob, plan: Arc<tqsim_engine::
             .expect("cluster placement implies a cluster engine")
             .start(&planned, Some(sink), on_done),
     }
+}
+
+/// Decide what happens after a failed attempt: retry with backoff while
+/// the budget lasts, then degrade cluster jobs to single-node when they
+/// fit, and only then fail the ticket.
+fn attempt_failed(
+    shared: &Arc<Shared>,
+    record: Arc<JobRecord>,
+    request: JobRequest,
+    plan: Arc<tqsim_engine::JobPlan>,
+    placement: Placement,
+    attempt: u32,
+    detail: String,
+) {
+    // Deadline/cancel won the race against this attempt's failure: the
+    // ticket is already decided, so just release the slot.
+    if record.status().is_terminal() {
+        shared.job_slot_freed();
+        return;
+    }
+    if attempt < request.retry.max_attempts {
+        if !record.rearm_for_retry() {
+            shared.job_slot_freed();
+            return;
+        }
+        let backoff = request.retry.backoff_after(attempt);
+        let retry_shared = Arc::clone(shared);
+        let task = TimerTask::Retry(Box::new(move || {
+            start_attempt(
+                &retry_shared,
+                record,
+                request,
+                plan,
+                attempt + 1,
+                Some(placement),
+            );
+        }));
+        match Instant::now().checked_add(backoff) {
+            Some(due) => {
+                // The slot stays held through the backoff wait: a
+                // retrying job is still "running" for admission purposes.
+                if let Err(task) = shared.watchdog.schedule(due, task) {
+                    // Shutdown raced the schedule — run the retry inline
+                    // so the slot is still released by the attempt chain.
+                    fire_timer(shared, task);
+                }
+            }
+            None => fire_timer(shared, task),
+        }
+        return;
+    }
+    // Retry budget exhausted on the cluster: degrade to the single-node
+    // engine when the job fits there — same plan, same seed, so a success
+    // is bit-identical to what the cluster would have produced.
+    if placement == Placement::Cluster && single_node_fits(shared, plan.n_qubits()) {
+        if !record.rearm_for_degrade() {
+            shared.job_slot_freed();
+            return;
+        }
+        shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
+        start_attempt(
+            shared,
+            record,
+            request,
+            plan,
+            1,
+            Some(Placement::SingleNode),
+        );
+        return;
+    }
+    let error = if placement == Placement::Cluster {
+        JobError::BackendUnavailable(format!(
+            "cluster execution failed after {attempt} attempt(s) and the \
+             {n}-qubit job exceeds the single-node cap: {detail}",
+            n = plan.n_qubits()
+        ))
+    } else {
+        JobError::Aborted(detail)
+    };
+    record.fail(error);
+    shared.job_slot_freed();
 }
 
 /// Best-effort human-readable form of a task panic payload.

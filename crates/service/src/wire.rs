@@ -9,14 +9,21 @@
 //!
 //! | request | response |
 //! |---|---|
-//! | `{"op":"submit","client":"alice","shots":64,"seed":7,"noise":"sycamore","strategy":"dcp","circuit":{"n":2,"gates":[["h",0],["cx",0,1]]}}` | `{"ok":true,"job":1}` or `{"ok":false,"error":"queue full (256 jobs queued)"}` (backpressure is an explicit refusal — retry later) |
-//! | `{"op":"poll","job":1}` | `{"ok":true,"status":"running","streamed":128}` |
-//! | `{"op":"stream","job":1}` | `{"chunk":[3,3,1,…]}` lines as leaf batches land, then `{"done":true,"status":"done","total":64}` |
-//! | `{"op":"result","job":1}` | `{"ok":true,"status":"done","total":64,"counts":[[0,31],[3,33]],…}` |
+//! | `{"op":"submit","client":"alice","shots":64,"seed":7,"noise":"sycamore","strategy":"dcp","circuit":{"n":2,"gates":[["h",0],["cx",0,1]]}}` (optional `"retry_max_attempts"`, `"retry_backoff_ms"`, `"deadline_ms"`) | `{"ok":true,"job":1}` or `{"ok":false,"error":"queue full (256 jobs queued)","code":"queue_full","retry_after_ms":100}` (backpressure is an explicit refusal — back off `retry_after_ms` and retry) |
+//! | `{"op":"poll","job":1}` | `{"ok":true,"status":"running","streamed":128}`; failed jobs add `"error"` + `"code"` |
+//! | `{"op":"stream","job":1}` | `{"chunk":[3,3,1,…]}` lines as leaf batches land, then `{"done":true,"status":"done","total":64}` (failed jobs add `"error"` + `"code"`) |
+//! | `{"op":"result","job":1}` | `{"ok":true,"status":"done","total":64,"counts":[[0,31],[3,33]],…}` or `{"ok":false,"error":…,"code":"job_aborted"}` |
 //! | `{"op":"cancel","job":1}` | `{"ok":true,"cancelled":true}` |
 //! | `{"op":"forget","job":1}` | `{"ok":true,"forgotten":true}` (drops a finished job's record; live jobs are refused with `"forgotten":false`) |
 //! | `{"op":"stats"}` | `{"ok":true,"submitted":…,"uptime_secs":…,"snapshot_seq":…,"cache":{"hits":…},…}` |
 //! | `{"op":"metrics"}` | `{"ok":true,"uptime_secs":…,"counters":[{"name":…,"labels":{…},"value":…}],"gauges":[…],"histograms":[{"name":"tqsim_job_stage_ns","labels":{"stage":"execute"},"count":…,"p50_ns":…,"p90_ns":…,"p99_ns":…,…}]}` (add `"events":true` for the lifecycle timeline; `"format":"text"` returns `{"ok":true,"text":"<Prometheus exposition>"}`; refused when observability is disabled) |
+//!
+//! Error responses carry a stable machine-readable `"code"` alongside the
+//! human-readable `"error"` — clients branch on the code, never on message
+//! text. Admission refusals use `queue_full` / `client_queue_full` /
+//! `shutting_down` (the first two add a `"retry_after_ms"` backoff hint);
+//! terminal job failures use `job_failed` / `job_aborted` /
+//! `job_cancelled` / `deadline_exceeded` / `backend_unavailable`.
 //!
 //! Blocking verbs (`result`, `stream`) poll their connection's liveness
 //! every few hundred milliseconds while waiting: an abandoned connection
@@ -42,7 +49,8 @@
 
 use crate::job::{ChunkPoll, JobStatus, Ticket};
 use crate::json::{self, num, num_u64, obj, str_val, Value};
-use crate::service::{JobRequest, Service, ServiceStats};
+use crate::queue::SubmitError;
+use crate::service::{JobRequest, RetryPolicy, Service, ServiceStats};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -311,6 +319,29 @@ pub fn request_from_json(value: &Value) -> Result<(String, JobRequest), String> 
     if let Some(fusion) = value.get("fusion") {
         request = request.fusion(fusion.as_bool().ok_or("fusion must be a bool")?);
     }
+    if let Some(attempts) = value.get("retry_max_attempts") {
+        let attempts = attempts
+            .as_u64()
+            .filter(|&n| n >= 1 && n <= u64::from(u32::MAX))
+            .ok_or("retry_max_attempts must be a positive integer")?;
+        let mut retry = RetryPolicy::attempts(attempts as u32);
+        if let Some(backoff) = value.get("retry_backoff_ms") {
+            let ms = backoff
+                .as_u64()
+                .ok_or("retry_backoff_ms must be a non-negative integer")?;
+            retry = retry.initial_backoff(Duration::from_millis(ms));
+        }
+        request = request.retry(retry);
+    } else if value.get("retry_backoff_ms").is_some() {
+        return Err("retry_backoff_ms needs retry_max_attempts".into());
+    }
+    if let Some(deadline) = value.get("deadline_ms") {
+        let ms = deadline
+            .as_u64()
+            .filter(|&n| n >= 1)
+            .ok_or("deadline_ms must be a positive integer")?;
+        request = request.deadline(Duration::from_millis(ms));
+    }
     Ok((client, request))
 }
 
@@ -349,6 +380,10 @@ pub fn stats_to_json(stats: &ServiceStats) -> Value {
         ("completed", num_u64(stats.completed)),
         ("failed", num_u64(stats.failed)),
         ("cancelled", num_u64(stats.cancelled)),
+        ("aborted", num_u64(stats.aborted)),
+        ("retried", num_u64(stats.retried)),
+        ("timed_out", num_u64(stats.timed_out)),
+        ("degraded", num_u64(stats.degraded)),
         ("queued_now", num_u64(stats.queued_now as u64)),
         ("running_now", num_u64(stats.running_now as u64)),
         (
@@ -459,6 +494,36 @@ fn error_json(message: impl std::fmt::Display) -> Value {
         ("ok", Value::Bool(false)),
         ("error", str_val(message.to_string())),
     ])
+}
+
+/// [`error_json`] plus the stable machine-readable `"code"` (clients
+/// branch on the code, never on message text).
+fn coded_error_json(message: impl std::fmt::Display, code: &'static str) -> Value {
+    obj(vec![
+        ("ok", Value::Bool(false)),
+        ("error", str_val(message.to_string())),
+        ("code", str_val(code)),
+    ])
+}
+
+/// How long a refused submitter should back off before retrying. One
+/// scheduler pop frees one admission slot, so a couple of poll intervals
+/// is the natural cadence; the exact value is a hint, not a contract.
+const RETRY_AFTER_MS: u64 = 100;
+
+/// The submit verb's refusal payload: coded error, plus a
+/// `"retry_after_ms"` hint when the refusal is transient backpressure
+/// (full queues drain; `shutting_down` does not).
+fn submit_refused_json(err: &SubmitError) -> Value {
+    let mut fields = vec![
+        ("ok", Value::Bool(false)),
+        ("error", str_val(err.to_string())),
+        ("code", str_val(err.code())),
+    ];
+    if err.is_backpressure() {
+        fields.push(("retry_after_ms", num_u64(RETRY_AFTER_MS)));
+    }
+    obj(fields)
 }
 
 // ---------------------------------------------------------------- server
@@ -703,7 +768,7 @@ fn handle_line(
                         ("job", num_u64(ticket.id())),
                     ]),
                 ),
-                Err(err) => write_line(writer, &error_json(err)),
+                Err(err) => write_line(writer, &submit_refused_json(&err)),
             },
         },
         "poll" => with_ticket(service, &request, writer, |ticket, writer| {
@@ -713,8 +778,9 @@ fn handle_line(
                 ("status", str_val(status.name())),
                 ("streamed", num_u64(ticket.streamed())),
             ];
-            if let JobStatus::Failed(msg) = &status {
-                fields.push(("error", str_val(msg.clone())));
+            if let JobStatus::Failed(err) = &status {
+                fields.push(("error", str_val(err.to_string())));
+                fields.push(("code", str_val(err.code())));
             }
             write_line(writer, &obj(fields))
         }),
@@ -747,14 +813,17 @@ fn handle_line(
                     }
                 }
             }
-            write_line(
-                writer,
-                &obj(vec![
-                    ("done", Value::Bool(true)),
-                    ("status", str_val(ticket.status().name())),
-                    ("total", num_u64(total)),
-                ]),
-            )
+            let status = ticket.status();
+            let mut fields = vec![
+                ("done", Value::Bool(true)),
+                ("status", str_val(status.name())),
+                ("total", num_u64(total)),
+            ];
+            if let JobStatus::Failed(err) = &status {
+                fields.push(("error", str_val(err.to_string())));
+                fields.push(("code", str_val(err.code())));
+            }
+            write_line(writer, &obj(fields))
         }),
         "result" => with_ticket(service, &request, writer, |ticket, writer| {
             let mut watch = LivenessWatch::new(liveness);
@@ -770,7 +839,10 @@ fn handle_line(
             };
             match outcome {
                 Ok(result) => write_line(writer, &result_to_json(&ticket.status(), &result)),
-                Err(err) => write_line(writer, &error_json(err)),
+                Err(err) => {
+                    let code = err.code();
+                    write_line(writer, &coded_error_json(err, code))
+                }
             }
         }),
         "cancel" => with_ticket(service, &request, writer, |ticket, writer| {

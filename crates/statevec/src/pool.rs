@@ -41,7 +41,7 @@ use crate::traits::{PooledBackend, QuantumState, SingleNode};
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Shared instrumentation for one or more [`StatePool`]s.
 ///
@@ -204,11 +204,18 @@ impl<B: PooledBackend> StatePool<B> {
     /// [`PooledState::copy_from`] or [`PooledState::reset_zero`] before
     /// use. Allocates only when no `n_qubits`-wide buffer is free.
     pub fn acquire(&self, n_qubits: u16) -> PooledState<B> {
+        // Failpoint ahead of the free-list lookup — allocation is where a
+        // real out-of-memory would surface. There is no error channel out
+        // of `acquire`, so an injected error panics; inside the engine
+        // that is contained by the worker's per-task `catch_unwind`.
+        if let Err(fault) = tqsim_faults::trigger("pool.acquire") {
+            panic!("{fault}");
+        }
         let recycled = self
             .shared
             .free
             .lock()
-            .expect("pool lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .get_mut(&n_qubits)
             .and_then(Vec::pop);
         let reused = recycled.is_some();
@@ -318,10 +325,14 @@ impl<B: PooledBackend> Drop for PooledState<B> {
         self.shared
             .counters
             .on_checkin(self.shared.backend.state_bytes(&state));
+        // Check-in runs while unwinding from task panics; recover from
+        // poison rather than double-panic (which would abort) and keep
+        // the buffer reusable — the free list is never left in a partial
+        // state by a panicking holder.
         self.shared
             .free
             .lock()
-            .expect("pool lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .entry(QuantumState::n_qubits(&state))
             .or_default()
             .push(state);
