@@ -1,0 +1,188 @@
+//! Two-level parallelism bench: the **fusion-window ablation** (2-qubit
+//! `Mat4` windows vs 3-qubit `Mat8` clusters) in op-counting mode, with
+//! wall-clock recorded alongside for context. The `amp_passes` drop is
+//! host-independent — it depends only on circuit, window, noise model and
+//! seed — so CI asserts on it; wall-clock is recorded in the artifact but
+//! never asserted (this box may have one core).
+//!
+//! Writes `BENCH_par_fusion.json` (override the path with
+//! `TQSIM_BENCH_JSON=<path>`) with one record per circuit × noise model:
+//! pass counts and wall time at each window, the pass ratio, and a
+//! `counts_identical` invariant check (widening the window must not move
+//! the histogram).
+
+use std::time::Instant;
+use tqsim::{ExecOptions, Strategy, TreeExecutor};
+use tqsim_bench::{banner, Scale, Table};
+use tqsim_circuit::{generators, Circuit};
+use tqsim_noise::NoiseModel;
+use tqsim_statevec::FusionConfig;
+
+struct Row {
+    circuit: &'static str,
+    noise: &'static str,
+    gates: u64,
+    passes_w2: u64,
+    passes_w3: u64,
+    wall_ms_w2: f64,
+    wall_ms_w3: f64,
+    counts_identical: bool,
+}
+
+/// Run `circuit` once per fusion window, returning
+/// (passes, wall) at window 2, (passes, wall) at window 3, and whether
+/// the histograms matched.
+fn run_windows(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    shots: u64,
+    seed: u64,
+) -> (u64, f64, u64, f64, bool) {
+    let mut out = Vec::with_capacity(2);
+    for window in [2u8, 3] {
+        let partition = Strategy::Custom {
+            arities: vec![8, 4],
+        }
+        .plan(circuit, noise, shots)
+        .expect("plan");
+        let exec = TreeExecutor::with_fusion_config(
+            circuit,
+            noise,
+            partition,
+            FusionConfig {
+                max_fuse_qubits: window,
+            },
+        )
+        .expect("bind");
+        let start = Instant::now();
+        let result = exec.run_with_options(seed, ExecOptions::default());
+        let wall = start.elapsed().as_secs_f64() * 1e3;
+        out.push((result, wall));
+    }
+    let (w3, wall3) = out.pop().expect("window 3 run");
+    let (w2, wall2) = out.pop().expect("window 2 run");
+    let identical = w2.counts == w3.counts;
+    (
+        w2.ops.amp_passes,
+        wall2,
+        w3.ops.amp_passes,
+        wall3,
+        identical,
+    )
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "par_fusion",
+        "3-qubit Mat8 cluster ablation: window 2 vs window 3 (op-counting mode)",
+        &scale,
+    );
+
+    let n: u16 = if scale.full { 16 } else { 12 };
+    let shots = 32u64;
+    let seed = 11u64;
+    let qaoa = generators::qaoa_random(n, 2 * usize::from(n), 1, 0.4, 0.8).0;
+    let circuits: Vec<(&'static str, Circuit)> = vec![
+        ("qft", generators::qft(n)),
+        ("qaoa", qaoa),
+        ("bv", generators::bv(n)),
+    ];
+    let noises = [
+        ("ideal", NoiseModel::ideal()),
+        ("sycamore", NoiseModel::sycamore()),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (cname, circuit) in &circuits {
+        for (nname, noise) in &noises {
+            let (passes_w2, wall_ms_w2, passes_w3, wall_ms_w3, counts_identical) =
+                run_windows(circuit, noise, shots, seed);
+            rows.push(Row {
+                circuit: cname,
+                noise: nname,
+                gates: circuit.len() as u64,
+                passes_w2,
+                passes_w3,
+                wall_ms_w2,
+                wall_ms_w3,
+                counts_identical,
+            });
+        }
+    }
+
+    let mut table = Table::new(&[
+        "circuit",
+        "noise",
+        "gates",
+        "passes (w=2)",
+        "passes (w=3)",
+        "ratio",
+        "wall w=2 (ms)",
+        "wall w=3 (ms)",
+        "counts identical",
+    ]);
+    for r in &rows {
+        table.row(&[
+            r.circuit.to_string(),
+            r.noise.to_string(),
+            r.gates.to_string(),
+            r.passes_w2.to_string(),
+            r.passes_w3.to_string(),
+            format!("{:.2}×", r.passes_w2 as f64 / r.passes_w3 as f64),
+            format!("{:.1}", r.wall_ms_w2),
+            format!("{:.1}", r.wall_ms_w3),
+            r.counts_identical.to_string(),
+        ]);
+    }
+    table.print();
+
+    // Hand-rolled JSON (no serde in the offline workspace), written
+    // *before* the acceptance asserts so a failing run still leaves the
+    // artifact behind for inspection.
+    let amp_threads = rayon::current_num_threads();
+    let mut json = String::from("{\n  \"bench\": \"par_fusion\",\n  \"mode\": \"op-counting\",\n");
+    json.push_str(&format!(
+        "  \"qubits\": {n},\n  \"shots\": {shots},\n  \"seed\": {seed},\n  \
+         \"amp_threads\": {amp_threads},\n  \"rows\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"circuit\": \"{}\", \"noise\": \"{}\", \"gates\": {}, \
+             \"amp_passes_window2\": {}, \"amp_passes_window3\": {}, \
+             \"pass_ratio\": {:.4}, \"wall_ms_window2\": {:.3}, \
+             \"wall_ms_window3\": {:.3}, \"counts_identical\": {}}}{}\n",
+            r.circuit,
+            r.noise,
+            r.gates,
+            r.passes_w2,
+            r.passes_w3,
+            r.passes_w2 as f64 / r.passes_w3 as f64,
+            r.wall_ms_w2,
+            r.wall_ms_w3,
+            r.counts_identical,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path =
+        std::env::var("TQSIM_BENCH_JSON").unwrap_or_else(|_| "BENCH_par_fusion.json".to_string());
+    std::fs::write(&path, &json).expect("write bench artifact");
+    println!("\nwrote {path}");
+
+    for r in rows.iter().filter(|r| r.circuit != "bv") {
+        assert!(
+            r.passes_w3 < r.passes_w2,
+            "acceptance: {}/{} must drop passes at window 3 ({} vs {})",
+            r.circuit,
+            r.noise,
+            r.passes_w3,
+            r.passes_w2
+        );
+    }
+    assert!(
+        rows.iter().all(|r| r.counts_identical),
+        "window-3 Counts diverged from window-2"
+    );
+    println!("acceptance: QFT and QAOA drop passes at window 3, all histograms bit-identical ✓");
+}

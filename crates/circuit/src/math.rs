@@ -1,9 +1,11 @@
 //! Small dense complex matrices used for gate definitions.
 //!
-//! These are deliberately tiny fixed-size types ([`Mat2`], [`Mat4`]) rather
-//! than a general matrix library: every quantum gate in this workspace is a
-//! 2×2 or 4×4 unitary (three-qubit gates are handled structurally by the
-//! kernels), and fixed arrays keep them `Copy` and cache-friendly.
+//! These are deliberately tiny fixed-size types ([`Mat2`], [`Mat4`],
+//! [`Mat8`]) rather than a general matrix library: every quantum gate in
+//! this workspace is a 2×2 or 4×4 unitary (named three-qubit gates are
+//! handled structurally by the kernels; [`Mat8`] exists for the fusion
+//! planner's 3-qubit clusters), and fixed arrays keep them `Copy` and
+//! cache-friendly.
 
 use num_complex::Complex;
 
@@ -245,6 +247,135 @@ impl Default for Mat4 {
     }
 }
 
+/// An 8×8 complex matrix (three-qubit operator), row-major.
+///
+/// Row/column index convention: `idx = (b2 << 2) | (b1 << 1) | b0` where
+/// `b2` is the most significant qubit slot. Built by the fusion planner's
+/// 3-qubit clusters via [`Mat8::from_mat2`] / [`Mat8::from_mat4`] embedding
+/// and [`Mat8::mul`] accumulation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mat8(pub [[C64; 8]; 8]);
+
+impl Mat8 {
+    /// The 8×8 identity matrix.
+    pub const fn identity() -> Self {
+        let mut m = [[ZERO; 8]; 8];
+        let mut i = 0;
+        while i < 8 {
+            m[i][i] = ONE;
+            i += 1;
+        }
+        Mat8(m)
+    }
+
+    /// Embed a single-qubit operator acting on matrix-bit `pos` (0 = least
+    /// significant) into the 8×8 space, identity on the other two bits.
+    pub fn from_mat2(m: &Mat2, pos: usize) -> Mat8 {
+        debug_assert!(pos < 3, "mat8 bit position out of range");
+        let keep = !(1usize << pos) & 7;
+        let mut out = [[ZERO; 8]; 8];
+        for (r, row) in out.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                if r & keep == c & keep {
+                    *cell = m.0[(r >> pos) & 1][(c >> pos) & 1];
+                }
+            }
+        }
+        Mat8(out)
+    }
+
+    /// Embed a two-qubit operator whose more significant matrix bit sits at
+    /// `pos_hi` and less significant at `pos_lo`, identity on the third bit.
+    pub fn from_mat4(m: &Mat4, pos_hi: usize, pos_lo: usize) -> Mat8 {
+        debug_assert!(
+            pos_hi < 3 && pos_lo < 3 && pos_hi != pos_lo,
+            "mat8 bit positions out of range"
+        );
+        let keep = !((1usize << pos_hi) | (1usize << pos_lo)) & 7;
+        let mut out = [[ZERO; 8]; 8];
+        for (r, row) in out.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                if r & keep == c & keep {
+                    let rr = (((r >> pos_hi) & 1) << 1) | ((r >> pos_lo) & 1);
+                    let cc = (((c >> pos_hi) & 1) << 1) | ((c >> pos_lo) & 1);
+                    *cell = m.0[rr][cc];
+                }
+            }
+        }
+        Mat8(out)
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn mul(&self, rhs: &Mat8) -> Mat8 {
+        let mut out = [[ZERO; 8]; 8];
+        for (r, row) in out.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                let mut acc = ZERO;
+                for k in 0..8 {
+                    acc += self.0[r][k] * rhs.0[k][c];
+                }
+                *cell = acc;
+            }
+        }
+        Mat8(out)
+    }
+
+    /// Left-multiply by a diagonal operator: `diag(d) * self` (scales rows).
+    pub fn scale_rows(&self, d: &[C64; 8]) -> Mat8 {
+        let mut out = self.0;
+        for (row, s) in out.iter_mut().zip(d.iter()) {
+            for cell in row {
+                *cell *= *s;
+            }
+        }
+        Mat8(out)
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Mat8 {
+        let mut out = [[ZERO; 8]; 8];
+        for (r, row) in out.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                *cell = self.0[c][r].conj();
+            }
+        }
+        Mat8(out)
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, v: [C64; 8]) -> [C64; 8] {
+        let mut out = [ZERO; 8];
+        for (r, o) in out.iter_mut().enumerate() {
+            let mut acc = ZERO;
+            for (k, x) in v.iter().enumerate() {
+                acc += self.0[r][k] * x;
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Whether `self * self.adjoint() ≈ I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.mul(&self.adjoint()).approx_eq(&Mat8::identity(), tol)
+    }
+
+    /// Entry-wise approximate equality within `tol`.
+    pub fn approx_eq(&self, rhs: &Mat8, tol: f64) -> bool {
+        self.0
+            .iter()
+            .flatten()
+            .zip(rhs.0.iter().flatten())
+            .all(|(a, b)| (a - b).norm() <= tol)
+    }
+}
+
+impl Default for Mat8 {
+    fn default() -> Self {
+        Mat8::identity()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +426,47 @@ mod tests {
         // X⊗Z swapped = Z⊗X
         let zx = Mat2::pauli_z().kron(&Mat2::pauli_x());
         assert!(m.swapped_qubits().approx_eq(&zx, 1e-15));
+    }
+
+    #[test]
+    fn mat8_embeddings_commute_on_disjoint_bits() {
+        // X on bit 2 and Z on bit 0 act on disjoint bits: products in
+        // either order agree and equal X ⊗ I ⊗ Z.
+        let a = Mat8::from_mat2(&Mat2::pauli_x(), 2);
+        let b = Mat8::from_mat2(&Mat2::pauli_z(), 0);
+        assert!(a.mul(&b).approx_eq(&b.mul(&a), 1e-15));
+        assert!(a.is_unitary(1e-12) && b.is_unitary(1e-12));
+        // |000> -> |100>, with Z trivial on bit 0 = 0.
+        let mut v = [ZERO; 8];
+        v[0] = ONE;
+        assert_eq!(a.mul(&b).mul_vec(v)[0b100], ONE);
+    }
+
+    #[test]
+    fn mat8_from_mat4_matches_mat2_product_on_same_bits() {
+        // Embedding X⊗Z on (hi=2, lo=1) equals the product of the two
+        // single-bit embeddings.
+        let m4 = Mat2::pauli_x().kron(&Mat2::pauli_z());
+        let via4 = Mat8::from_mat4(&m4, 2, 1);
+        let via2 = Mat8::from_mat2(&Mat2::pauli_x(), 2).mul(&Mat8::from_mat2(&Mat2::pauli_z(), 1));
+        assert!(via4.approx_eq(&via2, 1e-15));
+        // And the swapped embedding reorders the bits, not the operator.
+        let swapped = Mat8::from_mat4(&m4, 1, 2);
+        let via2s = Mat8::from_mat2(&Mat2::pauli_x(), 1).mul(&Mat8::from_mat2(&Mat2::pauli_z(), 2));
+        assert!(swapped.approx_eq(&via2s, 1e-15));
+    }
+
+    #[test]
+    fn mat8_scale_rows_is_left_diag_mul() {
+        let m = Mat8::from_mat2(&Mat2::pauli_x(), 1);
+        let mut d = [ONE; 8];
+        d[3] = c64(0.0, 1.0);
+        d[5] = c64(-1.0, 0.0);
+        let mut diag = [[ZERO; 8]; 8];
+        for (i, row) in diag.iter_mut().enumerate() {
+            row[i] = d[i];
+        }
+        assert!(m.scale_rows(&d).approx_eq(&Mat8(diag).mul(&m), 1e-15));
     }
 
     #[test]

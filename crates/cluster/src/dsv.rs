@@ -18,7 +18,7 @@ use tqsim_obs::{Counter, Registry};
 /// Below this per-node slice length, node work runs on the calling thread —
 /// the semantics are identical and thread-spawn overhead would dominate.
 const THREAD_MIN_SLICE: usize = 1 << 12;
-use tqsim_circuit::math::{c64, Mat2, Mat4, C64};
+use tqsim_circuit::math::{c64, Mat2, Mat4, Mat8, C64};
 use tqsim_circuit::Gate;
 use tqsim_statevec::{kernels, DiagRun, PooledBackend, QuantumState, StateVector};
 
@@ -623,6 +623,29 @@ impl QuantumState for DistributedStateVector {
             let (hi, lo) = (qs[0] as usize, qs[1] as usize);
             let m = *m;
             self.each_node(move |slice| kernels::apply_mat4(slice, hi, lo, &m));
+            self.undo_remap(&swaps);
+            self.note_remapped_gate();
+        }
+    }
+
+    fn apply_mat8(&mut self, q2: u16, q1: u16, q0: u16, m: &Mat8) {
+        assert!(
+            q2 < self.n_qubits && q1 < self.n_qubits && q0 < self.n_qubits,
+            "qubit out of range"
+        );
+        if q2 < self.local_n && q1 < self.local_n && q0 < self.local_n {
+            // All three qubits node-local: the fused octet sweep never
+            // leaves the node, exactly like the single-node kernel.
+            let (b2, b1, b0) = (q2 as usize, q1 as usize, q0 as usize);
+            let m = *m;
+            self.each_node(move |slice| kernels::apply_mat8(slice, b2, b1, b0, &m));
+            self.note_local_gate();
+        } else {
+            // Fall back to the distributed-swap remap path.
+            let (qs, swaps) = self.remap_to_local(&[q2, q1, q0]);
+            let (b2, b1, b0) = (qs[0] as usize, qs[1] as usize, qs[2] as usize);
+            let m = *m;
+            self.each_node(move |slice| kernels::apply_mat8(slice, b2, b1, b0, &m));
             self.undo_remap(&swaps);
             self.note_remapped_gate();
         }

@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 use tqsim_circuit::{Circuit, GateKind};
 use tqsim_noise::NoiseModel;
 use tqsim_statevec::{
-    CompiledCircuit, OpCounts, PooledBackend, QuantumState, SingleNode, StateVector,
+    CompiledCircuit, FusionConfig, OpCounts, PooledBackend, QuantumState, SingleNode, StateVector,
 };
 
 /// Measurement histogram of a simulation run.
@@ -192,6 +192,22 @@ impl<'a> TreeExecutor<'a> {
         noise: &'a NoiseModel,
         partition: Partition,
     ) -> Result<Self, PlanError> {
+        Self::with_fusion_config(circuit, noise, partition, FusionConfig::default())
+    }
+
+    /// [`TreeExecutor::new`] with an explicit fusion window for the
+    /// per-subcircuit plans (`max_fuse_qubits: 3` enables `Mat8` clusters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::BadBoundaries`] if the partition does not cover
+    /// exactly the circuit's gates.
+    pub fn with_fusion_config(
+        circuit: &'a Circuit,
+        noise: &'a NoiseModel,
+        partition: Partition,
+        fusion: FusionConfig,
+    ) -> Result<Self, PlanError> {
         if partition.covered_gates() != circuit.len() {
             return Err(PlanError::BadBoundaries(format!(
                 "partition covers {} gates, circuit has {}",
@@ -200,7 +216,10 @@ impl<'a> TreeExecutor<'a> {
             )));
         }
         let subcircuits = partition.subcircuits(circuit);
-        let compiled = subcircuits.iter().map(|sc| noise.compile(sc)).collect();
+        let compiled = subcircuits
+            .iter()
+            .map(|sc| noise.compile_with(sc, fusion))
+            .collect();
         Ok(TreeExecutor {
             circuit,
             noise,

@@ -393,15 +393,25 @@ fn worker_loop<B: PooledBackend>(index: usize, state_pool: &StatePool<B>, shared
         state_pool,
         shared,
     };
+    // Two-level parallelism: tree-node tasks run here (engine level) and
+    // each task's amplitude sweeps fan out on the shared rayon pool
+    // (amplitude level). Cap the per-worker amplitude budget at an equal
+    // share of the pool so `workers × amp threads` never oversubscribes
+    // the machine.
+    let amp_share = (rayon::current_num_threads() / shared.locals.len().max(1)).max(1);
+    let amp_pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(amp_share)
+        .build()
+        .expect("amplitude thread budget");
     loop {
         if let Some(task) = find_task(index, shared) {
             let started = shared.metrics.as_ref().map(|_| Instant::now());
             // Catch unwinds so a panicking task cannot kill the worker
             // with `pending` undrained (which would deadlock the
             // submitter); the payload is re-raised by `wait_idle`.
-            if let Err(payload) =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(&ctx)))
-            {
+            if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                amp_pool.install(|| task(&ctx))
+            })) {
                 // Poison-tolerant for the same reason as `take_panic`:
                 // this path is already handling one panic.
                 let mut slot = shared

@@ -585,6 +585,10 @@ mod tests {
             snap.gauge("tqsim_jobs_inflight", &[("backend", "single_node")]),
             Some(0)
         );
+        // The process-wide amplitude pool's stats are mirrored too.
+        assert!(snap.counter("tqsim_amp_pool_tasks", &[]).is_some());
+        assert!(snap.counter("tqsim_amp_pool_busy_ns", &[]).is_some());
+        assert!(snap.gauge("tqsim_amp_pool_threads", &[]).unwrap() >= 1);
         // The engine registered its per-worker instruments and did work.
         assert!(snap
             .counter(

@@ -205,6 +205,14 @@ impl ServiceMetrics {
                 .set(pool.high_water_bytes as i64);
         }
 
+        // The process-wide amplitude worker pool (the rayon shim): one
+        // pool under every engine, so the totals are process-level.
+        let amp = rayon::pool_stats();
+        mirror("tqsim_amp_pool_tasks", amp.tasks);
+        mirror("tqsim_amp_pool_busy_ns", amp.busy_ns);
+        r.gauge("tqsim_amp_pool_threads", &[])
+            .set(amp.threads as i64);
+
         self.queue_depth.set(gauges.queued as i64);
         r.gauge("tqsim_jobs_running", &[])
             .set(gauges.running as i64);

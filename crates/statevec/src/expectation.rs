@@ -74,7 +74,7 @@ pub fn expect_z_string(sv: &StateVector, zs: ZString) -> f64 {
         };
         sign * a.norm_sqr()
     };
-    if sv.len() < crate::kernels::PAR_MIN_LEN {
+    if sv.len() < crate::kernels::par_min_len() {
         sv.amplitudes().iter().enumerate().map(body).sum()
     } else {
         sv.amplitudes().par_iter().enumerate().map(body).sum()

@@ -2,17 +2,61 @@
 //!
 //! All kernels are safe Rust: parallelism comes from `rayon` chunking plus
 //! `split_at_mut`, never from raw-pointer aliasing. Each kernel switches to
-//! a serial loop below [`PAR_MIN_LEN`] amplitudes, where rayon's scheduling
-//! overhead would dominate.
+//! a serial loop below [`par_min_len`] amplitudes, where pool scheduling
+//! overhead would dominate. The threshold defaults to
+//! [`DEFAULT_PAR_MIN_LEN`] and is tunable per host via the
+//! `TQSIM_PAR_MIN_LEN` environment variable (read once) or
+//! [`set_par_min_len`].
 
 use rayon::prelude::*;
-use tqsim_circuit::math::{Mat2, Mat4, C64};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tqsim_circuit::math::{Mat2, Mat4, Mat8, C64};
 
-/// Below this many amplitudes, kernels run serially.
-pub const PAR_MIN_LEN: usize = 1 << 14;
+/// Default serial/parallel switch point, in amplitudes.
+pub const DEFAULT_PAR_MIN_LEN: usize = 1 << 14;
+
+/// Runtime threshold; 0 means "not yet initialised from the environment".
+static PAR_MIN_LEN_V: AtomicUsize = AtomicUsize::new(0);
+
+/// Below this many amplitudes, kernels run serially. Initialised lazily
+/// from `TQSIM_PAR_MIN_LEN` (falling back to [`DEFAULT_PAR_MIN_LEN`]);
+/// override programmatically with [`set_par_min_len`].
+#[inline]
+pub fn par_min_len() -> usize {
+    let v = PAR_MIN_LEN_V.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    let init = std::env::var("TQSIM_PAR_MIN_LEN")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_PAR_MIN_LEN);
+    PAR_MIN_LEN_V.store(init, Ordering::Relaxed);
+    init
+}
+
+/// Set the serial/parallel switch point at runtime (clamped to ≥ 1).
+/// Affects subsequent kernel calls process-wide.
+pub fn set_par_min_len(n: usize) {
+    PAR_MIN_LEN_V.store(n.max(1), Ordering::Relaxed);
+}
 
 /// Inner pair loops longer than this are themselves parallelised.
 const INNER_PAR_MIN: usize = 1 << 15;
+
+/// `par.worker` failpoint, checked once per parallel chunk so fault
+/// injection can exercise a panic *on an amplitude-pool worker thread*.
+/// Error-action faults are converted to panics here (kernels have no
+/// `Result` channel); the pool contains them to the calling job.
+#[inline]
+fn par_worker_failpoint() {
+    if tqsim_faults::any_armed() {
+        if let Err(e) = tqsim_faults::trigger("par.worker") {
+            std::panic::panic_any(e);
+        }
+    }
+}
 
 /// Visit every amplitude pair `(lo, hi)` differing only in bit `q`.
 #[inline]
@@ -23,7 +67,7 @@ where
     let step = 1usize << q;
     let block = step << 1;
     debug_assert!(block <= amps.len(), "qubit {q} out of range");
-    if amps.len() < PAR_MIN_LEN {
+    if amps.len() < par_min_len() {
         for chunk in amps.chunks_mut(block) {
             let (lo, hi) = chunk.split_at_mut(step);
             for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
@@ -32,6 +76,7 @@ where
         }
     } else {
         amps.par_chunks_mut(block).for_each(|chunk| {
+            par_worker_failpoint();
             let (lo, hi) = chunk.split_at_mut(step);
             if step >= INNER_PAR_MIN {
                 lo.par_iter_mut()
@@ -57,7 +102,7 @@ where
     let step = 1usize << q;
     let block = step << 1;
     debug_assert!(block <= amps.len(), "qubit {q} out of range");
-    if amps.len() < PAR_MIN_LEN {
+    if amps.len() < par_min_len() {
         for (ci, chunk) in amps.chunks_mut(block).enumerate() {
             let base = ci * block;
             let (lo, hi) = chunk.split_at_mut(step);
@@ -69,6 +114,7 @@ where
         amps.par_chunks_mut(block)
             .enumerate()
             .for_each(|(ci, chunk)| {
+                par_worker_failpoint();
                 let base = ci * block;
                 let (lo, hi) = chunk.split_at_mut(step);
                 for (i, (a, b)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
@@ -103,12 +149,13 @@ where
         }
     };
 
-    if amps.len() < PAR_MIN_LEN {
+    if amps.len() < par_min_len() {
         for chunk in amps.chunks_mut(block) {
             inner(chunk);
         }
     } else {
         amps.par_chunks_mut(block).for_each(|chunk| {
+            par_worker_failpoint();
             let (a, b) = chunk.split_at_mut(s1);
             a.par_chunks_mut(s0 << 1)
                 .zip(b.par_chunks_mut(s0 << 1))
@@ -129,7 +176,7 @@ pub fn for_each_amp_indexed<F>(amps: &mut [C64], f: F)
 where
     F: Fn(usize, &mut C64) + Sync + Send,
 {
-    if amps.len() < PAR_MIN_LEN {
+    if amps.len() < par_min_len() {
         for (i, a) in amps.iter_mut().enumerate() {
             f(i, a);
         }
@@ -140,9 +187,9 @@ where
 
 // ---- reduction kernels ----------------------------------------------------
 
-/// Squared 2-norm `Σ |a_i|²` with the standard `PAR_MIN_LEN` switch.
+/// Squared 2-norm `Σ |a_i|²` with the standard [`par_min_len`] switch.
 pub fn norm_sqr_amps(amps: &[C64]) -> f64 {
-    if amps.len() < PAR_MIN_LEN {
+    if amps.len() < par_min_len() {
         amps.iter().map(|a| a.norm_sqr()).sum()
     } else {
         amps.par_iter().map(|a| a.norm_sqr()).sum()
@@ -151,7 +198,7 @@ pub fn norm_sqr_amps(amps: &[C64]) -> f64 {
 
 /// Scale every amplitude by the real factor `s`.
 pub fn scale_amps(amps: &mut [C64], s: f64) {
-    if amps.len() < PAR_MIN_LEN {
+    if amps.len() < par_min_len() {
         amps.iter_mut().for_each(|a| *a *= s);
     } else {
         amps.par_iter_mut().for_each(|a| *a *= s);
@@ -165,7 +212,7 @@ pub fn scale_amps(amps: &mut [C64], s: f64) {
 /// Panics if the slices differ in length.
 pub fn inner_amps(a: &[C64], b: &[C64]) -> C64 {
     assert_eq!(a.len(), b.len(), "length mismatch");
-    if a.len() < PAR_MIN_LEN {
+    if a.len() < par_min_len() {
         a.iter().zip(b.iter()).map(|(x, y)| x.conj() * y).sum()
     } else {
         a.par_iter()
@@ -177,7 +224,7 @@ pub fn inner_amps(a: &[C64], b: &[C64]) -> C64 {
 
 /// The outcome distribution `|a_i|²` as a dense vector.
 pub fn probabilities_amps(amps: &[C64]) -> Vec<f64> {
-    if amps.len() < PAR_MIN_LEN {
+    if amps.len() < par_min_len() {
         amps.iter().map(|a| a.norm_sqr()).collect()
     } else {
         amps.par_iter().map(|a| a.norm_sqr()).collect()
@@ -187,7 +234,7 @@ pub fn probabilities_amps(amps: &[C64]) -> Vec<f64> {
 /// Marginal probability that bit `q` of the index reads 1.
 pub fn marginal_one_amps(amps: &[C64], q: usize) -> f64 {
     let mask = 1usize << q;
-    if amps.len() < PAR_MIN_LEN {
+    if amps.len() < par_min_len() {
         amps.iter()
             .enumerate()
             .filter(|(i, _)| i & mask != 0)
@@ -313,6 +360,55 @@ pub fn apply_mat4(amps: &mut [C64], q_hi: usize, q_lo: usize, m: &Mat4) {
     });
 }
 
+/// Generic three-qubit unitary on distinct qubits `(q2, q1, q0)`, where
+/// `q2` indexes the most significant matrix bit and `q0` the least. The
+/// qubits may come in any numeric order: gather/scatter indices are built
+/// per matrix bit, so no matrix permutation is needed (this is what lets
+/// the distributed backend reuse this kernel verbatim after a remap).
+pub fn apply_mat8(amps: &mut [C64], q2: usize, q1: usize, q0: usize, m: &Mat8) {
+    debug_assert!(
+        q2 != q1 && q1 != q0 && q2 != q0,
+        "mat8 qubits must be distinct"
+    );
+    let mut s = [q0, q1, q2];
+    s.sort_unstable();
+    let [s0, s1, s2] = s;
+    let block = 1usize << (s2 + 1);
+    debug_assert!(block <= amps.len(), "qubit {s2} out of range");
+    // Per block: enumerate every sub-index with zeros at the three qubit
+    // positions, expanding the free bits around them (ascending positions).
+    let free = 1usize << (s2 - 2);
+    let inner = |chunk: &mut [C64]| {
+        for t in 0..free {
+            let mut b = t;
+            b = ((b >> s0) << (s0 + 1)) | (b & ((1usize << s0) - 1));
+            b = ((b >> s1) << (s1 + 1)) | (b & ((1usize << s1) - 1));
+            let mut idx = [0usize; 8];
+            for (k, slot) in idx.iter_mut().enumerate() {
+                *slot = b | (((k >> 2) & 1) << q2) | (((k >> 1) & 1) << q1) | ((k & 1) << q0);
+            }
+            let v = idx.map(|i| chunk[i]);
+            for (r, row) in m.0.iter().enumerate() {
+                let mut acc = C64::new(0.0, 0.0);
+                for (coef, x) in row.iter().zip(v.iter()) {
+                    acc += *coef * *x;
+                }
+                chunk[idx[r]] = acc;
+            }
+        }
+    };
+    if amps.len() < par_min_len() {
+        for chunk in amps.chunks_mut(block) {
+            inner(chunk);
+        }
+    } else {
+        amps.par_chunks_mut(block).for_each(|chunk| {
+            par_worker_failpoint();
+            inner(chunk);
+        });
+    }
+}
+
 /// Toffoli with controls `c1`, `c2` and target `t`.
 pub fn apply_ccx(amps: &mut [C64], c1: usize, c2: usize, t: usize) {
     let mask = (1usize << c1) | (1usize << c2);
@@ -434,6 +530,33 @@ mod tests {
                     assert!(
                         (a[i] - b[i]).norm() < 1e-12,
                         "c={c} t={t} start={start} i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mat8_matches_composed_kernels_in_any_qubit_order() {
+        use tqsim_circuit::math::Mat8;
+        let h = tqsim_circuit::GateKind::H.matrix1().unwrap();
+        let cx = tqsim_circuit::GateKind::Cx.matrix2().unwrap();
+        // Mat8 = CX(bits 2,0) · H(bit 1), applied on several physical
+        // qubit orderings of a 4-qubit register.
+        let m8 = Mat8::from_mat4(&cx, 2, 0).mul(&Mat8::from_mat2(&h, 1));
+        for (q2, q1, q0) in [(3usize, 1usize, 0usize), (0, 2, 3), (2, 0, 1)] {
+            for start in 0..16 {
+                let mut a = basis(4, start);
+                let mut b = basis(4, start);
+                // Reference: H on the bit-1 qubit, then CX(control=bit-2
+                // qubit, target=bit-0 qubit).
+                apply_h(&mut a, q1);
+                apply_cx(&mut a, q2, q0);
+                apply_mat8(&mut b, q2, q1, q0, &m8);
+                for i in 0..16 {
+                    assert!(
+                        (a[i] - b[i]).norm() < 1e-12,
+                        "qs=({q2},{q1},{q0}) start={start} i={i}"
                     );
                 }
             }

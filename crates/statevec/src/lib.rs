@@ -40,7 +40,9 @@ pub mod traits;
 pub use backend::CostProfile;
 pub use expectation::{expect_cut_value, expect_z_string, ZString};
 pub use ops::OpCounts;
-pub use plan::{classify, CompiledCircuit, DiagRun, FlushCtx, FusedOp, Fuser, PlanOp};
+pub use plan::{
+    classify, CompiledCircuit, DiagRun, FlushCtx, FusedOp, Fuser, FusionConfig, PlanOp,
+};
 pub use pool::{PoolCounters, PoolStats, PooledState, StatePool};
 pub use state::{StateVector, MAX_QUBITS};
 pub use traits::{PooledBackend, QuantumState, SingleNode};

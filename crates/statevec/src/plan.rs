@@ -41,8 +41,51 @@
 use crate::kernels;
 use crate::ops::OpCounts;
 use crate::traits::QuantumState;
-use tqsim_circuit::math::{Mat2, Mat4, C64};
+use tqsim_circuit::math::{Mat2, Mat4, Mat8, C64};
 use tqsim_circuit::{Circuit, Gate, GateKind};
+
+/// Fusion-window configuration for the [`Fuser`] and [`CompiledCircuit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FusionConfig {
+    /// Widest dense fusion cluster, in qubits: 2 keeps today's `Mat4`
+    /// windows (the default), 3 enables greedy `Mat8` clusters (qsim-style
+    /// wider fusion). Values above 3 behave as 3; values below 2 as 2.
+    pub max_fuse_qubits: u8,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        FusionConfig { max_fuse_qubits: 2 }
+    }
+}
+
+impl FusionConfig {
+    /// Whether 3-qubit `Mat8` clusters are enabled.
+    #[inline]
+    fn fuse3(&self) -> bool {
+        self.max_fuse_qubits >= 3
+    }
+}
+
+/// Canonical 3-qubit cluster frame: qubits in descending order, so
+/// `frame[0]` is the most significant `Mat8` bit (bit 2).
+#[inline]
+fn frame3(qs: [u16; 3]) -> [u16; 3] {
+    let mut f = qs;
+    f.sort_unstable_by(|a, b| b.cmp(a));
+    f
+}
+
+/// The `Mat8` bit position of qubit `q` within a descending frame.
+#[inline]
+fn frame_pos(frame: &[u16; 3], q: u16) -> usize {
+    match frame.iter().position(|&x| x == q) {
+        Some(0) => 2,
+        Some(1) => 1,
+        Some(2) => 0,
+        _ => unreachable!("qubit {q} not in cluster frame {frame:?}"),
+    }
+}
 
 /// A run of diagonal operators collapsed into one indexed sweep.
 ///
@@ -125,6 +168,24 @@ impl DiagRun {
         }
     }
 
+    /// The distinct qubits the run touches.
+    fn support(&self) -> Vec<u16> {
+        let mut qs: Vec<u16> = Vec::new();
+        let mut add = |q: u16| {
+            if !qs.contains(&q) {
+                qs.push(q);
+            }
+        };
+        for &(q, _) in &self.terms1 {
+            add(q);
+        }
+        for &(a, b, _) in &self.terms2 {
+            add(a);
+            add(b);
+        }
+        qs
+    }
+
     /// Whether every term's qubits lie within `qs`.
     fn support_within(&self, qs: &[u16]) -> bool {
         self.terms1.iter().all(|(q, _)| qs.contains(q))
@@ -164,6 +225,29 @@ impl DiagRun {
             };
             for (entry, x) in e.iter_mut().zip(aligned) {
                 *entry *= x;
+            }
+        }
+        e
+    }
+
+    /// The run as a diagonal octuple in the descending `(q2, q1, q0)`
+    /// cluster frame (support must lie within the triple).
+    fn as_diag3(&self, q2: u16, q1: u16, q0: u16) -> [C64; 8] {
+        debug_assert!(self.support_within(&[q2, q1, q0]));
+        let frame = [q2, q1, q0];
+        let mut e = [C64::new(1.0, 0.0); 8];
+        for &(q, d) in &self.terms1 {
+            let pos = frame_pos(&frame, q);
+            for (idx, entry) in e.iter_mut().enumerate() {
+                *entry *= d[(idx >> pos) & 1];
+            }
+        }
+        for &(a, b, d) in &self.terms2 {
+            let pa = frame_pos(&frame, a);
+            let pb = frame_pos(&frame, b);
+            for (idx, entry) in e.iter_mut().enumerate() {
+                let sel = (((idx >> pa) & 1) << 1) | ((idx >> pb) & 1);
+                *entry *= d[sel];
             }
         }
         e
@@ -262,6 +346,21 @@ pub enum FusedOp {
         /// Original gate if the matrix is an unfused single gate.
         src: Option<Gate>,
     },
+    /// Dense three-qubit cluster (`Mat8`), built only when
+    /// [`FusionConfig::max_fuse_qubits`] ≥ 3. Qubits are stored in the
+    /// canonical descending frame (`q2 > q1 > q0`); always a product of
+    /// several source gates, so there is no pristine `src` form.
+    Unitary3 {
+        /// Most significant cluster qubit.
+        q2: u16,
+        /// Middle cluster qubit.
+        q1: u16,
+        /// Least significant cluster qubit.
+        q0: u16,
+        /// The accumulated 8×8 matrix, boxed so the rare wide cluster
+        /// does not inflate every op in the plan vector.
+        m: Box<Mat8>,
+    },
     /// A coalesced diagonal run (one sweep).
     FusedDiag(DiagRun),
     /// A gate with no 1q/2q matrix form (Toffoli); applied via its
@@ -308,6 +407,9 @@ pub fn classify(gate: &Gate) -> Option<FusedOp> {
 /// sweeps are noise work (the unfused path accounts them under
 /// `noise_ops`, never `amp_passes`), so the emit sink is told to skip the
 /// pass charge — keeping fused and unfused `amp_passes` comparable.
+// One instance lives in the fuser's accumulator slot (never a vector of
+// them), so the `Three` variant's inline `Mat8` costs nothing per-plan.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 enum Dense {
     One {
@@ -323,12 +425,47 @@ enum Dense {
         src: Option<Gate>,
         noise_only: bool,
     },
+    /// 3-qubit `Mat8` cluster in the canonical descending frame
+    /// (`q2 > q1 > q0`); only built when the fuser's config allows it.
+    Three {
+        q2: u16,
+        q1: u16,
+        q0: u16,
+        m: Mat8,
+        noise_only: bool,
+    },
 }
 
 impl Dense {
     fn noise_only(&self) -> bool {
         match self {
-            Dense::One { noise_only, .. } | Dense::Two { noise_only, .. } => *noise_only,
+            Dense::One { noise_only, .. }
+            | Dense::Two { noise_only, .. }
+            | Dense::Three { noise_only, .. } => *noise_only,
+        }
+    }
+
+    /// The qubits the pending op acts on.
+    fn qubits(&self) -> Vec<u16> {
+        match self {
+            Dense::One { q, .. } => vec![*q],
+            Dense::Two { q_hi, q_lo, .. } => vec![*q_hi, *q_lo],
+            Dense::Three { q2, q1, q0, .. } => vec![*q2, *q1, *q0],
+        }
+    }
+
+    /// Lift the pending matrix into an 8×8 on the given descending frame
+    /// (every acted-on qubit must be in the frame).
+    fn embed8(&self, frame: &[u16; 3]) -> Mat8 {
+        match self {
+            Dense::One { q, m, .. } => Mat8::from_mat2(m, frame_pos(frame, *q)),
+            Dense::Two { q_hi, q_lo, m, .. } => {
+                Mat8::from_mat4(m, frame_pos(frame, *q_hi), frame_pos(frame, *q_lo))
+            }
+            Dense::Three { q2, q1, q0, m, .. } => {
+                debug_assert_eq!(&[*q2, *q1, *q0], frame);
+                *m
+            }
         }
     }
 }
@@ -346,6 +483,7 @@ impl Dense {
 /// (see [`Dense`]).
 #[derive(Debug, Default)]
 pub struct Fuser {
+    cfg: FusionConfig,
     dense: Option<Dense>,
     diag: DiagRun,
     /// Whether every term in `diag` came from a noise branch (meaningful
@@ -354,9 +492,17 @@ pub struct Fuser {
 }
 
 impl Fuser {
-    /// An empty buffer.
+    /// An empty buffer with the default (2-qubit) fusion window.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty buffer with an explicit fusion window.
+    pub fn with_config(cfg: FusionConfig) -> Self {
+        Fuser {
+            cfg,
+            ..Self::default()
+        }
     }
 
     /// Whether nothing is pending.
@@ -421,7 +567,82 @@ impl Fuser {
                         *noise_only &= from_noise;
                         return true;
                     }
+                    Some(Dense::Three {
+                        q2,
+                        q1,
+                        q0,
+                        m,
+                        noise_only,
+                    }) if run.support_within(&[*q2, *q1, *q0]) => {
+                        *m = m.scale_rows(&run.as_diag3(*q2, *q1, *q0));
+                        *noise_only &= from_noise;
+                        return true;
+                    }
                     _ => {}
+                }
+                // Under a 3-qubit window a diagonal can also *widen* the
+                // pending dense op: promote it to cover the union of both
+                // supports and fold the run into the enlarged matrix
+                // (sound because the run commutes with the accumulator).
+                if self.cfg.fuse3() {
+                    if let Some(dense) = self.dense.take() {
+                        let mut union = dense.qubits();
+                        for q in run.support() {
+                            if !union.contains(&q) {
+                                union.push(q);
+                            }
+                        }
+                        match union.len() {
+                            2 => {
+                                // In-support pairs returned above, so the
+                                // pending op here is a One reaching out.
+                                if let Dense::One {
+                                    q, m, noise_only, ..
+                                } = dense
+                                {
+                                    let (q_hi, q_lo) =
+                                        (union[0].max(union[1]), union[0].min(union[1]));
+                                    let id = Mat2::identity();
+                                    let mut mat = if q == q_hi { m.kron(&id) } else { id.kron(&m) };
+                                    let e = run.as_diag2(q_hi, q_lo);
+                                    for (r, row) in mat.0.iter_mut().enumerate() {
+                                        for cell in row.iter_mut() {
+                                            *cell *= e[r];
+                                        }
+                                    }
+                                    self.dense = Some(Dense::Two {
+                                        q_hi,
+                                        q_lo,
+                                        m: mat,
+                                        src: None,
+                                        noise_only: noise_only && from_noise,
+                                    });
+                                    return true;
+                                }
+                                self.dense = Some(dense);
+                            }
+                            3 => {
+                                let frame = frame3([union[0], union[1], union[2]]);
+                                let noise_only = dense.noise_only() && from_noise;
+                                let m = dense
+                                    .embed8(&frame)
+                                    .scale_rows(&run.as_diag3(frame[0], frame[1], frame[2]));
+                                self.dense = Some(Dense::Three {
+                                    q2: frame[0],
+                                    q1: frame[1],
+                                    q0: frame[2],
+                                    m,
+                                    noise_only,
+                                });
+                                return true;
+                            }
+                            _ => {
+                                // Union too wide for the window: put the
+                                // dense op back and ride the accumulator.
+                                self.dense = Some(dense);
+                            }
+                        }
+                    }
                 }
                 // Otherwise it rides the accumulator, which sits after the
                 // dense op and commutes with every other diagonal — a
@@ -438,6 +659,9 @@ impl Fuser {
             FusedOp::Unitary1 { q, m, src } => self.push_dense1(*q, m, *src, from_noise, emit),
             FusedOp::Unitary2 { q_hi, q_lo, m, src } => {
                 self.push_dense2(*q_hi, *q_lo, m, *src, from_noise, emit)
+            }
+            FusedOp::Unitary3 { q2, q1, q0, m } => {
+                self.push_dense3(*q2, *q1, *q0, m, from_noise, emit)
             }
             FusedOp::Passthrough(_) => {
                 self.flush(emit);
@@ -517,10 +741,51 @@ impl Fuser {
                 });
                 true
             }
-            Some(two) => {
-                // Disjoint from the pending 2q op *and* from the diagonal
+            Some(Dense::Two {
+                q_hi,
+                q_lo,
+                m: pm,
+                noise_only,
+                ..
+            }) if self.cfg.fuse3() => {
+                // Disjoint 1q next to a 2q op: grow the window to a
+                // 3-qubit cluster (shared-qubit pairs matched above).
+                let frame = frame3([q_hi, q_lo, q]);
+                let m8 = Mat8::from_mat2(m, frame_pos(&frame, q)).mul(&Mat8::from_mat4(
+                    &pm,
+                    frame_pos(&frame, q_hi),
+                    frame_pos(&frame, q_lo),
+                ));
+                self.dense = Some(Dense::Three {
+                    q2: frame[0],
+                    q1: frame[1],
+                    q0: frame[2],
+                    m: m8,
+                    noise_only: noise_only && from_noise,
+                });
+                true
+            }
+            Some(Dense::Three {
+                q2,
+                q1,
+                q0,
+                m: pm,
+                noise_only,
+            }) if q == q2 || q == q1 || q == q0 => {
+                let frame = [q2, q1, q0];
+                self.dense = Some(Dense::Three {
+                    q2,
+                    q1,
+                    q0,
+                    m: Mat8::from_mat2(m, frame_pos(&frame, q)).mul(&pm),
+                    noise_only: noise_only && from_noise,
+                });
+                true
+            }
+            Some(other) => {
+                // Disjoint from the pending dense op *and* from the diagonal
                 // run (checked above), so only the dense op must flush.
-                Self::emit_dense(&two, emit);
+                Self::emit_dense(&other, emit);
                 self.dense = Some(Dense::One {
                     q,
                     m: *m,
@@ -572,6 +837,25 @@ impl Fuser {
                 });
                 true
             }
+            Some(Dense::One {
+                q: pq,
+                m: pm,
+                noise_only,
+                ..
+            }) if self.cfg.fuse3() => {
+                // 2q op next to a disjoint pending 1q: 3-qubit cluster.
+                let frame = frame3([qa, qb, pq]);
+                let m8 = Mat8::from_mat4(m, frame_pos(&frame, qa), frame_pos(&frame, qb))
+                    .mul(&Mat8::from_mat2(&pm, frame_pos(&frame, pq)));
+                self.dense = Some(Dense::Three {
+                    q2: frame[0],
+                    q1: frame[1],
+                    q0: frame[2],
+                    m: m8,
+                    noise_only: noise_only && from_noise,
+                });
+                true
+            }
             Some(Dense::Two {
                 q_hi,
                 q_lo,
@@ -593,6 +877,46 @@ impl Fuser {
                 });
                 true
             }
+            Some(Dense::Two {
+                q_hi,
+                q_lo,
+                m: pm,
+                noise_only,
+                ..
+            }) if self.cfg.fuse3() && (q_hi == qa || q_hi == qb || q_lo == qa || q_lo == qb) => {
+                // Two 2q ops sharing exactly one qubit (same-pair matched
+                // above): their union is a 3-qubit cluster.
+                let new_q = if qa == q_hi || qa == q_lo { qb } else { qa };
+                let frame = frame3([q_hi, q_lo, new_q]);
+                let m8 = Mat8::from_mat4(m, frame_pos(&frame, qa), frame_pos(&frame, qb)).mul(
+                    &Mat8::from_mat4(&pm, frame_pos(&frame, q_hi), frame_pos(&frame, q_lo)),
+                );
+                self.dense = Some(Dense::Three {
+                    q2: frame[0],
+                    q1: frame[1],
+                    q0: frame[2],
+                    m: m8,
+                    noise_only: noise_only && from_noise,
+                });
+                true
+            }
+            Some(Dense::Three {
+                q2,
+                q1,
+                q0,
+                m: pm,
+                noise_only,
+            }) if [qa, qb].iter().all(|&x| x == q2 || x == q1 || x == q0) => {
+                let frame = [q2, q1, q0];
+                self.dense = Some(Dense::Three {
+                    q2,
+                    q1,
+                    q0,
+                    m: Mat8::from_mat4(m, frame_pos(&frame, qa), frame_pos(&frame, qb)).mul(&pm),
+                    noise_only: noise_only && from_noise,
+                });
+                true
+            }
             Some(other) => {
                 Self::emit_dense(&other, emit);
                 self.dense = Some(Dense::Two {
@@ -600,6 +924,58 @@ impl Fuser {
                     q_lo: qb,
                     m: *m,
                     src,
+                    noise_only: from_noise,
+                });
+                false
+            }
+        }
+    }
+
+    /// Feed an already-built 3-qubit cluster (a statically fused plan op
+    /// replayed through the dynamic fuser). No `fuse3` gate: `Unitary3`
+    /// only exists in plans compiled with a 3-qubit window.
+    fn push_dense3(
+        &mut self,
+        q2: u16,
+        q1: u16,
+        q0: u16,
+        m: &Mat8,
+        from_noise: bool,
+        emit: &mut impl FnMut(&FusedOp, bool),
+    ) -> bool {
+        if self.diag.touches(q2) || self.diag.touches(q1) || self.diag.touches(q0) {
+            self.flush(emit);
+        }
+        let frame = [q2, q1, q0];
+        match self.dense.take() {
+            None => {
+                self.dense = Some(Dense::Three {
+                    q2,
+                    q1,
+                    q0,
+                    m: *m,
+                    noise_only: from_noise,
+                });
+                false
+            }
+            Some(prev) if prev.qubits().iter().all(|q| frame.contains(q)) => {
+                let noise_only = prev.noise_only() && from_noise;
+                self.dense = Some(Dense::Three {
+                    q2,
+                    q1,
+                    q0,
+                    m: m.mul(&prev.embed8(&frame)),
+                    noise_only,
+                });
+                true
+            }
+            Some(other) => {
+                Self::emit_dense(&other, emit);
+                self.dense = Some(Dense::Three {
+                    q2,
+                    q1,
+                    q0,
+                    m: *m,
                     noise_only: from_noise,
                 });
                 false
@@ -647,6 +1023,15 @@ impl Fuser {
                 },
                 noise_only,
             ),
+            Dense::Three { q2, q1, q0, m, .. } => emit(
+                &FusedOp::Unitary3 {
+                    q2: *q2,
+                    q1: *q1,
+                    q0: *q0,
+                    m: Box::new(*m),
+                },
+                noise_only,
+            ),
         }
     }
 }
@@ -673,6 +1058,7 @@ fn apply_fused_op_raw<S: QuantumState + ?Sized>(sv: &mut S, op: &FusedOp) {
             Some(gate) => sv.apply_gate(gate),
             None => sv.apply_mat4(*q_hi, *q_lo, m),
         },
+        FusedOp::Unitary3 { q2, q1, q0, m } => sv.apply_mat8(*q2, *q1, *q0, m),
         FusedOp::FusedDiag(run) => sv.apply_diag_run(run),
         FusedOp::Passthrough(gate) => sv.apply_gate(gate),
     }
@@ -701,6 +1087,9 @@ pub struct CompiledCircuit {
     /// Gates absorbed by *static* fusion (merged at compile time).
     static_fused: u64,
     n_qubits: u16,
+    /// Fusion window used at compile time *and* by the dynamic replay
+    /// fuser, so static and dynamic fusion always agree.
+    fusion: FusionConfig,
 }
 
 /// Mutable view handed to the noise hook at a [`PlanOp::Noise`] marker; the
@@ -759,9 +1148,19 @@ impl CompiledCircuit {
     /// this to the model's channel bindings). Static fusion never crosses a
     /// noise marker; the replay-time fuser re-fuses across markers whose
     /// sampled branch is the identity.
-    pub fn compile(circuit: &Circuit, mut noise_site: impl FnMut(&Gate) -> bool) -> Self {
+    pub fn compile(circuit: &Circuit, noise_site: impl FnMut(&Gate) -> bool) -> Self {
+        Self::compile_with(circuit, noise_site, FusionConfig::default())
+    }
+
+    /// [`CompiledCircuit::compile`] with an explicit fusion window; the
+    /// config is stored so replay's dynamic fuser uses the same window.
+    pub fn compile_with(
+        circuit: &Circuit,
+        mut noise_site: impl FnMut(&Gate) -> bool,
+        fusion: FusionConfig,
+    ) -> Self {
         let mut plan: Vec<PlanOp> = Vec::new();
-        let mut fuser = Fuser::new();
+        let mut fuser = Fuser::with_config(fusion);
         let mut src_gates = [0u64; 3];
         let mut static_fused = 0u64;
         for gate in circuit {
@@ -784,7 +1183,13 @@ impl CompiledCircuit {
             src_gates,
             static_fused,
             n_qubits: circuit.n_qubits(),
+            fusion,
         }
+    }
+
+    /// The fusion window this plan was compiled with.
+    pub fn fusion_config(&self) -> FusionConfig {
+        self.fusion
     }
 
     /// The instruction stream.
@@ -844,7 +1249,7 @@ impl CompiledCircuit {
             self.n_qubits,
             sv.n_qubits()
         );
-        let mut fuser = Fuser::new();
+        let mut fuser = Fuser::with_config(self.fusion);
         for op in &self.plan {
             match op {
                 PlanOp::Gate(fop) => {
@@ -894,7 +1299,7 @@ impl CompiledCircuit {
     /// This is the cost DCP's plan-aware mode charges a candidate
     /// subcircuit instead of its source gate count.
     pub fn amp_pass_estimate(&self) -> u64 {
-        let mut fuser = Fuser::new();
+        let mut fuser = Fuser::with_config(self.fusion);
         let mut passes = 0u64;
         for op in &self.plan {
             if let PlanOp::Gate(fop) = op {
@@ -1157,6 +1562,100 @@ mod tests {
         let mut ops = OpCounts::new();
         compiled.replay_ideal(&mut sv, &mut ops);
         assert_eq!(compiled.amp_pass_estimate(), ops.amp_passes);
+    }
+
+    fn apply_both_with(c: &Circuit, cfg: FusionConfig) -> (StateVector, StateVector, OpCounts) {
+        let mut reference = StateVector::zero(c.n_qubits());
+        reference.apply_circuit(c);
+        let compiled = CompiledCircuit::compile_with(c, |_| false, cfg);
+        let mut fused = StateVector::zero(c.n_qubits());
+        let mut ops = OpCounts::new();
+        compiled.replay_ideal(&mut fused, &mut ops);
+        (reference, fused, ops)
+    }
+
+    const FUSE3: FusionConfig = FusionConfig { max_fuse_qubits: 3 };
+
+    #[test]
+    fn fuse3_folds_overlapping_cx_chain_into_one_pass() {
+        // The pair that *cannot* fold under the default 2-qubit window
+        // (see overlapping_two_qubit_ops_do_not_fuse) becomes one Mat8.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2);
+        let (reference, fused, ops) = apply_both_with(&c, FUSE3);
+        assert_close(&reference, &fused, 1e-12);
+        assert_eq!(ops.amp_passes, 1, "shared-one-qubit pair folds into Mat8");
+        assert_eq!(ops.fused_gates, 1);
+    }
+
+    #[test]
+    fn fuse3_absorbs_disjoint_1q_and_2q_neighbours() {
+        let mut c = Circuit::new(4);
+        // One(2) + disjoint cx(0,1) → Three(2,1,0); then both later gates
+        // fold into the cluster in place.
+        c.h(2).cx(0, 1).ry(0.3, 2).fsim(0.2, 0.4, 1, 0);
+        let (reference, fused, ops) = apply_both_with(&c, FUSE3);
+        assert_close(&reference, &fused, 1e-12);
+        assert_eq!(ops.amp_passes, 1);
+        assert_eq!(ops.fused_gates, 3);
+    }
+
+    #[test]
+    fn fuse3_diagonal_widens_the_dense_window() {
+        // cp ladders drive the promotion: h(0); cp(1,0) promotes One→Two
+        // with the diagonal folded in; h(1) folds; cp(2,1) promotes
+        // Two→Three. One sweep for the whole block.
+        let mut c = Circuit::new(3);
+        c.h(0).cp(0.7, 1, 0).h(1).cp(0.5, 2, 1);
+        let (reference, fused, ops) = apply_both_with(&c, FUSE3);
+        assert_close(&reference, &fused, 1e-12);
+        assert_eq!(ops.amp_passes, 1);
+        assert_eq!(ops.fused_gates, 3);
+    }
+
+    #[test]
+    fn fuse3_qft_block_beats_default_window() {
+        let n = 8u16;
+        let mut c = Circuit::new(n);
+        for i in 0..n {
+            c.h(i);
+            for j in (i + 1)..n {
+                c.cp(std::f64::consts::PI / f64::from(1 << (j - i)), j, i);
+            }
+        }
+        let default_passes = CompiledCircuit::compile(&c, |_| false).amp_pass_estimate();
+        let (reference, fused, ops) = apply_both_with(&c, FUSE3);
+        assert_close(&reference, &fused, 1e-10);
+        assert!(
+            ops.amp_passes < default_passes,
+            "Mat8 clusters should cut passes: {} vs default {default_passes}",
+            ops.amp_passes,
+        );
+    }
+
+    #[test]
+    fn default_window_config_is_two_qubits() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2);
+        let compiled = CompiledCircuit::compile(&c, |_| false);
+        assert_eq!(compiled.fusion_config(), FusionConfig::default());
+        assert_eq!(compiled.amp_pass_estimate(), 2, "default stays Mat4-wide");
+    }
+
+    #[test]
+    fn fuse3_replay_crosses_identity_noise_points() {
+        // Static fusion is blocked by markers, but the dynamic fuser
+        // re-fuses Unitary3 plan ops across identity branches.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2).cx(0, 2);
+        let compiled = CompiledCircuit::compile_with(&c, |_| true, FUSE3);
+        let mut sv = StateVector::zero(3);
+        let mut ops = OpCounts::new();
+        compiled.replay(&mut sv, &mut ops, |_, _| 1);
+        assert_eq!(ops.amp_passes, 1, "one Mat8 sweep across all markers");
+        let mut reference = StateVector::zero(3);
+        reference.apply_circuit(&c);
+        assert_close(&reference, &sv, 1e-12);
     }
 
     #[test]

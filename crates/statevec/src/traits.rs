@@ -28,7 +28,7 @@
 //! backend.
 
 use crate::plan::DiagRun;
-use tqsim_circuit::math::{Mat2, Mat4, C64};
+use tqsim_circuit::math::{Mat2, Mat4, Mat8, C64};
 use tqsim_circuit::Gate;
 
 /// Operations a pure-state engine must expose for gate application,
@@ -52,6 +52,11 @@ pub trait QuantumState {
     /// Apply a dense two-qubit unitary; `q_hi` indexes the more significant
     /// matrix bit — the fused `Mat4` surface of plan replay.
     fn apply_mat4(&mut self, q_hi: u16, q_lo: u16, m: &Mat4);
+
+    /// Apply a dense three-qubit unitary; `q2`/`q1`/`q0` index matrix bits
+    /// 2/1/0 — the fused `Mat8` cluster surface of plan replay (emitted
+    /// only when a plan is compiled with `max_fuse_qubits ≥ 3`).
+    fn apply_mat8(&mut self, q2: u16, q1: u16, q0: u16, m: &Mat8);
 
     /// Apply a coalesced diagonal run in one sweep. Diagonals never move
     /// amplitudes, so distributed implementations can run this node-local
@@ -185,6 +190,16 @@ impl QuantumState for crate::StateVector {
         crate::kernels::apply_mat4(self.amplitudes_mut(), q_hi as usize, q_lo as usize, m);
     }
 
+    fn apply_mat8(&mut self, q2: u16, q1: u16, q0: u16, m: &Mat8) {
+        crate::kernels::apply_mat8(
+            self.amplitudes_mut(),
+            q2 as usize,
+            q1 as usize,
+            q0 as usize,
+            m,
+        );
+    }
+
     fn apply_diag_run(&mut self, run: &DiagRun) {
         run.apply(self.amplitudes_mut());
     }
@@ -268,6 +283,9 @@ mod tests {
             }
             fn apply_mat4(&mut self, q_hi: u16, q_lo: u16, m: &Mat4) {
                 QuantumState::apply_mat4(&mut self.0, q_hi, q_lo, m);
+            }
+            fn apply_mat8(&mut self, q2: u16, q1: u16, q0: u16, m: &Mat8) {
+                QuantumState::apply_mat8(&mut self.0, q2, q1, q0, m);
             }
             fn apply_diag_run(&mut self, run: &DiagRun) {
                 QuantumState::apply_diag_run(&mut self.0, run);

@@ -1,19 +1,31 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate, backed by a **real shared
+//! amplitude thread pool**.
 //!
 //! This workspace builds in environments with no access to crates.io, so the
 //! parallel-iterator entry points the code uses (`par_iter`, `par_iter_mut`,
 //! `into_par_iter`, `par_chunks_mut`, `ThreadPoolBuilder`) are provided here
-//! as **sequential adapters**: each returns the corresponding standard
-//! iterator, so every combinator (`map`, `zip`, `enumerate`, `sum`,
-//! `for_each`, `collect`, …) resolves to `std::iter::Iterator` and the code
-//! compiles and runs unchanged — just single-threaded at the amplitude
-//! level.
+//! on top of a lazily-initialized, std-only work-sharing pool:
 //!
-//! Real multi-core scaling in this workspace comes from `tqsim-engine`'s
-//! work-stealing worker pool, which parallelises across simulation-tree
-//! subtrees/shots (the profitable axis for noisy Monte-Carlo workloads)
-//! using `std::thread` directly. If the real `rayon` becomes available,
-//! deleting this shim restores amplitude-level parallelism too.
+//! - The pool is sized by [`std::thread::available_parallelism`], overridable
+//!   with the `TQSIM_AMP_THREADS` environment variable (read once, at first
+//!   use). Workers are spawned lazily and parked when idle.
+//! - Every drive (`for_each`, `sum`, `collect`, …) splits its iterator into
+//!   **fixed task boundaries that depend only on the iterator's length**,
+//!   never on the thread count, and reductions combine per-task partials in
+//!   task order. Results are therefore bit-identical at any thread count,
+//!   including the fully inline single-threaded path.
+//! - [`ThreadPool::install`] scopes a thread-count cap onto the calling
+//!   thread, so an outer scheduler (the engine's tree-level worker pool) can
+//!   budget amplitude threads per worker and the two parallelism levels do
+//!   not oversubscribe each other.
+//! - A panic inside a parallel closure is caught per task, the pool's worker
+//!   threads survive, and the panic resumes on the calling thread once the
+//!   job has fully drained — callers see ordinary unwinding, the pool stays
+//!   healthy.
+//!
+//! [`pool_stats`] exposes task/busy-time counters for the observability
+//! registry. If the real `rayon` becomes available, deleting this shim
+//! swaps in its work-stealing scheduler unchanged at every call site.
 //!
 //! ```
 //! use rayon::prelude::*;
@@ -25,78 +37,738 @@
 
 #![warn(missing_docs)]
 
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
 /// The traits (`par_iter` and friends) — `use rayon::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSliceMut,
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSliceMut,
     };
 }
 
-/// `into_par_iter()` on any owned iterable (sequential here).
-pub trait IntoParallelIterator: IntoIterator + Sized {
-    /// Consume `self` into a "parallel" (here: sequential) iterator.
-    fn into_par_iter(self) -> Self::IntoIter {
-        self.into_iter()
+// ---------------------------------------------------------------------------
+// Pool: lazily-initialized shared workers + a job queue.
+// ---------------------------------------------------------------------------
+
+/// Upper bound on tasks per drive. Boundaries are a function of the
+/// iterator's weight and this constant only — never of the thread count —
+/// which is what keeps chunked reductions bit-identical everywhere.
+const MAX_TASKS: usize = 128;
+
+thread_local! {
+    /// Per-thread amplitude-thread cap installed by [`ThreadPool::install`].
+    /// `usize::MAX` means "no cap: use the pool default".
+    static INSTALL_CAP: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+static TASKS: AtomicU64 = AtomicU64::new(0);
+static BUSY_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Type-erased parallel job shared between the caller and pool workers.
+///
+/// `data` points at a `JobData<I, R, F>` on the **caller's stack**; the
+/// caller blocks until `pending` reaches zero before returning, so the
+/// pointer outlives every task execution. Workers never dereference `data`
+/// without first claiming a task index strictly below `total`.
+struct JobCore {
+    run: unsafe fn(*const (), usize),
+    data: *const (),
+    next: AtomicUsize,
+    total: usize,
+    pending: AtomicUsize,
+    helpers: AtomicUsize,
+    max_helpers: usize,
+    lock: Mutex<()>,
+    cvar: Condvar,
+}
+
+// SAFETY: `data` is only dereferenced via `run` for claimed task indices,
+// each claimed exactly once, while the caller blocks keeping it alive.
+unsafe impl Send for JobCore {}
+unsafe impl Sync for JobCore {}
+
+struct JobData<I, R, F> {
+    pieces: Vec<UnsafeCell<Option<I>>>,
+    results: Vec<UnsafeCell<Option<R>>>,
+    op: F,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Execute one claimed task: take piece `idx`, run the op under
+/// `catch_unwind`, store the result (or the first panic payload).
+///
+/// # Safety
+///
+/// `data` must point at a live `JobData<I, R, F>` and `idx` must have been
+/// claimed exactly once from the job's `next` counter.
+unsafe fn run_task<I, R, F: Fn(I) -> R>(data: *const (), idx: usize) {
+    let d = &*(data.cast::<JobData<I, R, F>>());
+    let piece = (*d.pieces[idx].get()).take().expect("task claimed twice");
+    let t0 = Instant::now();
+    match catch_unwind(AssertUnwindSafe(|| (d.op)(piece))) {
+        Ok(r) => *d.results[idx].get() = Some(r),
+        Err(p) => {
+            let mut slot = d.panic.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_none() {
+                *slot = Some(p);
+            }
+        }
+    }
+    BUSY_NS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    TASKS.fetch_add(1, Ordering::Relaxed);
+}
+
+struct Pool {
+    queue: Mutex<VecDeque<Arc<JobCore>>>,
+    work: Condvar,
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+/// Pool-default concurrency: `TQSIM_AMP_THREADS` override, else
+/// `available_parallelism`, else 1. Read once per process.
+fn default_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("TQSIM_AMP_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        work: Condvar::new(),
+        spawned: Mutex::new(0),
+    })
+}
+
+/// Effective concurrency for a drive started on this thread: the installed
+/// cap if one is active, else the pool default.
+fn effective_threads() -> usize {
+    let cap = INSTALL_CAP.with(|c| c.get());
+    if cap == usize::MAX {
+        default_threads()
+    } else {
+        cap.max(1)
     }
 }
 
-impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+fn finish_task(core: &JobCore) {
+    if core.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Take the lock before notifying so the caller cannot miss the
+        // wakeup between its `pending` check and its `wait`.
+        let _g = core.lock.lock().unwrap_or_else(|e| e.into_inner());
+        core.cvar.notify_all();
+    }
+}
 
-/// `par_iter()` on any `&C: IntoIterator` collection (sequential here).
+impl Pool {
+    /// Grow the worker set to at least `want` threads (monotonic; parked
+    /// workers are cheap, so an `install` asking for more than the hardware
+    /// has — e.g. determinism tests on a 1-core host — genuinely runs
+    /// cross-thread).
+    fn ensure_workers(&'static self, want: usize) {
+        let mut n = self.spawned.lock().unwrap_or_else(|e| e.into_inner());
+        while *n < want {
+            *n += 1;
+            let id = *n;
+            std::thread::Builder::new()
+                .name(format!("tqsim-amp-{id}"))
+                .spawn(move || self.worker_loop())
+                .expect("spawn amplitude pool worker");
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    q.retain(|j| j.next.load(Ordering::Acquire) < j.total);
+                    if let Some(j) = q
+                        .iter()
+                        .find(|j| j.helpers.load(Ordering::Acquire) < j.max_helpers)
+                    {
+                        j.helpers.fetch_add(1, Ordering::AcqRel);
+                        break j.clone();
+                    }
+                    q = self.work.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            loop {
+                let idx = job.next.fetch_add(1, Ordering::AcqRel);
+                if idx >= job.total {
+                    break;
+                }
+                // SAFETY: idx < total was claimed exactly once; the caller
+                // keeps the job data alive until pending drains to zero.
+                unsafe { (job.run)(job.data, idx) };
+                finish_task(&job);
+            }
+        }
+    }
+
+    /// Publish a job, help drain it from the calling thread, then block
+    /// until every task has finished (keeping the caller's stack data
+    /// valid for the workers).
+    fn run_job(&'static self, core: &Arc<JobCore>) {
+        self.ensure_workers(core.max_helpers.saturating_sub(1));
+        {
+            let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(core.clone());
+        }
+        self.work.notify_all();
+        loop {
+            let idx = core.next.fetch_add(1, Ordering::AcqRel);
+            if idx >= core.total {
+                break;
+            }
+            // SAFETY: as in `worker_loop` — unique claim, live data.
+            unsafe { (core.run)(core.data, idx) };
+            finish_task(core);
+        }
+        let mut g = core.lock.lock().unwrap_or_else(|e| e.into_inner());
+        while core.pending.load(Ordering::Acquire) > 0 {
+            g = core.cvar.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Split `iter` at fixed weight boundaries, run the pieces across the pool
+/// (or inline when the effective concurrency is 1), and return per-task
+/// results **in task order**. Panics from task closures resume here.
+fn drive<I, R, F>(iter: I, op: F) -> Vec<R>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let w = iter.weight();
+    let n = w.clamp(1, MAX_TASKS);
+    let mut pieces: Vec<UnsafeCell<Option<I>>> = Vec::with_capacity(n);
+    let mut rest = iter;
+    let mut start = 0usize;
+    for k in 1..n {
+        // Boundary k is a function of (w, n) alone — thread-count invariant.
+        let end = k * w / n;
+        let (left, right) = rest.split_at(end - start);
+        pieces.push(UnsafeCell::new(Some(left)));
+        rest = right;
+        start = end;
+    }
+    pieces.push(UnsafeCell::new(Some(rest)));
+    let results: Vec<UnsafeCell<Option<R>>> = (0..n).map(|_| UnsafeCell::new(None)).collect();
+    let data = JobData {
+        pieces,
+        results,
+        op,
+        panic: Mutex::new(None),
+    };
+    let run = run_task::<I, R, F>;
+    let ptr = (&data as *const JobData<I, R, F>).cast::<()>();
+    let threads = effective_threads().min(n);
+    if threads <= 1 {
+        for idx in 0..n {
+            // SAFETY: sequential claim of each index exactly once.
+            unsafe { run(ptr, idx) };
+        }
+    } else {
+        let core = Arc::new(JobCore {
+            run,
+            data: ptr,
+            next: AtomicUsize::new(0),
+            total: n,
+            pending: AtomicUsize::new(n),
+            helpers: AtomicUsize::new(1),
+            max_helpers: threads,
+            lock: Mutex::new(()),
+            cvar: Condvar::new(),
+        });
+        pool().run_job(&core);
+    }
+    let JobData { results, panic, .. } = data;
+    if let Some(p) = panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        resume_unwind(p);
+    }
+    results
+        .into_iter()
+        .map(|c| c.into_inner().expect("missing task result"))
+        .collect()
+}
+
+/// Snapshot of the amplitude pool's counters for observability.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Pool-default concurrency (workers + the participating caller).
+    pub threads: usize,
+    /// Total parallel tasks executed since process start.
+    pub tasks: u64,
+    /// Total nanoseconds spent inside task closures (summed across threads).
+    pub busy_ns: u64,
+}
+
+/// Current amplitude-pool counters (threads, tasks executed, busy time).
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        threads: default_threads(),
+        tasks: TASKS.load(Ordering::Relaxed),
+        busy_ns: BUSY_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// The number of amplitude threads a drive started on this thread would
+/// use: the [`ThreadPool::install`] cap if one is active, else the pool
+/// default (`TQSIM_AMP_THREADS` / `available_parallelism`).
+pub fn current_num_threads() -> usize {
+    effective_threads()
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterator trait + adapters.
+// ---------------------------------------------------------------------------
+
+/// A splittable parallel iterator driven by the shared amplitude pool.
+///
+/// Implementors describe how to split themselves at fixed boundaries
+/// (`weight`/`split_at`) and how to run one piece sequentially
+/// (`into_seq`); the provided combinators do the rest. Reductions (`sum`,
+/// `collect`) combine per-task partials in task order, so results are
+/// bit-identical at any thread count.
+pub trait ParallelIterator: Sized + Send {
+    /// Element type produced.
+    type Item: Send;
+    /// Sequential iterator that drives one split-off piece.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Splittable length in split units (items, or chunks for chunked
+    /// iterators). Task boundaries are computed from this alone.
+    fn weight(&self) -> usize;
+
+    /// Split into `[0, index)` and `[index, weight)` pieces.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Convert one piece into its sequential driver.
+    fn into_seq(self) -> Self::Seq;
+
+    /// Run `f` on every item across the pool.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        drive(self, |piece| {
+            for x in piece.into_seq() {
+                f(x)
+            }
+        });
+    }
+
+    /// Transform every item with `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send + Clone,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keep only items for which `p` returns true.
+    fn filter<P>(self, p: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Sync + Send + Clone,
+    {
+        Filter { base: self, p }
+    }
+
+    /// Pair with another parallel iterator (stops at the shorter).
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        B: ParallelIterator,
+    {
+        Zip { a: self, b: other }
+    }
+
+    /// Attach the item index (in split units) to every item.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Sum items via fixed-boundary per-task partials combined in order —
+    /// bit-identical at any thread count.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        drive(self, |piece| piece.into_seq().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Collect items in order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        drive(self, |piece| piece.into_seq().collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// Borrowing parallel iterator over a slice (see [`IntoParallelRefIterator`]).
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn weight(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (ParIter { slice: l }, ParIter { slice: r })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+/// Mutably borrowing parallel iterator over a slice (see
+/// [`IntoParallelRefMutIterator`]).
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn weight(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (ParIterMut { slice: l }, ParIterMut { slice: r })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+/// Parallel `chunks_mut` over a slice (see [`ParallelSliceMut`]). Splits at
+/// chunk boundaries, so chunk shapes match `std`'s `chunks_mut` exactly.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+
+    fn weight(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let at = (index * self.chunk).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(at);
+        (
+            ParChunksMut {
+                slice: l,
+                chunk: self.chunk,
+            },
+            ParChunksMut {
+                slice: r,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.chunk)
+    }
+}
+
+/// Parallel iterator over an integer range (see [`IntoParallelIterator`]).
+pub struct ParRange<T> {
+    range: std::ops::Range<T>,
+}
+
+macro_rules! par_range_impl {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for ParRange<$t> {
+            type Item = $t;
+            type Seq = std::ops::Range<$t>;
+
+            fn weight(&self) -> usize {
+                self.range.end.saturating_sub(self.range.start) as usize
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.range.start + index as $t;
+                (
+                    ParRange { range: self.range.start..mid },
+                    ParRange { range: mid..self.range.end },
+                )
+            }
+
+            fn into_seq(self) -> Self::Seq {
+                self.range
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = ParRange<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParRange<$t> {
+                ParRange { range: self }
+            }
+        }
+    )*};
+}
+
+par_range_impl!(u32, u64, usize);
+
+/// Mapping adapter produced by [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send + Clone,
+{
+    type Item = R;
+    type Seq = std::iter::Map<I::Seq, F>;
+
+    fn weight(&self) -> usize {
+        self.base.weight()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Map {
+                base: l,
+                f: self.f.clone(),
+            },
+            Map { base: r, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().map(self.f)
+    }
+}
+
+/// Filtering adapter produced by [`ParallelIterator::filter`]. Its weight is
+/// the base iterator's weight (split boundaries ignore the predicate).
+pub struct Filter<I, P> {
+    base: I,
+    p: P,
+}
+
+impl<I, P> ParallelIterator for Filter<I, P>
+where
+    I: ParallelIterator,
+    P: Fn(&I::Item) -> bool + Sync + Send + Clone,
+{
+    type Item = I::Item;
+    type Seq = std::iter::Filter<I::Seq, P>;
+
+    fn weight(&self) -> usize {
+        self.base.weight()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Filter {
+                base: l,
+                p: self.p.clone(),
+            },
+            Filter { base: r, p: self.p },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().filter(self.p)
+    }
+}
+
+/// Pairing adapter produced by [`ParallelIterator::zip`]. Both sides split
+/// at the same boundary, so pairs line up exactly as in `std`'s `zip`.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn weight(&self) -> usize {
+        self.a.weight().min(self.b.weight())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// Indexing adapter produced by [`ParallelIterator::enumerate`]. Requires an
+/// indexed base (every concrete iterator here is), so split pieces carry the
+/// correct base offset.
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type Seq = std::iter::Zip<std::ops::RangeFrom<usize>, I::Seq>;
+
+    fn weight(&self) -> usize {
+        self.base.weight()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Enumerate {
+                base: l,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: r,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        (self.offset..).zip(self.base.into_seq())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits.
+// ---------------------------------------------------------------------------
+
+/// `into_par_iter()` on owned iterables (integer ranges here).
+pub trait IntoParallelIterator {
+    /// Parallel iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type.
+    type Item: Send;
+
+    /// Consume `self` into a pool-driven parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` on borrowed slices (and anything derefing to one).
 pub trait IntoParallelRefIterator<'d> {
-    /// Iterator type produced.
-    type Iter: Iterator;
+    /// Parallel iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type.
+    type Item: Send + 'd;
 
-    /// Borrowing "parallel" (here: sequential) iterator.
+    /// Borrowing pool-driven parallel iterator.
     fn par_iter(&'d self) -> Self::Iter;
 }
 
-impl<'d, C: 'd + ?Sized> IntoParallelRefIterator<'d> for C
-where
-    &'d C: IntoIterator,
-{
-    type Iter = <&'d C as IntoIterator>::IntoIter;
+impl<'d, T: Sync + 'd> IntoParallelRefIterator<'d> for [T] {
+    type Iter = ParIter<'d, T>;
+    type Item = &'d T;
 
-    fn par_iter(&'d self) -> Self::Iter {
-        self.into_iter()
+    fn par_iter(&'d self) -> ParIter<'d, T> {
+        ParIter { slice: self }
     }
 }
 
-/// `par_iter_mut()` on any `&mut C: IntoIterator` collection (sequential
-/// here).
+/// `par_iter_mut()` on mutably borrowed slices.
 pub trait IntoParallelRefMutIterator<'d> {
-    /// Iterator type produced.
-    type Iter: Iterator;
+    /// Parallel iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type.
+    type Item: Send + 'd;
 
-    /// Mutably borrowing "parallel" (here: sequential) iterator.
+    /// Mutably borrowing pool-driven parallel iterator.
     fn par_iter_mut(&'d mut self) -> Self::Iter;
 }
 
-impl<'d, C: 'd + ?Sized> IntoParallelRefMutIterator<'d> for C
-where
-    &'d mut C: IntoIterator,
-{
-    type Iter = <&'d mut C as IntoIterator>::IntoIter;
+impl<'d, T: Send + 'd> IntoParallelRefMutIterator<'d> for [T] {
+    type Iter = ParIterMut<'d, T>;
+    type Item = &'d mut T;
 
-    fn par_iter_mut(&'d mut self) -> Self::Iter {
-        self.into_iter()
+    fn par_iter_mut(&'d mut self) -> ParIterMut<'d, T> {
+        ParIterMut { slice: self }
     }
 }
 
-/// Chunking entry points on mutable slices (sequential here).
-pub trait ParallelSliceMut<T> {
-    /// `chunks_mut` under the parallel name.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+/// Chunking entry points on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// `chunks_mut` under the parallel name, driven by the pool.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-        self.chunks_mut(chunk_size)
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            slice: self,
+            chunk: chunk_size,
+        }
     }
 }
 
-/// Builder-compatible stand-in for rayon's pool ([`ThreadPool`] runs
-/// closures inline).
+// ---------------------------------------------------------------------------
+// ThreadPool facade: a per-thread concurrency cap over the shared pool.
+// ---------------------------------------------------------------------------
+
+/// Builder-compatible stand-in for rayon's pool builder. The built
+/// [`ThreadPool`] is a *cap* over the shared amplitude pool rather than a
+/// separate set of threads.
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
@@ -120,37 +792,55 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Record the requested thread count (advisory in this shim).
+    /// Request a thread count; 0 (the default) means the pool default.
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
-    /// Build the (inline) pool. Never fails.
+    /// Build the pool handle. Never fails.
     ///
     /// # Errors
     ///
     /// Present for API compatibility; this shim always returns `Ok`.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool {
-            num_threads: self.num_threads.max(1),
-        })
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
     }
 }
 
-/// Inline stand-in for a rayon thread pool.
+/// Handle scoping a thread-count budget onto the shared amplitude pool.
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
 }
 
 impl ThreadPool {
-    /// Run `f` "inside" the pool (inline in this shim).
+    /// Run `f` with this pool's thread budget installed on the calling
+    /// thread: every parallel drive `f` starts uses at most
+    /// `current_num_threads` amplitude threads. The previous budget is
+    /// restored on exit (including unwinds), so installs nest.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Guard(usize);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                INSTALL_CAP.with(|c| c.set(self.0));
+            }
+        }
+        let prev = INSTALL_CAP.with(|c| {
+            let p = c.get();
+            c.set(self.num_threads);
+            p
+        });
+        let _g = Guard(prev);
         f()
     }
 
-    /// The configured thread count.
+    /// The configured thread budget.
     pub fn current_num_threads(&self) -> usize {
         self.num_threads
     }
@@ -159,10 +849,11 @@ impl ThreadPool {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn adapters_behave_like_std_iterators() {
-        let v = vec![1u64, 2, 3, 4];
+        let v = [1u64, 2, 3, 4];
         assert_eq!(v.par_iter().sum::<u64>(), 10);
         assert_eq!((0..5u64).into_par_iter().map(|x| x * x).sum::<u64>(), 30);
 
@@ -178,12 +869,90 @@ mod tests {
     }
 
     #[test]
-    fn pool_installs_inline() {
+    fn pool_installs_a_cap() {
         let pool = super::ThreadPoolBuilder::new()
             .num_threads(4)
             .build()
             .unwrap();
         assert_eq!(pool.install(|| 21 * 2), 42);
         assert_eq!(pool.current_num_threads(), 4);
+        assert_eq!(pool.install(super::current_num_threads), 4);
+    }
+
+    /// Large parallel mutation touches every element exactly once at any
+    /// thread budget.
+    #[test]
+    fn par_for_each_mut_covers_every_element() {
+        for threads in [1usize, 2, 4] {
+            let pool = super::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut v: Vec<u64> = (0..100_000).collect();
+            pool.install(|| v.par_iter_mut().for_each(|x| *x = x.wrapping_mul(3) + 1));
+            assert!(v
+                .iter()
+                .enumerate()
+                .all(|(i, &x)| x == (i as u64).wrapping_mul(3) + 1));
+        }
+    }
+
+    /// Reductions are bit-identical across thread budgets (fixed task
+    /// boundaries, ordered combine).
+    #[test]
+    fn sum_is_bit_identical_across_thread_counts() {
+        let v: Vec<f64> = (0..65_536).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let baseline = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| v.par_iter().map(|x| x * x).sum::<f64>());
+        for threads in [2usize, 4, 8] {
+            let s = super::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| v.par_iter().map(|x| x * x).sum::<f64>());
+            assert_eq!(s.to_bits(), baseline.to_bits());
+        }
+    }
+
+    /// Collect preserves order at any thread budget.
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<u32> = (0..10_000).collect();
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let out: Vec<u32> = pool.install(|| v.par_iter().map(|x| x * 2).collect());
+        assert_eq!(out.len(), v.len());
+        assert!(out.iter().enumerate().all(|(i, &x)| x == 2 * i as u32));
+    }
+
+    /// A panicking task resumes on the caller and leaves the pool healthy
+    /// for subsequent drives.
+    #[test]
+    fn panic_is_contained_and_pool_survives() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let v: Vec<u64> = (0..10_000).collect();
+        let hits = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                v.par_iter().for_each(|&x| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    if x == 5_000 {
+                        panic!("boom");
+                    }
+                })
+            })
+        }));
+        assert!(r.is_err());
+        // The pool still drives work after the contained panic.
+        let s: u64 = pool.install(|| v.par_iter().sum());
+        assert_eq!(s, 10_000 * 9_999 / 2);
     }
 }

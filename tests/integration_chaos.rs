@@ -45,7 +45,9 @@ fn quiet_injected_panics() {
             let injected = info
                 .payload()
                 .downcast_ref::<String>()
-                .is_some_and(|msg| msg.contains("injected fault at failpoint"));
+                .is_some_and(|msg| msg.contains("injected fault at failpoint"))
+                // Amplitude-pool workers panic with the FaultError itself.
+                || info.payload().is::<tqsim_faults::FaultError>();
             if !injected {
                 previous(info);
             }
@@ -276,6 +278,69 @@ fn injected_panic_fails_one_job_while_concurrent_tcp_clients_complete() {
         .expect("service healthy after contained panic");
     assert_eq!(after.counts, reference_counts(&circuit, 99));
     server.stop();
+    service.shutdown();
+}
+
+/// A panic injected inside an **amplitude-pool worker** (the `par.worker`
+/// failpoint in the statevec kernels, underneath the engine's node tasks)
+/// aborts only the job whose sweep it hit: the shared amplitude pool and
+/// the engine worker pool both stay healthy, and a post-fault job on the
+/// same service returns bit-identical counts.
+#[test]
+fn amplitude_worker_panic_aborts_job_and_leaves_pool_healthy() {
+    let _gate = chaos_gate();
+    let _reset = ResetOnDrop;
+    // Push the kernels onto the amplitude pool even at 5-qubit state
+    // sizes, so the failpoint actually runs inside pool tasks; restore
+    // the production threshold on exit.
+    struct ParMinLenGuard;
+    impl Drop for ParMinLenGuard {
+        fn drop(&mut self) {
+            tqsim_statevec::kernels::set_par_min_len(tqsim_statevec::kernels::DEFAULT_PAR_MIN_LEN);
+        }
+    }
+    let _min_len = ParMinLenGuard;
+    tqsim_statevec::kernels::set_par_min_len(1);
+
+    let circuit = Arc::new(generators::qft(5));
+    let reference = reference_counts(&circuit, 7);
+    let service = Service::start(
+        ServiceConfig::default()
+            .parallelism(2)
+            .max_concurrent_jobs(1)
+            .observability(true),
+    );
+    tqsim_faults::configure("par.worker", FaultConfig::panic().nth(1));
+    let err = service
+        .submit("victim", request(&circuit, 7))
+        .unwrap()
+        .wait()
+        .expect_err("amplitude-pool panic aborts the job");
+    assert_eq!(err.code(), "job_aborted");
+    assert_eq!(
+        tqsim_faults::fired("par.worker"),
+        1,
+        "the amp-pool failpoint fired exactly once"
+    );
+
+    // The amplitude pool survived the contained panic: the same service
+    // keeps doing parallel sweeps and the retried seed is bit-identical.
+    tqsim_faults::reset_all();
+    let tasks_before = rayon::pool_stats().tasks;
+    let after = service
+        .submit("after", request(&circuit, 7))
+        .unwrap()
+        .wait()
+        .expect("pool healthy after contained amp-worker panic");
+    assert_eq!(after.counts, reference, "post-fault counts bit-identical");
+    assert!(
+        rayon::pool_stats().tasks > tasks_before,
+        "the post-fault job really ran on the amplitude pool"
+    );
+    let stats = service.stats();
+    assert_eq!(stats.aborted, 1);
+    assert_eq!(stats.completed, 1);
+    assert_quiescent(&service);
     service.shutdown();
 }
 

@@ -1,0 +1,266 @@
+//! Amplitude-level parallelism is invisible in results: `Counts` and
+//! `amp_passes` must be bit-identical whether the amplitude worker pool
+//! is capped at 1, 2 or 4 threads — at engine parallelism 1 and 4, on
+//! the single-node and the 4-node cluster backend, under ideal and
+//! sycamore noise — because the shim pool splits every amplitude pass
+//! at fixed chunk boundaries derived from the work size alone, never
+//! from the thread count. The tests force the parallel kernel path by
+//! dropping `par_min_len` to 1 so even 6-qubit slices are chunked.
+//!
+//! Also: widening the fusion window to 3-qubit `Mat8` clusters changes
+//! the pass count, never the histogram.
+
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+use tqsim::Strategy as PlanStrategy;
+use tqsim_circuit::{generators, Circuit, Gate, GateKind};
+use tqsim_cluster::{ClusterBackend, InterconnectModel};
+use tqsim_engine::{Engine, EngineConfig, FusionConfig, JobPlan, PlannedJob};
+use tqsim_noise::NoiseModel;
+use tqsim_statevec::kernels::{set_par_min_len, DEFAULT_PAR_MIN_LEN};
+
+/// Serialises the tests in this binary: `par_min_len` is a process-wide
+/// knob, so only one test may hold it at 1 at a time.
+static PAR_KNOB: Mutex<()> = Mutex::new(());
+
+/// RAII: force the parallel kernel path for the duration of a test and
+/// restore the default afterwards (also on panic, via `Drop`).
+struct ForceParallel<'a> {
+    _guard: std::sync::MutexGuard<'a, ()>,
+}
+
+impl ForceParallel<'_> {
+    fn new() -> Self {
+        let guard = PAR_KNOB.lock().unwrap_or_else(|e| e.into_inner());
+        set_par_min_len(1);
+        ForceParallel { _guard: guard }
+    }
+}
+
+impl Drop for ForceParallel<'_> {
+    fn drop(&mut self) {
+        set_par_min_len(DEFAULT_PAR_MIN_LEN);
+    }
+}
+
+/// Random gates over `n` qubits, mixing 1q, rotation and 2q kinds so
+/// compiled plans hold fused `Mat4` windows (and, at window 3, `Mat8`
+/// clusters) alongside diagonal runs.
+fn arb_gate(n: u16) -> impl Strategy<Value = Gate> {
+    let q = 0..n;
+    let angle = -6.3f64..6.3;
+    prop_oneof![
+        (q.clone(), 0usize..6).prop_map(move |(q, k)| {
+            let kind = [
+                GateKind::X,
+                GateKind::H,
+                GateKind::S,
+                GateKind::T,
+                GateKind::Sx,
+                GateKind::Sw,
+            ][k];
+            Gate::new(kind, &[q])
+        }),
+        (q.clone(), angle.clone(), 0usize..4).prop_map(move |(q, t, k)| {
+            let kind = [
+                GateKind::Rx(t),
+                GateKind::Rz(t),
+                GateKind::Phase(t),
+                GateKind::Ry(t),
+            ][k];
+            Gate::new(kind, &[q])
+        }),
+        (q.clone(), q, angle, 0usize..5).prop_filter_map("distinct qubits", move |(a, b, t, k)| {
+            if a == b {
+                return None;
+            }
+            let kind = [
+                GateKind::Cx,
+                GateKind::Cz,
+                GateKind::CPhase(t),
+                GateKind::Swap,
+                GateKind::Rzz(t),
+            ][k];
+            Some(Gate::new(kind, &[a, b]))
+        }),
+    ]
+}
+
+fn arb_circuit(n: u16, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_gate(n), 2..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(*g.kind(), g.qubits());
+        }
+        c
+    })
+}
+
+fn noise_for(idx: usize) -> NoiseModel {
+    if idx == 0 {
+        NoiseModel::ideal()
+    } else {
+        NoiseModel::sycamore()
+    }
+}
+
+/// Run `job` with the amplitude pool capped at `amp_threads` for any
+/// work submitted from this thread and its engine workers.
+fn run_capped<B: tqsim_statevec::PooledBackend>(
+    engine: &Engine<B>,
+    job: &PlannedJob,
+    amp_threads: usize,
+) -> tqsim::RunResult {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(amp_threads)
+        .build()
+        .expect("shim pools are infallible to build")
+        .install(|| engine.run_planned(job))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn counts_and_passes_invariant_under_amp_thread_count(
+        circuit in arb_circuit(6, 16),
+        noise_idx in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let _force = ForceParallel::new();
+        let noise = noise_for(noise_idx);
+        let plan = Arc::new(
+            JobPlan::plan(&circuit, &noise, 6, &PlanStrategy::Custom { arities: vec![3, 2] })
+                .unwrap(),
+        );
+        // The reference: one amplitude thread under a serial single-node
+        // engine — the fully sequential execution.
+        let reference = run_capped(
+            &Engine::new(EngineConfig::default().parallelism(1)),
+            &PlannedJob::new(Arc::clone(&plan)).seed(seed),
+            1,
+        );
+        let model = InterconnectModel::commodity_cluster();
+        for amp_threads in [2usize, 4] {
+            for workers in [1usize, 4] {
+                let single = Engine::new(EngineConfig::default().parallelism(workers));
+                let r = run_capped(
+                    &single,
+                    &PlannedJob::new(Arc::clone(&plan)).seed(seed),
+                    amp_threads,
+                );
+                prop_assert_eq!(
+                    &r.counts, &reference.counts,
+                    "single node, {} amp threads, {} workers", amp_threads, workers
+                );
+                prop_assert_eq!(
+                    r.ops.amp_passes, reference.ops.amp_passes,
+                    "single node, {} amp threads, {} workers", amp_threads, workers
+                );
+
+                let cluster = Engine::with_backend(
+                    EngineConfig::default().parallelism(workers),
+                    ClusterBackend::new(4, model),
+                );
+                let r = run_capped(
+                    &cluster,
+                    &PlannedJob::new(Arc::clone(&plan)).seed(seed),
+                    amp_threads,
+                );
+                prop_assert_eq!(
+                    &r.counts, &reference.counts,
+                    "4-node cluster, {} amp threads, {} workers", amp_threads, workers
+                );
+                prop_assert_eq!(
+                    r.ops.amp_passes, reference.ops.amp_passes,
+                    "4-node cluster, {} amp threads, {} workers", amp_threads, workers
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mat8_clusters_preserve_the_histogram_and_cut_passes_only(
+        circuit in arb_circuit(6, 16),
+        noise_idx in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let _force = ForceParallel::new();
+        let noise = noise_for(noise_idx);
+        let strategy = PlanStrategy::Custom { arities: vec![3, 2] };
+        let narrow = Arc::new(JobPlan::plan(&circuit, &noise, 6, &strategy).unwrap());
+        let wide = Arc::new(
+            JobPlan::plan_with(
+                &circuit,
+                &noise,
+                6,
+                &strategy,
+                FusionConfig { max_fuse_qubits: 3 },
+            )
+            .unwrap(),
+        );
+        let engine = Engine::new(EngineConfig::default().parallelism(2));
+        let base = run_capped(&engine, &PlannedJob::new(Arc::clone(&narrow)).seed(seed), 2);
+        let fused = run_capped(&engine, &PlannedJob::new(Arc::clone(&wide)).seed(seed), 2);
+        // `Mat8` clusters are an execution-plan change, not a semantic
+        // one: identical histograms, never more amplitude passes.
+        prop_assert_eq!(&fused.counts, &base.counts);
+        prop_assert!(
+            fused.ops.amp_passes <= base.ops.amp_passes,
+            "window 3 took {} passes, window 2 took {}",
+            fused.ops.amp_passes,
+            base.ops.amp_passes
+        );
+        // And on the cluster backend the widened plan replays to the
+        // same histogram as single-node.
+        let cluster = Engine::with_backend(
+            EngineConfig::default().parallelism(2),
+            ClusterBackend::new(4, InterconnectModel::commodity_cluster()),
+        );
+        let r = run_capped(&cluster, &PlannedJob::new(Arc::clone(&wide)).seed(seed), 2);
+        prop_assert_eq!(&r.counts, &base.counts);
+    }
+}
+
+/// A deterministic (non-property) anchor: the 6-qubit QFT under sycamore
+/// noise lands the same histogram at every amp-thread cap, and the wide
+/// window strictly reduces passes for this known-fusable structure.
+#[test]
+fn qft_anchor_thread_sweep_and_mat8_gain() {
+    let _force = ForceParallel::new();
+    let circuit = generators::qft(6);
+    let noise = NoiseModel::sycamore();
+    let strategy = PlanStrategy::Custom {
+        arities: vec![3, 2],
+    };
+    let narrow = Arc::new(JobPlan::plan(&circuit, &noise, 8, &strategy).unwrap());
+    let wide = Arc::new(
+        JobPlan::plan_with(
+            &circuit,
+            &noise,
+            8,
+            &strategy,
+            FusionConfig { max_fuse_qubits: 3 },
+        )
+        .unwrap(),
+    );
+    let engine = Engine::new(EngineConfig::default().parallelism(2));
+    let reference = run_capped(&engine, &PlannedJob::new(Arc::clone(&narrow)).seed(11), 1);
+    for amp_threads in [2usize, 4] {
+        let r = run_capped(
+            &engine,
+            &PlannedJob::new(Arc::clone(&narrow)).seed(11),
+            amp_threads,
+        );
+        assert_eq!(r.counts, reference.counts, "{amp_threads} amp threads");
+        assert_eq!(r.ops, reference.ops, "{amp_threads} amp threads");
+    }
+    let fused = run_capped(&engine, &PlannedJob::new(Arc::clone(&wide)).seed(11), 2);
+    assert_eq!(fused.counts, reference.counts);
+    assert!(
+        fused.ops.amp_passes < reference.ops.amp_passes,
+        "QFT gains from Mat8 clusters: {} vs {}",
+        fused.ops.amp_passes,
+        reference.ops.amp_passes
+    );
+}
