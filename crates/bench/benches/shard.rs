@@ -1,0 +1,212 @@
+//! Shard transport bench: exchange-count baseline vs batched on a
+//! boundary-straddling fused workload, on **both** cluster backends — the
+//! in-process simulated node group and real shard worker processes over
+//! loopback TCP.
+//!
+//! The workload is a ladder of cx(global, local) runs sharing one global
+//! qubit, with a per-round conflicting local gate: eager mode pays a
+//! dswap pair per gate, batching pays one pair per run. Writes
+//! `BENCH_shard.json` (override with `TQSIM_BENCH_JSON=<path>`) with one
+//! record per backend × node count: eager/batched exchange and byte
+//! counts, the drop ratio, amplitude-identity checks against the
+//! single-node state vector, and (for the multi-process backend) the
+//! measured wall-clock exchange time the TCP hops actually cost.
+
+use std::sync::Arc;
+use tqsim_bench::{banner, Scale, Table};
+use tqsim_circuit::Circuit;
+use tqsim_cluster::{ClusterCounters, DistributedStateVector, InterconnectModel};
+use tqsim_shard::{ShardCluster, ShardedStateVector};
+use tqsim_statevec::{QuantumState, StateVector};
+
+/// Rounds of same-global-qubit cx ladders with a local conflict between
+/// rounds — the boundary-straddling fused workload of the acceptance
+/// criterion.
+fn boundary_ladder(n: u16, rounds: usize, width: u16) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..rounds {
+        for t in 0..width {
+            c.cx(n - 1, t);
+        }
+        c.h(n - 3);
+    }
+    c
+}
+
+struct Row {
+    backend: &'static str,
+    nodes: usize,
+    gates: u64,
+    eager: ClusterCounters,
+    batched: ClusterCounters,
+    identical: bool,
+}
+
+impl Row {
+    fn ratio(&self) -> f64 {
+        self.eager.exchanges as f64 / self.batched.exchanges as f64
+    }
+}
+
+fn drive<S: QuantumState>(state: &mut S, circuit: &Circuit) {
+    for gate in circuit {
+        state.apply_gate(gate);
+    }
+    state.sync_layout();
+}
+
+fn in_process_row(circuit: &Circuit, n: u16, nodes: usize, reference: &StateVector) -> Row {
+    let model = InterconnectModel::commodity_cluster();
+    let mut eager = DistributedStateVector::zero(n, nodes, model).expect("layout");
+    let mut batched = DistributedStateVector::zero(n, nodes, model).expect("layout");
+    batched.set_exchange_batching(true);
+    drive(&mut eager, circuit);
+    drive(&mut batched, circuit);
+    let identical = eager.gather().amplitudes() == reference.amplitudes()
+        && batched.gather().amplitudes() == reference.amplitudes();
+    Row {
+        backend: "in_process",
+        nodes,
+        gates: circuit.len() as u64,
+        eager: eager.counters,
+        batched: batched.counters,
+        identical,
+    }
+}
+
+fn multi_process_row(circuit: &Circuit, n: u16, workers: usize, reference: &StateVector) -> Row {
+    let model = InterconnectModel::commodity_cluster();
+    let cluster = Arc::new(ShardCluster::spawn(workers).expect("spawn shard workers"));
+    let mut eager = ShardedStateVector::zero(Arc::clone(&cluster), n, model).expect("layout");
+    let mut batched = ShardedStateVector::zero(Arc::clone(&cluster), n, model).expect("layout");
+    batched.set_exchange_batching(true);
+    drive(&mut eager, circuit);
+    drive(&mut batched, circuit);
+    let identical = eager.gather().amplitudes() == reference.amplitudes()
+        && batched.gather().amplitudes() == reference.amplitudes();
+    Row {
+        backend: "multi_process",
+        nodes: workers,
+        gates: circuit.len() as u64,
+        eager: eager.counters,
+        batched: batched.counters,
+        identical,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "shard",
+        "exchange batching on the in-process and multi-process cluster transports",
+        &scale,
+    );
+
+    let n: u16 = if scale.full { 14 } else { 10 };
+    let rounds = if scale.full { 6 } else { 4 };
+    let circuit = boundary_ladder(n, rounds, 4);
+
+    let mut reference = StateVector::zero(n);
+    for gate in &circuit {
+        reference.apply_gate(gate);
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for nodes in [2usize, 4] {
+        rows.push(in_process_row(&circuit, n, nodes, &reference));
+        rows.push(multi_process_row(&circuit, n, nodes, &reference));
+    }
+
+    let mut table = Table::new(&[
+        "backend",
+        "nodes",
+        "gates",
+        "exchanges (eager)",
+        "exchanges (batched)",
+        "drop",
+        "bytes (eager)",
+        "bytes (batched)",
+        "wire ms (batched)",
+        "identical",
+    ]);
+    for r in &rows {
+        table.row(&[
+            r.backend.to_string(),
+            r.nodes.to_string(),
+            r.gates.to_string(),
+            r.eager.exchanges.to_string(),
+            r.batched.exchanges.to_string(),
+            format!("{:.2}×", r.ratio()),
+            r.eager.bytes_exchanged.to_string(),
+            r.batched.bytes_exchanged.to_string(),
+            format!("{:.3}", r.batched.measured_exchange_seconds * 1e3),
+            r.identical.to_string(),
+        ]);
+    }
+    table.print();
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let mut json = String::from("{\n  \"bench\": \"shard\",\n");
+    json.push_str(&format!(
+        "  \"qubits\": {n},\n  \"rounds\": {rounds},\n  \"rows\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"nodes\": {}, \"gates\": {}, \
+             \"exchanges_eager\": {}, \"exchanges_batched\": {}, \
+             \"exchange_drop\": {:.4}, \"bytes_eager\": {}, \"bytes_batched\": {}, \
+             \"measured_exchange_seconds\": {:.6}, \"amplitudes_identical\": {}}}{}\n",
+            r.backend,
+            r.nodes,
+            r.gates,
+            r.eager.exchanges,
+            r.batched.exchanges,
+            r.ratio(),
+            r.eager.bytes_exchanged,
+            r.batched.bytes_exchanged,
+            r.batched.measured_exchange_seconds,
+            r.identical,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::env::var("TQSIM_BENCH_JSON").unwrap_or_else(|_| "BENCH_shard.json".to_string());
+    std::fs::write(&path, &json).expect("write bench artifact");
+    println!("\nwrote {path}");
+
+    for r in &rows {
+        assert!(
+            r.identical,
+            "{} @ {} nodes: amplitudes diverged from the single-node state",
+            r.backend, r.nodes
+        );
+        assert!(
+            r.ratio() >= 1.5,
+            "acceptance: exchange batching must drop exchanges ≥1.5× on the \
+             boundary ladder ({} @ {} nodes: {} / {})",
+            r.backend,
+            r.nodes,
+            r.eager.exchanges,
+            r.batched.exchanges
+        );
+    }
+    let in_proc: Vec<_> = rows.iter().filter(|r| r.backend == "in_process").collect();
+    let multi: Vec<_> = rows
+        .iter()
+        .filter(|r| r.backend == "multi_process")
+        .collect();
+    for (a, b) in in_proc.iter().zip(&multi) {
+        assert_eq!(
+            a.eager, b.eager,
+            "eager exchange schedules must match across transports"
+        );
+        assert_eq!(
+            a.batched, b.batched,
+            "batched exchange schedules must match across transports"
+        );
+    }
+    println!(
+        "acceptance: exchange drop ≥ 1.5× on both transports, amplitudes bit-identical, \
+         schedules equal across transports ✓"
+    );
+}

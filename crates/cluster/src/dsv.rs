@@ -10,9 +10,11 @@
 //! the swap is undone. Every exchange is counted and priced by the
 //! [`InterconnectModel`].
 
+use crate::layout::{DensePlan, LayoutTracker};
 use crate::model::{ClusterCounters, InterconnectModel};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 use tqsim_obs::{Counter, Registry};
 
 /// Below this per-node slice length, node work runs on the calling thread —
@@ -71,6 +73,12 @@ pub struct ClusterObs {
     pub remapped_gates: Arc<Counter>,
     /// Parent→child intermediate-state copies (node-local memcpys).
     pub state_copies: Arc<Counter>,
+    /// **Measured** nanoseconds spent in exchange rounds (wall-clock).
+    pub exchange_measured_ns: Arc<Counter>,
+    /// **Modeled** nanoseconds the interconnect model prices the same
+    /// exchange rounds at — exposed next to the measured total so
+    /// model-vs-measured drift is one division away in the exposition.
+    pub exchange_simulated_ns: Arc<Counter>,
 }
 
 impl ClusterObs {
@@ -84,7 +92,19 @@ impl ClusterObs {
             local_gates: registry.counter("tqsim_cluster_local_gates_total", &[]),
             remapped_gates: registry.counter("tqsim_cluster_remapped_gates_total", &[]),
             state_copies: registry.counter("tqsim_cluster_state_copies_total", &[]),
+            exchange_measured_ns: registry.counter("tqsim_cluster_exchange_measured_ns_total", &[]),
+            exchange_simulated_ns: registry
+                .counter("tqsim_cluster_exchange_simulated_ns_total", &[]),
         })
+    }
+
+    /// Record one exchange round: count, bytes, and measured vs modeled
+    /// time (both in nanoseconds, saturating at u64).
+    pub fn note_exchange(&self, bytes: u64, measured_s: f64, simulated_s: f64) {
+        self.exchanges.inc();
+        self.bytes_exchanged.add(bytes);
+        self.exchange_measured_ns.add((measured_s * 1e9) as u64);
+        self.exchange_simulated_ns.add((simulated_s * 1e9) as u64);
     }
 }
 
@@ -98,6 +118,11 @@ pub struct DistributedStateVector {
     /// Operation counters, including modeled cluster time.
     pub counters: ClusterCounters,
     obs: Option<Arc<ClusterObs>>,
+    /// Exchange batching: defer dswap undos across runs of compatible ops
+    /// (qsim-style global gate scheduling). Off by default — eager mode is
+    /// the counted baseline every existing estimator test is pinned to.
+    batching: bool,
+    layout: LayoutTracker,
 }
 
 impl DistributedStateVector {
@@ -126,6 +151,8 @@ impl DistributedStateVector {
             model,
             counters: ClusterCounters::default(),
             obs: None,
+            batching: false,
+            layout: LayoutTracker::new(n_qubits, local_n),
         })
     }
 
@@ -158,6 +185,27 @@ impl DistributedStateVector {
         self.obs = Some(obs);
     }
 
+    /// Enable/disable exchange batching (deferred dswap undos). The final
+    /// amplitudes and `Counts` are bit-identical either way — only the
+    /// exchange schedule (and therefore the exchange counters) changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if swaps are currently deferred (call
+    /// [`QuantumState::sync_layout`] first).
+    pub fn set_exchange_batching(&mut self, on: bool) {
+        assert!(
+            self.layout.is_canonical(),
+            "cannot toggle batching with deferred swaps active"
+        );
+        self.batching = on;
+    }
+
+    /// Whether exchange batching is enabled.
+    pub fn exchange_batching(&self) -> bool {
+        self.batching
+    }
+
     /// Amplitudes held per node.
     pub fn slice_len(&self) -> usize {
         1usize << self.local_n
@@ -176,6 +224,7 @@ impl DistributedStateVector {
     /// Gather the full state onto "one node" (for verification / sampling
     /// at small scale).
     pub fn gather(&self) -> StateVector {
+        debug_assert!(self.layout.is_canonical(), "gather on deferred layout");
         let mut amps = Vec::with_capacity(1usize << self.n_qubits);
         for slice in &self.slices {
             amps.extend_from_slice(slice);
@@ -194,6 +243,9 @@ impl DistributedStateVector {
     /// Reset to `|0…0⟩` (counted as one compute pass; counters otherwise
     /// retained).
     pub fn reset_zero(&mut self) {
+        // The amplitudes are overwritten wholesale: deferred swaps are
+        // forgotten, not undone.
+        self.layout.reset();
         for slice in &mut self.slices {
             slice.fill(c64(0.0, 0.0));
         }
@@ -216,6 +268,10 @@ impl DistributedStateVector {
         if let Err(fault) = tqsim_faults::trigger("cluster.state_copy") {
             panic!("{fault}");
         }
+        // Sources are always post-replay states in canonical layout; the
+        // destination's own deferred swaps (if any) are overwritten.
+        debug_assert!(src.layout.is_canonical(), "copy from non-canonical state");
+        self.layout.reset();
         for (dst, s) in self.slices.iter_mut().zip(src.slices.iter()) {
             dst.copy_from_slice(s);
         }
@@ -233,6 +289,7 @@ impl DistributedStateVector {
     /// state on every backend (floating-point addition is non-associative;
     /// a per-node pre-summed walk would diverge on edge draws).
     pub fn sample_with(&self, u: f64) -> u64 {
+        debug_assert!(self.layout.is_canonical(), "sampling on deferred layout");
         let mut acc = 0.0f64;
         for (node, slice) in self.slices.iter().enumerate() {
             for (i, a) in slice.iter().enumerate() {
@@ -263,6 +320,7 @@ impl DistributedStateVector {
     /// same addition sequence, so oversampled leaves stay bit-identical
     /// across backends.
     pub fn sample_many(&self, us: &[f64]) -> Vec<u64> {
+        debug_assert!(self.layout.is_canonical(), "sampling on deferred layout");
         let mut order: Vec<usize> = (0..us.len()).collect();
         order.sort_by(|&i, &j| us[i].total_cmp(&us[j]));
         let mut out = vec![0u64; us.len()];
@@ -351,6 +409,7 @@ impl DistributedStateVector {
         if let Err(fault) = tqsim_faults::trigger("cluster.exchange") {
             panic!("{fault}");
         }
+        let start = Instant::now();
         let step = 1usize << gb;
         let sl = 1usize << lq;
         if self.slice_len() < THREAD_MIN_SLICE {
@@ -370,14 +429,16 @@ impl DistributedStateVector {
                 }
             });
         }
+        let measured = start.elapsed().as_secs_f64();
         let half_bytes = (self.slice_len() / 2 * 16) as u64;
+        let simulated = self.model.exchange_time(half_bytes);
+        let total_bytes = half_bytes * self.n_nodes() as u64;
         self.counters.exchanges += 1;
-        self.counters.bytes_exchanged += half_bytes * self.n_nodes() as u64;
-        self.counters.simulated_seconds += self.model.exchange_time(half_bytes);
+        self.counters.bytes_exchanged += total_bytes;
+        self.counters.simulated_seconds += simulated;
+        self.counters.measured_exchange_seconds += measured;
         if let Some(obs) = &self.obs {
-            obs.exchanges.inc();
-            obs.bytes_exchanged
-                .add(half_bytes * self.slices.len() as u64);
+            obs.note_exchange(total_bytes, measured, simulated);
         }
     }
 
@@ -424,13 +485,56 @@ impl DistributedStateVector {
         self.undo_remap(&swaps);
         swaps.len()
     }
+
+    /// Batched-mode dense dispatch: consult the [`LayoutTracker`], execute
+    /// whatever dswaps it mandates, and apply `f` at the physical operand
+    /// positions it returns. The kernels' per-amplitude arithmetic is
+    /// position-independent, so the result is bit-identical to the eager
+    /// remap path — only the exchange schedule differs.
+    fn apply_batched<F>(&mut self, qs: &[u16], f: F)
+    where
+        F: Fn(&mut [C64], &[u16]) + Sync,
+    {
+        let logically_local = qs.iter().all(|&q| q < self.local_n);
+        let phys = match self.layout.decide_dense(qs) {
+            DensePlan::InPlace { phys } => phys,
+            DensePlan::FlushThenLocal { undo } => {
+                for &(gb, dst) in &undo {
+                    self.dswap(gb, dst);
+                }
+                qs.to_vec()
+            }
+            DensePlan::FlushThenRemap { undo, swaps, phys } => {
+                for &(gb, dst) in undo.iter().chain(swaps.iter()) {
+                    self.dswap(gb, dst);
+                }
+                phys
+            }
+        };
+        self.each_node(|slice| f(slice, &phys));
+        if logically_local {
+            self.note_local_gate();
+        } else {
+            self.note_remapped_gate();
+        }
+    }
+
+    /// Undo deferred swaps so the amplitude layout is canonical again.
+    fn flush_layout(&mut self) {
+        if !self.layout.is_canonical() {
+            for (gb, dst) in self.layout.decide_sync() {
+                self.dswap(gb, dst);
+            }
+        }
+    }
 }
 
 /// The single source of truth for the slicing invariant: `n_nodes` must
 /// be a power of two ≥ 1 and at least 3 qubits must stay node-local.
-/// [`DistributedStateVector::zero`], [`ClusterBackend::validate`] and the
-/// runner's pre-checks all delegate here, so the rule cannot drift.
-pub(crate) fn check_layout(n_qubits: u16, n_nodes: usize) -> Result<(), ClusterError> {
+/// [`DistributedStateVector::zero`], [`ClusterBackend::validate`], the
+/// runner's pre-checks and the `tqsim-shard` coordinator all delegate
+/// here, so the rule cannot drift.
+pub fn check_layout(n_qubits: u16, n_nodes: usize) -> Result<(), ClusterError> {
     if n_nodes == 0 || !n_nodes.is_power_of_two() {
         return Err(ClusterError::BadNodeCount(n_nodes));
     }
@@ -457,13 +561,16 @@ pub struct ClusterBackend {
     n_nodes: usize,
     model: InterconnectModel,
     obs: Option<Arc<ClusterObs>>,
+    batching: bool,
 }
 
-/// Backends compare by topology (node count and interconnect model);
-/// whether one is observed does not change what it computes.
+/// Backends compare by topology (node count, interconnect model, batching
+/// mode); whether one is observed does not change what it computes.
 impl PartialEq for ClusterBackend {
     fn eq(&self, other: &Self) -> bool {
-        self.n_nodes == other.n_nodes && self.model == other.model
+        self.n_nodes == other.n_nodes
+            && self.model == other.model
+            && self.batching == other.batching
     }
 }
 
@@ -484,6 +591,7 @@ impl ClusterBackend {
             n_nodes,
             model,
             obs: None,
+            batching: false,
         }
     }
 
@@ -492,6 +600,15 @@ impl ClusterBackend {
     #[must_use]
     pub fn observed(mut self, obs: Arc<ClusterObs>) -> Self {
         self.obs = Some(obs);
+        self
+    }
+
+    /// Enable exchange batching (deferred dswap undos, see
+    /// [`DistributedStateVector::set_exchange_batching`]) on every state
+    /// this backend allocates.
+    #[must_use]
+    pub fn exchange_batching(mut self, on: bool) -> Self {
+        self.batching = on;
         self
     }
 
@@ -537,6 +654,7 @@ impl PooledBackend for ClusterBackend {
         if let Some(obs) = &self.obs {
             state.observe(Arc::clone(obs));
         }
+        state.set_exchange_batching(self.batching);
         state
     }
 
@@ -577,6 +695,13 @@ impl QuantumState for DistributedStateVector {
         for &q in gate.qubits() {
             assert!(q < self.n_qubits, "gate {gate} out of range");
         }
+        if self.batching {
+            let kind = *gate.kind();
+            self.apply_batched(gate.qubits(), move |slice, ps| {
+                kernels::apply_gate_amps(slice, &Gate::new(kind, ps));
+            });
+            return;
+        }
         let local_n = self.local_n;
         if gate.qubits().iter().all(|&q| q < local_n) {
             self.each_node(|slice| kernels::apply_gate_amps(slice, gate));
@@ -589,6 +714,13 @@ impl QuantumState for DistributedStateVector {
 
     fn apply_mat2(&mut self, q: u16, m: &Mat2) {
         assert!(q < self.n_qubits, "qubit out of range");
+        if self.batching {
+            let m = *m;
+            self.apply_batched(&[q], move |slice, ps| {
+                kernels::apply_mat2(slice, ps[0] as usize, &m);
+            });
+            return;
+        }
         if q < self.local_n {
             // Fused kernel runs node-local, one thread per node.
             let ql = q as usize;
@@ -610,6 +742,13 @@ impl QuantumState for DistributedStateVector {
             q_hi < self.n_qubits && q_lo < self.n_qubits,
             "qubit out of range"
         );
+        if self.batching {
+            let m = *m;
+            self.apply_batched(&[q_hi, q_lo], move |slice, ps| {
+                kernels::apply_mat4(slice, ps[0] as usize, ps[1] as usize, &m);
+            });
+            return;
+        }
         if q_hi < self.local_n && q_lo < self.local_n {
             // Both qubits node-local: the fused quad sweep never leaves the
             // node, exactly like the single-node kernel.
@@ -633,6 +772,13 @@ impl QuantumState for DistributedStateVector {
             q2 < self.n_qubits && q1 < self.n_qubits && q0 < self.n_qubits,
             "qubit out of range"
         );
+        if self.batching {
+            let m = *m;
+            self.apply_batched(&[q2, q1, q0], move |slice, ps| {
+                kernels::apply_mat8(slice, ps[0] as usize, ps[1] as usize, ps[2] as usize, &m);
+            });
+            return;
+        }
         if q2 < self.local_n && q1 < self.local_n && q0 < self.local_n {
             // All three qubits node-local: the fused octet sweep never
             // leaves the node, exactly like the single-node kernel.
@@ -654,7 +800,20 @@ impl QuantumState for DistributedStateVector {
     fn apply_diag_run(&mut self, run: &DiagRun) {
         // Diagonals never move amplitudes: each node sweeps its slice with
         // the slice's global base index — no communication even when the
-        // run touches node-selecting (global) qubits.
+        // run touches node-selecting (global) qubits. Under batching the
+        // sweep reads qubit positions against the *canonical* index, so a
+        // run touching any displaced qubit must flush first; runs on
+        // undisturbed qubits apply through deferred swaps for free.
+        if self.batching
+            && !(self
+                .layout
+                .is_identity_on(run.terms1().iter().map(|(q, _)| q))
+                && self
+                    .layout
+                    .is_identity_on(run.terms2().iter().flat_map(|(a, b, _)| [a, b])))
+        {
+            self.flush_layout();
+        }
         let local_n = self.local_n;
         self.each_node_indexed(|node, slice| run.apply_offset(slice, node << local_n));
         self.note_local_gate();
@@ -662,6 +821,7 @@ impl QuantumState for DistributedStateVector {
 
     fn marginal_one(&self, q: u16) -> f64 {
         assert!(q < self.n_qubits, "qubit out of range");
+        debug_assert!(self.layout.is_canonical(), "marginal on deferred layout");
         if q >= self.local_n {
             let mask = 1usize << (q - self.local_n);
             self.slices
@@ -683,6 +843,7 @@ impl QuantumState for DistributedStateVector {
 
     fn apply_diag1(&mut self, q: u16, d0: C64, d1: C64) {
         assert!(q < self.n_qubits, "qubit out of range");
+        self.flush_layout();
         if q >= self.local_n {
             // Node-selecting bit: scale whole slices, no communication.
             let mask = 1usize << (q - self.local_n);
@@ -700,12 +861,14 @@ impl QuantumState for DistributedStateVector {
 
     fn apply_antidiag1(&mut self, q: u16, a01: C64, a10: C64) {
         assert!(q < self.n_qubits, "qubit out of range");
+        self.flush_layout();
         if q >= self.local_n {
             // Same interconnect failpoint as `dswap`: the cross-node
             // combine is an exchange round too.
             if let Err(fault) = tqsim_faults::trigger("cluster.exchange") {
                 panic!("{fault}");
             }
+            let start = Instant::now();
             // Pairwise cross-node combine: a' = a01·b, b' = a10·a.
             let step = 1usize << (q - self.local_n);
             let combine = |a: &mut Vec<C64>, b: &mut Vec<C64>| {
@@ -733,13 +896,16 @@ impl QuantumState for DistributedStateVector {
                     }
                 });
             }
+            let measured = start.elapsed().as_secs_f64();
             let bytes = (self.slice_len() * 16) as u64;
+            let simulated = self.model.exchange_time(bytes);
+            let total_bytes = bytes * self.n_nodes() as u64;
             self.counters.exchanges += 1;
-            self.counters.bytes_exchanged += bytes * self.n_nodes() as u64;
-            self.counters.simulated_seconds += self.model.exchange_time(bytes);
+            self.counters.bytes_exchanged += total_bytes;
+            self.counters.simulated_seconds += simulated;
+            self.counters.measured_exchange_seconds += measured;
             if let Some(obs) = &self.obs {
-                obs.exchanges.inc();
-                obs.bytes_exchanged.add(bytes * self.slices.len() as u64);
+                obs.note_exchange(total_bytes, measured, simulated);
             }
         } else {
             let q = q as usize;
@@ -748,6 +914,7 @@ impl QuantumState for DistributedStateVector {
     }
 
     fn renormalize(&mut self) {
+        self.flush_layout();
         let n = self.norm_sqr();
         assert!(n > 1e-300, "cannot normalise a zero state");
         let s = 1.0 / n.sqrt();
@@ -769,6 +936,10 @@ impl QuantumState for DistributedStateVector {
 
     fn sample_many(&self, us: &[f64]) -> Vec<u64> {
         DistributedStateVector::sample_many(self, us)
+    }
+
+    fn sync_layout(&mut self) {
+        self.flush_layout();
     }
 }
 
@@ -1031,6 +1202,99 @@ mod tests {
         b.copy_from(&a);
         assert_eq!(b.counters.state_copies, 1);
         assert_states_match(&b, &a.gather());
+    }
+
+    /// Exchange batching elides swap-back/swap-down pairs but performs the
+    /// same per-gate arithmetic at the same physical positions, so the
+    /// final amplitudes are **bit**-identical to the eager run — and the
+    /// boundary-straddling ladder pays far fewer exchanges.
+    #[test]
+    fn batched_execution_is_bit_identical_with_fewer_exchanges() {
+        let m = InterconnectModel::commodity_cluster();
+        let mut c = Circuit::new(8);
+        // Three rounds of a ladder sharing global qubit 7, each round ended
+        // by a conflicting access to the scratch position (local qubit 5).
+        for _ in 0..3 {
+            for lq in 0..4u16 {
+                c.cx(7, lq);
+            }
+            c.h(5);
+        }
+        let mut eager = DistributedStateVector::zero(8, 4, m).unwrap();
+        let mut batched = DistributedStateVector::zero(8, 4, m).unwrap();
+        batched.set_exchange_batching(true);
+        for g in &c {
+            eager.apply_gate(g);
+            batched.apply_gate(g);
+        }
+        QuantumState::sync_layout(&mut batched);
+        let (a, b) = (eager.gather(), batched.gather());
+        assert_eq!(a.amplitudes(), b.amplitudes(), "batching changed the math");
+        assert!(
+            batched.counters.exchanges * 2 <= eager.counters.exchanges,
+            "batching saved too little: {} vs {} exchanges",
+            batched.counters.exchanges,
+            eager.counters.exchanges
+        );
+        // Layout is canonical again, so per-gate totals agree.
+        assert_eq!(
+            eager.counters.local_gates + eager.counters.global_gates,
+            batched.counters.local_gates + batched.counters.global_gates
+        );
+    }
+
+    /// Diagonal sweeps on qubits untouched by the deferred permutation
+    /// apply in place; a sweep on a displaced qubit forces the flush.
+    #[test]
+    fn batched_diag_runs_flush_only_on_conflict() {
+        let m = InterconnectModel::commodity_cluster();
+        let mut dsv = DistributedStateVector::zero(8, 4, m).unwrap();
+        dsv.set_exchange_batching(true);
+        dsv.apply_gate(&Gate::new(GateKind::H, &[7]));
+        dsv.apply_gate(&Gate::new(GateKind::Cx, &[7, 0])); // defers q7 ↔ 5
+        let after_remap = dsv.counters.exchanges;
+        let mut run = tqsim_statevec::DiagRun::new();
+        run.push1(1, GateKind::T.diag1().unwrap());
+        QuantumState::apply_diag_run(&mut dsv, &run);
+        assert_eq!(dsv.counters.exchanges, after_remap, "q1 is undisplaced");
+        let mut conflict = tqsim_statevec::DiagRun::new();
+        conflict.push1(7, GateKind::S.diag1().unwrap());
+        QuantumState::apply_diag_run(&mut dsv, &conflict);
+        assert!(dsv.counters.exchanges > after_remap, "q7 is displaced");
+        // The flush restored canonical layout: queries are now safe.
+        assert!((dsv.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    /// The replay path (`CompiledCircuit` + noise) syncs the layout at every
+    /// flush point, so batched and eager replays agree bit for bit even
+    /// with state-dependent noise sampling in between.
+    #[test]
+    fn batched_backend_matches_eager_under_compiled_replay() {
+        use rand::SeedableRng;
+        use tqsim_statevec::OpCounts;
+        let m = InterconnectModel::commodity_cluster();
+        let circuit = generators::qsc(8, 30, 7);
+        let noise = tqsim_noise::fig16_models().pop().unwrap();
+        let compiled = noise.compile(&circuit);
+        let eager_backend = ClusterBackend::new(4, m);
+        let batched_backend = ClusterBackend::new(4, m).exchange_batching(true);
+        let mut eager = eager_backend.allocate(8);
+        let mut batched = batched_backend.allocate(8);
+        assert!(batched.exchange_batching() && !eager.exchange_batching());
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(11);
+        let mut ops_a = OpCounts::new();
+        let mut ops_b = OpCounts::new();
+        compiled.replay(&mut eager, &mut ops_a, |gate, ctx| {
+            noise.apply_after_gate_deferred(gate, ctx, &mut rng_a)
+        });
+        compiled.replay(&mut batched, &mut ops_b, |gate, ctx| {
+            noise.apply_after_gate_deferred(gate, ctx, &mut rng_b)
+        });
+        assert_eq!(ops_a.noise_ops, ops_b.noise_ops);
+        let (a, b) = (eager.gather(), batched.gather());
+        assert_eq!(a.amplitudes(), b.amplitudes());
+        assert!(batched.counters.exchanges <= eager.counters.exchanges);
     }
 
     #[test]

@@ -1,0 +1,551 @@
+//! # tqsim-json
+//!
+//! A minimal JSON value, parser and writer — the shared codec under the
+//! service's line-delimited wire protocol (`tqsim-service`) and the shard
+//! control protocol (`tqsim-shard`).
+//!
+//! The offline workspace has no `serde` (the shims dropped it), so the wire
+//! protocols hand-roll the subset of JSON they need: objects, arrays,
+//! strings with the standard escapes, `f64` numbers, booleans and null.
+//!
+//! Numbers round-trip **exactly** for the two classes the protocols carry:
+//! integers up to 2⁵³ (shot counts, seeds, outcomes — all ≤ 2⁵³ by
+//! protocol contract) and arbitrary `f64` gate angles and amplitudes, which
+//! are written with Rust's shortest-round-trip formatting (`{:?}`) and
+//! re-parsed to the identical bit pattern — a submitted circuit therefore
+//! fingerprints identically on both ends of the wire, and a replayed shard
+//! plan applies bit-identical matrices on every process.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; see the module docs on exactness).
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in insertion order (no deduplication; last key wins on
+    /// lookup of duplicates, matching most parsers).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (last occurrence wins).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact non-negative integer (rejects fractions and
+    /// anything above 2⁵³, where `f64` stops being exact).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 9_007_199_254_740_992.0 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serialize to compact JSON (no whitespace, one line — ready for the
+    /// line-delimited wire format).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_to(&mut out);
+        out
+    }
+
+    fn write_to(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(n) => write_num(*n, out),
+            Value::Str(s) => write_str(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_to(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(k, out);
+                    out.push(':');
+                    v.write_to(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Shorthand: an object from key/value pairs.
+pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Shorthand: a number value from anything convertible to `f64`.
+pub fn num(n: impl Into<f64>) -> Value {
+    Value::Num(n.into())
+}
+
+/// Shorthand: a `u64` as a JSON number.
+///
+/// # Panics
+///
+/// Panics above 2⁵³ (would silently lose precision on the wire).
+pub fn num_u64(n: u64) -> Value {
+    assert!(
+        n <= 9_007_199_254_740_992,
+        "integer {n} exceeds exact f64 range"
+    );
+    Value::Num(n as f64)
+}
+
+/// Shorthand: a string value.
+pub fn str_val(s: impl Into<String>) -> Value {
+    Value::Str(s.into())
+}
+
+fn write_num(n: f64, out: &mut String) {
+    // JSON has no inf/NaN; emitting `{:?}`'s "inf"/"NaN" would produce a
+    // line the peer cannot parse, so fail at the encoder where the bad
+    // value is visible.
+    assert!(n.is_finite(), "cannot encode non-finite number {n} as JSON");
+    if n == 0.0 && n.is_sign_negative() {
+        // `-0.0 as i64` is 0, which would break the bit-exact round-trip
+        // (fingerprints distinguish signed zeros).
+        out.push_str("-0.0");
+    } else if n.fract() == 0.0 && n.abs() <= 9_007_199_254_740_992.0 {
+        // Integral values print without an exponent or trailing ".0" so
+        // they read naturally as JSON integers.
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        // Shortest representation that round-trips to the same f64.
+        let _ = write!(out, "{n:?}");
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON parse error with a byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else).
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(value)
+}
+
+/// Nesting-depth cap: the protocol needs ~4 levels; anything deeper is
+/// hostile or broken input, and unbounded recursion would let one wire
+/// request overflow the connection thread's stack (an abort, not a
+/// catchable panic).
+const MAX_DEPTH: u32 = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: u32,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.nested(Parser::parse_obj),
+            Some(b'[') => self.nested(Parser::parse_arr),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Value::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Value::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_num(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn nested(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<Value, ParseError>,
+    ) -> Result<Value, ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.depth += 1;
+        let value = f(self);
+        self.depth -= 1;
+        value
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse_num(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let lexeme = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        match lexeme.parse::<f64>() {
+            // Overflow parses as ±inf; reject so non-finite values can
+            // never enter through the wire (the encoder asserts the same
+            // invariant on the way out).
+            Ok(n) if n.is_finite() => Ok(Value::Num(n)),
+            Ok(_) => Err(self.err("number out of f64 range")),
+            Err(_) => Err(self.err("malformed number")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 5 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogates are rejected rather than paired;
+                            // the protocol never emits them.
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through unchanged:
+                    // take the full char from the source.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_arr(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_obj(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_structures() {
+        let v = obj(vec![
+            ("op", str_val("submit")),
+            ("shots", num_u64(1000)),
+            ("angles", Value::Arr(vec![num(0.1), num(-2.5e-3), num(3.0)])),
+            (
+                "nested",
+                obj(vec![("ok", Value::Bool(true)), ("n", Value::Null)]),
+            ),
+        ]);
+        let text = v.to_json();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn f64_round_trip_is_bit_exact() {
+        for x in [
+            0.1,
+            1.0 / 3.0,
+            std::f64::consts::PI,
+            -2.5e-17,
+            1e300,
+            -0.0,
+            0.0,
+        ] {
+            let text = Value::Num(x).to_json();
+            let back = parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected_at_encode() {
+        for bad in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            assert!(
+                std::panic::catch_unwind(|| Value::Num(bad).to_json()).is_err(),
+                "{bad} must not silently produce invalid JSON"
+            );
+        }
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(num_u64(42).to_json(), "42");
+        assert_eq!(num_u64(0).to_json(), "0");
+        assert_eq!(Value::Num(-7.0).to_json(), "-7");
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("4.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "line\nbreak \"quoted\" back\\slash\ttab";
+        let text = str_val(s).to_json();
+        assert_eq!(parse(&text).unwrap().as_str(), Some(s));
+        assert_eq!(parse(r#""Aé""#).unwrap().as_str(), Some("Aé"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"open",
+            "{\"a\" 1}",
+            "tru",
+            "1 2",
+            "{'a':1}",
+            "1e999",
+            "-1e999",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        let hostile = "[".repeat(100_000);
+        assert!(parse(&hostile).is_err());
+        let deep_ok = format!("{}0{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&deep_ok).is_ok());
+        let too_deep = format!("{}0{}", "[".repeat(200), "]".repeat(200));
+        assert!(matches!(
+            parse(&too_deep),
+            Err(ParseError { message, .. }) if message.contains("nesting")
+        ));
+    }
+
+    #[test]
+    fn object_lookup_last_wins() {
+        let v = parse(r#"{"a": 1, "a": 2}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("missing"), None);
+    }
+}

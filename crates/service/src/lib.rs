@@ -94,7 +94,8 @@ pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use job::{ChunkPoll, JobError, JobId, JobStatus, Ticket};
 pub use queue::SubmitError;
 pub use service::{
-    run_one, BackendPolicy, JobRequest, RetryPolicy, Service, ServiceConfig, ServiceStats,
+    run_one, BackendPolicy, ClusterTransport, JobRequest, RetryPolicy, Service, ServiceConfig,
+    ServiceStats,
 };
 pub use wire::{serve, ServerHandle};
 

@@ -15,6 +15,22 @@ use tqsim_circuit::Circuit;
 use tqsim_cluster::{ClusterBackend, InterconnectModel};
 use tqsim_engine::{ChunkSink, Engine, EngineConfig, PlannedJob};
 use tqsim_noise::NoiseModel;
+use tqsim_shard::ShardBackend;
+
+/// How cluster-placed jobs actually execute: on the in-process simulated
+/// node group (threads), or on real shard worker **processes** over
+/// loopback TCP (`tqsim-shard`). Both transports replay the identical
+/// plan through the identical executor and produce bit-identical
+/// `Counts`; the choice trades fidelity of the failure domain (real
+/// processes can die) against spawn cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ClusterTransport {
+    /// One thread per simulated node, in this process (the default).
+    #[default]
+    InProcess,
+    /// One OS process per node, driven over loopback TCP.
+    MultiProcess,
+}
 
 /// Where the placement policy routes jobs: the single-node engine or the
 /// cluster-backed engine (distributed state vectors over a simulated node
@@ -34,6 +50,9 @@ pub struct BackendPolicy {
     /// parallelism; each distributed state additionally fans its node
     /// slices out internally).
     pub cluster_parallelism: usize,
+    /// Whether cluster jobs run on in-process simulated nodes or real
+    /// shard worker processes (see [`ClusterTransport`]).
+    pub cluster_transport: ClusterTransport,
     /// Widest job the single-node engine accepts, in qubits (`None`, the
     /// default, accepts any width). This is what "the width fits" means
     /// for **cluster degradation**: when a cluster-placed job keeps
@@ -50,6 +69,7 @@ impl Default for BackendPolicy {
             cluster_min_qubits: None,
             cluster_nodes: 4,
             cluster_parallelism: 2,
+            cluster_transport: ClusterTransport::default(),
             single_node_max_qubits: None,
         }
     }
@@ -70,6 +90,13 @@ impl BackendPolicy {
     /// [`BackendPolicy::single_node_max_qubits`]).
     pub fn single_node_up_to(mut self, max_qubits: u16) -> Self {
         self.single_node_max_qubits = Some(max_qubits);
+        self
+    }
+
+    /// Run cluster jobs on real shard worker processes over loopback TCP
+    /// instead of in-process simulated nodes (see [`ClusterTransport`]).
+    pub fn multi_process(mut self) -> Self {
+        self.cluster_transport = ClusterTransport::MultiProcess;
         self
     }
 }
@@ -578,14 +605,61 @@ fn fire_timer(shared: &Arc<Shared>, task: TimerTask) {
     }
 }
 
+/// The cluster-backed engine behind whichever transport the backend
+/// policy selected. Both variants run the identical backend-generic
+/// executor over the identical plans, so everything above this enum
+/// (placement, retries, degradation, metrics) is transport-agnostic.
+enum ClusterEngine {
+    /// Simulated nodes: one thread per node in this process.
+    InProcess(Engine<ClusterBackend>),
+    /// Real shard worker processes over loopback TCP (`tqsim-shard`).
+    MultiProcess(Engine<ShardBackend>),
+}
+
+impl ClusterEngine {
+    /// Whether the node group can slice `n_qubits`-wide states (placement
+    /// feasibility, read off the engine's own backend so there is no
+    /// second copy to drift).
+    fn supports(&self, n_qubits: u16) -> bool {
+        match self {
+            ClusterEngine::InProcess(e) => e.worker_pool().backend().supports(n_qubits),
+            ClusterEngine::MultiProcess(e) => e.worker_pool().backend().supports(n_qubits),
+        }
+    }
+
+    fn start(
+        &self,
+        job: &PlannedJob,
+        sink: Option<ChunkSink>,
+        on_done: impl FnOnce(tqsim::RunResult) + Send + 'static,
+    ) {
+        match self {
+            ClusterEngine::InProcess(e) => e.start(job, sink, on_done),
+            ClusterEngine::MultiProcess(e) => e.start(job, sink, on_done),
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        match self {
+            ClusterEngine::InProcess(e) => e.take_panic(),
+            ClusterEngine::MultiProcess(e) => e.take_panic(),
+        }
+    }
+
+    fn pool_stats(&self) -> tqsim_engine::PoolStats {
+        match self {
+            ClusterEngine::InProcess(e) => e.pool_stats(),
+            ClusterEngine::MultiProcess(e) => e.pool_stats(),
+        }
+    }
+}
+
 pub(crate) struct Shared {
     engine: Engine,
     /// The cluster-backed engine, spun up only when the placement policy
     /// can route anything to it. Shares nothing with the single-node pool
     /// except the plan cache: the same `JobPlan` replays on either.
-    /// Placement feasibility is read off the engine's own backend
-    /// (`worker_pool().backend()`), so there is no second copy to drift.
-    cluster: Option<Engine<ClusterBackend>>,
+    cluster: Option<ClusterEngine>,
     cache: PlanCache,
     cfg: ServiceConfig,
     counters: Arc<ServiceCounters>,
@@ -707,17 +781,34 @@ impl Service {
             engine_cfg = engine_cfg.observe(Arc::clone(&m.registry), "single_node");
         }
         let cluster = cfg.backend_policy.cluster_min_qubits.map(|_| {
-            let mut backend = ClusterBackend::new(
-                cfg.backend_policy.cluster_nodes,
-                InterconnectModel::commodity_cluster(),
-            );
             let mut cluster_cfg =
                 EngineConfig::default().parallelism(cfg.backend_policy.cluster_parallelism);
             if let Some(m) = &metrics {
-                backend = backend.observed(Arc::clone(&m.cluster));
                 cluster_cfg = cluster_cfg.observe(Arc::clone(&m.registry), "cluster");
             }
-            Engine::with_backend(cluster_cfg, backend)
+            match cfg.backend_policy.cluster_transport {
+                ClusterTransport::InProcess => {
+                    let mut backend = ClusterBackend::new(
+                        cfg.backend_policy.cluster_nodes,
+                        InterconnectModel::commodity_cluster(),
+                    );
+                    if let Some(m) = &metrics {
+                        backend = backend.observed(Arc::clone(&m.cluster));
+                    }
+                    ClusterEngine::InProcess(Engine::with_backend(cluster_cfg, backend))
+                }
+                ClusterTransport::MultiProcess => {
+                    // Worker processes must exist before the service can
+                    // take jobs; a spawn failure is a loud startup error,
+                    // not something to degrade silently around.
+                    let mut backend = ShardBackend::spawn(cfg.backend_policy.cluster_nodes)
+                        .unwrap_or_else(|e| panic!("spawning shard workers failed: {e}"));
+                    if let Some(m) = &metrics {
+                        backend = backend.observed(Arc::clone(&m.cluster));
+                    }
+                    ClusterEngine::MultiProcess(Engine::with_backend(cluster_cfg, backend))
+                }
+            }
         });
         let shared = Arc::new(Shared {
             engine: Engine::new(engine_cfg),
@@ -1137,7 +1228,7 @@ fn place(shared: &Shared, n_qubits: u16) -> Result<Placement, JobError> {
     let feasible = shared
         .cluster
         .as_ref()
-        .is_some_and(|engine| engine.worker_pool().backend().supports(n_qubits));
+        .is_some_and(|engine| engine.supports(n_qubits));
     if over_threshold && feasible {
         Ok(Placement::Cluster)
     } else if single_node_fits(shared, n_qubits) {

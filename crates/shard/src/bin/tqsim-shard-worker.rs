@@ -1,0 +1,34 @@
+//! Shard worker process entry point. Spawned by
+//! `tqsim_shard::ShardCluster::spawn` as
+//! `tqsim-shard-worker --coordinator <addr> --rank <r> --workers <n>`;
+//! everything after argument parsing lives in `tqsim_shard::worker`.
+
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: tqsim-shard-worker --coordinator <addr> --rank <r> --workers <n>");
+    exit(2);
+}
+
+fn main() {
+    let mut coordinator: Option<String> = None;
+    let mut rank: Option<usize> = None;
+    let mut workers: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { usage() };
+        match flag.as_str() {
+            "--coordinator" => coordinator = Some(value),
+            "--rank" => rank = value.parse().ok(),
+            "--workers" => workers = value.parse().ok(),
+            _ => usage(),
+        }
+    }
+    let (Some(coordinator), Some(rank), Some(workers)) = (coordinator, rank, workers) else {
+        usage()
+    };
+    if let Err(e) = tqsim_shard::worker::run(&coordinator, rank, workers) {
+        eprintln!("tqsim-shard-worker[{rank}]: {e}");
+        exit(1);
+    }
+}

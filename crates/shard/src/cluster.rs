@@ -1,0 +1,377 @@
+//! Shard process lifecycle and coordinator-side transport.
+//!
+//! [`ShardCluster::spawn`] launches one worker process per simulated node
+//! on loopback TCP, performs the hello/topology handshake, and hands out a
+//! shared handle the coordinator state ([`crate::ShardedStateVector`])
+//! drives verbs through. All control traffic runs under one mutex so that
+//! multi-node verbs are enqueued in the **same order on every worker's
+//! FIFO control socket** — the invariant that keeps pairwise mesh
+//! exchanges from cross-pairing when several engine threads drive states
+//! concurrently.
+//!
+//! Transport failures (a worker process dying mid-job, an injected
+//! `shard.transport` failpoint) surface as panics, exactly like the
+//! in-process backend's `cluster.exchange` faults: the engine's per-task
+//! panic isolation contains them to the running job, and the service's
+//! retry/degradation ladder takes it from there.
+
+use crate::proto;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use tqsim_circuit::math::C64;
+use tqsim_json::{num_u64, obj, str_val, Value};
+
+/// Locate (or build) the worker binary. Resolution order:
+///
+/// 1. `TQSIM_SHARD_WORKER_BIN` (explicit override, e.g. in CI);
+/// 2. a `tqsim-shard-worker` binary next to any ancestor of the current
+///    executable (covers `cargo test`/`cargo bench` runs, whose test
+///    binaries live in `target/<profile>/deps/`);
+/// 3. `cargo build -p tqsim-shard --bin tqsim-shard-worker`, matching the
+///    current profile — dependent crates' test profiles don't build our
+///    binary target, so build it once on demand.
+fn worker_binary() -> &'static PathBuf {
+    static BIN: OnceLock<PathBuf> = OnceLock::new();
+    BIN.get_or_init(|| {
+        if let Ok(path) = std::env::var("TQSIM_SHARD_WORKER_BIN") {
+            return PathBuf::from(path);
+        }
+        let bin_name = format!("tqsim-shard-worker{}", std::env::consts::EXE_SUFFIX);
+        let exe = std::env::current_exe().ok();
+        if let Some(exe) = &exe {
+            for dir in exe.ancestors().skip(1) {
+                let candidate = dir.join(&bin_name);
+                if candidate.is_file() {
+                    return candidate;
+                }
+            }
+        }
+        let release = exe
+            .as_deref()
+            .map(|p| p.components().any(|c| c.as_os_str() == "release"))
+            .unwrap_or(false);
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+        let mut cmd = Command::new(cargo);
+        cmd.args(["build", "-p", "tqsim-shard", "--bin", "tqsim-shard-worker"])
+            .current_dir(env!("CARGO_MANIFEST_DIR"));
+        if release {
+            cmd.arg("--release");
+        }
+        let status = cmd
+            .status()
+            .expect("failed to run cargo to build the shard worker");
+        assert!(status.success(), "building the shard worker binary failed");
+        let target = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target")
+            .join(if release { "release" } else { "debug" })
+            .join(&bin_name);
+        assert!(
+            target.is_file(),
+            "built shard worker not found at {}",
+            target.display()
+        );
+        target
+    })
+}
+
+/// Panic on transport errors — the coordinator-side choke point every
+/// control send/receive passes through. A worker process dying mid-job
+/// surfaces here (broken pipe / EOF), unwinds the job's task, and is
+/// contained by the engine's per-task panic isolation.
+fn transport<T>(what: &str, result: io::Result<T>) -> T {
+    result.unwrap_or_else(|e| panic!("shard transport: {what}: {e}"))
+}
+
+struct WorkerLink {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// The mutable half of the cluster, held under the transport mutex.
+pub struct ClusterLink {
+    links: Vec<WorkerLink>,
+    children: Vec<Child>,
+}
+
+impl ClusterLink {
+    /// Send `value` to worker `rank` (no reply expected).
+    ///
+    /// # Panics
+    ///
+    /// On transport faults (including injected `shard.transport` faults).
+    pub fn send(&mut self, rank: usize, value: &Value) {
+        transport(
+            "send",
+            proto::send_line(&mut self.links[rank].writer, value),
+        );
+    }
+
+    /// Read one reply line from worker `rank`.
+    ///
+    /// # Panics
+    ///
+    /// On transport faults.
+    pub fn recv(&mut self, rank: usize) -> Value {
+        transport("recv", proto::recv_line(&mut self.links[rank].reader))
+    }
+
+    /// Send to every worker in rank order (no replies).
+    pub fn broadcast(&mut self, value: &Value) {
+        for rank in 0..self.links.len() {
+            self.send(rank, value);
+        }
+    }
+
+    /// Send to every worker, then collect one ack line from each.
+    pub fn broadcast_ack(&mut self, value: &Value) {
+        self.broadcast(value);
+        for rank in 0..self.links.len() {
+            self.recv(rank);
+        }
+    }
+
+    /// Best-effort send that reports IO errors instead of panicking and
+    /// skips the failpoint — for teardown traffic (slice frees) that must
+    /// not blow up a `Drop` on an already-dead cluster.
+    pub fn try_send(&mut self, rank: usize, value: &Value) -> io::Result<()> {
+        proto::send_line(&mut self.links[rank].writer, value)
+    }
+
+    /// Send a query to `rank` and read its reply.
+    pub fn request(&mut self, rank: usize, value: &Value) -> Value {
+        self.send(rank, value);
+        self.recv(rank)
+    }
+
+    /// Fetch worker `rank`'s amplitudes for slice `sid` (bulk binary).
+    pub fn fetch(&mut self, rank: usize, sid: u64) -> Vec<C64> {
+        let header = self.request(
+            rank,
+            &obj(vec![("v", str_val("fetch")), ("sid", num_u64(sid))]),
+        );
+        let len = header
+            .get("len")
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("shard transport: malformed fetch header"));
+        let amps = transport("fetch", proto::read_amps(&mut self.links[rank].reader));
+        assert_eq!(amps.len() as u64, len, "fetch length mismatch");
+        amps
+    }
+}
+
+/// A running multi-process shard topology: worker child processes plus
+/// their control sockets. Shared (`Arc`) between every state the
+/// [`crate::ShardBackend`] allocates; dropped, it shuts the workers down.
+pub struct ShardCluster {
+    inner: Mutex<ClusterLink>,
+    n_workers: usize,
+    next_sid: AtomicU64,
+}
+
+impl ShardCluster {
+    /// Spawn `n_workers` worker processes on loopback and complete the
+    /// hello/topology handshake.
+    ///
+    /// # Errors
+    ///
+    /// Any spawn or handshake IO failure (workers spawned so far are
+    /// killed on the way out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_workers` is not a power of two ≥ 1, or if the worker
+    /// binary cannot be located or built.
+    pub fn spawn(n_workers: usize) -> io::Result<ShardCluster> {
+        assert!(
+            n_workers >= 1 && n_workers.is_power_of_two(),
+            "worker count {n_workers} is not a power of two >= 1"
+        );
+        let bin = worker_binary();
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?.to_string();
+        let mut children: Vec<Child> = Vec::with_capacity(n_workers);
+        let spawn_all = (|| {
+            for rank in 0..n_workers {
+                let child = Command::new(bin)
+                    .args(["--coordinator", &addr])
+                    .args(["--rank", &rank.to_string()])
+                    .args(["--workers", &n_workers.to_string()])
+                    .stdin(Stdio::null())
+                    .stdout(Stdio::null())
+                    .spawn()?;
+                children.push(child);
+            }
+            // Collect hellos (arrival order is scheduling-dependent; place
+            // each link by its self-reported rank) and announce the mesh
+            // topology.
+            let mut links: Vec<Option<(WorkerLink, String)>> =
+                (0..n_workers).map(|_| None).collect();
+            for _ in 0..n_workers {
+                let (stream, _) = listener.accept()?;
+                stream.set_nodelay(true)?;
+                let mut reader = BufReader::new(stream.try_clone()?);
+                let hello = proto::recv_line(&mut reader)?;
+                let rank = hello
+                    .get("rank")
+                    .and_then(Value::as_u64)
+                    .filter(|&r| (r as usize) < n_workers)
+                    .ok_or_else(|| bad_hello("rank"))? as usize;
+                let mesh = hello
+                    .get("mesh")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| bad_hello("mesh"))?
+                    .to_string();
+                if links[rank].is_some() {
+                    return Err(bad_hello("duplicate rank"));
+                }
+                links[rank] = Some((
+                    WorkerLink {
+                        reader,
+                        writer: BufWriter::new(stream),
+                    },
+                    mesh,
+                ));
+            }
+            let mut links: Vec<(WorkerLink, String)> = links
+                .into_iter()
+                .map(|l| l.expect("all ranks seen"))
+                .collect();
+            let peers = Value::Arr(
+                links
+                    .iter()
+                    .map(|(_, mesh)| str_val(mesh.as_str()))
+                    .collect(),
+            );
+            let topo = obj(vec![("v", str_val("topo")), ("peers", peers)]);
+            for (link, _) in links.iter_mut() {
+                proto::send_line(&mut link.writer, &topo)?;
+            }
+            for (link, _) in links.iter_mut() {
+                proto::recv_line(&mut link.reader)?;
+            }
+            Ok(links.into_iter().map(|(link, _)| link).collect::<Vec<_>>())
+        })();
+        match spawn_all {
+            Ok(links) => Ok(ShardCluster {
+                inner: Mutex::new(ClusterLink { links, children }),
+                n_workers,
+                next_sid: AtomicU64::new(1),
+            }),
+            Err(e) => {
+                for child in &mut children {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Number of worker processes (= simulated nodes).
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Allocate a fresh slice id (coordinator-wide unique).
+    pub fn next_sid(&self) -> u64 {
+        self.next_sid.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Lock the transport for one multi-node operation. Every verb (or
+    /// atomic verb sequence, e.g. a dswap broadcast plus its acks) must
+    /// run under a single lock acquisition so all workers enqueue
+    /// multi-node operations in the same order.
+    ///
+    /// This is also the `shard.transport` failpoint: it fires **before**
+    /// the lock is taken and before any bytes move, so an injected fault
+    /// always leaves the wire between whole verbs — the faulted job dies,
+    /// but the cluster stays protocol-consistent and the next attempt can
+    /// run on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an injected `shard.transport` fault.
+    pub fn link(&self) -> MutexGuard<'_, ClusterLink> {
+        if let Err(fault) = tqsim_faults::trigger("shard.transport") {
+            panic!("{fault}");
+        }
+        self.link_quiet()
+    }
+
+    /// Failpoint-free transport acquisition, for teardown paths (state
+    /// drops freeing slices) and chaos tooling that must not themselves
+    /// trip injected faults.
+    pub fn link_quiet(&self) -> MutexGuard<'_, ClusterLink> {
+        // A panic mid-operation (killed worker) poisons the mutex; later
+        // jobs still reach the transport and fail fast on the broken
+        // sockets rather than panicking on the poison itself.
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Round-trip a ping through every worker (spawn health check).
+    ///
+    /// # Panics
+    ///
+    /// On transport faults.
+    pub fn ping(&self) {
+        let mut link = self.link();
+        link.broadcast_ack(&obj(vec![("v", str_val("ping"))]));
+    }
+
+    /// Kill worker `rank`'s process outright — the chaos hook for
+    /// fault-containment tests (a real node failure mid-job). Subsequent
+    /// traffic to that worker panics, which the engine contains to the
+    /// running job.
+    pub fn kill_worker(&self, rank: usize) {
+        let mut link = self.link_quiet();
+        let _ = link.children[rank].kill();
+        let _ = link.children[rank].wait();
+    }
+}
+
+fn bad_hello(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed shard hello ({what})"),
+    )
+}
+
+impl Drop for ShardCluster {
+    fn drop(&mut self) {
+        let link = self.inner.get_mut().unwrap_or_else(|p| p.into_inner());
+        // Polite shutdown first; workers also exit on control-socket EOF,
+        // and kill/wait below reaps anything unresponsive.
+        let bye = obj(vec![("v", str_val("bye"))]);
+        for l in link.links.iter_mut() {
+            let _ = proto::send_line(&mut l.writer, &bye);
+        }
+        for child in link.children.iter_mut() {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if std::time::Instant::now() < deadline => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ShardCluster[{} workers]", self.n_workers)
+    }
+}

@@ -113,6 +113,19 @@ impl DiagRun {
         self.terms1.is_empty() && self.terms2.is_empty()
     }
 
+    /// The merged single-qubit terms `(q, [d0, d1])`, in absorption order —
+    /// exposed so wire transports (`tqsim-shard`) can serialize a run and
+    /// rebuild it bit-identically with [`DiagRun::push1`].
+    pub fn terms1(&self) -> &[(u16, [C64; 2])] {
+        &self.terms1
+    }
+
+    /// The merged two-qubit terms `(q_hi, q_lo, [d00, d01, d10, d11])`, in
+    /// absorption order (see [`DiagRun::terms1`]).
+    pub fn terms2(&self) -> &[(u16, u16, [C64; 4])] {
+        &self.terms2
+    }
+
     /// Number of merged terms (≤ number of absorbed gates).
     pub fn terms(&self) -> usize {
         self.terms1.len() + self.terms2.len()
@@ -1109,6 +1122,10 @@ impl<S: QuantumState + ?Sized> FlushCtx<'_, S> {
         let sv = &mut *self.sv;
         let ops = &mut *self.ops;
         self.fuser.flush(&mut apply_sink(sv, ops));
+        // The caller is about to read or branch on the state directly
+        // (marginals, Kraus application), which assumes the canonical
+        // amplitude layout — undo any deferred distributed swaps first.
+        sv.sync_layout();
         self.sv
     }
 
@@ -1278,6 +1295,9 @@ impl CompiledCircuit {
             let ops = &mut *ops;
             fuser.flush(&mut apply_sink(sv, ops));
         }
+        // Leaf sampling and parent→child copies follow a replay directly;
+        // both assume the canonical layout.
+        sv.sync_layout();
         ops.gates_1q += self.src_gates[0];
         ops.gates_2q += self.src_gates[1];
         ops.gates_3q += self.src_gates[2];

@@ -91,6 +91,15 @@ pub trait QuantumState {
     fn sample_many(&self, us: &[f64]) -> Vec<u64> {
         us.iter().map(|&u| self.sample_with(u)).collect()
     }
+
+    /// Restore the canonical amplitude layout, if the backend deferred any
+    /// layout changes. Distributed backends with exchange batching enabled
+    /// leave global↔local distributed swaps in place across runs of fused
+    /// ops and undo them lazily; the plan replayer calls this before any
+    /// state-dependent access (noise marginals, sampling) and at the end of
+    /// every replay. Single-address-space backends need nothing: the
+    /// default is a no-op.
+    fn sync_layout(&mut self) {}
 }
 
 /// A factory + lifecycle surface for poolable execution states: how to

@@ -621,6 +621,81 @@ fn cluster_fault_on_a_too_wide_job_is_backend_unavailable() {
     service.shutdown();
 }
 
+// -------------------------------------------- multi-process transport
+
+/// A transient `shard.transport` fault on the multi-process cluster
+/// transport fails only that attempt: the retry replays on the *same*
+/// worker processes (injected transport faults fire before any bytes
+/// move, so the wire stays protocol-consistent) and returns bit-identical
+/// counts.
+#[test]
+fn shard_transport_fault_is_retried_on_the_same_workers() {
+    let _gate = chaos_gate();
+    let _reset = ResetOnDrop;
+    let circuit = Arc::new(generators::qft(9));
+    let reference = reference_counts(&circuit, 23);
+    let service = Service::start(
+        ServiceConfig::default()
+            .parallelism(2)
+            .max_concurrent_jobs(1)
+            .backend_policy(BackendPolicy::cluster_above(8, 2).multi_process()),
+    );
+    tqsim_faults::configure("shard.transport", FaultConfig::panic().nth(1));
+    let result = service
+        .submit(
+            "flaky-wire",
+            request(&circuit, 23)
+                .retry(RetryPolicy::attempts(2).initial_backoff(Duration::from_millis(1))),
+        )
+        .unwrap()
+        .wait()
+        .expect("retried on the same shard workers");
+    assert_eq!(result.counts, reference, "same plan, same seed, same bits");
+    assert_eq!(tqsim_faults::fired("shard.transport"), 1);
+    let stats = service.stats();
+    assert_eq!(stats.retried, 1, "one same-backend retry");
+    assert_eq!(stats.degraded, 0, "the worker processes stayed healthy");
+    assert_eq!(stats.cluster_jobs, 1);
+    assert_quiescent(&service);
+    service.shutdown();
+}
+
+/// A persistent multi-process transport failure exhausts the retry budget
+/// and degrades the job onto the single-node engine — the full PR 7
+/// ladder, now spanning a real process boundary.
+#[test]
+fn persistent_shard_transport_fault_degrades_to_single_node() {
+    let _gate = chaos_gate();
+    let _reset = ResetOnDrop;
+    let circuit = Arc::new(generators::qft(9));
+    let reference = reference_counts(&circuit, 29);
+    let service = Service::start(
+        ServiceConfig::default()
+            .parallelism(2)
+            .max_concurrent_jobs(1)
+            .backend_policy(BackendPolicy::cluster_above(8, 2).multi_process()),
+    );
+    tqsim_faults::configure("shard.transport", FaultConfig::panic());
+    let result = service
+        .submit(
+            "dead-wire",
+            request(&circuit, 29)
+                .retry(RetryPolicy::attempts(2).initial_backoff(Duration::from_millis(1))),
+        )
+        .unwrap()
+        .wait()
+        .expect("degraded to single-node");
+    assert_eq!(result.counts, reference, "degradation is bit-identical");
+    let stats = service.stats();
+    assert_eq!(stats.retried, 1, "one same-backend retry first");
+    assert_eq!(
+        stats.degraded, 1,
+        "then one cluster→single-node re-placement"
+    );
+    assert_quiescent(&service);
+    service.shutdown();
+}
+
 // ------------------------------------------------- exact accounting
 
 /// Alternating faulted/clean jobs: every failure counter and metrics
