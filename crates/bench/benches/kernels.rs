@@ -1,17 +1,23 @@
 //! Microbenchmarks of the state-vector substrate: gate kernels, state
-//! copies (the quantity behind Fig. 10), sampling, and noise ops.
+//! copies (the quantity behind Fig. 10), sampling, noise ops, and the
+//! fused-matrix kernel ladder `mat2..mat32` (the dense cluster widths the
+//! fusion window can emit) swept across state sizes 2^10..2^20.
 //!
 //! Plain-main harness in the house style (no external bench framework):
 //! each primitive is timed over enough repetitions to dominate timer noise
-//! and reported as ns/op.
+//! and reported as ns/op (and ns/amplitude for the matrix ladder, which is
+//! the cache-blocking figure of merit). The matrix sweep is written to
+//! `BENCH_kernels.json` (override with `TQSIM_BENCH_JSON=<path>`);
+//! wall-clock numbers are recorded for inspection, never asserted.
 
 use rand::SeedableRng;
 use std::hint::black_box;
 use std::time::Instant;
 use tqsim_bench::Table;
+use tqsim_circuit::math::{c64, Mat16, Mat2, Mat32, Mat4, Mat8, C64};
 use tqsim_circuit::{Gate, GateKind};
 use tqsim_noise::NoiseModel;
-use tqsim_statevec::StateVector;
+use tqsim_statevec::{kernels, StateVector};
 
 fn scrambled_state(n: u16) -> StateVector {
     let mut sv = StateVector::zero(n);
@@ -24,6 +30,79 @@ fn scrambled_state(n: u16) -> StateVector {
     }
     sv.apply_circuit(&c);
     sv
+}
+
+/// A dense matrix filled with index-derived values: unitarity is
+/// irrelevant for throughput, but every entry must be nonzero so the
+/// kernels cannot short-circuit.
+fn dense<const D: usize>() -> [[C64; D]; D] {
+    let mut m = [[c64(0.0, 0.0); D]; D];
+    for (i, row) in m.iter_mut().enumerate() {
+        for (j, e) in row.iter_mut().enumerate() {
+            *e = c64(
+                1.0 / (1.0 + i as f64 + 2.0 * j as f64),
+                1.0 / (2.0 + 2.0 * i as f64 + j as f64),
+            );
+        }
+    }
+    m
+}
+
+/// One row of the fused-matrix kernel sweep.
+struct MatRow {
+    kernel: &'static str,
+    qubits: u16,
+    amps: usize,
+    ns_op: f64,
+    ns_amp: f64,
+}
+
+/// Time every `mat2..mat32` kernel on an `n`-qubit scrambled state with
+/// spread operands (highest qubit + low qubits: the strided access
+/// pattern the cache-blocked wide kernels exist for).
+fn sweep_matrix_kernels(n: u16, reps: u32, rows: &mut Vec<MatRow>) {
+    let mut sv = scrambled_state(n);
+    let amps = sv.amplitudes_mut();
+    let len = amps.len();
+    let hi = usize::from(n) - 1;
+    let m2 = Mat2(dense::<2>());
+    let m4 = Mat4(dense::<4>());
+    let m8 = Mat8(dense::<8>());
+    let m16 = Mat16(dense::<16>());
+    let m32 = Mat32(dense::<32>());
+    let mut push = |kernel: &'static str, ns_op: f64| {
+        rows.push(MatRow {
+            kernel,
+            qubits: n,
+            amps: len,
+            ns_op,
+            ns_amp: ns_op / len as f64,
+        });
+    };
+    push(
+        "mat2",
+        ns_per_op(reps, || kernels::apply_mat2(black_box(amps), hi, &m2)),
+    );
+    push(
+        "mat4",
+        ns_per_op(reps, || kernels::apply_mat4(black_box(amps), hi, 0, &m4)),
+    );
+    push(
+        "mat8",
+        ns_per_op(reps, || kernels::apply_mat8(black_box(amps), hi, 1, 0, &m8)),
+    );
+    push(
+        "mat16",
+        ns_per_op(reps, || {
+            kernels::apply_mat16(black_box(amps), [hi, 2, 1, 0], &m16)
+        }),
+    );
+    push(
+        "mat32",
+        ns_per_op(reps, || {
+            kernels::apply_mat32(black_box(amps), [hi, 3, 2, 1, 0], &m32)
+        }),
+    );
 }
 
 /// Nanoseconds per call of `f`, with a warm-up pass.
@@ -109,4 +188,47 @@ fn main() {
     }
 
     table.print();
+
+    // ---- fused-matrix kernel ladder (mat2..mat32, 2^10..2^20 amps) ----
+    let mut mat_rows: Vec<MatRow> = Vec::new();
+    for n in (10..=20u16).step_by(2) {
+        // One kernel call sweeps the whole state: scale repetitions down
+        // with size so every cell costs roughly the same wall time.
+        let reps = ((1u32 << 22) >> n).clamp(4, 4096) * if full { 4 } else { 1 };
+        sweep_matrix_kernels(n, reps, &mut mat_rows);
+    }
+    let mut mat_table = Table::new(&["kernel", "qubits", "amps", "ns/op", "ns/amp"]);
+    for r in &mat_rows {
+        mat_table.row(&[
+            r.kernel.to_string(),
+            r.qubits.to_string(),
+            r.amps.to_string(),
+            format!("{:.0}", r.ns_op),
+            format!("{:.3}", r.ns_amp),
+        ]);
+    }
+    println!("\nfused-matrix kernel ladder (one call sweeps the full state)");
+    mat_table.print();
+
+    // Hand-rolled JSON (no serde in the offline workspace). Wall-clock
+    // only — recorded for trend inspection, never asserted.
+    let mut json = String::from("{\n  \"bench\": \"kernels\",\n  \"mode\": \"wall-clock\",\n");
+    json.push_str(&format!("  \"full\": {full},\n  \"matrix_sweep\": [\n"));
+    for (i, r) in mat_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"qubits\": {}, \"amps\": {}, \
+             \"ns_per_op\": {:.1}, \"ns_per_amp\": {:.4}}}{}\n",
+            r.kernel,
+            r.qubits,
+            r.amps,
+            r.ns_op,
+            r.ns_amp,
+            if i + 1 < mat_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path =
+        std::env::var("TQSIM_BENCH_JSON").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+    std::fs::write(&path, &json).expect("write bench artifact");
+    println!("\nwrote {path}");
 }

@@ -1,15 +1,16 @@
-//! Two-level parallelism bench: the **fusion-window ablation** (2-qubit
-//! `Mat4` windows vs 3-qubit `Mat8` clusters) in op-counting mode, with
-//! wall-clock recorded alongside for context. The `amp_passes` drop is
-//! host-independent — it depends only on circuit, window, noise model and
-//! seed — so CI asserts on it; wall-clock is recorded in the artifact but
-//! never asserted (this box may have one core).
+//! Two-level parallelism bench: the **fusion-window ablation** across
+//! 2-qubit `Mat4` windows, 3-qubit `Mat8` clusters and the wide 4/5-qubit
+//! `Mat16`/`Mat32` clusters with cross-boundary fusion, in op-counting
+//! mode with wall-clock recorded alongside for context. The `amp_passes`
+//! drop is host-independent — it depends only on circuit, window, noise
+//! model and seed — so CI asserts on it; wall-clock is recorded in the
+//! artifact but never asserted (this box may have one core).
 //!
 //! Writes `BENCH_par_fusion.json` (override the path with
 //! `TQSIM_BENCH_JSON=<path>`) with one record per circuit × noise model:
-//! pass counts and wall time at each window, the pass ratio, and a
-//! `counts_identical` invariant check (widening the window must not move
-//! the histogram).
+//! pass counts and wall time at each cell, the pass ratios, and a
+//! `counts_identical` invariant check (neither widening the window nor
+//! fusing across node boundaries may move the histogram).
 
 use std::time::Instant;
 use tqsim::{ExecOptions, Strategy, TreeExecutor};
@@ -18,28 +19,34 @@ use tqsim_circuit::{generators, Circuit};
 use tqsim_noise::NoiseModel;
 use tqsim_statevec::FusionConfig;
 
+/// The ablation grid: (max_fuse_qubits, boundary fusion). The first two
+/// cells are the historical eager baselines; the last two add the wide
+/// clusters *and* ride the head window on the parent→child copy / the
+/// tail window on the sampling sweep.
+const CELLS: [(u8, bool); 4] = [(2, false), (3, false), (4, true), (5, true)];
+
 struct Row {
     circuit: &'static str,
     noise: &'static str,
     gates: u64,
-    passes_w2: u64,
-    passes_w3: u64,
-    wall_ms_w2: f64,
-    wall_ms_w3: f64,
+    passes: [u64; CELLS.len()],
+    wall_ms: [f64; CELLS.len()],
     counts_identical: bool,
 }
 
-/// Run `circuit` once per fusion window, returning
-/// (passes, wall) at window 2, (passes, wall) at window 3, and whether
-/// the histograms matched.
-fn run_windows(
+/// Run `circuit` once per ablation cell, returning per-cell
+/// (amp_passes, wall-ms) and whether every histogram matched cell 0.
+fn run_cells(
     circuit: &Circuit,
     noise: &NoiseModel,
     shots: u64,
     seed: u64,
-) -> (u64, f64, u64, f64, bool) {
-    let mut out = Vec::with_capacity(2);
-    for window in [2u8, 3] {
+) -> ([u64; CELLS.len()], [f64; CELLS.len()], bool) {
+    let mut passes = [0u64; CELLS.len()];
+    let mut wall_ms = [0f64; CELLS.len()];
+    let mut identical = true;
+    let mut baseline = None;
+    for (i, &(window, boundary)) in CELLS.iter().enumerate() {
         let partition = Strategy::Custom {
             arities: vec![8, 4],
         }
@@ -51,31 +58,27 @@ fn run_windows(
             partition,
             FusionConfig {
                 max_fuse_qubits: window,
+                boundary,
             },
         )
         .expect("bind");
         let start = Instant::now();
         let result = exec.run_with_options(seed, ExecOptions::default());
-        let wall = start.elapsed().as_secs_f64() * 1e3;
-        out.push((result, wall));
+        wall_ms[i] = start.elapsed().as_secs_f64() * 1e3;
+        passes[i] = result.ops.amp_passes;
+        match &baseline {
+            None => baseline = Some(result.counts),
+            Some(b) => identical &= *b == result.counts,
+        }
     }
-    let (w3, wall3) = out.pop().expect("window 3 run");
-    let (w2, wall2) = out.pop().expect("window 2 run");
-    let identical = w2.counts == w3.counts;
-    (
-        w2.ops.amp_passes,
-        wall2,
-        w3.ops.amp_passes,
-        wall3,
-        identical,
-    )
+    (passes, wall_ms, identical)
 }
 
 fn main() {
     let scale = Scale::from_env();
     banner(
         "par_fusion",
-        "3-qubit Mat8 cluster ablation: window 2 vs window 3 (op-counting mode)",
+        "wide-cluster ablation: w=2/3 eager vs w=4/5 with boundary fusion (op-counting mode)",
         &scale,
     );
 
@@ -96,16 +99,13 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     for (cname, circuit) in &circuits {
         for (nname, noise) in &noises {
-            let (passes_w2, wall_ms_w2, passes_w3, wall_ms_w3, counts_identical) =
-                run_windows(circuit, noise, shots, seed);
+            let (passes, wall_ms, counts_identical) = run_cells(circuit, noise, shots, seed);
             rows.push(Row {
                 circuit: cname,
                 noise: nname,
                 gates: circuit.len() as u64,
-                passes_w2,
-                passes_w3,
-                wall_ms_w2,
-                wall_ms_w3,
+                passes,
+                wall_ms,
                 counts_identical,
             });
         }
@@ -115,11 +115,12 @@ fn main() {
         "circuit",
         "noise",
         "gates",
-        "passes (w=2)",
-        "passes (w=3)",
-        "ratio",
-        "wall w=2 (ms)",
-        "wall w=3 (ms)",
+        "passes w2",
+        "passes w3",
+        "passes w4+b",
+        "passes w5+b",
+        "w3/w4+b",
+        "w3/w5+b",
         "counts identical",
     ]);
     for r in &rows {
@@ -127,11 +128,12 @@ fn main() {
             r.circuit.to_string(),
             r.noise.to_string(),
             r.gates.to_string(),
-            r.passes_w2.to_string(),
-            r.passes_w3.to_string(),
-            format!("{:.2}×", r.passes_w2 as f64 / r.passes_w3 as f64),
-            format!("{:.1}", r.wall_ms_w2),
-            format!("{:.1}", r.wall_ms_w3),
+            r.passes[0].to_string(),
+            r.passes[1].to_string(),
+            r.passes[2].to_string(),
+            r.passes[3].to_string(),
+            format!("{:.2}×", r.passes[1] as f64 / r.passes[2] as f64),
+            format!("{:.2}×", r.passes[1] as f64 / r.passes[3] as f64),
             r.counts_identical.to_string(),
         ]);
     }
@@ -144,22 +146,32 @@ fn main() {
     let mut json = String::from("{\n  \"bench\": \"par_fusion\",\n  \"mode\": \"op-counting\",\n");
     json.push_str(&format!(
         "  \"qubits\": {n},\n  \"shots\": {shots},\n  \"seed\": {seed},\n  \
-         \"amp_threads\": {amp_threads},\n  \"rows\": [\n"
+         \"amp_threads\": {amp_threads},\n  \
+         \"cells\": [\"w2_eager\", \"w3_eager\", \"w4_boundary\", \"w5_boundary\"],\n  \
+         \"rows\": [\n"
     ));
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"circuit\": \"{}\", \"noise\": \"{}\", \"gates\": {}, \
-             \"amp_passes_window2\": {}, \"amp_passes_window3\": {}, \
-             \"pass_ratio\": {:.4}, \"wall_ms_window2\": {:.3}, \
-             \"wall_ms_window3\": {:.3}, \"counts_identical\": {}}}{}\n",
+             \"amp_passes_w2_eager\": {}, \"amp_passes_w3_eager\": {}, \
+             \"amp_passes_w4_boundary\": {}, \"amp_passes_w5_boundary\": {}, \
+             \"pass_ratio_w3_over_w4b\": {:.4}, \"pass_ratio_w3_over_w5b\": {:.4}, \
+             \"wall_ms_w2\": {:.3}, \"wall_ms_w3\": {:.3}, \
+             \"wall_ms_w4b\": {:.3}, \"wall_ms_w5b\": {:.3}, \
+             \"counts_identical\": {}}}{}\n",
             r.circuit,
             r.noise,
             r.gates,
-            r.passes_w2,
-            r.passes_w3,
-            r.passes_w2 as f64 / r.passes_w3 as f64,
-            r.wall_ms_w2,
-            r.wall_ms_w3,
+            r.passes[0],
+            r.passes[1],
+            r.passes[2],
+            r.passes[3],
+            r.passes[1] as f64 / r.passes[2] as f64,
+            r.passes[1] as f64 / r.passes[3] as f64,
+            r.wall_ms[0],
+            r.wall_ms[1],
+            r.wall_ms[2],
+            r.wall_ms[3],
             r.counts_identical,
             if i + 1 < rows.len() { "," } else { "" },
         ));
@@ -171,18 +183,25 @@ fn main() {
     println!("\nwrote {path}");
 
     for r in rows.iter().filter(|r| r.circuit != "bv") {
-        assert!(
-            r.passes_w3 < r.passes_w2,
-            "acceptance: {}/{} must drop passes at window 3 ({} vs {})",
-            r.circuit,
-            r.noise,
-            r.passes_w3,
-            r.passes_w2
-        );
+        for (cell, wide) in [("w4+boundary", r.passes[2]), ("w5+boundary", r.passes[3])] {
+            assert!(
+                (r.passes[1] as f64) / (wide as f64) >= 1.3,
+                "acceptance: {}/{} must drop amp passes >= 1.3x at {} vs the \
+                 window-3 eager baseline ({} vs {})",
+                r.circuit,
+                r.noise,
+                cell,
+                wide,
+                r.passes[1]
+            );
+        }
     }
     assert!(
         rows.iter().all(|r| r.counts_identical),
-        "window-3 Counts diverged from window-2"
+        "wide-window / boundary Counts diverged from the window-2 eager baseline"
     );
-    println!("acceptance: QFT and QAOA drop passes at window 3, all histograms bit-identical ✓");
+    println!(
+        "acceptance: QFT and QAOA drop amp passes >= 1.3x at w4/w5 with boundary fusion, \
+         all histograms bit-identical ✓"
+    );
 }

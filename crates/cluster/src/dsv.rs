@@ -20,7 +20,7 @@ use tqsim_obs::{Counter, Registry};
 /// Below this per-node slice length, node work runs on the calling thread —
 /// the semantics are identical and thread-spawn overhead would dominate.
 const THREAD_MIN_SLICE: usize = 1 << 12;
-use tqsim_circuit::math::{c64, Mat2, Mat4, Mat8, C64};
+use tqsim_circuit::math::{c64, Mat16, Mat2, Mat32, Mat4, Mat8, C64};
 use tqsim_circuit::Gate;
 use tqsim_statevec::{kernels, DiagRun, PooledBackend, QuantumState, StateVector};
 
@@ -792,6 +792,72 @@ impl QuantumState for DistributedStateVector {
             let (b2, b1, b0) = (qs[0] as usize, qs[1] as usize, qs[2] as usize);
             let m = *m;
             self.each_node(move |slice| kernels::apply_mat8(slice, b2, b1, b0, &m));
+            self.undo_remap(&swaps);
+            self.note_remapped_gate();
+        }
+    }
+
+    fn apply_mat16(&mut self, qs: [u16; 4], m: &Mat16) {
+        assert!(qs.iter().all(|&q| q < self.n_qubits), "qubit out of range");
+        assert!(
+            self.local_n >= 4,
+            "4-qubit fusion clusters need >= 4 node-local qubits \
+             (n_qubits >= log2(nodes) + 4); lower max_fuse_qubits"
+        );
+        if self.batching {
+            self.apply_batched(&qs, move |slice, ps| {
+                kernels::apply_mat16(slice, [ps[0], ps[1], ps[2], ps[3]].map(usize::from), m);
+            });
+            return;
+        }
+        if qs.iter().all(|&q| q < self.local_n) {
+            // All four qubits node-local: the fused 16-amp sweep never
+            // leaves the node, exactly like the single-node kernel.
+            let bs = qs.map(usize::from);
+            self.each_node(move |slice| kernels::apply_mat16(slice, bs, m));
+            self.note_local_gate();
+        } else {
+            // Fall back to the distributed-swap remap path.
+            let (remapped, swaps) = self.remap_to_local(&qs);
+            let bs = [remapped[0], remapped[1], remapped[2], remapped[3]].map(usize::from);
+            self.each_node(move |slice| kernels::apply_mat16(slice, bs, m));
+            self.undo_remap(&swaps);
+            self.note_remapped_gate();
+        }
+    }
+
+    fn apply_mat32(&mut self, qs: [u16; 5], m: &Mat32) {
+        assert!(qs.iter().all(|&q| q < self.n_qubits), "qubit out of range");
+        assert!(
+            self.local_n >= 5,
+            "5-qubit fusion clusters need >= 5 node-local qubits \
+             (n_qubits >= log2(nodes) + 5); lower max_fuse_qubits"
+        );
+        if self.batching {
+            self.apply_batched(&qs, move |slice, ps| {
+                kernels::apply_mat32(
+                    slice,
+                    [ps[0], ps[1], ps[2], ps[3], ps[4]].map(usize::from),
+                    m,
+                );
+            });
+            return;
+        }
+        if qs.iter().all(|&q| q < self.local_n) {
+            let bs = qs.map(usize::from);
+            self.each_node(move |slice| kernels::apply_mat32(slice, bs, m));
+            self.note_local_gate();
+        } else {
+            let (remapped, swaps) = self.remap_to_local(&qs);
+            let bs = [
+                remapped[0],
+                remapped[1],
+                remapped[2],
+                remapped[3],
+                remapped[4],
+            ]
+            .map(usize::from);
+            self.each_node(move |slice| kernels::apply_mat32(slice, bs, m));
             self.undo_remap(&swaps);
             self.note_remapped_gate();
         }

@@ -9,7 +9,8 @@ use std::time::{Duration, Instant};
 use tqsim_circuit::{Circuit, GateKind};
 use tqsim_noise::NoiseModel;
 use tqsim_statevec::{
-    CompiledCircuit, FusionConfig, OpCounts, PooledBackend, QuantumState, SingleNode, StateVector,
+    CompiledCircuit, FusedOp, FusionConfig, OpCounts, PooledBackend, QuantumState, SingleNode,
+    StateVector,
 };
 
 /// Measurement histogram of a simulation run.
@@ -348,6 +349,7 @@ pub fn run_tree_nodes<B, R>(
         ops,
         rng,
         options,
+        &[],
     );
 }
 
@@ -364,6 +366,7 @@ fn recurse_nodes<B, R>(
     ops: &mut OpCounts,
     rng: &mut R,
     options: ExecOptions,
+    tail: &[FusedOp],
 ) where
     B: PooledBackend,
     R: rand::Rng + ?Sized,
@@ -371,25 +374,42 @@ fn recurse_nodes<B, R>(
     let k = subcircuits.len();
     if level == k {
         let n = QuantumState::n_qubits(&states[k]);
-        draw_leaf_outcomes(&states[k], noise, n, options.leaf_samples, rng, |outcome| {
-            counts.increment(outcome);
-            ops.samples += 1;
-        });
+        if !tail.is_empty() {
+            ops.sample_fused += 1;
+        }
+        draw_leaf_outcomes_fused(
+            &mut states[k],
+            noise,
+            n,
+            options.leaf_samples,
+            tail,
+            rng,
+            |outcome| {
+                counts.increment(outcome);
+                ops.samples += 1;
+            },
+        );
         return;
     }
     for _rep in 0..tree.arities()[level] {
+        let plan = &compiled[level];
+        let head: &[FusedOp] = if options.fusion { plan.head_ops() } else { &[] };
         let (parents, children) = states.split_at_mut(level + 1);
         let child = &mut children[0];
-        backend.copy_into(child, &parents[level]);
+        backend.copy_into_apply(child, &parents[level], head);
         ops.state_copies += 1;
-        run_subcircuit(
+        if !head.is_empty() {
+            ops.copy_apply += 1;
+        }
+        let next_tail = run_subcircuit_boundary(
             child,
             &subcircuits[level],
-            &compiled[level],
+            plan,
             noise,
             rng,
             ops,
             options.fusion,
+            level + 1 == k,
         );
         recurse_nodes(
             backend,
@@ -403,6 +423,7 @@ fn recurse_nodes<B, R>(
             ops,
             rng,
             options,
+            &next_tail,
         );
     }
 }
@@ -446,6 +467,44 @@ pub fn run_subcircuit<S, R>(
     }
 }
 
+/// [`run_subcircuit`] with cross-boundary fusion: the plan's head window is
+/// assumed already applied (it rode the parent→child copy through
+/// [`PooledBackend::copy_into_apply`]), and with `want_tail` the trailing
+/// fused window is **returned unapplied** so the caller can fold it into the
+/// leaf sampling sweep ([`QuantumState::sample_fused`]). Pass
+/// `want_tail: false` for non-leaf levels — their states get copied to
+/// children and must be fully materialised.
+///
+/// The RNG stream is consumed identically to [`run_subcircuit`], so for a
+/// fixed seed the `Counts` match the eager path.
+#[allow(clippy::too_many_arguments)]
+pub fn run_subcircuit_boundary<S, R>(
+    state: &mut S,
+    subcircuit: &Circuit,
+    plan: &CompiledCircuit,
+    noise: &NoiseModel,
+    rng: &mut R,
+    ops: &mut OpCounts,
+    fusion: bool,
+    want_tail: bool,
+) -> Vec<FusedOp>
+where
+    S: QuantumState + ?Sized,
+    R: rand::Rng + ?Sized,
+{
+    if fusion {
+        plan.replay_boundary(
+            state,
+            ops,
+            |gate, ctx| noise.apply_after_gate_deferred(gate, ctx, rng),
+            want_tail,
+        )
+    } else {
+        run_subcircuit(state, subcircuit, plan, noise, rng, ops, false);
+        Vec::new()
+    }
+}
+
 /// Draw `leaf_samples` readout-corrected outcomes from a leaf state,
 /// feeding each to `sink`. A single draw walks the CDF directly;
 /// oversampled leaves batch all uniforms into one
@@ -476,6 +535,41 @@ pub fn draw_leaf_outcomes<S, R>(
         .map(|_| rand::RngExt::random(rng))
         .collect();
     for outcome in state.sample_many(&us) {
+        sink(noise.apply_readout(outcome, n_qubits, rng));
+    }
+}
+
+/// [`draw_leaf_outcomes`] with a pending fused `tail` window: the window is
+/// applied in the **same sweep** that reads `|ψ|²`
+/// ([`QuantumState::sample_fused`]), saving one full amplitude pass per
+/// deferred op. With an empty tail this is exactly [`draw_leaf_outcomes`];
+/// either way the RNG stream (uniforms first, then readout noise per
+/// outcome) is consumed identically, preserving `Counts` equivalence.
+pub fn draw_leaf_outcomes_fused<S, R>(
+    state: &mut S,
+    noise: &NoiseModel,
+    n_qubits: u16,
+    leaf_samples: u32,
+    tail: &[FusedOp],
+    rng: &mut R,
+    mut sink: impl FnMut(u64),
+) where
+    S: QuantumState + ?Sized,
+    R: rand::Rng + ?Sized,
+{
+    if tail.is_empty() {
+        return draw_leaf_outcomes(state, noise, n_qubits, leaf_samples, rng, sink);
+    }
+    if leaf_samples == 1 {
+        let u = rand::RngExt::random(rng);
+        let outcome = state.sample_fused(tail, &[u])[0];
+        sink(noise.apply_readout(outcome, n_qubits, rng));
+        return;
+    }
+    let us: Vec<f64> = (0..leaf_samples)
+        .map(|_| rand::RngExt::random(rng))
+        .collect();
+    for outcome in state.sample_fused(tail, &us) {
         sink(noise.apply_readout(outcome, n_qubits, rng));
     }
 }

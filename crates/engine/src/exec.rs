@@ -282,29 +282,44 @@ fn run_node<B: PooledBackend>(
     let k = shared.subcircuits.len();
     let mut ops = OpCounts::new();
 
+    let plan = &shared.plans[level];
+    // Boundary fusion: the plan's no-emission head window rides the
+    // parent→child copy (or the root reset) instead of costing its own
+    // passes; `run_subcircuit_boundary` then replays from past the head.
+    let head: &[tqsim_statevec::FusedOp] = if shared.fusion { plan.head_ops() } else { &[] };
     let mut state = ctx.acquire(shared.n_qubits);
     match &parent {
-        Parent::Root => state.reset_zero(),
-        Parent::State(p) => state.copy_from(p),
+        Parent::Root => {
+            state.reset_zero();
+            if !head.is_empty() {
+                tqsim_statevec::apply_window(&mut *state, head);
+            }
+        }
+        Parent::State(p) => ctx.backend().copy_into_apply(&mut state, p, head),
     }
     // Both arms are one full pass over the amplitudes; charged as the
     // state copy every node performs in the serial executor's accounting.
     ops.state_copies += 1;
+    if !head.is_empty() {
+        ops.copy_apply += 1;
+    }
     drop(parent); // release the parent buffer as early as possible
 
     let mut rng = StdRng::seed_from_u64(shared.seed ^ hash);
     // Compile-once/replay-many through the shared generic driver: the node
     // replays the batch's fused plan with its own RNG stream (or dispatches
     // per gate when fusion is off), consuming the stream identically to the
-    // serial executor.
-    tqsim::run_subcircuit(
+    // serial executor. A leaf keeps the plan's tail window pending so it
+    // can fuse into the sampling sweep below.
+    let tail = tqsim::run_subcircuit_boundary(
         &mut *state,
         &shared.subcircuits[level],
-        &shared.plans[level],
+        plan,
         &shared.noise,
         &mut rng,
         &mut ops,
         shared.fusion,
+        level + 1 == k,
     );
 
     if level + 1 == k {
@@ -316,13 +331,17 @@ fn run_node<B: PooledBackend>(
         // per leaf. Only a streaming job buffers the leaf batch (the sink
         // must not be called under the accumulator lock); the plain path
         // stays allocation-free.
+        if !tail.is_empty() {
+            ops.sample_fused += 1;
+        }
         if let Some(sink) = &shared.sink {
             let mut outcomes = Vec::with_capacity(shared.leaf_samples as usize);
-            tqsim::draw_leaf_outcomes(
-                &*state,
+            tqsim::draw_leaf_outcomes_fused(
+                &mut *state,
                 &shared.noise,
                 shared.n_qubits,
                 shared.leaf_samples,
+                &tail,
                 &mut rng,
                 |outcome| {
                     outcomes.push(outcome);
@@ -340,11 +359,12 @@ fn run_node<B: PooledBackend>(
             sink(&outcomes);
         } else {
             let mut accum = lock_recover(&shared.accums[ctx.index()]);
-            tqsim::draw_leaf_outcomes(
-                &*state,
+            tqsim::draw_leaf_outcomes_fused(
+                &mut *state,
                 &shared.noise,
                 shared.n_qubits,
                 shared.leaf_samples,
+                &tail,
                 &mut rng,
                 |outcome| {
                     accum.counts.increment(outcome);

@@ -147,6 +147,11 @@ impl<B: PooledBackend> WorkerCtx<'_, B> {
         self.state_pool.acquire(n_qubits)
     }
 
+    /// The backend behind this worker's state pool (shared pool-wide).
+    pub fn backend(&self) -> &B {
+        self.state_pool.backend()
+    }
+
     /// Push a follow-up task onto this worker's local deque (LIFO for the
     /// owner, stealable FIFO by siblings).
     pub fn spawn(&self, task: impl FnOnce(&WorkerCtx<'_, B>) + Send + 'static) {

@@ -82,6 +82,8 @@ struct OpTotals {
     samples: Arc<tqsim_obs::Counter>,
     amp_passes: Arc<tqsim_obs::Counter>,
     fused_gates: Arc<tqsim_obs::Counter>,
+    copy_apply: Arc<tqsim_obs::Counter>,
+    sample_fused: Arc<tqsim_obs::Counter>,
 }
 
 impl OpTotals {
@@ -97,6 +99,8 @@ impl OpTotals {
             samples: c("samples"),
             amp_passes: c("amp_passes"),
             fused_gates: c("fused_gates"),
+            copy_apply: c("copy_apply"),
+            sample_fused: c("sample_fused"),
         }
     }
 }
@@ -144,6 +148,8 @@ impl ServiceMetrics {
         self.ops.samples.add(ops.samples);
         self.ops.amp_passes.add(ops.amp_passes);
         self.ops.fused_gates.add(ops.fused_gates);
+        self.ops.copy_apply.add(ops.copy_apply);
+        self.ops.sample_fused.add(ops.sample_fused);
     }
 
     /// Copy the mirrored values (service counters, cache stats, per-engine

@@ -149,6 +149,15 @@ impl PooledBackend for ShardBackend {
         dst.copy_from(src);
     }
 
+    fn copy_into_apply(
+        &self,
+        dst: &mut ShardedStateVector,
+        src: &ShardedStateVector,
+        head: &[tqsim_statevec::FusedOp],
+    ) {
+        dst.copy_from_apply(src, head);
+    }
+
     fn state_bytes(&self, state: &ShardedStateVector) -> usize {
         state.bytes()
     }

@@ -15,11 +15,11 @@
 use crate::cluster::{ClusterLink, ShardCluster};
 use std::sync::Arc;
 use std::time::Instant;
-use tqsim_circuit::math::{Mat2, Mat4, Mat8, C64};
+use tqsim_circuit::math::{Mat16, Mat2, Mat32, Mat4, Mat8, C64};
 use tqsim_circuit::Gate;
 use tqsim_cluster::{ClusterCounters, ClusterObs, DensePlan, InterconnectModel, LayoutTracker};
 use tqsim_json::{num, num_u64, obj, str_val, Value};
-use tqsim_statevec::{DiagRun, QuantumState, StateVector};
+use tqsim_statevec::{window_span, DiagRun, FusedOp, QuantumState, StateVector};
 
 fn verb(name: &str, fields: Vec<(&str, Value)>) -> Value {
     let mut all = vec![("v", str_val(name))];
@@ -203,6 +203,81 @@ impl ShardedStateVector {
             obs.state_copies.inc();
         }
         self.charge_compute_pass();
+    }
+
+    /// Whether a fused window can run worker-local at canonical positions:
+    /// every dense op (and passthrough gate) must sit below the node
+    /// boundary — diagonal runs are offset-aware and never disqualify.
+    fn window_is_local(&self, window: &[FusedOp]) -> bool {
+        window_span(window).is_none_or(|s| s < self.local_n)
+    }
+
+    /// Same fault site as the single-node fused seams, so chaos suites
+    /// exercise every backend with one failpoint name.
+    fn boundary_failpoint() {
+        if tqsim_faults::any_armed() {
+            if let Err(e) = tqsim_faults::trigger("plan.boundary") {
+                std::panic::panic_any(e);
+            }
+        }
+    }
+
+    /// Overwrite with `src`'s amplitudes **and** apply the child plan's
+    /// head window in the same worker visit (cross-boundary fusion): one
+    /// silent `capply` broadcast instead of a copy broadcast plus one
+    /// broadcast per head op. Counter-for-counter identical to
+    /// [`ShardedStateVector::copy_from`] followed by eager window
+    /// application, so cross-backend counter parity holds.
+    ///
+    /// Falls back to exactly that eager sequence when the window touches a
+    /// node-selecting qubit (dswaps cannot ride a copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if layouts differ, on transport faults, or on injected
+    /// `cluster.state_copy` / `plan.boundary` faults.
+    pub fn copy_from_apply(&mut self, src: &ShardedStateVector, head: &[FusedOp]) {
+        if head.is_empty() {
+            return self.copy_from(src);
+        }
+        if !self.window_is_local(head) {
+            // `apply_window` hits the plan.boundary failpoint itself, so
+            // both paths trigger it exactly once per fused copy.
+            self.copy_from(src);
+            tqsim_statevec::apply_window(self, head);
+            return;
+        }
+        Self::boundary_failpoint();
+        assert_eq!(self.n_qubits, src.n_qubits, "width mismatch");
+        assert!(
+            Arc::ptr_eq(&self.cluster, &src.cluster),
+            "states live on different shard clusters"
+        );
+        if let Err(fault) = tqsim_faults::trigger("cluster.state_copy") {
+            panic!("{fault}");
+        }
+        debug_assert!(src.layout.is_canonical(), "copy from non-canonical state");
+        self.layout.reset();
+        let mut link = self.cluster.link();
+        link.broadcast(&verb(
+            "capply",
+            vec![
+                ("dst", num_u64(self.sid)),
+                ("src", num_u64(src.sid)),
+                ("w", crate::proto::window_to_value(head)),
+            ],
+        ));
+        drop(link);
+        self.counters.state_copies += 1;
+        if let Some(obs) = &self.obs {
+            obs.state_copies.inc();
+        }
+        self.charge_compute_pass();
+        // Charge the window ops as the eager path would have.
+        for _ in head {
+            self.note_local_gate();
+            self.charge_compute_pass();
+        }
     }
 
     /// Sample one outcome given a uniform draw: the CDF walk is chained
@@ -587,6 +662,82 @@ impl QuantumState for ShardedStateVector {
         }
     }
 
+    fn apply_mat16(&mut self, qs: [u16; 4], m: &Mat16) {
+        assert!(qs.iter().all(|&q| q < self.n_qubits), "qubit out of range");
+        assert!(
+            self.local_n >= 4,
+            "4-qubit fusion clusters need >= 4 node-local qubits \
+             (n_qubits >= log2(workers) + 4); lower max_fuse_qubits"
+        );
+        let mk = |sid: u64, ps: &[u16], m: &Mat16| {
+            verb(
+                "mat16",
+                vec![
+                    ("sid", num_u64(sid)),
+                    (
+                        "qs",
+                        Value::Arr(ps.iter().map(|&q| num_u64(u64::from(q))).collect()),
+                    ),
+                    ("m", crate::proto::mat16_to_value(m)),
+                ],
+            )
+        };
+        if self.batching {
+            let sid = self.sid;
+            self.apply_batched(&qs, move |ps| mk(sid, ps, m));
+            return;
+        }
+        if qs.iter().all(|&q| q < self.local_n) {
+            let v = mk(self.sid, &qs, m);
+            self.each_node(&v);
+            self.note_local_gate();
+        } else {
+            let (remapped, swaps) = self.remap_to_local(&qs);
+            let v = mk(self.sid, &remapped, m);
+            self.each_node(&v);
+            self.undo_remap(&swaps);
+            self.note_remapped_gate();
+        }
+    }
+
+    fn apply_mat32(&mut self, qs: [u16; 5], m: &Mat32) {
+        assert!(qs.iter().all(|&q| q < self.n_qubits), "qubit out of range");
+        assert!(
+            self.local_n >= 5,
+            "5-qubit fusion clusters need >= 5 node-local qubits \
+             (n_qubits >= log2(workers) + 5); lower max_fuse_qubits"
+        );
+        let mk = |sid: u64, ps: &[u16], m: &Mat32| {
+            verb(
+                "mat32",
+                vec![
+                    ("sid", num_u64(sid)),
+                    (
+                        "qs",
+                        Value::Arr(ps.iter().map(|&q| num_u64(u64::from(q))).collect()),
+                    ),
+                    ("m", crate::proto::mat32_to_value(m)),
+                ],
+            )
+        };
+        if self.batching {
+            let sid = self.sid;
+            self.apply_batched(&qs, move |ps| mk(sid, ps, m));
+            return;
+        }
+        if qs.iter().all(|&q| q < self.local_n) {
+            let v = mk(self.sid, &qs, m);
+            self.each_node(&v);
+            self.note_local_gate();
+        } else {
+            let (remapped, swaps) = self.remap_to_local(&qs);
+            let v = mk(self.sid, &remapped, m);
+            self.each_node(&v);
+            self.undo_remap(&swaps);
+            self.note_remapped_gate();
+        }
+    }
+
     fn apply_diag_run(&mut self, run: &DiagRun) {
         // Same flush rule as in-process: diagonal sweeps read canonical
         // bit positions, so a run touching displaced qubits flushes first.
@@ -749,6 +900,90 @@ impl QuantumState for ShardedStateVector {
 
     fn sample_many(&self, us: &[f64]) -> Vec<u64> {
         ShardedStateVector::sample_many(self, us)
+    }
+
+    /// Fused tail-window sampling over the wire: one chained `fwalk` pass
+    /// where each visited worker applies the window to its slice and then
+    /// walks the sorted CDF, so the tail never costs a separate broadcast
+    /// round. Workers the walk never reaches get a fire-and-forget
+    /// `wapply` so the state still materialises identically everywhere.
+    fn sample_fused(&mut self, window: &[FusedOp], us: &[f64]) -> Vec<u64> {
+        if window.is_empty() {
+            return self.sample_many(us);
+        }
+        if us.is_empty() || !self.layout.is_canonical() || !self.window_is_local(window) {
+            // `apply_window` hits the plan.boundary failpoint itself, so
+            // both paths trigger it exactly once per fused sample.
+            tqsim_statevec::apply_window(self, window);
+            return self.sample_many(us);
+        }
+        Self::boundary_failpoint();
+        for _ in window {
+            self.note_local_gate();
+            self.charge_compute_pass();
+        }
+        let wv = crate::proto::window_to_value(window);
+        let mut order: Vec<usize> = (0..us.len()).collect();
+        order.sort_by(|&i, &j| us[i].total_cmp(&us[j]));
+        let mut out = vec![0u64; us.len()];
+        let total = 1u64 << self.n_qubits;
+        let n_nodes = self.n_nodes();
+        let sid = self.sid;
+        let mut link = self.cluster.link();
+        let mut done = 0usize;
+        let mut idx = 0u64;
+        let mut acc = 0.0f64;
+        let mut visited = 0usize;
+        for rank in 0..n_nodes {
+            visited = rank + 1;
+            let pending = Value::Arr(order[done..].iter().map(|&slot| num(us[slot])).collect());
+            let reply = link.request(
+                rank,
+                &verb(
+                    "fwalk",
+                    vec![
+                        ("sid", num_u64(sid)),
+                        ("us", pending),
+                        ("idx", num_u64(idx)),
+                        ("acc", num(acc)),
+                        ("total", num_u64(total)),
+                        ("init", Value::Bool(rank == 0)),
+                        ("w", wv.clone()),
+                    ],
+                ),
+            );
+            let outcomes = reply
+                .get("out")
+                .and_then(Value::as_arr)
+                .unwrap_or_else(|| panic!("shard transport: malformed fwalk reply"));
+            for outcome in outcomes {
+                let oc = outcome
+                    .as_u64()
+                    .unwrap_or_else(|| panic!("shard transport: malformed fwalk outcome"));
+                out[order[done]] = oc;
+                done += 1;
+            }
+            if done == order.len() {
+                break;
+            }
+            idx = reply
+                .get("idx")
+                .and_then(Value::as_u64)
+                .unwrap_or_else(|| panic!("shard transport: malformed fwalk idx"));
+            acc = reply
+                .get("acc")
+                .and_then(Value::as_f64)
+                .unwrap_or_else(|| panic!("shard transport: malformed fwalk acc"));
+        }
+        debug_assert_eq!(done, order.len(), "fwalk chain under-consumed draws");
+        // Materialise the window on ranks the early-exit walk skipped.
+        for rank in visited..n_nodes {
+            link.send(
+                rank,
+                &verb("wapply", vec![("sid", num_u64(sid)), ("w", wv.clone())]),
+            );
+        }
+        out
     }
 
     fn sync_layout(&mut self) {

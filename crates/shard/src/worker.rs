@@ -233,6 +233,75 @@ impl Worker {
                 kernels::apply_mat8(slice, q2, q1, q0, &m);
                 Ok(None)
             }
+            "mat16" => {
+                let qs = Self::need_qubits::<4>(msg)?;
+                let m = proto::mat16_from_value(
+                    msg.get("m")
+                        .ok_or_else(|| wire_err("mat16", "no m".into()))?,
+                )
+                .map_err(|e| wire_err("mat16", e))?;
+                let (_, slice) = self.slice_mut(msg)?;
+                kernels::apply_mat16(slice, qs.map(|q| q as usize), &m);
+                Ok(None)
+            }
+            "mat32" => {
+                let qs = Self::need_qubits::<5>(msg)?;
+                let m = proto::mat32_from_value(
+                    msg.get("m")
+                        .ok_or_else(|| wire_err("mat32", "no m".into()))?,
+                )
+                .map_err(|e| wire_err("mat32", e))?;
+                let (_, slice) = self.slice_mut(msg)?;
+                kernels::apply_mat32(slice, qs.map(|q| q as usize), &m);
+                Ok(None)
+            }
+            "wapply" => {
+                // Apply a fused window to this node's slice in place —
+                // the cross-boundary tail for ranks the sampling walk
+                // never reached.
+                let window = Self::need_window(msg)?;
+                let rank = self.rank;
+                let (_, slice) = self.slice_mut(msg)?;
+                let base = rank << Self::local_n(slice);
+                tqsim_statevec::apply_window_amps(slice, base, &window);
+                Ok(None)
+            }
+            "capply" => {
+                // Copy-and-apply: overwrite dst with src and run the child
+                // plan's head window in the same visit — the parent→child
+                // copy that starts replay one pass ahead.
+                let window = Self::need_window(msg)?;
+                let dst = need_u64(msg, "dst")?;
+                let src = need_u64(msg, "src")?;
+                let from = self
+                    .slices
+                    .get(&src)
+                    .ok_or_else(|| wire_err("capply", format!("unknown source {src}")))?
+                    .clone();
+                let rank = self.rank;
+                let to = self
+                    .slices
+                    .get_mut(&dst)
+                    .ok_or_else(|| wire_err("capply", format!("unknown destination {dst}")))?;
+                to.copy_from_slice(&from);
+                let base = rank << Self::local_n(to);
+                tqsim_statevec::apply_window_amps(to, base, &window);
+                Ok(None)
+            }
+            "fwalk" => {
+                // Fused sampling chain link: apply the trailing window to
+                // this slice, then resolve draws exactly like "walk" — the
+                // |ψ|² read happens in the same visit that finished the
+                // state.
+                let window = Self::need_window(msg)?;
+                let rank = self.rank;
+                {
+                    let (_, slice) = self.slice_mut(msg)?;
+                    let base = rank << Self::local_n(slice);
+                    tqsim_statevec::apply_window_amps(slice, base, &window);
+                }
+                self.walk_reply(msg)
+            }
             "diagrun" => {
                 let run = proto::diag_run_from_value(msg).map_err(|e| wire_err("diagrun", e))?;
                 let rank = self.rank;
@@ -346,46 +415,7 @@ impl Worker {
                 }
                 Ok(Some(obj(vec![("x", num(acc))])))
             }
-            "walk" => {
-                // Batched sorted-CDF chain link (see the coordinator's
-                // `sample_many`): resolve as many sorted draws as land in
-                // this slice, then hand (idx, acc) to the next node.
-                let us: Vec<f64> = msg
-                    .get("us")
-                    .and_then(Value::as_arr)
-                    .ok_or_else(|| wire_err("walk", "no us".into()))?
-                    .iter()
-                    .map(|v| v.as_f64().ok_or_else(|| wire_err("walk", "bad u".into())))
-                    .collect::<io::Result<_>>()?;
-                let mut idx = need_u64(msg, "idx")? as usize;
-                let mut acc = need_f64(msg, "acc")?;
-                let total = need_u64(msg, "total")? as usize;
-                let init = msg.get("init").and_then(Value::as_bool).unwrap_or(false);
-                let rank = self.rank;
-                let (_, slice) = self.slice_mut(msg)?;
-                let base = rank << Self::local_n(slice);
-                if init {
-                    idx = 0;
-                    acc = slice[0].norm_sqr();
-                }
-                let mut out = Vec::new();
-                for &u in &us {
-                    while u >= acc && idx + 1 < total && idx + 1 < base + slice.len() {
-                        idx += 1;
-                        acc += slice[idx - base].norm_sqr();
-                    }
-                    if u < acc || idx + 1 >= total {
-                        out.push(num_u64(idx as u64));
-                    } else {
-                        break;
-                    }
-                }
-                Ok(Some(obj(vec![
-                    ("out", Value::Arr(out)),
-                    ("idx", num_u64(idx as u64)),
-                    ("acc", num(acc)),
-                ])))
-            }
+            "walk" => self.walk_reply(msg),
             "fetch" => {
                 let (_, slice) = self.slice_mut(msg)?;
                 let len = slice.len();
@@ -396,6 +426,75 @@ impl Worker {
             }
             other => Err(wire_err("shard verb", format!("unknown verb {other:?}"))),
         }
+    }
+
+    /// Decode a fixed-width qubit list from the verb's `"qs"` field.
+    fn need_qubits<const W: usize>(msg: &Value) -> io::Result<[u16; W]> {
+        let arr = msg
+            .get("qs")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| wire_err("shard verb", "missing qs".into()))?;
+        if arr.len() != W {
+            return Err(wire_err("shard verb", format!("expected {W} qubits")));
+        }
+        let mut qs = [0u16; W];
+        for (dst, v) in qs.iter_mut().zip(arr) {
+            *dst = v
+                .as_u64()
+                .and_then(|q| u16::try_from(q).ok())
+                .ok_or_else(|| wire_err("shard verb", "bad qubit".into()))?;
+        }
+        Ok(qs)
+    }
+
+    /// Decode the fused window from the verb's `"w"` field.
+    fn need_window(msg: &Value) -> io::Result<Vec<tqsim_statevec::FusedOp>> {
+        proto::window_from_value(
+            msg.get("w")
+                .ok_or_else(|| wire_err("shard verb", "missing w".into()))?,
+        )
+        .map_err(|e| wire_err("window", e))
+    }
+
+    /// Batched sorted-CDF chain link (see the coordinator's `sample_many`):
+    /// resolve as many sorted draws as land in this slice, then hand
+    /// (idx, acc) to the next node. Shared by "walk" and "fwalk".
+    fn walk_reply(&mut self, msg: &Value) -> io::Result<Option<Value>> {
+        let us: Vec<f64> = msg
+            .get("us")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| wire_err("walk", "no us".into()))?
+            .iter()
+            .map(|v| v.as_f64().ok_or_else(|| wire_err("walk", "bad u".into())))
+            .collect::<io::Result<_>>()?;
+        let mut idx = need_u64(msg, "idx")? as usize;
+        let mut acc = need_f64(msg, "acc")?;
+        let total = need_u64(msg, "total")? as usize;
+        let init = msg.get("init").and_then(Value::as_bool).unwrap_or(false);
+        let rank = self.rank;
+        let (_, slice) = self.slice_mut(msg)?;
+        let base = rank << Self::local_n(slice);
+        if init {
+            idx = 0;
+            acc = slice[0].norm_sqr();
+        }
+        let mut out = Vec::new();
+        for &u in &us {
+            while u >= acc && idx + 1 < total && idx + 1 < base + slice.len() {
+                idx += 1;
+                acc += slice[idx - base].norm_sqr();
+            }
+            if u < acc || idx + 1 >= total {
+                out.push(num_u64(idx as u64));
+            } else {
+                break;
+            }
+        }
+        Ok(Some(obj(vec![
+            ("out", Value::Arr(out)),
+            ("idx", num_u64(idx as u64)),
+            ("acc", num(acc)),
+        ])))
     }
 
     /// Get (establishing if necessary) the mesh connection to `peer`. The

@@ -41,7 +41,8 @@ pub use backend::CostProfile;
 pub use expectation::{expect_cut_value, expect_z_string, ZString};
 pub use ops::OpCounts;
 pub use plan::{
-    classify, CompiledCircuit, DiagRun, FlushCtx, FusedOp, Fuser, FusionConfig, PlanOp,
+    apply_window, apply_window_amps, classify, window_span, CompiledCircuit, DiagRun, FlushCtx,
+    FusedOp, Fuser, FusionConfig, PlanOp,
 };
 pub use pool::{PoolCounters, PoolStats, PooledState, StatePool};
 pub use state::{StateVector, MAX_QUBITS};

@@ -195,7 +195,7 @@ proptest! {
                 &noise,
                 6,
                 &strategy,
-                FusionConfig { max_fuse_qubits: 3 },
+                FusionConfig { max_fuse_qubits: 3, boundary: false },
             )
             .unwrap(),
         );
@@ -240,7 +240,10 @@ fn qft_anchor_thread_sweep_and_mat8_gain() {
             &noise,
             8,
             &strategy,
-            FusionConfig { max_fuse_qubits: 3 },
+            FusionConfig {
+                max_fuse_qubits: 3,
+                boundary: false,
+            },
         )
         .unwrap(),
     );

@@ -1,0 +1,201 @@
+//! Cross-boundary fusion and wide clusters are execution-plan changes,
+//! never semantic ones: for every fusion cell in
+//! window {2, 3, 4, 5} × boundary {off, on}, `Counts` must be
+//! bit-identical to the window-2 eager reference — on the single-node
+//! backend, the 4-node in-process cluster backend and the 2-shard
+//! multi-process backend, under ideal and sycamore noise. Under the
+//! ideal model boundary fusion must also never *increase* amplitude
+//! passes, and within every cell the three backends must agree on the
+//! full op accounting.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tqsim::Strategy as PlanStrategy;
+use tqsim_circuit::{generators, Circuit, Gate, GateKind};
+use tqsim_cluster::{ClusterBackend, InterconnectModel};
+use tqsim_engine::{Engine, EngineConfig, FusionConfig, JobPlan, PlannedJob};
+use tqsim_noise::NoiseModel;
+use tqsim_shard::ShardBackend;
+
+/// The full ablation grid: every window width × boundary fusion off/on.
+const GRID: [(u8, bool); 8] = [
+    (2, false),
+    (2, true),
+    (3, false),
+    (3, true),
+    (4, false),
+    (4, true),
+    (5, false),
+    (5, true),
+];
+
+/// Random gates over `n` qubits, mixing 1q, rotation and 2q kinds so
+/// compiled plans hold fused dense frames (up to `Mat32` at window 5)
+/// alongside diagonal runs.
+fn arb_gate(n: u16) -> impl Strategy<Value = Gate> {
+    let q = 0..n;
+    let angle = -6.3f64..6.3;
+    prop_oneof![
+        (q.clone(), 0usize..6).prop_map(move |(q, k)| {
+            let kind = [
+                GateKind::X,
+                GateKind::H,
+                GateKind::S,
+                GateKind::T,
+                GateKind::Sx,
+                GateKind::Sw,
+            ][k];
+            Gate::new(kind, &[q])
+        }),
+        (q.clone(), angle.clone(), 0usize..4).prop_map(move |(q, t, k)| {
+            let kind = [
+                GateKind::Rx(t),
+                GateKind::Rz(t),
+                GateKind::Phase(t),
+                GateKind::Ry(t),
+            ][k];
+            Gate::new(kind, &[q])
+        }),
+        (q.clone(), q, angle, 0usize..5).prop_filter_map("distinct qubits", move |(a, b, t, k)| {
+            if a == b {
+                return None;
+            }
+            let kind = [
+                GateKind::Cx,
+                GateKind::Cz,
+                GateKind::CPhase(t),
+                GateKind::Swap,
+                GateKind::Rzz(t),
+            ][k];
+            Some(Gate::new(kind, &[a, b]))
+        }),
+    ]
+}
+
+fn arb_circuit(n: u16, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_gate(n), 2..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(*g.kind(), g.qubits());
+        }
+        c
+    })
+}
+
+fn noise_for(idx: usize) -> NoiseModel {
+    if idx == 0 {
+        NoiseModel::ideal()
+    } else {
+        NoiseModel::sycamore()
+    }
+}
+
+/// Run every grid cell for one (circuit, noise, seed) triple on all three
+/// backends and check the identity invariants against the window-2 eager
+/// reference. 8 qubits keeps ≥ 5 node-local qubits on the 4-node cluster
+/// (6) and the 2-shard backend (7), so window-5 frames stay legal
+/// everywhere. `ideal` says whether `noise` is the ideal model — the
+/// pass-count invariant is only exact there (see below).
+fn check_grid(circuit: &Circuit, noise: &NoiseModel, ideal: bool, seed: u64, shard: &ShardBackend) {
+    let strategy = PlanStrategy::Custom {
+        arities: vec![3, 2],
+    };
+    let mut reference = None;
+    let mut eager_passes = [0u64; GRID.len()];
+    for (i, &(window, boundary)) in GRID.iter().enumerate() {
+        let plan = Arc::new(
+            JobPlan::plan_with(
+                circuit,
+                noise,
+                6,
+                &strategy,
+                FusionConfig {
+                    max_fuse_qubits: window,
+                    boundary,
+                },
+            )
+            .unwrap(),
+        );
+        // Per-cell reference: the serial single-node run of this plan.
+        let serial = Engine::new(EngineConfig::default().parallelism(1))
+            .run_planned(&PlannedJob::new(Arc::clone(&plan)).seed(seed));
+        match &reference {
+            None => reference = Some(serial.counts.clone()),
+            Some(base) => assert_eq!(
+                &serial.counts, base,
+                "w={} boundary={}: fusion cells must not move the histogram",
+                window, boundary
+            ),
+        }
+        eager_passes[i] = serial.ops.amp_passes;
+
+        let single = Engine::new(EngineConfig::default().parallelism(2))
+            .run_planned(&PlannedJob::new(Arc::clone(&plan)).seed(seed));
+        assert_eq!(&single.counts, &serial.counts, "single-node w={}", window);
+        assert_eq!(&single.ops, &serial.ops, "single-node ops w={}", window);
+
+        let cluster = Engine::with_backend(
+            EngineConfig::default().parallelism(2),
+            ClusterBackend::new(4, InterconnectModel::commodity_cluster()),
+        )
+        .run_planned(&PlannedJob::new(Arc::clone(&plan)).seed(seed));
+        assert_eq!(
+            &cluster.counts, &serial.counts,
+            "4-node cluster w={}",
+            window
+        );
+        assert_eq!(&cluster.ops, &serial.ops, "4-node cluster ops w={}", window);
+
+        let sharded = Engine::with_backend(EngineConfig::default().parallelism(2), shard.clone())
+            .run_planned(&PlannedJob::new(Arc::clone(&plan)).seed(seed));
+        assert_eq!(&sharded.counts, &serial.counts, "2-shard w={}", window);
+        assert_eq!(&sharded.ops, &serial.ops, "2-shard ops w={}", window);
+    }
+    // Boundary fusion rides windows on copies/samples. Under the ideal
+    // model the head hoist is exactly a flush-boundary split — the
+    // dynamic fuser resumes in the same state eager would have reached —
+    // so at equal width boundary can never cost more passes. Under
+    // stochastic noise a fired Kraus branch force-flushes the fuser, and
+    // removing the head frame shifts what is pending at that barrier:
+    // the realignment usually saves a few passes but may cost a few, so
+    // no per-width ordering holds there (the bench's ≥ 1.3× gate on the
+    // wide boundary cells is the perf invariant for noisy runs).
+    if ideal {
+        for pair in eager_passes.chunks(2) {
+            assert!(
+                pair[1] <= pair[0],
+                "boundary fusion increased passes under ideal noise: {} vs {}",
+                pair[1],
+                pair[0]
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn grid_counts_bit_identical_across_backends(
+        circuit in arb_circuit(8, 14),
+        noise_idx in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let shard = ShardBackend::spawn(2).expect("spawn workers");
+        check_grid(&circuit, &noise_for(noise_idx), noise_idx == 0, seed, &shard);
+    }
+}
+
+/// Deterministic anchors: QFT (dense + diagonal structure) and a random
+/// QAOA instance (diag-run heavy with a dense mixer tail — the shape that
+/// exercises tail windows hardest), across the full grid, both noises.
+#[test]
+fn qft_and_qaoa_anchor_full_grid() {
+    let shard = ShardBackend::spawn(2).expect("spawn workers");
+    let qaoa = generators::qaoa_random(8, 16, 1, 0.4, 0.8).0;
+    for circuit in [generators::qft(8), qaoa] {
+        for noise_idx in 0..2 {
+            check_grid(&circuit, &noise_for(noise_idx), noise_idx == 0, 11, &shard);
+        }
+    }
+}
